@@ -1,0 +1,28 @@
+"""EXP-A1 — ablation: what the placement policy contributes.
+
+Separates the *cost* of virtualization from the *benefit* of
+reorganization: the identity policy keeps COFS's interposition and metadata
+service but mirrors the user's layout underneath, so the underlying file
+system sees the same shared-directory storm.
+"""
+
+from repro.bench.experiments import run_ablation_placement
+
+
+def test_ablation_placement(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_ablation_placement(print_report=True),
+        rounds=1, iterations=1,
+    )
+    r = out["results"]
+
+    # Identity placement = GPFS's create collapse plus the overhead.
+    assert r[("identity", "create")] > r[("gpfs", "create")] * 0.8
+
+    # The hash reorganization is what buys the speedup.
+    assert r[("hash", "create")] < r[("gpfs", "create")] / 3
+    assert r[("hash+rand", "create")] < r[("gpfs", "create")] / 3
+
+    # Stats are MDS-served under every policy.
+    for policy in ("identity", "hash", "hash+rand"):
+        assert r[(policy, "stat")] < 1.5, policy

@@ -1,0 +1,29 @@
+"""EXP-F1 — Fig. 1: effect of directory size on GPFS, single node."""
+
+from repro.bench.experiments import run_fig1
+
+
+def test_fig1(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_fig1(print_report=True), rounds=1, iterations=1
+    )
+    r = out["results"]
+    sizes = out["sizes"]
+    small, large = sizes[0], sizes[-1]
+
+    # Below ~1024 entries, stat/utime/open run at near-local speed...
+    for op in ("stat", "utime", "open"):
+        assert r[(op, 1, 512)] < 0.6, op
+    # ...and drop to network rates beyond the cache cliff.
+    for op in ("stat", "utime", "open"):
+        assert r[(op, 1, large)] > 4 * r[(op, 1, 512)], op
+        assert r[(op, 1, large)] > 1.5
+
+    # Creates start just under ~2 ms and rise steadily past 512 entries.
+    assert 1.0 < r[("create", 1, 512)] < 3.0
+    assert r[("create", 1, large)] > r[("create", 1, 512)] * 1.4
+
+    # A second process slightly compensates beyond the cliff (request
+    # batching), and never makes things drastically worse below it.
+    assert r[("stat", 2, large)] <= r[("stat", 1, large)] * 1.05
+    assert r[("stat", 2, small)] < 1.0

@@ -1,0 +1,30 @@
+"""EXP-F2 — Fig. 2: parallel metadata behaviour of GPFS."""
+
+from repro.bench.experiments import run_fig2
+
+
+def test_fig2(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_fig2(print_report=True), rounds=1, iterations=1
+    )
+    r = out["results"]
+
+    # Parallel creates collapse: > 20 ms at 4 nodes, more at 8 (paper: >20,
+    # >30), versus ~2 ms on a single node (Fig 1).
+    assert r[("create", 4, 1024)] > 15
+    assert r[("create", 8, 1024)] > r[("create", 4, 1024)] * 1.3
+
+    # The number of files matters far less than the number of nodes.
+    for nodes in (4, 8):
+        small = r[("create", nodes, 1024)]
+        big = r[("create", nodes, out["totals"][-1])]
+        assert big < small * 2.5
+
+    # Non-create ops at 1024 files pay creator-revocation queues, growing
+    # with node count (paper: ~10 ms at 4 nodes, 15-20 ms at 8).
+    assert 4 < r[("stat", 4, 1024)] < 16
+    assert r[("stat", 8, 1024)] > r[("stat", 4, 1024)] * 1.5
+
+    # With more files the creator's cache cap is exceeded and times converge
+    # to the clean-fetch plateau.
+    assert r[("stat", 8, 4096)] < r[("stat", 8, 1024)]

@@ -1,0 +1,26 @@
+"""EXP-F5 — Fig. 5: stat time, pure GPFS vs COFS over GPFS."""
+
+from repro.bench.experiments import run_fig5
+
+
+def test_fig5(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_fig5(print_report=True), rounds=1, iterations=1
+    )
+    r = out["results"]
+    sweep = out["files_per_node"]
+
+    # GPFS: a first phase of large times while the creator's cached tokens
+    # cover the files, converging once files/node exceeds the cache span.
+    assert r[("pfs", 8, 128)] > 10         # 8 nodes x 128 = 1024 files
+    assert r[("pfs", 8, 2048)] < r[("pfs", 8, 128)]
+
+    # COFS reduces stat beyond ~512 files/node to ~1 ms (paper: 7->1 ms at 8
+    # nodes, 5->1 at 4 nodes).
+    for nodes in (4, 8):
+        assert r[("cofs", nodes, 2048)] < 2.5, nodes
+        assert r[("pfs", nodes, 2048)] > r[("cofs", nodes, 2048)] * 1.5
+
+    # Even for small directories COFS is comparable or better.
+    for fpn in sweep:
+        assert r[("cofs", 8, fpn)] <= r[("pfs", 8, fpn)] * 1.1, fpn

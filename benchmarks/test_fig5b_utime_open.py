@@ -1,0 +1,28 @@
+"""EXP-F5b — §IV-A prose: utime and open/close, GPFS vs COFS.
+
+The paper reports these in text: "times for utime in pure GPFS stabilize
+about 6-7 ms, compared to 4 ms when using COFS; values obtained for
+open/close are very similar to stat results, for both pure GPFS and COFS."
+"""
+
+from repro.bench.experiments import run_fig5b
+
+
+def test_fig5b(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_fig5b(print_report=True), rounds=1, iterations=1
+    )
+    utime = out["utime"]["results"]
+    open_close = out["open"]["results"]
+    plateau = 2048
+
+    # utime stabilizes higher for GPFS than for COFS at large directories.
+    for nodes in (4, 8):
+        assert utime[("pfs", nodes, plateau)] > \
+            utime[("cofs", nodes, plateau)], nodes
+
+    # open/close closely resembles stat for pure GPFS (same token + fetch
+    # path); for COFS it adds the underlying open, staying well below GPFS
+    # in the contended small-directory regime.
+    assert open_close[("pfs", 8, 128)] > 10
+    assert open_close[("cofs", 8, 128)] < open_close[("pfs", 8, 128)] / 2

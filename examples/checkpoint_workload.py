@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""A parallel application checkpointing into a shared directory.
+
+The paper's first motivating workload (§I): every node of a parallel
+application dumps its state to a per-node file in a common checkpoint
+directory.  The checkpoint round time is bounded by the slowest node, so
+serialized creates directly stretch every round.
+
+Run:  python examples/checkpoint_workload.py
+"""
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack, PfsStack
+from repro.units import MB
+from repro.workloads.apps import CheckpointConfig, run_checkpoint
+
+NODES = 8
+
+
+def main():
+    config = CheckpointConfig(
+        nodes=NODES, rounds=4, bytes_per_node=4 * MB, compute_ms=250.0
+    )
+    print(f"{NODES}-node application, {config.rounds} checkpoint rounds, "
+          f"{config.bytes_per_node // MB} MB per node per round\n")
+
+    bare = run_checkpoint(
+        PfsStack(build_flat_testbed(n_clients=NODES)), config
+    )
+    cofs = run_checkpoint(
+        CofsStack(build_flat_testbed(n_clients=NODES, with_mds=True)), config
+    )
+
+    print(f"{'system':<12}{'mean round':>14}{'mean create':>14}")
+    print("-" * 40)
+    print(f"{'pure GPFS':<12}{bare.mean_round_ms:>12.1f}ms"
+          f"{bare.create_ms.mean:>12.2f}ms")
+    print(f"{'COFS':<12}{cofs.mean_round_ms:>12.1f}ms"
+          f"{cofs.create_ms.mean:>12.2f}ms")
+    print(
+        f"\nCheckpoint rounds are {bare.mean_round_ms / cofs.mean_round_ms:.1f}x "
+        "faster under COFS: the per-node checkpoint files no longer fight\n"
+        "over one directory's tokens, so all nodes start writing at once."
+    )
+
+
+if __name__ == "__main__":
+    main()

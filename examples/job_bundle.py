@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""A bundle of small jobs writing results into one shared directory.
+
+The paper's second motivating workload (§I): users launch large bunches of
+loosely coupled jobs, all configured to drop their output files into the
+same results directory — which, from the file system's perspective, looks
+exactly like a parallel application creating files in a shared directory.
+
+Run:  python examples/job_bundle.py
+"""
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack, PfsStack
+from repro.workloads.apps import JobBundleConfig, run_job_bundle
+
+NODES = 8
+JOBS = 128
+
+
+def main():
+    config = JobBundleConfig(jobs=JOBS, nodes=NODES, job_compute_ms=20.0)
+    print(f"{JOBS} small jobs over {NODES} nodes, all writing to "
+          f"{config.directory}\n")
+
+    bare = run_job_bundle(
+        PfsStack(build_flat_testbed(n_clients=NODES)), config
+    )
+    cofs = run_job_bundle(
+        CofsStack(build_flat_testbed(n_clients=NODES, with_mds=True)), config
+    )
+
+    print(f"{'system':<12}{'makespan':>12}{'jobs/s':>10}{'mean job':>12}")
+    print("-" * 46)
+    print(f"{'pure GPFS':<12}{bare.makespan_ms:>10.1f}ms"
+          f"{bare.jobs_per_second:>10.1f}{bare.job_ms.mean:>10.2f}ms")
+    print(f"{'COFS':<12}{cofs.makespan_ms:>10.1f}ms"
+          f"{cofs.jobs_per_second:>10.1f}{cofs.job_ms.mean:>10.2f}ms")
+    print(
+        "\nNote this is throughput, not just latency: the shared directory\n"
+        "serializes the bundle on pure GPFS, while COFS lets the whole\n"
+        "bundle land in parallel."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare placement policies — where does COFS's win come from?
+
+COFS = interposition + metadata service + placement.  Swapping the
+placement policy separates the pieces (paper §III-B notes that "different
+mapping policies could be easily implemented"):
+
+- identity    : mirror the user's layout underneath (no reorganization)
+- hash        : one underlying directory per (node, parent, process)
+- hash+rand   : the paper's policy, with a randomization sublevel
+
+Run:  python examples/placement_policies.py
+"""
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack, PfsStack
+from repro.core.config import CofsConfig
+from repro.core.placement import HashPlacementPolicy, IdentityPlacementPolicy
+from repro.workloads import MetaratesConfig, run_metarates
+
+NODES = 4
+FILES_PER_NODE = 256
+
+
+def measure(stack):
+    return run_metarates(stack, MetaratesConfig(
+        nodes=NODES, files_per_proc=FILES_PER_NODE, ops=("create", "stat"),
+    ))
+
+
+def main():
+    cfg = CofsConfig()
+    policies = {
+        "identity": IdentityPlacementPolicy(cfg),
+        "hash": HashPlacementPolicy(cfg, randomize=False),
+        "hash+rand": HashPlacementPolicy(cfg, randomize=True),
+    }
+
+    print(f"{NODES} nodes x {FILES_PER_NODE} creates in a shared dir\n")
+    print(f"{'layout policy':<14}{'create':>10}{'stat':>10}")
+    print("-" * 34)
+
+    bare = measure(PfsStack(build_flat_testbed(n_clients=NODES)))
+    print(f"{'(pure GPFS)':<14}{bare.mean_ms('create'):>8.2f}ms"
+          f"{bare.mean_ms('stat'):>8.2f}ms")
+
+    for name, policy in policies.items():
+        testbed = build_flat_testbed(n_clients=NODES, with_mds=True)
+        stack = CofsStack(testbed, policy=policy)
+        res = measure(stack)
+        print(f"{name:<14}{res.mean_ms('create'):>8.2f}ms"
+              f"{res.mean_ms('stat'):>8.2f}ms")
+
+    print(
+        "\nIdentity placement keeps all of COFS's machinery but none of its\n"
+        "benefit - creates collapse exactly like pure GPFS. The hashed\n"
+        "reorganization is what buys the speedup; randomization spreads\n"
+        "same-node files for later parallel access."
+    )
+
+
+if __name__ == "__main__":
+    main()

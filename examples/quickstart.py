@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: mount COFS over a simulated parallel FS and see the win.
+
+Builds the paper's testbed twice — once with clients on bare GPFS-like
+storage, once with the COFS virtualization layer — runs a small parallel
+metadata benchmark on a shared directory, and prints the comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack, PfsStack
+from repro.workloads import MetaratesConfig, run_metarates
+
+NODES = 4
+FILES_PER_NODE = 256
+
+
+def measure(stack):
+    config = MetaratesConfig(
+        nodes=NODES, files_per_proc=FILES_PER_NODE,
+        ops=("create", "stat", "utime", "open"),
+    )
+    return run_metarates(stack, config)
+
+
+def main():
+    print(f"{NODES} nodes creating/accessing {FILES_PER_NODE} files each "
+          "in one shared directory\n")
+
+    bare = measure(PfsStack(build_flat_testbed(n_clients=NODES)))
+    cofs = measure(CofsStack(
+        build_flat_testbed(n_clients=NODES, with_mds=True)
+    ))
+
+    print(f"{'operation':<12}{'pure GPFS':>12}{'COFS':>12}{'speedup':>10}")
+    print("-" * 46)
+    for op in ("create", "stat", "utime", "open"):
+        g = bare.mean_ms(op)
+        c = cofs.mean_ms(op)
+        print(f"{op:<12}{g:>10.2f}ms{c:>10.2f}ms{g / c:>9.1f}x")
+    print(
+        "\nThe virtualization layer turns one contended shared directory\n"
+        "into many small per-(node, process) directories underneath, and\n"
+        "serves pure metadata from its own service - so the underlying\n"
+        "file system never leaves its optimized regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""COFS reproduction: filesystem virtualization to avoid metadata bottlenecks.
+
+Reproduces Artiaga & Cortes (DATE 2010) as a complete simulated system:
+
+- :mod:`repro.core` -- COFS itself (placement driver, metadata service,
+  composite filesystem);
+- :mod:`repro.pfs` -- the GPFS-like shared-disk parallel FS it runs over;
+- :mod:`repro.fuse` -- the userspace-interposition cost layer;
+- :mod:`repro.db` -- the Mnesia-like table store behind the metadata service;
+- :mod:`repro.sim` / :mod:`repro.net` / :mod:`repro.cluster` -- the
+  discrete-event testbed substrate;
+- :mod:`repro.workloads` -- metarates, IOR and application-shaped loads;
+- :mod:`repro.bench` -- experiment runners for every figure/table.
+
+Start with the README's quickstart, or::
+
+    from repro.bench import build_flat_testbed
+    from repro.bench.stack import CofsStack
+
+    testbed = build_flat_testbed(n_clients=4, with_mds=True)
+    fs = CofsStack(testbed).mount(0)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

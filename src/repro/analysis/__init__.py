@@ -1,0 +1,27 @@
+"""Analysis helpers for experiment series.
+
+Small, dependency-light utilities used by the benchmark shape assertions and
+by EXPERIMENTS.md generation: cliff detection (Fig 1), plateau estimation
+(Fig 5's convergence), crossover location, speedup tables and scaling fits
+(create time vs node count).
+"""
+
+from repro.analysis.series import (
+    crossover,
+    find_cliff,
+    linear_fit,
+    monotone,
+    plateau,
+    scaling_exponent,
+    speedup_series,
+)
+
+__all__ = [
+    "crossover",
+    "find_cliff",
+    "linear_fit",
+    "monotone",
+    "plateau",
+    "scaling_exponent",
+    "speedup_series",
+]

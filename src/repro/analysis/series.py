@@ -1,0 +1,100 @@
+"""Series utilities: cliffs, plateaus, crossovers, fits."""
+
+import math
+
+
+def _sorted_points(points):
+    pts = sorted((float(x), float(y)) for x, y in points)
+    if not pts:
+        raise ValueError("empty series")
+    return pts
+
+
+def find_cliff(points, factor=3.0):
+    """The first x where y jumps by ``factor`` over the previous point.
+
+    Returns None when the series never jumps.  Used to locate the paper's
+    1024-entry cache cliff in Fig. 1-style sweeps.
+    """
+    pts = _sorted_points(points)
+    for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+        if y0 > 0 and y1 / y0 >= factor:
+            return x1
+    return None
+
+
+def plateau(points, tail=3):
+    """The mean of the last ``tail`` y-values (the convergence level)."""
+    pts = _sorted_points(points)
+    tail_points = pts[-tail:]
+    return sum(y for _x, y in tail_points) / len(tail_points)
+
+
+def crossover(series_a, series_b):
+    """The first shared x where series A stops being below series B.
+
+    Returns None if the ordering never flips over the shared domain.
+    """
+    a = dict(_sorted_points(series_a))
+    b = dict(_sorted_points(series_b))
+    shared = sorted(set(a) & set(b))
+    if not shared:
+        raise ValueError("series share no x values")
+    below = a[shared[0]] < b[shared[0]]
+    for x in shared[1:]:
+        if (a[x] < b[x]) != below:
+            return x
+    return None
+
+
+def speedup_series(baseline, improved):
+    """Per-x speedups baseline/improved over the shared domain."""
+    base = dict(_sorted_points(baseline))
+    imp = dict(_sorted_points(improved))
+    shared = sorted(set(base) & set(imp))
+    if not shared:
+        raise ValueError("series share no x values")
+    return [(x, base[x] / imp[x] if imp[x] > 0 else math.inf)
+            for x in shared]
+
+
+def monotone(points, direction="increasing", tolerance=0.0):
+    """True if the series is monotone within a relative ``tolerance``."""
+    pts = _sorted_points(points)
+    for (_x0, y0), (_x1, y1) in zip(pts, pts[1:]):
+        slack = abs(y0) * tolerance
+        if direction == "increasing" and y1 < y0 - slack:
+            return False
+        if direction == "decreasing" and y1 > y0 + slack:
+            return False
+    return True
+
+
+def linear_fit(points):
+    """Least-squares line fit; returns (slope, intercept, r_squared)."""
+    pts = _sorted_points(points)
+    n = len(pts)
+    if n < 2:
+        raise ValueError("need at least two points to fit a line")
+    mean_x = sum(x for x, _y in pts) / n
+    mean_y = sum(y for _x, y in pts) / n
+    sxx = sum((x - mean_x) ** 2 for x, _y in pts)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in pts)
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for _x, y in pts)
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in pts)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared
+
+
+def scaling_exponent(points):
+    """The log-log slope: y ~ x**k.  k≈1 is linear scaling, k≈0 flat."""
+    pts = _sorted_points(points)
+    logpts = [(math.log(x), math.log(y)) for x, y in pts if x > 0 and y > 0]
+    if len(logpts) < 2:
+        raise ValueError("need two positive points")
+    slope, _intercept, _r2 = linear_fit(logpts)
+    return slope

@@ -1,0 +1,43 @@
+"""Command-line entry point: regenerate any figure/table of the paper.
+
+Usage::
+
+    python -m repro.bench fig4            # quick grid
+    python -m repro.bench fig4 --full     # the paper's complete sweep
+    python -m repro.bench all
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the paper's complete parameter grid (slower)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(f"=== {name} ===")
+        EXPERIMENTS[name](full=args.full, print_report=True)
+        print(f"({name} took {time.time() - start:.1f}s wall)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,324 @@
+"""Experiment runners — one per figure/table of the paper.
+
+Every function builds fresh testbeds, drives the matching workload and
+returns a structured result dict; ``print_report=True`` also prints the
+series/table in the paper's layout.  See DESIGN.md §5 for the experiment
+index and EXPERIMENTS.md for measured-vs-paper numbers.
+
+Scope control: the full paper sweeps (up to 8192 files per node, 4 GB IOR
+aggregates) take several minutes of wall time; by default the runners use a
+log-spaced subset that exhibits every effect, and ``full=True`` (or the
+REPRO_FULL=1 environment variable) restores the complete grids.
+"""
+
+import os
+
+from repro.bench.report import format_series, format_table
+from repro.bench.stack import CofsStack, PfsStack
+from repro.bench.testbed import build_flat_testbed, build_hier_testbed
+from repro.core.config import CofsConfig
+from repro.core.placement import HashPlacementPolicy, IdentityPlacementPolicy
+from repro.db.service import DbConfig
+from repro.units import GB, MB
+from repro.workloads.ior import IorConfig, run_ior
+from repro.workloads.metarates import MetaratesConfig, run_metarates
+
+OPS = ("create", "stat", "utime", "open")
+
+
+def _full(full):
+    return full or os.environ.get("REPRO_FULL") == "1"
+
+
+def _stack(system, n_clients, topology="flat", **kwargs):
+    if topology == "flat":
+        testbed = build_flat_testbed(n_clients, with_mds=(system == "cofs"))
+    else:
+        testbed = build_hier_testbed(n_clients, with_mds=(system == "cofs"))
+    if system == "cofs":
+        return CofsStack(testbed, **kwargs)
+    return PfsStack(testbed)
+
+
+def _metarates(system, nodes, files_per_proc, ops, procs_per_node=1,
+               topology="flat", **stack_kwargs):
+    stack = _stack(system, nodes, topology=topology, **stack_kwargs)
+    config = MetaratesConfig(
+        nodes=nodes, procs_per_node=procs_per_node,
+        files_per_proc=files_per_proc, ops=ops,
+    )
+    return run_metarates(stack, config)
+
+
+# ---------------------------------------------------------------------------
+# EXP-F1 — Fig. 1: effect of directory size, single node, 1 and 2 processes
+# ---------------------------------------------------------------------------
+
+def run_fig1(full=False, print_report=False):
+    """GPFS metadata times vs entries per directory on one node."""
+    sizes = (128, 256, 512, 1024, 1536, 2048, 2560) if _full(full) \
+        else (128, 512, 1024, 2048)
+    results = {}
+    for procs in (1, 2):
+        for total in sizes:
+            res = _metarates(
+                "pfs", 1, total // procs, OPS, procs_per_node=procs
+            )
+            for op in OPS:
+                results[(op, procs, total)] = res.mean_ms(op)
+    out = {"sizes": sizes, "results": results}
+    if print_report:
+        for op in OPS:
+            series = {
+                f"{procs} process(es)": [
+                    (total, results[(op, procs, total)]) for total in sizes
+                ]
+                for procs in (1, 2)
+            }
+            print(format_series(
+                f"Fig 1 — avg time per {op} (single node)",
+                "files/dir", "ms/op", series,
+            ))
+            print()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# EXP-F2 — Fig. 2: parallel metadata behaviour of GPFS
+# ---------------------------------------------------------------------------
+
+def run_fig2(full=False, print_report=False):
+    """GPFS metadata times for 4/8 nodes and 1024/4096/16384 files."""
+    totals = (1024, 4096, 16384) if _full(full) else (1024, 4096)
+    node_counts = (4, 8)
+    results = {}
+    for nodes in node_counts:
+        for total in totals:
+            res = _metarates("pfs", nodes, total // nodes, OPS)
+            for op in OPS:
+                results[(op, nodes, total)] = res.mean_ms(op)
+    out = {"totals": totals, "nodes": node_counts, "results": results}
+    if print_report:
+        rows = [
+            [op, nodes, total, results[(op, nodes, total)]]
+            for op in OPS for nodes in node_counts for total in totals
+        ]
+        print(format_table(
+            ["operation", "nodes", "files", "ms/op"], rows,
+            title="Fig 2 — parallel metadata behaviour of GPFS",
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# EXP-F4 / EXP-F5 / EXP-F5b — Figs. 4-5: GPFS vs COFS sweeps
+# ---------------------------------------------------------------------------
+
+def _sweep(op, full):
+    files_per_node = (32, 128, 512, 2048, 8192) if _full(full) \
+        else (32, 128, 512, 2048)
+    node_counts = (4, 8)
+    results = {}
+    for system in ("pfs", "cofs"):
+        for nodes in node_counts:
+            for fpn in files_per_node:
+                res = _metarates(system, nodes, fpn, (op,))
+                results[(system, nodes, fpn)] = res.mean_ms(op)
+    return {"files_per_node": files_per_node, "nodes": node_counts,
+            "results": results, "op": op}
+
+
+def _print_sweep(out, figure):
+    op = out["op"]
+    for system in ("pfs", "cofs"):
+        label = "pure GPFS" if system == "pfs" else "COFS over GPFS"
+        series = {
+            f"{nodes} nodes": [
+                (fpn, out["results"][(system, nodes, fpn)])
+                for fpn in out["files_per_node"]
+            ]
+            for nodes in out["nodes"]
+        }
+        print(format_series(
+            f"{figure} — avg {op} time ({label})",
+            "files/node", "ms/op", series,
+        ))
+        print()
+
+
+def run_fig4(full=False, print_report=False):
+    """Create time, pure GPFS vs COFS over GPFS (paper Fig. 4)."""
+    out = _sweep("create", full)
+    if print_report:
+        _print_sweep(out, "Fig 4")
+    return out
+
+
+def run_fig5(full=False, print_report=False):
+    """Stat time, pure GPFS vs COFS over GPFS (paper Fig. 5)."""
+    out = _sweep("stat", full)
+    if print_report:
+        _print_sweep(out, "Fig 5")
+    return out
+
+
+def run_fig5b(full=False, print_report=False):
+    """utime and open/close sweeps (reported in prose in §IV-A)."""
+    utime = _sweep("utime", full)
+    open_close = _sweep("open", full)
+    if print_report:
+        _print_sweep(utime, "Fig 5b (utime)")
+        _print_sweep(open_close, "Fig 5b (open/close)")
+    return {"utime": utime, "open": open_close}
+
+
+# ---------------------------------------------------------------------------
+# EXP-F6 — Fig. 6: 64 nodes, 256 files per node, hierarchical network
+# ---------------------------------------------------------------------------
+
+def run_fig6(full=False, print_report=False, nodes=None, files_per_node=256):
+    """Operation times on the large hierarchical cluster, GPFS vs COFS."""
+    nodes = nodes or (64 if _full(full) else 32)
+    results = {}
+    for system in ("pfs", "cofs"):
+        res = _metarates(system, nodes, files_per_node, OPS,
+                         topology="hier")
+        for op in OPS:
+            results[(system, op)] = res.mean_ms(op)
+    out = {"nodes": nodes, "files_per_node": files_per_node,
+           "results": results}
+    if print_report:
+        rows = [
+            [op, results[("pfs", op)], results[("cofs", op)]]
+            for op in OPS
+        ]
+        print(format_table(
+            ["operation", "gpfs ms/op", "cofs ms/op"], rows,
+            title=(f"Fig 6 — {nodes} nodes, {files_per_node} files/node "
+                   "(shared dir)"),
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# EXP-T1 — Table I: impact of COFS on data transfers (IOR)
+# ---------------------------------------------------------------------------
+
+def run_table1(full=False, print_report=False):
+    """IOR read/write bandwidth, GPFS vs COFS, per Table I's matrix."""
+    sizes = (256 * MB, 1 * GB, 4 * GB) if _full(full) else (256 * MB, 1 * GB)
+    node_counts = (1, 4, 8)
+    cells = {}
+    for target in ("separate", "shared"):
+        for pattern in ("seq", "random"):
+            for nodes in node_counts:
+                for agg in sizes:
+                    for system in ("pfs", "cofs"):
+                        stack = _stack(system, nodes)
+                        result = run_ior(stack, IorConfig(
+                            nodes=nodes, aggregate_bytes=agg,
+                            pattern=pattern, target=target,
+                        ))
+                        key = (target, pattern, nodes, agg, system)
+                        cells[key] = (result.write_mbps, result.read_mbps)
+    out = {"sizes": sizes, "nodes": node_counts, "cells": cells}
+    if print_report:
+        rows = []
+        for target in ("separate", "shared"):
+            for pattern in ("seq", "random"):
+                for nodes in node_counts:
+                    for agg in sizes:
+                        g = cells[(target, pattern, nodes, agg, "pfs")]
+                        c = cells[(target, pattern, nodes, agg, "cofs")]
+                        rows.append([
+                            target, pattern, nodes, agg // MB,
+                            g[0], c[0], g[1], c[1],
+                        ])
+        print(format_table(
+            ["target", "pattern", "nodes", "MB total",
+             "gpfs w MB/s", "cofs w MB/s", "gpfs r MB/s", "cofs r MB/s"],
+            rows, title="Table I — IOR aggregate bandwidth",
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# EXP-A1 — ablation: placement policy variants
+# ---------------------------------------------------------------------------
+
+def run_ablation_placement(full=False, print_report=False):
+    """Isolate what the placement policy contributes.
+
+    - identity: pure interposition, no reorganization (the virtualization
+      overhead with none of its benefit);
+    - hash: per-(node, parent, pid) directories, no randomization level;
+    - hash+rand: the paper's policy.
+    """
+    nodes = 4
+    fpn = 512 if _full(full) else 256
+    variants = {}
+    cfg = CofsConfig()
+    variants["identity"] = IdentityPlacementPolicy(cfg)
+    variants["hash"] = HashPlacementPolicy(cfg, randomize=False)
+    variants["hash+rand"] = HashPlacementPolicy(cfg, randomize=True)
+    results = {}
+    baseline = _metarates("pfs", nodes, fpn, ("create", "stat"))
+    results[("gpfs", "create")] = baseline.mean_ms("create")
+    results[("gpfs", "stat")] = baseline.mean_ms("stat")
+    for name, policy in variants.items():
+        res = _metarates("cofs", nodes, fpn, ("create", "stat"),
+                         policy=policy)
+        results[(name, "create")] = res.mean_ms("create")
+        results[(name, "stat")] = res.mean_ms("stat")
+    out = {"results": results, "nodes": nodes, "files_per_node": fpn}
+    if print_report:
+        rows = [
+            [name, results[(name, "create")], results[(name, "stat")]]
+            for name in ("gpfs", "identity", "hash", "hash+rand")
+        ]
+        print(format_table(
+            ["layout policy", "create ms/op", "stat ms/op"], rows,
+            title=f"Ablation — placement policy ({nodes} nodes)",
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# EXP-A2 — ablation: metadata-service durability
+# ---------------------------------------------------------------------------
+
+def run_ablation_mds(full=False, print_report=False):
+    """Sync vs async metadata-service logging (Mnesia dump policy)."""
+    nodes = 4
+    fpn = 512 if _full(full) else 256
+    results = {}
+    for mode, sync in (("sync-log", True), ("async-log", False)):
+        cofs_cfg = CofsConfig(db=DbConfig(sync_updates=sync))
+        res = _metarates("cofs", nodes, fpn, ("create", "utime"),
+                         cofs_config=cofs_cfg)
+        results[(mode, "create")] = res.mean_ms("create")
+        results[(mode, "utime")] = res.mean_ms("utime")
+    out = {"results": results, "nodes": nodes, "files_per_node": fpn}
+    if print_report:
+        rows = [
+            [mode, results[(mode, "create")], results[(mode, "utime")]]
+            for mode in ("sync-log", "async-log")
+        ]
+        print(format_table(
+            ["MDS durability", "create ms/op", "utime ms/op"], rows,
+            title=f"Ablation — metadata service logging ({nodes} nodes)",
+        ))
+    return out
+
+
+EXPERIMENTS = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig5b": run_fig5b,
+    "fig6": run_fig6,
+    "table1": run_table1,
+    "ablation-placement": run_ablation_placement,
+    "ablation-mds": run_ablation_mds,
+}

@@ -1,0 +1,47 @@
+"""ASCII reporting in the layout of the paper's figures and tables."""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned text table; rows are sequences matching headers."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.2f}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title, xlabel, ylabel, series):
+    """Render several (x, y) series as a compact table.
+
+    ``series`` maps a label to a list of (x, y) pairs; all series are shown
+    against the union of x values, in the paper's "values along the sweep"
+    style.
+    """
+    xs = sorted({x for points in series.values() for x, _y in points})
+    headers = [xlabel] + list(series)
+    rows = []
+    for x in xs:
+        row = [x]
+        for label in series:
+            lookup = dict(series[label])
+            value = lookup.get(x)
+            row.append(value if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=f"{title}  [{ylabel}]")
+
+
+def speedup(baseline, improved):
+    """baseline/improved, guarding zero."""
+    if improved <= 0:
+        return float("inf")
+    return baseline / improved

@@ -1,0 +1,81 @@
+"""Full system stacks: bare parallel FS, and COFS over it.
+
+A *stack* owns everything mounted on a testbed and hands out per-(node,
+process) VFS mounts for workloads.  For the bare parallel FS, processes on a
+node share the node's client (kernel filesystems are per node).  For COFS,
+each process gets its own view of the node's FUSE mount because the
+placement driver hashes the *creating process* into the underlying path
+(paper §III-B).
+"""
+
+from repro.core.cofs import CofsFileSystem
+from repro.core.config import CofsConfig
+from repro.core.metadriver import MetadataDriver
+from repro.core.metaservice import MetadataService
+from repro.fuse.mount import FuseConfig, FuseMount
+from repro.pfs.config import PfsConfig
+from repro.pfs.filesystem import Pfs
+
+
+class PfsStack:
+    """The baseline: clients mount the parallel FS directly."""
+
+    system = "pfs"
+
+    def __init__(self, testbed, config=None):
+        self.testbed = testbed
+        self.config = config or PfsConfig()
+        self.pfs = Pfs(testbed.sim, testbed.servers, self.config)
+        self._mounts = [self.pfs.client(m) for m in testbed.clients]
+
+    def mount(self, node_index, pid=0):
+        """The VFS for process ``pid`` on node ``node_index``."""
+        return self._mounts[node_index]
+
+    @property
+    def n_nodes(self):
+        return len(self._mounts)
+
+
+class CofsStack:
+    """COFS over the parallel FS, under a FUSE mount on every node."""
+
+    system = "cofs"
+
+    def __init__(self, testbed, pfs_config=None, cofs_config=None,
+                 fuse_config=None, policy=None):
+        if testbed.mds is None:
+            raise ValueError("COFS needs a testbed built with with_mds=True")
+        self.testbed = testbed
+        self.pfs_config = pfs_config or PfsConfig()
+        self.cofs_config = cofs_config or CofsConfig()
+        self.fuse_config = fuse_config or FuseConfig()
+        self.pfs = Pfs(testbed.sim, testbed.servers, self.pfs_config)
+        self.mds = MetadataService(
+            testbed.mds, self.cofs_config, policy=policy,
+            streams=testbed.streams,
+        )
+        self._underlying = [self.pfs.client(m) for m in testbed.clients]
+        self._drivers = [
+            MetadataDriver(m, testbed.mds, self.cofs_config)
+            for m in testbed.clients
+        ]
+        self._views = {}
+
+    def mount(self, node_index, pid=0):
+        """The FUSE-mounted COFS view for process ``pid`` on a node."""
+        key = (node_index, pid)
+        view = self._views.get(key)
+        if view is None:
+            machine = self.testbed.clients[node_index]
+            cofs = CofsFileSystem(
+                machine, self._underlying[node_index],
+                self._drivers[node_index], self.cofs_config, pid=pid,
+            )
+            view = FuseMount(machine, cofs, self.fuse_config)
+            self._views[key] = view
+        return view
+
+    @property
+    def n_nodes(self):
+        return len(self._underlying)

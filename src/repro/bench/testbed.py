@@ -1,0 +1,112 @@
+"""Simulated testbeds matching the paper's hardware.
+
+The base testbed (paper §II-A): IBM JS20 blades (2 CPUs each) in a blade
+center with an internal 1 Gb switch; two Intel storage servers attached to
+the blade center by a 1 Gb link each.  The 64-node experiment (paper §IV-A)
+chains additional blade centers through extra switches, so remote blades
+cross several (shared) uplinks to reach the file servers.
+
+An optional extra machine hosts the COFS metadata service, with a local disk
+(the paper used a 25 GB ext3-formatted disk on one blade).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Machine
+from repro.net.topology import Topology
+from repro.net.transport import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rand import RandomStreams
+from repro.units import gbps
+
+#: one-way propagation + forwarding latency per hop (ms)
+HOP_LATENCY_MS = 0.04
+#: link speed inside and between blade centers (1 GbE)
+LINK_BW = gbps(1.0)
+
+
+@dataclass
+class Testbed:
+    """A built cluster: simulator, network, machines."""
+
+    sim: Simulator
+    topology: Topology
+    network: Network
+    clients: list = field(default_factory=list)
+    servers: list = field(default_factory=list)
+    mds: Machine = None
+    streams: RandomStreams = None
+
+
+def build_flat_testbed(n_clients, n_servers=2, with_mds=False, seed=0,
+                       client_cpus=2):
+    """One blade center: ``n_clients`` blades + servers on a single switch."""
+    sim = Simulator()
+    topo = Topology(sim)
+    net = Network(sim, topo)
+    switch = topo.add_switch("bc0.sw")
+    clients = []
+    for i in range(n_clients):
+        host = topo.add_host(f"node{i}")
+        topo.add_link(host, switch, bandwidth=LINK_BW, latency=HOP_LATENCY_MS)
+        clients.append(Machine(sim, net, host, cpus=client_cpus))
+    servers = []
+    for i in range(n_servers):
+        host = topo.add_host(f"server{i}")
+        topo.add_link(host, switch, bandwidth=LINK_BW, latency=HOP_LATENCY_MS)
+        servers.append(Machine(sim, net, host, cpus=2))
+    mds = None
+    if with_mds:
+        host = topo.add_host("mds")
+        topo.add_link(host, switch, bandwidth=LINK_BW, latency=HOP_LATENCY_MS)
+        mds = Machine(sim, net, host, cpus=2)
+    return Testbed(
+        sim=sim, topology=topo, network=net, clients=clients,
+        servers=servers, mds=mds, streams=RandomStreams(seed),
+    )
+
+
+def build_hier_testbed(n_clients, blades_per_bc=8, n_servers=2,
+                       with_mds=False, seed=0, client_cpus=2):
+    """Chained blade centers (the paper's 64-node configuration).
+
+    Blade center 0 holds the file servers; further centers are daisy-chained
+    through 1 Gb uplinks, so blades in center *k* cross *k* extra switches
+    (and share those uplinks) to reach the servers.
+    """
+    sim = Simulator()
+    topo = Topology(sim)
+    net = Network(sim, topo)
+    n_bcs = (n_clients + blades_per_bc - 1) // blades_per_bc
+    switches = []
+    for bc in range(n_bcs):
+        switch = topo.add_switch(f"bc{bc}.sw")
+        switches.append(switch)
+        if bc > 0:
+            topo.add_link(
+                switches[bc - 1], switch,
+                bandwidth=LINK_BW, latency=HOP_LATENCY_MS,
+            )
+    clients = []
+    for i in range(n_clients):
+        bc = i // blades_per_bc
+        host = topo.add_host(f"node{i}")
+        topo.add_link(host, switches[bc], bandwidth=LINK_BW,
+                      latency=HOP_LATENCY_MS)
+        clients.append(Machine(sim, net, host, cpus=client_cpus))
+    servers = []
+    for i in range(n_servers):
+        host = topo.add_host(f"server{i}")
+        topo.add_link(host, switches[0], bandwidth=LINK_BW,
+                      latency=HOP_LATENCY_MS)
+        servers.append(Machine(sim, net, host, cpus=2))
+    mds = None
+    if with_mds:
+        host = topo.add_host("mds")
+        topo.add_link(host, switches[0], bandwidth=LINK_BW,
+                      latency=HOP_LATENCY_MS)
+        mds = Machine(sim, net, host, cpus=2)
+    return Testbed(
+        sim=sim, topology=topo, network=net, clients=clients,
+        servers=servers, mds=mds, streams=RandomStreams(seed),
+    )

@@ -1,0 +1,14 @@
+"""Cluster substrate: machines with CPUs, disks and registered services.
+
+A :class:`Machine` is a blade or server in the simulated testbed: it owns CPU
+slots (for explicit compute charging), optional local disks, and a registry
+of named services whose coroutine methods are the targets of network RPCs.
+:class:`Disk` models seek + transfer costs; :class:`GroupCommitLog` models a
+write-ahead log whose forces batch concurrent committers (the group-commit
+behaviour that shapes parallel create times in the paper's experiments).
+"""
+
+from repro.cluster.disk import Disk, GroupCommitLog
+from repro.cluster.machine import Machine
+
+__all__ = ["Disk", "GroupCommitLog", "Machine"]

@@ -1,0 +1,86 @@
+"""Simulated machines (blades, file servers, the metadata-service node)."""
+
+from repro.net.transport import RemoteError
+from repro.sim.resources import Resource
+
+
+class Machine:
+    """A computing element attached to the topology.
+
+    - ``cpu`` is a :class:`Resource` with one slot per core; services charge
+      compute with :meth:`compute`.
+    - ``services`` maps a name to any object whose coroutine methods handle
+      RPCs (see :meth:`repro.net.transport.Network.rpc`).
+    - ``disks`` holds named local :class:`~repro.cluster.disk.Disk` objects.
+    """
+
+    def __init__(self, sim, network, host, cpus=2, name=None):
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.name = name or host
+        self.cpu = Resource(sim, capacity=cpus)
+        self.services = {}
+        self.disks = {}
+
+    def __repr__(self):
+        return f"<Machine {self.name}>"
+
+    # -- service registry -----------------------------------------------------
+
+    def register(self, name, service):
+        """Expose ``service`` under ``name`` for incoming RPCs."""
+        if name in self.services:
+            raise ValueError(f"machine {self.name}: duplicate service {name!r}")
+        self.services[name] = service
+        return service
+
+    def handler(self, service, method):
+        """Resolve the coroutine handler for ``service.method``."""
+        svc = self.services.get(service)
+        if svc is None:
+            raise RemoteError(f"machine {self.name}: no service {service!r}")
+        handler = getattr(svc, method, None)
+        if handler is None or not callable(handler):
+            raise RemoteError(
+                f"machine {self.name}: service {service!r} has no method {method!r}"
+            )
+        return handler
+
+    # -- local hardware ---------------------------------------------------------
+
+    def add_disk(self, name, disk):
+        """Attach a local disk under ``name``."""
+        if name in self.disks:
+            raise ValueError(f"machine {self.name}: duplicate disk {name!r}")
+        self.disks[name] = disk
+        return disk
+
+    #: computes below this duration on an idle CPU skip queue bookkeeping
+    #: (they model fixed op overheads, not contended service times).
+    FAST_COMPUTE_MS = 0.2
+
+    def compute(self, duration):
+        """Coroutine: occupy one CPU slot for ``duration`` ms (FIFO queued)."""
+        if duration <= 0:
+            return
+        if (
+            duration < self.FAST_COMPUTE_MS
+            and len(self.cpu.users) < self.cpu.capacity
+            and not self.cpu.queue
+        ):
+            yield self.sim.timeout(duration)
+            return
+        with self.cpu.request() as claim:
+            yield claim
+            yield self.sim.timeout(duration)
+
+    # -- communication ----------------------------------------------------------
+
+    def call(self, dst, service, method, args=(), kwargs=None,
+             req_size=512, resp_size=512):
+        """Coroutine: RPC from this machine to ``dst`` (zero-cost if local)."""
+        return self.network.rpc(
+            self, dst, service, method, args=args, kwargs=kwargs,
+            req_size=req_size, resp_size=resp_size,
+        )

@@ -1,0 +1,45 @@
+"""COFS — the COmposite File System (the paper's contribution).
+
+COFS decouples three things the underlying parallel FS couples together
+(paper §III): the user-visible file hierarchy, metadata handling, and the
+physical placement of files.
+
+- The **placement driver** (:mod:`repro.core.placement`) maps every new
+  regular file into an underlying directory chosen by hashing the creating
+  node, the virtual parent directory and the creating process, plus a
+  randomization sublevel, with underlying directories capped at 512 entries.
+  Shared-directory parallel workloads become per-node private small
+  directories — exactly the regime the underlying FS is optimized for.
+- The **metadata service** (:mod:`repro.core.metaservice`) keeps the virtual
+  namespace and file attributes in database tables (Mnesia in the paper,
+  :mod:`repro.db` here) on a dedicated node.  It stores *no* block/location
+  information: data operations never touch it.
+- The **metadata driver** (:mod:`repro.core.metadriver`) is the client-side
+  stub forwarding namespace/attribute operations to the service.
+- :class:`~repro.core.cofs.CofsFileSystem` ties these together behind the
+  same VFS interface as the bare parallel FS; mount it under
+  :class:`~repro.fuse.FuseMount` to charge the user-space interposition
+  costs, as the paper's prototype did.
+"""
+
+from repro.core.cofs import CofsFileSystem
+from repro.core.config import CofsConfig
+from repro.core.metadriver import MetadataDriver
+from repro.core.metaservice import MetadataService
+from repro.core.placement import (
+    HashPlacementPolicy,
+    IdentityPlacementPolicy,
+    PlacementPolicy,
+    RandomSpreadPolicy,
+)
+
+__all__ = [
+    "CofsConfig",
+    "CofsFileSystem",
+    "HashPlacementPolicy",
+    "IdentityPlacementPolicy",
+    "MetadataDriver",
+    "MetadataService",
+    "PlacementPolicy",
+    "RandomSpreadPolicy",
+]

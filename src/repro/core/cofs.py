@@ -1,0 +1,284 @@
+"""The COFS filesystem: virtual namespace over a reorganized layout.
+
+Implements the shared VFS interface by routing metadata operations to the
+metadata service and data operations to the underlying parallel-FS client,
+through the paths the placement driver assigned at creation time.  Mounted
+under :class:`~repro.fuse.FuseMount` it is the complete system of the
+paper's Fig. 3.
+
+Notable consequences of the design, visible in this class:
+
+- ``rename`` and ``link`` never touch the underlying file system (the
+  underlying path of a file never changes; hard links are two virtual names
+  for one underlying object);
+- ``stat`` of a file nobody is writing never touches the underlying file
+  system either — it is one round trip to the metadata service;
+- underlying *bucket* directories are created lazily, once per bucket per
+  node, and their cost amortizes over the (up to) 512 files placed there.
+"""
+
+import itertools
+
+from repro.pfs.errors import FsError
+from repro.pfs.types import DIRECTORY, FILE, SYMLINK, FileAttr, OpenFlags
+from repro.pfs.vfs import FileSystemApi
+
+
+class _CofsHandle:
+    __slots__ = ("fh", "vino", "upath", "ufh", "flags", "wrote", "max_end")
+
+    def __init__(self, fh, vino, upath, ufh, flags):
+        self.fh = fh
+        self.vino = vino
+        self.upath = upath
+        self.ufh = ufh
+        self.flags = flags
+        self.wrote = False
+        self.max_end = 0
+
+
+class CofsFileSystem(FileSystemApi):
+    """One node's COFS view (the userspace daemon's core logic)."""
+
+    def __init__(self, machine, underlying, driver, config, pid=0):
+        self.machine = machine
+        self.sim = machine.sim
+        self.underlying = underlying
+        self.driver = driver
+        self.config = config
+        self.pid = pid
+        self.uid = getattr(underlying, "uid", 0)
+        self.gid = getattr(underlying, "gid", 0)
+        self._handles = {}
+        self._fh_counter = itertools.count(1)
+        self._known_dirs = set()
+
+    @property
+    def node(self):
+        return self.machine.name
+
+    def _now(self):
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _attr_from_view(self, view, size=None, mtime=None, atime=None):
+        return FileAttr(
+            ino=view["vino"], kind=view["kind"], mode=view["mode"],
+            uid=view["uid"], gid=view["gid"],
+            size=view["size"] if size is None else size,
+            nlink=view["nlink"],
+            atime=view["atime"] if atime is None else atime,
+            mtime=view["mtime"] if mtime is None else mtime,
+            ctime=view["ctime"],
+        )
+
+    def _ensure_bucket_dirs(self, upath):
+        """Coroutine: make sure the bucket path for ``upath`` exists below."""
+        bucket, _slash, _leaf = upath.rpartition("/")
+        if bucket in self._known_dirs:
+            return
+        parts = bucket.strip("/").split("/")
+        prefix = ""
+        for part in parts:
+            prefix = f"{prefix}/{part}"
+            if prefix in self._known_dirs:
+                continue
+            try:
+                yield from self.underlying.mkdir(prefix)
+            except FsError as exc:
+                if exc.code != "EEXIST":
+                    raise
+            self._known_dirs.add(prefix)
+
+    def _new_handle(self, vino, upath, ufh, flags):
+        fh = next(self._fh_counter)
+        self._handles[fh] = _CofsHandle(fh, vino, upath, ufh, flags)
+        return fh
+
+    def _handle(self, fh):
+        handle = self._handles.get(fh)
+        if handle is None:
+            raise FsError.ebadf(fh)
+        return handle
+
+    # ------------------------------------------------------------------
+    # namespace operations (metadata service only)
+    # ------------------------------------------------------------------
+
+    def mkdir(self, path, mode=0o755):
+        yield from self.driver.call(
+            "create_node", path, DIRECTORY, mode, self.uid, self.gid,
+            self.node, self.pid, self._now(),
+        )
+
+    def rmdir(self, path):
+        yield from self.driver.call("rmdir", path, self._now())
+
+    def symlink(self, target, path):
+        yield from self.driver.call(
+            "create_node", path, SYMLINK, 0o777, self.uid, self.gid,
+            self.node, self.pid, self._now(), target,
+        )
+
+    def readlink(self, path):
+        target = yield from self.driver.call("readlink", path)
+        return target
+
+    def readdir(self, path):
+        names = yield from self.driver.call("readdir", path)
+        return names
+
+    def rename(self, old, new):
+        replaced_upath, last = yield from self.driver.call(
+            "rename", old, new, self._now()
+        )
+        if last and replaced_upath is not None:
+            yield from self.underlying.unlink(replaced_upath)
+
+    def link(self, src, dst):
+        yield from self.driver.call("link", src, dst, self._now())
+
+    def stat(self, path):
+        view = yield from self.driver.call("getattr", path)
+        if view["delegated"] and view["upath"] is not None:
+            uattr = yield from self.underlying.stat(view["upath"])
+            return self._attr_from_view(
+                view, size=uattr.size, mtime=uattr.mtime, atime=uattr.atime
+            )
+        return self._attr_from_view(view)
+
+    def utime(self, path, atime=None, mtime=None):
+        now = self._now()
+        yield from self.driver.call(
+            "setattr", path,
+            {"atime": now if atime is None else atime,
+             "mtime": now if mtime is None else mtime},
+            now,
+        )
+
+    def chmod(self, path, mode):
+        yield from self.driver.call(
+            "setattr", path, {"mode": mode}, self._now()
+        )
+
+    def chown(self, path, uid, gid):
+        yield from self.driver.call(
+            "setattr", path, {"uid": uid, "gid": gid}, self._now()
+        )
+
+    def statfs(self):
+        """Namespace stats from the MDS merged with underlying capacity."""
+        mds_stats = yield from self.driver.call("statfs")
+        under = yield from self.underlying.statfs()
+        merged = dict(under)
+        merged["files"] = mds_stats["files"]
+        merged["virtual_directories"] = mds_stats["directories"]
+        return merged
+
+    # ------------------------------------------------------------------
+    # files: create/open/close and the data passthrough
+    # ------------------------------------------------------------------
+
+    def create(self, path, mode=0o644):
+        view = yield from self.driver.call(
+            "create_node", path, FILE, mode, self.uid, self.gid,
+            self.node, self.pid, self._now(),
+        )
+        upath = view["upath"]
+        yield from self._ensure_bucket_dirs(upath)
+        ufh = yield from self.underlying.create(upath, mode)
+        return self._new_handle(
+            view["vino"], upath, ufh, OpenFlags.WRONLY | OpenFlags.CREAT
+        )
+
+    def open(self, path, flags=0):
+        for_write = OpenFlags.wants_write(flags)
+        try:
+            view = yield from self.driver.call(
+                "open_map", path, for_write, self._now()
+            )
+        except FsError as exc:
+            if exc.code == "ENOENT" and flags & OpenFlags.CREAT:
+                fh = yield from self.create(path)
+                handle = self._handle(fh)
+                handle.flags = flags
+                return fh
+            raise
+        if flags & OpenFlags.CREAT and flags & OpenFlags.EXCL:
+            raise FsError.eexist(path)
+        if view["kind"] == DIRECTORY:
+            if for_write:
+                raise FsError.eisdir(path)
+            return self._new_handle(view["vino"], None, None, flags)
+        upath = view["upath"]
+        if flags & OpenFlags.TRUNC and view["kind"] == FILE:
+            yield from self.underlying.truncate(upath, 0)
+            yield from self.driver.call(
+                "setattr", path, {"size": 0}, self._now()
+            )
+        # The underlying file is opened lazily, on the first data access:
+        # an open/close pair with no I/O (ubiquitous in metadata-heavy
+        # workloads) never touches the underlying file system, which is why
+        # the paper's COFS open/close times track its stat times.
+        return self._new_handle(view["vino"], upath, None, flags)
+
+    def _ensure_ufh(self, handle):
+        """Coroutine: open the underlying file for ``handle`` if needed."""
+        if handle.ufh is None:
+            if handle.upath is None:
+                raise FsError.eisdir(f"fh {handle.fh}")
+            under_flags = handle.flags & ~(OpenFlags.CREAT | OpenFlags.EXCL)
+            handle.ufh = yield from self.underlying.open(
+                handle.upath, under_flags
+            )
+        return handle.ufh
+
+    def close(self, fh):
+        handle = self._handle(fh)
+        if handle.ufh is not None:
+            yield from self.underlying.close(handle.ufh)
+        if handle.wrote:
+            yield from self.driver.call(
+                "close_sync", handle.vino, handle.max_end, self._now(),
+                self._now(),
+            )
+        del self._handles[fh]
+
+    def read(self, fh, offset, size, want_data=False):
+        handle = self._handle(fh)
+        ufh = yield from self._ensure_ufh(handle)
+        result = yield from self.underlying.read(
+            ufh, offset, size, want_data=want_data
+        )
+        return result
+
+    def write(self, fh, offset, size=None, data=None):
+        handle = self._handle(fh)
+        ufh = yield from self._ensure_ufh(handle)
+        written = yield from self.underlying.write(
+            ufh, offset, size=size, data=data
+        )
+        handle.wrote = True
+        handle.max_end = max(handle.max_end, offset + written)
+        return written
+
+    def fsync(self, fh):
+        handle = self._handle(fh)
+        if handle.ufh is not None:
+            yield from self.underlying.fsync(handle.ufh)
+
+    def unlink(self, path):
+        upath, last = yield from self.driver.call("unlink", path, self._now())
+        if last and upath is not None:
+            yield from self.underlying.unlink(upath)
+
+    def truncate(self, path, size):
+        view = yield from self.driver.call("getattr", path)
+        if view["kind"] == DIRECTORY:
+            raise FsError.eisdir(path)
+        if view["upath"] is not None:
+            yield from self.underlying.truncate(view["upath"], size)
+        yield from self.driver.call("setattr", path, {"size": size}, self._now())

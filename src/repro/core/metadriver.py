@@ -1,0 +1,19 @@
+"""The client-side metadata driver: the stub talking to the MDS."""
+
+
+class MetadataDriver:
+    """Forwards metadata requests from one client node to the service."""
+
+    def __init__(self, machine, mds_machine, config):
+        self.machine = machine
+        self.mds_machine = mds_machine
+        self.config = config
+        self.calls = 0
+
+    def call(self, method, *args):
+        """Coroutine: one RPC to the metadata service."""
+        self.calls += 1
+        return self.machine.call(
+            self.mds_machine, "cofsmds", method, args=args,
+            req_size=self.config.rpc_bytes, resp_size=self.config.rpc_bytes,
+        )

@@ -1,0 +1,452 @@
+"""The COFS metadata service.
+
+A dedicated node runs the virtual-namespace authority: database tables for
+inodes, directory entries and placement counters (Mnesia tables in the
+paper).  Pure metadata operations are transactions against these tables —
+*never* against the underlying file system — and the service keeps no
+block-location information whatsoever: the only link to the data is the
+underlying path assigned by the placement policy at creation time.
+
+Read transactions cost CPU only; update transactions also force the
+database log on the service node's local disk (group-committed).  This is
+the cost asymmetry behind the paper's COFS numbers: stat ≈ 1 ms (round trip
++ query) versus utime ≈ 4 ms (round trip + query + log force).
+
+Attribute delegation: while a file is open for writing somewhere, its size
+and times change underneath COFS without the service seeing them ("there is
+no need to contact the COFS metadata server if a file is written or
+resized", §V).  The service marks such files *delegated*; a stat of a
+delegated file merges the underlying file's size/times, and the close of
+the writing handle syncs them back.
+"""
+
+import itertools
+
+from repro.cluster.disk import Disk
+from repro.core.placement import HashPlacementPolicy
+from repro.db import Database, DbService
+from repro.pfs.errors import FsError
+from repro.pfs.types import DIRECTORY, FILE, SYMLINK, components, split
+
+_MAX_SYMLINK_DEPTH = 8
+
+
+class MetadataService:
+    """The MDS: runs on its own machine, registered as service ``cofsmds``."""
+
+    def __init__(self, machine, config, policy=None, streams=None):
+        self.machine = machine
+        self.sim = machine.sim
+        self.config = config
+        self.policy = policy or HashPlacementPolicy(config)
+        rng_source = streams.stream("cofs.placement") if streams else None
+        if rng_source is None:
+            import random
+
+            rng_source = random.Random(0x0C0F5)
+        self.rng = rng_source
+        disk = Disk(
+            self.sim, f"{machine.name}:ext3",
+            seek_ms=config.mds_disk_seek_ms, bandwidth=config.mds_disk_bw,
+        )
+        machine.add_disk("ext3", disk)
+        database = Database("cofsmeta")
+        database.create_table("inodes", key="vino")
+        database.create_table("dentries", key="key", indexes=("parent",))
+        database.create_table("buckets", key="path")
+        self.dbsvc = DbService(machine, database, disk, config.db)
+        self._vino = itertools.count(1)
+        self._bootstrap_root()
+        self.dbsvc.journal.mark_durable()  # schema + root survive any crash
+        machine.register("cofsmds", self)
+
+    @property
+    def db(self):
+        """The live database (rebuilt in place after a crash recovery)."""
+        return self.dbsvc.db
+
+    def _bootstrap_root(self):
+        root_vino = next(self._vino)
+        self.root_vino = root_vino
+        self.db.transaction(
+            lambda txn: txn.insert("inodes", {
+                "vino": root_vino, "kind": DIRECTORY, "mode": 0o755,
+                "uid": 0, "gid": 0, "nlink": 2, "size": 0,
+                "atime": 0.0, "mtime": 0.0, "ctime": 0.0,
+                "target": None, "upath": None, "delegated": False,
+            })
+        )
+
+    def _dispatch(self):
+        return self.machine.compute(self.config.mds_dispatch_cpu_ms)
+
+    # ------------------------------------------------------------------
+    # in-transaction helpers (synchronous; run inside a txn body)
+    # ------------------------------------------------------------------
+
+    def _txn_resolve(self, txn, path, follow=True, _depth=0):
+        """Walk ``path`` through the dentry table; returns the inode row."""
+        if _depth > _MAX_SYMLINK_DEPTH:
+            raise FsError.einval(f"too many levels of symbolic links: {path}")
+        row = txn.read("inodes", self.root_vino)
+        parts = components(path)
+        for index, name in enumerate(parts):
+            if row["kind"] != DIRECTORY:
+                raise FsError.enotdir(path)
+            dentry = txn.read("dentries", (row["vino"], name))
+            if dentry is None:
+                raise FsError.enoent(path)
+            child = txn.read("inodes", dentry["vino"])
+            if child is None:
+                raise FsError.enoent(path)
+            last = index == len(parts) - 1
+            if child["kind"] == SYMLINK and (follow or not last):
+                target = child["target"]
+                if not target.startswith("/"):
+                    target = "/" + "/".join(parts[:index]) + "/" + target
+                rest = "/".join(parts[index + 1:])
+                if rest:
+                    target = f"{target}/{rest}"
+                return self._txn_resolve(txn, target, follow, _depth + 1)
+            row = child
+        return row
+
+    def _txn_resolve_parent(self, txn, path):
+        parent_path, name = split(path)
+        if not name:
+            raise FsError.einval(f"path has no leaf component: {path}")
+        parent = self._txn_resolve(txn, parent_path)
+        if parent["kind"] != DIRECTORY:
+            raise FsError.enotdir(parent_path)
+        return parent, name
+
+    def _txn_assign_bucket(self, txn, node, parent_vino, pid):
+        """Pick (and count) the underlying directory for a new file."""
+        cap = self.config.max_entries_per_dir
+        bucket = self.policy.bucket_for(node, parent_vino, pid, self.rng)
+        overflow = self.policy.overflow_candidates(bucket)
+        chosen = None
+        for candidate in itertools.chain([bucket], overflow):
+            row = txn.read("buckets", candidate) or {"path": candidate, "count": 0}
+            if cap <= 0 or not overflow or row["count"] < cap:
+                row["count"] += 1
+                txn.write("buckets", row)
+                chosen = candidate
+                break
+        if chosen is None:  # pragma: no cover - overflow space exhausted
+            raise FsError.einval("placement space exhausted")
+        return chosen
+
+    def _attr_view(self, row):
+        """The wire form of an inode row (a plain dict)."""
+        return {
+            "vino": row["vino"], "kind": row["kind"], "mode": row["mode"],
+            "uid": row["uid"], "gid": row["gid"], "nlink": row["nlink"],
+            "size": row["size"], "atime": row["atime"], "mtime": row["mtime"],
+            "ctime": row["ctime"], "upath": row["upath"],
+            "delegated": row["delegated"], "target": row["target"],
+        }
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+
+    def getattr(self, path):
+        yield from self._dispatch()
+        row = yield from self.dbsvc.execute(
+            lambda txn: self._txn_resolve(txn, path)
+        )
+        return self._attr_view(row)
+
+    def create_node(self, path, kind, mode, uid, gid, node, pid, now,
+                    target=None):
+        """Create a file/directory/symlink in the virtual namespace.
+
+        For regular files, assigns the underlying path via the placement
+        policy.  Returns the new inode's wire view.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            parent, name = self._txn_resolve_parent(txn, path)
+            if txn.read("dentries", (parent["vino"], name)) is not None:
+                raise FsError.eexist(path)
+            vino = next(self._vino)
+            upath = None
+            if kind == FILE:
+                bucket = self._txn_assign_bucket(txn, node, parent["vino"], pid)
+                upath = f"{bucket}/v{vino:08d}"
+            row = {
+                "vino": vino, "kind": kind, "mode": mode, "uid": uid,
+                "gid": gid, "nlink": 2 if kind == DIRECTORY else 1,
+                "size": 0, "atime": now, "mtime": now, "ctime": now,
+                "target": target, "upath": upath, "delegated": False,
+            }
+            txn.insert("inodes", row)
+            txn.insert("dentries", {
+                "key": (parent["vino"], name), "parent": parent["vino"],
+                "name": name, "vino": vino,
+            })
+            parent["mtime"] = parent["ctime"] = now
+            if kind == DIRECTORY:
+                parent["nlink"] += 1
+            txn.write("inodes", parent)
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def setattr(self, path, changes, now):
+        """Update mode/uid/gid/times of the object at ``path``."""
+        yield from self._dispatch()
+        allowed = {"mode", "uid", "gid", "atime", "mtime", "size"}
+        bad = set(changes) - allowed
+        if bad:
+            raise FsError.einval(f"setattr of non-settable fields: {bad}")
+
+        def body(txn):
+            row = self._txn_resolve(txn, path)
+            row.update(changes)
+            row["ctime"] = now
+            txn.write("inodes", row)
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def unlink(self, path, now):
+        """Remove a non-directory name; returns (upath, last_link)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            parent, name = self._txn_resolve_parent(txn, path)
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                raise FsError.enoent(path)
+            row = txn.read("inodes", dentry["vino"])
+            if row["kind"] == DIRECTORY:
+                raise FsError.eisdir(path)
+            txn.delete("dentries", (parent["vino"], name))
+            row["nlink"] -= 1
+            row["ctime"] = now
+            last = row["nlink"] <= 0
+            if last:
+                txn.delete("inodes", row["vino"])
+                if row["upath"] is not None:
+                    bucket, _slash, _leaf = row["upath"].rpartition("/")
+                    brow = txn.read("buckets", bucket)
+                    if brow is not None:
+                        brow["count"] = max(0, brow["count"] - 1)
+                        txn.write("buckets", brow)
+            else:
+                txn.write("inodes", row)
+            parent["mtime"] = parent["ctime"] = now
+            txn.write("inodes", parent)
+            return (row["upath"], last)
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def rmdir(self, path, now):
+        yield from self._dispatch()
+
+        def body(txn):
+            parent, name = self._txn_resolve_parent(txn, path)
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                raise FsError.enoent(path)
+            row = txn.read("inodes", dentry["vino"])
+            if row["kind"] != DIRECTORY:
+                raise FsError.enotdir(path)
+            if txn.index_read("dentries", "parent", row["vino"]):
+                raise FsError.enotempty(path)
+            txn.delete("dentries", (parent["vino"], name))
+            txn.delete("inodes", row["vino"])
+            parent["nlink"] -= 1
+            parent["mtime"] = parent["ctime"] = now
+            txn.write("inodes", parent)
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def readdir(self, path):
+        yield from self._dispatch()
+
+        def body(txn):
+            row = self._txn_resolve(txn, path)
+            if row["kind"] != DIRECTORY:
+                raise FsError.enotdir(path)
+            names = [d["name"] for d in
+                     txn.index_read("dentries", "parent", row["vino"])]
+            return sorted(names)
+
+        names = yield from self.dbsvc.execute(body)
+        return names
+
+    def rename(self, old, new, now):
+        """Move a name in the virtual tree; the underlying path is untouched
+        (placement is decoupled from naming — renames never move data)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            old_parent, old_name = self._txn_resolve_parent(txn, old)
+            dentry = txn.read("dentries", (old_parent["vino"], old_name))
+            if dentry is None:
+                raise FsError.enoent(old)
+            moving = txn.read("inodes", dentry["vino"])
+            new_parent, new_name = self._txn_resolve_parent(txn, new)
+            existing = txn.read("dentries", (new_parent["vino"], new_name))
+            replaced_upath, replaced_last = None, False
+            if existing is not None:
+                if existing["vino"] == moving["vino"]:
+                    return (None, False)
+                target = txn.read("inodes", existing["vino"])
+                if target["kind"] == DIRECTORY:
+                    if moving["kind"] != DIRECTORY:
+                        raise FsError.eisdir(new)
+                    if txn.index_read("dentries", "parent", target["vino"]):
+                        raise FsError.enotempty(new)
+                    txn.delete("inodes", target["vino"])
+                    new_parent["nlink"] -= 1
+                else:
+                    if moving["kind"] == DIRECTORY:
+                        raise FsError.enotdir(new)
+                    target["nlink"] -= 1
+                    if target["nlink"] <= 0:
+                        txn.delete("inodes", target["vino"])
+                        replaced_upath, replaced_last = target["upath"], True
+                    else:
+                        txn.write("inodes", target)
+                txn.delete("dentries", (new_parent["vino"], new_name))
+            txn.delete("dentries", (old_parent["vino"], old_name))
+            txn.insert("dentries", {
+                "key": (new_parent["vino"], new_name),
+                "parent": new_parent["vino"], "name": new_name,
+                "vino": moving["vino"],
+            })
+            if moving["kind"] == DIRECTORY and \
+                    old_parent["vino"] != new_parent["vino"]:
+                old_parent["nlink"] -= 1
+                new_parent["nlink"] += 1
+            moving["ctime"] = now
+            txn.write("inodes", moving)
+            old_parent["mtime"] = old_parent["ctime"] = now
+            txn.write("inodes", old_parent)
+            if new_parent["vino"] != old_parent["vino"]:
+                new_parent["mtime"] = new_parent["ctime"] = now
+                txn.write("inodes", new_parent)
+            return (replaced_upath, replaced_last)
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def link(self, src, dst, now):
+        """Hard link: a second virtual name for the same inode (and thus the
+        same underlying file — nothing happens beneath)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            row = self._txn_resolve(txn, src, follow=False)
+            if row["kind"] == DIRECTORY:
+                raise FsError.eisdir(src)
+            parent, name = self._txn_resolve_parent(txn, dst)
+            if txn.read("dentries", (parent["vino"], name)) is not None:
+                raise FsError.eexist(dst)
+            txn.insert("dentries", {
+                "key": (parent["vino"], name), "parent": parent["vino"],
+                "name": name, "vino": row["vino"],
+            })
+            row["nlink"] += 1
+            row["ctime"] = now
+            txn.write("inodes", row)
+            parent["mtime"] = parent["ctime"] = now
+            txn.write("inodes", parent)
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def readlink(self, path):
+        yield from self._dispatch()
+
+        def body(txn):
+            row = self._txn_resolve(txn, path, follow=False)
+            if row["kind"] != SYMLINK:
+                raise FsError.einval(f"not a symlink: {path}")
+            return row["target"]
+
+        target = yield from self.dbsvc.execute(body)
+        return target
+
+    def open_map(self, path, for_write, now):
+        """Resolve for open: returns the wire view, marking write delegation."""
+        yield from self._dispatch()
+
+        def body(txn):
+            row = self._txn_resolve(txn, path)
+            if for_write:
+                if row["kind"] == DIRECTORY:
+                    raise FsError.eisdir(path)
+                row["delegated"] = True
+                txn.write("inodes", row)
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def close_sync(self, vino, size, mtime, now):
+        """Write-back of delegated size/mtime when a writer closes."""
+        yield from self._dispatch()
+
+        def body(txn):
+            row = txn.read("inodes", vino)
+            if row is None:
+                return False  # unlinked while open; nothing to sync
+            row["size"] = max(row["size"], size)
+            row["mtime"] = mtime
+            row["ctime"] = now
+            row["delegated"] = False
+            txn.write("inodes", row)
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def statfs(self):
+        """Namespace-level statistics (one read transaction)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            rows = txn.match("inodes")
+            files = sum(1 for r in rows if r["kind"] == FILE)
+            dirs = sum(1 for r in rows if r["kind"] == DIRECTORY)
+            return {"files": files, "directories": dirs,
+                    "inodes": len(rows)}
+
+        stats = yield from self.dbsvc.execute(body)
+        return stats
+
+    # -- fault injection / recovery -------------------------------------------
+
+    def recover(self):
+        """Coroutine: crash the service node and recover from the journal.
+
+        Rebuilds the tables from the durable journal prefix (Mnesia log
+        replay), then re-seats the inode-number allocator above every
+        surviving inode.  Returns the number of lost update transactions
+        (0 under the default synchronous log policy).
+        """
+        lost = yield from self.dbsvc.crash_and_recover()
+        vinos = [row["vino"] for row in self.db.table("inodes").all()]
+        next_vino = (max(vinos) + 1) if vinos else 1
+        self._vino = itertools.count(next_vino)
+        return lost
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def bucket_counts(self):
+        """Snapshot of placement counters (tests / reports)."""
+        return {
+            row["path"]: row["count"] for row in self.db.table("buckets").all()
+        }

@@ -1,0 +1,107 @@
+"""Placement policies: virtual path -> underlying directory.
+
+The policy decides, at creation time, which underlying directory a regular
+file's data object lands in.  The paper's policy (§III-B) hashes the
+creating node, the virtual parent directory and the creating process, then
+adds a randomization sublevel so that files created by one node but later
+accessed in parallel are spread over several underlying directories; a
+512-entry cap keeps every underlying directory inside the regime the
+underlying file system is optimized for.
+
+Alternative policies are pluggable ("different mapping policies could be
+easily implemented", §III-B); :class:`IdentityPlacementPolicy` (mirror the
+virtual layout) and the no-randomization variant exist for the ablation
+benchmarks.
+"""
+
+import hashlib
+
+
+class PlacementPolicy:
+    """Interface: pick the underlying bucket directory for a new file."""
+
+    def bucket_for(self, node, parent_vino, pid, rng):
+        """The underlying directory (str) for a create in this context."""
+        raise NotImplementedError
+
+    def overflow_candidates(self, bucket):
+        """Fallback directories to try when ``bucket`` is at capacity."""
+        raise NotImplementedError
+
+
+class HashPlacementPolicy(PlacementPolicy):
+    """The paper's policy: hash(node, parent, pid) + randomization level."""
+
+    def __init__(self, config, randomize=True):
+        self.config = config
+        self.randomize = randomize
+
+    def _hash(self, node, parent_vino, pid):
+        digest = hashlib.blake2b(
+            f"{node}|{parent_vino}|{pid}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") % self.config.hash_buckets
+
+    def bucket_for(self, node, parent_vino, pid, rng):
+        root = self.config.underlying_root
+        bucket = self._hash(node, parent_vino, pid)
+        if not self.randomize:
+            return f"{root}/h{bucket:04x}"
+        sub = rng.randrange(self.config.rand_subdirs)
+        return f"{root}/h{bucket:04x}/r{sub:02d}"
+
+    def overflow_candidates(self, bucket):
+        """Walk the randomization sublevels round-robin when full."""
+        if not self.randomize:
+            base = bucket
+            return [f"{base}.o{i:02d}" for i in range(1, 64)]
+        base, _r, current = bucket.rpartition("/r")
+        start = int(current) if current.isdigit() else 0
+        n = self.config.rand_subdirs
+        out = [f"{base}/r{(start + i) % n:02d}" for i in range(1, n)]
+        # If every sublevel is full, open overflow generations.
+        out.extend(f"{base}/r{j:02d}.o{g}" for g in range(1, 8) for j in range(n))
+        return out
+
+
+class RandomSpreadPolicy(PlacementPolicy):
+    """Ablation: spread files across buckets with no node affinity.
+
+    Demonstrates that the hash policy's inputs matter, not just the
+    spreading: random placement keeps directories small (so the cap is
+    honoured) but scatters each node's creates over directories shared with
+    every other node, so directory tokens keep bouncing between nodes —
+    the create storm contention comes back even though no directory is big.
+    """
+
+    def __init__(self, config):
+        self.config = config
+
+    def bucket_for(self, node, parent_vino, pid, rng):
+        bucket = rng.randrange(self.config.hash_buckets)
+        return f"{self.config.underlying_root}/s{bucket:04x}"
+
+    def overflow_candidates(self, bucket):
+        base = bucket.rsplit(".o", 1)[0]
+        return [f"{base}.o{i:02d}" for i in range(1, 32)]
+
+
+class IdentityPlacementPolicy(PlacementPolicy):
+    """Ablation: mirror the virtual parent directory (no reorganization).
+
+    With this policy COFS degenerates into a pure interposition layer: the
+    underlying file system sees the same shared-directory storm the
+    applications generate, isolating the benefit of the *reorganization*
+    from the cost of the *virtualization*.
+    """
+
+    def __init__(self, config):
+        self.config = config
+
+    def bucket_for(self, node, parent_vino, pid, rng):
+        return f"{self.config.underlying_root}/mirror/d{parent_vino}"
+
+    def overflow_candidates(self, bucket):
+        # No cap enforcement for the mirror policy: one directory per
+        # virtual parent, however large it grows (that is the point).
+        return []

@@ -1,0 +1,34 @@
+"""A small transactional table store, in the spirit of Erlang/OTP Mnesia.
+
+The paper's COFS metadata service keeps the virtual namespace "as a small set
+of database tables" in Mnesia, translating pure metadata operations into
+simple queries inside transactions.  This package provides the equivalent:
+
+- :class:`Table` — keyed records (flat dicts) with secondary hash indexes,
+- :class:`Database` + :class:`Transaction` — atomic multi-table transactions
+  with read-your-writes, full rollback on abort, and index maintenance,
+- :class:`DbService` — the simulation-facing wrapper that charges CPU per
+  query and forces a group-commit write-ahead log for update transactions
+  (read-only transactions never touch the disk — this asymmetry is what
+  makes COFS ``stat`` ≈ 1 ms but ``utime`` ≈ 4 ms in the paper).
+
+The pure layer (tables/transactions) is fully usable outside the simulator,
+which is how most of its tests exercise it.
+"""
+
+from repro.db.database import Database, Transaction
+from repro.db.errors import AbortError, DbError, DuplicateKey, NoSuchTable
+from repro.db.service import DbConfig, DbService
+from repro.db.table import Table
+
+__all__ = [
+    "AbortError",
+    "Database",
+    "DbConfig",
+    "DbError",
+    "DbService",
+    "DuplicateKey",
+    "NoSuchTable",
+    "Table",
+    "Transaction",
+]

@@ -1,0 +1,160 @@
+"""Atomic transactions over a set of tables.
+
+A transaction stages its writes in an overlay; queries merge the overlay with
+the base tables (read-your-writes).  Commit applies the staged operations to
+the tables; any exception (including an explicit ``abort``) discards the
+overlay, leaving the tables untouched.  Because the simulator only preempts
+at ``yield`` points and transaction bodies are pure Python, committed
+transactions are trivially serializable; the service wrapper charges their
+virtual-time costs.
+"""
+
+from repro.db.errors import AbortError, DbError, DuplicateKey, NoSuchTable
+from repro.db.table import Table
+
+_DELETED = object()
+
+
+class Database:
+    """A named collection of tables with a transaction runner."""
+
+    def __init__(self, name="db"):
+        self.name = name
+        self.tables = {}
+        self.commits = 0
+        self.aborts = 0
+        #: optional :class:`repro.db.recovery.RedoJournal`; when attached,
+        #: every committed transaction's redo record is appended to it.
+        self.journal = None
+
+    def create_table(self, name, key, indexes=()):
+        """Create and return a new :class:`Table`."""
+        if name in self.tables:
+            raise DbError(f"database {self.name}: table {name!r} exists")
+        table = Table(name, key, indexes)
+        self.tables[name] = table
+        return table
+
+    def table(self, name):
+        table = self.tables.get(name)
+        if table is None:
+            raise NoSuchTable(f"database {self.name}: no table {name!r}")
+        return table
+
+    def transaction(self, body):
+        """Run ``body(txn)`` atomically; returns its result.
+
+        On any exception the staged changes are discarded and the exception
+        propagates (wrapped in :class:`AbortError` only when raised through
+        :meth:`Transaction.abort`).
+        """
+        txn = Transaction(self)
+        try:
+            result = body(txn)
+        except Exception:
+            self.aborts += 1
+            raise
+        txn._apply()
+        self.commits += 1
+        if self.journal is not None and txn._staged:
+            from repro.db.recovery import journal_of
+
+            self.journal.append(journal_of(txn))
+        return result
+
+
+class Transaction:
+    """Staged view over a database; see :class:`Database.transaction`."""
+
+    def __init__(self, database):
+        self._db = database
+        self._staged = {}  # (table, pk) -> record dict or _DELETED
+        self.reads = 0
+        self.writes = 0
+
+    # -- queries -------------------------------------------------------------
+
+    def read(self, table_name, pk):
+        """Copy of record ``pk`` as this transaction sees it, or None."""
+        self.reads += 1
+        staged = self._staged.get((table_name, pk))
+        if staged is _DELETED:
+            return None
+        if staged is not None:
+            return dict(staged)
+        return self._db.table(table_name).read(pk)
+
+    def match(self, table_name, **pattern):
+        """All records matching ``pattern``, as this transaction sees them."""
+        self.reads += 1
+        table = self._db.table(table_name)
+        merged = {}
+        for record in table.match(**pattern):
+            merged[record[table.key]] = record
+        for (tname, pk), staged in self._staged.items():
+            if tname != table_name:
+                continue
+            if staged is _DELETED:
+                merged.pop(pk, None)
+            elif all(staged.get(f) == v for f, v in pattern.items()):
+                merged[pk] = dict(staged)
+            else:
+                merged.pop(pk, None)
+        return [merged[pk] for pk in sorted(merged, key=repr)]
+
+    def index_read(self, table_name, field, value):
+        """Index lookup, staged-aware (delegates to :meth:`match`)."""
+        table = self._db.table(table_name)
+        if field not in table.index_fields and field != table.key:
+            raise DbError(f"table {table_name}: no index on {field!r}")
+        return self.match(table_name, **{field: value})
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, table_name, record):
+        """Stage a new record; duplicate keys abort immediately."""
+        table = self._db.table(table_name)
+        pk = table._pk_of(record)
+        staged = self._staged.get((table_name, pk))
+        if staged is _DELETED:
+            exists = False
+        elif staged is not None:
+            exists = True
+        else:
+            exists = pk in table
+        if exists:
+            raise DuplicateKey(f"table {table_name}: key {pk!r} already present")
+        self.writes += 1
+        self._staged[(table_name, pk)] = dict(record)
+
+    def write(self, table_name, record):
+        """Stage an upsert of ``record``."""
+        table = self._db.table(table_name)
+        pk = table._pk_of(record)
+        self.writes += 1
+        self._staged[(table_name, pk)] = dict(record)
+
+    def delete(self, table_name, pk):
+        """Stage deletion of ``pk``."""
+        self._db.table(table_name)
+        self.writes += 1
+        self._staged[(table_name, pk)] = _DELETED
+
+    def abort(self, reason=None):
+        """Abort the transaction; raises :class:`AbortError`."""
+        raise AbortError(reason)
+
+    @property
+    def is_update(self):
+        """True if the transaction staged any mutation."""
+        return bool(self._staged)
+
+    # -- commit ---------------------------------------------------------------------
+
+    def _apply(self):
+        for (table_name, pk), staged in self._staged.items():
+            table = self._db.table(table_name)
+            if staged is _DELETED:
+                table.delete(pk)
+            else:
+                table.write(staged)

@@ -1,0 +1,21 @@
+"""Error types for the table store."""
+
+
+class DbError(RuntimeError):
+    """Base class for database errors."""
+
+
+class NoSuchTable(DbError):
+    """Referenced table does not exist."""
+
+
+class DuplicateKey(DbError):
+    """Insert would overwrite an existing primary key."""
+
+
+class AbortError(DbError):
+    """A transaction was aborted; carries the caller's reason."""
+
+    def __init__(self, reason=None):
+        super().__init__(f"transaction aborted: {reason!r}")
+        self.reason = reason

@@ -1,0 +1,78 @@
+"""Crash recovery for the table store.
+
+Mnesia recovers node state from its transaction log; the reproduction
+models the same contract: every committed transaction is appended to a
+redo journal, and the *durable prefix* of that journal is what survives a
+crash — everything if updates are forced synchronously, everything up to
+the last completed force otherwise.  Recovery rebuilds the tables by
+replaying the durable prefix into a fresh database.
+
+This powers the fault-injection tests and the metadata-service restart
+example: COFS's namespace is exactly as durable as the service's log
+policy promises.
+"""
+
+from repro.db.database import Database
+
+
+class RedoJournal:
+    """An ordered redo log of committed transactions."""
+
+    def __init__(self):
+        self._records = []     # one list of (op, table, payload) per txn
+        self.durable_upto = 0  # committed txns known to be on disk
+
+    def __len__(self):
+        return len(self._records)
+
+    def append(self, operations):
+        """Record one committed transaction's operations."""
+        self._records.append(list(operations))
+
+    def mark_durable(self):
+        """Everything appended so far has reached the disk."""
+        self.durable_upto = len(self._records)
+
+    def durable_records(self):
+        """The redo records that survive a crash."""
+        return self._records[: self.durable_upto]
+
+    @property
+    def lost_on_crash(self):
+        """Committed transactions that a crash right now would lose."""
+        return len(self._records) - self.durable_upto
+
+
+def journal_of(txn):
+    """Extract redo operations from a committed transaction's staging."""
+    from repro.db.database import _DELETED
+
+    operations = []
+    for (table, pk), staged in txn._staged.items():
+        if staged is _DELETED:
+            operations.append(("delete", table, pk))
+        else:
+            operations.append(("write", table, dict(staged)))
+    return operations
+
+
+def rebuild(schema_source, journal):
+    """A fresh :class:`Database` replayed from a journal's durable prefix.
+
+    ``schema_source`` is the crashed database (its table definitions are
+    metadata, not data — Mnesia keeps the schema in a separate always-
+    durable table).
+    """
+    db = Database(schema_source.name)
+    for table in schema_source.tables.values():
+        db.create_table(table.name, table.key, table.index_fields)
+    for record_ops in journal.durable_records():
+        def body(txn, record_ops=record_ops):
+            for op, table, payload in record_ops:
+                if op == "write":
+                    txn.write(table, payload)
+                else:
+                    txn.delete(table, payload)
+
+        db.transaction(body)
+    return db

@@ -1,0 +1,126 @@
+"""Keyed record tables with secondary hash indexes.
+
+Records are flat dicts; the table copies records on the way in and out so
+callers can never alias the stored state.  Secondary indexes map an indexed
+field's value to the set of primary keys holding it and are maintained on
+every mutation.
+"""
+
+from collections import defaultdict
+
+from repro.db.errors import DbError, DuplicateKey
+
+
+class Table:
+    """A set of records keyed by one field, with optional secondary indexes."""
+
+    def __init__(self, name, key, indexes=()):
+        if not key:
+            raise DbError(f"table {name!r}: key field must be named")
+        indexes = tuple(indexes)
+        if key in indexes:
+            raise DbError(f"table {name!r}: key field cannot also be an index")
+        self.name = name
+        self.key = key
+        self.index_fields = indexes
+        self._rows = {}
+        self._indexes = {field: defaultdict(set) for field in indexes}
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __contains__(self, pk):
+        return pk in self._rows
+
+    def __repr__(self):
+        return f"<Table {self.name} rows={len(self._rows)}>"
+
+    # -- mutation ----------------------------------------------------------------
+
+    def _pk_of(self, record):
+        if self.key not in record:
+            raise DbError(f"table {self.name}: record lacks key field {self.key!r}")
+        return record[self.key]
+
+    def insert(self, record):
+        """Add a new record; :class:`DuplicateKey` if the key exists."""
+        pk = self._pk_of(record)
+        if pk in self._rows:
+            raise DuplicateKey(f"table {self.name}: key {pk!r} already present")
+        self._store(pk, dict(record))
+
+    def write(self, record):
+        """Upsert ``record`` (Mnesia ``write`` semantics)."""
+        pk = self._pk_of(record)
+        if pk in self._rows:
+            self._unindex(pk, self._rows[pk])
+        self._store(pk, dict(record))
+
+    def delete(self, pk):
+        """Remove the record keyed ``pk``; returns True if it existed."""
+        old = self._rows.pop(pk, None)
+        if old is None:
+            return False
+        self._unindex(pk, old)
+        return True
+
+    def _store(self, pk, record):
+        self._rows[pk] = record
+        for field, index in self._indexes.items():
+            if field in record:
+                index[record[field]].add(pk)
+
+    def _unindex(self, pk, record):
+        for field, index in self._indexes.items():
+            if field in record:
+                bucket = index.get(record[field])
+                if bucket is not None:
+                    bucket.discard(pk)
+                    if not bucket:
+                        del index[record[field]]
+
+    # -- queries -------------------------------------------------------------------
+
+    def read(self, pk):
+        """A copy of the record keyed ``pk``, or None."""
+        record = self._rows.get(pk)
+        return dict(record) if record is not None else None
+
+    def index_read(self, field, value):
+        """Copies of all records whose indexed ``field`` equals ``value``."""
+        index = self._indexes.get(field)
+        if index is None:
+            raise DbError(f"table {self.name}: no index on {field!r}")
+        return [dict(self._rows[pk]) for pk in sorted(index.get(value, ()), key=repr)]
+
+    def match(self, **pattern):
+        """Copies of all records matching every ``field=value`` in ``pattern``.
+
+        Uses the most selective available index, falling back to a scan.
+        """
+        candidates = None
+        for field, value in pattern.items():
+            if field == self.key:
+                record = self._rows.get(value)
+                candidates = {value} if record is not None else set()
+                break
+            if field in self._indexes:
+                bucket = self._indexes[field].get(value, set())
+                if candidates is None or len(bucket) < len(candidates):
+                    candidates = set(bucket)
+        if candidates is None:
+            candidates = set(self._rows)
+        out = []
+        for pk in sorted(candidates, key=repr):
+            record = self._rows[pk]
+            if all(record.get(f) == v for f, v in pattern.items()):
+                out.append(dict(record))
+        return out
+
+    def keys(self):
+        """All primary keys (sorted by repr for determinism)."""
+        return sorted(self._rows, key=repr)
+
+    def all(self):
+        """Copies of every record."""
+        return [dict(self._rows[pk]) for pk in self.keys()]

@@ -1,0 +1,14 @@
+"""The FUSE (Filesystem in USErspace) interposition layer.
+
+COFS is implemented as a user-level FUSE daemon (paper §III).  FUSE costs
+real time: every VFS request crosses kernel→user and back, and data moves
+through an extra buffer copy in each direction; large transfers are split
+into maximum-transfer-unit requests.  :class:`FuseMount` wraps any
+:class:`~repro.pfs.vfs.FileSystemApi` implementation and charges exactly
+those costs — so the COFS results carry the overhead the paper's prototype
+paid, and the Table I "small cached file" slowdowns emerge.
+"""
+
+from repro.fuse.mount import FuseConfig, FuseMount
+
+__all__ = ["FuseConfig", "FuseMount"]

@@ -1,0 +1,180 @@
+"""FUSE mount: per-request crossing costs, double copies, MTU chunking."""
+
+from dataclasses import dataclass
+
+from repro.pfs.vfs import FileSystemApi
+from repro.units import mb_per_s
+
+
+@dataclass
+class FuseConfig:
+    """Cost model of the FUSE kernel/userspace boundary (2010-era libfuse).
+
+    ``crossing_ms`` is charged per request in each direction (context
+    switches, request queueing); ``copy_bw`` models the extra buffer copy a
+    FUSE daemon pays on data (once per direction); ``max_transfer`` splits
+    big reads/writes into separate requests, each paying the crossing.
+    """
+
+    crossing_ms: float = 0.018
+    copy_bw: float = mb_per_s(2200)
+    max_transfer: int = 128 * 1024
+    #: metadata replies are small; no copy charge, just the crossings.
+
+
+class FuseMount(FileSystemApi):
+    """A FUSE-mounted view of another filesystem."""
+
+    def __init__(self, machine, backend, config=None):
+        self.machine = machine
+        self.sim = machine.sim
+        self.backend = backend
+        self.config = config or FuseConfig()
+        self.requests = 0
+
+    def _cross(self):
+        """One kernel->user->kernel round trip of request handling."""
+        self.requests += 1
+        return self.machine.compute(2 * self.config.crossing_ms)
+
+    def _copy(self, nbytes):
+        return self.machine.compute(nbytes / self.config.copy_bw)
+
+    # -- metadata: one crossing per request ------------------------------------
+
+    def mkdir(self, path, mode=0o755):
+        yield from self._cross()
+        result = yield from self.backend.mkdir(path, mode)
+        return result
+
+    def rmdir(self, path):
+        yield from self._cross()
+        result = yield from self.backend.rmdir(path)
+        return result
+
+    def create(self, path, mode=0o644):
+        yield from self._cross()
+        result = yield from self.backend.create(path, mode)
+        return result
+
+    def open(self, path, flags=0):
+        yield from self._cross()
+        result = yield from self.backend.open(path, flags)
+        return result
+
+    def close(self, handle):
+        yield from self._cross()
+        result = yield from self.backend.close(handle)
+        return result
+
+    def unlink(self, path):
+        yield from self._cross()
+        result = yield from self.backend.unlink(path)
+        return result
+
+    def stat(self, path):
+        yield from self._cross()
+        result = yield from self.backend.stat(path)
+        return result
+
+    def utime(self, path, atime=None, mtime=None):
+        yield from self._cross()
+        result = yield from self.backend.utime(path, atime, mtime)
+        return result
+
+    def chmod(self, path, mode):
+        yield from self._cross()
+        result = yield from self.backend.chmod(path, mode)
+        return result
+
+    def chown(self, path, uid, gid):
+        yield from self._cross()
+        result = yield from self.backend.chown(path, uid, gid)
+        return result
+
+    def statfs(self):
+        yield from self._cross()
+        result = yield from self.backend.statfs()
+        return result
+
+    def readdir(self, path):
+        yield from self._cross()
+        names = yield from self.backend.readdir(path)
+        # Directory listings stream back in page-sized replies.
+        yield from self._copy(64 * max(1, len(names)))
+        return names
+
+    def rename(self, old, new):
+        yield from self._cross()
+        result = yield from self.backend.rename(old, new)
+        return result
+
+    def link(self, src, dst):
+        yield from self._cross()
+        result = yield from self.backend.link(src, dst)
+        return result
+
+    def symlink(self, target, path):
+        yield from self._cross()
+        result = yield from self.backend.symlink(target, path)
+        return result
+
+    def readlink(self, path):
+        yield from self._cross()
+        result = yield from self.backend.readlink(path)
+        return result
+
+    def fsync(self, handle):
+        yield from self._cross()
+        result = yield from self.backend.fsync(handle)
+        return result
+
+    def truncate(self, path, size):
+        yield from self._cross()
+        result = yield from self.backend.truncate(path, size)
+        return result
+
+    # -- data: chunked into MTU requests, copied twice ---------------------------
+
+    def read(self, handle, offset, size, want_data=False):
+        mtu = self.config.max_transfer
+        done = 0
+        chunks = []
+        while done < size:
+            span = min(mtu, size - done)
+            yield from self._cross()
+            got = yield from self.backend.read(
+                handle, offset + done, span, want_data=want_data
+            )
+            yield from self._copy(span)
+            if want_data:
+                chunks.append(got)
+                if len(got) < span:
+                    done += span
+                    break
+            done += span
+        if want_data:
+            return b"".join(chunks)
+        return min(done, size)
+
+    def write(self, handle, offset, size=None, data=None):
+        if (size is None) == (data is None):
+            raise ValueError("write() needs exactly one of size= or data=")
+        total = size if size is not None else len(data)
+        mtu = self.config.max_transfer
+        done = 0
+        written = 0
+        while done < total:
+            span = min(mtu, total - done)
+            yield from self._cross()
+            yield from self._copy(span)
+            if data is not None:
+                written += yield from self.backend.write(
+                    handle, offset + done, data=data[done: done + span]
+                )
+            else:
+                written += yield from self.backend.write(
+                    handle, offset + done, size=span
+                )
+            done += span
+        return written

@@ -1,0 +1,16 @@
+"""Simulated cluster network: links, switches, routing and RPC transport.
+
+The testbed in the paper is a blade center with an internal 1 Gb switch, two
+external file servers on 1 Gb links, and (for the 64-node experiment) extra
+blade centers chained through additional switches with shared uplinks.  This
+package models exactly that: full-duplex links with latency and bandwidth,
+store-and-forward forwarding across switches, FIFO serialization per link
+direction (so congestion emerges under load), and an RPC abstraction used by
+every distributed service in the reproduction.
+"""
+
+from repro.net.link import Link
+from repro.net.topology import Topology
+from repro.net.transport import Network, RemoteError
+
+__all__ = ["Link", "Network", "RemoteError", "Topology"]

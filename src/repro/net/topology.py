@@ -1,0 +1,88 @@
+"""Cluster topology: hosts, switches, full-duplex links and routing.
+
+The topology is an undirected graph (networkx) whose edges carry a pair of
+simplex :class:`~repro.net.link.Link` objects, one per direction.  Routes are
+shortest paths, computed once and cached — cluster topologies here are static.
+"""
+
+import networkx as nx
+
+from repro.net.link import Link
+
+
+class Topology:
+    """The wiring diagram of the simulated cluster."""
+
+    HOST = "host"
+    SWITCH = "switch"
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.graph = nx.Graph()
+        self._route_cache = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_host(self, name):
+        """Register a computing element (blade, server) called ``name``."""
+        self._add_node(name, self.HOST)
+        return name
+
+    def add_switch(self, name):
+        """Register a switch called ``name``."""
+        self._add_node(name, self.SWITCH)
+        return name
+
+    def _add_node(self, name, kind):
+        if name in self.graph:
+            raise ValueError(f"duplicate topology node {name!r}")
+        self.graph.add_node(name, kind=kind)
+
+    def add_link(self, a, b, bandwidth, latency):
+        """Wire ``a`` and ``b`` with a full-duplex link.
+
+        ``bandwidth`` is bytes/ms per direction, ``latency`` the one-way
+        propagation delay in ms.
+        """
+        for end in (a, b):
+            if end not in self.graph:
+                raise ValueError(f"unknown topology node {end!r}")
+        if self.graph.has_edge(a, b):
+            raise ValueError(f"duplicate link {a!r} <-> {b!r}")
+        forward = Link(self.sim, f"{a}->{b}", bandwidth, latency)
+        backward = Link(self.sim, f"{b}->{a}", bandwidth, latency)
+        self.graph.add_edge(a, b, links={(a, b): forward, (b, a): backward})
+        self._route_cache.clear()
+
+    # -- queries --------------------------------------------------------------
+
+    def is_host(self, name):
+        return self.graph.nodes[name]["kind"] == self.HOST
+
+    def hosts(self):
+        """All host names, sorted."""
+        return sorted(
+            n for n, data in self.graph.nodes(data=True) if data["kind"] == self.HOST
+        )
+
+    def link(self, a, b):
+        """The simplex link carrying traffic from ``a`` to ``b``."""
+        return self.graph.edges[a, b]["links"][(a, b)]
+
+    def route(self, src, dst):
+        """The list of simplex links from ``src`` to ``dst`` (cached)."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            route = []
+        else:
+            path = nx.shortest_path(self.graph, src, dst)
+            route = [self.link(a, b) for a, b in zip(path, path[1:])]
+        self._route_cache[key] = route
+        return route
+
+    def hop_count(self, src, dst):
+        """Number of links between ``src`` and ``dst``."""
+        return len(self.route(src, dst))

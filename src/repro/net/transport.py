@@ -1,0 +1,58 @@
+"""Message transport and RPC over the simulated topology.
+
+:class:`Network` moves messages hop by hop (store-and-forward) along cached
+routes, and layers a synchronous RPC abstraction on top: the caller's process
+blocks until the reply message has fully returned.  Service-side exceptions
+deriving from :class:`Exception` are carried back in the reply and re-raised
+at the caller (so e.g. filesystem errors keep POSIX semantics across nodes);
+the reply transfer is still paid.
+"""
+
+
+class RemoteError(RuntimeError):
+    """An RPC failed structurally (unknown service/method)."""
+
+
+class Network:
+    """Store-and-forward message delivery plus RPC between machines."""
+
+    def __init__(self, sim, topology):
+        self.sim = sim
+        self.topology = topology
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- raw transfers ---------------------------------------------------------
+
+    def transfer(self, src_host, dst_host, size):
+        """Coroutine: move ``size`` bytes from ``src_host`` to ``dst_host``.
+
+        Completes at full delivery.  A zero-hop transfer (same host) costs
+        nothing: local service calls do not touch the network.
+        """
+        route = self.topology.route(src_host, dst_host)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        for link in route:
+            yield from link.transmit(size)
+
+    def rpc(self, src, dst, service, method, args=(), kwargs=None,
+            req_size=512, resp_size=512):
+        """Coroutine: invoke ``service.method(*args, **kwargs)`` on ``dst``.
+
+        ``src`` and ``dst`` are :class:`repro.cluster.machine.Machine`
+        objects.  Returns the handler's return value; re-raises handler
+        exceptions at the caller after the reply transfer.
+        """
+        yield from self.transfer(src.host, dst.host, req_size)
+        handler = dst.handler(service, method)
+        failure = None
+        value = None
+        try:
+            value = yield from handler(*args, **(kwargs or {}))
+        except Exception as exc:  # carried back in the reply
+            failure = exc
+        yield from self.transfer(dst.host, src.host, resp_size)
+        if failure is not None:
+            raise failure
+        return value

@@ -1,0 +1,32 @@
+"""A GPFS-like shared-disk parallel file system, simulated.
+
+This package is the substrate the paper measures against: a POSIX-ish
+cluster file system in the style of GPFS v3.1 (Schmuck & Haskin, FAST'02)
+with the mechanisms the paper identifies as the source of metadata
+bottlenecks:
+
+- **shared-disk architecture** — clients read and write metadata structures
+  directly on network storage devices (NSD servers) under token protection;
+- **distributed token manager** — read-only/exclusive tokens per object with
+  revocation round-trips and dirty-state flushes at the holder;
+- **packed per-directory metadata** — directory entries live in
+  extendible-hash blocks, inode attributes in shared inode blocks, so
+  unrelated files in one directory share locking and caching granules;
+- **client caching with delegation** — attribute tokens and directory blocks
+  are cached per node (bounded LRU, 1024 entries by default), giving the
+  near-local performance below the cache cliff seen in the paper's Fig. 1;
+- **write-behind data path** — a per-client page pool with background
+  flushing, byte-range tokens and sequential prefetch.
+
+Public entry point: :class:`~repro.pfs.filesystem.Pfs` builds the file system
+over a testbed; :meth:`~repro.pfs.filesystem.Pfs.client` returns the per-node
+VFS (create/open/read/write/stat/...) used by workloads, by the FUSE layer
+and by COFS.
+"""
+
+from repro.pfs.config import PfsConfig
+from repro.pfs.errors import FsError
+from repro.pfs.filesystem import Pfs
+from repro.pfs.types import FileAttr, OpenFlags
+
+__all__ = ["FileAttr", "FsError", "OpenFlags", "Pfs", "PfsConfig"]

@@ -1,0 +1,125 @@
+"""Sparse file contents with an optional real-bytes fast path.
+
+Benchmarks write gigabytes of synthetic data: storing actual bytes would be
+wasteful, so a :class:`ByteMap` records written *extents* and only keeps real
+payloads when the caller supplies them (semantic tests do, workloads don't).
+Reads return real bytes where they exist, zeros for written-but-synthetic
+ranges, and zeros for holes — matching POSIX sparse-file semantics closely
+enough for differential testing.
+"""
+
+import bisect
+
+
+class ByteMap:
+    """Extent-tracked file contents."""
+
+    def __init__(self):
+        self._extents = []  # sorted, non-overlapping [start, end, payload|None]
+        self.size = 0
+
+    def __repr__(self):
+        return f"<ByteMap size={self.size} extents={len(self._extents)}>"
+
+    # -- writing ------------------------------------------------------------
+
+    def write(self, offset, length=None, data=None):
+        """Record a write at ``offset``.
+
+        Exactly one of ``length`` (synthetic write) or ``data`` (real bytes)
+        must be given.  Returns the number of bytes written.
+        """
+        if (length is None) == (data is None):
+            raise ValueError("write() needs exactly one of length= or data=")
+        if offset < 0:
+            raise ValueError("negative offset")
+        payload = bytes(data) if data is not None else None
+        n = len(payload) if payload is not None else int(length)
+        if n < 0:
+            raise ValueError("negative length")
+        if n == 0:
+            return 0
+        self._insert(offset, offset + n, payload)
+        if offset + n > self.size:
+            self.size = offset + n
+        return n
+
+    def truncate(self, new_size):
+        """Cut or extend the logical size (extension creates a hole)."""
+        if new_size < 0:
+            raise ValueError("negative size")
+        kept = []
+        for start, end, payload in self._extents:
+            if start >= new_size:
+                continue
+            if end > new_size:
+                end_cut = new_size
+                if payload is not None:
+                    payload = payload[: end_cut - start]
+                kept.append([start, end_cut, payload])
+            else:
+                kept.append([start, end, payload])
+        self._extents = kept
+        self.size = new_size
+
+    def _insert(self, start, end, payload):
+        starts = [e[0] for e in self._extents]
+        idx = bisect.bisect_left(starts, start)
+        # Absorb/trim overlaps to the left.
+        if idx > 0 and self._extents[idx - 1][1] > start:
+            prev = self._extents[idx - 1]
+            if prev[1] > end:
+                # new extent splits the previous one
+                tail_payload = (
+                    prev[2][end - prev[0]:] if prev[2] is not None else None
+                )
+                self._extents.insert(
+                    idx, [end, prev[1], tail_payload]
+                )
+            if prev[2] is not None:
+                prev[2] = prev[2][: start - prev[0]]
+            prev[1] = start
+        # Remove/trim overlaps to the right.
+        while idx < len(self._extents) and self._extents[idx][0] < end:
+            cur = self._extents[idx]
+            if cur[1] <= end:
+                self._extents.pop(idx)
+                continue
+            if cur[2] is not None:
+                cur[2] = cur[2][end - cur[0]:]
+            cur[0] = end
+            break
+        self._extents.insert(idx, [start, end, payload])
+
+    # -- reading --------------------------------------------------------------
+
+    def read(self, offset, length):
+        """Return ``length`` bytes starting at ``offset`` (zero-filled holes).
+
+        Reads past the logical size are truncated, as POSIX does.
+        """
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset or length")
+        end = min(offset + length, self.size)
+        if end <= offset:
+            return b""
+        out = bytearray(end - offset)
+        for start, ext_end, payload in self._extents:
+            if ext_end <= offset or start >= end:
+                continue
+            if payload is None:
+                continue  # synthetic extent reads as zeros
+            lo = max(start, offset)
+            hi = min(ext_end, end)
+            out[lo - offset: hi - offset] = payload[lo - start: hi - start]
+        return bytes(out)
+
+    def written_bytes(self, offset, length):
+        """How many bytes in [offset, offset+length) lie in written extents."""
+        end = offset + length
+        covered = 0
+        for start, ext_end, _payload in self._extents:
+            if ext_end <= offset or start >= end:
+                continue
+            covered += min(ext_end, end) - max(start, offset)
+        return covered

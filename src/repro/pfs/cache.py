@@ -1,0 +1,77 @@
+"""Bounded LRU containers used by client and server caches."""
+
+from collections import OrderedDict
+
+
+class LruDict:
+    """An LRU-evicting dict with optional eviction veto (pinned entries).
+
+    ``put`` returns the list of (key, value) pairs evicted to make room.
+    Entries for which ``pinned(value)`` is true are skipped during eviction
+    scans; if everything is pinned the cache is allowed to overflow rather
+    than deadlock.
+    """
+
+    def __init__(self, capacity, pinned=None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._pinned = pinned or (lambda value: False)
+        self._data = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._data)
+
+    def __contains__(self, key):
+        return key in self._data
+
+    def get(self, key, touch=True):
+        """The value for ``key`` (refreshing recency), or None."""
+        if key not in self._data:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            self._data.move_to_end(key)
+        return self._data[key]
+
+    def peek(self, key):
+        """The value for ``key`` without recency or stats effects."""
+        return self._data.get(key)
+
+    def put(self, key, value):
+        """Insert/overwrite ``key``; returns evicted (key, value) pairs."""
+        if key in self._data:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            return []
+        self._data[key] = value
+        evicted = []
+        if len(self._data) > self.capacity:
+            for candidate in list(self._data):
+                if candidate == key or self._pinned(self._data[candidate]):
+                    continue
+                evicted.append((candidate, self._data.pop(candidate)))
+                self.evictions += 1
+                if len(self._data) <= self.capacity:
+                    break
+        return evicted
+
+    def pop(self, key):
+        """Remove and return the value for ``key`` (None if absent)."""
+        return self._data.pop(key, None)
+
+    def keys(self):
+        return list(self._data.keys())
+
+    def values(self):
+        return list(self._data.values())
+
+    def items(self):
+        return list(self._data.items())
+
+    def clear(self):
+        self._data.clear()

@@ -1,0 +1,151 @@
+"""Extendible-hashing directories, as GPFS uses for scalable directories.
+
+Entries (name -> inode number) live in fixed-capacity *blocks* addressed by
+the low bits of a name hash.  When a block overflows it splits, possibly
+doubling the bucket table (increasing the *global depth*).  The structure
+matters to the reproduction twice over:
+
+- lookups and inserts touch exactly one block — the caching granule clients
+  and servers work with (block fetch costs, false sharing);
+- the global depth grows with directory size, and the paper's "create time
+  rises steadily past 512 entries" behaviour is charged per create in
+  proportion to the depth beyond the in-cache regime (see
+  :attr:`repro.pfs.config.PfsConfig.dir_depth_cost_ms`).
+"""
+
+import zlib
+
+
+def name_hash(name):
+    """Stable 32-bit hash of an entry name."""
+    return zlib.crc32(name.encode())
+
+
+class DirBlock:
+    """One bucket of an extendible-hash directory."""
+
+    __slots__ = ("block_id", "local_depth", "entries")
+
+    def __init__(self, block_id, local_depth):
+        self.block_id = block_id
+        self.local_depth = local_depth
+        self.entries = {}
+
+    def __len__(self):
+        return len(self.entries)
+
+
+class ExtendibleDir:
+    """An extendible-hash table of directory entries."""
+
+    def __init__(self, block_capacity=64, max_depth=24):
+        if block_capacity < 2:
+            raise ValueError("block capacity must be >= 2")
+        self.block_capacity = block_capacity
+        self.max_depth = max_depth
+        self.global_depth = 0
+        self._next_block_id = 1
+        root = DirBlock(0, 0)
+        self._buckets = [root]     # 2**global_depth slots -> DirBlock
+        self.version = 0           # bumped on every mutation
+        self.splits = 0
+
+    # -- structure queries -------------------------------------------------------
+
+    def __len__(self):
+        return sum(len(b) for b in self.blocks())
+
+    def __contains__(self, name):
+        return name in self._bucket_for(name).entries
+
+    def blocks(self):
+        """The distinct blocks, in bucket order."""
+        seen = {}
+        for block in self._buckets:
+            seen.setdefault(block.block_id, block)
+        return list(seen.values())
+
+    @property
+    def n_blocks(self):
+        return len({b.block_id for b in self._buckets})
+
+    def block_of(self, name):
+        """The block id the entry for ``name`` lives in (its cache granule)."""
+        return self._bucket_for(name).block_id
+
+    def _bucket_for(self, name):
+        index = name_hash(name) & ((1 << self.global_depth) - 1)
+        return self._buckets[index]
+
+    # -- operations ---------------------------------------------------------------
+
+    def lookup(self, name):
+        """The inode number for ``name``, or None."""
+        return self._bucket_for(name).entries.get(name)
+
+    def insert(self, name, ino):
+        """Add an entry; returns the number of splits it caused.
+
+        Raises KeyError if the name already exists (callers translate this
+        into EEXIST).
+        """
+        bucket = self._bucket_for(name)
+        if name in bucket.entries:
+            raise KeyError(name)
+        splits = 0
+        while len(bucket.entries) >= self.block_capacity:
+            if bucket.local_depth >= self.max_depth:
+                break  # degenerate: allow overfull block rather than loop
+            self._split(bucket)
+            splits += 1
+            bucket = self._bucket_for(name)
+        bucket.entries[name] = ino
+        self.version += 1
+        self.splits += splits
+        return splits
+
+    def remove(self, name):
+        """Delete an entry; returns True if it existed."""
+        bucket = self._bucket_for(name)
+        if name not in bucket.entries:
+            return False
+        del bucket.entries[name]
+        self.version += 1
+        return True
+
+    def entries(self):
+        """All (name, ino) pairs in deterministic (hash-bucket) order."""
+        out = []
+        for block in self.blocks():
+            out.extend(sorted(block.entries.items()))
+        return out
+
+    def names(self):
+        return [name for name, _ino in self.entries()]
+
+    # -- splitting -------------------------------------------------------------------
+
+    def _split(self, bucket):
+        if bucket.local_depth == self.global_depth:
+            # Double the bucket table.
+            self._buckets = self._buckets + list(self._buckets)
+            self.global_depth += 1
+        new_depth = bucket.local_depth + 1
+        sibling = DirBlock(self._next_block_id, new_depth)
+        self._next_block_id += 1
+        bucket.local_depth = new_depth
+        # Entries whose new depth bit is 1 move to the sibling.
+        moved_bit = 1 << (new_depth - 1)
+        stay, move = {}, {}
+        for name, ino in bucket.entries.items():
+            if name_hash(name) & moved_bit:
+                move[name] = ino
+            else:
+                stay[name] = ino
+        bucket.entries = stay
+        sibling.entries = move
+        # Re-point table slots: among slots referencing `bucket`, those with
+        # the moved bit set now reference the sibling.
+        for index, blk in enumerate(self._buckets):
+            if blk is bucket and index & moved_bit:
+                self._buckets[index] = sibling

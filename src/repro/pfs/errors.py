@@ -1,0 +1,42 @@
+"""POSIX-style filesystem errors.
+
+Errors carry an errno name so differential tests can compare failure modes
+between the bare parallel FS and COFS exactly.
+"""
+
+
+class FsError(OSError):
+    """A filesystem operation failed with a POSIX errno."""
+
+    def __init__(self, code, message):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+    @classmethod
+    def enoent(cls, path):
+        return cls("ENOENT", f"no such file or directory: {path}")
+
+    @classmethod
+    def eexist(cls, path):
+        return cls("EEXIST", f"file exists: {path}")
+
+    @classmethod
+    def enotdir(cls, path):
+        return cls("ENOTDIR", f"not a directory: {path}")
+
+    @classmethod
+    def eisdir(cls, path):
+        return cls("EISDIR", f"is a directory: {path}")
+
+    @classmethod
+    def enotempty(cls, path):
+        return cls("ENOTEMPTY", f"directory not empty: {path}")
+
+    @classmethod
+    def ebadf(cls, handle):
+        return cls("EBADF", f"bad file handle: {handle}")
+
+    @classmethod
+    def einval(cls, message):
+        return cls("EINVAL", message)

@@ -1,0 +1,109 @@
+"""Cluster-wide wiring of the parallel file system.
+
+:class:`Pfs` owns the shared-disk state (inode table, root directory), runs
+the token and range-token managers on the first server machine, an NSD
+service on every server machine, and hands out per-node
+:class:`~repro.pfs.client.PfsClient` mounts.
+"""
+
+import zlib
+
+from repro.pfs.client import PfsClient
+from repro.pfs.config import PfsConfig
+from repro.pfs.inode import InodeTable
+from repro.pfs.nsd import NsdServer
+from repro.pfs.ranges import RangeTokenServer
+from repro.pfs.tokens import TokenServer
+from repro.pfs.types import DIRECTORY
+
+
+class PfsState:
+    """The authoritative shared-disk structures."""
+
+    def __init__(self, config):
+        self.inodes = InodeTable(
+            pack=config.inode_pack,
+            dir_block_capacity=config.dir_block_capacity,
+        )
+        root = self.inodes.allocate(DIRECTORY, 0o755, 0, 0, 0.0, "boot")
+        self.root_ino = root.ino
+        self.parents = {self.root_ino: self.root_ino}
+
+
+class Pfs:
+    """A mounted parallel file system across a testbed."""
+
+    def __init__(self, sim, server_machines, config=None, name="pfs"):
+        if not server_machines:
+            raise ValueError("at least one server machine is required")
+        self.sim = sim
+        self.name = name
+        self.config = config or PfsConfig()
+        self.state = PfsState(self.config)
+        self.server_machines = list(server_machines)
+        self.token_machine = self.server_machines[0]
+        self.range_machine = self.server_machines[0]
+        self.token_server = TokenServer(
+            self.token_machine, self.config, state=self.state
+        )
+        self.token_machine.register("tokmgr", self.token_server)
+        self.range_server = RangeTokenServer(self.range_machine, self.config)
+        self.range_machine.register("rangemgr", self.range_server)
+        self.nsds = [
+            NsdServer(machine, self.state, self.config)
+            for machine in self.server_machines
+        ]
+        for nsd in self.nsds:
+            nsd.machine.register("nsd", nsd)
+        self.clients = {}
+
+    # -- clients ---------------------------------------------------------------
+
+    def client(self, machine, uid=0, gid=0):
+        """Mount the filesystem on ``machine`` and return the client."""
+        if machine.name in self.clients:
+            raise ValueError(f"{machine.name} already has a {self.name} mount")
+        client = PfsClient(self, machine, uid=uid, gid=gid)
+        self.clients[machine.name] = client
+        return client
+
+    # -- placement of objects on servers ------------------------------------------
+
+    def _server_index(self, value):
+        return value % len(self.nsds)
+
+    def nsd_for_inode_block(self, block_id):
+        """The NSD machine serving a given inode block."""
+        return self.nsds[self._server_index(block_id)].machine
+
+    def nsd_for_inode(self, ino):
+        return self.nsd_for_inode_block(self.state.inodes.block_of(ino))
+
+    def nsd_for_dirblock(self, dir_ino, block_id):
+        return self.nsds[self._server_index(dir_ino + block_id)].machine
+
+    def nsd_for_chunk(self, ino, chunk_index):
+        return self.nsds[self._server_index(ino + chunk_index)].machine
+
+    def nsd_for_log(self, client_name):
+        """The NSD holding one client's recovery log (stable by name)."""
+        return self.nsds[self._server_index(zlib.crc32(client_name.encode()))].machine
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def counters(self):
+        """A flat dict of interesting counters for reports and tests."""
+        out = {
+            "token_acquires": self.token_server.acquires,
+            "token_revocations": self.token_server.revocations,
+            "range_acquires": self.range_server.acquires,
+            "range_revokes": self.range_server.range_revokes,
+        }
+        for nsd in self.nsds:
+            prefix = nsd.machine.name
+            out[f"{prefix}.meta_reads"] = nsd.meta_disk.reads
+            out[f"{prefix}.meta_writes"] = nsd.meta_disk.writes
+            out[f"{prefix}.data_reads"] = nsd.data_disk.reads
+            out[f"{prefix}.data_writes"] = nsd.data_disk.writes
+            out[f"{prefix}.log_writes"] = nsd.log_disk.writes
+        return out

@@ -1,0 +1,280 @@
+"""Per-node data cache and the client data path.
+
+Models the GPFS page pool: a bounded chunk cache with write-behind (a pool
+of background flushers drains dirty chunks to the NSD data disks, overlapping
+network and disk), sequential-read detection with pipelined prefetch, and
+byte-range token handling.  Reads of node-local cached data cost only memory
+copies — the behaviour that makes GPFS "extremely good" for small node-local
+files in Table I, and the bar COFS's FUSE overhead has to clear.
+"""
+
+from collections import OrderedDict, deque
+
+from repro.pfs.ranges import EOF, RO, XW
+
+
+class DataPath:
+    """The data side of one client: page pool, range tokens, flushers."""
+
+    def __init__(self, client):
+        self.client = client
+        self.machine = client.machine
+        self.sim = client.sim
+        self.config = client.config
+        self.capacity_chunks = max(
+            1, self.config.page_pool_bytes // self.config.chunk_bytes
+        )
+        self._chunks = OrderedDict()   # (ino, idx) -> [state, size]
+        self._dirty_fifo = deque()
+        self._dirty_count = 0
+        self._flushers = 0
+        self.max_flushers = 4
+        self._space_waiters = deque()
+        self._fsync_waiters = {}       # ino -> [events]
+        self._grants = {}              # ino -> [[lo, hi, mode]]
+        self._inflight_reads = {}      # (ino, idx) -> event
+        self._last_seq_end = {}        # ino -> offset after last read
+        self._last_seq_chunk = {}      # ino -> highest chunk of the run
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- range tokens -----------------------------------------------------------
+
+    def _covered(self, ino, lo, hi, mode):
+        for g_lo, g_hi, g_mode in self._grants.get(ino, ()):
+            if g_lo <= lo and hi <= g_hi and (g_mode == XW or mode == RO):
+                return True
+        return False
+
+    def ensure_range(self, ino, lo, hi, mode):
+        """Coroutine: make sure this node holds [lo, hi) in ``mode``."""
+        if self._covered(ino, lo, hi, mode):
+            return
+        granted = yield from self.machine.call(
+            self.client.pfs.range_machine, "rangemgr", "acquire",
+            args=(self.machine.name, ino, lo, hi, mode, 0, EOF),
+            req_size=self.config.token_msg_bytes,
+            resp_size=self.config.token_msg_bytes,
+        )
+        self._grants.setdefault(ino, []).append([granted[0], granted[1], mode])
+
+    def revoke_range(self, ino, lo, hi):
+        """RPC handler: flush dirty chunks in [lo, hi) and shed the range."""
+        chunk = self.config.chunk_bytes
+        for key, slot in list(self._chunks.items()):
+            c_ino, idx = key
+            if c_ino != ino or slot[0] != "dirty":
+                continue
+            c_lo = idx * chunk
+            if c_lo < hi and lo < c_lo + chunk:
+                yield from self._write_back(key, slot)
+        kept = []
+        for g_lo, g_hi, g_mode in self._grants.get(ino, ()):
+            if g_hi <= lo or g_lo >= hi:
+                kept.append([g_lo, g_hi, g_mode])
+                continue
+            if g_lo < lo:
+                kept.append([g_lo, lo, g_mode])
+            if g_hi > hi:
+                kept.append([hi, g_hi, g_mode])
+        if kept:
+            self._grants[ino] = kept
+        else:
+            self._grants.pop(ino, None)
+        return True
+
+    # -- writes ----------------------------------------------------------------------
+
+    def write(self, ino, offset, size):
+        """Coroutine: buffered write of ``size`` bytes at ``offset``."""
+        cfg = self.config
+        yield from self.ensure_range(ino, offset, offset + size, XW)
+        yield from self.machine.compute(size / cfg.mem_copy_bw)
+        for idx, span in self._chunk_spans(offset, size):
+            yield from self._make_room()
+            key = (ino, idx)
+            slot = self._chunks.get(key)
+            if slot is None:
+                self._chunks[key] = ["dirty", span]
+                self._mark_dirty(key)
+            else:
+                # Accumulate coverage (sub-chunk writes arrive in pieces,
+                # e.g. through the FUSE MTU); bounded by the chunk size.
+                slot[1] = min(self.config.chunk_bytes, slot[1] + span)
+                if slot[0] != "dirty":
+                    slot[0] = "dirty"
+                    self._mark_dirty(key)
+                self._chunks.move_to_end(key)
+
+    def _chunk_spans(self, offset, size):
+        """(chunk_index, bytes_touched_in_chunk) pairs for a byte range."""
+        chunk = self.config.chunk_bytes
+        end = offset + size
+        idx = offset // chunk
+        out = []
+        while idx * chunk < end:
+            lo = max(offset, idx * chunk)
+            hi = min(end, (idx + 1) * chunk)
+            out.append((idx, hi - lo))
+            idx += 1
+        return out
+
+    def _mark_dirty(self, key):
+        self._dirty_fifo.append(key)
+        self._dirty_count += 1
+        while self._flushers < self.max_flushers and self._flushers < self._dirty_count:
+            self._flushers += 1
+            self.sim.process(self._flusher(), name=f"flusher:{self.machine.name}")
+
+    def _make_room(self):
+        while len(self._chunks) >= self.capacity_chunks:
+            evicted = False
+            for key in self._chunks:
+                if self._chunks[key][0] == "clean":
+                    del self._chunks[key]
+                    evicted = True
+                    break
+            if evicted:
+                continue
+            gate = self.sim.event()
+            self._space_waiters.append(gate)
+            yield gate
+
+    def _flusher(self):
+        while self._dirty_fifo:
+            key = self._dirty_fifo.popleft()
+            slot = self._chunks.get(key)
+            if slot is None or slot[0] != "dirty":
+                self._dirty_count -= 1
+                continue
+            yield from self._write_back(key, slot)
+            self._dirty_count -= 1
+        self._flushers -= 1
+
+    def _write_back(self, key, slot):
+        ino, idx = key
+        slot[0] = "flushing"
+        nsd = self.client.pfs.nsd_for_chunk(ino, idx)
+        yield from self.machine.call(
+            nsd, "nsd", "write_chunk", args=(ino, idx, slot[1]),
+            req_size=slot[1], resp_size=128,
+        )
+        if slot[0] == "flushing":
+            slot[0] = "clean"
+        while self._space_waiters:
+            self._space_waiters.popleft().succeed()
+        if not self._has_dirty(ino):
+            for gate in self._fsync_waiters.pop(ino, ()):
+                gate.succeed()
+
+    def _has_dirty(self, ino):
+        return any(
+            k[0] == ino and slot[0] in ("dirty", "flushing")
+            for k, slot in self._chunks.items()
+        )
+
+    def fsync(self, ino):
+        """Coroutine: wait until no dirty chunks remain for ``ino``."""
+        while self._has_dirty(ino):
+            gate = self.sim.event()
+            self._fsync_waiters.setdefault(ino, []).append(gate)
+            yield gate
+
+    # -- reads -----------------------------------------------------------------------
+
+    def read(self, ino, offset, size):
+        """Coroutine: read ``size`` bytes at ``offset`` through the cache.
+
+        Read-ahead triggers only when a sequential run *crosses a chunk
+        boundary*: a random reader whose transfers arrive in sub-chunk
+        pieces (e.g. through the FUSE MTU) looks sequential inside each
+        chunk, and prefetching for it would waste several chunks of
+        bandwidth per transfer.
+        """
+        cfg = self.config
+        yield from self.ensure_range(ino, offset, offset + size, RO)
+        spans = self._chunk_spans(offset, size)
+        contiguous = self._last_seq_end.get(ino) == offset
+        last_chunk_seen = self._last_seq_chunk.get(ino)
+        crossed = last_chunk_seen is not None and spans and \
+            spans[-1][0] > last_chunk_seen
+        if contiguous:
+            self._last_seq_chunk[ino] = max(
+                spans[-1][0], last_chunk_seen if last_chunk_seen is not None else -1
+            )
+        else:
+            self._last_seq_chunk[ino] = spans[-1][0] if spans else None
+        self._last_seq_end[ino] = offset + size
+        for idx, span in spans:
+            yield from self._fetch_chunk(ino, idx, span)
+        if contiguous and crossed and spans:
+            last_idx = spans[-1][0]
+            for ahead in range(1, cfg.prefetch_depth + 1):
+                self._prefetch(ino, last_idx + ahead)
+        yield from self.machine.compute(size / cfg.mem_copy_bw)
+
+    def _fetch_chunk(self, ino, idx, span):
+        key = (ino, idx)
+        slot = self._chunks.get(key)
+        if slot is not None:
+            self.cache_hits += 1
+            self._chunks.move_to_end(key)
+            return
+        inflight = self._inflight_reads.get(key)
+        if inflight is not None:
+            self.cache_hits += 1
+            yield inflight
+            return
+        self.cache_misses += 1
+        yield from self._issue_read(ino, idx, max(span, self._disk_span(ino, idx)))
+
+    def _disk_span(self, ino, idx):
+        """How much of chunk ``idx`` exists on disk (for transfer sizing)."""
+        inode = self.client.state.inodes.get(ino)
+        if inode is None or inode.data is None:
+            return 0
+        chunk = self.config.chunk_bytes
+        lo = idx * chunk
+        return max(0, min(inode.size - lo, chunk))
+
+    def _issue_read(self, ino, idx, size):
+        key = (ino, idx)
+        gate = self.sim.event()
+        self._inflight_reads[key] = gate
+        nsd = self.client.pfs.nsd_for_chunk(ino, idx)
+        try:
+            yield from self.machine.call(
+                nsd, "nsd", "read_chunk", args=(ino, idx, max(size, 1)),
+                req_size=128, resp_size=max(size, 1),
+            )
+        finally:
+            del self._inflight_reads[key]
+            gate.succeed()
+        yield from self._make_room()
+        if key not in self._chunks:
+            self._chunks[key] = ["clean", size]
+
+    def _prefetch(self, ino, idx):
+        key = (ino, idx)
+        if key in self._chunks or key in self._inflight_reads:
+            return
+        if idx * self.config.chunk_bytes >= self._file_size(ino):
+            return
+        self.sim.process(
+            self._issue_read(ino, idx, self._disk_span(ino, idx)),
+            name=f"prefetch:{self.machine.name}",
+        )
+
+    def _file_size(self, ino):
+        inode = self.client.state.inodes.get(ino)
+        return inode.size if inode is not None else 0
+
+    # -- teardown -----------------------------------------------------------------------
+
+    def drop_ino(self, ino):
+        """Discard cached chunks and grants for a destroyed file."""
+        for key in [k for k in self._chunks if k[0] == ino]:
+            del self._chunks[key]
+        self._grants.pop(ino, None)
+        self._last_seq_end.pop(ino, None)
+        self._last_seq_chunk.pop(ino, None)

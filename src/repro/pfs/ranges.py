@@ -1,0 +1,158 @@
+"""Byte-range tokens for file data.
+
+GPFS hands out byte-range tokens greedily: the first writer of a file gets
+``[0, inf)`` and later conflicting requests *split* existing grants, so
+disjoint parallel access settles into conflict-free ranges after a brief
+negotiation — which is why IOR's segmented shared-file writes perform well
+(Table I).  Revoking a range forces the holder to flush dirty cached chunks
+overlapping it before the new grant is issued.
+"""
+
+from repro.sim.resources import Resource
+
+EOF = 1 << 62  # "infinity" for range ends
+
+RO = "ro"
+XW = "xw"
+
+
+def _overlap(a_lo, a_hi, b_lo, b_hi):
+    return a_lo < b_hi and b_lo < a_hi
+
+
+class _FileRanges:
+    __slots__ = ("grants", "lock")
+
+    def __init__(self, sim):
+        self.grants = []  # [lo, hi, node, mode]
+        self.lock = Resource(sim, capacity=1)
+
+
+class RangeTokenServer:
+    """Range-token manager (a service co-located with the token server)."""
+
+    def __init__(self, machine, config):
+        self.machine = machine
+        self.sim = machine.sim
+        self.config = config
+        self._files = {}
+        self._clients = {}
+        self.acquires = 0
+        self.range_revokes = 0
+
+    def attach_client(self, name, machine):
+        self._clients[name] = machine
+
+    def _state(self, ino):
+        state = self._files.get(ino)
+        if state is None:
+            state = _FileRanges(self.sim)
+            self._files[ino] = state
+        return state
+
+    def grants_of(self, ino):
+        """Snapshot for tests/diagnostics."""
+        return [tuple(g) for g in self._files[ino].grants] if ino in self._files else []
+
+    def forget(self, ino):
+        """Drop all state for a destroyed file (no revocations needed)."""
+        self._files.pop(ino, None)
+
+    # -- RPC handlers ----------------------------------------------------------
+
+    def acquire(self, node, ino, lo, hi, mode, desired_lo, desired_hi):
+        """Grant ``node`` a range covering [lo, hi) in ``mode``.
+
+        The grant is widened toward [desired_lo, desired_hi) as far as it can
+        go without touching other nodes' remaining grants.  Conflicting
+        portions of other nodes' grants are revoked (dirty data flushed at
+        the holders) first.  Returns the granted (lo, hi).
+        """
+        yield from self.machine.compute(self.config.token_server_cpu_ms)
+        state = self._state(ino)
+        with state.lock.request() as claim:
+            yield claim
+            conflicts = [
+                g for g in state.grants
+                if g[2] != node and _overlap(g[0], g[1], lo, hi)
+                and (mode == XW or g[3] == XW)
+            ]
+            for grant in conflicts:
+                self.range_revokes += 1
+                yield from self.machine.call(
+                    self._clients[grant[2]], "ranges", "revoke_range",
+                    args=(ino, lo, hi),
+                    req_size=self.config.token_msg_bytes,
+                    resp_size=self.config.token_msg_bytes,
+                )
+            self._trim(state, lo, hi, exclude=node, mode=mode)
+            g_lo, g_hi = self._widen(state, node, mode, lo, hi,
+                                     desired_lo, desired_hi)
+            state.grants.append([g_lo, g_hi, node, mode])
+            self._coalesce(state, node, mode)
+            self.acquires += 1
+        return (g_lo, g_hi)
+
+    def release_all(self, node, ino):
+        """Voluntary release of every range ``node`` holds on ``ino``."""
+        yield from self.machine.compute(self.config.token_server_cpu_ms)
+        state = self._files.get(ino)
+        if state is not None:
+            state.grants = [g for g in state.grants if g[2] != node]
+        return True
+
+    # -- grant bookkeeping --------------------------------------------------------
+
+    def _trim(self, state, lo, hi, exclude, mode):
+        """Shed other nodes' conflicting grants around [lo, hi).
+
+        A grant that *spans* the requested range is split at the requester's
+        offset and its forward tail is released too (not just [lo, hi)):
+        access is overwhelmingly forward-sequential, so leaving the old
+        holder a residual tail would force a fresh revocation on every
+        subsequent transfer — the requester instead inherits room to grow,
+        which is how disjoint parallel writers settle into conflict-free
+        ranges after one negotiation each.
+        """
+        kept = []
+        for g in state.grants:
+            g_lo, g_hi, g_node, g_mode = g
+            conflicting = g_node != exclude and (mode == XW or g_mode == XW)
+            if not conflicting or not _overlap(g_lo, g_hi, lo, hi):
+                kept.append(g)
+                continue
+            if g_lo < lo:
+                kept.append([g_lo, lo, g_node, g_mode])
+            elif g_hi > hi:
+                kept.append([hi, g_hi, g_node, g_mode])
+        state.grants = kept
+
+    def _widen(self, state, node, mode, lo, hi, desired_lo, desired_hi):
+        """The widest grant within desires that avoids remaining conflicts."""
+        g_lo = min(desired_lo, lo)
+        g_hi = max(desired_hi, hi)
+        for other_lo, other_hi, other_node, other_mode in state.grants:
+            if other_node == node:
+                continue
+            if mode == RO and other_mode == RO:
+                continue
+            if other_hi <= lo:
+                g_lo = max(g_lo, other_hi)
+            elif other_lo >= hi:
+                g_hi = min(g_hi, other_lo)
+        return (g_lo, g_hi)
+
+    def _coalesce(self, state, node, mode):
+        """Merge adjacent/overlapping grants held by ``node`` in ``mode``."""
+        mine = sorted(
+            (g for g in state.grants if g[2] == node and g[3] == mode),
+            key=lambda g: g[0],
+        )
+        others = [g for g in state.grants if g[2] != node or g[3] != mode]
+        merged = []
+        for g in mine:
+            if merged and g[0] <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], g[1])
+            else:
+                merged.append(g)
+        state.grants = others + merged

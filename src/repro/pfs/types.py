@@ -1,0 +1,93 @@
+"""Common filesystem value types: attributes, open flags, path helpers."""
+
+from dataclasses import dataclass
+
+FILE = "file"
+DIRECTORY = "dir"
+SYMLINK = "symlink"
+
+
+class OpenFlags:
+    """Open mode bits (a small subset of POSIX flags)."""
+
+    RDONLY = 0x0
+    WRONLY = 0x1
+    RDWR = 0x2
+    CREAT = 0x40
+    EXCL = 0x80
+    TRUNC = 0x200
+
+    @staticmethod
+    def wants_write(flags):
+        return bool(flags & (OpenFlags.WRONLY | OpenFlags.RDWR))
+
+
+@dataclass
+class FileAttr:
+    """The stat-visible attributes of a file, directory or symlink."""
+
+    ino: int
+    kind: str          # FILE, DIRECTORY or SYMLINK
+    mode: int
+    uid: int
+    gid: int
+    size: int
+    nlink: int
+    atime: float
+    mtime: float
+    ctime: float
+
+    @property
+    def is_dir(self):
+        return self.kind == DIRECTORY
+
+    @property
+    def is_file(self):
+        return self.kind == FILE
+
+    @property
+    def is_symlink(self):
+        return self.kind == SYMLINK
+
+
+def normalize(path):
+    """Normalize ``path`` to an absolute, /-rooted, dot-free form."""
+    if not path or not path.startswith("/"):
+        raise ValueError(f"path must be absolute: {path!r}")
+    parts = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(part)
+    return "/" + "/".join(parts)
+
+
+def split(path):
+    """Split a normalized path into (parent_path, leaf_name).
+
+    The root has no leaf: ``split("/") == ("/", "")``.
+    """
+    norm = normalize(path)
+    if norm == "/":
+        return ("/", "")
+    parent, _slash, name = norm.rpartition("/")
+    return (parent or "/", name)
+
+
+def components(path):
+    """The component names of a normalized path (empty for the root)."""
+    norm = normalize(path)
+    if norm == "/":
+        return []
+    return norm[1:].split("/")
+
+
+def join(parent, name):
+    """Join a parent path and a leaf name."""
+    if parent.endswith("/"):
+        return parent + name
+    return f"{parent}/{name}"

@@ -1,0 +1,92 @@
+"""The VFS interface shared by the parallel FS, the FUSE layer and COFS.
+
+Every filesystem in the reproduction exposes the same coroutine API, so
+workloads run unchanged against bare PFS, FUSE-wrapped PFS, or COFS — and the
+differential tests can assert identical observable behaviour.  All methods
+are simulation coroutines (``yield from fs.create(...)``) and raise
+:class:`~repro.pfs.errors.FsError` with POSIX errno codes on failure.
+"""
+
+
+class FileSystemApi:
+    """Abstract VFS: paths in, attributes/handles/data out."""
+
+    def mkdir(self, path, mode=0o755):
+        """Create a directory.  EEXIST / ENOENT / ENOTDIR apply."""
+        raise NotImplementedError
+
+    def rmdir(self, path):
+        """Remove an empty directory (ENOTEMPTY if not empty)."""
+        raise NotImplementedError
+
+    def create(self, path, mode=0o644):
+        """Create a regular file and open it for writing; returns a handle."""
+        raise NotImplementedError
+
+    def open(self, path, flags=0):
+        """Open an existing file (or create with O_CREAT); returns a handle."""
+        raise NotImplementedError
+
+    def close(self, handle):
+        """Close a handle (drains write-behind when fsync-on-close is set)."""
+        raise NotImplementedError
+
+    def unlink(self, path):
+        """Remove a file or symlink (EISDIR for directories)."""
+        raise NotImplementedError
+
+    def stat(self, path):
+        """The :class:`~repro.pfs.types.FileAttr` of ``path``."""
+        raise NotImplementedError
+
+    def utime(self, path, atime=None, mtime=None):
+        """Set access/modification times (None = now)."""
+        raise NotImplementedError
+
+    def chmod(self, path, mode):
+        """Change permission bits."""
+        raise NotImplementedError
+
+    def chown(self, path, uid, gid):
+        """Change owner and group."""
+        raise NotImplementedError
+
+    def statfs(self):
+        """Aggregate filesystem statistics (a dict of counters)."""
+        raise NotImplementedError
+
+    def readdir(self, path):
+        """The entry names of a directory, sorted."""
+        raise NotImplementedError
+
+    def rename(self, old, new):
+        """POSIX rename; replaces an existing target when legal."""
+        raise NotImplementedError
+
+    def link(self, src, dst):
+        """Create a hard link ``dst`` to the file at ``src``."""
+        raise NotImplementedError
+
+    def symlink(self, target, path):
+        """Create a symbolic link at ``path`` pointing to ``target``."""
+        raise NotImplementedError
+
+    def readlink(self, path):
+        """The target string of a symlink (EINVAL otherwise)."""
+        raise NotImplementedError
+
+    def read(self, handle, offset, size, want_data=False):
+        """Read; returns byte count, or the bytes when ``want_data``."""
+        raise NotImplementedError
+
+    def write(self, handle, offset, size=None, data=None):
+        """Write ``data`` (real bytes) or ``size`` synthetic bytes."""
+        raise NotImplementedError
+
+    def fsync(self, handle):
+        """Drain write-behind for the handle's file."""
+        raise NotImplementedError
+
+    def truncate(self, path, size):
+        """Set the file size (zero-fill on extension)."""
+        raise NotImplementedError

@@ -1,0 +1,47 @@
+"""Client-side view of the write-ahead log.
+
+GPFS gives every node its own recovery log, but the log lives on the shared
+disks — so a log force is a network round trip to an NSD server plus a
+journal write there.  :class:`ClientWal` batches concurrent forces from the
+same node into one round trip (its own group commit) and the server-side
+:class:`~repro.cluster.disk.GroupCommitLog` batches what arrives together;
+different nodes' forces contend on the NSD log disks, which is one of the
+queueing effects behind the paper's node-count scaling.
+"""
+
+
+class ClientWal:
+    """One node's write-ahead log handle (log storage lives on an NSD)."""
+
+    def __init__(self, machine, nsd_machine, config):
+        self.machine = machine
+        self.sim = machine.sim
+        self.nsd_machine = nsd_machine
+        self.config = config
+        self._waiters = []
+        self._pump_running = False
+        self.forces = 0
+
+    def force(self):
+        """Coroutine: return once the node's log is durable."""
+        done = self.sim.event()
+        self._waiters.append(done)
+        if not self._pump_running:
+            self._pump_running = True
+            self.sim.process(self._pump(), name=f"wal:{self.machine.name}")
+        yield done
+
+    def _pump(self):
+        group_max = self.config.log_group_max
+        while self._waiters:
+            batch = self._waiters[:group_max]
+            del self._waiters[: len(batch)]
+            self.forces += 1
+            yield from self.machine.call(
+                self.nsd_machine, "nsd", "log_force",
+                args=(self.machine.name, len(batch)),
+                req_size=512 * len(batch), resp_size=128,
+            )
+            for done in batch:
+                done.succeed()
+        self._pump_running = False

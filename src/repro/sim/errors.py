@@ -1,0 +1,17 @@
+"""Exception types used by the simulation kernel."""
+
+
+class SimError(RuntimeError):
+    """Base class for simulation kernel errors."""
+
+
+class SimInterrupt(SimError):
+    """Raised inside a process that has been interrupted.
+
+    The ``cause`` attribute carries the object passed to
+    :meth:`repro.sim.kernel.Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause

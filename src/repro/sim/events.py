@@ -1,0 +1,151 @@
+"""Waitable events for the simulation kernel.
+
+An :class:`Event` is the unit a process can ``yield`` on.  Events are
+*triggered* (with a value, or a failure) and later *processed* by the event
+loop, at which point the callbacks registered on them run.  The
+trigger/process split keeps callback execution inside the event loop, which
+makes ordering deterministic.
+"""
+
+from repro.sim.errors import SimError
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot waitable occurrence in virtual time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` schedules them for
+    processing at the current simulation time.  Processes that ``yield`` an
+    event are resumed when it is processed.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._processed = False
+
+    @property
+    def processed(self):
+        """True once the event loop has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def triggered(self):
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def ok(self):
+        """True if the event succeeded; meaningless while pending."""
+        return bool(self._ok)
+
+    @property
+    def value(self):
+        """The success value or failure exception of the event."""
+        if self._value is PENDING:
+            raise SimError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimError(f"event {self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event as failed with ``exception``.
+
+        Waiting processes will have the exception thrown into them.
+        """
+        if self._value is not PENDING:
+            raise SimError(f"event {self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay, value=None):
+        if delay < 0:
+            raise SimError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule_trigger(self, delay, True, value)
+
+
+class _Condition(Event):
+    """Base class for events composed of several child events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            if event.triggered:
+                # Already-triggered children are observed via a no-delay
+                # callback so ordering stays inside the event loop.
+                probe = Event(sim)
+                probe.callbacks.append(lambda _e, child=event: self._observe(child))
+                probe.succeed()
+            else:
+                event.callbacks.append(self._observe)
+
+    def _observe(self, event):
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when every child event has succeeded.
+
+    The value is the list of child values in construction order.  Fails as
+    soon as any child fails.
+    """
+
+    __slots__ = ()
+
+    def _observe(self, event):
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if not self._remaining:
+            self.succeed([child.value for child in self.events])
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first child event succeeds (value = that child's).
+
+    Fails if the first child to trigger fails.
+    """
+
+    __slots__ = ()
+
+    def _observe(self, event):
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)

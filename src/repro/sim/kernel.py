@@ -1,0 +1,202 @@
+"""The event loop and process machinery.
+
+:class:`Simulator` owns the virtual clock and the event heap.
+:class:`Process` drives a generator: every value the generator yields must be
+an :class:`~repro.sim.events.Event`; the process suspends until the event is
+processed and is resumed with the event's value (or has the event's exception
+thrown into it).  A process is itself an event that triggers when the
+generator returns.
+"""
+
+import heapq
+from inspect import isgenerator
+
+from repro.sim.errors import SimError, SimInterrupt
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class Process(Event):
+    """A running coroutine, also waitable as an event (fires at completion)."""
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim, generator, name=None):
+        if not isgenerator(generator):
+            raise SimError(f"Process needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on = None
+        # Kick off the process via a zero-delay event so it starts inside the
+        # event loop, after the current callback finishes.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def __repr__(self):
+        return f"<Process {self.name} at t={self.sim.now:.3f}>"
+
+    @property
+    def is_alive(self):
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`SimInterrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting detaches it from the event it was waiting on.
+        """
+        if self.triggered:
+            raise SimError(f"cannot interrupt finished process {self.name}")
+        poke = Event(self.sim)
+        poke.callbacks.append(self._do_interrupt)
+        self.sim._schedule_trigger(poke, 0.0, False, SimInterrupt(cause))
+
+    def _do_interrupt(self, poke):
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        self._step(poke)
+
+    def _resume(self, event):
+        self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event):
+        try:
+            if event._ok:
+                yielded = self.generator.send(event._value)
+            else:
+                yielded = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if self.callbacks or isinstance(exc, SimError):
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(yielded, Event):
+            raise SimError(
+                f"process {self.name} yielded {yielded!r}; processes may only "
+                "yield Event objects (timeout, request, process, ...)"
+            )
+        self._waiting_on = yielded
+        if yielded._processed:
+            # The event fired before we yielded on it; resume via a probe
+            # carrying its outcome (the original callbacks already ran).
+            probe = Event(self.sim)
+            probe.callbacks.append(self._resume)
+            self.sim._schedule_trigger(probe, 0.0, yielded._ok, yielded._value)
+            self._waiting_on = probe
+        else:
+            yielded.callbacks.append(self._resume)
+
+
+class Simulator:
+    """Virtual clock plus a deterministic event heap.
+
+    Heap entries are ordered by ``(time, sequence)`` where the sequence number
+    is assigned at scheduling time, so same-time events are processed in
+    schedule order and runs are fully reproducible.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._sequence = 0
+        self._processed = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule_event(self, event, delay=0.0):
+        """Queue an already-triggered event for callback processing."""
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self.now + delay, self._sequence, event, None)
+        )
+
+    def _schedule_trigger(self, event, delay, ok, value):
+        """Queue a pending event to be triggered-and-processed at now+delay."""
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self.now + delay, self._sequence, event, (ok, value))
+        )
+
+    def schedule(self, delay, callback, value=None):
+        """Run ``callback(value)`` after ``delay`` virtual milliseconds."""
+        event = Event(self)
+        event.callbacks.append(lambda ev: callback(ev._value))
+        self._schedule_trigger(event, delay, True, value)
+        return event
+
+    # -- event constructors -------------------------------------------------
+
+    def event(self):
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event firing ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Spawn ``generator`` as a new process, returning it."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        """Event that succeeds when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Event that succeeds when the first of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until=None):
+        """Process events until the heap is empty or ``until`` is reached.
+
+        Returns the simulation time at exit.  ``until`` is an absolute
+        virtual time; events scheduled exactly at ``until`` are *not*
+        processed (the clock stops at ``until``).
+        """
+        heap = self._heap
+        while heap:
+            when = heap[0][0]
+            if until is not None and when >= until:
+                self.now = until
+                return self.now
+            _when, _seq, event, payload = heapq.heappop(heap)
+            self.now = when
+            self._processed += 1
+            if payload is not None:
+                event._ok, event._value = payload
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+        return self.now
+
+    def run_process(self, generator, name=None):
+        """Spawn ``generator``, run to completion, and return its value.
+
+        Convenience for tests and examples; raises if the process failed or
+        the simulation starved before the process finished.
+        """
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimError(f"simulation starved; {proc.name} never finished")
+        if not proc.ok:
+            raise proc.value
+        return proc.value
+
+    @property
+    def events_processed(self):
+        """Number of events processed so far (for diagnostics)."""
+        return self._processed

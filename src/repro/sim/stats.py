@@ -1,0 +1,211 @@
+"""Statistics collectors for simulation measurements.
+
+The benchmark harness reports the same quantities the paper does: average
+time per operation per configuration, plus aggregate rates for IOR.  The
+collectors here keep running summaries (and optionally raw samples, for
+percentiles) keyed by operation name.
+"""
+
+import math
+from collections import defaultdict
+
+
+class SummaryStats:
+    """Streaming mean/variance/min/max over a sequence of samples."""
+
+    __slots__ = ("n", "mean", "_m2", "min", "max", "total")
+
+    def __init__(self):
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x):
+        """Fold sample ``x`` into the summary (Welford update)."""
+        self.n += 1
+        self.total += x
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def variance(self):
+        """Sample variance (0 for fewer than two samples)."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def stdev(self):
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other):
+        """Fold another :class:`SummaryStats` into this one."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return self
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        self.mean += delta * other.n / n
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self.n = n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def __repr__(self):
+        if not self.n:
+            return "<SummaryStats empty>"
+        return (
+            f"<SummaryStats n={self.n} mean={self.mean:.4f} "
+            f"min={self.min:.4f} max={self.max:.4f}>"
+        )
+
+
+def percentile(samples, q):
+    """The ``q``-quantile (0..1) of ``samples`` by linear interpolation."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class Counter:
+    """A defaultdict-style event counter with a stable repr."""
+
+    def __init__(self):
+        self._counts = defaultdict(int)
+
+    def incr(self, key, by=1):
+        """Add ``by`` to the count of ``key``."""
+        self._counts[key] += by
+
+    def __getitem__(self, key):
+        return self._counts.get(key, 0)
+
+    def __contains__(self, key):
+        return key in self._counts
+
+    def items(self):
+        return sorted(self._counts.items())
+
+    def as_dict(self):
+        return dict(self._counts)
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"<Counter {inner}>"
+
+
+class OpRecorder:
+    """Per-operation latency recorder.
+
+    ``record(op, elapsed)`` folds a sample; ``mean(op)`` and friends read the
+    summaries back.  With ``keep_samples=True``, raw samples are retained so
+    percentiles can be computed.
+    """
+
+    def __init__(self, keep_samples=False):
+        self.keep_samples = keep_samples
+        self._summaries = defaultdict(SummaryStats)
+        self._samples = defaultdict(list)
+
+    def record(self, op, elapsed):
+        """Record one ``elapsed`` (ms) sample for operation ``op``."""
+        self._summaries[op].add(elapsed)
+        if self.keep_samples:
+            self._samples[op].append(elapsed)
+
+    def ops(self):
+        """Names of all recorded operations, sorted."""
+        return sorted(self._summaries)
+
+    def count(self, op):
+        return self._summaries[op].n
+
+    def mean(self, op):
+        """Average latency of ``op`` in ms (0.0 if never recorded)."""
+        summary = self._summaries.get(op)
+        return summary.mean if summary else 0.0
+
+    def total(self, op):
+        summary = self._summaries.get(op)
+        return summary.total if summary else 0.0
+
+    def summary(self, op):
+        return self._summaries[op]
+
+    def samples(self, op):
+        if not self.keep_samples:
+            raise ValueError("OpRecorder was created with keep_samples=False")
+        return list(self._samples[op])
+
+    def percentile(self, op, q):
+        return percentile(self.samples(op), q)
+
+    def merge(self, other):
+        """Fold another recorder's summaries (and samples) into this one."""
+        for op, summary in other._summaries.items():
+            self._summaries[op].merge(summary)
+        if self.keep_samples and other.keep_samples:
+            for op, samples in other._samples.items():
+                self._samples[op].extend(samples)
+        return self
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for utilization-style metrics (queue depth, tokens held, ...): call
+    ``update(now, level)`` at every change; ``average(now)`` integrates.
+    """
+
+    def __init__(self, t0=0.0, level=0.0):
+        self._last_t = t0
+        self._level = level
+        self._area = 0.0
+        self._t0 = t0
+
+    @property
+    def level(self):
+        return self._level
+
+    def update(self, now, level):
+        """Advance to ``now`` and set the new signal ``level``."""
+        if now < self._last_t:
+            raise ValueError("TimeWeighted.update() moved backwards in time")
+        self._area += self._level * (now - self._last_t)
+        self._last_t = now
+        self._level = level
+
+    def average(self, now):
+        """Time-weighted mean of the signal over [t0, now]."""
+        span = now - self._t0
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (now - self._last_t)
+        return area / span

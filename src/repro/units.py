@@ -1,0 +1,37 @@
+"""Unit conventions and conversion helpers.
+
+The whole reproduction uses a single set of units:
+
+- **time**: milliseconds of virtual time (the paper reports ms/operation),
+- **sizes**: bytes,
+- **bandwidth**: bytes per millisecond.
+"""
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+
+def gbps(x):
+    """Convert gigabits/second to bytes/millisecond (1 Gbps = 125000 B/ms)."""
+    return x * 1e9 / 8.0 / 1e3
+
+
+def mbps(x):
+    """Convert megabits/second to bytes/millisecond."""
+    return x * 1e6 / 8.0 / 1e3
+
+
+def mb_per_s(x):
+    """Convert megabytes/second to bytes/millisecond."""
+    return x * MB / 1e3
+
+
+def to_mb_per_s(bytes_per_ms):
+    """Convert bytes/millisecond back to megabytes/second for reporting."""
+    return bytes_per_ms * 1e3 / MB
+
+
+def seconds(ms):
+    """Milliseconds to seconds, for reporting."""
+    return ms / 1e3

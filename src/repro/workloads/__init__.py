@@ -1,0 +1,25 @@
+"""Workload generators: the benchmarks the paper measures with.
+
+- :mod:`repro.workloads.metarates` — the UCAR/NCAR metarates benchmark
+  (parallel metadata transaction rates: create, stat, utime, open/close);
+- :mod:`repro.workloads.ior` — LLNL's IOR v2 (aggregate data rates for
+  sequential/random read/write to shared or separate files);
+- :mod:`repro.workloads.apps` — application-shaped workloads from the
+  paper's introduction (parallel checkpoint dumps, bundles of small jobs
+  writing into a shared results directory).
+"""
+
+from repro.workloads.ior import IorConfig, IorResult, run_ior
+from repro.workloads.metarates import (
+    MetaratesConfig,
+    MetaratesResult,
+    run_metarates,
+)
+
+__all__ = [
+    "IorConfig",
+    "IorResult",
+    "MetaratesConfig",
+    "MetaratesResult",
+    "run_metarates",
+]

@@ -1,0 +1,119 @@
+"""Application-shaped workloads from the paper's motivation (§I-II).
+
+Two patterns drove the observed production slowdowns:
+
+- **parallel checkpointing** — a large parallel application where every node
+  dumps its state into a per-node file in one shared checkpoint directory,
+  at intervals;
+- **job bundles** — large numbers of loosely coupled small jobs, each
+  writing its outputs into a shared results directory.
+
+Both hammer the same pathology: lots of files created in parallel in a
+single shared directory.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import SummaryStats
+from repro.units import MB
+from repro.workloads.metarates import _mkdir_p
+
+
+@dataclass
+class CheckpointConfig:
+    """A parallel application writing periodic checkpoints."""
+
+    nodes: int = 8
+    rounds: int = 3
+    bytes_per_node: int = 8 * MB
+    compute_ms: float = 500.0        # think time between checkpoints
+    directory: str = "/app/checkpoints"
+
+
+@dataclass
+class CheckpointResult:
+    config: CheckpointConfig
+    round_wall_ms: list = field(default_factory=list)
+    create_ms: SummaryStats = field(default_factory=SummaryStats)
+
+    @property
+    def mean_round_ms(self):
+        return sum(self.round_wall_ms) / len(self.round_wall_ms)
+
+
+def run_checkpoint(stack, config):
+    """Run the checkpoint workload; returns per-round wall times."""
+    sim = stack.testbed.sim
+    result = CheckpointResult(config=config)
+
+    def node_round(node, round_index):
+        fs = stack.mount(node)
+        path = f"{config.directory}/ckpt.{round_index:03d}.n{node:04d}"
+        t0 = sim.now
+        fh = yield from fs.create(path)
+        result.create_ms.add(sim.now - t0)
+        yield from fs.write(fh, 0, size=config.bytes_per_node)
+        yield from fs.close(fh)
+
+    def orchestrate():
+        yield from _mkdir_p(stack.mount(0), config.directory)
+        for round_index in range(config.rounds):
+            yield sim.timeout(config.compute_ms)
+            start = sim.now
+            procs = [
+                sim.process(node_round(node, round_index))
+                for node in range(config.nodes)
+            ]
+            yield sim.all_of(procs)
+            result.round_wall_ms.append(sim.now - start)
+
+    sim.run_process(orchestrate(), name="checkpoint")
+    return result
+
+
+@dataclass
+class JobBundleConfig:
+    """A bundle of small independent jobs sharing a results directory."""
+
+    jobs: int = 64
+    nodes: int = 8
+    output_bytes: int = 256 * 1024
+    job_compute_ms: float = 50.0
+    directory: str = "/results"
+
+
+@dataclass
+class JobBundleResult:
+    config: JobBundleConfig
+    makespan_ms: float = 0.0
+    job_ms: SummaryStats = field(default_factory=SummaryStats)
+
+    @property
+    def jobs_per_second(self):
+        return self.config.jobs / (self.makespan_ms / 1e3)
+
+
+def run_job_bundle(stack, config):
+    """Run the job bundle; jobs are dealt round-robin across nodes."""
+    sim = stack.testbed.sim
+    result = JobBundleResult(config=config)
+
+    def job(index):
+        node = index % config.nodes
+        fs = stack.mount(node)
+        start = sim.now
+        yield sim.timeout(config.job_compute_ms)
+        fh = yield from fs.create(f"{config.directory}/out.{index:05d}")
+        yield from fs.write(fh, 0, size=config.output_bytes)
+        yield from fs.close(fh)
+        result.job_ms.add(sim.now - start)
+
+    def orchestrate():
+        yield from _mkdir_p(stack.mount(0), config.directory)
+        start = sim.now
+        procs = [sim.process(job(i)) for i in range(config.jobs)]
+        yield sim.all_of(procs)
+        result.makespan_ms = sim.now - start
+
+    sim.run_process(orchestrate(), name="job-bundle")
+    return result

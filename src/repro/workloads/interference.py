@@ -1,0 +1,110 @@
+"""Interference: how one application's metadata storm hurts bystanders.
+
+The paper's core production observation (§I): "file system overheads tend
+to affect the whole system (not only the 'infringing' applications), as
+file servers are kept overloaded and all requests are delayed."  This
+workload reproduces that measurement directly:
+
+- an *aggressor* application runs a parallel create storm in a shared
+  output directory on part of the cluster;
+- a *bystander* on another node runs ``ls -l`` against that directory (the
+  classic "user checks the job's output while it runs" support ticket,
+  and one of the paper's two named triggers: "parallel file creation or
+  large directory traversals");
+- the bystander's listing latencies are recorded with the storm off and
+  with the storm on.
+
+Under the bare parallel FS the storm saturates the token server, the log
+disks and the metadata disks that every node shares, so the bystander
+suffers even though it touches none of the contended objects.  COFS keeps
+the storm's traffic off the hot shared structures, which also protects the
+bystander.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import SummaryStats
+from repro.workloads.metarates import _mkdir_p
+
+
+@dataclass
+class InterferenceConfig:
+    """One interference measurement."""
+
+    storm_nodes: int = 6            # aggressor nodes (1..storm_nodes)
+    storm_files_per_node: int = 256
+    bystander_ops: int = 10         # listings per pass
+    bystander_think_ms: float = 25.0
+    stat_entries: int = 20          # `ls -l` stats the first K entries
+    preexisting_files: int = 64     # directory content before the storm
+    storm_directory: str = "/app/output"
+
+
+@dataclass
+class InterferenceResult:
+    config: InterferenceConfig
+    quiet_ms: SummaryStats = field(default_factory=SummaryStats)
+    stormy_ms: SummaryStats = field(default_factory=SummaryStats)
+
+    @property
+    def slowdown(self):
+        """Bystander latency multiplier caused by the storm."""
+        if self.quiet_ms.mean == 0:
+            return float("inf")
+        return self.stormy_ms.mean / self.quiet_ms.mean
+
+
+def run_interference(stack, config=None):
+    """Measure bystander latency with and without a create storm.
+
+    Node 0 is the bystander; nodes 1..storm_nodes run the aggressor.
+    Returns an :class:`InterferenceResult`.
+    """
+    config = config or InterferenceConfig()
+    sim = stack.testbed.sim
+    result = InterferenceResult(config=config)
+    if config.storm_nodes + 1 > stack.n_nodes:
+        raise ValueError("testbed too small for storm_nodes + bystander")
+
+    bystander = stack.mount(0)
+
+    def bystander_pass(recorder):
+        for _ in range(config.bystander_ops):
+            yield sim.timeout(config.bystander_think_ms)
+            start = sim.now
+            names = yield from bystander.readdir(config.storm_directory)
+            for name in names[: config.stat_entries]:
+                yield from bystander.stat(f"{config.storm_directory}/{name}")
+            recorder.add(sim.now - start)
+
+    def storm(node):
+        fs = stack.mount(node)
+        for index in range(config.storm_files_per_node):
+            path = f"{config.storm_directory}/f.{node:03d}.{index:05d}"
+            fh = yield from fs.create(path)
+            yield from fs.close(fh)
+
+    def orchestrate():
+        yield from _mkdir_p(bystander, config.storm_directory)
+        # Pre-populate the directory (from an aggressor node, so the
+        # bystander's listing is cold either way).
+        setup = stack.mount(1)
+        for index in range(config.preexisting_files):
+            fh = yield from setup.create(
+                f"{config.storm_directory}/old.{index:05d}"
+            )
+            yield from setup.close(fh)
+        # Quiet baseline.
+        yield from bystander_pass(result.quiet_ms)
+        # Storm on.
+        storm_procs = [
+            sim.process(storm(node), name=f"storm-{node}")
+            for node in range(1, config.storm_nodes + 1)
+        ]
+        measure = sim.process(
+            bystander_pass(result.stormy_ms), name="bystander"
+        )
+        yield sim.all_of([measure] + storm_procs)
+
+    sim.run_process(orchestrate(), name="interference")
+    return result

@@ -1,0 +1,155 @@
+"""The IOR benchmark (LLNL), POSIX interface.
+
+Aggregate data rates for parallel and sequential read/write to shared or
+separate files.  The paper (§IV) runs aggregate sizes of 256 MB, 1 GB and
+4 GB through the POSIX API; when using separate files, each process's file
+is the aggregate size divided by the number of processes.  Reads follow
+writes within a run, so node-local caches are warm — the setup behind
+Table I's "small separate files" rows.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.pfs.types import OpenFlags
+from repro.units import MB, to_mb_per_s
+
+SEQUENTIAL = "seq"
+RANDOM = "random"
+SEPARATE = "separate"
+SHARED = "shared"
+
+
+@dataclass
+class IorConfig:
+    """One IOR run (a write phase followed by a read phase)."""
+
+    nodes: int = 1
+    procs_per_node: int = 1
+    aggregate_bytes: int = 256 * MB
+    xfer_bytes: int = 1 * MB
+    pattern: str = SEQUENTIAL        # "seq" or "random"
+    target: str = SEPARATE           # "separate" or "shared"
+    directory: str = "/ior"
+    do_read: bool = True
+    do_write: bool = True
+    #: IOR's ``-C`` (reorderTasks): in shared-file mode each rank reads the
+    #: segment its neighbour wrote, so reads measure the file system rather
+    #: than the local cache.  Separate files are always read back by their
+    #: writer (there is no other rank that could open them in IOR).
+    reorder_tasks: bool = True
+
+    @property
+    def n_procs(self):
+        return self.nodes * self.procs_per_node
+
+    @property
+    def block_bytes(self):
+        """Bytes handled by each process."""
+        return self.aggregate_bytes // self.n_procs
+
+
+@dataclass
+class IorResult:
+    """Aggregate bandwidths, as IOR reports."""
+
+    config: IorConfig
+    write_wall_ms: float = 0.0
+    read_wall_ms: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def write_mbps(self):
+        if not self.write_wall_ms:
+            return 0.0
+        return to_mb_per_s(self.config.aggregate_bytes / self.write_wall_ms)
+
+    @property
+    def read_mbps(self):
+        if not self.read_wall_ms:
+            return 0.0
+        return to_mb_per_s(self.config.aggregate_bytes / self.read_wall_ms)
+
+
+def _target_path(config, rank):
+    if config.target == SHARED:
+        return f"{config.directory}/data"
+    return f"{config.directory}/data.{rank:04d}"
+
+
+def _chunk_offsets(config, rank, rng):
+    """The xfer-granular offsets this rank touches, in access order."""
+    block = config.block_bytes
+    base = rank * block if config.target == SHARED else 0
+    offsets = list(range(base, base + block, config.xfer_bytes))
+    if config.pattern == RANDOM:
+        rng.shuffle(offsets)
+    return offsets
+
+
+def run_ior(stack, config):
+    """Run IOR against a mounted stack; returns the result."""
+    sim = stack.testbed.sim
+    streams = stack.testbed.streams
+    result = IorResult(config=config)
+
+    def rank_of(node, proc):
+        return node * config.procs_per_node + proc
+
+    def all_ranks():
+        for node in range(config.nodes):
+            for proc in range(config.procs_per_node):
+                yield node, proc
+
+    def writer(node, proc):
+        fs = stack.mount(node, proc)
+        rank = rank_of(node, proc)
+        path = _target_path(config, rank)
+        rng = streams.stream(f"ior.write.{rank}")
+        if config.target == SHARED:
+            # Every rank opens the shared file; rank 0 created it in setup.
+            fh = yield from fs.open(path, OpenFlags.RDWR)
+        else:
+            fh = yield from fs.create(path)
+        for offset in _chunk_offsets(config, rank, rng):
+            span = min(config.xfer_bytes, config.block_bytes)
+            yield from fs.write(fh, offset, size=span)
+        yield from fs.close(fh)
+
+    def reader(node, proc):
+        fs = stack.mount(node, proc)
+        rank = rank_of(node, proc)
+        read_rank = rank
+        if config.target == SHARED and config.reorder_tasks:
+            read_rank = (rank + 1) % config.n_procs
+        path = _target_path(config, rank)
+        rng = streams.stream(f"ior.read.{rank}")
+        fh = yield from fs.open(path, OpenFlags.RDONLY)
+        for offset in _chunk_offsets(config, read_rank, rng):
+            span = min(config.xfer_bytes, config.block_bytes)
+            yield from fs.read(fh, offset, span)
+        yield from fs.close(fh)
+
+    def phase(factory, label):
+        procs = [
+            sim.process(factory(node, proc), name=f"ior-{label}-{node}.{proc}")
+            for node, proc in all_ranks()
+        ]
+        start = sim.now
+        yield sim.all_of(procs)
+        return sim.now - start
+
+    def orchestrate():
+        from repro.workloads.metarates import _mkdir_p
+
+        first = stack.mount(0, 0)
+        yield from _mkdir_p(first, config.directory)
+        if config.target == SHARED:
+            fh = yield from first.create(_target_path(config, 0))
+            yield from first.close(fh)
+        if config.do_write:
+            result.write_wall_ms = yield from phase(writer, "write")
+        if config.do_read:
+            result.read_wall_ms = yield from phase(reader, "read")
+
+    sim.run_process(orchestrate(), name="ior")
+    return result

@@ -1,0 +1,174 @@
+"""The metarates benchmark (UCAR / NCAR Scientific Computing Division).
+
+Measures the rate of parallel metadata transactions on a file system.  The
+paper (§II-A) uses four operations — create, stat, utime and open/close —
+measured consecutively, all files in one shared directory:
+
+- **create**: all processes create their files in parallel (timed), then the
+  files are deleted;
+- **stat / utime / open-close**: the *first* process creates every file
+  sequentially, all processes then access their partitions in parallel
+  (timed), and the first process deletes everything.
+
+The create-by-first-node setup is load-bearing: it leaves the creator
+holding exclusive dirty attribute tokens, so the parallel access phase pays
+revocations — until directory size exceeds the creator's token cache, the
+effect the paper's Fig. 5 shows as an expensive phase that converges.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import OpRecorder
+
+OPS = ("create", "stat", "utime", "open")
+
+
+@dataclass
+class MetaratesConfig:
+    """One metarates run."""
+
+    nodes: int = 1
+    procs_per_node: int = 1
+    files_per_proc: int = 64
+    directory: str = "/bench/shared"
+    ops: tuple = OPS
+    #: delete the files between phases (the benchmark always does; exposed
+    #: for tests that inspect the tree afterwards).
+    cleanup: bool = True
+
+    @property
+    def n_procs(self):
+        return self.nodes * self.procs_per_node
+
+    @property
+    def total_files(self):
+        return self.n_procs * self.files_per_proc
+
+
+@dataclass
+class MetaratesResult:
+    """Per-operation latency summaries plus phase wall times."""
+
+    config: MetaratesConfig
+    recorder: OpRecorder
+    phase_wall_ms: dict = field(default_factory=dict)
+
+    def mean_ms(self, op):
+        """Average time per operation, as the paper's figures report."""
+        return self.recorder.mean(op)
+
+    def rate_per_s(self, op):
+        """Aggregate operations/second for the timed phase."""
+        wall = self.phase_wall_ms.get(op)
+        if not wall:
+            return 0.0
+        return self.recorder.count(op) / (wall / 1e3)
+
+
+def _file_name(directory, rank, index):
+    return f"{directory}/f.{rank:04d}.{index:06d}"
+
+
+def _mkdir_p(fs, path):
+    """Coroutine: create all missing components of ``path``."""
+    from repro.pfs.errors import FsError
+
+    parts = [p for p in path.split("/") if p]
+    prefix = ""
+    for part in parts:
+        prefix = f"{prefix}/{part}"
+        try:
+            yield from fs.mkdir(prefix)
+        except FsError as exc:
+            if exc.code != "EEXIST":
+                raise
+
+
+def run_metarates(stack, config):
+    """Run metarates against a mounted stack; returns the result.
+
+    Drives the stack's simulator to completion (the stack must be idle).
+    """
+    sim = stack.testbed.sim
+    recorder = OpRecorder(keep_samples=True)
+    result = MetaratesResult(config=config, recorder=recorder)
+
+    def rank_of(node, proc):
+        return node * config.procs_per_node + proc
+
+    def worker(op, node, proc):
+        fs = stack.mount(node, proc)
+        rank = rank_of(node, proc)
+        for index in range(config.files_per_proc):
+            path = _file_name(config.directory, rank, index)
+            start = sim.now
+            if op == "create":
+                fh = yield from fs.create(path)
+                yield from fs.close(fh)
+            elif op == "stat":
+                yield from fs.stat(path)
+            elif op == "utime":
+                yield from fs.utime(path)
+            elif op == "open":
+                fh = yield from fs.open(path)
+                yield from fs.close(fh)
+            else:
+                raise ValueError(f"unknown metarates op: {op}")
+            recorder.record(op, sim.now - start)
+
+    def all_ranks():
+        for node in range(config.nodes):
+            for proc in range(config.procs_per_node):
+                yield node, proc
+
+    def seq_create_all(fs):
+        for node, proc in all_ranks():
+            rank = rank_of(node, proc)
+            for index in range(config.files_per_proc):
+                fh = yield from fs.create(_file_name(config.directory, rank, index))
+                yield from fs.close(fh)
+
+    def seq_delete_all(fs):
+        for node, proc in all_ranks():
+            rank = rank_of(node, proc)
+            for index in range(config.files_per_proc):
+                yield from fs.unlink(_file_name(config.directory, rank, index))
+
+    def parallel_phase(op):
+        procs = [
+            sim.process(worker(op, node, proc), name=f"mr-{op}-{node}.{proc}")
+            for node, proc in all_ranks()
+        ]
+        start = sim.now
+        yield sim.all_of(procs)
+        result.phase_wall_ms[op] = sim.now - start
+
+    def parallel_delete():
+        def deleter(node, proc):
+            fs = stack.mount(node, proc)
+            rank = rank_of(node, proc)
+            for index in range(config.files_per_proc):
+                yield from fs.unlink(_file_name(config.directory, rank, index))
+
+        procs = [
+            sim.process(deleter(node, proc), name=f"mr-del-{node}.{proc}")
+            for node, proc in all_ranks()
+        ]
+        yield sim.all_of(procs)
+
+    def orchestrate():
+        first = stack.mount(0, 0)
+        yield from _mkdir_p(first, config.directory)
+        for op in config.ops:
+            if op == "create":
+                yield from parallel_phase("create")
+                if config.cleanup:
+                    yield from parallel_delete()
+            else:
+                yield from seq_create_all(first)
+                yield from parallel_phase(op)
+                if config.cleanup:
+                    yield from seq_delete_all(first)
+
+    sim.run_process(orchestrate(), name="metarates")
+    return result

@@ -1,0 +1,133 @@
+"""A synthetic production mix, after the paper's cluster description.
+
+§II: "Such clusters ... have a very heterogeneous workload corresponding
+to different projects, comprising both large parallel applications spanning
+across many nodes, and large amounts of relatively small jobs."  This
+workload runs that mix concurrently from one seed:
+
+- a parallel application checkpointing into a shared directory at
+  intervals (half of the nodes),
+- a stream of small jobs writing outputs into a shared results directory
+  (the other half),
+- an interactive user listing busy directories now and then.
+
+The result records per-activity latency summaries, so a single run shows
+how each class of user experiences the file system under the full mix.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import SummaryStats
+from repro.units import MB
+from repro.workloads.metarates import _mkdir_p
+
+
+@dataclass
+class TraceConfig:
+    """One synthetic production window."""
+
+    duration_ms: float = 4_000.0
+    app_nodes: int = 4              # checkpointing application
+    app_checkpoint_every_ms: float = 900.0
+    app_bytes_per_node: int = 2 * MB
+    job_nodes: int = 4              # small-job stream (next node range)
+    job_every_ms: float = 60.0      # per job node, mean inter-arrival
+    job_output_bytes: int = 128 * 1024
+    listing_every_ms: float = 500.0
+    seed_stream: str = "trace"
+
+
+@dataclass
+class TraceResult:
+    config: TraceConfig
+    checkpoint_ms: SummaryStats = field(default_factory=SummaryStats)
+    job_ms: SummaryStats = field(default_factory=SummaryStats)
+    listing_ms: SummaryStats = field(default_factory=SummaryStats)
+    jobs_completed: int = 0
+    checkpoints_completed: int = 0
+
+    def summary(self):
+        """A compact dict for reports."""
+        return {
+            "checkpoint_ms": self.checkpoint_ms.mean,
+            "job_ms": self.job_ms.mean,
+            "listing_ms": self.listing_ms.mean,
+            "jobs_completed": self.jobs_completed,
+            "checkpoints": self.checkpoints_completed,
+        }
+
+
+def run_trace(stack, config=None):
+    """Run the production mix on a stack; needs app_nodes + job_nodes + 1
+    client nodes (the last node is the interactive user)."""
+    config = config or TraceConfig()
+    sim = stack.testbed.sim
+    rng = stack.testbed.streams.stream(config.seed_stream)
+    result = TraceResult(config=config)
+    needed = config.app_nodes + config.job_nodes + 1
+    if needed > stack.n_nodes:
+        raise ValueError(f"trace needs {needed} client nodes")
+
+    app_dir = "/project/checkpoints"
+    job_dir = "/project/results"
+    deadline = config.duration_ms
+
+    def app_node(node, round_counter):
+        fs = stack.mount(node)
+        round_index = 0
+        while sim.now < deadline:
+            yield sim.timeout(config.app_checkpoint_every_ms)
+            start = sim.now
+            path = f"{app_dir}/ckpt.{round_index:04d}.n{node:03d}"
+            fh = yield from fs.create(path)
+            yield from fs.write(fh, 0, size=config.app_bytes_per_node)
+            yield from fs.close(fh)
+            result.checkpoint_ms.add(sim.now - start)
+            round_counter[0] += 1
+            round_index += 1
+
+    def job_node(node):
+        fs = stack.mount(node)
+        job_index = 0
+        while sim.now < deadline:
+            gap = rng.expovariate(1.0 / config.job_every_ms)
+            yield sim.timeout(gap)
+            start = sim.now
+            path = f"{job_dir}/out.n{node:03d}.{job_index:05d}"
+            fh = yield from fs.create(path)
+            yield from fs.write(fh, 0, size=config.job_output_bytes)
+            yield from fs.close(fh)
+            result.job_ms.add(sim.now - start)
+            result.jobs_completed += 1
+            job_index += 1
+
+    def interactive(node):
+        fs = stack.mount(node)
+        targets = [job_dir, app_dir]
+        index = 0
+        while sim.now < deadline:
+            yield sim.timeout(config.listing_every_ms)
+            start = sim.now
+            names = yield from fs.readdir(targets[index % len(targets)])
+            for name in names[:10]:
+                yield from fs.stat(f"{targets[index % len(targets)]}/{name}")
+            result.listing_ms.add(sim.now - start)
+            index += 1
+
+    def orchestrate():
+        first = stack.mount(0)
+        yield from _mkdir_p(first, app_dir)
+        yield from _mkdir_p(first, job_dir)
+        counter = [0]
+        procs = []
+        for node in range(config.app_nodes):
+            procs.append(sim.process(app_node(node, counter)))
+        for node in range(config.app_nodes,
+                          config.app_nodes + config.job_nodes):
+            procs.append(sim.process(job_node(node)))
+        procs.append(sim.process(interactive(needed - 1)))
+        yield sim.all_of(procs)
+        result.checkpoints_completed = counter[0]
+
+    sim.run_process(orchestrate(), name="trace")
+    return result

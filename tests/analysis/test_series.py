@@ -1,0 +1,113 @@
+"""Unit + property tests for the analysis helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    crossover,
+    find_cliff,
+    linear_fit,
+    monotone,
+    plateau,
+    scaling_exponent,
+    speedup_series,
+)
+
+
+def test_find_cliff_locates_jump():
+    series = [(128, 0.05), (512, 0.05), (1024, 0.06), (2048, 2.6)]
+    assert find_cliff(series, factor=3.0) == 2048
+
+
+def test_find_cliff_none_when_flat():
+    assert find_cliff([(1, 1.0), (2, 1.1), (3, 1.2)]) is None
+
+
+def test_find_cliff_empty_rejected():
+    with pytest.raises(ValueError):
+        find_cliff([])
+
+
+def test_plateau_tail_mean():
+    series = [(32, 20.0), (128, 10.0), (512, 4.0), (2048, 3.0), (8192, 2.0)]
+    assert plateau(series, tail=3) == pytest.approx(3.0)
+
+
+def test_crossover_found():
+    a = [(1, 5.0), (2, 5.0), (3, 5.0)]
+    b = [(1, 9.0), (2, 6.0), (3, 4.0)]
+    assert crossover(a, b) == 3
+
+
+def test_crossover_none_when_ordering_stable():
+    a = [(1, 1.0), (2, 1.0)]
+    b = [(1, 2.0), (2, 2.0)]
+    assert crossover(a, b) is None
+
+
+def test_crossover_requires_shared_domain():
+    with pytest.raises(ValueError):
+        crossover([(1, 1.0)], [(2, 2.0)])
+
+
+def test_speedup_series():
+    base = [(4, 20.0), (8, 40.0)]
+    improved = [(4, 5.0), (8, 5.0)]
+    assert speedup_series(base, improved) == [(4, 4.0), (8, 8.0)]
+
+
+def test_speedup_series_zero_improved_is_inf():
+    assert speedup_series([(1, 3.0)], [(1, 0.0)]) == [(1, math.inf)]
+
+
+def test_monotone_directions():
+    up = [(1, 1.0), (2, 2.0), (3, 3.0)]
+    assert monotone(up, "increasing")
+    assert not monotone(up, "decreasing")
+    wiggle = [(1, 1.0), (2, 0.98), (3, 3.0)]
+    assert not monotone(wiggle, "increasing")
+    assert monotone(wiggle, "increasing", tolerance=0.05)
+
+
+def test_linear_fit_exact_line():
+    slope, intercept, r2 = linear_fit([(0, 1.0), (1, 3.0), (2, 5.0)])
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(1.0)
+    assert r2 == pytest.approx(1.0)
+
+
+def test_linear_fit_requires_two_points():
+    with pytest.raises(ValueError):
+        linear_fit([(1, 1.0)])
+    with pytest.raises(ValueError):
+        linear_fit([(1, 1.0), (1, 2.0)])
+
+
+def test_scaling_exponent_linear_and_flat():
+    linear = [(1, 10.0), (2, 20.0), (4, 40.0), (8, 80.0)]
+    assert scaling_exponent(linear) == pytest.approx(1.0)
+    flat = [(1, 5.0), (2, 5.0), (4, 5.0)]
+    assert scaling_exponent(flat) == pytest.approx(0.0, abs=1e-9)
+
+
+@given(st.floats(0.1, 10), st.floats(-5, 5),
+       st.lists(st.floats(1, 100), min_size=3, max_size=10, unique=True))
+def test_linear_fit_recovers_parameters(slope, intercept, xs):
+    points = [(x, slope * x + intercept) for x in xs]
+    got_slope, got_intercept, r2 = linear_fit(points)
+    assert got_slope == pytest.approx(slope, rel=1e-6, abs=1e-6)
+    assert got_intercept == pytest.approx(intercept, rel=1e-6, abs=1e-6)
+    assert r2 == pytest.approx(1.0, abs=1e-6)
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.floats(0.1, 100)),
+                min_size=1, max_size=20))
+def test_plateau_bounded_by_series(points):
+    deduped = {x: y for x, y in points}
+    series = sorted(deduped.items())
+    level = plateau(series)
+    ys = [y for _x, y in series]
+    assert min(ys) - 1e-9 <= level <= max(ys) + 1e-9

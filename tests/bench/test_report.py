@@ -1,0 +1,56 @@
+"""Reporters and testbed builders."""
+
+import pytest
+
+from repro.bench import build_flat_testbed, build_hier_testbed
+from repro.bench.report import format_series, format_table, speedup
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["op", "ms"], [["create", 21.92], ["stat", 8.1]], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "create" in lines[3]
+    assert "21.92" in lines[3]
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows aligned
+
+
+def test_format_series_merges_x_values():
+    text = format_series(
+        "title", "x", "ms",
+        {"a": [(1, 1.0), (2, 2.0)], "b": [(2, 4.0), (3, 9.0)]},
+    )
+    assert "title" in text
+    assert "-" in text  # missing cells are dashes
+    assert "9.00" in text
+
+
+def test_speedup():
+    assert speedup(10.0, 2.0) == 5.0
+    assert speedup(10.0, 0.0) == float("inf")
+
+
+def test_flat_testbed_shape():
+    tb = build_flat_testbed(n_clients=3, n_servers=2, with_mds=True)
+    assert len(tb.clients) == 3
+    assert len(tb.servers) == 2
+    assert tb.mds is not None
+    # every client reaches every server in 2 hops through the switch
+    assert tb.topology.hop_count("node0", "server1") == 2
+
+
+def test_hier_testbed_chains_blade_centers():
+    tb = build_hier_testbed(n_clients=24, blades_per_bc=8)
+    # node 0 is in BC0 (servers' BC); node 23 in BC2, 2 uplinks away
+    assert tb.topology.hop_count("node0", "server0") == 2
+    assert tb.topology.hop_count("node23", "server0") == 4
+
+
+def test_hier_testbed_uplinks_are_shared():
+    tb = build_hier_testbed(n_clients=16, blades_per_bc=8)
+    route_a = tb.topology.route("node8", "server0")
+    route_b = tb.topology.route("node15", "server0")
+    assert route_a[1] is route_b[1]  # same bc1->bc0 uplink object

@@ -1,0 +1,210 @@
+"""Unit tests for machines, disks and the group-commit log."""
+
+import pytest
+
+from repro.cluster import Disk, GroupCommitLog, Machine
+from repro.net import Network, Topology
+from repro.sim import Simulator
+
+
+def one_machine():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_host("m")
+    net = Network(sim, topo)
+    return sim, Machine(sim, net, "m", cpus=2)
+
+
+def test_compute_occupies_cpu_slot():
+    sim, machine = one_machine()
+
+    def proc(sim):
+        yield from machine.compute(3.0)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 3.0
+
+
+def test_compute_zero_is_free():
+    sim, machine = one_machine()
+
+    def proc(sim):
+        yield from machine.compute(0.0)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 0.0
+
+
+def test_compute_queues_beyond_core_count():
+    sim, machine = one_machine()  # 2 cpus
+    finish = []
+
+    def proc(sim, tag):
+        yield from machine.compute(10.0)
+        finish.append((tag, sim.now))
+
+    for tag in range(4):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert finish == [(0, 10.0), (1, 10.0), (2, 20.0), (3, 20.0)]
+
+
+def test_duplicate_disk_rejected():
+    sim, machine = one_machine()
+    disk = Disk(sim, "d", seek_ms=1.0, bandwidth=100.0)
+    machine.add_disk("d", disk)
+    with pytest.raises(ValueError):
+        machine.add_disk("d", disk)
+
+
+def test_disk_service_time_random_vs_sequential():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=4.0, bandwidth=100.0)
+    assert disk.service_time(200) == pytest.approx(6.0)
+    assert disk.service_time(200, sequential=True) == pytest.approx(2.0)
+
+
+def test_disk_io_fifo_queueing():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=1.0, bandwidth=1000.0)
+    finish = []
+
+    def proc(sim, tag):
+        yield from disk.read(1000)  # 1 + 1 = 2 ms device time
+        finish.append((tag, sim.now))
+
+    for tag in range(3):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert finish == [(0, 2.0), (1, 4.0), (2, 6.0)]
+    assert disk.reads == 3
+    assert disk.bytes_read == 3000
+
+
+def test_disk_counters_for_writes():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=0.0, bandwidth=1000.0)
+
+    def proc(sim):
+        yield from disk.write(500, sequential=True)
+
+    sim.run_process(proc(sim))
+    assert disk.writes == 1
+    assert disk.bytes_written == 500
+
+
+def test_log_force_single_committer():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=0.0, bandwidth=1000.0)
+    log = GroupCommitLog(sim, disk, force_ms=2.0)
+
+    def proc(sim):
+        yield from log.force()
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 2.0
+    assert log.forces == 1
+    assert log.commits == 1
+
+
+def test_log_simultaneous_forces_share_one_batch():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=0.0, bandwidth=1000.0)
+    log = GroupCommitLog(sim, disk, force_ms=2.0, group_max=8)
+    finish = []
+
+    def proc(sim, tag):
+        yield from log.force()
+        finish.append((tag, sim.now))
+
+    for tag in range(5):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert finish == [(tag, 2.0) for tag in range(5)]
+    assert log.forces == 1
+    assert log.commits == 5
+
+
+def test_log_mid_force_arrivals_join_next_batch():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=0.0, bandwidth=1000.0)
+    log = GroupCommitLog(sim, disk, force_ms=2.0, group_max=8)
+    finish = []
+
+    def early(sim):
+        yield from log.force()
+        finish.append(("early", sim.now))
+
+    def late(sim, tag):
+        yield sim.timeout(0.5)  # arrives while the first force runs
+        yield from log.force()
+        finish.append((tag, sim.now))
+
+    sim.process(early(sim))
+    for tag in range(3):
+        sim.process(late(sim, tag))
+    sim.run()
+    assert finish == [("early", 2.0), (0, 4.0), (1, 4.0), (2, 4.0)]
+    assert log.forces == 2
+    assert log.commits == 4
+
+
+def test_log_group_max_limits_batch():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=0.0, bandwidth=1000.0)
+    log = GroupCommitLog(sim, disk, force_ms=2.0, group_max=2)
+    finish = []
+
+    def proc(sim, tag):
+        yield from log.force()
+        finish.append(sim.now)
+
+    for tag in range(5):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert finish == [2.0, 2.0, 4.0, 4.0, 6.0]
+    assert log.forces == 3
+
+
+def test_log_per_member_cost():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=0.0, bandwidth=1000.0)
+    log = GroupCommitLog(sim, disk, force_ms=2.0, per_member_ms=0.5, group_max=8)
+    finish = []
+
+    def proc(sim, _tag):
+        yield from log.force()
+        finish.append(sim.now)
+
+    for tag in range(2):
+        sim.process(proc(sim, tag))
+    sim.run()
+    # Both arrive at t=0: the first force batches both: 2.0 + 0.5 * 2 = 3.0.
+    assert finish == [3.0, 3.0]
+
+
+def test_log_contends_with_data_io_on_same_disk():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=0.0, bandwidth=1000.0)
+    log = GroupCommitLog(sim, disk, force_ms=2.0)
+    finish = {}
+
+    def reader(sim):
+        yield from disk.read(4000)  # 4 ms
+        finish["read"] = sim.now
+
+    def committer(sim):
+        yield from log.force()
+        finish["force"] = sim.now
+
+    sim.process(reader(sim))
+    sim.process(committer(sim))
+    sim.run()
+    assert finish == {"read": 4.0, "force": 6.0}
+
+
+def test_invalid_group_max():
+    sim = Simulator()
+    disk = Disk(sim, "d", seek_ms=0.0, bandwidth=1000.0)
+    with pytest.raises(ValueError):
+        GroupCommitLog(sim, disk, force_ms=1.0, group_max=0)

@@ -1,0 +1,47 @@
+"""Shared fixtures: a mounted COFS stack."""
+
+import pytest
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack
+
+
+class MountedCofs:
+    """A small COFS-over-PFS testbed."""
+
+    def __init__(self, n_clients=2, cofs_config=None, policy=None):
+        self.testbed = build_flat_testbed(n_clients=n_clients, with_mds=True)
+        self.sim = self.testbed.sim
+        self.stack = CofsStack(
+            self.testbed, cofs_config=cofs_config, policy=policy
+        )
+        self.mounts = [self.stack.mount(i) for i in range(n_clients)]
+        self.mds = self.stack.mds
+        self.pfs = self.stack.pfs
+
+    def run(self, coro):
+        return self.sim.run_process(coro)
+
+    def run_all(self, coros):
+        procs = [self.sim.process(c) for c in coros]
+
+        def waiter():
+            values = yield self.sim.all_of(procs)
+            return values
+
+        return self.sim.run_process(waiter())
+
+
+@pytest.fixture
+def cofsx():
+    return MountedCofs(n_clients=2)
+
+
+@pytest.fixture
+def cfs(cofsx):
+    return cofsx.mounts[0]
+
+
+@pytest.fixture
+def cfs2(cofsx):
+    return cofsx.mounts[1]

@@ -1,0 +1,259 @@
+"""COFS end-to-end semantics through the FUSE mount."""
+
+import pytest
+
+from repro.pfs import FsError, OpenFlags
+
+
+def test_create_stat(cofsx, cfs):
+    def main():
+        yield from cfs.mkdir("/d")
+        fh = yield from cfs.create("/d/f", mode=0o640)
+        yield from cfs.close(fh)
+        return (yield from cfs.stat("/d/f"))
+
+    attr = cofsx.run(main())
+    assert attr.is_file
+    assert attr.mode == 0o640
+    assert attr.nlink == 1
+
+
+def test_create_duplicate_eexist(cofsx, cfs):
+    def main():
+        fh = yield from cfs.create("/f")
+        yield from cfs.close(fh)
+        yield from cfs.create("/f")
+
+    with pytest.raises(FsError) as err:
+        cofsx.run(main())
+    assert err.value.code == "EEXIST"
+
+
+def test_write_read_roundtrip_across_nodes(cofsx, cfs, cfs2):
+    def main():
+        fh = yield from cfs.create("/data.bin")
+        yield from cfs.write(fh, 0, data=b"cofs payload")
+        yield from cfs.close(fh)
+        fh = yield from cfs2.open("/data.bin")
+        data = yield from cfs2.read(fh, 0, 12, want_data=True)
+        yield from cfs2.close(fh)
+        return data
+
+    assert cofsx.run(main()) == b"cofs payload"
+
+
+def test_size_synced_after_writer_close(cofsx, cfs, cfs2):
+    def main():
+        fh = yield from cfs.create("/f")
+        yield from cfs.write(fh, 0, size=1234)
+        yield from cfs.close(fh)
+        return (yield from cfs2.stat("/f")).size
+
+    assert cofsx.run(main()) == 1234
+
+
+def test_stat_of_delegated_file_sees_live_size(cofsx, cfs, cfs2):
+    def main():
+        fh = yield from cfs.create("/f")
+        yield from cfs.close(fh)
+        fh = yield from cfs.open("/f", OpenFlags.WRONLY)
+        yield from cfs.write(fh, 0, size=4096)
+        # file still open for writing: stat must go through to the
+        # underlying file (delegation) and see the new size
+        size_during = (yield from cfs2.stat("/f")).size
+        yield from cfs.close(fh)
+        size_after = (yield from cfs2.stat("/f")).size
+        return (size_during, size_after)
+
+    assert cofsx.run(main()) == (4096, 4096)
+
+
+def test_readdir_shows_virtual_names(cofsx, cfs):
+    def main():
+        yield from cfs.mkdir("/work")
+        for name in ("c", "a", "b"):
+            fh = yield from cfs.create(f"/work/{name}")
+            yield from cfs.close(fh)
+        return (yield from cfs.readdir("/work"))
+
+    assert cofsx.run(main()) == ["a", "b", "c"]
+
+
+def test_virtual_dirs_have_no_underlying_counterpart(cofsx, cfs):
+    def main():
+        yield from cfs.mkdir("/onlyvirtual")
+        names = yield from cfs.readdir("/")
+        under = cofsx.stack._underlying[0]
+        under_names = yield from under.readdir("/")
+        return (names, under_names)
+
+    names, under_names = cofsx.run(main())
+    assert "onlyvirtual" in names
+    assert "onlyvirtual" not in under_names
+
+
+def test_files_land_in_hashed_buckets(cofsx, cfs):
+    def main():
+        yield from cfs.mkdir("/shared")
+        for i in range(5):
+            fh = yield from cfs.create(f"/shared/f{i}")
+            yield from cfs.close(fh)
+
+    cofsx.run(main())
+    counts = cofsx.mds.bucket_counts()
+    assert sum(counts.values()) == 5
+    for bucket in counts:
+        assert bucket.startswith("/.cofs/")
+
+
+def test_rename_does_not_touch_underlying(cofsx, cfs):
+    def main():
+        fh = yield from cfs.create("/a")
+        yield from cfs.write(fh, 0, data=b"xyz")
+        yield from cfs.close(fh)
+        view = yield from cfs.backend.driver.call("getattr", "/a")
+        upath_before = view["upath"]
+        yield from cfs.rename("/a", "/b")
+        view = yield from cfs.backend.driver.call("getattr", "/b")
+        fh = yield from cfs.open("/b")
+        data = yield from cfs.read(fh, 0, 3, want_data=True)
+        yield from cfs.close(fh)
+        return (upath_before, view["upath"], data)
+
+    before, after, data = cofsx.run(main())
+    assert before == after
+    assert data == b"xyz"
+
+
+def test_hard_link_shares_underlying_file(cofsx, cfs):
+    def main():
+        fh = yield from cfs.create("/a")
+        yield from cfs.write(fh, 0, data=b"linked")
+        yield from cfs.close(fh)
+        yield from cfs.link("/a", "/b")
+        a = yield from cfs.stat("/a")
+        b = yield from cfs.stat("/b")
+        fh = yield from cfs.open("/b")
+        data = yield from cfs.read(fh, 0, 6, want_data=True)
+        yield from cfs.close(fh)
+        return (a.ino, b.ino, a.nlink, data)
+
+    ino_a, ino_b, nlink, data = cofsx.run(main())
+    assert ino_a == ino_b
+    assert nlink == 2
+    assert data == b"linked"
+
+
+def test_unlink_last_link_removes_underlying(cofsx, cfs):
+    def main():
+        fh = yield from cfs.create("/a")
+        yield from cfs.close(fh)
+        view = yield from cfs.backend.driver.call("getattr", "/a")
+        upath = view["upath"]
+        yield from cfs.link("/a", "/b")
+        yield from cfs.unlink("/a")
+        under = cofsx.stack._underlying[0]
+        mid = yield from under.stat(upath)  # still exists: /b remains
+        yield from cfs.unlink("/b")
+        try:
+            yield from under.stat(upath)
+        except FsError as exc:
+            return (mid.is_file, exc.code)
+        return (mid.is_file, None)
+
+    existed, code = cofsx.run(main())
+    assert existed is True
+    assert code == "ENOENT"
+
+
+def test_symlink_resolution_via_mds(cofsx, cfs):
+    def main():
+        yield from cfs.mkdir("/real")
+        fh = yield from cfs.create("/real/f")
+        yield from cfs.write(fh, 0, data=b"hi")
+        yield from cfs.close(fh)
+        yield from cfs.symlink("/real", "/alias")
+        attr = yield from cfs.stat("/alias/f")
+        target = yield from cfs.readlink("/alias")
+        return (attr.is_file, target)
+
+    assert cofsx.run(main()) == (True, "/real")
+
+
+def test_utime_and_stat(cofsx, cfs, cfs2):
+    def main():
+        fh = yield from cfs.create("/f")
+        yield from cfs.close(fh)
+        yield from cfs2.utime("/f", atime=11.0, mtime=22.0)
+        attr = yield from cfs.stat("/f")
+        return (attr.atime, attr.mtime)
+
+    assert cofsx.run(main()) == (11.0, 22.0)
+
+
+def test_rmdir_semantics(cofsx, cfs):
+    def main():
+        yield from cfs.mkdir("/d")
+        fh = yield from cfs.create("/d/f")
+        yield from cfs.close(fh)
+        try:
+            yield from cfs.rmdir("/d")
+        except FsError as exc:
+            code = exc.code
+        yield from cfs.unlink("/d/f")
+        yield from cfs.rmdir("/d")
+        return (code, (yield from cfs.readdir("/")))
+
+    code, names = cofsx.run(main())
+    assert code == "ENOTEMPTY"
+    assert "d" not in names
+
+
+def test_open_creat_through_cofs(cofsx, cfs):
+    def main():
+        fh = yield from cfs.open("/new", OpenFlags.WRONLY | OpenFlags.CREAT)
+        yield from cfs.write(fh, 0, size=10)
+        yield from cfs.close(fh)
+        return (yield from cfs.stat("/new")).size
+
+    assert cofsx.run(main()) == 10
+
+
+def test_truncate_through_cofs(cofsx, cfs):
+    def main():
+        fh = yield from cfs.create("/f")
+        yield from cfs.write(fh, 0, data=b"0123456789")
+        yield from cfs.close(fh)
+        yield from cfs.truncate("/f", 3)
+        attr = yield from cfs.stat("/f")
+        fh = yield from cfs.open("/f")
+        data = yield from cfs.read(fh, 0, 10, want_data=True)
+        yield from cfs.close(fh)
+        return (attr.size, data)
+
+    size, data = cofsx.run(main())
+    assert size == 3
+    assert data == b"012"
+
+
+def test_bucket_cap_spills_to_next_sublevel(cofsx):
+    from repro.core.config import CofsConfig
+    from tests.core.conftest import MountedCofs
+
+    small = MountedCofs(
+        n_clients=1,
+        cofs_config=CofsConfig(max_entries_per_dir=8, rand_subdirs=2),
+    )
+    cfs = small.mounts[0]
+
+    def main():
+        yield from cfs.mkdir("/d")
+        for i in range(40):
+            fh = yield from cfs.create(f"/d/f{i}")
+            yield from cfs.close(fh)
+
+    small.run(main())
+    counts = small.mds.bucket_counts()
+    assert sum(counts.values()) == 40
+    assert all(count <= 8 for count in counts.values())
+    assert len([c for c in counts.values() if c > 0]) >= 5

@@ -1,0 +1,182 @@
+"""Differential testing: COFS must behave like the bare FS, observably.
+
+The paper's claim of transparency ("providing the user with standard
+semantics and a classical directory layout", §V) is tested literally: random
+sequences of POSIX operations are applied both to a bare parallel FS and to
+COFS-over-PFS; the observable outcomes — success/errno of every call, the
+final tree listing, attributes and file contents — must match exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs import FsError, OpenFlags
+from tests.core.conftest import MountedCofs
+from tests.pfs.conftest import MountedPfs
+
+NAMES = st.sampled_from(["a", "b", "c", "d1", "d2"])
+PAYLOADS = st.binary(min_size=0, max_size=24)
+
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("mkdir"), NAMES, st.none()),
+        st.tuples(st.just("create"), NAMES, PAYLOADS),
+        st.tuples(st.just("unlink"), NAMES, st.none()),
+        st.tuples(st.just("rmdir"), NAMES, st.none()),
+        st.tuples(st.just("rename"), st.tuples(NAMES, NAMES), st.none()),
+        st.tuples(st.just("link"), st.tuples(NAMES, NAMES), st.none()),
+        st.tuples(st.just("symlink"), st.tuples(NAMES, NAMES), st.none()),
+        st.tuples(st.just("utime"), NAMES, st.none()),
+        st.tuples(st.just("chmod"), NAMES, st.none()),
+        st.tuples(st.just("truncate"), NAMES, st.just(None)),
+        st.tuples(st.just("append"), NAMES, PAYLOADS),
+    ),
+    max_size=14,
+)
+
+
+def apply_ops(fs, ops):
+    """Coroutine: run ops, returning the list of per-op outcomes."""
+    outcomes = []
+    for op, arg, payload in ops:
+        try:
+            if op == "mkdir":
+                yield from fs.mkdir(f"/{arg}")
+                outcomes.append(("ok", None))
+            elif op == "create":
+                fh = yield from fs.create(f"/{arg}")
+                if payload:
+                    yield from fs.write(fh, 0, data=payload)
+                yield from fs.close(fh)
+                outcomes.append(("ok", None))
+            elif op == "unlink":
+                yield from fs.unlink(f"/{arg}")
+                outcomes.append(("ok", None))
+            elif op == "rmdir":
+                yield from fs.rmdir(f"/{arg}")
+                outcomes.append(("ok", None))
+            elif op == "rename":
+                yield from fs.rename(f"/{arg[0]}", f"/{arg[1]}")
+                outcomes.append(("ok", None))
+            elif op == "link":
+                yield from fs.link(f"/{arg[0]}", f"/{arg[1]}")
+                outcomes.append(("ok", None))
+            elif op == "symlink":
+                yield from fs.symlink(f"/{arg[0]}", f"/{arg[1]}")
+                outcomes.append(("ok", None))
+            elif op == "utime":
+                yield from fs.utime(f"/{arg}", atime=1.5, mtime=2.5)
+                outcomes.append(("ok", None))
+            elif op == "chmod":
+                yield from fs.chmod(f"/{arg}", 0o640)
+                outcomes.append(("ok", None))
+            elif op == "truncate":
+                yield from fs.truncate(f"/{arg}", 3)
+                outcomes.append(("ok", None))
+            elif op == "append":
+                fh = yield from fs.open(f"/{arg}", OpenFlags.WRONLY)
+                size = (yield from fs.stat(f"/{arg}")).size
+                if payload:
+                    yield from fs.write(fh, size, data=payload)
+                yield from fs.close(fh)
+                outcomes.append(("ok", None))
+        except FsError as exc:
+            outcomes.append(("err", exc.code))
+    return outcomes
+
+
+def observe(fs):
+    """Coroutine: capture the observable state of the namespace."""
+    state = {}
+
+    def walk(path):
+        names = yield from fs.readdir(path)
+        for name in names:
+            child = f"{path.rstrip('/')}/{name}"
+            try:
+                attr = yield from fs.stat(child)
+            except FsError as exc:
+                state[child] = ("stat-error", exc.code)
+                continue
+            record = {
+                "kind": attr.kind,
+                "size": attr.size,
+                "nlink": attr.nlink,
+                "mode": attr.mode,
+            }
+            if attr.is_file and attr.size:
+                fh = yield from fs.open(child)
+                record["data"] = yield from fs.read(
+                    fh, 0, attr.size, want_data=True
+                )
+                yield from fs.close(fh)
+            state[child] = record
+            if attr.is_dir:
+                yield from walk(child)
+
+    yield from walk("/")
+    return state
+
+
+@settings(max_examples=40, deadline=None)
+@given(OPERATIONS)
+def test_cofs_matches_bare_pfs(ops):
+    bare = MountedPfs(1)
+    cofs = MountedCofs(1)
+
+    bare_fs = bare.clients[0]
+    cofs_fs = cofs.mounts[0]
+
+    bare_outcomes = bare.run(apply_ops(bare_fs, ops))
+    cofs_outcomes = cofs.run(apply_ops(cofs_fs, ops))
+    assert cofs_outcomes == bare_outcomes
+
+    bare_state = bare.run(observe(bare_fs))
+    cofs_state = cofs.run(observe(cofs_fs))
+    # Hide the root-level ".cofs" layout directory from the bare view.
+    bare_state = {
+        path: record for path, record in bare_state.items()
+        if not path.startswith("/.cofs")
+    }
+    assert cofs_state == bare_state
+
+
+def test_differential_smoke_two_nodes():
+    """A fixed two-node interleaving matching on both systems."""
+    ops_node0 = [
+        ("mkdir", "work", None),
+        ("create", "work", b""),  # EEXIST as a directory
+        ("symlink", ("work", "w"), None),
+    ]
+    ops_node1 = [
+        ("create", "data", b"abc"),
+        ("utime", "data", None),
+        ("rename", ("data", "archive"), None),
+    ]
+
+    bare = MountedPfs(2)
+    cofs = MountedCofs(2)
+
+    def run_pair(host, fs0, fs1):
+        out = {}
+
+        def first():
+            out["n0"] = yield from apply_ops(fs0, ops_node0)
+
+        def second():
+            out["n1"] = yield from apply_ops(fs1, ops_node1)
+
+        host.run_all([first(), second()])
+        out["state"] = host.run(observe(fs0))
+        return out
+
+    bare_out = run_pair(bare, bare.clients[0], bare.clients[1])
+    cofs_out = run_pair(cofs, cofs.mounts[0], cofs.mounts[1])
+    assert bare_out["n0"] == cofs_out["n0"]
+    assert bare_out["n1"] == cofs_out["n1"]
+    bare_state = {
+        p: r for p, r in bare_out["state"].items()
+        if not p.startswith("/.cofs")
+    }
+    assert bare_state == cofs_out["state"]

@@ -1,0 +1,79 @@
+"""COFS metadata-service crash recovery: the namespace survives."""
+
+import pytest
+
+from repro.core.config import CofsConfig
+from repro.db.service import DbConfig
+from repro.pfs import FsError
+from tests.core.conftest import MountedCofs
+
+
+def test_namespace_survives_mds_crash(cofsx, cfs):
+    def main():
+        yield from cfs.mkdir("/proj")
+        fh = yield from cfs.create("/proj/data")
+        yield from cfs.write(fh, 0, data=b"payload")
+        yield from cfs.close(fh)
+        lost = yield from cofsx.mds.recover()
+        names = yield from cfs.readdir("/proj")
+        attr = yield from cfs.stat("/proj/data")
+        fh = yield from cfs.open("/proj/data")
+        data = yield from cfs.read(fh, 0, 7, want_data=True)
+        yield from cfs.close(fh)
+        return (lost, names, attr.size, data)
+
+    lost, names, size, data = cofsx.run(main())
+    assert lost == 0
+    assert names == ["data"]
+    assert size == 7
+    assert data == b"payload"
+
+
+def test_creates_work_after_recovery_without_vino_reuse(cofsx, cfs):
+    def main():
+        fh = yield from cfs.create("/before")
+        yield from cfs.close(fh)
+        before = yield from cfs.stat("/before")
+        yield from cofsx.mds.recover()
+        fh = yield from cfs.create("/after")
+        yield from cfs.close(fh)
+        after = yield from cfs.stat("/after")
+        return (before.ino, after.ino)
+
+    before_ino, after_ino = cofsx.run(main())
+    assert after_ino > before_ino
+
+
+def test_async_mds_crash_loses_recent_namespace_changes():
+    host = MountedCofs(
+        n_clients=1,
+        cofs_config=CofsConfig(db=DbConfig(sync_updates=False)),
+    )
+    cfs = host.mounts[0]
+
+    def main():
+        fh = yield from cfs.create("/durable")
+        yield from cfs.close(fh)
+        yield from host.mds.dbsvc.checkpoint()
+        fh = yield from cfs.create("/volatile")
+        yield from cfs.close(fh)
+        lost = yield from host.mds.recover()
+        names = yield from cfs.readdir("/")
+        return (lost, names)
+
+    lost, names = host.run(main())
+    assert lost >= 1
+    assert "durable" in names
+    assert "volatile" not in names
+
+
+def test_bucket_counters_survive_crash(cofsx, cfs):
+    def main():
+        for i in range(5):
+            fh = yield from cfs.create(f"/f{i}")
+            yield from cfs.close(fh)
+        yield from cofsx.mds.recover()
+        return cofsx.mds.bucket_counts()
+
+    counts = cofsx.run(main())
+    assert sum(counts.values()) == 5

@@ -1,0 +1,127 @@
+"""Direct tests of the metadata service (tables, delegation, counters)."""
+
+import pytest
+
+from repro.pfs import FsError
+from repro.pfs.types import DIRECTORY, FILE, SYMLINK
+
+
+def call(cofsx, method, *args):
+    machine = cofsx.testbed.clients[0]
+    return cofsx.run(
+        machine.call(cofsx.testbed.mds, "cofsmds", method, args=args)
+    )
+
+
+def test_root_exists(cofsx):
+    view = call(cofsx, "getattr", "/")
+    assert view["kind"] == DIRECTORY
+    assert view["vino"] == cofsx.mds.root_vino
+
+
+def test_create_file_assigns_upath(cofsx):
+    view = call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 7, 1.0)
+    assert view["upath"] is not None
+    assert view["upath"].startswith("/.cofs/")
+    assert view["kind"] == FILE
+
+
+def test_create_dir_has_no_upath(cofsx):
+    view = call(cofsx, "create_node", "/d", DIRECTORY, 0o755, 0, 0,
+                "node0", 0, 1.0)
+    assert view["upath"] is None
+    assert view["nlink"] == 2
+
+
+def test_parent_mtime_updated_by_create(cofsx):
+    call(cofsx, "create_node", "/d", DIRECTORY, 0o755, 0, 0, "node0", 0, 5.0)
+    call(cofsx, "create_node", "/d/f", FILE, 0o644, 0, 0, "node0", 0, 9.0)
+    parent = call(cofsx, "getattr", "/d")
+    assert parent["mtime"] == 9.0
+    assert parent["ctime"] == 9.0
+
+
+def test_duplicate_create_raises(cofsx):
+    call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    with pytest.raises(FsError) as err:
+        call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 2.0)
+    assert err.value.code == "EEXIST"
+
+
+def test_bucket_counter_tracks_creates_and_unlinks(cofsx):
+    view = call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    bucket = view["upath"].rpartition("/")[0]
+    assert cofsx.mds.bucket_counts()[bucket] == 1
+    upath, last = call(cofsx, "unlink", "/f", 2.0)
+    assert last is True
+    assert upath == view["upath"]
+    assert cofsx.mds.bucket_counts()[bucket] == 0
+
+
+def test_setattr_rejects_unknown_fields(cofsx):
+    call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    with pytest.raises(FsError) as err:
+        call(cofsx, "setattr", "/f", {"nlink": 9}, 2.0)
+    assert err.value.code == "EINVAL"
+
+
+def test_open_map_marks_delegation(cofsx):
+    call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    view = call(cofsx, "open_map", "/f", True, 2.0)
+    assert view["delegated"] is True
+    again = call(cofsx, "getattr", "/f")
+    assert again["delegated"] is True
+
+
+def test_close_sync_clears_delegation_and_updates_size(cofsx):
+    view = call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    call(cofsx, "open_map", "/f", True, 2.0)
+    call(cofsx, "close_sync", view["vino"], 4096, 3.0, 3.0)
+    after = call(cofsx, "getattr", "/f")
+    assert after["delegated"] is False
+    assert after["size"] == 4096
+    assert after["mtime"] == 3.0
+
+
+def test_open_map_read_does_not_delegate(cofsx):
+    call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    view = call(cofsx, "open_map", "/f", False, 2.0)
+    assert view["delegated"] is False
+
+
+def test_readdir_uses_parent_index(cofsx):
+    call(cofsx, "create_node", "/d", DIRECTORY, 0o755, 0, 0, "node0", 0, 1.0)
+    for name in ("z", "a", "m"):
+        call(cofsx, "create_node", f"/d/{name}", FILE, 0o644, 0, 0,
+             "node0", 0, 1.0)
+    assert call(cofsx, "readdir", "/d") == ["a", "m", "z"]
+
+
+def test_rename_replacing_last_link_reports_upath(cofsx):
+    a = call(cofsx, "create_node", "/a", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    b = call(cofsx, "create_node", "/b", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    replaced, last = call(cofsx, "rename", "/a", "/b", 2.0)
+    assert last is True
+    assert replaced == b["upath"]
+    assert call(cofsx, "getattr", "/b")["vino"] == a["vino"]
+
+
+def test_symlink_round_trip(cofsx):
+    call(cofsx, "create_node", "/ln", SYMLINK, 0o777, 0, 0, "node0", 0,
+         1.0, "/target")
+    assert call(cofsx, "readlink", "/ln") == "/target"
+
+
+def test_read_txns_do_not_touch_the_log(cofsx):
+    call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    forces_before = cofsx.mds.dbsvc.log.forces
+    for _ in range(5):
+        call(cofsx, "getattr", "/f")
+        call(cofsx, "readdir", "/")
+    assert cofsx.mds.dbsvc.log.forces == forces_before
+
+
+def test_update_txns_force_the_log(cofsx):
+    forces_before = cofsx.mds.dbsvc.log.forces
+    call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 1.0)
+    assert cofsx.mds.dbsvc.log.forces > forces_before

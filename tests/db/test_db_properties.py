@@ -1,0 +1,121 @@
+"""Property-based tests: the table store against a model dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, DuplicateKey, Table
+
+KEYS = st.integers(min_value=0, max_value=20)
+CITIES = st.sampled_from(["bcn", "mad", "par", "ber"])
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), KEYS, CITIES),
+        st.tuples(st.just("delete"), KEYS, st.none()),
+    ),
+    max_size=60,
+)
+
+
+@given(OPS)
+def test_table_matches_model_dict(ops):
+    table = Table("t", key="id", indexes=("city",))
+    model = {}
+    for op, key, city in ops:
+        if op == "write":
+            table.write({"id": key, "city": city})
+            model[key] = city
+        else:
+            table.delete(key)
+            model.pop(key, None)
+    assert len(table) == len(model)
+    for key, city in model.items():
+        assert table.read(key) == {"id": key, "city": city}
+    for city in ["bcn", "mad", "par", "ber"]:
+        expected = {k for k, v in model.items() if v == city}
+        assert {r["id"] for r in table.index_read("city", city)} == expected
+
+
+@given(OPS)
+def test_index_is_consistent_with_rows(ops):
+    table = Table("t", key="id", indexes=("city",))
+    for op, key, city in ops:
+        if op == "write":
+            table.write({"id": key, "city": city})
+        else:
+            table.delete(key)
+        # Invariant after every step: index entries <-> rows, exactly.
+        indexed = {
+            pk
+            for bucket in table._indexes["city"].values()
+            for pk in bucket
+        }
+        assert indexed == set(table._rows)
+        for value, bucket in table._indexes["city"].items():
+            assert bucket, "empty index buckets must be pruned"
+            for pk in bucket:
+                assert table._rows[pk]["city"] == value
+
+
+TXN_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), KEYS, CITIES),
+        st.tuples(st.just("delete"), KEYS, st.none()),
+        st.tuples(st.just("insert"), KEYS, CITIES),
+    ),
+    max_size=12,
+)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.tuples(TXN_OPS, st.booleans()), max_size=8))
+def test_transactions_apply_all_or_nothing(txn_specs):
+    db = Database()
+    db.create_table("t", key="id", indexes=("city",))
+    model = {}
+    for ops, poison in txn_specs:
+        shadow = dict(model)
+
+        def body(txn, ops=ops, poison=poison, shadow=shadow):
+            for op, key, city in ops:
+                if op == "write":
+                    txn.write("t", {"id": key, "city": city})
+                    shadow[key] = city
+                elif op == "insert":
+                    txn.insert("t", {"id": key, "city": city})
+                    shadow[key] = city
+                else:
+                    txn.delete("t", key)
+                    shadow.pop(key, None)
+            if poison:
+                txn.abort("poisoned")
+
+        try:
+            db.transaction(body)
+        except Exception:
+            pass  # aborted: model unchanged
+        else:
+            model = shadow
+        assert {k: r["city"] for k, r in
+                ((k, db.table("t").read(k)) for k in model)} == model
+        assert len(db.table("t")) == len(model)
+
+
+@given(OPS, KEYS)
+def test_match_equals_filter(ops, probe):
+    table = Table("t", key="id", indexes=("city",))
+    model = {}
+    for op, key, city in ops:
+        if op == "write":
+            table.write({"id": key, "city": city})
+            model[key] = city
+        else:
+            table.delete(key)
+            model.pop(key, None)
+    got = {r["id"] for r in table.match(city="bcn")}
+    assert got == {k for k, v in model.items() if v == "bcn"}
+    got_by_key = table.match(id=probe)
+    if probe in model:
+        assert got_by_key == [{"id": probe, "city": model[probe]}]
+    else:
+        assert got_by_key == []

@@ -1,0 +1,142 @@
+"""Crash recovery: the journal contract and service-level replay."""
+
+import pytest
+
+from repro.cluster import Disk, Machine
+from repro.db import Database, DbConfig, DbService
+from repro.db.recovery import RedoJournal, rebuild
+from repro.net import Network, Topology
+from repro.sim import Simulator
+
+
+def service(sync=True):
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_host("m")
+    machine = Machine(sim, Network(sim, topo), "m")
+    disk = Disk(sim, "d", seek_ms=1.0, bandwidth=1000.0)
+    db = Database("t")
+    db.create_table("kv", key="k")
+    svc = DbService(machine, db, disk, DbConfig(sync_updates=sync))
+    return sim, svc
+
+
+def put(svc, k, v):
+    return svc.execute(lambda txn: txn.write("kv", {"k": k, "v": v}))
+
+
+def test_journal_records_committed_writes():
+    db = Database()
+    db.create_table("kv", key="k")
+    db.journal = RedoJournal()
+    db.transaction(lambda txn: txn.write("kv", {"k": 1, "v": "a"}))
+    assert len(db.journal) == 1
+    assert db.journal.lost_on_crash == 1
+    db.journal.mark_durable()
+    assert db.journal.lost_on_crash == 0
+
+
+def test_journal_skips_aborted_and_readonly_txns():
+    db = Database()
+    db.create_table("kv", key="k")
+    db.journal = RedoJournal()
+    db.transaction(lambda txn: txn.read("kv", 1))
+    with pytest.raises(ValueError):
+        db.transaction(lambda txn: (_ for _ in ()).throw(ValueError()))
+    assert len(db.journal) == 0
+
+
+def test_rebuild_replays_durable_prefix():
+    db = Database()
+    db.create_table("kv", key="k")
+    journal = RedoJournal()
+    db.journal = journal
+    db.transaction(lambda txn: txn.write("kv", {"k": 1, "v": "durable"}))
+    journal.mark_durable()
+    db.transaction(lambda txn: txn.write("kv", {"k": 2, "v": "lost"}))
+    fresh = rebuild(db, journal)
+    assert fresh.table("kv").read(1) == {"k": 1, "v": "durable"}
+    assert fresh.table("kv").read(2) is None
+
+
+def test_rebuild_replays_deletes():
+    db = Database()
+    db.create_table("kv", key="k")
+    journal = RedoJournal()
+    db.journal = journal
+    db.transaction(lambda txn: txn.write("kv", {"k": 1, "v": "a"}))
+    db.transaction(lambda txn: txn.delete("kv", 1))
+    journal.mark_durable()
+    fresh = rebuild(db, journal)
+    assert fresh.table("kv").read(1) is None
+
+
+def test_rebuild_preserves_indexes():
+    db = Database()
+    db.create_table("kv", key="k", indexes=("color",))
+    journal = RedoJournal()
+    db.journal = journal
+    db.transaction(lambda txn: txn.write("kv", {"k": 1, "color": "red"}))
+    journal.mark_durable()
+    fresh = rebuild(db, journal)
+    assert [r["k"] for r in fresh.table("kv").index_read("color", "red")] == [1]
+
+
+def test_sync_service_loses_nothing_on_crash():
+    sim, svc = service(sync=True)
+
+    def main():
+        yield from put(svc, 1, "a")
+        yield from put(svc, 2, "b")
+        lost = yield from svc.crash_and_recover()
+        return (lost, svc.db.table("kv").read(1), svc.db.table("kv").read(2))
+
+    lost, r1, r2 = sim.run_process(main())
+    assert lost == 0
+    assert r1["v"] == "a"
+    assert r2["v"] == "b"
+
+
+def test_async_service_loses_unforced_tail():
+    sim, svc = service(sync=False)
+
+    def main():
+        yield from put(svc, 1, "a")
+        yield from svc.checkpoint()
+        yield from put(svc, 2, "b")   # never forced
+        lost = yield from svc.crash_and_recover()
+        return (lost, svc.db.table("kv").read(1), svc.db.table("kv").read(2))
+
+    lost, r1, r2 = sim.run_process(main())
+    assert lost == 1
+    assert r1["v"] == "a"
+    assert r2 is None
+
+
+def test_service_usable_after_recovery():
+    sim, svc = service(sync=True)
+
+    def main():
+        yield from put(svc, 1, "a")
+        yield from svc.crash_and_recover()
+        yield from put(svc, 2, "after")
+        lost = yield from svc.crash_and_recover()
+        return (lost, svc.db.table("kv").read(2))
+
+    lost, r2 = sim.run_process(main())
+    assert lost == 0
+    assert r2["v"] == "after"
+
+
+def test_recovery_takes_time():
+    sim, svc = service(sync=True)
+
+    def main():
+        for i in range(10):
+            yield from put(svc, i, i)
+        t0 = sim.now
+        yield from svc.crash_and_recover()
+        return sim.now - t0
+
+    elapsed = sim.run_process(main())
+    assert elapsed >= svc.config.recovery_base_ms

@@ -1,0 +1,120 @@
+"""The simulated DB service: cost charging and group commit."""
+
+import pytest
+
+from repro.cluster import Disk, Machine
+from repro.db import Database, DbConfig, DbService
+from repro.net import Network, Topology
+from repro.sim import Simulator
+
+
+def make_service(sync=True, **cfg_overrides):
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_host("m")
+    machine = Machine(sim, Network(sim, topo), "m")
+    disk = Disk(sim, "d", seek_ms=1.0, bandwidth=1000.0)
+    db = Database("t")
+    db.create_table("kv", key="k")
+    config = DbConfig(sync_updates=sync, **cfg_overrides)
+    return sim, machine, DbService(machine, db, disk, config)
+
+
+def test_read_txn_costs_cpu_only():
+    sim, machine, svc = make_service(
+        base_cpu_ms=0.5, read_op_cpu_ms=0.25, log_force_ms=100.0
+    )
+
+    def main():
+        t0 = sim.now
+        yield from svc.execute(lambda txn: txn.read("kv", 1))
+        return sim.now - t0
+
+    elapsed = sim.run_process(main())
+    assert elapsed == pytest.approx(0.75)  # base + one read; no force
+    assert svc.read_txns == 1
+    assert svc.update_txns == 0
+
+
+def test_update_txn_pays_log_force():
+    sim, machine, svc = make_service(
+        base_cpu_ms=0.0, write_op_cpu_ms=0.0, log_force_ms=2.0,
+        log_per_member_ms=0.0,
+    )
+
+    def main():
+        t0 = sim.now
+        yield from svc.execute(
+            lambda txn: txn.write("kv", {"k": 1, "v": "x"})
+        )
+        return sim.now - t0
+
+    elapsed = sim.run_process(main())
+    assert elapsed >= 2.0
+    assert svc.update_txns == 1
+
+
+def test_async_mode_skips_force():
+    sim, machine, svc = make_service(sync=False, log_force_ms=50.0)
+
+    def main():
+        t0 = sim.now
+        yield from svc.execute(
+            lambda txn: txn.write("kv", {"k": 1, "v": "x"})
+        )
+        return sim.now - t0
+
+    assert sim.run_process(main()) < 5.0
+    assert svc.log.forces == 0
+
+
+def test_concurrent_updates_group_commit():
+    sim, machine, svc = make_service(
+        base_cpu_ms=0.0, write_op_cpu_ms=0.0, log_force_ms=2.0,
+        log_per_member_ms=0.0, log_group_max=16,
+    )
+    finished = []
+
+    def writer(k):
+        yield from svc.execute(lambda txn: txn.write("kv", {"k": k}))
+        finished.append(sim.now)
+
+    procs = [sim.process(writer(k)) for k in range(8)]
+
+    def waiter():
+        yield sim.all_of(procs)
+
+    sim.run_process(waiter())
+    assert len(finished) == 8
+    assert max(finished) <= 4.5  # one or two batched forces, not eight
+    assert svc.log.forces <= 2
+
+
+def test_failed_txn_charges_nothing_and_changes_nothing():
+    sim, machine, svc = make_service()
+
+    def bad(txn):
+        txn.write("kv", {"k": 1})
+        raise ValueError("abort")
+
+    def main():
+        t0 = sim.now
+        try:
+            yield from svc.execute(bad)
+        except ValueError:
+            pass
+        return sim.now - t0
+
+    elapsed = sim.run_process(main())
+    assert elapsed == 0.0
+    assert svc.db.table("kv").read(1) is None
+
+
+def test_execute_returns_body_result():
+    sim, machine, svc = make_service()
+
+    def main():
+        value = yield from svc.execute(lambda txn: "computed")
+        return value
+
+    assert sim.run_process(main()) == "computed"

@@ -1,0 +1,131 @@
+"""Unit tests for tables and indexes."""
+
+import pytest
+
+from repro.db import DbError, DuplicateKey, Table
+
+
+def people():
+    return Table("people", key="id", indexes=("city", "team"))
+
+
+def test_insert_and_read():
+    t = people()
+    t.insert({"id": 1, "city": "bcn", "team": "storage"})
+    assert t.read(1) == {"id": 1, "city": "bcn", "team": "storage"}
+    assert len(t) == 1
+    assert 1 in t
+
+
+def test_read_missing_returns_none():
+    assert people().read(42) is None
+
+
+def test_read_returns_copy():
+    t = people()
+    t.insert({"id": 1, "city": "bcn"})
+    record = t.read(1)
+    record["city"] = "mutated"
+    assert t.read(1)["city"] == "bcn"
+
+
+def test_insert_copies_input():
+    t = people()
+    record = {"id": 1, "city": "bcn"}
+    t.insert(record)
+    record["city"] = "mutated"
+    assert t.read(1)["city"] == "bcn"
+
+
+def test_duplicate_insert_rejected():
+    t = people()
+    t.insert({"id": 1, "city": "bcn"})
+    with pytest.raises(DuplicateKey):
+        t.insert({"id": 1, "city": "mad"})
+
+
+def test_write_upserts_and_reindexes():
+    t = people()
+    t.insert({"id": 1, "city": "bcn"})
+    t.write({"id": 1, "city": "mad"})
+    assert t.read(1)["city"] == "mad"
+    assert t.index_read("city", "bcn") == []
+    assert [r["id"] for r in t.index_read("city", "mad")] == [1]
+
+
+def test_delete_removes_row_and_index_entries():
+    t = people()
+    t.insert({"id": 1, "city": "bcn"})
+    assert t.delete(1) is True
+    assert t.read(1) is None
+    assert t.index_read("city", "bcn") == []
+    assert t.delete(1) is False
+
+
+def test_missing_key_field_rejected():
+    t = people()
+    with pytest.raises(DbError):
+        t.insert({"city": "bcn"})
+
+
+def test_key_cannot_be_index():
+    with pytest.raises(DbError):
+        Table("t", key="id", indexes=("id",))
+
+
+def test_index_read_unknown_field():
+    t = people()
+    with pytest.raises(DbError):
+        t.index_read("shoe_size", 42)
+
+
+def test_index_read_groups_by_value():
+    t = people()
+    t.insert({"id": 1, "city": "bcn", "team": "storage"})
+    t.insert({"id": 2, "city": "bcn", "team": "compute"})
+    t.insert({"id": 3, "city": "mad", "team": "storage"})
+    assert {r["id"] for r in t.index_read("city", "bcn")} == {1, 2}
+    assert {r["id"] for r in t.index_read("team", "storage")} == {1, 3}
+
+
+def test_match_multiple_fields():
+    t = people()
+    t.insert({"id": 1, "city": "bcn", "team": "storage"})
+    t.insert({"id": 2, "city": "bcn", "team": "compute"})
+    assert [r["id"] for r in t.match(city="bcn", team="compute")] == [2]
+
+
+def test_match_on_key_field():
+    t = people()
+    t.insert({"id": 1, "city": "bcn"})
+    assert [r["id"] for r in t.match(id=1)] == [1]
+    assert t.match(id=99) == []
+
+
+def test_match_without_index_scans():
+    t = Table("plain", key="id")
+    t.insert({"id": 1, "color": "red"})
+    t.insert({"id": 2, "color": "blue"})
+    assert [r["id"] for r in t.match(color="blue")] == [2]
+
+
+def test_match_empty_pattern_returns_all():
+    t = people()
+    t.insert({"id": 2, "city": "bcn"})
+    t.insert({"id": 1, "city": "mad"})
+    assert [r["id"] for r in t.match()] == [1, 2]
+
+
+def test_keys_and_all():
+    t = people()
+    t.insert({"id": 2, "city": "bcn"})
+    t.insert({"id": 1, "city": "mad"})
+    assert t.keys() == [1, 2]
+    assert [r["id"] for r in t.all()] == [1, 2]
+
+
+def test_records_without_indexed_field_allowed():
+    t = people()
+    t.insert({"id": 1})
+    assert t.read(1) == {"id": 1}
+    assert t.index_read("city", None) == []

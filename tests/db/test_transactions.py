@@ -1,0 +1,186 @@
+"""Unit tests for transaction semantics."""
+
+import pytest
+
+from repro.db import AbortError, Database, DuplicateKey, NoSuchTable
+
+
+def fresh_db():
+    db = Database("meta")
+    db.create_table("files", key="ino", indexes=("parent",))
+    return db
+
+
+def test_create_duplicate_table_rejected():
+    db = fresh_db()
+    with pytest.raises(Exception):
+        db.create_table("files", key="ino")
+
+
+def test_unknown_table():
+    db = fresh_db()
+    with pytest.raises(NoSuchTable):
+        db.table("ghosts")
+    with pytest.raises(NoSuchTable):
+        db.transaction(lambda txn: txn.read("ghosts", 1))
+
+
+def test_commit_applies_writes():
+    db = fresh_db()
+    db.transaction(lambda txn: txn.insert("files", {"ino": 1, "parent": 0}))
+    assert db.table("files").read(1) == {"ino": 1, "parent": 0}
+    assert db.commits == 1
+
+
+def test_transaction_returns_body_result():
+    db = fresh_db()
+    assert db.transaction(lambda txn: "result") == "result"
+
+
+def test_abort_discards_staged_writes():
+    db = fresh_db()
+
+    def body(txn):
+        txn.insert("files", {"ino": 1, "parent": 0})
+        txn.abort("change of heart")
+
+    with pytest.raises(AbortError):
+        db.transaction(body)
+    assert db.table("files").read(1) is None
+    assert db.aborts == 1
+    assert db.commits == 0
+
+
+def test_exception_discards_staged_writes():
+    db = fresh_db()
+
+    def body(txn):
+        txn.insert("files", {"ino": 1, "parent": 0})
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError):
+        db.transaction(body)
+    assert db.table("files").read(1) is None
+
+
+def test_read_your_writes():
+    db = fresh_db()
+
+    def body(txn):
+        txn.insert("files", {"ino": 1, "parent": 0, "name": "a"})
+        return txn.read("files", 1)
+
+    assert db.transaction(body)["name"] == "a"
+
+
+def test_read_your_deletes():
+    db = fresh_db()
+    db.transaction(lambda txn: txn.insert("files", {"ino": 1, "parent": 0}))
+
+    def body(txn):
+        txn.delete("files", 1)
+        return txn.read("files", 1)
+
+    assert db.transaction(body) is None
+    assert db.table("files").read(1) is None
+
+
+def test_write_then_delete_in_one_txn():
+    db = fresh_db()
+
+    def body(txn):
+        txn.write("files", {"ino": 1, "parent": 0})
+        txn.delete("files", 1)
+
+    db.transaction(body)
+    assert db.table("files").read(1) is None
+
+
+def test_delete_then_insert_same_key():
+    db = fresh_db()
+    db.transaction(lambda txn: txn.insert("files", {"ino": 1, "parent": 0}))
+
+    def body(txn):
+        txn.delete("files", 1)
+        txn.insert("files", {"ino": 1, "parent": 9})
+
+    db.transaction(body)
+    assert db.table("files").read(1)["parent"] == 9
+
+
+def test_staged_insert_duplicate_detected():
+    db = fresh_db()
+
+    def body(txn):
+        txn.insert("files", {"ino": 1, "parent": 0})
+        txn.insert("files", {"ino": 1, "parent": 1})
+
+    with pytest.raises(DuplicateKey):
+        db.transaction(body)
+    assert db.table("files").read(1) is None
+
+
+def test_insert_duplicate_of_committed_detected():
+    db = fresh_db()
+    db.transaction(lambda txn: txn.insert("files", {"ino": 1, "parent": 0}))
+    with pytest.raises(DuplicateKey):
+        db.transaction(lambda txn: txn.insert("files", {"ino": 1, "parent": 2}))
+
+
+def test_match_sees_staged_overlay():
+    db = fresh_db()
+    db.transaction(lambda txn: txn.insert("files", {"ino": 1, "parent": 7}))
+    db.transaction(lambda txn: txn.insert("files", {"ino": 2, "parent": 7}))
+
+    def body(txn):
+        txn.delete("files", 1)
+        txn.insert("files", {"ino": 3, "parent": 7})
+        txn.write("files", {"ino": 2, "parent": 8})  # moved away
+        return [r["ino"] for r in txn.match("files", parent=7)]
+
+    assert db.transaction(body) == [3]
+
+
+def test_index_read_requires_index():
+    db = fresh_db()
+    from repro.db import DbError
+
+    def body(txn):
+        return txn.index_read("files", "owner", 42)
+
+    with pytest.raises(DbError):
+        db.transaction(body)
+
+
+def test_index_read_on_key_field():
+    db = fresh_db()
+    db.transaction(lambda txn: txn.insert("files", {"ino": 5, "parent": 0}))
+    got = db.transaction(lambda txn: txn.index_read("files", "ino", 5))
+    assert [r["ino"] for r in got] == [5]
+
+
+def test_is_update_flag():
+    db = fresh_db()
+
+    def read_body(txn):
+        txn.read("files", 1)
+        return txn.is_update
+
+    def write_body(txn):
+        txn.write("files", {"ino": 1, "parent": 0})
+        return txn.is_update
+
+    assert db.transaction(read_body) is False
+    assert db.transaction(write_body) is True
+
+
+def test_query_counters():
+    db = fresh_db()
+
+    def body(txn):
+        txn.read("files", 1)
+        txn.read("files", 2)
+        txn.write("files", {"ino": 1, "parent": 0})
+        return (txn.reads, txn.writes)
+
+    assert db.transaction(body) == (2, 1)

@@ -1,0 +1,153 @@
+"""FUSE layer: pass-through semantics plus crossing/copy cost accounting."""
+
+import pytest
+
+from repro.fuse import FuseConfig, FuseMount
+from repro.pfs import FsError, OpenFlags
+from tests.pfs.conftest import MountedPfs
+
+
+def mounted(crossing_ms=0.018, max_transfer=128 * 1024):
+    fsx = MountedPfs(1)
+    backend = fsx.clients[0]
+    fuse = FuseMount(
+        fsx.testbed.clients[0], backend,
+        FuseConfig(crossing_ms=crossing_ms, max_transfer=max_transfer),
+    )
+    return fsx, fuse
+
+
+def test_metadata_ops_pass_through():
+    fsx, fuse = mounted()
+
+    def main():
+        yield from fuse.mkdir("/d")
+        fh = yield from fuse.create("/d/f")
+        yield from fuse.close(fh)
+        names = yield from fuse.readdir("/d")
+        attr = yield from fuse.stat("/d/f")
+        return (names, attr.is_file)
+
+    names, is_file = fsx.run(main())
+    assert names == ["f"]
+    assert is_file
+
+
+def test_errors_pass_through():
+    fsx, fuse = mounted()
+
+    def main():
+        yield from fuse.stat("/missing")
+
+    with pytest.raises(FsError) as err:
+        fsx.run(main())
+    assert err.value.code == "ENOENT"
+
+
+def test_each_request_counts():
+    fsx, fuse = mounted()
+
+    def main():
+        yield from fuse.mkdir("/d")
+        yield from fuse.stat("/d")
+        yield from fuse.readdir("/d")
+
+    fsx.run(main())
+    assert fuse.requests == 3
+
+
+def test_crossing_cost_charged():
+    fsx, fuse = mounted(crossing_ms=0.5)
+
+    def main():
+        t0 = fsx.sim.now
+        yield from fuse.stat("/")
+        return fsx.sim.now - t0
+
+    elapsed = fsx.run(main())
+    assert elapsed >= 1.0  # two crossings of 0.5 ms
+
+
+def test_large_write_is_chunked_into_mtu_requests():
+    fsx, fuse = mounted(max_transfer=64 * 1024)
+
+    def main():
+        fh = yield from fuse.create("/f")
+        before = fuse.requests
+        yield from fuse.write(fh, 0, size=256 * 1024)
+        chunked = fuse.requests - before
+        yield from fuse.close(fh)
+        return chunked
+
+    assert fsx.run(main()) == 4  # 256 KB over 64 KB MTU
+
+
+def test_large_read_is_chunked():
+    fsx, fuse = mounted(max_transfer=64 * 1024)
+
+    def main():
+        fh = yield from fuse.create("/f")
+        yield from fuse.write(fh, 0, size=256 * 1024)
+        yield from fuse.close(fh)
+        fh = yield from fuse.open("/f")
+        before = fuse.requests
+        count = yield from fuse.read(fh, 0, 256 * 1024)
+        chunked = fuse.requests - before
+        yield from fuse.close(fh)
+        return (count, chunked)
+
+    count, chunked = fsx.run(main())
+    assert count == 256 * 1024
+    assert chunked == 4
+
+
+def test_read_with_data_reassembles_chunks():
+    fsx, fuse = mounted(max_transfer=4)
+
+    def main():
+        fh = yield from fuse.create("/f")
+        yield from fuse.write(fh, 0, data=b"0123456789")
+        yield from fuse.close(fh)
+        fh = yield from fuse.open("/f")
+        data = yield from fuse.read(fh, 0, 10, want_data=True)
+        yield from fuse.close(fh)
+        return data
+
+    assert fsx.run(main()) == b"0123456789"
+
+
+def test_write_requires_one_source():
+    fsx, fuse = mounted()
+
+    def main():
+        fh = yield from fuse.create("/f")
+        yield from fuse.write(fh, 0)
+
+    with pytest.raises(ValueError):
+        fsx.run(main())
+
+
+def test_fuse_slows_cached_reads_measurably():
+    """The Table-I effect: FUSE overhead on node-local cached data."""
+    fsx, fuse = mounted()
+    backend = fsx.clients[0]
+    size = 8 * 1024 * 1024
+
+    def timed(fs, path):
+        fh = yield from fs.create(path)
+        yield from fs.write(fh, 0, size=size)
+        yield from fs.close(fh)
+        fh = yield from fs.open(path)
+        t0 = fsx.sim.now
+        yield from fs.read(fh, 0, size)
+        elapsed = fsx.sim.now - t0
+        yield from fs.close(fh)
+        return elapsed
+
+    def main():
+        bare = yield from timed(backend, "/bare.dat")
+        fused = yield from timed(fuse, "/fused.dat")
+        return (bare, fused)
+
+    bare, fused = fsx.run(main())
+    assert fused > bare * 1.5  # double copy + per-chunk crossings

@@ -1,0 +1,96 @@
+"""chmod/chown/statfs across both systems (paper §III-C attribute set)."""
+
+import pytest
+
+from repro.pfs import FsError
+from tests.core.conftest import MountedCofs
+from tests.pfs.conftest import MountedPfs
+
+
+@pytest.fixture(params=["pfs", "cofs"])
+def system(request):
+    if request.param == "pfs":
+        host = MountedPfs(2)
+        return host, host.clients[0], host.clients[1]
+    host = MountedCofs(2)
+    return host, host.mounts[0], host.mounts[1]
+
+
+def test_chmod_visible_across_nodes(system):
+    host, fs, fs2 = system
+
+    def main():
+        fh = yield from fs.create("/f", mode=0o644)
+        yield from fs.close(fh)
+        yield from fs.chmod("/f", 0o600)
+        return (yield from fs2.stat("/f")).mode
+
+    assert host.run(main()) == 0o600
+
+
+def test_chown_visible_across_nodes(system):
+    host, fs, fs2 = system
+
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.chown("/f", 1000, 2000)
+        attr = yield from fs2.stat("/f")
+        return (attr.uid, attr.gid)
+
+    assert host.run(main()) == (1000, 2000)
+
+
+def test_chmod_missing_enoent(system):
+    host, fs, _fs2 = system
+
+    def main():
+        yield from fs.chmod("/ghost", 0o600)
+
+    with pytest.raises(FsError) as err:
+        host.run(main())
+    assert err.value.code == "ENOENT"
+
+
+def test_chmod_updates_ctime(system):
+    host, fs, _fs2 = system
+
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        before = (yield from fs.stat("/f")).ctime
+        yield host.sim.timeout(5.0)
+        yield from fs.chmod("/f", 0o755)
+        after = (yield from fs.stat("/f")).ctime
+        return (before, after)
+
+    before, after = host.run(main())
+    assert after > before
+
+
+def test_statfs_counts_files(system):
+    host, fs, _fs2 = system
+
+    def main():
+        yield from fs.mkdir("/d")
+        for i in range(4):
+            fh = yield from fs.create(f"/d/f{i}")
+            yield from fs.close(fh)
+        return (yield from fs.statfs())
+
+    stats = host.run(main())
+    assert stats["files"] >= 4
+    assert stats["servers"] == 2
+
+
+def test_cofs_statfs_reports_virtual_directories():
+    host = MountedCofs(1)
+    fs = host.mounts[0]
+
+    def main():
+        yield from fs.mkdir("/a")
+        yield from fs.mkdir("/b")
+        return (yield from fs.statfs())
+
+    stats = host.run(main())
+    assert stats["virtual_directories"] >= 3  # root + /a + /b

@@ -1,0 +1,173 @@
+"""Scaled-down qualitative checks of every reproduced result.
+
+The full grids live in benchmarks/; these integration tests assert the same
+*shapes* at sizes that keep `pytest tests/` fast:
+
+- Fig 1: single-node cache cliff and create slope;
+- Fig 2: parallel create collapse, revocation-bound stats;
+- Figs 4-5: COFS vs GPFS orderings and bands;
+- Fig 6 (reduced): hierarchical cluster, COFS wins every op;
+- Table I rows: cached-read slowdown, single-node write drawback,
+  multi-node relative write improvement, shared-file comparability.
+"""
+
+import pytest
+
+from repro.bench import build_flat_testbed, build_hier_testbed
+from repro.bench.stack import CofsStack, PfsStack
+from repro.units import MB
+from repro.workloads import IorConfig, MetaratesConfig, run_ior, run_metarates
+
+
+def gpfs_stack(n, topology="flat"):
+    build = build_flat_testbed if topology == "flat" else build_hier_testbed
+    return PfsStack(build(n))
+
+
+def cofs_stack(n, topology="flat"):
+    build = build_flat_testbed if topology == "flat" else build_hier_testbed
+    return CofsStack(build(n, with_mds=True))
+
+
+def metarates(stack, nodes, fpn, ops, ppn=1):
+    return run_metarates(stack, MetaratesConfig(
+        nodes=nodes, procs_per_node=ppn, files_per_proc=fpn, ops=ops,
+    ))
+
+
+# -- Fig 1 shapes -------------------------------------------------------------
+
+def test_fig1_shape_stat_cliff():
+    below = metarates(gpfs_stack(1), 1, 512, ("stat",)).mean_ms("stat")
+    above = metarates(gpfs_stack(1), 1, 2048, ("stat",)).mean_ms("stat")
+    assert below < 0.6
+    assert above > 1.5
+
+
+def test_fig1_shape_create_slope():
+    at_512 = metarates(gpfs_stack(1), 1, 512, ("create",)).mean_ms("create")
+    at_2048 = metarates(gpfs_stack(1), 1, 2048, ("create",)).mean_ms("create")
+    assert 1.0 < at_512 < 3.0
+    assert at_2048 > at_512 * 1.3
+
+
+def test_fig1_shape_two_procs_no_worse_beyond_cliff():
+    # The paper's "2 processes slightly compensate" effect is marginal in
+    # the reproduction (request batching saves a few percent at best); what
+    # must hold is that a second process does not make things worse.
+    one = metarates(gpfs_stack(1), 1, 2048, ("stat",), ppn=1).mean_ms("stat")
+    two = metarates(gpfs_stack(1), 1, 1024, ("stat",), ppn=2).mean_ms("stat")
+    assert two <= one * 1.05  # same 2048-entry directory, 2 processes
+
+
+# -- Fig 2 shapes ----------------------------------------------------------------
+
+def test_fig2_shape_parallel_create_collapse():
+    solo = metarates(gpfs_stack(1), 1, 256, ("create",)).mean_ms("create")
+    four = metarates(gpfs_stack(4), 4, 64, ("create",)).mean_ms("create")
+    eight = metarates(gpfs_stack(8), 8, 32, ("create",)).mean_ms("create")
+    assert four > solo * 4
+    assert eight > four * 1.2
+
+
+def test_fig2_shape_stat_revocation_queue_grows_with_nodes():
+    four = metarates(gpfs_stack(4), 4, 256, ("stat",)).mean_ms("stat")
+    eight = metarates(gpfs_stack(8), 8, 128, ("stat",)).mean_ms("stat")
+    assert eight > four * 1.4
+
+
+def test_fig5_shape_gpfs_stat_converges_beyond_creator_cache():
+    expensive = metarates(gpfs_stack(4), 4, 256, ("stat",)).mean_ms("stat")
+    converged = metarates(gpfs_stack(4), 4, 1024, ("stat",)).mean_ms("stat")
+    assert converged < expensive
+
+
+# -- Figs 4-5 orderings ---------------------------------------------------------------
+
+def test_fig4_shape_cofs_create_speedup():
+    gpfs = metarates(gpfs_stack(4), 4, 128, ("create",)).mean_ms("create")
+    cofs = metarates(cofs_stack(4), 4, 128, ("create",)).mean_ms("create")
+    assert gpfs / cofs > 3
+    assert cofs < 8
+
+
+def test_fig4_shape_cofs_scaling_overhead_eliminated():
+    four = metarates(cofs_stack(4), 4, 64, ("create",)).mean_ms("create")
+    eight = metarates(cofs_stack(8), 8, 64, ("create",)).mean_ms("create")
+    assert eight < four * 1.6
+
+
+def test_fig5_shape_cofs_stat_about_1ms():
+    cofs = metarates(cofs_stack(4), 4, 512, ("stat",)).mean_ms("stat")
+    assert cofs < 1.5
+
+
+def test_fig5b_shape_utime_gpfs_vs_cofs():
+    # In the contended regime the paper emphasizes (files within the
+    # creator's token span), GPFS utime pays revocations; COFS pays one MDS
+    # update transaction.
+    gpfs = metarates(gpfs_stack(4), 4, 256, ("utime",)).mean_ms("utime")
+    cofs = metarates(cofs_stack(4), 4, 256, ("utime",)).mean_ms("utime")
+    assert cofs < gpfs / 2
+
+
+def test_fig5b_shape_open_tracks_stat_for_cofs():
+    res = metarates(cofs_stack(4), 4, 256, ("stat", "open"))
+    assert res.mean_ms("open") < res.mean_ms("stat") * 3 + 1.0
+
+
+# -- Fig 6 (reduced scale) ---------------------------------------------------------
+
+def test_fig6_shape_hierarchical_cluster():
+    gpfs = metarates(gpfs_stack(16, "hier"), 16, 32,
+                     ("create", "stat")).recorder
+    cofs = metarates(cofs_stack(16, "hier"), 16, 32,
+                     ("create", "stat")).recorder
+    assert cofs.mean("create") < gpfs.mean("create") / 3
+    assert cofs.mean("stat") < gpfs.mean("stat")
+
+
+# -- Table I rows ----------------------------------------------------------------------
+
+def test_table1_shape_cached_read_slowdown():
+    """Seq read of small separate files: GPFS serves from cache; COFS pays."""
+    agg = 64 * MB  # 16 MB per node over 4 nodes: cache-resident
+    gpfs = run_ior(gpfs_stack(4), IorConfig(nodes=4, aggregate_bytes=agg))
+    cofs = run_ior(cofs_stack(4), IorConfig(nodes=4, aggregate_bytes=agg))
+    assert gpfs.read_mbps > cofs.read_mbps * 1.5
+
+
+def test_table1_shape_single_node_write_drawback():
+    agg = 256 * MB
+    gpfs = run_ior(gpfs_stack(1), IorConfig(
+        nodes=1, aggregate_bytes=agg, do_read=False))
+    cofs = run_ior(cofs_stack(1), IorConfig(
+        nodes=1, aggregate_bytes=agg, do_read=False))
+    assert cofs.write_mbps < gpfs.write_mbps
+    assert cofs.write_mbps > gpfs.write_mbps * 0.6  # a drawback, not a cliff
+
+
+def test_table1_shape_multi_node_write_gap_closes():
+    agg = 128 * MB
+    ratios = {}
+    for nodes in (1, 4, 8):
+        gpfs = run_ior(gpfs_stack(nodes), IorConfig(
+            nodes=nodes, aggregate_bytes=agg, do_read=False))
+        cofs = run_ior(cofs_stack(nodes), IorConfig(
+            nodes=nodes, aggregate_bytes=agg, do_read=False))
+        ratios[nodes] = cofs.write_mbps / gpfs.write_mbps
+    # COFS is relatively better with more nodes (the write-behind pool
+    # absorbs much of the paper's open-stagger effect at this scale, so the
+    # trend is softer than Table I's prose but points the same way).
+    assert ratios[4] > ratios[1]
+    assert ratios[8] > 0.85
+
+
+def test_table1_shape_shared_file_comparable():
+    agg = 128 * MB
+    gpfs = run_ior(gpfs_stack(4), IorConfig(
+        nodes=4, aggregate_bytes=agg, target="shared"))
+    cofs = run_ior(cofs_stack(4), IorConfig(
+        nodes=4, aggregate_bytes=agg, target="shared"))
+    assert cofs.write_mbps > gpfs.write_mbps * 0.7
+    assert cofs.read_mbps > gpfs.read_mbps * 0.55

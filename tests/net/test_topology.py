@@ -1,0 +1,93 @@
+"""Unit tests for topology construction and routing."""
+
+import pytest
+
+from repro.net import Topology
+from repro.sim import Simulator
+
+
+def star():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_switch("sw")
+    for i in range(3):
+        topo.add_host(f"h{i}")
+        topo.add_link(f"h{i}", "sw", bandwidth=125000.0, latency=0.04)
+    return sim, topo
+
+
+def test_hosts_listing():
+    _sim, topo = star()
+    assert topo.hosts() == ["h0", "h1", "h2"]
+    assert topo.is_host("h0")
+    assert not topo.is_host("sw")
+
+
+def test_duplicate_node_rejected():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_host("a")
+    with pytest.raises(ValueError):
+        topo.add_host("a")
+    with pytest.raises(ValueError):
+        topo.add_switch("a")
+
+
+def test_link_requires_known_nodes():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_host("a")
+    with pytest.raises(ValueError):
+        topo.add_link("a", "ghost", bandwidth=1.0, latency=0.0)
+
+
+def test_duplicate_link_rejected():
+    _sim, topo = star()
+    with pytest.raises(ValueError):
+        topo.add_link("h0", "sw", bandwidth=1.0, latency=0.0)
+
+
+def test_route_via_switch():
+    _sim, topo = star()
+    route = topo.route("h0", "h1")
+    assert [link.name for link in route] == ["h0->sw", "sw->h1"]
+    assert topo.hop_count("h0", "h1") == 2
+
+
+def test_route_to_self_is_empty():
+    _sim, topo = star()
+    assert topo.route("h0", "h0") == []
+    assert topo.hop_count("h0", "h0") == 0
+
+
+def test_route_is_cached_and_directional():
+    _sim, topo = star()
+    first = topo.route("h0", "h2")
+    again = topo.route("h0", "h2")
+    assert first is again
+    back = topo.route("h2", "h0")
+    assert [link.name for link in back] == ["h2->sw", "sw->h0"]
+
+
+def test_hierarchical_route_crosses_switches():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_switch("sw0")
+    topo.add_switch("sw1")
+    topo.add_host("a")
+    topo.add_host("b")
+    topo.add_link("a", "sw0", bandwidth=1.0, latency=0.0)
+    topo.add_link("sw0", "sw1", bandwidth=1.0, latency=0.0)
+    topo.add_link("sw1", "b", bandwidth=1.0, latency=0.0)
+    assert topo.hop_count("a", "b") == 3
+
+
+def test_link_parameter_validation():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_host("a")
+    topo.add_host("b")
+    with pytest.raises(ValueError):
+        topo.add_link("a", "b", bandwidth=0.0, latency=0.0)
+    with pytest.raises(ValueError):
+        topo.add_link("a", "b", bandwidth=1.0, latency=-1.0)

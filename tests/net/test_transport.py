@@ -1,0 +1,179 @@
+"""Unit tests for links, transfers and RPC."""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.net import Network, RemoteError, Topology
+from repro.sim import Simulator
+
+
+def small_net(bandwidth=1000.0, latency=0.5):
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_switch("sw")
+    for name in ("a", "b"):
+        topo.add_host(name)
+        topo.add_link(name, "sw", bandwidth=bandwidth, latency=latency)
+    net = Network(sim, topo)
+    machines = {name: Machine(sim, net, name) for name in ("a", "b")}
+    return sim, topo, net, machines
+
+
+def test_transfer_time_two_hops():
+    sim, _topo, net, _m = small_net(bandwidth=1000.0, latency=0.5)
+
+    def proc(sim):
+        yield from net.transfer("a", "b", 1000)
+        return sim.now
+
+    # Two hops, store-and-forward: 2 * (1000/1000 + 0.5) = 3.0 ms.
+    assert sim.run_process(proc(sim)) == pytest.approx(3.0)
+
+
+def test_transfer_same_host_is_free():
+    sim, _topo, net, _m = small_net()
+
+    def proc(sim):
+        yield from net.transfer("a", "a", 10_000_000)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 0.0
+
+
+def test_link_contention_serializes_large_messages():
+    size = 128 * 1024  # above the small-message fast path
+    sim, topo, net, _m = small_net(bandwidth=float(size), latency=0.0)
+    finish = []
+
+    def proc(sim, tag):
+        yield from net.transfer("a", "b", size)
+        finish.append((tag, sim.now))
+
+    for tag in range(3):
+        sim.process(proc(sim, tag))
+    sim.run()
+    # Each message holds each 1ms hop in turn; the pipeline drains one per ms.
+    assert finish == [(0, 2.0), (1, 3.0), (2, 4.0)]
+    assert topo.link("a", "sw").messages_carried == 3
+
+
+def test_small_messages_use_uncontended_fast_path():
+    sim, topo, net, _m = small_net(bandwidth=1000.0, latency=0.0)
+    finish = []
+
+    def proc(sim, tag):
+        yield from net.transfer("a", "b", 1000)
+        finish.append((tag, sim.now))
+
+    for tag in range(3):
+        sim.process(proc(sim, tag))
+    sim.run()
+    # Small control messages don't queue on an idle link (modeling choice:
+    # their wire time is negligible next to the effects under study).
+    assert [t for _tag, t in finish] == [2.0, 2.0, 2.0]
+    assert topo.link("a", "sw").messages_carried == 3
+
+
+def test_reverse_directions_do_not_contend():
+    sim, _topo, net, _m = small_net(bandwidth=1000.0, latency=0.0)
+    finish = {}
+
+    def proc(sim, src, dst):
+        yield from net.transfer(src, dst, 1000)
+        finish[(src, dst)] = sim.now
+
+    sim.process(proc(sim, "a", "b"))
+    sim.process(proc(sim, "b", "a"))
+    sim.run()
+    assert finish[("a", "b")] == pytest.approx(2.0)
+    assert finish[("b", "a")] == pytest.approx(2.0)
+
+
+class EchoService:
+    def __init__(self, sim, delay=0.0):
+        self.sim = sim
+        self.delay = delay
+        self.calls = 0
+
+    def echo(self, value):
+        self.calls += 1
+        if self.delay:
+            yield self.sim.timeout(self.delay)
+        return ("echo", value)
+
+    def explode(self):
+        yield self.sim.timeout(0.1)
+        raise FileNotFoundError("no such thing")
+
+
+def test_rpc_round_trip_value():
+    sim, _topo, net, m = small_net(bandwidth=125000.0, latency=0.04)
+    service = m["b"].register("echo", EchoService(sim, delay=1.0))
+
+    def proc(sim):
+        value = yield from m["a"].call(m["b"], "echo", "echo", args=("hi",))
+        return (value, sim.now)
+
+    value, elapsed = sim.run_process(proc(sim))
+    assert value == ("echo", "hi")
+    assert service.calls == 1
+    # 2 hops each way (~0.044ms + 0.04ms latency per hop) + 1ms service.
+    assert 1.1 < elapsed < 1.4
+
+
+def test_rpc_exception_propagates_after_reply():
+    sim, _topo, net, m = small_net(bandwidth=125000.0, latency=0.1)
+    m["b"].register("echo", EchoService(sim))
+
+    def proc(sim):
+        try:
+            yield from m["a"].call(m["b"], "echo", "explode")
+        except FileNotFoundError:
+            return sim.now
+        raise AssertionError("expected FileNotFoundError")
+
+    elapsed = sim.run_process(proc(sim))
+    # The reply transfer is paid before the exception is re-raised.
+    assert elapsed > 0.4
+
+
+def test_rpc_local_call_skips_network():
+    sim, _topo, net, m = small_net()
+    m["a"].register("echo", EchoService(sim))
+    before = net.bytes_sent
+
+    def proc(sim):
+        value = yield from m["a"].call(m["a"], "echo", "echo", args=(1,))
+        return value
+
+    assert sim.run_process(proc(sim)) == ("echo", 1)
+    # Messages are counted but carried over zero hops.
+    assert net.bytes_sent == before + 1024
+
+
+def test_rpc_unknown_service_is_remote_error():
+    sim, _topo, _net, m = small_net()
+
+    def proc(sim):
+        yield from m["a"].call(m["b"], "ghost", "echo")
+
+    with pytest.raises(RemoteError):
+        sim.run_process(proc(sim))
+
+
+def test_rpc_unknown_method_is_remote_error():
+    sim, _topo, _net, m = small_net()
+    m["b"].register("echo", EchoService(sim))
+
+    def proc(sim):
+        yield from m["a"].call(m["b"], "echo", "ghost")
+
+    with pytest.raises(RemoteError):
+        sim.run_process(proc(sim))
+
+
+def test_register_duplicate_service_rejected():
+    sim, _topo, _net, m = small_net()
+    m["a"].register("echo", EchoService(sim))
+    with pytest.raises(ValueError):
+        m["a"].register("echo", EchoService(sim))

@@ -1,0 +1,45 @@
+"""Shared fixtures: a small mounted parallel FS."""
+
+import pytest
+
+from repro.bench import build_flat_testbed
+from repro.pfs import Pfs
+
+
+class MountedPfs:
+    """A 2-client testbed with helpers to run coroutines to completion."""
+
+    def __init__(self, n_clients=2, config=None):
+        self.testbed = build_flat_testbed(n_clients=n_clients)
+        self.sim = self.testbed.sim
+        self.pfs = Pfs(self.sim, self.testbed.servers, config)
+        self.clients = [self.pfs.client(m) for m in self.testbed.clients]
+
+    def run(self, coro):
+        """Run one coroutine to completion, returning its value."""
+        return self.sim.run_process(coro)
+
+    def run_all(self, coros):
+        """Run several coroutines concurrently; returns their values."""
+        procs = [self.sim.process(c) for c in coros]
+
+        def waiter():
+            values = yield self.sim.all_of(procs)
+            return values
+
+        return self.sim.run_process(waiter())
+
+
+@pytest.fixture
+def fsx():
+    return MountedPfs(n_clients=2)
+
+
+@pytest.fixture
+def fs(fsx):
+    return fsx.clients[0]
+
+
+@pytest.fixture
+def fs2(fsx):
+    return fsx.clients[1]

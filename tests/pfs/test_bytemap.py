@@ -1,0 +1,154 @@
+"""Unit + property tests for sparse file contents."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pfs.bytemap import ByteMap
+
+
+def test_empty_map():
+    bm = ByteMap()
+    assert bm.size == 0
+    assert bm.read(0, 10) == b""
+
+
+def test_write_real_bytes_and_read_back():
+    bm = ByteMap()
+    assert bm.write(0, data=b"hello") == 5
+    assert bm.size == 5
+    assert bm.read(0, 5) == b"hello"
+    assert bm.read(1, 3) == b"ell"
+
+
+def test_synthetic_write_reads_zero():
+    bm = ByteMap()
+    bm.write(10, length=4)
+    assert bm.size == 14
+    assert bm.read(10, 4) == b"\x00" * 4
+
+
+def test_hole_reads_zero():
+    bm = ByteMap()
+    bm.write(8, data=b"xy")
+    assert bm.read(0, 10) == b"\x00" * 8 + b"xy"
+
+
+def test_read_past_eof_truncated():
+    bm = ByteMap()
+    bm.write(0, data=b"abc")
+    assert bm.read(1, 100) == b"bc"
+    assert bm.read(5, 10) == b""
+
+
+def test_overwrite_middle():
+    bm = ByteMap()
+    bm.write(0, data=b"aaaaaaaa")
+    bm.write(2, data=b"BB")
+    assert bm.read(0, 8) == b"aaBBaaaa"
+
+
+def test_overwrite_extending():
+    bm = ByteMap()
+    bm.write(0, data=b"aaaa")
+    bm.write(2, data=b"BBBB")
+    assert bm.read(0, 6) == b"aaBBBB"
+    assert bm.size == 6
+
+
+def test_write_inside_existing_extent_splits_it():
+    bm = ByteMap()
+    bm.write(0, data=b"0123456789")
+    bm.write(3, data=b"XYZ")
+    assert bm.read(0, 10) == b"012XYZ6789"
+
+
+def test_write_requires_exactly_one_source():
+    bm = ByteMap()
+    with pytest.raises(ValueError):
+        bm.write(0)
+    with pytest.raises(ValueError):
+        bm.write(0, length=3, data=b"abc")
+
+
+def test_write_zero_length():
+    bm = ByteMap()
+    assert bm.write(5, length=0) == 0
+    assert bm.size == 0
+
+
+def test_negative_offset_rejected():
+    bm = ByteMap()
+    with pytest.raises(ValueError):
+        bm.write(-1, length=3)
+    with pytest.raises(ValueError):
+        bm.read(-1, 3)
+
+
+def test_truncate_shrinks():
+    bm = ByteMap()
+    bm.write(0, data=b"0123456789")
+    bm.truncate(4)
+    assert bm.size == 4
+    assert bm.read(0, 10) == b"0123"
+
+
+def test_truncate_extends_with_hole():
+    bm = ByteMap()
+    bm.write(0, data=b"ab")
+    bm.truncate(5)
+    assert bm.size == 5
+    assert bm.read(0, 5) == b"ab\x00\x00\x00"
+
+
+def test_truncate_cuts_partial_extent():
+    bm = ByteMap()
+    bm.write(2, data=b"abcdef")
+    bm.truncate(5)
+    assert bm.read(0, 5) == b"\x00\x00abc"
+
+
+def test_written_bytes_counts_extent_coverage():
+    bm = ByteMap()
+    bm.write(0, length=4)
+    bm.write(8, length=4)
+    assert bm.written_bytes(0, 12) == 8
+    assert bm.written_bytes(2, 8) == 4
+    assert bm.written_bytes(20, 5) == 0
+
+
+WRITES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=120),
+        st.binary(min_size=1, max_size=40),
+    ),
+    max_size=20,
+)
+
+
+@given(WRITES)
+def test_bytemap_matches_reference_bytearray(writes):
+    bm = ByteMap()
+    reference = bytearray()
+    for offset, payload in writes:
+        bm.write(offset, data=payload)
+        if len(reference) < offset + len(payload):
+            reference.extend(b"\x00" * (offset + len(payload) - len(reference)))
+        reference[offset: offset + len(payload)] = payload
+    assert bm.size == len(reference)
+    assert bm.read(0, len(reference) + 16) == bytes(reference)
+
+
+@given(WRITES, st.integers(min_value=0, max_value=200))
+def test_truncate_matches_reference(writes, cut):
+    bm = ByteMap()
+    reference = bytearray()
+    for offset, payload in writes:
+        bm.write(offset, data=payload)
+        if len(reference) < offset + len(payload):
+            reference.extend(b"\x00" * (offset + len(payload) - len(reference)))
+        reference[offset: offset + len(payload)] = payload
+    bm.truncate(cut)
+    expected = bytes(reference[:cut]) + b"\x00" * max(0, cut - len(reference))
+    assert bm.size == cut
+    assert bm.read(0, cut) == expected

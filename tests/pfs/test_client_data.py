@@ -1,0 +1,234 @@
+"""Data-path semantics: open/read/write/truncate, cross-node coherence."""
+
+import pytest
+
+from repro.pfs import FsError, OpenFlags
+
+
+def test_write_read_roundtrip(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.write(fh, 0, data=b"hello world")
+        yield from fs.close(fh)
+        fh = yield from fs.open("/f")
+        data = yield from fs.read(fh, 0, 11, want_data=True)
+        yield from fs.close(fh)
+        return data
+
+    assert fsx.run(main()) == b"hello world"
+
+
+def test_write_updates_size_and_mtime(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        before = (yield from fs.stat("/f")).mtime
+        yield fsx.sim.timeout(5.0)
+        yield from fs.write(fh, 100, size=50)
+        yield from fs.close(fh)
+        attr = yield from fs.stat("/f")
+        return (attr.size, attr.mtime, before)
+
+    size, mtime, before = fsx.run(main())
+    assert size == 150
+    assert mtime > before
+
+
+def test_sparse_read_returns_zeros(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.write(fh, 4, data=b"xy")
+        yield from fs.close(fh)
+        fh = yield from fs.open("/f")
+        data = yield from fs.read(fh, 0, 6, want_data=True)
+        yield from fs.close(fh)
+        return data
+
+    assert fsx.run(main()) == b"\x00\x00\x00\x00xy"
+
+
+def test_read_returns_count_without_data(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.write(fh, 0, size=1000)
+        yield from fs.close(fh)
+        fh = yield from fs.open("/f")
+        count = yield from fs.read(fh, 200, 4000)
+        yield from fs.close(fh)
+        return count
+
+    assert fsx.run(main()) == 800
+
+
+def test_open_missing_fails(fsx, fs):
+    def main():
+        yield from fs.open("/nope")
+
+    with pytest.raises(FsError) as err:
+        fsx.run(main())
+    assert err.value.code == "ENOENT"
+
+
+def test_open_creat_creates(fsx, fs):
+    def main():
+        fh = yield from fs.open("/f", OpenFlags.WRONLY | OpenFlags.CREAT)
+        yield from fs.close(fh)
+        return (yield from fs.stat("/f")).is_file
+
+    assert fsx.run(main()) is True
+
+
+def test_open_creat_excl_on_existing_fails(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.open("/f", OpenFlags.CREAT | OpenFlags.EXCL)
+
+    with pytest.raises(FsError) as err:
+        fsx.run(main())
+    assert err.value.code == "EEXIST"
+
+
+def test_open_trunc_clears_contents(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.write(fh, 0, data=b"old contents")
+        yield from fs.close(fh)
+        fh = yield from fs.open("/f", OpenFlags.WRONLY | OpenFlags.TRUNC)
+        yield from fs.close(fh)
+        return (yield from fs.stat("/f")).size
+
+    assert fsx.run(main()) == 0
+
+
+def test_write_on_readonly_handle_fails(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        fh = yield from fs.open("/f", OpenFlags.RDONLY)
+        yield from fs.write(fh, 0, size=10)
+
+    with pytest.raises(FsError) as err:
+        fsx.run(main())
+    assert err.value.code == "EINVAL"
+
+
+def test_bad_handle_rejected(fsx, fs):
+    def main():
+        yield from fs.read(999, 0, 10)
+
+    with pytest.raises(FsError) as err:
+        fsx.run(main())
+    assert err.value.code == "EBADF"
+
+
+def test_close_unknown_handle(fsx, fs):
+    def main():
+        yield from fs.close(12345)
+
+    with pytest.raises(FsError) as err:
+        fsx.run(main())
+    assert err.value.code == "EBADF"
+
+
+def test_truncate_shrink_and_extend(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.write(fh, 0, data=b"0123456789")
+        yield from fs.close(fh)
+        yield from fs.truncate("/f", 4)
+        mid = (yield from fs.stat("/f")).size
+        yield from fs.truncate("/f", 20)
+        fh = yield from fs.open("/f")
+        data = yield from fs.read(fh, 0, 20, want_data=True)
+        yield from fs.close(fh)
+        return (mid, data)
+
+    mid, data = fsx.run(main())
+    assert mid == 4
+    assert data == b"0123" + b"\x00" * 16
+
+
+def test_cross_node_read_after_write(fsx, fs, fs2):
+    def writer():
+        fh = yield from fs.create("/shared.dat")
+        yield from fs.write(fh, 0, data=b"from node0")
+        yield from fs.close(fh)
+
+    def reader():
+        fh = yield from fs2.open("/shared.dat")
+        data = yield from fs2.read(fh, 0, 10, want_data=True)
+        yield from fs2.close(fh)
+        return data
+
+    def main():
+        yield from writer()
+        return (yield from reader())
+
+    assert fsx.run(main()) == b"from node0"
+
+
+def test_cross_node_stat_sees_fresh_attrs(fsx, fs, fs2):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.utime("/f", atime=1.0, mtime=2.0)
+        attr = yield from fs2.stat("/f")
+        return (attr.atime, attr.mtime)
+
+    assert fsx.run(main()) == (1.0, 2.0)
+
+
+def test_cross_node_utime_then_stat_back(fsx, fs, fs2):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs2.utime("/f", atime=7.0, mtime=8.0)
+        attr = yield from fs.stat("/f")
+        return (attr.atime, attr.mtime)
+
+    assert fsx.run(main()) == (7.0, 8.0)
+
+
+def test_concurrent_disjoint_shared_file_writes(fsx, fs, fs2):
+    def writer(client, offset, payload):
+        fh = yield from client.open("/big", OpenFlags.RDWR)
+        yield from client.write(fh, offset, data=payload)
+        yield from client.close(fh)
+
+    def main():
+        fh = yield from fs.create("/big")
+        yield from fs.close(fh)
+        p1 = fsx.sim.process(writer(fs, 0, b"AAAA"))
+        p2 = fsx.sim.process(writer(fs2, 4, b"BBBB"))
+        yield fsx.sim.all_of([p1, p2])
+        fh = yield from fs.open("/big")
+        data = yield from fs.read(fh, 0, 8, want_data=True)
+        yield from fs.close(fh)
+        return data
+
+    assert fsx.run(main()) == b"AAAABBBB"
+
+
+def test_fsync_waits_for_drain(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.write(fh, 0, size=4 * 1024 * 1024)
+        yield from fs.fsync(fh)
+        # after fsync nothing is dirty for this inode
+        dirty = fs.data._has_dirty((yield from fs.stat("/f")).ino)
+        yield from fs.close(fh)
+        return dirty
+
+    assert fsx.run(main()) is False
+
+
+def test_unlink_while_data_cached_drops_chunks(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.write(fh, 0, size=2 * 1024 * 1024)
+        yield from fs.close(fh)
+        ino = (yield from fs.stat("/f")).ino
+        yield from fs.unlink("/f")
+        return any(k[0] == ino for k in fs.data._chunks)
+
+    assert fsx.run(main()) is False

@@ -1,0 +1,155 @@
+"""Parallel-FS client edge cases: races, paths, counters."""
+
+import pytest
+
+from repro.pfs import FsError, OpenFlags
+
+
+def test_concurrent_mkdir_race_one_wins(fsx, fs, fs2):
+    outcomes = []
+
+    def racer(client):
+        try:
+            yield from client.mkdir("/contested")
+            outcomes.append("ok")
+        except FsError as exc:
+            outcomes.append(exc.code)
+
+    fsx.run_all([racer(fs), racer(fs2)])
+    assert sorted(outcomes) == ["EEXIST", "ok"]
+
+
+def test_concurrent_create_race_one_wins(fsx, fs, fs2):
+    outcomes = []
+
+    def racer(client):
+        try:
+            fh = yield from client.create("/the-file")
+            yield from client.close(fh)
+            outcomes.append("ok")
+        except FsError as exc:
+            outcomes.append(exc.code)
+
+    fsx.run_all([racer(fs), racer(fs2)])
+    assert sorted(outcomes) == ["EEXIST", "ok"]
+
+
+def test_paths_normalize_through_operations(fsx, fs):
+    def main():
+        yield from fs.mkdir("/a")
+        fh = yield from fs.create("/a//b.txt")
+        yield from fs.close(fh)
+        attr = yield from fs.stat("/a/./b.txt")
+        attr2 = yield from fs.stat("/a/sub/../b.txt")
+        return (attr.ino, attr2.ino)
+
+    ino1, ino2 = fsx.run(main())
+    assert ino1 == ino2
+
+
+def test_relative_path_rejected(fsx, fs):
+    def main():
+        yield from fs.stat("not/absolute")
+
+    with pytest.raises(ValueError):
+        fsx.run(main())
+
+
+def test_unlink_then_recreate_gets_new_inode(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        first = (yield from fs.stat("/f")).ino
+        yield from fs.unlink("/f")
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        second = (yield from fs.stat("/f")).ino
+        return (first, second)
+
+    first, second = fsx.run(main())
+    assert first != second
+
+
+def test_many_open_handles(fsx, fs):
+    def main():
+        handles = []
+        for i in range(20):
+            handles.append((yield from fs.create(f"/f{i}")))
+        for fh in handles:
+            yield from fs.close(fh)
+        return len(set(handles))
+
+    assert fsx.run(main()) == 20
+
+
+def test_create_inside_symlinked_dir(fsx, fs):
+    def main():
+        yield from fs.mkdir("/real")
+        yield from fs.symlink("/real", "/link")
+        fh = yield from fs.create("/link/file")
+        yield from fs.close(fh)
+        return (yield from fs.readdir("/real"))
+
+    assert fsx.run(main()) == ["file"]
+
+
+def test_counters_reflect_activity(fsx, fs):
+    def main():
+        for i in range(5):
+            fh = yield from fs.create(f"/f{i}")
+            yield from fs.close(fh)
+
+    fsx.run(main())
+    counters = fsx.pfs.counters()
+    assert counters["token_acquires"] > 0
+    log_writes = sum(
+        v for k, v in counters.items() if k.endswith("log_writes")
+    )
+    assert log_writes >= 5  # each create forces the creator's journal
+
+
+def test_dir_sizes_report_entry_counts(fsx, fs):
+    def main():
+        yield from fs.mkdir("/d")
+        for i in range(7):
+            fh = yield from fs.create(f"/d/f{i}")
+            yield from fs.close(fh)
+        return (yield from fs.stat("/d")).size
+
+    assert fsx.run(main()) == 7
+
+
+def test_rename_within_same_directory(fsx, fs):
+    def main():
+        yield from fs.mkdir("/d")
+        fh = yield from fs.create("/d/old")
+        yield from fs.close(fh)
+        yield from fs.rename("/d/old", "/d/new")
+        return (yield from fs.readdir("/d"))
+
+    assert fsx.run(main()) == ["new"]
+
+
+def test_write_at_large_offset_sparse(fsx, fs):
+    def main():
+        fh = yield from fs.create("/sparse")
+        yield from fs.write(fh, 10_000_000, size=4)
+        yield from fs.close(fh)
+        return (yield from fs.stat("/sparse")).size
+
+    assert fsx.run(main()) == 10_000_004
+
+
+def test_eexist_create_leaves_no_orphan_inode(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        inodes_before = len(fsx.pfs.state.inodes)
+        try:
+            yield from fs.create("/f")
+        except FsError:
+            pass
+        return (inodes_before, len(fsx.pfs.state.inodes))
+
+    before, after = fsx.run(main())
+    assert before == after

@@ -1,0 +1,359 @@
+"""POSIX namespace semantics of the parallel-FS client."""
+
+import pytest
+
+from repro.pfs import FsError, OpenFlags
+
+
+def run(fsx, gen):
+    return fsx.run(gen)
+
+
+def test_mkdir_and_readdir(fsx, fs):
+    def main():
+        yield from fs.mkdir("/a")
+        yield from fs.mkdir("/a/b")
+        return (yield from fs.readdir("/a"))
+
+    assert run(fsx, main()) == ["b"]
+
+
+def test_mkdir_existing_fails(fsx, fs):
+    def main():
+        yield from fs.mkdir("/a")
+        yield from fs.mkdir("/a")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "EEXIST"
+
+
+def test_mkdir_missing_parent_fails(fsx, fs):
+    def main():
+        yield from fs.mkdir("/ghost/sub")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "ENOENT"
+
+
+def test_create_stat_roundtrip(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f.txt", mode=0o600)
+        yield from fs.close(fh)
+        return (yield from fs.stat("/f.txt"))
+
+    attr = run(fsx, main())
+    assert attr.is_file
+    assert attr.mode == 0o600
+    assert attr.size == 0
+    assert attr.nlink == 1
+
+
+def test_create_duplicate_fails(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.create("/f")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "EEXIST"
+
+
+def test_create_under_file_fails(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.create("/f/child")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "ENOTDIR"
+
+
+def test_stat_missing(fsx, fs):
+    def main():
+        yield from fs.stat("/nope")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "ENOENT"
+
+
+def test_unlink_removes(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.unlink("/f")
+        return (yield from fs.readdir("/"))
+
+    assert run(fsx, main()) == []
+
+
+def test_unlink_missing(fsx, fs):
+    def main():
+        yield from fs.unlink("/nope")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "ENOENT"
+
+
+def test_unlink_directory_is_eisdir(fsx, fs):
+    def main():
+        yield from fs.mkdir("/d")
+        yield from fs.unlink("/d")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "EISDIR"
+
+
+def test_rmdir(fsx, fs):
+    def main():
+        yield from fs.mkdir("/d")
+        yield from fs.rmdir("/d")
+        return (yield from fs.readdir("/"))
+
+    assert run(fsx, main()) == []
+
+
+def test_rmdir_non_empty(fsx, fs):
+    def main():
+        yield from fs.mkdir("/d")
+        fh = yield from fs.create("/d/f")
+        yield from fs.close(fh)
+        yield from fs.rmdir("/d")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "ENOTEMPTY"
+
+
+def test_rmdir_of_file_is_enotdir(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.rmdir("/f")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "ENOTDIR"
+
+
+def test_directory_nlink_counts_subdirs(fsx, fs):
+    def main():
+        yield from fs.mkdir("/d")
+        yield from fs.mkdir("/d/s1")
+        yield from fs.mkdir("/d/s2")
+        before = (yield from fs.stat("/d")).nlink
+        yield from fs.rmdir("/d/s1")
+        after = (yield from fs.stat("/d")).nlink
+        return (before, after)
+
+    assert run(fsx, main()) == (4, 3)
+
+
+def test_rename_file(fsx, fs):
+    def main():
+        fh = yield from fs.create("/old")
+        yield from fs.close(fh)
+        yield from fs.rename("/old", "/new")
+        names = yield from fs.readdir("/")
+        attr = yield from fs.stat("/new")
+        return (names, attr.is_file)
+
+    names, is_file = run(fsx, main())
+    assert names == ["new"]
+    assert is_file
+
+
+def test_rename_replaces_existing_file(fsx, fs):
+    def main():
+        fh = yield from fs.create("/a")
+        yield from fs.write(fh, 0, data=b"AAA")
+        yield from fs.close(fh)
+        fh = yield from fs.create("/b")
+        yield from fs.close(fh)
+        yield from fs.rename("/a", "/b")
+        fh = yield from fs.open("/b")
+        data = yield from fs.read(fh, 0, 3, want_data=True)
+        yield from fs.close(fh)
+        return (data, (yield from fs.readdir("/")))
+
+    data, names = run(fsx, main())
+    assert data == b"AAA"
+    assert names == ["b"]
+
+
+def test_rename_across_directories(fsx, fs):
+    def main():
+        yield from fs.mkdir("/src")
+        yield from fs.mkdir("/dst")
+        fh = yield from fs.create("/src/f")
+        yield from fs.close(fh)
+        yield from fs.rename("/src/f", "/dst/g")
+        return (
+            (yield from fs.readdir("/src")),
+            (yield from fs.readdir("/dst")),
+        )
+
+    assert run(fsx, main()) == ([], ["g"])
+
+
+def test_rename_dir_onto_nonempty_dir_fails(fsx, fs):
+    def main():
+        yield from fs.mkdir("/a")
+        yield from fs.mkdir("/b")
+        fh = yield from fs.create("/b/f")
+        yield from fs.close(fh)
+        yield from fs.rename("/a", "/b")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "ENOTEMPTY"
+
+
+def test_rename_dir_moves_tree(fsx, fs):
+    def main():
+        yield from fs.mkdir("/a")
+        fh = yield from fs.create("/a/f")
+        yield from fs.close(fh)
+        yield from fs.rename("/a", "/b")
+        return (yield from fs.readdir("/b"))
+
+    assert run(fsx, main()) == ["f"]
+
+
+def test_rename_missing_source(fsx, fs):
+    def main():
+        yield from fs.rename("/nope", "/x")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "ENOENT"
+
+
+def test_link_shares_inode(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.write(fh, 0, data=b"shared")
+        yield from fs.close(fh)
+        yield from fs.link("/f", "/g")
+        a1 = yield from fs.stat("/f")
+        a2 = yield from fs.stat("/g")
+        fh = yield from fs.open("/g")
+        data = yield from fs.read(fh, 0, 6, want_data=True)
+        yield from fs.close(fh)
+        return (a1.ino, a2.ino, a1.nlink, data)
+
+    ino1, ino2, nlink, data = run(fsx, main())
+    assert ino1 == ino2
+    assert nlink == 2
+    assert data == b"shared"
+
+
+def test_unlink_one_of_two_links_keeps_data(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.link("/f", "/g")
+        yield from fs.unlink("/f")
+        attr = yield from fs.stat("/g")
+        return attr.nlink
+
+    assert run(fsx, main()) == 1
+
+
+def test_link_to_directory_fails(fsx, fs):
+    def main():
+        yield from fs.mkdir("/d")
+        yield from fs.link("/d", "/e")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "EISDIR"
+
+
+def test_symlink_and_readlink(fsx, fs):
+    def main():
+        fh = yield from fs.create("/target")
+        yield from fs.close(fh)
+        yield from fs.symlink("/target", "/ln")
+        target = yield from fs.readlink("/ln")
+        attr = yield from fs.stat("/ln")  # follows
+        return (target, attr.is_file)
+
+    target, is_file = run(fsx, main())
+    assert target == "/target"
+    assert is_file
+
+
+def test_symlink_followed_in_paths(fsx, fs):
+    def main():
+        yield from fs.mkdir("/real")
+        fh = yield from fs.create("/real/f")
+        yield from fs.close(fh)
+        yield from fs.symlink("/real", "/alias")
+        return (yield from fs.stat("/alias/f")).is_file
+
+    assert run(fsx, main()) is True
+
+
+def test_readlink_of_file_is_einval(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.readlink("/f")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "EINVAL"
+
+
+def test_symlink_loop_detected(fsx, fs):
+    def main():
+        yield from fs.symlink("/b", "/a")
+        yield from fs.symlink("/a", "/b")
+        yield from fs.stat("/a")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "EINVAL"
+
+
+def test_utime_sets_times(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.utime("/f", atime=123.0, mtime=456.0)
+        return (yield from fs.stat("/f"))
+
+    attr = run(fsx, main())
+    assert attr.atime == 123.0
+    assert attr.mtime == 456.0
+
+
+def test_readdir_of_file_fails(fsx, fs):
+    def main():
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.readdir("/f")
+
+    with pytest.raises(FsError) as err:
+        run(fsx, main())
+    assert err.value.code == "ENOTDIR"
+
+
+def test_readdir_sorted_many_entries(fsx, fs):
+    def main():
+        yield from fs.mkdir("/d")
+        for i in range(150):  # spans several directory blocks
+            fh = yield from fs.create(f"/d/f{i:03d}")
+            yield from fs.close(fh)
+        return (yield from fs.readdir("/d"))
+
+    names = run(fsx, main())
+    assert names == sorted(names)
+    assert len(names) == 150

@@ -1,0 +1,145 @@
+"""Unit + property tests for extendible-hash directories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs.directory import ExtendibleDir, name_hash
+
+
+def test_empty_dir():
+    d = ExtendibleDir(block_capacity=4)
+    assert len(d) == 0
+    assert d.lookup("x") is None
+    assert d.global_depth == 0
+    assert d.n_blocks == 1
+
+
+def test_insert_and_lookup():
+    d = ExtendibleDir(block_capacity=4)
+    d.insert("a", 10)
+    assert d.lookup("a") == 10
+    assert "a" in d
+    assert len(d) == 1
+
+
+def test_duplicate_insert_raises():
+    d = ExtendibleDir(block_capacity=4)
+    d.insert("a", 10)
+    with pytest.raises(KeyError):
+        d.insert("a", 11)
+
+
+def test_remove():
+    d = ExtendibleDir(block_capacity=4)
+    d.insert("a", 10)
+    assert d.remove("a") is True
+    assert d.lookup("a") is None
+    assert d.remove("a") is False
+
+
+def test_version_bumps_on_mutation():
+    d = ExtendibleDir(block_capacity=4)
+    v0 = d.version
+    d.insert("a", 1)
+    assert d.version > v0
+    v1 = d.version
+    d.remove("a")
+    assert d.version > v1
+
+
+def test_splits_happen_and_entries_survive():
+    d = ExtendibleDir(block_capacity=4)
+    for i in range(64):
+        d.insert(f"file{i}", i)
+    assert d.n_blocks > 1
+    assert d.splits > 0
+    assert d.global_depth >= 3
+    for i in range(64):
+        assert d.lookup(f"file{i}") == i
+
+
+def test_block_of_is_stable_between_mutations_of_other_blocks():
+    d = ExtendibleDir(block_capacity=64)
+    d.insert("stable", 1)
+    block = d.block_of("stable")
+    # inserting into other buckets without splitting keeps the mapping
+    for i in range(10):
+        d.insert(f"x{i}", i)
+    if d.splits == 0:
+        assert d.block_of("stable") == block
+
+
+def test_entries_lists_everything_once():
+    d = ExtendibleDir(block_capacity=4)
+    expected = {}
+    for i in range(40):
+        d.insert(f"f{i}", i)
+        expected[f"f{i}"] = i
+    assert dict(d.entries()) == expected
+    assert sorted(d.names()) == sorted(expected)
+
+
+def test_min_block_capacity():
+    with pytest.raises(ValueError):
+        ExtendibleDir(block_capacity=1)
+
+
+def test_name_hash_is_stable():
+    assert name_hash("hello") == name_hash("hello")
+    assert name_hash("hello") != name_hash("world")
+
+
+NAMES = st.lists(
+    st.text(alphabet="abcdefgh0123456789._-", min_size=1, max_size=12),
+    unique=True,
+    max_size=120,
+)
+
+
+@settings(max_examples=50)
+@given(NAMES, st.sampled_from([2, 4, 8, 64]))
+def test_directory_matches_model_dict(names, capacity):
+    d = ExtendibleDir(block_capacity=capacity)
+    model = {}
+    for ino, name in enumerate(names):
+        d.insert(name, ino)
+        model[name] = ino
+    assert len(d) == len(model)
+    for name, ino in model.items():
+        assert d.lookup(name) == ino
+    assert dict(d.entries()) == model
+
+
+@settings(max_examples=50)
+@given(NAMES, st.data())
+def test_directory_with_removals_matches_model(names, data):
+    d = ExtendibleDir(block_capacity=4)
+    model = {}
+    for ino, name in enumerate(names):
+        d.insert(name, ino)
+        model[name] = ino
+    if model:
+        to_remove = data.draw(
+            st.lists(st.sampled_from(sorted(model)), unique=True)
+        )
+        for name in to_remove:
+            assert d.remove(name) is True
+            del model[name]
+    assert dict(d.entries()) == model
+    for name in names:
+        assert d.lookup(name) == model.get(name)
+
+
+@settings(max_examples=30)
+@given(NAMES)
+def test_invariant_entries_live_in_their_hash_bucket(names):
+    d = ExtendibleDir(block_capacity=4)
+    for ino, name in enumerate(names):
+        d.insert(name, ino)
+    # Every entry must be found in the bucket its hash addresses, and
+    # every block's local depth must not exceed the global depth.
+    for block in d.blocks():
+        assert block.local_depth <= d.global_depth
+        for name in block.entries:
+            assert d._bucket_for(name) is block

@@ -1,0 +1,134 @@
+"""Page pool (write-behind, prefetch, capacity) and client WAL."""
+
+import pytest
+
+from repro.pfs.config import PfsConfig
+from repro.units import MB
+from tests.pfs.conftest import MountedPfs
+
+
+def test_write_behind_drains_to_servers():
+    fsx = MountedPfs(1)
+    client = fsx.clients[0]
+
+    def main():
+        fh = yield from client.create("/f")
+        yield from client.write(fh, 0, size=8 * MB)
+        yield from client.close(fh)  # fsync-on-close waits for the drain
+
+    fsx.run(main())
+    written = sum(nsd.data_disk.bytes_written for nsd in fsx.pfs.nsds)
+    assert written == 8 * MB
+
+
+def test_chunks_stripe_across_servers():
+    fsx = MountedPfs(1)
+    client = fsx.clients[0]
+
+    def main():
+        fh = yield from client.create("/f")
+        yield from client.write(fh, 0, size=16 * MB)
+        yield from client.close(fh)
+
+    fsx.run(main())
+    per_server = [nsd.data_disk.bytes_written for nsd in fsx.pfs.nsds]
+    assert all(w > 0 for w in per_server)
+    assert max(per_server) <= 2 * min(per_server)
+
+
+def test_pool_capacity_is_respected():
+    config = PfsConfig(page_pool_bytes=4 * MB)
+    fsx = MountedPfs(1, config=config)
+    client = fsx.clients[0]
+
+    def main():
+        fh = yield from client.create("/f")
+        yield from client.write(fh, 0, size=16 * MB)
+        yield from client.close(fh)
+        return len(client.data._chunks)
+
+    resident = fsx.run(main())
+    assert resident <= 4  # 4 MB pool at 1 MB chunks
+
+
+def test_cached_read_is_memory_fast():
+    fsx = MountedPfs(1)
+    client = fsx.clients[0]
+    sim = fsx.sim
+
+    def main():
+        fh = yield from client.create("/f")
+        yield from client.write(fh, 0, size=4 * MB)
+        yield from client.close(fh)
+        fh = yield from client.open("/f")
+        t0 = sim.now
+        yield from client.read(fh, 0, 4 * MB)
+        warm = sim.now - t0
+        yield from client.close(fh)
+        return warm
+
+    warm_ms = fsx.run(main())
+    assert warm_ms < 4.0  # memcpy speed, far below network (8 ms/MB)
+
+
+def test_sequential_read_prefetches():
+    fsx = MountedPfs(2)
+    writer, reader = fsx.clients
+
+    def main():
+        fh = yield from writer.create("/f")
+        yield from writer.write(fh, 0, size=8 * MB)
+        yield from writer.close(fh)
+        fh = yield from reader.open("/f")
+        for chunk in range(8):
+            yield from reader.read(fh, chunk * MB, MB)
+        yield from reader.close(fh)
+        return (reader.data.cache_hits, reader.data.cache_misses)
+
+    hits, misses = fsx.run(main())
+    assert hits > 0  # read-ahead turned later chunk reads into hits
+
+
+def test_random_read_does_not_prefetch_everything():
+    fsx = MountedPfs(2)
+    writer, reader = fsx.clients
+
+    def main():
+        fh = yield from writer.create("/f")
+        yield from writer.write(fh, 0, size=8 * MB)
+        yield from writer.close(fh)
+        fh = yield from reader.open("/f")
+        for chunk in (5, 1, 7, 3):  # non-sequential
+            yield from reader.read(fh, chunk * MB, MB)
+        yield from reader.close(fh)
+        return reader.data.cache_misses
+
+    misses = fsx.run(main())
+    assert misses >= 4
+
+
+def test_wal_batches_concurrent_forces():
+    fsx = MountedPfs(1)
+    client = fsx.clients[0]
+    done = []
+
+    def forcer(tag):
+        yield from client.wal.force()
+        done.append(tag)
+
+    fsx.run_all([forcer(i) for i in range(6)])
+    assert sorted(done) == list(range(6))
+    # 6 simultaneous forces ride far fewer round trips
+    assert client.wal.forces <= 2
+
+
+def test_wal_serial_forces_each_pay():
+    fsx = MountedPfs(1)
+    client = fsx.clients[0]
+
+    def main():
+        for _ in range(3):
+            yield from client.wal.force()
+
+    fsx.run(main())
+    assert client.wal.forces == 3

@@ -1,0 +1,126 @@
+"""Byte-range token server: splitting, widening, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs.ranges import EOF, RO, XW
+from repro.units import MB
+from tests.pfs.conftest import MountedPfs
+
+
+def acquire(fsx, node_index, ino, lo, hi, mode):
+    client = fsx.clients[node_index]
+    return fsx.run(client.data.ensure_range(ino, lo, hi, mode))
+
+
+def grants(fsx, ino):
+    return fsx.pfs.range_server.grants_of(ino)
+
+
+def test_first_writer_gets_everything():
+    fsx = MountedPfs(2)
+    acquire(fsx, 0, 7, 0, 1 * MB, XW)
+    assert grants(fsx, 7) == [(0, EOF, "node0", XW)]
+
+
+def test_second_writer_splits_at_its_offset():
+    fsx = MountedPfs(2)
+    acquire(fsx, 0, 7, 0, 1 * MB, XW)
+    acquire(fsx, 1, 7, 32 * MB, 33 * MB, XW)
+    got = sorted(grants(fsx, 7))
+    assert got == [
+        (0, 32 * MB, "node0", XW),
+        (32 * MB, EOF, "node1", XW),
+    ]
+
+
+def test_segmented_writers_settle_with_one_acquire_each():
+    fsx = MountedPfs(4)
+    seg = 16 * MB
+    for node in range(4):
+        acquire(fsx, node, 7, node * seg, node * seg + MB, XW)
+    before = fsx.pfs.range_server.acquires
+    # every node can now write its whole segment without server traffic
+    for node in range(4):
+        for chunk in range(16):
+            offset = node * seg + chunk * MB
+            covered = fsx.clients[node].data._covered(7, offset, offset + MB, XW)
+            assert covered, (node, chunk)
+    assert fsx.pfs.range_server.acquires == before
+
+
+def test_readers_share_ranges():
+    fsx = MountedPfs(2)
+    acquire(fsx, 0, 7, 0, MB, RO)
+    acquire(fsx, 1, 7, 0, MB, RO)
+    holders = {g[2] for g in grants(fsx, 7)}
+    assert holders == {"node0", "node1"}
+
+
+def test_reader_after_writer_forces_flush():
+    fsx = MountedPfs(2)
+    c0, c1 = fsx.clients
+
+    def main():
+        yield from c0.data.ensure_range(7, 0, MB, XW)
+        yield from c0.data.write(7, 0, MB)       # dirty chunk at node0
+        yield from c1.data.ensure_range(7, 0, MB, RO)
+        return c0.data._chunks.get((7, 0))
+
+    slot = fsx.run(main())
+    assert slot is None or slot[0] != "dirty"  # flushed by the revoke
+    assert fsx.pfs.range_server.range_revokes >= 1
+
+
+def test_release_all_forgets_node():
+    fsx = MountedPfs(2)
+    acquire(fsx, 0, 7, 0, MB, XW)
+
+    def main():
+        yield from fsx.clients[0].machine.call(
+            fsx.pfs.range_machine, "rangemgr", "release_all",
+            args=("node0", 7),
+        )
+
+    fsx.run(main())
+    assert grants(fsx, 7) == []
+
+
+def test_forget_drops_file_state():
+    fsx = MountedPfs(1)
+    acquire(fsx, 0, 7, 0, MB, XW)
+    fsx.pfs.range_server.forget(7)
+    assert grants(fsx, 7) == []
+
+
+RANGES = st.tuples(
+    st.integers(0, 3),                       # node
+    st.integers(0, 63),                      # lo chunk
+    st.integers(1, 16),                      # span chunks
+    st.sampled_from([RO, XW]),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(RANGES, min_size=1, max_size=12))
+def test_no_conflicting_grants_ever(requests):
+    """After any acquire sequence, grants never conflict."""
+    fsx = MountedPfs(4)
+
+    def main():
+        for node, lo_chunk, span, mode in requests:
+            lo = lo_chunk * MB
+            hi = lo + span * MB
+            yield from fsx.clients[node].data.ensure_range(7, lo, hi, mode)
+
+    fsx.run(main())
+    final = grants(fsx, 7)
+    for i, (a_lo, a_hi, a_node, a_mode) in enumerate(final):
+        assert a_lo < a_hi
+        for b_lo, b_hi, b_node, b_mode in final[i + 1:]:
+            if b_node == a_node:
+                continue
+            overlap = a_lo < b_hi and b_lo < a_hi
+            if overlap:
+                assert a_mode == RO and b_mode == RO, (final)

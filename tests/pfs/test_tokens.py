@@ -1,0 +1,212 @@
+"""Token manager invariants and behaviours."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs.tokens import RO, XW, compatible, mode_covers
+from tests.pfs.conftest import MountedPfs
+
+
+def test_compatibility_matrix():
+    assert compatible(RO, RO)
+    assert not compatible(RO, XW)
+    assert not compatible(XW, RO)
+    assert not compatible(XW, XW)
+
+
+def test_mode_covers():
+    assert mode_covers(XW, RO)
+    assert mode_covers(XW, XW)
+    assert mode_covers(RO, RO)
+    assert not mode_covers(RO, XW)
+
+
+def hold_release(client, key, mode):
+    entry = yield from client.tokens.hold(key, mode)
+    entry.unpin()
+    return entry
+
+
+def test_grant_records_holder():
+    fsx = MountedPfs(2)
+    c0 = fsx.clients[0]
+    key = ("attr", 424242)
+
+    fsx.run(hold_release(c0, key, RO))
+    assert fsx.pfs.token_server.holders_of(key) == {c0.name: RO}
+
+
+def test_shared_read_tokens_coexist():
+    fsx = MountedPfs(2)
+    c0, c1 = fsx.clients
+    key = ("attr", 424242)
+
+    def main():
+        yield from hold_release(c0, key, RO)
+        yield from hold_release(c1, key, RO)
+
+    fsx.run(main())
+    assert fsx.pfs.token_server.holders_of(key) == {c0.name: RO, c1.name: RO}
+
+
+def test_exclusive_revokes_other_holder():
+    fsx = MountedPfs(2)
+    c0, c1 = fsx.clients
+    key = ("attr", 424242)
+
+    def main():
+        yield from hold_release(c0, key, XW)
+        yield from hold_release(c1, key, XW)
+
+    fsx.run(main())
+    assert fsx.pfs.token_server.holders_of(key) == {c1.name: XW}
+    assert c0.tokens.cached(key) is None
+    assert c1.tokens.cached(key) is not None
+
+
+def test_read_request_downgrades_writer():
+    fsx = MountedPfs(2)
+    c0, c1 = fsx.clients
+    key = ("attr", 424242)
+
+    def main():
+        yield from hold_release(c0, key, XW)
+        yield from hold_release(c1, key, RO)
+
+    fsx.run(main())
+    holders = fsx.pfs.token_server.holders_of(key)
+    assert holders == {c0.name: RO, c1.name: RO}
+    assert c0.tokens.cached(key).mode == RO
+
+
+def test_revoke_waits_for_pinned_user():
+    fsx = MountedPfs(2)
+    c0, c1 = fsx.clients
+    key = ("attr", 424242)
+    trace = []
+
+    def pin_holder():
+        entry = yield from c0.tokens.hold(key, XW)
+        yield fsx.sim.timeout(10.0)
+        trace.append(("unpin", fsx.sim.now))
+        entry.unpin()
+
+    def contender():
+        yield fsx.sim.timeout(1.0)
+        entry = yield from c1.tokens.hold(key, XW)
+        trace.append(("granted", fsx.sim.now))
+        entry.unpin()
+
+    fsx.run_all([pin_holder(), contender()])
+    unpin_t = dict(trace)["unpin"]
+    granted_t = dict(trace)["granted"]
+    assert granted_t > unpin_t  # grant only after the pin was released
+
+
+def test_dirty_token_flushes_on_revoke():
+    fsx = MountedPfs(2)
+    c0, c1 = fsx.clients
+    key = ("attr", 424242)
+    flushed = []
+
+    def flush_cb():
+        flushed.append(fsx.sim.now)
+        yield fsx.sim.timeout(0.5)
+
+    def holder():
+        entry = yield from c0.tokens.hold(key, XW)
+        entry.mark_dirty(flush_cb)
+        entry.unpin()
+
+    def contender():
+        yield fsx.sim.timeout(1.0)
+        entry = yield from c1.tokens.hold(key, RO)
+        entry.unpin()
+
+    fsx.run_all([holder(), contender()])
+    assert len(flushed) == 1
+
+
+def test_grant_local_is_serverless_but_revocable():
+    fsx = MountedPfs(2)
+    c0, c1 = fsx.clients
+
+    def main():
+        # Allocate an inode so c0 owns its segment.
+        inode = fsx.pfs.state.inodes.allocate("file", 0o644, 0, 0, 0.0, c0.name)
+        key = ("attr", inode.ino)
+        before = fsx.pfs.token_server.acquires
+        entry = yield from c0.tokens.grant_local(key, XW)
+        entry.unpin()
+        assert fsx.pfs.token_server.acquires == before  # no server traffic
+        # Another node's acquire must revoke the delegated token.
+        entry2 = yield from c1.tokens.hold(key, RO)
+        entry2.unpin()
+        return (c0.tokens.cached(key), key)
+
+    cached, key = fsx.run(main())
+    holders = fsx.pfs.token_server.holders_of(key)
+    assert holders[c1.name] == RO
+    assert holders.get(c0.name) in (None, RO)
+
+
+def test_revoke_all_strips_everyone():
+    fsx = MountedPfs(2)
+    c0, c1 = fsx.clients
+    key = ("attr", 424242)
+
+    def main():
+        yield from hold_release(c0, key, RO)
+        yield from hold_release(c1, key, RO)
+        yield from c0.machine.call(
+            fsx.pfs.token_machine, "tokmgr", "revoke_all",
+            args=(c0.name, key),
+        )
+
+    fsx.run(main())
+    assert fsx.pfs.token_server.holders_of(key) == {}
+    assert c1.tokens.cached(key) is None
+
+
+def test_token_cache_eviction_relinquishes():
+    config = None
+    fsx = MountedPfs(1)
+    c0 = fsx.clients[0]
+    cap = fsx.pfs.config.attr_cache_entries
+
+    def main():
+        for i in range(cap + 10):
+            entry = yield from c0.tokens.hold(("attr", 10_000_000 + i), RO)
+            entry.unpin()
+        return len(c0.tokens._caches["attr"])
+
+    assert fsx.run(main()) <= cap
+
+
+MODES = st.sampled_from([RO, XW])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2), MODES), min_size=1, max_size=16))
+def test_never_two_conflicting_holders(ops):
+    """Random acquire storms never leave conflicting granted tokens."""
+    fsx = MountedPfs(3)
+    key = ("attr", 424242)
+
+    def worker(client, mode):
+        entry = yield from client.tokens.hold(key, mode)
+        yield fsx.sim.timeout(0.1)
+        entry.unpin()
+
+    fsx.run_all([worker(fsx.clients[n], m) for n, m in ops])
+    holders = fsx.pfs.token_server.holders_of(key)
+    writers = [n for n, m in holders.items() if m == XW]
+    assert len(writers) <= 1
+    if writers:
+        assert len(holders) == 1
+    # client caches agree with the server's map
+    for client in fsx.clients:
+        cached = client.tokens.cached(key)
+        if cached is not None and not cached.revoking:
+            assert holders.get(client.name) == cached.mode

@@ -1,0 +1,65 @@
+"""Unit tests for path helpers and attribute types."""
+
+import pytest
+
+from repro.pfs.types import (
+    DIRECTORY, FILE, SYMLINK, FileAttr, OpenFlags, components, join,
+    normalize, split,
+)
+
+
+def test_normalize_plain():
+    assert normalize("/a/b/c") == "/a/b/c"
+
+
+def test_normalize_root():
+    assert normalize("/") == "/"
+
+
+def test_normalize_collapses_slashes_and_dots():
+    assert normalize("//a/./b//") == "/a/b"
+
+
+def test_normalize_parent_refs():
+    assert normalize("/a/b/../c") == "/a/c"
+    assert normalize("/../a") == "/a"
+
+
+def test_normalize_rejects_relative():
+    with pytest.raises(ValueError):
+        normalize("a/b")
+    with pytest.raises(ValueError):
+        normalize("")
+
+
+def test_split_basic():
+    assert split("/a/b/c") == ("/a/b", "c")
+    assert split("/a") == ("/", "a")
+    assert split("/") == ("/", "")
+
+
+def test_components():
+    assert components("/") == []
+    assert components("/a/b") == ["a", "b"]
+
+
+def test_join():
+    assert join("/a", "b") == "/a/b"
+    assert join("/", "b") == "/b"
+
+
+def test_open_flags_wants_write():
+    assert OpenFlags.wants_write(OpenFlags.WRONLY)
+    assert OpenFlags.wants_write(OpenFlags.RDWR)
+    assert not OpenFlags.wants_write(OpenFlags.RDONLY)
+    assert OpenFlags.wants_write(OpenFlags.RDWR | OpenFlags.CREAT)
+
+
+def test_fileattr_kind_predicates():
+    attr = FileAttr(ino=1, kind=FILE, mode=0o644, uid=0, gid=0, size=0,
+                    nlink=1, atime=0, mtime=0, ctime=0)
+    assert attr.is_file and not attr.is_dir and not attr.is_symlink
+    attr.kind = DIRECTORY
+    assert attr.is_dir
+    attr.kind = SYMLINK
+    assert attr.is_symlink

@@ -1,0 +1,137 @@
+"""Edge cases of conditions, events and processes."""
+
+import pytest
+
+from repro.sim import SimError, Simulator
+
+
+def test_all_of_fails_when_child_fails():
+    sim = Simulator()
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("child boom")
+
+    def parent(sim):
+        try:
+            yield sim.all_of([
+                sim.timeout(5.0),
+                sim.process(failer(sim)),
+            ])
+        except ValueError as exc:
+            return (sim.now, str(exc))
+
+    now, message = sim.run_process(parent(sim))
+    assert now == 1.0  # failure propagates before the slow child
+    assert message == "child boom"
+
+
+def test_any_of_failure_first():
+    sim = Simulator()
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("fast failure")
+
+    def parent(sim):
+        try:
+            yield sim.any_of([sim.timeout(3.0), sim.process(failer(sim))])
+        except KeyError:
+            return "failed-first"
+
+    assert sim.run_process(parent(sim)) == "failed-first"
+
+
+def test_any_of_with_instant_event():
+    sim = Simulator()
+
+    def parent(sim):
+        value = yield sim.any_of([sim.timeout(0.0, "now"), sim.timeout(9.0)])
+        return value
+
+    assert sim.run_process(parent(sim)) == "now"
+
+
+def test_nested_all_of():
+    sim = Simulator()
+
+    def parent(sim):
+        inner = sim.all_of([sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+        outer = yield sim.all_of([inner, sim.timeout(3.0, "c")])
+        return (sim.now, outer)
+
+    now, outer = sim.run_process(parent(sim))
+    assert now == 3.0
+    assert outer == [["a", "b"], "c"]
+
+
+def test_process_chain_return_values():
+    sim = Simulator()
+
+    def level3(sim):
+        yield sim.timeout(1.0)
+        return 3
+
+    def level2(sim):
+        value = yield sim.process(level3(sim))
+        return value + 10
+
+    def level1(sim):
+        value = yield sim.process(level2(sim))
+        return value + 100
+
+    assert sim.run_process(level1(sim)) == 113
+
+
+def test_event_triggered_before_yield_is_seen():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed("early")
+
+    def waiter(sim):
+        value = yield gate
+        return value
+
+    assert sim.run_process(waiter(sim)) == "early"
+
+
+def test_many_waiters_on_one_event():
+    sim = Simulator()
+    gate = sim.event()
+    got = []
+
+    def waiter(sim, tag):
+        value = yield gate
+        got.append((tag, value))
+
+    for tag in range(5):
+        sim.process(waiter(sim, tag))
+    sim.schedule(2.0, lambda _v: gate.succeed("open"))
+    sim.run()
+    assert got == [(tag, "open") for tag in range(5)]
+
+
+def test_process_is_alive_lifecycle():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+
+    spawned = sim.process(proc(sim))
+    assert spawned.is_alive
+    sim.run(until=2.0)
+    assert spawned.is_alive
+    sim.run()
+    assert not spawned.is_alive
+    assert spawned.ok
+
+
+def test_run_process_propagates_failure():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("surfaced")
+
+    with pytest.raises(RuntimeError, match="surfaced"):
+        sim.run_process(proc(sim))

@@ -1,0 +1,347 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimError, SimInterrupt, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 5.0
+    assert sim.now == 5.0
+
+
+def test_timeouts_accumulate():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.5)
+        yield sim.timeout(2.5)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 4.0
+
+
+def test_zero_timeout_is_allowed():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0.0)
+        return "ok"
+
+    assert sim.run_process(proc(sim)) == "ok"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+
+    def proc(sim):
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    assert sim.run_process(proc(sim)) == "payload"
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    assert sim.run_process(proc(sim)) == 42
+
+
+def test_same_time_events_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(3.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    seen = []
+
+    def waiter(sim):
+        value = yield gate
+        seen.append((sim.now, value))
+
+    def opener(sim):
+        yield sim.timeout(7.0)
+        gate.succeed("open")
+
+    sim.process(waiter(sim))
+    sim.process(opener(sim))
+    sim.run()
+    assert seen == [(7.0, "open")]
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter(sim):
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        gate.fail(ValueError("boom"))
+
+    proc = sim.process(waiter(sim))
+    sim.process(failer(sim))
+    sim.run()
+    assert proc.value == "caught boom"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed(1)
+    with pytest.raises(SimError):
+        gate.succeed(2)
+    with pytest.raises(SimError):
+        gate.fail(ValueError())
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_event_value_unavailable_until_triggered():
+    sim = Simulator()
+    gate = sim.event()
+    with pytest.raises(SimError):
+        gate.value
+
+
+def test_process_waits_on_subprocess():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(4.0)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return (sim.now, result)
+
+    assert sim.run_process(parent(sim)) == (4.0, "child-result")
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.process(lambda: None)
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def proc(sim):
+        yield 3.0
+
+    spawned = sim.process(proc(sim))
+    with pytest.raises(SimError):
+        sim.run()
+    assert spawned.is_alive  # never resumed normally
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+
+    def proc(sim):
+        values = yield sim.all_of(
+            [sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")]
+        )
+        return (sim.now, values)
+
+    assert sim.run_process(proc(sim)) == (3.0, ["slow", "fast"])
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run_process(proc(sim)) == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def proc(sim):
+        value = yield sim.any_of(
+            [sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")]
+        )
+        return (sim.now, value)
+
+    assert sim.run_process(proc(sim)) == (1.0, "fast")
+
+
+def test_all_of_with_already_triggered_children():
+    sim = Simulator()
+
+    def proc(sim):
+        early = sim.timeout(0.0, "early")
+        yield sim.timeout(2.0)
+        values = yield sim.all_of([early, sim.timeout(1.0, "late")])
+        return (sim.now, values)
+
+    assert sim.run_process(proc(sim)) == (3.0, ["early", "late"])
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    hits = []
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(1.0)
+            hits.append(sim.now)
+
+    sim.process(ticker(sim))
+    sim.run(until=3.5)
+    assert hits == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_run_until_excludes_boundary_event():
+    sim = Simulator()
+    hits = []
+
+    def ticker(sim):
+        yield sim.timeout(2.0)
+        hits.append(sim.now)
+
+    sim.process(ticker(sim))
+    sim.run(until=2.0)
+    assert hits == []
+    assert sim.now == 2.0
+
+
+def test_interrupt_raises_in_process():
+    sim = Simulator()
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except SimInterrupt as intr:
+            return ("interrupted", sim.now, intr.cause)
+
+    def attacker(sim, target):
+        yield sim.timeout(5.0)
+        target.interrupt("reason")
+
+    target = sim.process(victim(sim))
+    sim.process(attacker(sim, target))
+    sim.run()
+    assert target.value == ("interrupted", 5.0, "reason")
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimError):
+        proc.interrupt()
+
+
+def test_process_exception_propagates_via_run_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("oops")
+
+    def parent(sim):
+        try:
+            yield sim.process(bad(sim))
+        except KeyError:
+            return "caught"
+
+    assert sim.run_process(parent(sim)) == "caught"
+
+
+def test_schedule_callback():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, value="x")
+    sim.run()
+    assert seen == ["x"]
+    assert sim.now == 2.0
+
+
+def test_events_processed_counter_increases():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+
+    sim.run_process(proc(sim))
+    assert sim.events_processed >= 3
+
+
+def test_starved_process_detected_by_run_process():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield sim.event()  # nobody will ever trigger this
+
+    with pytest.raises(SimError, match="starved"):
+        sim.run_process(stuck(sim))
+
+
+def test_determinism_of_interleavings():
+    def build_and_run():
+        sim = Simulator()
+        trace = []
+
+        def proc(sim, tag, delays):
+            for delay in delays:
+                yield sim.timeout(delay)
+                trace.append((sim.now, tag))
+
+        sim.process(proc(sim, "a", [1.0, 2.0, 1.0]))
+        sim.process(proc(sim, "b", [2.0, 1.0, 1.0]))
+        sim.process(proc(sim, "c", [1.0, 1.0, 2.0]))
+        sim.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

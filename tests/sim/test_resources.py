@@ -1,0 +1,184 @@
+"""Unit tests for resources and stores."""
+
+import pytest
+
+from repro.sim import SimError, Simulator
+from repro.sim.resources import Resource, Store
+
+
+def test_resource_grants_immediately_when_free():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def proc(sim):
+        with res.request() as req:
+            yield req
+            return sim.now
+
+    assert sim.run_process(proc(sim)) == 0.0
+
+
+def test_resource_serializes_single_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def proc(sim, tag):
+        with res.request() as req:
+            yield req
+            start = sim.now
+            yield sim.timeout(10.0)
+            spans.append((tag, start, sim.now))
+
+    for tag in range(3):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert spans == [(0, 0.0, 10.0), (1, 10.0, 20.0), (2, 20.0, 30.0)]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    finish = []
+
+    def proc(sim, tag):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(10.0)
+            finish.append((tag, sim.now))
+
+    for tag in range(4):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert finish == [(0, 10.0), (1, 10.0), (2, 20.0), (3, 20.0)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def proc(sim, tag, arrival):
+        yield sim.timeout(arrival)
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield sim.timeout(5.0)
+
+    sim.process(proc(sim, "first", 0.0))
+    sim.process(proc(sim, "second", 1.0))
+    sim.process(proc(sim, "third", 2.0))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        Resource(sim, capacity=0)
+
+
+def test_release_of_unknown_request_is_error():
+    sim = Simulator()
+    res_a = Resource(sim)
+    res_b = Resource(sim)
+    req = res_a.request()
+    with pytest.raises(SimError):
+        res_b.release(req)
+
+
+def test_release_of_queued_request_cancels_it():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()
+    assert holder.triggered
+    queued = res.request()
+    assert not queued.triggered
+    res.release(queued)  # cancel while still queued
+    res.release(holder)
+    assert res.count == 0
+
+
+def test_acquire_helper():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def proc(sim):
+        req = yield from res.acquire()
+        yield sim.timeout(1.0)
+        res.release(req)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 1.0
+
+
+def test_resource_count_property():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1 = res.request()
+    assert res.count == 1
+    res.request()
+    assert res.count == 2
+    res.release(r1)
+    assert res.count == 1
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+
+    def proc(sim):
+        first = yield store.get()
+        second = yield store.get()
+        return [first, second]
+
+    assert sim.run_process(proc(sim)) == ["a", "b"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer(sim):
+        item = yield store.get()
+        return (sim.now, item)
+
+    def producer(sim):
+        yield sim.timeout(3.0)
+        store.put("late")
+
+    consumer_proc = sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert consumer_proc.value == (3.0, "late")
+
+
+def test_store_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer(sim):
+        yield sim.timeout(1.0)
+        store.put("x")
+        store.put("y")
+
+    sim.process(consumer(sim, 0))
+    sim.process(consumer(sim, 1))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [(0, "x"), (1, "y")]
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    assert len(store) == 1

@@ -1,0 +1,149 @@
+"""Unit tests for the statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    OpRecorder,
+    SummaryStats,
+    TimeWeighted,
+    percentile,
+)
+
+
+def test_summary_empty():
+    s = SummaryStats()
+    assert s.n == 0
+    assert s.variance == 0.0
+
+
+def test_summary_mean_min_max_total():
+    s = SummaryStats()
+    for x in [2.0, 4.0, 6.0]:
+        s.add(x)
+    assert s.n == 3
+    assert s.mean == pytest.approx(4.0)
+    assert s.min == 2.0
+    assert s.max == 6.0
+    assert s.total == pytest.approx(12.0)
+
+
+def test_summary_variance_matches_definition():
+    samples = [1.0, 2.0, 3.0, 4.0, 10.0]
+    s = SummaryStats()
+    for x in samples:
+        s.add(x)
+    mean = sum(samples) / len(samples)
+    var = sum((x - mean) ** 2 for x in samples) / (len(samples) - 1)
+    assert s.variance == pytest.approx(var)
+    assert s.stdev == pytest.approx(math.sqrt(var))
+
+
+def test_summary_merge_equals_combined():
+    left, right, combined = SummaryStats(), SummaryStats(), SummaryStats()
+    for x in [1.0, 5.0, 2.0]:
+        left.add(x)
+        combined.add(x)
+    for x in [9.0, 3.0]:
+        right.add(x)
+        combined.add(x)
+    left.merge(right)
+    assert left.n == combined.n
+    assert left.mean == pytest.approx(combined.mean)
+    assert left.variance == pytest.approx(combined.variance)
+    assert left.min == combined.min
+    assert left.max == combined.max
+
+
+def test_summary_merge_into_empty():
+    left, right = SummaryStats(), SummaryStats()
+    right.add(3.0)
+    left.merge(right)
+    assert left.n == 1
+    assert left.mean == 3.0
+
+
+def test_percentile_basics():
+    samples = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(samples, 0.0) == 1.0
+    assert percentile(samples, 1.0) == 4.0
+    assert percentile(samples, 0.5) == pytest.approx(2.5)
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 0.9) == 7.0
+
+
+def test_percentile_errors():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_counter():
+    c = Counter()
+    c.incr("a")
+    c.incr("a", by=2)
+    c.incr("b")
+    assert c["a"] == 3
+    assert c["b"] == 1
+    assert c["missing"] == 0
+    assert "a" in c
+    assert c.as_dict() == {"a": 3, "b": 1}
+
+
+def test_op_recorder_means():
+    rec = OpRecorder()
+    rec.record("create", 2.0)
+    rec.record("create", 4.0)
+    rec.record("stat", 1.0)
+    assert rec.ops() == ["create", "stat"]
+    assert rec.mean("create") == pytest.approx(3.0)
+    assert rec.count("create") == 2
+    assert rec.mean("stat") == 1.0
+    assert rec.mean("never") == 0.0
+    assert rec.total("create") == pytest.approx(6.0)
+
+
+def test_op_recorder_samples_and_percentiles():
+    rec = OpRecorder(keep_samples=True)
+    for x in [1.0, 2.0, 3.0]:
+        rec.record("op", x)
+    assert rec.samples("op") == [1.0, 2.0, 3.0]
+    assert rec.percentile("op", 0.5) == 2.0
+
+
+def test_op_recorder_samples_disabled():
+    rec = OpRecorder()
+    rec.record("op", 1.0)
+    with pytest.raises(ValueError):
+        rec.samples("op")
+
+
+def test_op_recorder_merge():
+    a, b = OpRecorder(), OpRecorder()
+    a.record("x", 1.0)
+    b.record("x", 3.0)
+    b.record("y", 5.0)
+    a.merge(b)
+    assert a.mean("x") == pytest.approx(2.0)
+    assert a.mean("y") == 5.0
+
+
+def test_time_weighted_average():
+    tw = TimeWeighted(t0=0.0, level=0.0)
+    tw.update(10.0, 2.0)   # level 0 for 10ms
+    tw.update(20.0, 4.0)   # level 2 for 10ms
+    # level 4 for 10ms
+    assert tw.average(30.0) == pytest.approx((0 * 10 + 2 * 10 + 4 * 10) / 30)
+    assert tw.level == 4.0
+
+
+def test_time_weighted_rejects_backwards_time():
+    tw = TimeWeighted()
+    tw.update(5.0, 1.0)
+    with pytest.raises(ValueError):
+        tw.update(4.0, 2.0)

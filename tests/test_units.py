@@ -1,0 +1,36 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.units import (
+    GB, KB, MB, gbps, mb_per_s, mbps, seconds, to_mb_per_s,
+)
+
+
+def test_byte_multiples():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_gbps_is_bytes_per_ms():
+    # 1 Gbps = 10^9 bits/s = 125 * 10^6 bytes/s = 125000 bytes/ms
+    assert gbps(1.0) == pytest.approx(125000.0)
+
+
+def test_mbps():
+    assert mbps(8.0) == pytest.approx(1000.0)
+
+
+def test_mb_per_s_round_trip():
+    bw = mb_per_s(100.0)
+    assert to_mb_per_s(bw) == pytest.approx(100.0)
+
+
+def test_seconds():
+    assert seconds(1500.0) == pytest.approx(1.5)
+
+
+def test_transfer_time_sanity():
+    # 1 MB over 1 GbE: ~8.4 ms
+    assert MB / gbps(1.0) == pytest.approx(8.39, abs=0.01)

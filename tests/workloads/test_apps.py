@@ -1,0 +1,77 @@
+"""Application workloads: checkpointing and job bundles."""
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack, PfsStack
+from repro.units import MB
+from repro.workloads.apps import (
+    CheckpointConfig,
+    JobBundleConfig,
+    run_checkpoint,
+    run_job_bundle,
+)
+
+
+def bare(n=4):
+    return PfsStack(build_flat_testbed(n_clients=n))
+
+
+def cofs(n=4):
+    return CofsStack(build_flat_testbed(n_clients=n, with_mds=True))
+
+
+def test_checkpoint_rounds_recorded():
+    config = CheckpointConfig(nodes=4, rounds=3, bytes_per_node=1 * MB,
+                              compute_ms=10.0)
+    result = run_checkpoint(bare(), config)
+    assert len(result.round_wall_ms) == 3
+    assert result.create_ms.n == 12
+    assert result.mean_round_ms > 0
+
+
+def test_checkpoint_files_exist():
+    config = CheckpointConfig(nodes=2, rounds=2, bytes_per_node=1 * MB,
+                              compute_ms=1.0)
+    stack = bare(2)
+    run_checkpoint(stack, config)
+    names = stack.testbed.sim.run_process(
+        stack.mount(0).readdir(config.directory)
+    )
+    assert len(names) == 4  # 2 nodes x 2 rounds
+
+
+def test_checkpoint_cofs_faster_creates():
+    config = CheckpointConfig(nodes=4, rounds=3, bytes_per_node=1 * MB,
+                              compute_ms=10.0)
+    bare_result = run_checkpoint(bare(), config)
+    cofs_result = run_checkpoint(cofs(), config)
+    assert cofs_result.create_ms.mean < bare_result.create_ms.mean
+
+
+def test_job_bundle_counts_and_makespan():
+    config = JobBundleConfig(jobs=16, nodes=4, output_bytes=64 * 1024,
+                             job_compute_ms=5.0)
+    result = run_job_bundle(bare(), config)
+    assert result.job_ms.n == 16
+    assert result.makespan_ms >= result.job_ms.max
+    assert result.jobs_per_second > 0
+
+
+def test_job_bundle_outputs_exist():
+    config = JobBundleConfig(jobs=10, nodes=2, output_bytes=1024,
+                             job_compute_ms=1.0)
+    stack = bare(2)
+    run_job_bundle(stack, config)
+    names = stack.testbed.sim.run_process(
+        stack.mount(0).readdir(config.directory)
+    )
+    assert len(names) == 10
+
+
+def test_job_bundle_cofs_improves_throughput():
+    # Needs a bundle big enough that shared-directory serialization (not
+    # COFS's fixed bucket setup costs) dominates the makespan.
+    config = JobBundleConfig(jobs=96, nodes=8, output_bytes=64 * 1024,
+                             job_compute_ms=10.0)
+    bare_result = run_job_bundle(bare(8), config)
+    cofs_result = run_job_bundle(cofs(8), config)
+    assert cofs_result.makespan_ms < bare_result.makespan_ms

@@ -1,0 +1,49 @@
+"""The interference workload (paper §I's production observation)."""
+
+import pytest
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack, PfsStack
+from repro.workloads.interference import InterferenceConfig, run_interference
+
+
+def small_config():
+    return InterferenceConfig(
+        storm_nodes=3, storm_files_per_node=64, bystander_ops=5,
+        preexisting_files=24, stat_entries=8,
+    )
+
+
+def test_interference_measures_both_passes():
+    stack = PfsStack(build_flat_testbed(n_clients=4))
+    result = run_interference(stack, small_config())
+    assert result.quiet_ms.n == 5
+    assert result.stormy_ms.n == 5
+    assert result.slowdown > 0
+
+
+def test_gpfs_listing_suffers_under_storm():
+    stack = PfsStack(build_flat_testbed(n_clients=4))
+    result = run_interference(stack, small_config())
+    assert result.slowdown > 3
+
+
+def test_cofs_listing_is_shielded():
+    stack = CofsStack(build_flat_testbed(n_clients=4, with_mds=True))
+    result = run_interference(stack, small_config())
+    assert result.slowdown < 2
+
+
+def test_cofs_shielding_beats_gpfs():
+    cfg = small_config()
+    bare = run_interference(PfsStack(build_flat_testbed(n_clients=4)), cfg)
+    cofs = run_interference(
+        CofsStack(build_flat_testbed(n_clients=4, with_mds=True)), cfg
+    )
+    assert cofs.stormy_ms.mean < bare.stormy_ms.mean
+
+
+def test_testbed_size_validated():
+    stack = PfsStack(build_flat_testbed(n_clients=2))
+    with pytest.raises(ValueError):
+        run_interference(stack, small_config())  # needs 3 aggressors + 1

@@ -1,0 +1,77 @@
+"""The IOR clone: bandwidth accounting, patterns, targets."""
+
+import pytest
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import PfsStack
+from repro.units import MB
+from repro.workloads import IorConfig, run_ior
+
+
+def small_stack(n=2):
+    return PfsStack(build_flat_testbed(n_clients=n))
+
+
+def test_block_split():
+    cfg = IorConfig(nodes=4, aggregate_bytes=64 * MB)
+    assert cfg.block_bytes == 16 * MB
+
+
+def test_separate_files_seq():
+    stack = small_stack()
+    cfg = IorConfig(nodes=2, aggregate_bytes=16 * MB, target="separate")
+    result = run_ior(stack, cfg)
+    assert result.write_mbps > 0
+    assert result.read_mbps > 0
+    # two files exist afterwards
+    names = stack.testbed.sim.run_process(stack.mount(0).readdir("/ior"))
+    assert names == ["data.0000", "data.0001"]
+
+
+def test_shared_file_writes_whole_aggregate():
+    stack = small_stack()
+    cfg = IorConfig(nodes=2, aggregate_bytes=16 * MB, target="shared")
+    run_ior(stack, cfg)
+    attr = stack.testbed.sim.run_process(stack.mount(0).stat("/ior/data"))
+    assert attr.size == 16 * MB
+
+
+def test_random_pattern_covers_same_bytes():
+    stack = small_stack()
+    cfg = IorConfig(nodes=2, aggregate_bytes=8 * MB, pattern="random",
+                    target="separate")
+    run_ior(stack, cfg)
+    attr = stack.testbed.sim.run_process(stack.mount(0).stat("/ior/data.0000"))
+    assert attr.size == 4 * MB
+
+
+def test_write_only():
+    stack = small_stack()
+    cfg = IorConfig(nodes=1, aggregate_bytes=4 * MB, do_read=False)
+    result = run_ior(stack, cfg)
+    assert result.write_mbps > 0
+    assert result.read_mbps == 0.0
+
+
+def test_cached_read_beats_uncached_write_bandwidth():
+    """Read-after-write of a small separate file hits the page pool."""
+    stack = small_stack()
+    cfg = IorConfig(nodes=2, aggregate_bytes=32 * MB, target="separate")
+    result = run_ior(stack, cfg)
+    assert result.read_mbps > result.write_mbps * 2
+
+
+def test_write_bandwidth_bounded_by_links():
+    """A single client cannot beat its 1 Gb link for large writes."""
+    stack = small_stack(1)
+    cfg = IorConfig(nodes=1, aggregate_bytes=256 * MB, do_read=False)
+    result = run_ior(stack, cfg)
+    assert result.write_mbps < 126  # 1 Gb/s = 125 MB/s ceiling
+    assert result.write_mbps > 80
+
+
+def test_multi_node_aggregate_exceeds_single_link():
+    stack = small_stack(2)
+    cfg = IorConfig(nodes=2, aggregate_bytes=256 * MB, do_read=False)
+    result = run_ior(stack, cfg)
+    assert result.write_mbps > 130  # two clients drive both servers

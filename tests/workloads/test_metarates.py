@@ -1,0 +1,87 @@
+"""The metarates clone: counts, phases, setup protocol."""
+
+import pytest
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import PfsStack
+from repro.workloads import MetaratesConfig, run_metarates
+
+
+def small_stack(n=2):
+    return PfsStack(build_flat_testbed(n_clients=n))
+
+
+def test_config_totals():
+    cfg = MetaratesConfig(nodes=4, procs_per_node=2, files_per_proc=10)
+    assert cfg.n_procs == 8
+    assert cfg.total_files == 80
+
+
+def test_create_phase_counts():
+    stack = small_stack()
+    cfg = MetaratesConfig(nodes=2, files_per_proc=8, ops=("create",))
+    result = run_metarates(stack, cfg)
+    assert result.recorder.count("create") == 16
+    assert result.mean_ms("create") > 0
+    assert result.phase_wall_ms["create"] > 0
+    assert result.rate_per_s("create") > 0
+
+
+def test_all_ops_recorded():
+    stack = small_stack()
+    cfg = MetaratesConfig(nodes=2, files_per_proc=4)
+    result = run_metarates(stack, cfg)
+    for op in ("create", "stat", "utime", "open"):
+        assert result.recorder.count(op) == 8, op
+
+
+def test_cleanup_leaves_empty_directory():
+    stack = small_stack()
+    cfg = MetaratesConfig(nodes=2, files_per_proc=4, directory="/bench/d")
+    run_metarates(stack, cfg)
+    names = stack.testbed.sim.run_process(stack.mount(0).readdir("/bench/d"))
+    assert names == []
+
+
+def test_no_cleanup_keeps_files():
+    stack = small_stack()
+    cfg = MetaratesConfig(
+        nodes=2, files_per_proc=3, ops=("create",), cleanup=False
+    )
+    run_metarates(stack, cfg)
+    names = stack.testbed.sim.run_process(
+        stack.mount(0).readdir("/bench/shared")
+    )
+    assert len(names) == 6
+
+
+def test_two_procs_per_node_partition_files():
+    stack = small_stack(1)
+    cfg = MetaratesConfig(
+        nodes=1, procs_per_node=2, files_per_proc=5, ops=("create",),
+        cleanup=False,
+    )
+    result = run_metarates(stack, cfg)
+    assert result.recorder.count("create") == 10
+    names = stack.testbed.sim.run_process(
+        stack.mount(0).readdir("/bench/shared")
+    )
+    ranks = {name.split(".")[1] for name in names}
+    assert ranks == {"0000", "0001"}
+
+
+def test_unknown_op_rejected():
+    stack = small_stack()
+    cfg = MetaratesConfig(nodes=1, files_per_proc=2, ops=("chmod",))
+    with pytest.raises(ValueError):
+        run_metarates(stack, cfg)
+
+
+def test_mean_reflects_samples():
+    stack = small_stack()
+    cfg = MetaratesConfig(nodes=2, files_per_proc=8, ops=("create",))
+    result = run_metarates(stack, cfg)
+    samples = result.recorder.samples("create")
+    assert result.mean_ms("create") == pytest.approx(
+        sum(samples) / len(samples)
+    )

@@ -1,0 +1,48 @@
+"""The synthetic production mix."""
+
+import pytest
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack, PfsStack
+from repro.workloads.traces import TraceConfig, run_trace
+
+
+def small_config():
+    return TraceConfig(
+        duration_ms=1500.0, app_nodes=2, job_nodes=2,
+        app_checkpoint_every_ms=400.0, job_every_ms=80.0,
+        listing_every_ms=300.0,
+    )
+
+
+def test_trace_runs_all_activity_classes():
+    stack = PfsStack(build_flat_testbed(n_clients=5))
+    result = run_trace(stack, small_config())
+    assert result.checkpoints_completed > 0
+    assert result.jobs_completed > 0
+    assert result.listing_ms.n > 0
+    summary = result.summary()
+    assert summary["job_ms"] > 0
+
+
+def test_trace_is_deterministic():
+    a = run_trace(PfsStack(build_flat_testbed(n_clients=5)), small_config())
+    b = run_trace(PfsStack(build_flat_testbed(n_clients=5)), small_config())
+    assert a.jobs_completed == b.jobs_completed
+    assert a.job_ms.mean == b.job_ms.mean
+    assert a.listing_ms.mean == b.listing_ms.mean
+
+
+def test_trace_requires_enough_nodes():
+    stack = PfsStack(build_flat_testbed(n_clients=3))
+    with pytest.raises(ValueError):
+        run_trace(stack, small_config())
+
+
+def test_trace_interactive_user_prefers_cofs():
+    cfg = small_config()
+    bare = run_trace(PfsStack(build_flat_testbed(n_clients=5)), cfg)
+    cofs = run_trace(
+        CofsStack(build_flat_testbed(n_clients=5, with_mds=True)), cfg
+    )
+    assert cofs.listing_ms.mean < bare.listing_ms.mean
