@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench fig4            # quick grid
     python -m repro.bench fig4 --full     # the paper's complete sweep
     python -m repro.bench all
+    python -m repro.bench --quick --json BENCH_PR1.json --label after
 """
 
 import argparse
@@ -12,6 +13,7 @@ import sys
 import time
 
 from repro.bench.experiments import EXPERIMENTS
+from repro.bench.quick import QUICK_EXPERIMENTS, append_run, run_quick
 
 
 def main(argv=None):
@@ -20,15 +22,50 @@ def main(argv=None):
         description="Regenerate the paper's figures and tables.",
     )
     parser.add_argument(
-        "experiment",
+        "experiment", nargs="?",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which experiment to run",
+        help="which experiment to run (default: all with --quick)",
     )
     parser.add_argument(
         "--full", action="store_true",
         help="use the paper's complete parameter grid (slower)",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run scaled-down versions of every figure, recording "
+             "wall-clock seconds, simulated ops and ops/sec",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="with --quick: append the run to this JSON file",
+    )
+    parser.add_argument(
+        "--label", default=None,
+        help="with --quick: label stored with the run (e.g. baseline/after)",
+    )
     args = parser.parse_args(argv)
+
+    if args.json and not args.quick:
+        parser.error("--json requires --quick")
+
+    if args.quick:
+        if args.experiment and args.experiment != "all":
+            if args.experiment not in QUICK_EXPERIMENTS:
+                parser.error(
+                    f"no quick variant of {args.experiment!r}; choose from "
+                    f"{', '.join(sorted(QUICK_EXPERIMENTS))}"
+                )
+            names = [args.experiment]
+        else:
+            names = sorted(QUICK_EXPERIMENTS)
+        run = run_quick(names=names, label=args.label)
+        if args.json:
+            append_run(args.json, run)
+            print(f"(appended run {run['label']!r} to {args.json})")
+        return 0
+
+    if not args.experiment:
+        parser.error("an experiment name (or --quick) is required")
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for name in names:

@@ -1,0 +1,152 @@
+"""Scaled-down benchmark smoke runs: the harness-performance trajectory.
+
+Each entry here drives a miniature version of one paper experiment and
+records *wall-clock* cost alongside the simulated work done, so successive
+PRs can track how fast the harness itself is (the simulated results are
+checked elsewhere; this module is about seconds and ops/sec of real time).
+
+``python -m repro.bench --quick --json BENCH_PR1.json`` runs the whole
+suite and appends one labelled run to the JSON file, keeping earlier runs
+(e.g. the pre-optimisation baseline) in place for before/after comparison.
+"""
+
+import json
+import os
+import time
+
+from repro.bench.report import format_table
+from repro.bench.stack import CofsStack, PfsStack
+from repro.bench.testbed import build_flat_testbed, build_hier_testbed
+from repro.units import MB
+from repro.workloads.ior import IorConfig, run_ior
+from repro.workloads.metarates import MetaratesConfig, run_metarates
+
+OPS = ("create", "stat", "utime", "open")
+
+
+def _stack(system, n_clients, topology="flat"):
+    if topology == "flat":
+        testbed = build_flat_testbed(n_clients, with_mds=(system == "cofs"))
+    else:
+        testbed = build_hier_testbed(n_clients, with_mds=(system == "cofs"))
+    if system == "cofs":
+        return CofsStack(testbed)
+    return PfsStack(testbed)
+
+
+def _metarates_runs(runs):
+    """Drive a list of (system, nodes, procs, files_per_proc, ops, topology)
+    metarates configurations; returns (simulated_ops, final_virtual_ms)."""
+    ops_done = 0
+    virtual_ms = 0.0
+    for system, nodes, procs, fpp, ops, topology in runs:
+        stack = _stack(system, nodes, topology=topology)
+        config = MetaratesConfig(
+            nodes=nodes, procs_per_node=procs, files_per_proc=fpp, ops=ops,
+        )
+        res = run_metarates(stack, config)
+        ops_done += sum(res.recorder.count(op) for op in ops)
+        virtual_ms += stack.testbed.sim.now
+    return ops_done, virtual_ms
+
+
+def _quick_fig1():
+    return _metarates_runs([
+        ("pfs", 1, procs, total // procs, OPS, "flat")
+        for procs in (1, 2) for total in (128, 512)
+    ])
+
+
+def _quick_fig2():
+    return _metarates_runs([
+        ("pfs", nodes, 1, 1024 // nodes, OPS, "flat") for nodes in (4, 8)
+    ])
+
+
+def _quick_sweep(op):
+    return _metarates_runs([
+        (system, 4, 1, fpn, (op,), "flat")
+        for system in ("pfs", "cofs") for fpn in (32, 128)
+    ])
+
+
+def _quick_fig6():
+    return _metarates_runs([
+        (system, 8, 1, 64, OPS, "hier") for system in ("pfs", "cofs")
+    ])
+
+
+def _quick_table1():
+    ops_done = 0
+    virtual_ms = 0.0
+    for system in ("pfs", "cofs"):
+        stack = _stack(system, 2)
+        config = IorConfig(nodes=2, aggregate_bytes=64 * MB)
+        run_ior(stack, config)
+        # One simulated "op" per transferred chunk, write then read phase.
+        ops_done += 2 * (config.aggregate_bytes // config.xfer_bytes)
+        virtual_ms += stack.testbed.sim.now
+    return ops_done, virtual_ms
+
+
+QUICK_EXPERIMENTS = {
+    "fig1": _quick_fig1,
+    "fig2": _quick_fig2,
+    "fig4": lambda: _quick_sweep("create"),
+    "fig5": lambda: _quick_sweep("stat"),
+    "fig5b": lambda: _quick_sweep("utime"),
+    "fig6": _quick_fig6,
+    "table1": _quick_table1,
+}
+
+
+def run_quick(names=None, label=None, print_report=True):
+    """Run the scaled-down suite; returns the run record (JSON-ready)."""
+    names = list(names) if names else sorted(QUICK_EXPERIMENTS)
+    experiments = {}
+    for name in names:
+        start = time.perf_counter()
+        ops_done, virtual_ms = QUICK_EXPERIMENTS[name]()
+        wall_s = time.perf_counter() - start
+        experiments[name] = {
+            "wall_s": round(wall_s, 4),
+            "sim_ops": ops_done,
+            "ops_per_s": round(ops_done / wall_s, 1) if wall_s > 0 else 0.0,
+            "virtual_ms": round(virtual_ms, 3),
+        }
+    run = {
+        "label": label or "unlabelled",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "experiments": experiments,
+    }
+    if print_report:
+        rows = [
+            [name, rec["wall_s"], rec["sim_ops"], rec["ops_per_s"]]
+            for name, rec in experiments.items()
+        ]
+        print(format_table(
+            ["experiment", "wall s", "sim ops", "ops/s"], rows,
+            title=f"Quick bench — {run['label']}",
+        ))
+    return run
+
+
+def append_run(path, run):
+    """Append ``run`` to the JSON file at ``path`` (kept as {"runs": [...]})."""
+    data = {"runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except ValueError as exc:
+            raise SystemExit(
+                f"{path} exists but is not valid JSON ({exc}); refusing to "
+                "overwrite it — move it aside or pass a different --json path"
+            ) from None
+        if "runs" not in data:
+            data = {"runs": []}
+    data["runs"].append(run)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return data

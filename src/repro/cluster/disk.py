@@ -49,9 +49,14 @@ class Disk:
         self.bytes_written += size
 
     def _io(self, size, sequential):
-        with self._device.request() as claim:
+        claim = self._device.request_nowait()
+        if claim is None:
+            claim = self._device.request()
             yield claim
+        try:
             yield self.sim.timeout(self.service_time(size, sequential))
+        finally:
+            self._device.release(claim)
 
     @property
     def queued(self):
@@ -78,35 +83,56 @@ class GroupCommitLog:
         self.per_member_ms = per_member_ms
         self.group_max = group_max
         self._waiters = []
-        self._flusher_running = False
+        self._wake = None  # parked flusher's wake-up gate
+        self._flusher_started = False
         self.forces = 0
         self.commits = 0
 
     def force(self):
-        """Coroutine: return once the current log contents are durable."""
+        """Return once the current log contents are durable.
+
+        Returns a bare one-event tuple to ``yield from``; the waiter joins
+        the running flusher's next batch without a generator frame.  The
+        flusher is one long-lived process parked between bursts.
+        """
         done = self.sim.event()
         self._waiters.append(done)
-        if not self._flusher_running:
-            self._flusher_running = True
-            self.sim.process(self._flusher(), name=f"log-flusher:{self.disk.name}")
-        yield done
+        wake = self._wake
+        if wake is not None:
+            self._wake = None
+            wake.succeed()
+        elif not self._flusher_started:
+            self._flusher_started = True
+            self.sim.process(
+                self._flusher(), name=f"log-flusher:{self.disk.name}"
+            )
+        return (done,)
 
     def _flusher(self):
-        while self._waiters:
-            batch = self._waiters[: self.group_max]
-            del self._waiters[: len(batch)]
-            cost = self.force_ms + self.per_member_ms * len(batch)
-            size = max(1, len(batch)) * 512  # log records are tiny
-            yield from self._device_force(cost, size)
-            self.forces += 1
-            self.commits += len(batch)
-            for done in batch:
-                done.succeed()
-        self._flusher_running = False
+        while True:
+            while self._waiters:
+                batch = self._waiters[: self.group_max]
+                del self._waiters[: len(batch)]
+                cost = self.force_ms + self.per_member_ms * len(batch)
+                size = max(1, len(batch)) * 512  # log records are tiny
+                yield from self._device_force(cost, size)
+                self.forces += 1
+                self.commits += len(batch)
+                for done in batch:
+                    done.succeed()
+            gate = self.sim.event()
+            self._wake = gate
+            yield gate
 
     def _device_force(self, cost, size):
-        with self.disk._device.request() as claim:
+        device = self.disk._device
+        claim = device.request_nowait()
+        if claim is None:
+            claim = device.request()
             yield claim
+        try:
             yield self.sim.timeout(cost)
+        finally:
+            device.release(claim)
         self.disk.writes += 1
         self.disk.bytes_written += size

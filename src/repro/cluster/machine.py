@@ -22,6 +22,7 @@ class Machine:
         self.cpu = Resource(sim, capacity=cpus)
         self.services = {}
         self.disks = {}
+        self._handler_cache = {}  # (service, method) -> bound handler
 
     def __repr__(self):
         return f"<Machine {self.name}>"
@@ -33,10 +34,15 @@ class Machine:
         if name in self.services:
             raise ValueError(f"machine {self.name}: duplicate service {name!r}")
         self.services[name] = service
+        self._handler_cache.clear()
         return service
 
     def handler(self, service, method):
-        """Resolve the coroutine handler for ``service.method``."""
+        """Resolve the coroutine handler for ``service.method`` (cached)."""
+        key = (service, method)
+        handler = self._handler_cache.get(key)
+        if handler is not None:
+            return handler
         svc = self.services.get(service)
         if svc is None:
             raise RemoteError(f"machine {self.name}: no service {service!r}")
@@ -45,6 +51,7 @@ class Machine:
             raise RemoteError(
                 f"machine {self.name}: service {service!r} has no method {method!r}"
             )
+        self._handler_cache[key] = handler
         return handler
 
     # -- local hardware ---------------------------------------------------------
@@ -61,19 +68,32 @@ class Machine:
     FAST_COMPUTE_MS = 0.2
 
     def compute(self, duration):
-        """Coroutine: occupy one CPU slot for ``duration`` ms (FIFO queued)."""
+        """Occupy one CPU slot for ``duration`` ms (``yield from`` the result).
+
+        Sub-threshold durations on an idle CPU return a bare one-event tuple
+        (no generator frame); contended or long computes queue FIFO.
+        """
         if duration <= 0:
-            return
+            return ()
+        cpu = self.cpu
         if (
             duration < self.FAST_COMPUTE_MS
-            and len(self.cpu.users) < self.cpu.capacity
-            and not self.cpu.queue
+            and len(cpu.users) < cpu.capacity
+            and not cpu.queue
         ):
-            yield self.sim.timeout(duration)
-            return
-        with self.cpu.request() as claim:
+            return (self.sim.timeout(duration),)
+        return self._compute_queued(duration)
+
+    def _compute_queued(self, duration):
+        """Coroutine: the FIFO-queued compute path."""
+        claim = self.cpu.request_nowait()
+        if claim is None:
+            claim = self.cpu.request()
             yield claim
+        try:
             yield self.sim.timeout(duration)
+        finally:
+            self.cpu.release(claim)
 
     # -- communication ----------------------------------------------------------
 
@@ -81,6 +101,5 @@ class Machine:
              req_size=512, resp_size=512):
         """Coroutine: RPC from this machine to ``dst`` (zero-cost if local)."""
         return self.network.rpc(
-            self, dst, service, method, args=args, kwargs=kwargs,
-            req_size=req_size, resp_size=resp_size,
+            self, dst, service, method, args, kwargs, req_size, resp_size,
         )

@@ -55,6 +55,8 @@ class MetadataService:
         database.create_table("dentries", key="key", indexes=("parent",))
         database.create_table("buckets", key="path")
         self.dbsvc = DbService(machine, database, disk, config.db)
+        self._resolve_cache = {}      # parent-path tuple -> (vino, walked vinos)
+        self._resolve_by_parent = {}  # dir vino -> prefix keys reading from it
         self._vino = itertools.count(1)
         self._bootstrap_root()
         self.dbsvc.journal.mark_durable()  # schema + root survive any crash
@@ -85,21 +87,60 @@ class MetadataService:
     # ------------------------------------------------------------------
 
     def _txn_resolve(self, txn, path, follow=True, _depth=0):
-        """Walk ``path`` through the dentry table; returns the inode row."""
+        """Walk ``path`` through the dentry table; returns the inode row.
+
+        Repeated walks of the same parent directory consult a prefix cache
+        mapping the parent path to its inode number, skipping the per-
+        component dentry/inode queries.  The skipped reads are still
+        *counted* on the transaction (``txn.reads``), so the service's
+        CPU-cost accounting — and therefore every simulated time — is
+        unchanged; only the Python work is saved.  The cache is bypassed
+        whenever the transaction has staged writes (read-your-writes), is
+        invalidated on every namespace mutation touching a walked
+        directory, and is cleared wholesale on crash recovery.
+        """
         if _depth > _MAX_SYMLINK_DEPTH:
             raise FsError.einval(f"too many levels of symbolic links: {path}")
-        row = txn.read("inodes", self.root_vino)
         parts = components(path)
-        for index, name in enumerate(parts):
+        n = len(parts)
+        row = None
+        start = 0
+        walked = None
+        prefix_key = None
+        cacheable = _depth == 0 and n > 1 and not txn._staged
+        if cacheable:
+            prefix_key = parts[:-1]
+            hit = self._resolve_cache.get(prefix_key)
+            if hit is not None:
+                # Bypass txn.read (no staged writes here) so a stale hit
+                # costs nothing; on success, count exactly the reads the
+                # step-by-step walk would have issued for the prefix.
+                row = self.db.table("inodes").read(hit[0])
+                if row is not None:
+                    txn.reads += 2 * (n - 1) + 1
+                    start = n - 1
+                else:  # pragma: no cover - invalidation keeps this fresh
+                    self._forget_resolve(prefix_key)
+                    row = None
+            if start == 0:
+                walked = []
+        if row is None or start == 0:
+            row = txn.read("inodes", self.root_vino)
+        for index in range(start, n):
+            name = parts[index]
             if row["kind"] != DIRECTORY:
                 raise FsError.enotdir(path)
+            if walked is not None and index == n - 1:
+                # The whole parent prefix resolved without symlinks:
+                # remember it before the (possibly failing) leaf step.
+                self._remember_resolve(prefix_key, row["vino"], walked)
             dentry = txn.read("dentries", (row["vino"], name))
             if dentry is None:
                 raise FsError.enoent(path)
             child = txn.read("inodes", dentry["vino"])
             if child is None:
                 raise FsError.enoent(path)
-            last = index == len(parts) - 1
+            last = index == n - 1
             if child["kind"] == SYMLINK and (follow or not last):
                 target = child["target"]
                 if not target.startswith("/"):
@@ -108,8 +149,36 @@ class MetadataService:
                 if rest:
                     target = f"{target}/{rest}"
                 return self._txn_resolve(txn, target, follow, _depth + 1)
+            if walked is not None and not last:
+                walked.append(row["vino"])
             row = child
         return row
+
+    #: bound on cached resolution prefixes; overflow clears the cache.
+    _RESOLVE_CACHE_MAX = 512
+
+    def _remember_resolve(self, prefix_key, parent_vino, walked):
+        if len(self._resolve_cache) >= self._RESOLVE_CACHE_MAX:
+            self._resolve_cache.clear()
+            self._resolve_by_parent.clear()
+        self._resolve_cache[prefix_key] = (parent_vino, walked)
+        by_parent = self._resolve_by_parent
+        for vino in walked:
+            bucket = by_parent.get(vino)
+            if bucket is None:
+                bucket = by_parent[vino] = set()
+            bucket.add(prefix_key)
+
+    def _forget_resolve(self, prefix_key):
+        self._resolve_cache.pop(prefix_key, None)
+
+    def _invalidate_resolve(self, parent_vino):
+        """Drop cached prefixes that read a dentry under ``parent_vino``."""
+        keys = self._resolve_by_parent.pop(parent_vino, None)
+        if keys:
+            cache = self._resolve_cache
+            for key in keys:
+                cache.pop(key, None)
 
     def _txn_resolve_parent(self, txn, path):
         parent_path, name = split(path)
@@ -127,7 +196,8 @@ class MetadataService:
         overflow = self.policy.overflow_candidates(bucket)
         chosen = None
         for candidate in itertools.chain([bucket], overflow):
-            row = txn.read("buckets", candidate) or {"path": candidate, "count": 0}
+            row = txn.read_for_update("buckets", candidate) \
+                or {"path": candidate, "count": 0}
             if cap <= 0 or not overflow or row["count"] < cap:
                 row["count"] += 1
                 txn.write("buckets", row)
@@ -183,10 +253,12 @@ class MetadataService:
                 "target": target, "upath": upath, "delegated": False,
             }
             txn.insert("inodes", row)
+            self._invalidate_resolve(parent["vino"])
             txn.insert("dentries", {
                 "key": (parent["vino"], name), "parent": parent["vino"],
                 "name": name, "vino": vino,
             })
+            parent = dict(parent)  # reads are read-only views; copy to mutate
             parent["mtime"] = parent["ctime"] = now
             if kind == DIRECTORY:
                 parent["nlink"] += 1
@@ -205,7 +277,7 @@ class MetadataService:
             raise FsError.einval(f"setattr of non-settable fields: {bad}")
 
         def body(txn):
-            row = self._txn_resolve(txn, path)
+            row = dict(self._txn_resolve(txn, path))
             row.update(changes)
             row["ctime"] = now
             txn.write("inodes", row)
@@ -223,9 +295,10 @@ class MetadataService:
             dentry = txn.read("dentries", (parent["vino"], name))
             if dentry is None:
                 raise FsError.enoent(path)
-            row = txn.read("inodes", dentry["vino"])
+            row = txn.read_for_update("inodes", dentry["vino"])
             if row["kind"] == DIRECTORY:
                 raise FsError.eisdir(path)
+            self._invalidate_resolve(parent["vino"])
             txn.delete("dentries", (parent["vino"], name))
             row["nlink"] -= 1
             row["ctime"] = now
@@ -234,12 +307,13 @@ class MetadataService:
                 txn.delete("inodes", row["vino"])
                 if row["upath"] is not None:
                     bucket, _slash, _leaf = row["upath"].rpartition("/")
-                    brow = txn.read("buckets", bucket)
+                    brow = txn.read_for_update("buckets", bucket)
                     if brow is not None:
                         brow["count"] = max(0, brow["count"] - 1)
                         txn.write("buckets", brow)
             else:
                 txn.write("inodes", row)
+            parent = dict(parent)
             parent["mtime"] = parent["ctime"] = now
             txn.write("inodes", parent)
             return (row["upath"], last)
@@ -260,8 +334,11 @@ class MetadataService:
                 raise FsError.enotdir(path)
             if txn.index_read("dentries", "parent", row["vino"]):
                 raise FsError.enotempty(path)
+            self._invalidate_resolve(parent["vino"])
+            self._invalidate_resolve(row["vino"])
             txn.delete("dentries", (parent["vino"], name))
             txn.delete("inodes", row["vino"])
+            parent = dict(parent)
             parent["nlink"] -= 1
             parent["mtime"] = parent["ctime"] = now
             txn.write("inodes", parent)
@@ -294,19 +371,24 @@ class MetadataService:
             dentry = txn.read("dentries", (old_parent["vino"], old_name))
             if dentry is None:
                 raise FsError.enoent(old)
-            moving = txn.read("inodes", dentry["vino"])
+            moving = txn.read_for_update("inodes", dentry["vino"])
             new_parent, new_name = self._txn_resolve_parent(txn, new)
+            # Always two distinct copies, even for a same-directory rename:
+            # the original read-as-copy semantics kept them independent.
+            old_parent = dict(old_parent)
+            new_parent = dict(new_parent)
             existing = txn.read("dentries", (new_parent["vino"], new_name))
             replaced_upath, replaced_last = None, False
             if existing is not None:
                 if existing["vino"] == moving["vino"]:
                     return (None, False)
-                target = txn.read("inodes", existing["vino"])
+                target = txn.read_for_update("inodes", existing["vino"])
                 if target["kind"] == DIRECTORY:
                     if moving["kind"] != DIRECTORY:
                         raise FsError.eisdir(new)
                     if txn.index_read("dentries", "parent", target["vino"]):
                         raise FsError.enotempty(new)
+                    self._invalidate_resolve(target["vino"])
                     txn.delete("inodes", target["vino"])
                     new_parent["nlink"] -= 1
                 else:
@@ -319,6 +401,8 @@ class MetadataService:
                     else:
                         txn.write("inodes", target)
                 txn.delete("dentries", (new_parent["vino"], new_name))
+            self._invalidate_resolve(old_parent["vino"])
+            self._invalidate_resolve(new_parent["vino"])
             txn.delete("dentries", (old_parent["vino"], old_name))
             txn.insert("dentries", {
                 "key": (new_parent["vino"], new_name),
@@ -347,12 +431,13 @@ class MetadataService:
         yield from self._dispatch()
 
         def body(txn):
-            row = self._txn_resolve(txn, src, follow=False)
+            row = dict(self._txn_resolve(txn, src, follow=False))
             if row["kind"] == DIRECTORY:
                 raise FsError.eisdir(src)
             parent, name = self._txn_resolve_parent(txn, dst)
             if txn.read("dentries", (parent["vino"], name)) is not None:
                 raise FsError.eexist(dst)
+            self._invalidate_resolve(parent["vino"])
             txn.insert("dentries", {
                 "key": (parent["vino"], name), "parent": parent["vino"],
                 "name": name, "vino": row["vino"],
@@ -360,6 +445,7 @@ class MetadataService:
             row["nlink"] += 1
             row["ctime"] = now
             txn.write("inodes", row)
+            parent = dict(parent)
             parent["mtime"] = parent["ctime"] = now
             txn.write("inodes", parent)
             return row
@@ -388,6 +474,7 @@ class MetadataService:
             if for_write:
                 if row["kind"] == DIRECTORY:
                     raise FsError.eisdir(path)
+                row = dict(row)
                 row["delegated"] = True
                 txn.write("inodes", row)
             return row
@@ -400,7 +487,7 @@ class MetadataService:
         yield from self._dispatch()
 
         def body(txn):
-            row = txn.read("inodes", vino)
+            row = txn.read_for_update("inodes", vino)
             if row is None:
                 return False  # unlinked while open; nothing to sync
             row["size"] = max(row["size"], size)
@@ -438,6 +525,8 @@ class MetadataService:
         (0 under the default synchronous log policy).
         """
         lost = yield from self.dbsvc.crash_and_recover()
+        self._resolve_cache.clear()
+        self._resolve_by_parent.clear()
         vinos = [row["vino"] for row in self.db.table("inodes").all()]
         next_vino = (max(vinos) + 1) if vinos else 1
         self._vino = itertools.count(next_vino)

@@ -1,13 +1,19 @@
 """Atomic transactions over a set of tables.
 
-A transaction stages its writes in an overlay; queries merge the overlay with
-the base tables (read-your-writes).  Commit applies the staged operations to
-the tables; any exception (including an explicit ``abort``) discards the
-overlay, leaving the tables untouched.  Because the simulator only preempts
-at ``yield`` points and transaction bodies are pure Python, committed
-transactions are trivially serializable; the service wrapper charges their
-virtual-time costs.
+A transaction stages its writes in a per-table overlay; queries merge the
+overlay with the base tables (read-your-writes).  Commit applies the staged
+operations to the tables; any exception (including an explicit ``abort``)
+discards the overlay, leaving the tables untouched.  Because the simulator
+only preempts at ``yield`` points and transaction bodies are pure Python,
+committed transactions are trivially serializable; the service wrapper
+charges their virtual-time costs.
+
+Reads hand out read-only views (see :mod:`repro.db.table`); callers that
+want to modify a record take a mutable copy via :meth:`Transaction.
+read_for_update` (or ``dict(view)``) and stage it back with ``write``.
 """
+
+from types import MappingProxyType
 
 from repro.db.errors import AbortError, DbError, DuplicateKey, NoSuchTable
 from repro.db.table import Table
@@ -68,39 +74,51 @@ class Transaction:
 
     def __init__(self, database):
         self._db = database
-        self._staged = {}  # (table, pk) -> record dict or _DELETED
+        self._staged = {}  # table -> {pk: record dict or _DELETED}
         self.reads = 0
         self.writes = 0
 
     # -- queries -------------------------------------------------------------
 
     def read(self, table_name, pk):
-        """Copy of record ``pk`` as this transaction sees it, or None."""
+        """Read-only view of record ``pk`` as this transaction sees it."""
         self.reads += 1
-        staged = self._staged.get((table_name, pk))
-        if staged is _DELETED:
-            return None
-        if staged is not None:
-            return dict(staged)
+        overlay = self._staged.get(table_name)
+        if overlay is not None:
+            staged = overlay.get(pk)
+            if staged is not None:
+                if staged is _DELETED:
+                    return None
+                return MappingProxyType(staged)
         return self._db.table(table_name).read(pk)
 
+    def read_for_update(self, table_name, pk):
+        """Mutable copy of record ``pk`` (stage it back with ``write``)."""
+        row = self.read(table_name, pk)
+        return dict(row) if row is not None else None
+
     def match(self, table_name, **pattern):
-        """All records matching ``pattern``, as this transaction sees them."""
+        """All records matching ``pattern``, as this transaction sees them.
+
+        Only this table's staged keys are overlaid — staging churn on other
+        tables never slows a query down.
+        """
         self.reads += 1
         table = self._db.table(table_name)
         merged = {}
+        key_field = table.key
         for record in table.match(**pattern):
-            merged[record[table.key]] = record
-        for (tname, pk), staged in self._staged.items():
-            if tname != table_name:
-                continue
-            if staged is _DELETED:
-                merged.pop(pk, None)
-            elif all(staged.get(f) == v for f, v in pattern.items()):
-                merged[pk] = dict(staged)
-            else:
-                merged.pop(pk, None)
-        return [merged[pk] for pk in sorted(merged, key=repr)]
+            merged[record[key_field]] = record
+        overlay = self._staged.get(table_name)
+        if overlay:
+            for pk, staged in overlay.items():
+                if staged is _DELETED:
+                    merged.pop(pk, None)
+                elif all(staged.get(f) == v for f, v in pattern.items()):
+                    merged[pk] = MappingProxyType(staged)
+                else:
+                    merged.pop(pk, None)
+        return list(merged.values())
 
     def index_read(self, table_name, field, value):
         """Index lookup, staged-aware (delegates to :meth:`match`)."""
@@ -111,11 +129,18 @@ class Transaction:
 
     # -- mutation ----------------------------------------------------------------
 
+    def _overlay(self, table_name):
+        overlay = self._staged.get(table_name)
+        if overlay is None:
+            overlay = self._staged[table_name] = {}
+        return overlay
+
     def insert(self, table_name, record):
         """Stage a new record; duplicate keys abort immediately."""
         table = self._db.table(table_name)
         pk = table._pk_of(record)
-        staged = self._staged.get((table_name, pk))
+        overlay = self._overlay(table_name)
+        staged = overlay.get(pk)
         if staged is _DELETED:
             exists = False
         elif staged is not None:
@@ -125,20 +150,20 @@ class Transaction:
         if exists:
             raise DuplicateKey(f"table {table_name}: key {pk!r} already present")
         self.writes += 1
-        self._staged[(table_name, pk)] = dict(record)
+        overlay[pk] = dict(record)
 
     def write(self, table_name, record):
         """Stage an upsert of ``record``."""
         table = self._db.table(table_name)
         pk = table._pk_of(record)
         self.writes += 1
-        self._staged[(table_name, pk)] = dict(record)
+        self._overlay(table_name)[pk] = dict(record)
 
     def delete(self, table_name, pk):
         """Stage deletion of ``pk``."""
         self._db.table(table_name)
         self.writes += 1
-        self._staged[(table_name, pk)] = _DELETED
+        self._overlay(table_name)[pk] = _DELETED
 
     def abort(self, reason=None):
         """Abort the transaction; raises :class:`AbortError`."""
@@ -152,9 +177,10 @@ class Transaction:
     # -- commit ---------------------------------------------------------------------
 
     def _apply(self):
-        for (table_name, pk), staged in self._staged.items():
+        for table_name, overlay in self._staged.items():
             table = self._db.table(table_name)
-            if staged is _DELETED:
-                table.delete(pk)
-            else:
-                table.write(staged)
+            for pk, staged in overlay.items():
+                if staged is _DELETED:
+                    table.delete(pk)
+                else:
+                    table.write(staged)

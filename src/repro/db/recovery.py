@@ -48,11 +48,12 @@ def journal_of(txn):
     from repro.db.database import _DELETED
 
     operations = []
-    for (table, pk), staged in txn._staged.items():
-        if staged is _DELETED:
-            operations.append(("delete", table, pk))
-        else:
-            operations.append(("write", table, dict(staged)))
+    for table, overlay in txn._staged.items():
+        for pk, staged in overlay.items():
+            if staged is _DELETED:
+                operations.append(("delete", table, pk))
+            else:
+                operations.append(("write", table, dict(staged)))
     return operations
 
 

@@ -1,12 +1,19 @@
 """Keyed record tables with secondary hash indexes.
 
-Records are flat dicts; the table copies records on the way in and out so
-callers can never alias the stored state.  Secondary indexes map an indexed
-field's value to the set of primary keys holding it and are maintained on
-every mutation.
+Records are flat dicts.  Reads are *copy-on-write*: queries hand out
+read-only views of the stored dicts (``types.MappingProxyType``, zero-copy)
+and writers pass fresh dicts in, which the table snapshots on the way in.
+Stored dicts are never mutated in place — every upsert replaces the stored
+object — so a view taken at any point is a stable snapshot.
+
+Secondary indexes map an indexed field's value to the *insertion-ordered*
+set of primary keys holding it (a dict used as an ordered set) and are
+maintained on every mutation.  Query results follow insertion order, which
+is deterministic under the deterministic simulator — no ``sorted(...,
+key=repr)`` passes over every result set.
 """
 
-from collections import defaultdict
+from types import MappingProxyType
 
 from repro.db.errors import DbError, DuplicateKey
 
@@ -24,7 +31,8 @@ class Table:
         self.key = key
         self.index_fields = indexes
         self._rows = {}
-        self._indexes = {field: defaultdict(set) for field in indexes}
+        # field -> value -> {pk: None} (insertion-ordered set of keys)
+        self._indexes = {field: {} for field in indexes}
 
     def __len__(self):
         return len(self._rows)
@@ -52,8 +60,9 @@ class Table:
     def write(self, record):
         """Upsert ``record`` (Mnesia ``write`` semantics)."""
         pk = self._pk_of(record)
-        if pk in self._rows:
-            self._unindex(pk, self._rows[pk])
+        old = self._rows.get(pk)
+        if old is not None:
+            self._unindex(pk, old)
         self._store(pk, dict(record))
 
     def delete(self, pk):
@@ -68,59 +77,74 @@ class Table:
         self._rows[pk] = record
         for field, index in self._indexes.items():
             if field in record:
-                index[record[field]].add(pk)
+                value = record[field]
+                bucket = index.get(value)
+                if bucket is None:
+                    index[value] = {pk: None}
+                else:
+                    bucket[pk] = None
 
     def _unindex(self, pk, record):
         for field, index in self._indexes.items():
             if field in record:
-                bucket = index.get(record[field])
+                value = record[field]
+                bucket = index.get(value)
                 if bucket is not None:
-                    bucket.discard(pk)
+                    bucket.pop(pk, None)
                     if not bucket:
-                        del index[record[field]]
+                        del index[value]
 
     # -- queries -------------------------------------------------------------------
 
     def read(self, pk):
-        """A copy of the record keyed ``pk``, or None."""
+        """A read-only view of the record keyed ``pk``, or None.
+
+        Views are zero-copy; take ``dict(view)`` before mutating.
+        """
         record = self._rows.get(pk)
-        return dict(record) if record is not None else None
+        return MappingProxyType(record) if record is not None else None
 
     def index_read(self, field, value):
-        """Copies of all records whose indexed ``field`` equals ``value``."""
+        """Read-only views of all records whose ``field`` equals ``value``.
+
+        Results follow insertion order.
+        """
         index = self._indexes.get(field)
         if index is None:
             raise DbError(f"table {self.name}: no index on {field!r}")
-        return [dict(self._rows[pk]) for pk in sorted(index.get(value, ()), key=repr)]
+        rows = self._rows
+        return [MappingProxyType(rows[pk]) for pk in index.get(value, ())]
 
     def match(self, **pattern):
-        """Copies of all records matching every ``field=value`` in ``pattern``.
+        """Read-only views of all records matching every ``field=value``.
 
-        Uses the most selective available index, falling back to a scan.
+        Uses the most selective available index, falling back to a scan;
+        results follow the chosen container's insertion order.
         """
         candidates = None
         for field, value in pattern.items():
             if field == self.key:
                 record = self._rows.get(value)
-                candidates = {value} if record is not None else set()
+                candidates = (value,) if record is not None else ()
                 break
             if field in self._indexes:
-                bucket = self._indexes[field].get(value, set())
+                bucket = self._indexes[field].get(value, {})
                 if candidates is None or len(bucket) < len(candidates):
-                    candidates = set(bucket)
+                    candidates = bucket
         if candidates is None:
-            candidates = set(self._rows)
+            candidates = self._rows
         out = []
-        for pk in sorted(candidates, key=repr):
-            record = self._rows[pk]
+        rows = self._rows
+        for pk in candidates:
+            record = rows[pk]
             if all(record.get(f) == v for f, v in pattern.items()):
-                out.append(dict(record))
+                out.append(MappingProxyType(record))
         return out
 
     def keys(self):
-        """All primary keys (sorted by repr for determinism)."""
-        return sorted(self._rows, key=repr)
+        """All primary keys, in insertion order (deterministic)."""
+        return list(self._rows)
 
     def all(self):
-        """Copies of every record."""
-        return [dict(self._rows[pk]) for pk in self.keys()]
+        """Read-only views of every record, in insertion order."""
+        return [MappingProxyType(record) for record in self._rows.values()]

@@ -28,15 +28,18 @@ class LruDict:
     def __contains__(self, key):
         return key in self._data
 
+    _MISSING = object()
+
     def get(self, key, touch=True):
         """The value for ``key`` (refreshing recency), or None."""
-        if key not in self._data:
+        value = self._data.get(key, self._MISSING)
+        if value is self._MISSING:
             self.misses += 1
             return None
         self.hits += 1
         if touch:
             self._data.move_to_end(key)
-        return self._data[key]
+        return value
 
     def peek(self, key):
         """The value for ``key`` without recency or stats effects."""
@@ -44,20 +47,27 @@ class LruDict:
 
     def put(self, key, value):
         """Insert/overwrite ``key``; returns evicted (key, value) pairs."""
-        if key in self._data:
-            self._data[key] = value
-            self._data.move_to_end(key)
+        data = self._data
+        if key in data:
+            data[key] = value
+            data.move_to_end(key)
             return []
-        self._data[key] = value
-        evicted = []
-        if len(self._data) > self.capacity:
-            for candidate in list(self._data):
-                if candidate == key or self._pinned(self._data[candidate]):
-                    continue
-                evicted.append((candidate, self._data.pop(candidate)))
-                self.evictions += 1
-                if len(self._data) <= self.capacity:
-                    break
+        data[key] = value
+        excess = len(data) - self.capacity
+        if excess <= 0:
+            return []
+        # Collect the oldest unpinned victims without copying the whole key
+        # list (the common case stops at the LRU head).
+        pinned = self._pinned
+        victims = []
+        for candidate in data:
+            if candidate == key or pinned(data[candidate]):
+                continue
+            victims.append(candidate)
+            if len(victims) >= excess:
+                break
+        evicted = [(candidate, data.pop(candidate)) for candidate in victims]
+        self.evictions += len(evicted)
         return evicted
 
     def pop(self, key):

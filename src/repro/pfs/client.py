@@ -25,6 +25,7 @@ import itertools
 
 from repro.pfs.cache import LruDict
 from repro.pfs.errors import FsError
+from repro.sim.events import Timeout
 from repro.pfs.pagecache import DataPath
 from repro.pfs.tokens import RO, XW
 from repro.pfs.tokenclient import TokenClient
@@ -65,6 +66,9 @@ class PfsClient(FileSystemApi):
         self.wal = ClientWal(machine, pfs.nsd_for_log(machine.name), pfs.config)
         self._dirblocks = LruDict(self.config.dirblock_cache_blocks)
         self._dirty_dirblocks = {}  # dir ino -> set of block ids
+        self._prefix_cache = {}     # parent-path tuple -> (ino, walk steps)
+        self._prefix_by_dir = {}    # dir ino -> prefix keys reading from it
+        self._dentries = {}         # dir ino -> {name: (child, block, is_symlink)}
         self._attr_fetches = {}     # inode block id -> in-flight event
         self._handles = {}
         self._fh_counter = itertools.count(1)
@@ -91,21 +95,59 @@ class PfsClient(FileSystemApi):
             raise FsError.enoent(path)
         return inode
 
+    #: bound on cached resolution prefixes; overflow clears the cache.
+    _PREFIX_CACHE_MAX = 256
+
     def _resolve(self, path, follow=True, _depth=0):
-        """Coroutine: the inode number at ``path`` (symlinks followed)."""
+        """Coroutine: the inode number at ``path`` (symlinks followed).
+
+        Repeated walks of the same parent directory take the *prefix cache*
+        fast path: when every directory token and directory block along the
+        walked prefix is still cached (and quiescent), the per-component
+        cache-hit charges collapse into one scheduled sleep of the same
+        total virtual duration, with the directory tokens pinned across it.
+        The cache is invalidated whenever a walked directory's entries
+        change or its token is dropped, so a hit can never observe state
+        the step-by-step walk would not.
+        """
         if _depth > _MAX_SYMLINK_DEPTH:
             raise FsError.einval(f"too many levels of symbolic links: {path}")
         parts = components(path)
+        n = len(parts)
         ino = self.state.root_ino
-        for index, name in enumerate(parts):
+        start = 0
+        steps = None
+        prefix_key = None
+        if n > 1:
+            prefix_key = parts[:-1]
+            hit = self._prefix_cache.get(prefix_key)
+            if hit is not None:
+                prepared = self._prefix_try(hit)
+                if prepared is not None:
+                    entries, when = prepared
+                    yield Timeout(self.sim, when, absolute=True)
+                    for entry in entries:
+                        entry.unpin()
+                    ino = hit[0]
+                    start = n - 1
+                else:
+                    self._prefix_cache.pop(prefix_key, None)
+            if start == 0:
+                steps = []
+        for index in range(start, n):
+            name = parts[index]
             inode = self._inode(ino, path)
             if not inode.is_dir:
                 raise FsError.enotdir(path)
-            child = yield from self._lookup(ino, name)
+            if steps is not None and index == n - 1:
+                # The whole parent prefix resolved without symlinks:
+                # remember it before the (possibly failing) leaf lookup.
+                self._remember_prefix(prefix_key, ino, steps)
+            child, block = yield from self._lookup_step(ino, name)
             if child is None:
                 raise FsError.enoent(path)
             child_inode = self._inode(child, path)
-            last = index == len(parts) - 1
+            last = index == n - 1
             if child_inode.is_symlink and (follow or not last):
                 rest = "/".join(parts[index + 1:])
                 target = child_inode.symlink_target
@@ -118,14 +160,79 @@ class PfsClient(FileSystemApi):
                     target, follow=follow, _depth=_depth + 1
                 )
                 return result
+            if steps is not None and not last:
+                steps.append((ino, block))
             ino = child
         return ino
 
-    def _resolve_parent(self, path):
-        """Coroutine: (parent_ino, leaf_name) for ``path``."""
+    def _prefix_try(self, hit):
+        """Validate and pin a cached prefix walk (plain function, no yield).
+
+        Returns (pinned token entries, absolute wake-up time) when every
+        walked directory token is still cached and quiescent and every
+        walked block is still resident — or None when the cached state no
+        longer applies (token lost, block evicted, CPU contended) and the
+        step-by-step walk must run instead.  The wake-up time is the same
+        sequence of dirblock-hit charges the steps would pay, accumulated
+        with identical float rounding.
+        """
+        cpu = self.machine.cpu
+        if len(cpu.users) >= cpu.capacity or cpu.queue:
+            return None
+        tokens = self.tokens
+        dirblocks = self._dirblocks
+        data = dirblocks._data
+        entries = []
+        for dir_ino, block in hit[1]:
+            entry = tokens.get_covering(("dir", dir_ino), RO)
+            if entry is None:
+                return None
+            key = (dir_ino, block)
+            if key not in data:
+                dirblocks.misses += 1
+                return None
+            dirblocks.hits += 1
+            data.move_to_end(key)
+            entries.append(entry)
+        when = self.sim.now
+        hit_ms = self._DIRBLOCK_HIT_MS
+        for entry in entries:
+            entry.pins += 1
+            when += hit_ms
+        return entries, when
+
+    def _remember_prefix(self, prefix_key, parent_ino, steps):
+        if len(self._prefix_cache) >= self._PREFIX_CACHE_MAX:
+            self._prefix_cache.clear()
+            self._prefix_by_dir.clear()
+        self._prefix_cache[prefix_key] = (parent_ino, steps)
+        by_dir = self._prefix_by_dir
+        for dir_ino, _block in steps:
+            bucket = by_dir.get(dir_ino)
+            if bucket is None:
+                bucket = by_dir[dir_ino] = set()
+            bucket.add(prefix_key)
+
+    def _invalidate_prefixes(self, dir_ino):
+        """Drop cached resolution state reading entries from ``dir_ino``."""
+        self._dentries.pop(dir_ino, None)
+        keys = self._prefix_by_dir.pop(dir_ino, None)
+        if keys:
+            cache = self._prefix_cache
+            for key in keys:
+                cache.pop(key, None)
+
+    def _resolve_parent(self, path, charge_op=False):
+        """Coroutine: (parent_ino, leaf_name) for ``path``.
+
+        With ``charge_op``, the per-op CPU cost is charged as part of the
+        resolution (collapsing into one wake-up when fully cached).
+        """
         parent_path, name = split(path)
         if not name:
             raise FsError.einval(f"path has no leaf component: {path}")
+        if charge_op:
+            yield from self._op_cost()
         parent_ino = yield from self._resolve(parent_path)
         parent = self._inode(parent_ino, parent_path)
         if not parent.is_dir:
@@ -134,12 +241,55 @@ class PfsClient(FileSystemApi):
 
     def _lookup(self, dir_ino, name):
         """Coroutine: child ino of ``name`` in ``dir_ino`` (None if absent)."""
+        child, _block = yield from self._lookup_step(dir_ino, name)
+        return child
+
+    def _lookup_step(self, dir_ino, name):
+        """Coroutine: (child ino or None, block id) for one walk step.
+
+        A cached dentry skips the directory hashing and block lookup while
+        performing the exact same token hold, block-cache touch and
+        virtual-time charge at the exact same instants as the full step —
+        so timing (and thus every simulated result) is unchanged.
+        """
         dir_inode = self._inode(dir_ino)
-        entry = yield from self._hold_dir(dir_ino, RO)
+        dmap = self._dentries.get(dir_ino)
+        cached = dmap.get(name) if dmap is not None else None
+        if cached is not None:
+            entry = self.tokens.hold_cached(("dir", dir_ino), RO)
+            if entry is not None:
+                child = cached[0]
+                block = cached[1]
+                dirblocks = self._dirblocks
+                data = dirblocks._data
+                key = (dir_ino, block)
+                if key in data:
+                    dirblocks.hits += 1
+                    data.move_to_end(key)
+                    try:
+                        yield from self.machine.compute(self._DIRBLOCK_HIT_MS)
+                    finally:
+                        entry.unpin()
+                    return child, block
+                dirblocks.misses += 1
+                entry.unpin()
+        entry = self.tokens.hold_cached(("dir", dir_ino), RO)
+        if entry is None:
+            entry = yield from self._hold_dir(dir_ino, RO)
         try:
             block = dir_inode.dir.block_of(name)
             yield from self._ensure_dirblock(dir_ino, block)
-            return dir_inode.dir.lookup(name)
+            child = dir_inode.dir.lookup(name)
+            if child is not None:
+                cinode = self.state.inodes.get(child)
+                if cinode is not None:
+                    dmap = self._dentries.get(dir_ino)
+                    if dmap is None:
+                        dmap = self._dentries[dir_ino] = {}
+                    elif len(dmap) > 4096:
+                        dmap.clear()
+                    dmap[name] = (child, block, cinode.kind == SYMLINK)
+            return child, block
         finally:
             entry.unpin()
 
@@ -147,9 +297,14 @@ class PfsClient(FileSystemApi):
     # directory tokens and blocks
     # ------------------------------------------------------------------------
 
+    def _on_dir_drop(self, entry):
+        """Token-drop hook for directory tokens (entry.key = ("dir", ino))."""
+        self._drop_dir_state(entry.key[1])
+
     def _hold_dir(self, dir_ino, mode):
-        drop = lambda _entry: self._drop_dir_state(dir_ino)  # noqa: E731
-        entry = yield from self.tokens.hold(("dir", dir_ino), mode, on_drop=drop)
+        entry = yield from self.tokens.hold(
+            ("dir", dir_ino), mode, on_drop=self._on_dir_drop
+        )
         return entry
 
     def _drop_dir_state(self, dir_ino):
@@ -157,18 +312,24 @@ class PfsClient(FileSystemApi):
             if key[0] == dir_ino:
                 self._dirblocks.pop(key)
         self._dirty_dirblocks.pop(dir_ino, None)
+        self._invalidate_prefixes(dir_ino)
+
+    #: virtual cost of touching an already-cached directory block.
+    _DIRBLOCK_HIT_MS = 0.002
 
     def _ensure_dirblock(self, dir_ino, block):
-        key = (dir_ino, block)
-        if self._dirblocks.get(key) is not None:
-            yield from self.machine.compute(0.002)
-            return
+        if self._dirblocks.get((dir_ino, block)) is not None:
+            return self.machine.compute(self._DIRBLOCK_HIT_MS)
+        return self._fetch_dirblock(dir_ino, block)
+
+    def _fetch_dirblock(self, dir_ino, block):
+        """Coroutine: pull a missing directory block from its NSD."""
         nsd = self.pfs.nsd_for_dirblock(dir_ino, block)
         yield from self.machine.call(
             nsd, "nsd", "fetch_dir_block", args=(dir_ino, block),
             req_size=128, resp_size=self.config.meta_block_bytes,
         )
-        self._dirblocks.put(key, True)
+        self._dirblocks.put((dir_ino, block), True)
 
     def _touch_dirblock_dirty(self, dir_ino, block):
         self._dirblocks.put((dir_ino, block), True)
@@ -193,7 +354,7 @@ class PfsClient(FileSystemApi):
         return flush
 
     def _mutate_dir_cost(self, dir_inode, block, splits):
-        """Coroutine: CPU + structural costs of one directory mutation."""
+        """CPU + structural costs of one directory mutation (yield from)."""
         cfg = self.config
         cost = cfg.dir_insert_cpu_ms
         depth_over = min(
@@ -202,15 +363,22 @@ class PfsClient(FileSystemApi):
         )
         cost += cfg.dir_depth_cost_ms * depth_over
         cost += splits * (cfg.dir_insert_cpu_ms * 2)
-        yield from self.machine.compute(cost)
+        return self.machine.compute(cost)
 
     # ------------------------------------------------------------------------
     # attribute tokens
     # ------------------------------------------------------------------------
 
+    def _on_attr_drop(self, entry):
+        """Token-drop hook for attribute tokens (entry.key = ("attr", ino))."""
+        self.data.drop_ino(entry.key[1])
+
     def _hold_attr(self, ino, mode):
-        drop = lambda _entry: self.data.drop_ino(ino)  # noqa: E731
-        entry = yield from self.tokens.hold(("attr", ino), mode, on_drop=drop)
+        entry = self.tokens.hold_cached(("attr", ino), mode)
+        if entry is None:
+            entry = yield from self.tokens.hold(
+                ("attr", ino), mode, on_drop=self._on_attr_drop
+            )
         if entry.payload is None:
             yield from self._fetch_attrs(ino, entry)
         return entry
@@ -279,19 +447,16 @@ class PfsClient(FileSystemApi):
     # ------------------------------------------------------------------------
 
     def mkdir(self, path, mode=0o755):
-        yield from self._op_cost()
-        parent_ino, name = yield from self._resolve_parent(path)
+        parent_ino, name = yield from self._resolve_parent(path, charge_op=True)
         yield from self._create_object(parent_ino, name, DIRECTORY, mode, path)
 
     def create(self, path, mode=0o644):
-        yield from self._op_cost()
-        parent_ino, name = yield from self._resolve_parent(path)
+        parent_ino, name = yield from self._resolve_parent(path, charge_op=True)
         ino = yield from self._create_object(parent_ino, name, FILE, mode, path)
         return self._new_handle(ino, OpenFlags.WRONLY | OpenFlags.CREAT)
 
     def symlink(self, target, path):
-        yield from self._op_cost()
-        parent_ino, name = yield from self._resolve_parent(path)
+        parent_ino, name = yield from self._resolve_parent(path, charge_op=True)
         ino = yield from self._create_object(parent_ino, name, SYMLINK, 0o777, path)
         self.state.inodes.get(ino).symlink_target = target
 
@@ -314,6 +479,7 @@ class PfsClient(FileSystemApi):
                 kind, mode, self.uid, self.gid, self._now(), self.name
             )
             splits = parent.dir.insert(name, inode.ino)
+            self._invalidate_prefixes(parent_ino)
             if kind == DIRECTORY:
                 self.state.parents[inode.ino] = parent_ino
                 parent.nlink += 1
@@ -337,8 +503,7 @@ class PfsClient(FileSystemApi):
         return inode.ino
 
     def unlink(self, path):
-        yield from self._op_cost()
-        parent_ino, name = yield from self._resolve_parent(path)
+        parent_ino, name = yield from self._resolve_parent(path, charge_op=True)
         parent = self._inode(parent_ino, path)
         entry = yield from self._hold_dir(parent_ino, XW)
         try:
@@ -351,6 +516,7 @@ class PfsClient(FileSystemApi):
             if victim.is_dir:
                 raise FsError.eisdir(path)
             parent.dir.remove(name)
+            self._invalidate_prefixes(parent_ino)
             yield from self._mutate_dir_cost(parent, block, 0)
             self._touch_dirblock_dirty(parent_ino, block)
             parent.mtime = parent.ctime = self._now()
@@ -364,8 +530,7 @@ class PfsClient(FileSystemApi):
             entry.unpin()
 
     def rmdir(self, path):
-        yield from self._op_cost()
-        parent_ino, name = yield from self._resolve_parent(path)
+        parent_ino, name = yield from self._resolve_parent(path, charge_op=True)
         parent = self._inode(parent_ino, path)
         entry = yield from self._hold_dir(parent_ino, XW)
         try:
@@ -380,6 +545,8 @@ class PfsClient(FileSystemApi):
             if len(victim.dir) > 0:
                 raise FsError.enotempty(path)
             parent.dir.remove(name)
+            self._invalidate_prefixes(parent_ino)
+            self._invalidate_prefixes(ino)
             yield from self._mutate_dir_cost(parent, block, 0)
             self._touch_dirblock_dirty(parent_ino, block)
             parent.nlink -= 1
@@ -405,8 +572,7 @@ class PfsClient(FileSystemApi):
         self.state.inodes.free(ino)
 
     def rename(self, old, new):
-        yield from self._op_cost()
-        old_parent, old_name = yield from self._resolve_parent(old)
+        old_parent, old_name = yield from self._resolve_parent(old, charge_op=True)
         new_parent, new_name = yield from self._resolve_parent(new)
         # Lock directories in ino order to avoid ABBA revocation deadlocks.
         order = sorted({old_parent, new_parent})
@@ -448,6 +614,8 @@ class PfsClient(FileSystemApi):
                 if len(target.dir) > 0:
                     raise FsError.enotempty(new)
                 dst_dir.dir.remove(new_name)
+                self._invalidate_prefixes(new_parent)
+                self._invalidate_prefixes(existing)
                 dst_dir.nlink -= 1
                 self.state.parents.pop(existing, None)
                 yield from self._destroy_inode(existing)
@@ -455,11 +623,14 @@ class PfsClient(FileSystemApi):
                 if moving.is_dir:
                     raise FsError.enotdir(new)
                 dst_dir.dir.remove(new_name)
+                self._invalidate_prefixes(new_parent)
                 target.nlink -= 1
                 if target.nlink <= 0:
                     yield from self._destroy_inode(existing)
         src_dir.dir.remove(old_name)
         splits = dst_dir.dir.insert(new_name, ino)
+        self._invalidate_prefixes(old_parent)
+        self._invalidate_prefixes(new_parent)
         yield from self._mutate_dir_cost(dst_dir, dst_block, splits)
         self._touch_dirblock_dirty(old_parent, src_block)
         self._touch_dirblock_dirty(new_parent, dst_dir.dir.block_of(new_name))
@@ -489,13 +660,18 @@ class PfsClient(FileSystemApi):
             attr_entry = yield from self._hold_attr(src_ino, XW)
             try:
                 splits = parent.dir.insert(dst_name, src_ino)
+                self._invalidate_prefixes(dst_parent)
                 yield from self._mutate_dir_cost(parent, block, splits)
                 self._touch_dirblock_dirty(
                     dst_parent, parent.dir.block_of(dst_name)
                 )
                 source.nlink += 1
                 source.ctime = self._now()
-                attr_entry.payload = source.attr()
+                # In-place update, as in _truncate_ino: keep unflushed
+                # attribute changes riding the cached payload.
+                attr = attr_entry.payload
+                attr.nlink = source.nlink
+                attr.ctime = source.ctime
                 attr_entry.mark_dirty(self._attr_flush_cb(src_ino, attr_entry))
                 parent.mtime = parent.ctime = self._now()
                 entry.mark_dirty(self._dir_flush_cb(dst_parent))
@@ -629,8 +805,7 @@ class PfsClient(FileSystemApi):
         return handle
 
     def open(self, path, flags=0):
-        yield from self._op_cost()
-        parent_ino, name = yield from self._resolve_parent(path)
+        parent_ino, name = yield from self._resolve_parent(path, charge_op=True)
         child = yield from self._lookup(parent_ino, name)
         if child is None:
             if not flags & OpenFlags.CREAT:
@@ -706,8 +881,14 @@ class PfsClient(FileSystemApi):
         try:
             inode.data.truncate(size)
             inode.size = size
-            inode.mtime = inode.ctime = self._now()
-            entry.payload = inode.attr()
+            now = self._now()
+            inode.mtime = inode.ctime = now
+            # Update the cached attributes in place: replacing the payload
+            # with a fresh inode snapshot would clobber still-unflushed
+            # attribute changes (e.g. a preceding chmod's mode).
+            attr = entry.payload
+            attr.size = size
+            attr.mtime = attr.ctime = now
             entry.mark_dirty(self._attr_flush_cb(ino, entry))
         finally:
             entry.unpin()

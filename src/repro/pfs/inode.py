@@ -53,14 +53,10 @@ class Inode:
 
     def attr(self):
         """A stat snapshot of this inode."""
-        size = self.size
-        if self.is_dir:
-            size = len(self.dir)
-        return FileAttr(
-            ino=self.ino, kind=self.kind, mode=self.mode, uid=self.uid,
-            gid=self.gid, size=size, nlink=self.nlink, atime=self.atime,
-            mtime=self.mtime, ctime=self.ctime,
-        )
+        kind = self.kind
+        size = len(self.dir) if kind == DIRECTORY else self.size
+        return FileAttr(self.ino, kind, self.mode, self.uid, self.gid,
+                        size, self.nlink, self.atime, self.mtime, self.ctime)
 
 
 class InodeTable:

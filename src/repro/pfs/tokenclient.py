@@ -67,7 +67,8 @@ class TokenClient:
             "dir": LruDict(config.dir_token_entries, pinned=pinned),
         }
         self._acq_queue = []
-        self._acq_running = False
+        self._acq_wake = None  # parked acquire pump's gate
+        self._acq_started = False
         self._inflight_acquires = {}  # key -> [done events awaiting grant]
         self._relinquish = []
         self._revoke_service = Resource(machine.sim, capacity=1)
@@ -81,6 +82,32 @@ class TokenClient:
         """The cached entry for ``key`` without recency effects, or None."""
         return self._cache_for(key).peek(key)
 
+    def get_covering(self, key, mode):
+        """The cached, quiescent entry covering ``mode``, or None.
+
+        Touches recency (and the hit/miss counters) exactly like the
+        :meth:`hold` hit path — inlined, as this runs on every walk step.
+        The caller still has to pin the entry before any yield.
+        """
+        cache = self._caches[key[0]]
+        entry = cache._data.get(key)
+        if entry is None:
+            cache.misses += 1
+            return None
+        cache.hits += 1
+        cache._data.move_to_end(key)
+        if not entry.revoking and mode_covers(entry.mode, mode):
+            return entry
+        return None
+
+    def hold_cached(self, key, mode):
+        """Non-coroutine fast path of :meth:`hold`: the pinned entry on a
+        cache hit, or None when the caller must take the full path."""
+        entry = self.get_covering(key, mode)
+        if entry is not None:
+            entry.pins += 1
+        return entry
+
     # -- acquiring -------------------------------------------------------------
 
     def hold(self, key, mode, on_drop=None):
@@ -89,12 +116,11 @@ class TokenClient:
         Returns the (pinned) :class:`TokenEntry`.  The caller must
         :meth:`TokenEntry.unpin` it when the operation completes.
         """
-        cache = self._cache_for(key)
-        entry = cache.get(key)
-        if entry is not None and not entry.revoking and \
-                mode_covers(entry.mode, mode):
+        entry = self.get_covering(key, mode)
+        if entry is not None:
             entry.pin()
             return entry
+        cache = self._cache_for(key)
         # Miss, upgrade, or mid-revocation: go to the token server (batched).
         # The grant is installed into the cache by the server's push (see
         # TokenServer.acquire) before the RPC reply arrives, carrying a
@@ -175,8 +201,12 @@ class TokenClient:
     def _acquire(self, key, mode):
         done = self.sim.event()
         self._acq_queue.append((key, mode, done))
-        if not self._acq_running:
-            self._acq_running = True
+        wake = self._acq_wake
+        if wake is not None:
+            self._acq_wake = None
+            wake.succeed()
+        elif not self._acq_started:
+            self._acq_started = True
             self.sim.process(self._acq_pump(), name=f"tok-pump:{self.machine.name}")
         yield done
         if not done.ok:  # pragma: no cover - server failures are fatal here
@@ -184,6 +214,13 @@ class TokenClient:
 
     def _acq_pump(self):
         cfg = self.config
+        while True:
+            yield from self._acq_pump_burst(cfg)
+            gate = self.sim.event()
+            self._acq_wake = gate
+            yield gate
+
+    def _acq_pump_burst(self, cfg):
         while self._acq_queue:
             batch = self._acq_queue[:8]
             del self._acq_queue[: len(batch)]
@@ -218,7 +255,6 @@ class TokenClient:
                 self._forget_inflight(key, done)
                 if not done.triggered:
                     done.succeed()
-        self._acq_running = False
 
     def _forget_inflight(self, key, done):
         waiting = self._inflight_acquires.get(key)

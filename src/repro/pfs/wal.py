@@ -19,29 +19,43 @@ class ClientWal:
         self.nsd_machine = nsd_machine
         self.config = config
         self._waiters = []
-        self._pump_running = False
+        self._wake = None  # parked pump's wake-up gate
+        self._pump_started = False
         self.forces = 0
 
     def force(self):
-        """Coroutine: return once the node's log is durable."""
+        """Return once the node's log is durable (``yield from`` the result).
+
+        Returns a bare one-event tuple — the waiter joins the running pump's
+        next batch without a generator frame of its own.  The pump is one
+        long-lived process parked on a gate between bursts, not a process
+        spawned per burst.
+        """
         done = self.sim.event()
         self._waiters.append(done)
-        if not self._pump_running:
-            self._pump_running = True
+        wake = self._wake
+        if wake is not None:
+            self._wake = None
+            wake.succeed()
+        elif not self._pump_started:
+            self._pump_started = True
             self.sim.process(self._pump(), name=f"wal:{self.machine.name}")
-        yield done
+        return (done,)
 
     def _pump(self):
         group_max = self.config.log_group_max
-        while self._waiters:
-            batch = self._waiters[:group_max]
-            del self._waiters[: len(batch)]
-            self.forces += 1
-            yield from self.machine.call(
-                self.nsd_machine, "nsd", "log_force",
-                args=(self.machine.name, len(batch)),
-                req_size=512 * len(batch), resp_size=128,
-            )
-            for done in batch:
-                done.succeed()
-        self._pump_running = False
+        while True:
+            while self._waiters:
+                batch = self._waiters[:group_max]
+                del self._waiters[: len(batch)]
+                self.forces += 1
+                yield from self.machine.call(
+                    self.nsd_machine, "nsd", "log_force",
+                    args=(self.machine.name, len(batch)),
+                    req_size=512 * len(batch), resp_size=128,
+                )
+                for done in batch:
+                    done.succeed()
+            gate = self.sim.event()
+            self._wake = gate
+            yield gate

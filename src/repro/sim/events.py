@@ -5,11 +5,32 @@ An :class:`Event` is the unit a process can ``yield`` on.  Events are
 loop, at which point the callbacks registered on them run.  The
 trigger/process split keeps callback execution inside the event loop, which
 makes ordering deterministic.
+
+Hot-path invariants (relied on throughout the kernel):
+
+- the loop is single-threaded and never preempts between yields, so event
+  state transitions are atomic from the perspective of processes;
+- ``callbacks`` is lazily allocated: ``None`` means "no callbacks yet" and
+  saves a list allocation for the (very common) events nobody waits on or
+  that exactly one process resumes through;
+- heap entries are flat tuples ``(when, seq, kind, obj, ok, value)``; the
+  ``kind`` tags below tell :meth:`repro.sim.kernel.Simulator.run` how to
+  dispatch without allocating payload tuples or probe events.
 """
+
+from heapq import heappush
 
 from repro.sim.errors import SimError
 
 PENDING = object()
+
+#: heap-entry kinds (see ``Simulator.run``): process an already-triggered
+#: event's callbacks; trigger an event with (ok, value) then process it;
+#: resume a process generator directly; invoke a bare callable.
+KIND_PROCESS = 0
+KIND_TRIGGER = 1
+KIND_RESUME = 2
+KIND_CALL = 3
 
 
 class Event:
@@ -24,7 +45,7 @@ class Event:
 
     def __init__(self, sim):
         self.sim = sim
-        self.callbacks = []
+        self.callbacks = None
         self._value = PENDING
         self._ok = None
         self._processed = False
@@ -51,13 +72,30 @@ class Event:
             raise SimError("event value is not yet available")
         return self._value
 
+    def add_callback(self, callback):
+        """Register ``callback(event)`` to run when the event is processed.
+
+        ``callbacks`` holds None, a single callable (the overwhelmingly
+        common case: one waiting process), or a list of callables.
+        """
+        callbacks = self.callbacks
+        if callbacks is None:
+            self.callbacks = callback
+        elif type(callbacks) is list:
+            callbacks.append(callback)
+        else:
+            self.callbacks = [callbacks, callback]
+
     def succeed(self, value=None):
         """Trigger the event successfully with ``value``."""
         if self._value is not PENDING:
             raise SimError(f"event {self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._sequence += 1
+        heappush(sim._heap,
+                 (sim.now, sim._sequence, KIND_PROCESS, self, None, None))
         return self
 
     def fail(self, exception):
@@ -71,21 +109,44 @@ class Event:
             raise TypeError(f"fail() needs an exception, got {exception!r}")
         self._ok = False
         self._value = exception
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._sequence += 1
+        heappush(sim._heap,
+                 (sim.now, sim._sequence, KIND_PROCESS, self, None, None))
         return self
 
 
 class Timeout(Event):
-    """An event that fires after a fixed virtual-time delay."""
+    """An event that fires after a fixed virtual-time delay.
+
+    The constructor is the kernel's hottest allocation site, so it inlines
+    the base initialiser and schedules straight onto the heap: one object,
+    one tuple, no callbacks list, no payload tuple.
+    """
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim, delay, value=None):
+    def __init__(self, sim, delay, value=None, *, absolute=False):
+        if absolute:
+            # ``delay`` is an absolute virtual time.  Scheduling at the
+            # caller-computed instant (rather than now + (when - now))
+            # keeps collapsed multi-hop delays bit-identical to the
+            # hop-by-hop float accumulation they replace.
+            when = delay
+            delay = when - sim.now
+        else:
+            when = sim.now + delay
         if delay < 0:
             raise SimError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = None
+        self._value = PENDING
+        self._ok = None
+        self._processed = False
         self.delay = delay
-        sim._schedule_trigger(self, delay, True, value)
+        sim._sequence += 1
+        heappush(sim._heap,
+                 (when, sim._sequence, KIND_TRIGGER, self, True, value))
 
 
 class _Condition(Event):
@@ -101,14 +162,15 @@ class _Condition(Event):
             self.succeed([])
             return
         for event in self.events:
-            if event.triggered:
+            if event._value is not PENDING:
                 # Already-triggered children are observed via a no-delay
-                # callback so ordering stays inside the event loop.
-                probe = Event(sim)
-                probe.callbacks.append(lambda _e, child=event: self._observe(child))
-                probe.succeed()
+                # scheduled call so ordering stays inside the event loop.
+                sim._sequence += 1
+                heappush(sim._heap,
+                         (sim.now, sim._sequence, KIND_CALL, self._observe,
+                          None, event))
             else:
-                event.callbacks.append(self._observe)
+                event.add_callback(self._observe)
 
     def _observe(self, event):
         raise NotImplementedError

@@ -8,7 +8,7 @@ link, a lock): processes ``yield`` a :class:`Request` and run once granted.
 from collections import deque
 
 from repro.sim.errors import SimError
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 
 
 class Request(Event):
@@ -24,7 +24,13 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource):
-        super().__init__(resource.sim)
+        # Inlined Event.__init__ — requests are allocated on every resource
+        # acquire, which makes this one of the kernel's hottest sites.
+        self.sim = resource.sim
+        self.callbacks = None
+        self._value = PENDING
+        self._ok = None
+        self._processed = False
         self.resource = resource
 
     def __enter__(self):
@@ -66,6 +72,25 @@ class Resource:
         else:
             self.queue.append(req)
         return req
+
+    def request_nowait(self):
+        """A synchronously granted :class:`Request`, or None if it would
+        queue.
+
+        The fast path for uncontended resources: the claim is granted
+        without a grant event (the caller proceeds in the same loop turn
+        instead of being resumed one turn later), which shaves one event
+        off every idle acquire.  Release it with :meth:`release` (or use
+        it as a context manager).
+        """
+        if len(self.users) < self.capacity and not self.queue:
+            req = Request(self)
+            req._ok = True
+            req._value = req
+            req._processed = True
+            self.users.add(req)
+            return req
+        return None
 
     def release(self, request):
         """Return a slot; grants the next queued request, if any.

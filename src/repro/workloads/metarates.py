@@ -96,11 +96,23 @@ def run_metarates(stack, config):
     def rank_of(node, proc):
         return node * config.procs_per_node + proc
 
+    # Per-rank path lists, built once: the same strings are walked millions
+    # of times, and reusing the objects keeps downstream memo lookups cheap.
+    _rank_paths = {}
+
+    def paths_of(rank):
+        got = _rank_paths.get(rank)
+        if got is None:
+            got = _rank_paths[rank] = [
+                _file_name(config.directory, rank, index)
+                for index in range(config.files_per_proc)
+            ]
+        return got
+
     def worker(op, node, proc):
         fs = stack.mount(node, proc)
         rank = rank_of(node, proc)
-        for index in range(config.files_per_proc):
-            path = _file_name(config.directory, rank, index)
+        for path in paths_of(rank):
             start = sim.now
             if op == "create":
                 fh = yield from fs.create(path)
@@ -123,16 +135,14 @@ def run_metarates(stack, config):
 
     def seq_create_all(fs):
         for node, proc in all_ranks():
-            rank = rank_of(node, proc)
-            for index in range(config.files_per_proc):
-                fh = yield from fs.create(_file_name(config.directory, rank, index))
+            for path in paths_of(rank_of(node, proc)):
+                fh = yield from fs.create(path)
                 yield from fs.close(fh)
 
     def seq_delete_all(fs):
         for node, proc in all_ranks():
-            rank = rank_of(node, proc)
-            for index in range(config.files_per_proc):
-                yield from fs.unlink(_file_name(config.directory, rank, index))
+            for path in paths_of(rank_of(node, proc)):
+                yield from fs.unlink(path)
 
     def parallel_phase(op):
         procs = [
@@ -146,9 +156,8 @@ def run_metarates(stack, config):
     def parallel_delete():
         def deleter(node, proc):
             fs = stack.mount(node, proc)
-            rank = rank_of(node, proc)
-            for index in range(config.files_per_proc):
-                yield from fs.unlink(_file_name(config.directory, rank, index))
+            for path in paths_of(rank_of(node, proc)):
+                yield from fs.unlink(path)
 
         procs = [
             sim.process(deleter(node, proc), name=f"mr-del-{node}.{proc}")
@@ -157,18 +166,23 @@ def run_metarates(stack, config):
         yield sim.all_of(procs)
 
     def orchestrate():
+        # Sequential phases run as child processes rather than `yield from`
+        # delegation: every resume of a nested op would otherwise traverse
+        # the orchestrator's frame too (pure harness overhead).  Each spawn
+        # adds one zero-delay turn at a quiescent phase boundary, so
+        # virtual timings are unaffected.
         first = stack.mount(0, 0)
-        yield from _mkdir_p(first, config.directory)
+        yield sim.process(_mkdir_p(first, config.directory), name="mr-setup")
         for op in config.ops:
             if op == "create":
                 yield from parallel_phase("create")
                 if config.cleanup:
                     yield from parallel_delete()
             else:
-                yield from seq_create_all(first)
+                yield sim.process(seq_create_all(first), name="mr-seed")
                 yield from parallel_phase(op)
                 if config.cleanup:
-                    yield from seq_delete_all(first)
+                    yield sim.process(seq_delete_all(first), name="mr-drain")
 
     sim.run_process(orchestrate(), name="metarates")
     return result

@@ -21,10 +21,19 @@ def test_read_missing_returns_none():
     assert people().read(42) is None
 
 
-def test_read_returns_copy():
+def test_read_returns_readonly_view():
     t = people()
     t.insert({"id": 1, "city": "bcn"})
     record = t.read(1)
+    with pytest.raises(TypeError):
+        record["city"] = "mutated"
+    assert t.read(1)["city"] == "bcn"
+
+
+def test_read_view_mutation_via_copy_does_not_alias():
+    t = people()
+    t.insert({"id": 1, "city": "bcn"})
+    record = dict(t.read(1))  # copy-on-write: copy only to mutate
     record["city"] = "mutated"
     assert t.read(1)["city"] == "bcn"
 
@@ -109,19 +118,19 @@ def test_match_without_index_scans():
     assert [r["id"] for r in t.match(color="blue")] == [2]
 
 
-def test_match_empty_pattern_returns_all():
+def test_match_empty_pattern_returns_all_in_insertion_order():
     t = people()
     t.insert({"id": 2, "city": "bcn"})
     t.insert({"id": 1, "city": "mad"})
-    assert [r["id"] for r in t.match()] == [1, 2]
+    assert [r["id"] for r in t.match()] == [2, 1]
 
 
-def test_keys_and_all():
+def test_keys_and_all_follow_insertion_order():
     t = people()
     t.insert({"id": 2, "city": "bcn"})
     t.insert({"id": 1, "city": "mad"})
-    assert t.keys() == [1, 2]
-    assert [r["id"] for r in t.all()] == [1, 2]
+    assert t.keys() == [2, 1]
+    assert [r["id"] for r in t.all()] == [2, 1]
 
 
 def test_records_without_indexed_field_allowed():
@@ -129,3 +138,46 @@ def test_records_without_indexed_field_allowed():
     t.insert({"id": 1})
     assert t.read(1) == {"id": 1}
     assert t.index_read("city", None) == []
+
+
+# ---------------------------------------------------------------------------
+# copy-on-write semantics and index integrity (PR 1)
+# ---------------------------------------------------------------------------
+
+
+def _index_snapshot(table):
+    """field -> value -> sorted key list, from the live indexes."""
+    return {
+        field: {value: sorted(bucket, key=repr)
+                for value, bucket in index.items()}
+        for field, index in table._indexes.items()
+    }
+
+
+def _rebuilt_snapshot(table):
+    """The same snapshot, rebuilt from scratch from the stored rows."""
+    fresh = Table(table.name, table.key, table.index_fields)
+    for pk in table.keys():
+        fresh.insert(dict(table.read(pk)))
+    return _index_snapshot(fresh)
+
+
+def test_indexes_match_rebuild_after_churn():
+    t = people()
+    for i in range(40):
+        t.insert({"id": i, "city": f"c{i % 5}", "team": f"t{i % 3}"})
+    for i in range(0, 40, 3):
+        t.write({"id": i, "city": f"c{(i + 1) % 5}", "team": f"t{i % 7}"})
+    for i in range(0, 40, 4):
+        t.delete(i)
+    for i in range(100, 110):
+        t.write({"id": i, "city": "c0"})
+    assert _index_snapshot(t) == _rebuilt_snapshot(t)
+
+
+def test_write_removes_stale_index_entries_for_dropped_fields():
+    t = people()
+    t.insert({"id": 1, "city": "bcn", "team": "storage"})
+    t.write({"id": 1, "team": "storage"})  # city field dropped entirely
+    assert t.index_read("city", "bcn") == []
+    assert _index_snapshot(t) == _rebuilt_snapshot(t)

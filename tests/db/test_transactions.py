@@ -184,3 +184,54 @@ def test_query_counters():
         return (txn.reads, txn.writes)
 
     assert db.transaction(body) == (2, 1)
+
+
+# ---------------------------------------------------------------------------
+# copy-on-write semantics through transactions (PR 1)
+# ---------------------------------------------------------------------------
+
+
+def test_txn_read_returns_readonly_view():
+    db = fresh_db()
+    db.transaction(lambda txn: txn.insert("files", {"ino": 1, "owner": 7}))
+
+    def body(txn):
+        row = txn.read("files", 1)
+        with pytest.raises(TypeError):
+            row["owner"] = 99
+        return row
+
+    db.transaction(body)
+    assert db.table("files").read(1)["owner"] == 7
+
+
+def test_txn_read_for_update_does_not_alias_stored_state():
+    db = fresh_db()
+    db.transaction(lambda txn: txn.insert("files", {"ino": 1, "owner": 7}))
+
+    def mutate_without_write(txn):
+        row = txn.read_for_update("files", 1)
+        row["owner"] = 99  # never written back
+
+    db.transaction(mutate_without_write)
+    assert db.table("files").read(1)["owner"] == 7
+
+    def mutate_and_write(txn):
+        row = txn.read_for_update("files", 1)
+        row["owner"] = 42
+        txn.write("files", row)
+
+    db.transaction(mutate_and_write)
+    assert db.table("files").read(1)["owner"] == 42
+
+
+def test_txn_read_your_writes_is_view_of_staged():
+    db = fresh_db()
+    def body(txn):
+        txn.insert("files", {"ino": 5, "owner": 1})
+        row = txn.read("files", 5)
+        assert row["owner"] == 1
+        with pytest.raises(TypeError):
+            row["owner"] = 2
+
+    db.transaction(body)

@@ -153,3 +153,31 @@ def test_eexist_create_leaves_no_orphan_inode(fsx, fs):
 
     before, after = fsx.run(main())
     assert before == after
+
+
+def test_truncate_preserves_unflushed_chmod(fsx, fs):
+    """A truncate must not clobber a dirty cached mode (payload in-place
+    update, not a fresh inode snapshot)."""
+    def main():
+        fh = yield from fs.create("/t")
+        yield from fs.close(fh)
+        yield from fs.chmod("/t", 0o640)
+        yield from fs.truncate("/t", 3)
+        return (yield from fs.stat("/t"))
+
+    attr = fsx.run(main())
+    assert attr.mode == 0o640
+    assert attr.size == 3
+
+
+def test_link_preserves_unflushed_chmod(fsx, fs):
+    def main():
+        fh = yield from fs.create("/src")
+        yield from fs.close(fh)
+        yield from fs.chmod("/src", 0o600)
+        yield from fs.link("/src", "/dst")
+        return (yield from fs.stat("/dst"))
+
+    attr = fsx.run(main())
+    assert attr.mode == 0o600
+    assert attr.nlink == 2

@@ -39,8 +39,14 @@ def test_split_basic():
 
 
 def test_components():
-    assert components("/") == []
-    assert components("/a/b") == ["a", "b"]
+    assert components("/") == ()
+    assert components("/a/b") == ("a", "b")
+
+
+def test_components_memoized_and_immutable():
+    first = components("/a/b/c")
+    assert first == ("a", "b", "c")
+    assert components("/a/b/c") is first  # memo hit returns the same tuple
 
 
 def test_join():

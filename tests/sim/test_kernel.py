@@ -164,16 +164,51 @@ def test_process_requires_generator():
         sim.process(lambda: None)
 
 
-def test_yield_non_event_is_error():
+def test_yield_non_event_fails_the_process():
     sim = Simulator()
 
     def proc(sim):
         yield 3.0
 
     spawned = sim.process(proc(sim))
-    with pytest.raises(SimError):
-        sim.run()
-    assert spawned.is_alive  # never resumed normally
+    sim.run()  # the loop keeps running; the error is routed into the process
+    assert not spawned.is_alive
+    assert not spawned.ok
+    assert isinstance(spawned.value, SimError)
+    assert "yielded 3.0" in str(spawned.value)
+
+
+def test_yield_non_event_does_not_stall_other_processes():
+    sim = Simulator()
+    seen = []
+
+    def bad(sim):
+        yield "nope"
+
+    def good(sim):
+        yield sim.timeout(5.0)
+        seen.append(sim.now)
+
+    sim.process(bad(sim))
+    sim.process(good(sim))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_yield_non_event_failure_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad(sim):
+        yield object()
+
+    def parent(sim):
+        try:
+            yield sim.process(bad(sim))
+        except SimError as exc:
+            return f"caught: {exc}"
+
+    result = sim.run_process(parent(sim))
+    assert result.startswith("caught: ")
 
 
 def test_all_of_collects_values_in_order():
@@ -345,3 +380,119 @@ def test_determinism_of_interleavings():
         return trace
 
     assert build_and_run() == build_and_run()
+
+
+def test_interrupt_of_process_waiting_on_already_fired_event():
+    """An interrupt that lands while a process waits on an already-fired
+    event is delivered at that wait (detaching the pending direct resume)."""
+    sim = Simulator()
+    fired = sim.event()
+    fired.succeed("early")
+    sim.run()  # 'fired' is processed before anyone waits on it
+    log = []
+
+    def victim(sim):
+        gate = sim.event()
+        while True:
+            try:
+                got = yield gate
+                log.append(("got", got))
+                return got
+            except SimInterrupt as intr:
+                log.append(("intr", intr.cause))
+                gate = fired  # next wait is on the already-fired event
+
+    def attacker(sim, target, tag):
+        yield sim.timeout(1.0)
+        target.interrupt(tag)
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v, "one"))
+    sim.process(attacker(sim, v, "two"))
+    sim.run()
+    # First interrupt detaches the pending-event wait; the second cancels
+    # the scheduled resume of the fired event; the re-issued wait still
+    # observes the fired event's value.
+    assert log == [("intr", "one"), ("intr", "two"), ("got", "early")]
+    assert v.ok and v.value == "early"
+
+
+def test_fired_event_value_delivered_before_later_interrupt():
+    """A process that yields an already-fired event receives its value
+    before an interrupt issued later in the same tick."""
+    sim = Simulator()
+    fired = sim.event()
+    fired.succeed(41)
+    sim.run()
+    log = []
+
+    def victim(sim):
+        yield sim.timeout(1.0)
+        try:
+            got = yield fired
+            log.append(("got", got))
+            yield sim.timeout(10.0)
+        except SimInterrupt:
+            log.append(("intr", sim.now))
+
+    def attacker(sim, target):
+        yield sim.timeout(1.0)
+        target.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert log == [("got", 41), ("intr", 1.0)]
+
+
+def test_any_of_with_pre_triggered_member():
+    sim = Simulator()
+
+    def proc(sim):
+        early = sim.timeout(0.0, "early")
+        yield sim.timeout(2.0)
+        value = yield sim.any_of([sim.timeout(5.0, "slow"), early])
+        return (sim.now, value)
+
+    assert sim.run_process(proc(sim)) == (2.0, "early")
+
+
+def test_all_of_with_all_pre_triggered_members():
+    sim = Simulator()
+
+    def proc(sim):
+        a = sim.timeout(0.0, "a")
+        b = sim.timeout(1.0, "b")
+        yield sim.timeout(2.0)
+        values = yield sim.all_of([a, b])
+        return (sim.now, values)
+
+    assert sim.run_process(proc(sim)) == (2.0, ["a", "b"])
+
+
+def test_events_processed_stable_across_identical_runs():
+    """Two identical runs process exactly the same number of events in the
+    same order (deterministic same-time tie-breaking)."""
+
+    def build_and_run():
+        sim = Simulator()
+        trace = []
+
+        def worker(sim, tag):
+            for delay in (1.0, 0.0, 2.0):
+                yield sim.timeout(delay)
+                trace.append((sim.now, tag, sim.events_processed))
+            gate = sim.event()
+            sim.schedule(1.0, lambda _v: gate.succeed(tag))
+            got = yield gate
+            trace.append((sim.now, got, sim.events_processed))
+
+        for tag in ("a", "b", "c"):
+            sim.process(worker(sim, tag))
+        sim.run()
+        return trace, sim.events_processed
+
+    first = build_and_run()
+    second = build_and_run()
+    assert first == second
+    assert first[1] > 0
