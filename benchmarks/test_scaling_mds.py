@@ -1,0 +1,39 @@
+"""EXP-S1 — beyond the paper: metadata throughput vs MDS shard count."""
+
+from repro.bench.experiments import run_scaling_mds
+
+
+def test_scaling_mds(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_scaling_mds(print_report=True), rounds=1, iterations=1
+    )
+    r = out["results"]
+    shards = out["shards"]
+    assert shards[0] == 1 and len(shards) >= 3
+
+    for prev, cur in zip(shards, shards[1:]):
+        # Headline: aggregate throughput of the create/stat/utime mix grows
+        # monotonically with shard count, with real margin.
+        assert r[("metarates", "mix", cur)] > \
+            r[("metarates", "mix", prev)] * 1.15, (prev, cur)
+        # stat is pure MDS CPU: near-linear scaling per doubling.
+        assert r[("metarates", "stat", cur)] > \
+            r[("metarates", "stat", prev)] * 1.5, (prev, cur)
+        # utime (log-force bound) must not regress.
+        assert r[("metarates", "utime", cur)] >= \
+            r[("metarates", "utime", prev)], (prev, cur)
+        # create is bounded by the underlying FS: sharding the metadata
+        # tier must leave it unchanged (±10%).
+        ratio = r[("metarates", "create", cur)] / \
+            r[("metarates", "create", prev)]
+        assert 0.9 < ratio < 1.1, (prev, cur, ratio)
+        # the data-bound production trace must not regress when the
+        # namespace is partitioned (±5% latency, same job count ±2%).
+        jratio = r[("traces", "job_ms", cur)] / r[("traces", "job_ms", prev)]
+        assert 0.95 < jratio < 1.05, (prev, cur, jratio)
+        assert abs(r[("traces", "jobs", cur)] -
+                   r[("traces", "jobs", prev)]) <= \
+            0.02 * r[("traces", "jobs", prev)] + 2, (prev, cur)
+
+    first, last = shards[0], shards[-1]
+    assert r[("metarates", "mix", last)] > r[("metarates", "mix", first)] * 2

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scale the metadata service itself: one namespace, N metadata shards.
+
+The paper removes the underlying file system's metadata bottleneck by
+virtualizing the namespace — but its metadata service is a single node.
+This example partitions the COFS namespace across metadata shards
+(hash-by-parent-directory, HopsFS-style) and measures a pure-metadata
+storm: many clients stat/utime files in their own directories.
+
+Run:  python examples/sharded_mds.py
+"""
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack
+from repro.workloads import MetaratesConfig, run_metarates
+
+NODES = 8
+FILES_PER_PROC = 24
+
+
+def measure(shards):
+    stack = CofsStack(build_flat_testbed(n_clients=NODES, with_mds=shards))
+    config = MetaratesConfig(
+        nodes=NODES, procs_per_node=2, files_per_proc=FILES_PER_PROC,
+        ops=("stat", "utime"), private_dirs=True,
+    )
+    return run_metarates(stack, config)
+
+
+def main():
+    print(f"{NODES} nodes x 2 procs, each stat/utime-ing "
+          f"{FILES_PER_PROC} files in a private directory\n")
+    print(f"{'shards':<8}{'stat ops/s':>12}{'utime ops/s':>13}")
+    print("-" * 33)
+    base = None
+    for shards in (1, 2, 4):
+        res = measure(shards)
+        stat_rate = res.rate_per_s("stat")
+        if base is None:
+            base = stat_rate
+        print(f"{shards:<8}{stat_rate:>12.0f}{res.rate_per_s('utime'):>13.0f}"
+              f"   ({stat_rate / base:.1f}x stat)")
+    print(
+        "\nEntries partition by parent directory, so each rank's private\n"
+        "directory lands on one shard and the storm spreads across all of\n"
+        "them - stats (pure metadata-CPU) scale near-linearly, while\n"
+        "utimes are bounded by each shard's group-committed log disk."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,10 +18,12 @@ from repro.bench.stack import CofsStack, PfsStack
 from repro.bench.testbed import build_flat_testbed, build_hier_testbed
 from repro.core.config import CofsConfig
 from repro.core.placement import HashPlacementPolicy, IdentityPlacementPolicy
+from repro.core.sharding import SubtreeSharding
 from repro.db.service import DbConfig
 from repro.units import GB, MB
 from repro.workloads.ior import IorConfig, run_ior
 from repro.workloads.metarates import MetaratesConfig, run_metarates
+from repro.workloads.traces import TraceConfig, run_trace
 
 OPS = ("create", "stat", "utime", "open")
 
@@ -311,6 +313,87 @@ def run_ablation_mds(full=False, print_report=False):
     return out
 
 
+# ---------------------------------------------------------------------------
+# EXP-S1 — beyond the paper: metadata throughput vs number of MDS shards
+# ---------------------------------------------------------------------------
+
+def run_scaling_mds(full=False, print_report=False, shard_counts=None):
+    """Aggregate metadata throughput as the metadata tier gains shards.
+
+    Two workloads per shard count:
+
+    - **metarates** in the many-directories regime (``private_dirs``: one
+      directory per rank, so hash-by-parent-directory spreads ranks over
+      shards).  Reported per-op rates and their sum (the ``mix`` row) are
+      the throughput-vs-shards curve.  ``stat`` scales near-linearly
+      (pure MDS CPU); ``utime`` sub-linearly (group-committed log forces
+      batch *better* on fewer shards); ``create`` is bounded by the
+      underlying file system, not the MDS — the floor virtualization
+      cannot remove.
+    - **traces**, the production mix, split across shards with the static
+      :class:`SubtreeSharding` policy.  It is data-bound, so the check
+      here is stability: per-class latencies must not regress when the
+      namespace is partitioned.
+
+    ``shard_counts`` (or the ``REPRO_SCALING_SHARDS`` environment
+    variable, e.g. ``1,2``) overrides the default grid.
+    """
+    if shard_counts is None:
+        env = os.environ.get("REPRO_SCALING_SHARDS")
+        if env:
+            shard_counts = tuple(int(tok) for tok in env.split(",") if tok)
+        else:
+            shard_counts = (1, 2, 4, 8) if _full(full) else (1, 2, 4)
+    nodes = 16 if _full(full) else 8
+    procs_per_node = 2
+    fpp = 64 if _full(full) else 32
+    ops = ("create", "stat", "utime")
+    trace_split = SubtreeSharding(
+        {"/project/checkpoints": 0, "/project/results": 1}
+    )
+    results = {}
+    for n_shards in shard_counts:
+        testbed = build_flat_testbed(nodes, with_mds=n_shards)
+        stack = CofsStack(testbed)
+        res = run_metarates(stack, MetaratesConfig(
+            nodes=nodes, procs_per_node=procs_per_node, files_per_proc=fpp,
+            ops=ops, private_dirs=True,
+        ))
+        for op in ops:
+            results[("metarates", op, n_shards)] = res.rate_per_s(op)
+        results[("metarates", "mix", n_shards)] = sum(
+            res.rate_per_s(op) for op in ops
+        )
+        trace_bed = build_flat_testbed(9, with_mds=n_shards)
+        trace_stack = CofsStack(trace_bed, sharding=trace_split)
+        trace = run_trace(trace_stack, TraceConfig(
+            duration_ms=4000.0 if _full(full) else 2000.0,
+        )).summary()
+        results[("traces", "job_ms", n_shards)] = trace["job_ms"]
+        results[("traces", "checkpoint_ms", n_shards)] = \
+            trace["checkpoint_ms"]
+        results[("traces", "jobs", n_shards)] = trace["jobs_completed"]
+    out = {"shards": tuple(shard_counts), "nodes": nodes,
+           "procs_per_node": procs_per_node, "files_per_proc": fpp,
+           "ops": ops, "results": results}
+    if print_report:
+        rows = [
+            [n_shards] +
+            [round(results[("metarates", op, n_shards)], 1)
+             for op in ops + ("mix",)] +
+            [round(results[("traces", "job_ms", n_shards)], 2),
+             results[("traces", "jobs", n_shards)]]
+            for n_shards in shard_counts
+        ]
+        print(format_table(
+            ["shards", "create/s", "stat/s", "utime/s", "mix/s",
+             "trace job ms", "trace jobs"], rows,
+            title=(f"Scaling — metadata shards ({nodes} nodes x "
+                   f"{procs_per_node} procs, private dirs)"),
+        ))
+    return out
+
+
 EXPERIMENTS = {
     "fig1": run_fig1,
     "fig2": run_fig2,
@@ -321,4 +404,5 @@ EXPERIMENTS = {
     "table1": run_table1,
     "ablation-placement": run_ablation_placement,
     "ablation-mds": run_ablation_mds,
+    "scaling-mds": run_scaling_mds,
 }

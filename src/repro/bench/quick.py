@@ -76,6 +76,23 @@ def _quick_fig6():
     ])
 
 
+def _quick_scaling():
+    """Sharded metadata tier at 1 and 2 shards (private-dir metarates)."""
+    ops_done = 0
+    virtual_ms = 0.0
+    for n_shards in (1, 2):
+        testbed = build_flat_testbed(4, with_mds=n_shards)
+        stack = CofsStack(testbed)
+        config = MetaratesConfig(
+            nodes=4, procs_per_node=1, files_per_proc=32,
+            ops=("create", "stat", "utime"), private_dirs=True,
+        )
+        res = run_metarates(stack, config)
+        ops_done += sum(res.recorder.count(op) for op in config.ops)
+        virtual_ms += stack.testbed.sim.now
+    return ops_done, virtual_ms
+
+
 def _quick_table1():
     ops_done = 0
     virtual_ms = 0.0
@@ -97,6 +114,7 @@ QUICK_EXPERIMENTS = {
     "fig5b": lambda: _quick_sweep("utime"),
     "fig6": _quick_fig6,
     "table1": _quick_table1,
+    "scaling-mds": _quick_scaling,
 }
 
 

@@ -10,8 +10,12 @@ placement driver hashes the *creating process* into the underlying path
 
 from repro.core.cofs import CofsFileSystem
 from repro.core.config import CofsConfig
-from repro.core.metadriver import MetadataDriver
 from repro.core.metaservice import MetadataService
+from repro.core.sharding import (
+    HashDirSharding,
+    ShardMetadataService,
+    ShardRouter,
+)
 from repro.fuse.mount import FuseConfig, FuseMount
 from repro.pfs.config import PfsConfig
 from repro.pfs.filesystem import Pfs
@@ -38,12 +42,20 @@ class PfsStack:
 
 
 class CofsStack:
-    """COFS over the parallel FS, under a FUSE mount on every node."""
+    """COFS over the parallel FS, under a FUSE mount on every node.
+
+    ``shards`` selects how many of the testbed's metadata machines host a
+    namespace shard (default: all of them).  One shard keeps the original
+    single :class:`MetadataService`; more build the sharded tier of
+    :mod:`repro.core.sharding`, partitioned by ``sharding`` (defaults to
+    hash-by-parent-directory).  Clients always talk through a
+    :class:`ShardRouter`, which is a pure pass-through at one shard.
+    """
 
     system = "cofs"
 
     def __init__(self, testbed, pfs_config=None, cofs_config=None,
-                 fuse_config=None, policy=None):
+                 fuse_config=None, policy=None, shards=None, sharding=None):
         if testbed.mds is None:
             raise ValueError("COFS needs a testbed built with with_mds=True")
         self.testbed = testbed
@@ -51,13 +63,33 @@ class CofsStack:
         self.cofs_config = cofs_config or CofsConfig()
         self.fuse_config = fuse_config or FuseConfig()
         self.pfs = Pfs(testbed.sim, testbed.servers, self.pfs_config)
-        self.mds = MetadataService(
-            testbed.mds, self.cofs_config, policy=policy,
-            streams=testbed.streams,
-        )
+        mds_machines = testbed.mds_shards or [testbed.mds]
+        if shards is None:
+            shards = len(mds_machines)
+        if not 1 <= shards <= len(mds_machines):
+            raise ValueError(
+                f"need 1..{len(mds_machines)} shards, got {shards}")
+        mds_machines = mds_machines[:shards]
+        self.sharding = sharding or HashDirSharding()
+        if shards == 1:
+            self.shards = [MetadataService(
+                testbed.mds, self.cofs_config, policy=policy,
+                streams=testbed.streams,
+            )]
+        else:
+            self.shards = [
+                ShardMetadataService(
+                    machine, self.cofs_config, shard_id=index,
+                    shard_machines=mds_machines, sharding=self.sharding,
+                    policy=policy, streams=testbed.streams,
+                )
+                for index, machine in enumerate(mds_machines)
+            ]
+        self.mds = self.shards[0]
+        self.n_shards = shards
         self._underlying = [self.pfs.client(m) for m in testbed.clients]
         self._drivers = [
-            MetadataDriver(m, testbed.mds, self.cofs_config)
+            ShardRouter(m, mds_machines, self.cofs_config, self.sharding)
             for m in testbed.clients
         ]
         self._views = {}

@@ -7,7 +7,10 @@ chains additional blade centers through extra switches, so remote blades
 cross several (shared) uplinks to reach the file servers.
 
 An optional extra machine hosts the COFS metadata service, with a local disk
-(the paper used a 25 GB ext3-formatted disk on one blade).
+(the paper used a 25 GB ext3-formatted disk on one blade).  ``with_mds``
+also accepts an integer N to provision N metadata machines (each with its
+own disk) for the sharded metadata tier; ``with_mds=True`` is exactly
+``with_mds=1``, keeping single-MDS testbeds byte-identical.
 """
 
 from dataclasses import dataclass, field
@@ -36,6 +39,20 @@ class Testbed:
     servers: list = field(default_factory=list)
     mds: Machine = None
     streams: RandomStreams = None
+    #: all metadata-service machines (``mds`` is ``mds_shards[0]``).
+    mds_shards: list = field(default_factory=list)
+
+
+def _build_mds_machines(sim, net, topo, switch, with_mds):
+    """The metadata machine(s): ``with_mds`` is a bool or a shard count."""
+    machines = []
+    for index in range(int(with_mds)):
+        name = "mds" if index == 0 else f"mds{index}"
+        host = topo.add_host(name)
+        topo.add_link(host, switch, bandwidth=LINK_BW,
+                      latency=HOP_LATENCY_MS)
+        machines.append(Machine(sim, net, host, cpus=2))
+    return machines
 
 
 def build_flat_testbed(n_clients, n_servers=2, with_mds=False, seed=0,
@@ -55,14 +72,11 @@ def build_flat_testbed(n_clients, n_servers=2, with_mds=False, seed=0,
         host = topo.add_host(f"server{i}")
         topo.add_link(host, switch, bandwidth=LINK_BW, latency=HOP_LATENCY_MS)
         servers.append(Machine(sim, net, host, cpus=2))
-    mds = None
-    if with_mds:
-        host = topo.add_host("mds")
-        topo.add_link(host, switch, bandwidth=LINK_BW, latency=HOP_LATENCY_MS)
-        mds = Machine(sim, net, host, cpus=2)
+    mds_shards = _build_mds_machines(sim, net, topo, switch, with_mds)
     return Testbed(
         sim=sim, topology=topo, network=net, clients=clients,
-        servers=servers, mds=mds, streams=RandomStreams(seed),
+        servers=servers, mds=mds_shards[0] if mds_shards else None,
+        streams=RandomStreams(seed), mds_shards=mds_shards,
     )
 
 
@@ -100,13 +114,9 @@ def build_hier_testbed(n_clients, blades_per_bc=8, n_servers=2,
         topo.add_link(host, switches[0], bandwidth=LINK_BW,
                       latency=HOP_LATENCY_MS)
         servers.append(Machine(sim, net, host, cpus=2))
-    mds = None
-    if with_mds:
-        host = topo.add_host("mds")
-        topo.add_link(host, switches[0], bandwidth=LINK_BW,
-                      latency=HOP_LATENCY_MS)
-        mds = Machine(sim, net, host, cpus=2)
+    mds_shards = _build_mds_machines(sim, net, topo, switches[0], with_mds)
     return Testbed(
         sim=sim, topology=topo, network=net, clients=clients,
-        servers=servers, mds=mds, streams=RandomStreams(seed),
+        servers=servers, mds=mds_shards[0] if mds_shards else None,
+        streams=RandomStreams(seed), mds_shards=mds_shards,
     )

@@ -27,8 +27,13 @@ from repro.core.placement import HashPlacementPolicy
 from repro.db import Database, DbService
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, FILE, SYMLINK, components, split
+from repro.sim.rand import RandomStreams
 
 _MAX_SYMLINK_DEPTH = 8
+
+#: seed of the fallback stream namespace used when a stack is built without
+#: shared :class:`~repro.sim.rand.RandomStreams` (direct unit constructions).
+_FALLBACK_SEED = 0x0C0F5
 
 
 class MetadataService:
@@ -39,12 +44,9 @@ class MetadataService:
         self.sim = machine.sim
         self.config = config
         self.policy = policy or HashPlacementPolicy(config)
-        rng_source = streams.stream("cofs.placement") if streams else None
-        if rng_source is None:
-            import random
-
-            rng_source = random.Random(0x0C0F5)
-        self.rng = rng_source
+        if streams is None:
+            streams = RandomStreams(_FALLBACK_SEED)
+        self.rng = streams.stream(self._placement_stream())
         disk = Disk(
             self.sim, f"{machine.name}:ext3",
             seek_ms=config.mds_disk_seek_ms, bandwidth=config.mds_disk_bw,
@@ -61,6 +63,10 @@ class MetadataService:
         self._bootstrap_root()
         self.dbsvc.journal.mark_durable()  # schema + root survive any crash
         machine.register("cofsmds", self)
+
+    def _placement_stream(self):
+        """Name of this service's placement-randomization stream."""
+        return "cofs.placement"
 
     @property
     def db(self):
@@ -139,7 +145,7 @@ class MetadataService:
                 raise FsError.enoent(path)
             child = txn.read("inodes", dentry["vino"])
             if child is None:
-                raise FsError.enoent(path)
+                child = self._missing_child(txn, path, dentry, index == n - 1)
             last = index == n - 1
             if child["kind"] == SYMLINK and (follow or not last):
                 target = child["target"]
@@ -148,11 +154,27 @@ class MetadataService:
                 rest = "/".join(parts[index + 1:])
                 if rest:
                     target = f"{target}/{rest}"
-                return self._txn_resolve(txn, target, follow, _depth + 1)
+                return self._resolve_retarget(txn, target, follow, _depth + 1)
             if walked is not None and not last:
                 walked.append(row["vino"])
             row = child
         return row
+
+    def _resolve_retarget(self, txn, target, follow, depth):
+        """Continue resolution at a symlink's rewritten target path.
+
+        The sharded service overrides this to forward the walk when the
+        target's owner is another shard; here it simply recurses.
+        """
+        return self._txn_resolve(txn, target, follow, _depth=depth)
+
+    def _missing_child(self, txn, path, dentry, last):
+        """A dentry whose inode is absent: dangling on a single service.
+
+        The sharded service overrides this — a dentry may point at an inode
+        homed on another shard (cross-shard hard links).
+        """
+        raise FsError.enoent(path)
 
     #: bound on cached resolution prefixes; overflow clears the cache.
     _RESOLVE_CACHE_MAX = 512
@@ -268,13 +290,18 @@ class MetadataService:
         row = yield from self.dbsvc.execute(body)
         return self._attr_view(row)
 
+    #: inode fields a client may set directly.
+    _SETTABLE = frozenset({"mode", "uid", "gid", "atime", "mtime", "size"})
+
+    def _check_setattr(self, changes):
+        bad = set(changes) - self._SETTABLE
+        if bad:
+            raise FsError.einval(f"setattr of non-settable fields: {bad}")
+
     def setattr(self, path, changes, now):
         """Update mode/uid/gid/times of the object at ``path``."""
         yield from self._dispatch()
-        allowed = {"mode", "uid", "gid", "atime", "mtime", "size"}
-        bad = set(changes) - allowed
-        if bad:
-            raise FsError.einval(f"setattr of non-settable fields: {bad}")
+        self._check_setattr(changes)
 
         def body(txn):
             row = dict(self._txn_resolve(txn, path))
@@ -289,13 +316,34 @@ class MetadataService:
     def unlink(self, path, now):
         """Remove a non-directory name; returns (upath, last_link)."""
         yield from self._dispatch()
+        outcome = yield from self.dbsvc.execute(self._unlink_body(path, now))
+        return outcome[1]
+
+    def _unlink_stub_home(self, dentry):
+        """Hook: the home shard of a remote-inode stub dentry (None here)."""
+        return None
+
+    def _unlink_body(self, path, now):
+        """The unlink transaction body, returning ``(kind, (upath, last))``
+        — or ``("#stub", vino, home)`` on a sharded service's stub name."""
 
         def body(txn):
             parent, name = self._txn_resolve_parent(txn, path)
             dentry = txn.read("dentries", (parent["vino"], name))
             if dentry is None:
                 raise FsError.enoent(path)
+            home = self._unlink_stub_home(dentry)
+            if home is not None:
+                # Stub name: remove it here, adjust the inode at home.
+                self._invalidate_resolve(parent["vino"])
+                txn.delete("dentries", (parent["vino"], name))
+                up = dict(parent)
+                up["mtime"] = up["ctime"] = now
+                txn.write("inodes", up)
+                return ("#stub", dentry["vino"], home)
             row = txn.read_for_update("inodes", dentry["vino"])
+            if row is None:
+                raise FsError.enoent(path)
             if row["kind"] == DIRECTORY:
                 raise FsError.eisdir(path)
             self._invalidate_resolve(parent["vino"])
@@ -316,10 +364,9 @@ class MetadataService:
             parent = dict(parent)
             parent["mtime"] = parent["ctime"] = now
             txn.write("inodes", parent)
-            return (row["upath"], last)
+            return (row["kind"], (row["upath"], last))
 
-        result = yield from self.dbsvc.execute(body)
-        return result
+        return body
 
     def rmdir(self, path, now):
         yield from self._dispatch()
@@ -330,6 +377,10 @@ class MetadataService:
             if dentry is None:
                 raise FsError.enoent(path)
             row = txn.read("inodes", dentry["vino"])
+            if row is None:
+                # No local inode: on a sharded service this is a hard-link
+                # stub (whose inode lives on its home shard) — never a dir.
+                raise FsError.enotdir(path)
             if row["kind"] != DIRECTORY:
                 raise FsError.enotdir(path)
             if txn.index_read("dentries", "parent", row["vino"]):
@@ -365,6 +416,29 @@ class MetadataService:
         """Move a name in the virtual tree; the underlying path is untouched
         (placement is decoupled from naming — renames never move data)."""
         yield from self._dispatch()
+        result = yield from self._rename_local(old, new, now)
+        return result
+
+    def _rename_replace_stub(self, txn, existing, pending):
+        """Hook: is ``existing`` a remote-inode stub some other shard owns?
+
+        Always false on a single service; the sharded override queues the
+        remote link-count adjustment on ``pending`` and answers true.
+        """
+        return False
+
+    def _rename_local(self, old, new, now, pending=None):
+        """Coroutine: the rename transaction against this service's tables.
+
+        ``pending`` (sharded callers) collects remote inode adjustments the
+        body cannot perform in-transaction; the caller drains it on commit.
+        """
+        result = yield from self.dbsvc.execute(
+            self._rename_body(old, new, now, pending))
+        return result
+
+    def _rename_body(self, old, new, now, pending=None):
+        """The rename transaction body (reused by sharded mirror replays)."""
 
         def body(txn):
             old_parent, old_name = self._txn_resolve_parent(txn, old)
@@ -382,24 +456,31 @@ class MetadataService:
             if existing is not None:
                 if existing["vino"] == moving["vino"]:
                     return (None, False)
-                target = txn.read_for_update("inodes", existing["vino"])
-                if target["kind"] == DIRECTORY:
-                    if moving["kind"] != DIRECTORY:
-                        raise FsError.eisdir(new)
-                    if txn.index_read("dentries", "parent", target["vino"]):
-                        raise FsError.enotempty(new)
-                    self._invalidate_resolve(target["vino"])
-                    txn.delete("inodes", target["vino"])
-                    new_parent["nlink"] -= 1
-                else:
+                if self._rename_replace_stub(txn, existing, pending):
+                    # The stub is never a directory, so replacing it with
+                    # one is ENOTDIR, exactly like replacing a plain file;
+                    # the remote inode is adjusted by the sharded caller.
                     if moving["kind"] == DIRECTORY:
                         raise FsError.enotdir(new)
-                    target["nlink"] -= 1
-                    if target["nlink"] <= 0:
+                else:
+                    target = txn.read_for_update("inodes", existing["vino"])
+                    if target["kind"] == DIRECTORY:
+                        if moving["kind"] != DIRECTORY:
+                            raise FsError.eisdir(new)
+                        if txn.index_read("dentries", "parent", target["vino"]):
+                            raise FsError.enotempty(new)
+                        self._invalidate_resolve(target["vino"])
                         txn.delete("inodes", target["vino"])
-                        replaced_upath, replaced_last = target["upath"], True
+                        new_parent["nlink"] -= 1
                     else:
-                        txn.write("inodes", target)
+                        if moving["kind"] == DIRECTORY:
+                            raise FsError.enotdir(new)
+                        target["nlink"] -= 1
+                        if target["nlink"] <= 0:
+                            txn.delete("inodes", target["vino"])
+                            replaced_upath, replaced_last = target["upath"], True
+                        else:
+                            txn.write("inodes", target)
                 txn.delete("dentries", (new_parent["vino"], new_name))
             self._invalidate_resolve(old_parent["vino"])
             self._invalidate_resolve(new_parent["vino"])
@@ -422,8 +503,7 @@ class MetadataService:
                 txn.write("inodes", new_parent)
             return (replaced_upath, replaced_last)
 
-        result = yield from self.dbsvc.execute(body)
-        return result
+        return body
 
     def link(self, src, dst, now):
         """Hard link: a second virtual name for the same inode (and thus the

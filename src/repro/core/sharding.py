@@ -1,0 +1,1254 @@
+"""Sharded metadata tier: the COFS namespace over N metadata servers.
+
+The paper's metadata service is a single node; the moment client counts
+grow, it becomes the next bottleneck after the one it removed.  This module
+partitions the virtual namespace across N :class:`MetadataService` shards,
+following the HopsFS school of hierarchical-metadata partitioning:
+
+- **Partition function** (:class:`ShardingPolicy`): the shard that owns a
+  name is a pure function of its *parent directory's* virtual path.  All
+  dentries of one directory therefore live together on one shard — exactly
+  HopsFS's "partition inodes by parent id" scheme, which keeps the common
+  operations (lookup, create, readdir of a directory) single-shard.  Two
+  policies are provided, mirroring the pluggable-placement pattern of
+  :mod:`repro.core.placement`: :class:`HashDirSharding` (hash of the parent
+  path, HopsFS-style) and :class:`SubtreeSharding` (static subtree
+  assignment, the classic Ceph/static-partition alternative).
+
+- **Replicated skeleton**: directory and symlink inodes (the *skeleton* of
+  the tree) are synchronously replicated to every shard by their
+  coordinator, so path resolution for the replicated prefix is always
+  local, shard-local resolve caches stay charge-preserving, and only leaf
+  (file) entries are partitioned.  This is HopsFS's observation that the
+  immutable-ish upper tree is cheap to share while the file population —
+  the actual bottleneck — must be spread.
+
+- **Shard router** (:class:`ShardRouter`): the client-side replacement for
+  the single-target :class:`~repro.core.metadriver.MetadataDriver`.  It
+  holds one driver per shard and routes every operation by virtual path
+  (or, for ``close_sync``, by a learned vino→shard map so delegation
+  write-back lands on the shard that owns the inode).
+
+- **Forwarded resolves**: when a walk crosses a symlink whose target is
+  owned by another shard, the serving shard aborts its (so far read-only)
+  transaction and re-dispatches the whole operation to the owner — a
+  server-to-server RPC with full simulated cost.  Cross-shard hard links
+  store a *stub* dentry carrying the inode's home shard; inode operations
+  through such a name are forwarded to the home shard the same way.
+
+- **Cross-shard rename/link**: a rename whose source and destination
+  resolve to different shards commits via the source shard acting as
+  coordinator: detach locally, install remotely (``rename_install``), and
+  compensate (re-attach) if the install fails.  Renames of replicated
+  objects (directories, symlinks) replay on every shard, with any
+  replaced-file upath reported back by the shard that owned it.
+
+A 1-shard configuration never constructs this service; the stack keeps the
+plain :class:`MetadataService` + a pass-through router, so every seed
+figure doubles as a regression test for the routing layer.
+
+Known simplifications (documented, exercised by tests where noted):
+
+- Replication and broadcasts are synchronous and serial; a coordinator
+  answers only after every mirror applied (no partial-failure handling
+  beyond rename compensation).
+- Hard links to *symlinks* are rejected on sharded stacks (replica link
+  counts would drift); plain files hard-link across shards fine.
+- Bucket (placement) counters stay on the shard where a file was created;
+  a cross-shard rename migrates the inode but not the counter, so the
+  origin shard keeps the slot charged until the file is unlinked.
+- A directory's mtime/ctime are authoritative on its *contents-owner*
+  shard (file creates/unlinks update only that replica); ``getattr`` of a
+  directory re-fetches from it, and directory ``setattr`` broadcasts.
+  Stat of a directory *through a symlink* may still read a stale replica.
+- ``rmdir``'s emptiness checks and its mirror broadcast are not one
+  atomic unit; a mirror that grew entries in the window refuses to
+  delete (no file becomes unreachable, but the skeleton diverges until
+  the rmdir is retried).  Full cross-shard atomicity is a ROADMAP item.
+"""
+
+import hashlib
+import itertools
+
+from repro.core.metadriver import MetadataDriver
+from repro.core.metaservice import _MAX_SYMLINK_DEPTH, MetadataService
+from repro.pfs.errors import FsError
+from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize, split
+
+
+class ResolveForward(Exception):
+    """Control flow: continue this operation on ``shard`` at ``path``."""
+
+    def __init__(self, shard, path):
+        super().__init__(shard, path)
+        self.shard = shard
+        self.path = path
+
+
+class VinoForward(Exception):
+    """Control flow: the leaf's inode lives on ``shard`` under ``vino``."""
+
+    def __init__(self, shard, vino):
+        super().__init__(shard, vino)
+        self.shard = shard
+        self.vino = vino
+
+
+# ---------------------------------------------------------------------------
+# Partitioning policies
+# ---------------------------------------------------------------------------
+
+class ShardingPolicy:
+    """Interface: which shard owns the entries of a directory."""
+
+    def shard_of_dir(self, dir_path, n_shards):
+        """The shard (int in ``range(n_shards)``) owning ``dir_path``'s
+        entries."""
+        raise NotImplementedError
+
+
+class HashDirSharding(ShardingPolicy):
+    """Hash-by-parent-directory (HopsFS-style).
+
+    Entries of one directory always co-locate; distinct directories spread
+    uniformly, so workloads touching many directories scale with shards.
+    """
+
+    def shard_of_dir(self, dir_path, n_shards):
+        if n_shards <= 1:
+            return 0
+        digest = hashlib.blake2b(
+            normalize(dir_path).encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") % n_shards
+
+
+class SubtreeSharding(ShardingPolicy):
+    """Static subtree partitioning: longest matching prefix wins.
+
+    ``assignments`` maps a directory prefix to a shard; everything below it
+    (unless a longer rule overrides) is served there.  Unmatched paths fall
+    to ``default``.  This is the administrator-controlled alternative to
+    hashing: whole projects stay on one shard.
+    """
+
+    def __init__(self, assignments, default=0):
+        self.rules = sorted(
+            ((normalize(prefix), int(shard))
+             for prefix, shard in dict(assignments).items()),
+            key=lambda rule: len(rule[0]), reverse=True,
+        )
+        self.default = default
+
+    def shard_of_dir(self, dir_path, n_shards):
+        if n_shards <= 1:
+            return 0
+        norm = normalize(dir_path)
+        for prefix, shard in self.rules:
+            if norm == prefix or prefix == "/" \
+                    or norm.startswith(prefix + "/"):
+                return shard % n_shards
+        return self.default % n_shards
+
+
+# ---------------------------------------------------------------------------
+# Client-side router
+# ---------------------------------------------------------------------------
+
+class ShardRouter:
+    """Routes each metadata op to the shard owning its leaf's directory.
+
+    Drop-in replacement for a single :class:`MetadataDriver`: exposes the
+    same ``call(method, *args)`` coroutine.  With one shard it degenerates
+    to a pure pass-through (zero simulated and zero accounting difference),
+    which is what keeps 1-shard stacks byte-identical to the pre-sharding
+    system.
+    """
+
+    #: methods whose first argument is a path routed by its parent dir.
+    _LEAF_OPS = frozenset({
+        "getattr", "create_node", "setattr", "unlink", "rmdir",
+        "readlink", "open_map",
+    })
+
+    def __init__(self, machine, shard_machines, config, sharding):
+        self.machine = machine
+        self.config = config
+        self.sharding = sharding
+        self.drivers = [
+            MetadataDriver(machine, m, config) for m in shard_machines
+        ]
+        self.n_shards = len(self.drivers)
+        self._vino_shard = {}  # vino -> home shard (learned from views)
+
+    @property
+    def calls(self):
+        return sum(driver.calls for driver in self.drivers)
+
+    def shard_for_dir(self, dir_path):
+        return self.sharding.shard_of_dir(dir_path, self.n_shards)
+
+    def shard_for_leaf(self, path):
+        parent, _name = split(path)
+        return self.sharding.shard_of_dir(parent, self.n_shards)
+
+    def call(self, method, *args):
+        """Coroutine: one (possibly fanned-out) metadata RPC."""
+        if self.n_shards == 1:
+            return self.drivers[0].call(method, *args)
+        if method == "statfs":
+            return self._statfs()
+        if method == "close_sync":
+            shard = self._vino_shard.get(args[0], 0)
+            return self.drivers[shard].call(method, *args)
+        if method == "readdir":
+            shard = self.shard_for_dir(args[0])
+        elif method == "rename":
+            shard = self.shard_for_leaf(args[0])
+        elif method == "link":
+            shard = self.shard_for_leaf(args[1])
+        elif method in self._LEAF_OPS:
+            shard = self.shard_for_leaf(args[0])
+        else:
+            shard = 0
+        return self._tracked(shard, method, args)
+
+    #: bound on learned vino homes; overflow clears (close_sync then
+    #: falls back to shard 0 and the service fans out on a miss).
+    _VINO_MAP_MAX = 4096
+
+    def _tracked(self, shard, method, args):
+        """Coroutine: call one shard; learn vino homes from returned views."""
+        view = yield from self.drivers[shard].call(method, *args)
+        if type(view) is dict and "vino" in view:
+            if len(self._vino_shard) >= self._VINO_MAP_MAX:
+                self._vino_shard.clear()
+            self._vino_shard[view["vino"]] = view.get("shard", shard)
+        return view
+
+    def _statfs(self):
+        """Coroutine: namespace stats aggregated across every shard.
+
+        The replicated skeleton (directories, symlinks) is counted once
+        via shard 0's totals; files sum across shards.
+        """
+        merged = None
+        files = 0
+        for driver in self.drivers:
+            stats = yield from driver.call("statfs")
+            if merged is None:
+                merged = dict(stats)
+            files += stats["files"]
+        # shard 0's inode count covers the whole skeleton plus its own
+        # files; the other shards contribute only their files.
+        merged["inodes"] = merged["inodes"] + files - merged["files"]
+        merged["files"] = files
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# The sharded service
+# ---------------------------------------------------------------------------
+
+class ShardMetadataService(MetadataService):
+    """One shard of the partitioned metadata tier.
+
+    Extends :class:`MetadataService` with a shard identity, the replicated
+    directory/symlink skeleton, forwarded resolves, and the cross-shard
+    rename/link protocols described in the module docstring.  Registered as
+    ``cofsmds`` on its own machine, so shard-to-shard coordination uses the
+    exact same simulated RPC path as client traffic.
+    """
+
+    def __init__(self, machine, config, shard_id, shard_machines, sharding,
+                 policy=None, streams=None):
+        self.shard_id = shard_id
+        self.n_shards = len(shard_machines)
+        self.shard_machines = shard_machines
+        self.sharding = sharding
+        self._local_only = False
+        self._parent_walk = False
+        super().__init__(machine, config, policy=policy, streams=streams)
+        # Vino allocation: stride-N classes keep shards collision-free while
+        # every shard bootstraps the same replicated root as vino 1.
+        start = self.shard_id + 1
+        if self.shard_id == 0:
+            start += self.n_shards  # vino 1 is the root, already allocated
+        self._vino = itertools.count(start, self.n_shards)
+
+    def _placement_stream(self):
+        """Placement randomization: an independent stream per shard."""
+        return f"cofs.placement.s{self.shard_id}"
+
+    # -- shard arithmetic -------------------------------------------------
+
+    def _owner_of(self, path):
+        """The shard owning ``path``'s leaf entry (by its parent dir)."""
+        parent, _name = split(path)
+        return self.sharding.shard_of_dir(parent, self.n_shards)
+
+    def _dir_owner(self, dir_path):
+        return self.sharding.shard_of_dir(dir_path, self.n_shards)
+
+    def _check_hops(self, hops, path):
+        if hops > _MAX_SYMLINK_DEPTH:
+            raise FsError.einval(
+                f"too many levels of symbolic links: {path}")
+
+    # -- peer communication ----------------------------------------------
+
+    def _peer(self, shard, method, *args):
+        """Coroutine: an internal shard-to-shard RPC (full network cost)."""
+        return self.machine.call(
+            self.shard_machines[shard], "cofsmds", method, args=args,
+            req_size=self.config.rpc_bytes, resp_size=self.config.rpc_bytes,
+        )
+
+    def _redispatch(self, fwd, method, *args):
+        """Coroutine: restart ``method`` where a forward says it belongs."""
+        return self._call_shard(fwd.shard, method, *args)
+
+    def _broadcast(self, method, *args):
+        """Coroutine: apply a mirror op on every other shard (serial)."""
+        results = []
+        for shard in range(self.n_shards):
+            if shard != self.shard_id:
+                results.append((yield from self._peer(shard, method, *args)))
+        return results
+
+    def _drain_pending(self, pending, now):
+        """Coroutine: run remote inode adjustments a txn body queued.
+
+        ``pending`` is the caller-owned list its transaction body filled
+        (never instance state: bodies of concurrent operations must not
+        see each other's queues).  Returns the remote ``(upath, last)``
+        outcomes so a rename that replaced a stub name can report the
+        underlying path to unlink.
+        """
+        outcomes = []
+        for home, vino in pending:
+            outcomes.append(
+                (yield from self._peer(home, "unlink_vino", vino, now)))
+        return outcomes
+
+    @staticmethod
+    def _merge_replaced(result, outcomes):
+        """Fold remote unlink outcomes into a rename's (upath, last)."""
+        replaced_upath, replaced_last = result
+        for outcome in outcomes:
+            if outcome and outcome[0] is not None and outcome[1]:
+                replaced_upath, replaced_last = outcome[0], outcome[1]
+        return (replaced_upath, replaced_last)
+
+    def _local_body(self, fn):
+        """Wrap a txn body so resolution never forwards (mirror replays)."""
+        def wrapped(txn):
+            self._local_only = True
+            try:
+                return fn(txn)
+            finally:
+                self._local_only = False
+        return wrapped
+
+    # -- resolution hooks -------------------------------------------------
+
+    def _attr_view(self, row):
+        view = super()._attr_view(row)
+        view["shard"] = self.shard_id
+        return view
+
+    def _resolve_retarget(self, txn, target, follow, depth):
+        if not self._local_only:
+            # Walking toward a directory whose *contents* matter (a parent
+            # walk, or readdir) routes by the target directory itself;
+            # walking to a leaf routes by the leaf's parent.
+            owner = self._dir_owner(target) if self._parent_walk \
+                else self._owner_of(target)
+            if owner != self.shard_id:
+                raise ResolveForward(owner, target)
+        return super()._resolve_retarget(txn, target, follow, depth)
+
+    def _missing_child(self, txn, path, dentry, last):
+        home = dentry.get("home")
+        if home is None or home == self.shard_id or self._local_only:
+            return super()._missing_child(txn, path, dentry, last)
+        if not last or self._parent_walk:
+            # A cross-shard hard link is never a directory; using it as a
+            # path component (or as a parent/readdir target) is ENOTDIR —
+            # only leaf inode ops forward to the home shard.
+            raise FsError.enotdir(path)
+        raise VinoForward(home, dentry["vino"])
+
+    def _txn_resolve_parent(self, txn, path):
+        # Transaction bodies never yield, so this flag is scoped to the
+        # synchronous walk: no other handler can observe it mid-flight.
+        prev = self._parent_walk
+        self._parent_walk = True
+        try:
+            return super()._txn_resolve_parent(txn, path)
+        except ResolveForward as fwd:
+            # The *parent* walk crossed shards: re-attach the leaf so the
+            # re-dispatched operation carries the full rewritten path.
+            _parent, name = split(path)
+            base = normalize(fwd.path)
+            full = f"/{name}" if base == "/" else f"{base}/{name}"
+            raise ResolveForward(self._owner_of(full), full) from None
+        finally:
+            self._parent_walk = prev
+
+    def _rename_replace_stub(self, txn, existing, pending):
+        home = existing.get("home")
+        if home is None or home == self.shard_id:
+            return False
+        pending.append((home, existing["vino"]))
+        return True
+
+    def _unlink_stub_home(self, dentry):
+        home = dentry.get("home")
+        if home is None or home == self.shard_id:
+            return None
+        return home
+
+    # -- forwarded single-path handlers -----------------------------------
+
+    def getattr(self, path, _hops=0):
+        self._check_hops(_hops, path)
+        try:
+            view = yield from super().getattr(path)
+        except ResolveForward as fwd:
+            view = yield from self._redispatch(
+                fwd, "getattr", fwd.path, _hops + 1)
+            return view
+        except VinoForward as fwd:
+            view = yield from self._peer(fwd.shard, "getattr_vino", fwd.vino)
+            return view
+        if view["kind"] == DIRECTORY:
+            # File creates/unlinks touch a directory's times only on its
+            # contents-owner shard — the authoritative replica for stat.
+            owner = self._dir_owner(path)
+            if owner != self.shard_id:
+                view = yield from self._peer(
+                    owner, "getattr", path, _hops + 1)
+        return view
+
+    def setattr(self, path, changes, now, _hops=0):
+        self._check_hops(_hops, path)
+        try:
+            view = yield from super().setattr(path, changes, now)
+        except ResolveForward as fwd:
+            view = yield from self._redispatch(
+                fwd, "setattr", fwd.path, changes, now, _hops + 1)
+            return view
+        except VinoForward as fwd:
+            view = yield from self._peer(
+                fwd.shard, "setattr_vino", fwd.vino, changes, now)
+            return view
+        if view["kind"] == DIRECTORY:
+            # Keep every replica of the skeleton coherent (stat reads the
+            # contents-owner replica; see getattr).
+            yield from self._broadcast("mirror_setattr", path, changes, now)
+        return view
+
+    def mirror_setattr(self, path, changes, now):
+        """RPC (shard-to-shard): replicate a directory/symlink setattr."""
+        yield from self._dispatch()
+        self._check_setattr(changes)
+
+        def body(txn):
+            try:
+                row = dict(self._txn_resolve(txn, path))
+            except FsError:
+                return False
+            row.update(changes)
+            row["ctime"] = now
+            txn.write("inodes", row)
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    def open_map(self, path, for_write, now, _hops=0):
+        self._check_hops(_hops, path)
+        try:
+            view = yield from super().open_map(path, for_write, now)
+        except ResolveForward as fwd:
+            view = yield from self._redispatch(
+                fwd, "open_map", fwd.path, for_write, now, _hops + 1)
+        except VinoForward as fwd:
+            view = yield from self._peer(
+                fwd.shard, "open_vino", fwd.vino, for_write, now)
+        return view
+
+    def readdir(self, path, _hops=0):
+        self._check_hops(_hops, path)
+        yield from self._dispatch()
+
+        def body(txn):
+            # Like a parent walk: a symlink on the way must route by the
+            # target directory itself (whose entries live on its owner).
+            prev = self._parent_walk
+            self._parent_walk = True
+            try:
+                row = self._txn_resolve(txn, path)
+            finally:
+                self._parent_walk = prev
+            if row["kind"] != DIRECTORY:
+                raise FsError.enotdir(path)
+            names = [d["name"] for d in
+                     txn.index_read("dentries", "parent", row["vino"])]
+            return sorted(names)
+
+        try:
+            names = yield from self.dbsvc.execute(body)
+        except ResolveForward as fwd:
+            names = yield from self._redispatch(
+                fwd, "readdir", fwd.path, _hops + 1)
+        return names
+
+    def readlink(self, path, _hops=0):
+        self._check_hops(_hops, path)
+        try:
+            target = yield from super().readlink(path)
+        except ResolveForward as fwd:
+            target = yield from self._redispatch(
+                fwd, "readlink", fwd.path, _hops + 1)
+        return target
+
+    # -- namespace mutation with replication -------------------------------
+
+    def create_node(self, path, kind, mode, uid, gid, node, pid, now,
+                    target=None, _hops=0):
+        self._check_hops(_hops, path)
+        try:
+            view = yield from super().create_node(
+                path, kind, mode, uid, gid, node, pid, now, target)
+        except ResolveForward as fwd:
+            view = yield from self._redispatch(
+                fwd, "create_node", fwd.path, kind, mode, uid, gid, node,
+                pid, now, target, _hops + 1)
+            return view
+        if kind != FILE:
+            yield from self._broadcast("mirror_create", path, view, now)
+        return view
+
+    def unlink(self, path, now, _hops=0):
+        self._check_hops(_hops, path)
+        yield from self._dispatch()
+        try:
+            outcome = yield from self.dbsvc.execute(
+                self._unlink_body(path, now))
+        except ResolveForward as fwd:
+            result = yield from self._redispatch(
+                fwd, "unlink", fwd.path, now, _hops + 1)
+            return result
+        if outcome[0] == "#stub":  # inode adjusted at its home shard
+            _marker, vino, home = outcome
+            result = yield from self._peer(home, "unlink_vino", vino, now)
+            return result
+        kind, (upath, last) = outcome
+        if kind == SYMLINK and last:
+            yield from self._broadcast("mirror_unlink", path, now)
+        return (upath, last)
+
+    def rmdir(self, path, now, _hops=0):
+        self._check_hops(_hops, path)
+        owner = self._dir_owner(path)
+        if owner != self.shard_id:
+            # The directory's file population lives on its owner shard.
+            entries = yield from self._peer(owner, "count_children_of", path)
+            if entries:
+                raise FsError.enotempty(path)
+        try:
+            result = yield from super().rmdir(path, now)
+        except ResolveForward as fwd:
+            result = yield from self._redispatch(
+                fwd, "rmdir", fwd.path, now, _hops + 1)
+            return result
+        yield from self._broadcast("mirror_rmdir", path, now)
+        return result
+
+    # -- rename: local, replicated, and cross-shard ------------------------
+
+    def rename(self, old, new, now, _hops=0):
+        self._check_hops(_hops, old)
+        yield from self._dispatch()
+
+        def peek(txn):
+            parent, name = self._txn_resolve_parent(txn, old)
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                raise FsError.enoent(old)
+            home = dentry.get("home")
+            if home is not None and home != self.shard_id:
+                return (None, dentry["vino"], home)
+            row = txn.read("inodes", dentry["vino"])
+            if row is None:
+                raise FsError.enoent(old)
+            return (row["kind"], row["vino"], None)
+
+        try:
+            kind, vino, home = yield from self.dbsvc.execute(peek)
+        except ResolveForward as fwd:
+            result = yield from self._redispatch(
+                fwd, "rename", fwd.path, new, now, _hops + 1)
+            return result
+
+        dst = self._owner_of(new)
+        if kind in (DIRECTORY, SYMLINK):
+            return (yield from self._rename_replicated(
+                kind, vino, old, new, dst, now, _hops))
+        if dst == self.shard_id and home is None:
+            # Entirely this shard's business: the base transaction.
+            pending = []
+            try:
+                result = yield from self._rename_local(old, new, now, pending)
+            except ResolveForward as fwd:
+                result = yield from self.rename(old, fwd.path, now, _hops + 1)
+                return result
+            drained = yield from self._drain_pending(pending, now)
+            return self._merge_replaced(result, drained)
+        return (yield from self._rename_cross_shard(
+            old, new, vino, home, dst, now, _hops))
+
+    def _rename_replicated(self, kind, vino, old, new, dst, now, _hops):
+        """Coroutine: rename of a directory/symlink — replay on all shards."""
+        if dst != self.shard_id:
+            entry = yield from self._peer(dst, "peek_entry", new)
+            if entry is not None and entry["kind"] not in (DIRECTORY, SYMLINK):
+                if kind == DIRECTORY:
+                    # A file (or stub) occupies the target name on its owner.
+                    raise FsError.enotdir(new)
+        if kind == DIRECTORY:
+            # Replacing a directory: its file population lives on its owner.
+            content_owner = self._dir_owner(new)
+            if content_owner != self.shard_id:
+                entries = yield from self._peer(
+                    content_owner, "count_children_of", new)
+                if entries:
+                    raise FsError.enotempty(new)
+        pending = []
+        try:
+            result = yield from self._rename_local(old, new, now, pending)
+        except ResolveForward as fwd:
+            result = yield from self.rename(old, fwd.path, now, _hops + 1)
+            return result
+        drained = yield from self._drain_pending(pending, now)
+        result = self._merge_replaced(result, drained)
+        mirrored = yield from self._broadcast("mirror_rename", old, new, now)
+        result = self._merge_replaced(result, mirrored)
+        if kind == DIRECTORY:
+            yield from self._migrate_renamed_subtree(vino, old, new, now)
+        return result
+
+    def _migrate_renamed_subtree(self, vino, old, new, now):
+        """Coroutine: re-home file children after a directory rename.
+
+        Partitioning is by *path*, so renaming a directory may change the
+        owner of its (and every descendant directory's) file entries — the
+        well-known cost of path-based partitioning that HopsFS sidesteps by
+        hashing immutable inode ids.  The replicated skeleton makes the
+        fix cheap to coordinate: this shard enumerates the subtree locally,
+        then moves each re-homed directory's file entries with one
+        export/import RPC pair.
+        """
+
+        def collect(txn):
+            found = [(old, new, vino)]
+            frontier = [(vino, old, new)]
+            while frontier:
+                dvino, old_path, new_path = frontier.pop()
+                for dentry in txn.index_read("dentries", "parent", dvino):
+                    if dentry.get("home") is not None:
+                        continue
+                    row = txn.read("inodes", dentry["vino"])
+                    if row is not None and row["kind"] == DIRECTORY:
+                        entry = (f"{old_path}/{dentry['name']}",
+                                 f"{new_path}/{dentry['name']}",
+                                 dentry["vino"])
+                        found.append(entry)
+                        frontier.append((dentry["vino"], entry[0], entry[1]))
+            return found
+
+        dirs = yield from self.dbsvc.execute(collect)
+        for old_path, new_path, dvino in dirs:
+            src = self._dir_owner(old_path)
+            dst = self._dir_owner(new_path)
+            if src == dst:
+                continue
+            dentries, inodes = yield from self._call_shard(
+                src, "export_dir_children", dvino)
+            if dentries:
+                yield from self._call_shard(
+                    dst, "import_dir_children", dvino, dentries, inodes)
+
+    def export_dir_children(self, vino):
+        """RPC (shard-to-shard): detach a directory's file entries here."""
+        yield from self._dispatch()
+
+        def body(txn):
+            dentries, inodes = [], []
+            for dentry in txn.index_read("dentries", "parent", vino):
+                home = dentry.get("home")
+                if home is None:
+                    row = txn.read("inodes", dentry["vino"])
+                    if row is None or row["kind"] != FILE:
+                        continue  # replicated skeleton stays put
+                    inodes.append(dict(row))
+                    txn.delete("inodes", row["vino"])
+                dentries.append(dict(dentry))
+                txn.delete("dentries", dentry["key"])
+            if dentries:
+                self._invalidate_resolve(vino)
+            return (dentries, inodes)
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def import_dir_children(self, vino, dentries, inodes):
+        """RPC (shard-to-shard): adopt re-homed file entries."""
+        yield from self._dispatch()
+
+        def body(txn):
+            for row in inodes:
+                txn.insert("inodes", dict(row))
+            for dentry in dentries:
+                dentry = dict(dentry)
+                if dentry.get("home") == self.shard_id:
+                    del dentry["home"]  # the stub came home
+                txn.insert("dentries", dentry)
+            self._invalidate_resolve(vino)
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def _call_shard(self, shard, method, *args):
+        """Coroutine: invoke an internal op on a shard (maybe this one)."""
+        if shard == self.shard_id:
+            return getattr(self, method)(*args)
+        return self._peer(shard, method, *args)
+
+    def _rename_cross_shard(self, old, new, vino, home, dst, now, _hops):
+        """Coroutine: move a file's name (and inode) to another shard.
+
+        This shard (owner of the source name) coordinates: detach locally,
+        install at the destination, re-attach as compensation if the
+        install is refused.
+        """
+        def detach(txn):
+            parent, name = self._txn_resolve_parent(txn, old)
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                raise FsError.enoent(old)
+            self._invalidate_resolve(parent["vino"])
+            txn.delete("dentries", (parent["vino"], name))
+            up = dict(parent)
+            up["mtime"] = up["ctime"] = now
+            txn.write("inodes", up)
+            if dentry.get("home") is not None:
+                return None
+            row = txn.read_for_update("inodes", dentry["vino"])
+            if row is None:
+                raise FsError.enoent(old)
+            txn.delete("inodes", row["vino"])
+            row["ctime"] = now
+            return row
+
+        row = yield from self.dbsvc.execute(detach)
+        if row is None:
+            payload, stub = None, {"vino": vino, "home": home}
+        else:
+            payload, stub = row, None
+        try:
+            result = yield from self._call_shard(
+                dst, "rename_install", new, payload, stub, now)
+        except FsError:
+            yield from self.dbsvc.execute(
+                lambda txn: self._txn_reattach(txn, old, payload, stub, now))
+            raise
+        if result == "#same":
+            # Old and new name already point at the same inode: POSIX says
+            # do nothing, so undo the detach.
+            yield from self.dbsvc.execute(
+                lambda txn: self._txn_reattach(txn, old, payload, stub, now))
+            return (None, False)
+        return tuple(result)
+
+    def _txn_reattach(self, txn, path, row, stub, now):
+        """Compensation: put a detached name (and inode) back."""
+        parent, name = self._txn_resolve_parent(txn, path)
+        vino = row["vino"] if row is not None else stub["vino"]
+        dentry = {
+            "key": (parent["vino"], name), "parent": parent["vino"],
+            "name": name, "vino": vino,
+        }
+        if stub is not None:
+            dentry["home"] = stub["home"]
+        self._invalidate_resolve(parent["vino"])
+        txn.insert("dentries", dentry)
+        if row is not None:
+            txn.insert("inodes", dict(row))
+        up = dict(parent)
+        up["mtime"] = up["ctime"] = now
+        txn.write("inodes", up)
+        return True
+
+    def rename_install(self, new, row, stub, now, _hops=0):
+        """RPC (shard-to-shard): attach a renamed file at its new shard."""
+        self._check_hops(_hops, new)
+        yield from self._dispatch()
+        moving_vino = row["vino"] if row is not None else stub["vino"]
+        pending = []
+
+        def body(txn):
+            new_parent, new_name = self._txn_resolve_parent(txn, new)
+            existing = txn.read("dentries", (new_parent["vino"], new_name))
+            replaced_upath, replaced_last = None, False
+            if existing is not None:
+                if existing["vino"] == moving_vino:
+                    return "#same"
+                ehome = existing.get("home")
+                if ehome is not None and ehome != self.shard_id:
+                    pending.append((ehome, existing["vino"]))
+                else:
+                    target = txn.read_for_update("inodes", existing["vino"])
+                    if target is not None:
+                        if target["kind"] == DIRECTORY:
+                            raise FsError.eisdir(new)
+                        target["nlink"] -= 1
+                        if target["nlink"] <= 0:
+                            txn.delete("inodes", target["vino"])
+                            replaced_upath = target["upath"]
+                            replaced_last = True
+                        else:
+                            txn.write("inodes", target)
+                txn.delete("dentries", (new_parent["vino"], new_name))
+            self._invalidate_resolve(new_parent["vino"])
+            dentry = {
+                "key": (new_parent["vino"], new_name),
+                "parent": new_parent["vino"], "name": new_name,
+                "vino": moving_vino,
+            }
+            if stub is not None and stub["home"] != self.shard_id:
+                dentry["home"] = stub["home"]
+            txn.insert("dentries", dentry)
+            if row is not None:
+                txn.insert("inodes", dict(row))
+            np = dict(new_parent)
+            np["mtime"] = np["ctime"] = now
+            txn.write("inodes", np)
+            return (replaced_upath, replaced_last)
+
+        try:
+            result = yield from self.dbsvc.execute(body)
+        except ResolveForward as fwd:
+            result = yield from self._redispatch(
+                fwd, "rename_install", fwd.path, row, stub, now, _hops + 1)
+            return result
+        outcomes = yield from self._drain_pending(pending, now)
+        if result == "#same":
+            return result
+        return self._merge_replaced(result, outcomes)
+
+    def mirror_rename(self, old, new, now):
+        """RPC (shard-to-shard): replay a replicated-object rename."""
+        yield from self._dispatch()
+        pending = []
+        try:
+            result = yield from self.dbsvc.execute(
+                self._local_body(self._rename_body(old, new, now, pending)))
+        except FsError:
+            return (None, False)
+        drained = yield from self._drain_pending(pending, now)
+        return self._merge_replaced(result, drained)
+
+    # -- link: possibly cross-shard ---------------------------------------
+
+    def link(self, src, dst, now, _hops=0):
+        self._check_hops(_hops, src)
+        yield from self._dispatch()
+        src_owner = self._owner_of(src)
+        if src_owner == self.shard_id:
+            try:
+                view, home = yield from self._link_fetch_local(src, now)
+            except ResolveForward as fwd:
+                result = yield from self._redispatch(
+                    fwd, "link", fwd.path, dst, now, _hops + 1)
+                return result
+        else:
+            view, home = yield from self._peer(
+                src_owner, "link_fetch", src, now)
+
+        def body(txn):
+            parent, name = self._txn_resolve_parent(txn, dst)
+            if txn.read("dentries", (parent["vino"], name)) is not None:
+                raise FsError.eexist(dst)
+            self._invalidate_resolve(parent["vino"])
+            dentry = {
+                "key": (parent["vino"], name), "parent": parent["vino"],
+                "name": name, "vino": view["vino"],
+            }
+            if home != self.shard_id:
+                dentry["home"] = home
+            txn.insert("dentries", dentry)
+            up = dict(parent)
+            up["mtime"] = up["ctime"] = now
+            txn.write("inodes", up)
+            return True
+
+        try:
+            yield from self.dbsvc.execute(body)
+        except ResolveForward as fwd:
+            # Destination parent crossed shards: undo the bump, move the
+            # whole operation to the right coordinator.
+            yield from self._unbump(view["vino"], home, now)
+            result = yield from self._redispatch(
+                fwd, "link", src, fwd.path, now, _hops + 1)
+            return result
+        except FsError:
+            yield from self._unbump(view["vino"], home, now)
+            raise
+        return view
+
+    def _link_fetch_local(self, src, now):
+        """Coroutine: bump the link count of ``src``'s inode on this shard."""
+
+        def body(txn):
+            row = self._txn_resolve(txn, src, follow=False)
+            if row["kind"] == DIRECTORY:
+                raise FsError.eisdir(src)
+            if row["kind"] == SYMLINK:
+                raise FsError.einval(
+                    f"hard link to a symlink on a sharded namespace: {src}")
+            row = dict(row)
+            row["nlink"] += 1
+            row["ctime"] = now
+            txn.write("inodes", row)
+            return row
+
+        try:
+            row = yield from self.dbsvc.execute(body)
+        except VinoForward as fwd:
+            view = yield from self._peer(fwd.shard, "link_vino", fwd.vino, now)
+            return (view, fwd.shard)
+        return (self._attr_view(row), self.shard_id)
+
+    def link_fetch(self, src, now, _hops=0):
+        """RPC (shard-to-shard): resolve + bump a link source for a peer."""
+        self._check_hops(_hops, src)
+        yield from self._dispatch()
+        try:
+            result = yield from self._link_fetch_local(src, now)
+        except ResolveForward as fwd:
+            result = yield from self._redispatch(
+                fwd, "link_fetch", fwd.path, now, _hops + 1)
+        return result
+
+    def _unbump(self, vino, home, now):
+        """Coroutine: compensate an optimistic link-count bump."""
+        if home != self.shard_id:
+            yield from self._peer(home, "unlink_vino", vino, now)
+            return
+
+        def body(txn):
+            row = txn.read_for_update("inodes", vino)
+            if row is not None:
+                row["nlink"] -= 1
+                txn.write("inodes", row)
+            return True
+
+        yield from self.dbsvc.execute(body)
+
+    def close_sync(self, vino, size, mtime, now):
+        """Delegated write-back; chases an inode a rename migrated away.
+
+        The router targets the learned home shard, but a concurrent
+        cross-shard rename can move the inode after a client learned its
+        home.  A miss here fans out to the peers before giving up, so the
+        delegated size/mtime are never silently dropped.
+        """
+        result = yield from super().close_sync(vino, size, mtime, now)
+        if result:
+            return True
+        for shard in range(self.n_shards):
+            if shard == self.shard_id:
+                continue
+            found = yield from self._peer(
+                shard, "close_sync_local", vino, size, mtime, now)
+            if found:
+                return True
+        return False
+
+    def close_sync_local(self, vino, size, mtime, now):
+        """RPC (shard-to-shard): close_sync without the fan-out retry."""
+        result = yield from super().close_sync(vino, size, mtime, now)
+        return result
+
+    # -- vino-addressed inode ops (forward targets) ------------------------
+
+    def getattr_vino(self, vino):
+        yield from self._dispatch()
+
+        def body(txn):
+            row = txn.read("inodes", vino)
+            if row is None:
+                raise FsError.enoent(f"vino {vino}")
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def setattr_vino(self, vino, changes, now):
+        yield from self._dispatch()
+        self._check_setattr(changes)
+
+        def body(txn):
+            row = txn.read_for_update("inodes", vino)
+            if row is None:
+                raise FsError.enoent(f"vino {vino}")
+            row.update(changes)
+            row["ctime"] = now
+            txn.write("inodes", row)
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def open_vino(self, vino, for_write, now):
+        yield from self._dispatch()
+
+        def body(txn):
+            row = txn.read("inodes", vino)
+            if row is None:
+                raise FsError.enoent(f"vino {vino}")
+            if for_write:
+                if row["kind"] == DIRECTORY:
+                    raise FsError.eisdir(f"vino {vino}")
+                row = dict(row)
+                row["delegated"] = True
+                txn.write("inodes", row)
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def link_vino(self, vino, now):
+        yield from self._dispatch()
+
+        def body(txn):
+            row = txn.read_for_update("inodes", vino)
+            if row is None:
+                raise FsError.enoent(f"vino {vino}")
+            if row["kind"] == SYMLINK:
+                raise FsError.einval(
+                    f"hard link to a symlink on a sharded namespace: "
+                    f"vino {vino}")
+            row["nlink"] += 1
+            row["ctime"] = now
+            txn.write("inodes", row)
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def unlink_vino(self, vino, now):
+        yield from self._dispatch()
+
+        def body(txn):
+            row = txn.read_for_update("inodes", vino)
+            if row is None:
+                return (None, False)
+            row["nlink"] -= 1
+            row["ctime"] = now
+            last = row["nlink"] <= 0
+            if last:
+                txn.delete("inodes", row["vino"])
+                if row["upath"] is not None:
+                    bucket, _slash, _leaf = row["upath"].rpartition("/")
+                    brow = txn.read_for_update("buckets", bucket)
+                    if brow is not None:
+                        brow["count"] = max(0, brow["count"] - 1)
+                        txn.write("buckets", brow)
+            else:
+                txn.write("inodes", row)
+            return (row["upath"], last)
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    # -- peer queries ------------------------------------------------------
+
+    def count_children_of(self, path):
+        """RPC (shard-to-shard): how many entries this shard holds under
+        ``path`` (0 when the path does not resolve here)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            try:
+                row = self._txn_resolve(txn, path)
+            except (FsError, ResolveForward):
+                return 0
+            if row["kind"] != DIRECTORY:
+                return 0
+            return len(txn.index_read("dentries", "parent", row["vino"]))
+
+        count = yield from self.dbsvc.execute(body)
+        return count
+
+    def peek_entry(self, path):
+        """RPC (shard-to-shard): this shard's dentry at ``path``, if any.
+
+        ``kind`` is None for a stub whose inode lives elsewhere.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            try:
+                parent, name = self._txn_resolve_parent(txn, path)
+            except (FsError, ResolveForward):
+                return None
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                return None
+            home = dentry.get("home")
+            if home is not None and home != self.shard_id:
+                return {"vino": dentry["vino"], "kind": None, "home": home}
+            row = txn.read("inodes", dentry["vino"])
+            if row is None:
+                return None
+            return {"vino": row["vino"], "kind": row["kind"],
+                    "home": self.shard_id}
+
+        entry = yield from self.dbsvc.execute(body)
+        return entry
+
+    # -- mirror (replication) ops ------------------------------------------
+
+    def mirror_create(self, path, view, now):
+        """RPC (shard-to-shard): replicate a directory/symlink create."""
+        yield from self._dispatch()
+
+        def body(txn):
+            parent, name = self._txn_resolve_parent(txn, path)
+            if txn.read("dentries", (parent["vino"], name)) is not None:
+                return False
+            row = {
+                "vino": view["vino"], "kind": view["kind"],
+                "mode": view["mode"], "uid": view["uid"], "gid": view["gid"],
+                "nlink": view["nlink"], "size": view["size"],
+                "atime": view["atime"], "mtime": view["mtime"],
+                "ctime": view["ctime"], "target": view["target"],
+                "upath": view["upath"], "delegated": False,
+            }
+            txn.insert("inodes", row)
+            self._invalidate_resolve(parent["vino"])
+            txn.insert("dentries", {
+                "key": (parent["vino"], name), "parent": parent["vino"],
+                "name": name, "vino": view["vino"],
+            })
+            up = dict(parent)
+            up["mtime"] = up["ctime"] = now
+            if view["kind"] == DIRECTORY:
+                up["nlink"] += 1
+            txn.write("inodes", up)
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    def mirror_unlink(self, path, now):
+        """RPC (shard-to-shard): replicate a symlink removal."""
+        yield from self._dispatch()
+
+        def body(txn):
+            try:
+                parent, name = self._txn_resolve_parent(txn, path)
+            except FsError:
+                return False
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                return False
+            self._invalidate_resolve(parent["vino"])
+            txn.delete("dentries", (parent["vino"], name))
+            row = txn.read("inodes", dentry["vino"])
+            if row is not None:
+                txn.delete("inodes", row["vino"])
+            up = dict(parent)
+            up["mtime"] = up["ctime"] = now
+            txn.write("inodes", up)
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    def mirror_rmdir(self, path, now):
+        """RPC (shard-to-shard): replicate a directory removal.
+
+        Guard against the coordinator's check-then-act window: if entries
+        appeared here since the emptiness checks, refuse to delete so no
+        file becomes unreachable (the skeleton diverges until the retried
+        rmdir; full cross-shard atomicity is a ROADMAP open item).
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            try:
+                parent, name = self._txn_resolve_parent(txn, path)
+            except FsError:
+                return False
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                return False
+            if txn.index_read("dentries", "parent", dentry["vino"]):
+                return False
+            self._invalidate_resolve(parent["vino"])
+            self._invalidate_resolve(dentry["vino"])
+            txn.delete("dentries", (parent["vino"], name))
+            txn.delete("inodes", dentry["vino"])
+            up = dict(parent)
+            up["nlink"] -= 1
+            up["mtime"] = up["ctime"] = now
+            txn.write("inodes", up)
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self):
+        """Coroutine: crash/recover this shard, keeping its vino stride.
+
+        Cross-shard renames migrate inodes (with their vinos) to other
+        shards, so the local tables alone under-estimate how far this
+        shard's allocation class has advanced: the peers are asked for
+        their highest vino in this class before the allocator reseats.
+        """
+        lost = yield from super().recover()
+        base, step = self.shard_id + 1, self.n_shards
+        vinos = [row["vino"] for row in self.db.table("inodes").all()]
+        top = max(vinos) if vinos else 0
+        for shard in range(self.n_shards):
+            if shard != self.shard_id:
+                peak = yield from self._peer(
+                    shard, "max_vino_in_class", base, step)
+                top = max(top, peak)
+        if top >= base:
+            base += ((top - base) // step + 1) * step
+        self._vino = itertools.count(base, step)
+        return lost
+
+    def max_vino_in_class(self, base, step):
+        """RPC (shard-to-shard): highest local vino ≡ base (mod step)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            peak = 0
+            for row in txn.match("inodes"):
+                vino = row["vino"]
+                if vino >= base and (vino - base) % step == 0:
+                    peak = max(peak, vino)
+            return peak
+
+        peak = yield from self.dbsvc.execute(body)
+        return peak

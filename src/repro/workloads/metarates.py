@@ -35,6 +35,10 @@ class MetaratesConfig:
     #: delete the files between phases (the benchmark always does; exposed
     #: for tests that inspect the tree afterwards).
     cleanup: bool = True
+    #: give every rank its own subdirectory under ``directory`` instead of
+    #: the shared one — the many-directories regime where a sharded
+    #: metadata tier (partitioned by parent directory) spreads its load.
+    private_dirs: bool = False
 
     @property
     def n_procs(self):
@@ -100,11 +104,16 @@ def run_metarates(stack, config):
     # of times, and reusing the objects keeps downstream memo lookups cheap.
     _rank_paths = {}
 
+    def dir_of(rank):
+        if config.private_dirs:
+            return f"{config.directory}/r{rank:04d}"
+        return config.directory
+
     def paths_of(rank):
         got = _rank_paths.get(rank)
         if got is None:
             got = _rank_paths[rank] = [
-                _file_name(config.directory, rank, index)
+                _file_name(dir_of(rank), rank, index)
                 for index in range(config.files_per_proc)
             ]
         return got
@@ -172,7 +181,14 @@ def run_metarates(stack, config):
         # adds one zero-delay turn at a quiescent phase boundary, so
         # virtual timings are unaffected.
         first = stack.mount(0, 0)
-        yield sim.process(_mkdir_p(first, config.directory), name="mr-setup")
+
+        def setup():
+            yield from _mkdir_p(first, config.directory)
+            if config.private_dirs:
+                for node, proc in all_ranks():
+                    yield from first.mkdir(dir_of(rank_of(node, proc)))
+
+        yield sim.process(setup(), name="mr-setup")
         for op in config.ops:
             if op == "create":
                 yield from parallel_phase("create")

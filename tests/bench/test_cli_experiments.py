@@ -9,7 +9,7 @@ from repro.bench.experiments import EXPERIMENTS, run_ablation_mds
 def test_registry_covers_every_paper_item():
     expected = {
         "fig1", "fig2", "fig4", "fig5", "fig5b", "fig6", "table1",
-        "ablation-placement", "ablation-mds",
+        "ablation-placement", "ablation-mds", "scaling-mds",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,730 @@
+"""The sharded metadata tier: policies, router, cross-shard protocols."""
+
+import pytest
+
+from repro.bench import build_flat_testbed
+from repro.bench.stack import CofsStack
+from repro.core.metaservice import MetadataService
+from repro.core.sharding import (
+    HashDirSharding,
+    ShardMetadataService,
+    SubtreeSharding,
+)
+from repro.pfs import FsError
+from repro.pfs.types import DIRECTORY, FILE
+
+
+class ShardedCofs:
+    """A COFS testbed with an N-shard metadata tier."""
+
+    def __init__(self, n_clients=2, shards=2, sharding=None):
+        self.testbed = build_flat_testbed(
+            n_clients=n_clients, with_mds=shards
+        )
+        self.sim = self.testbed.sim
+        self.stack = CofsStack(self.testbed, sharding=sharding)
+        self.mounts = [self.stack.mount(i) for i in range(n_clients)]
+        self.shards = self.stack.shards
+
+    def run(self, coro):
+        return self.sim.run_process(coro)
+
+    def inode_vinos(self, shard):
+        return {row["vino"] for row in
+                self.shards[shard].db.table("inodes").all()}
+
+    def file_vinos(self, shard):
+        return {row["vino"] for row in
+                self.shards[shard].db.table("inodes").all()
+                if row["kind"] == FILE}
+
+
+@pytest.fixture
+def split2():
+    """Two shards partitioned statically: /a on shard 0, /b on shard 1."""
+    host = ShardedCofs(sharding=SubtreeSharding({"/a": 0, "/b": 1}))
+
+    def setup():
+        yield from host.mounts[0].mkdir("/a")
+        yield from host.mounts[0].mkdir("/b")
+
+    host.run(setup())
+    return host
+
+
+# ---------------------------------------------------------------------------
+# policies
+# ---------------------------------------------------------------------------
+
+def test_hash_sharding_is_deterministic_and_in_range():
+    policy = HashDirSharding()
+    for n in (1, 2, 4, 7):
+        seen = set()
+        for i in range(64):
+            shard = policy.shard_of_dir(f"/dir{i}", n)
+            assert shard == policy.shard_of_dir(f"/dir{i}", n)
+            assert 0 <= shard < n
+            seen.add(shard)
+        if n > 1:
+            assert len(seen) > 1  # spreads over more than one shard
+    assert policy.shard_of_dir("/anything", 1) == 0
+
+
+def test_subtree_sharding_longest_prefix_wins():
+    policy = SubtreeSharding({"/p": 0, "/p/deep": 1, "/q": 2}, default=3)
+    n = 4
+    assert policy.shard_of_dir("/p", n) == 0
+    assert policy.shard_of_dir("/p/x", n) == 0
+    assert policy.shard_of_dir("/p/deep", n) == 1
+    assert policy.shard_of_dir("/p/deep/more", n) == 1
+    assert policy.shard_of_dir("/p/deeper", n) == 0  # not under /p/deep
+    assert policy.shard_of_dir("/q/y", n) == 2
+    assert policy.shard_of_dir("/elsewhere", n) == 3
+    assert policy.shard_of_dir("/elsewhere", 1) == 0
+
+
+# ---------------------------------------------------------------------------
+# router + stack assembly
+# ---------------------------------------------------------------------------
+
+def test_one_shard_stack_keeps_the_plain_service():
+    testbed = build_flat_testbed(n_clients=1, with_mds=True)
+    stack = CofsStack(testbed)
+    assert type(stack.mds) is MetadataService
+    assert stack.n_shards == 1
+    assert len(stack.testbed.mds_shards) == 1
+
+
+def test_sharded_stack_builds_one_service_per_mds_machine():
+    host = ShardedCofs(shards=3)
+    assert len(host.shards) == 3
+    assert all(type(s) is ShardMetadataService for s in host.shards)
+    names = [s.machine.name for s in host.shards]
+    assert names == ["mds", "mds1", "mds2"]
+    # every shard has its own disk, DB service and WAL
+    assert len({id(s.dbsvc) for s in host.shards}) == 3
+    assert len({id(s.dbsvc.disk) for s in host.shards}) == 3
+
+
+def test_router_routes_by_parent_directory(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        fh = yield from fs0.create("/b/g")
+        yield from fs0.close(fh)
+
+    split2.run(main())
+    assert len(split2.file_vinos(0)) == 1
+    assert len(split2.file_vinos(1)) == 1
+
+
+def test_vino_allocation_never_collides_across_shards(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        inos = []
+        for i in range(8):
+            for d in ("a", "b"):
+                fh = yield from fs0.create(f"/{d}/f{i}")
+                yield from fs0.close(fh)
+                attr = yield from fs0.stat(f"/{d}/f{i}")
+                inos.append(attr.ino)
+        return inos
+
+    inos = split2.run(main())
+    assert len(inos) == len(set(inos))
+
+
+def test_directories_and_symlinks_replicate_to_every_shard(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.mkdir("/a/sub")
+        yield from fs0.symlink("/a/sub", "/b/ln")
+        attr = yield from fs0.stat("/a/sub")
+        return attr.ino
+
+    sub_vino = split2.run(main())
+    for shard in (0, 1):
+        vinos = split2.inode_vinos(shard)
+        assert sub_vino in vinos  # the directory exists on both shards
+
+    def teardown():
+        yield from fs0.unlink("/b/ln")
+        yield from fs0.rmdir("/a/sub")
+
+    split2.run(teardown())
+    for shard in (0, 1):
+        assert sub_vino not in split2.inode_vinos(shard)
+
+
+def test_statfs_aggregates_without_double_counting(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        for path in ("/a/f1", "/a/f2", "/b/g1"):
+            fh = yield from fs0.create(path)
+            yield from fs0.close(fh)
+        yield from fs0.mkdir("/a/d")
+        stats = yield from fs0.statfs()
+        return stats
+
+    stats = split2.run(main())
+    assert stats["files"] == 3
+    assert stats["virtual_directories"] == 4  # /, /a, /b, /a/d
+
+
+# ---------------------------------------------------------------------------
+# cross-shard rename
+# ---------------------------------------------------------------------------
+
+def test_cross_shard_rename_migrates_the_inode(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.write(fh, 0, data=b"payload")
+        yield from fs0.close(fh)
+        before = yield from fs0.stat("/a/f")
+        yield from fs0.rename("/a/f", "/b/g")
+        after = yield from fs0.stat("/b/g")
+        return before.ino, after.ino
+
+    before_ino, after_ino = split2.run(main())
+    assert before_ino == after_ino
+    assert split2.file_vinos(0) == set()
+    assert split2.file_vinos(1) == {after_ino}
+
+    def old_name():
+        yield from fs0.stat("/a/f")
+
+    with pytest.raises(FsError) as err:
+        split2.run(old_name())
+    assert err.value.code == "ENOENT"
+
+    def read_back():
+        fh = yield from fs0.open("/b/g")
+        data = yield from fs0.read(fh, 0, 7, want_data=True)
+        yield from fs0.close(fh)
+        return data
+
+    assert split2.run(read_back()) == b"payload"
+
+
+def test_cross_shard_rename_replaces_and_unlinks_underlying(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/src")
+        yield from fs0.write(fh, 0, data=b"new")
+        yield from fs0.close(fh)
+        fh = yield from fs0.create("/b/dst")
+        yield from fs0.write(fh, 0, data=b"old-old")
+        yield from fs0.close(fh)
+        old_attr = yield from fs0.stat("/b/dst")
+        yield from fs0.rename("/a/src", "/b/dst")
+        new_attr = yield from fs0.stat("/b/dst")
+        fh = yield from fs0.open("/b/dst")
+        data = yield from fs0.read(fh, 0, 16, want_data=True)
+        yield from fs0.close(fh)
+        return old_attr.ino, new_attr.ino, data
+
+    old_ino, new_ino, data = split2.run(main())
+    assert old_ino != new_ino
+    assert data == b"new"
+    # the replaced file is fully gone: one file inode total, on shard 1
+    assert split2.file_vinos(0) == set()
+    assert len(split2.file_vinos(1)) == 1
+
+
+def test_cross_shard_rename_onto_missing_parent_compensates(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        try:
+            yield from fs0.rename("/a/f", "/b/nosuch/dir/g")
+        except FsError as exc:
+            code = exc.code
+        else:
+            code = None
+        attr = yield from fs0.stat("/a/f")  # the detach was compensated
+        return code, attr
+
+    code, attr = split2.run(main())
+    assert code == "ENOENT"
+    assert attr.kind == FILE
+    assert split2.file_vinos(0) == {attr.ino}
+
+
+def test_directory_rename_replays_on_every_shard(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.mkdir("/a/d")
+        fh = yield from fs0.create("/a/d/f")
+        yield from fs0.close(fh)
+        yield from fs0.rename("/a/d", "/b/moved")
+        attr = yield from fs0.stat("/b/moved/f")
+        names = yield from fs0.readdir("/b/moved")
+        return attr.kind, names
+
+    kind, names = split2.run(main())
+    assert kind == FILE
+    assert names == ["f"]
+
+    def old_path():
+        yield from fs0.readdir("/a/d")
+
+    with pytest.raises(FsError) as err:
+        split2.run(old_path())
+    assert err.value.code == "ENOENT"
+
+
+# ---------------------------------------------------------------------------
+# cross-shard hard links + delegation
+# ---------------------------------------------------------------------------
+
+def test_cross_shard_link_shares_the_inode(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.write(fh, 0, data=b"12345")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/l")
+        via_link = yield from fs0.stat("/b/l")
+        yield from fs0.chmod("/b/l", 0o600)
+        via_primary = yield from fs0.stat("/a/f")
+        return via_link, via_primary
+
+    via_link, via_primary = split2.run(main())
+    assert via_link.ino == via_primary.ino
+    assert via_link.nlink == 2
+    assert via_primary.mode == 0o600
+    # the inode stays home on shard 0; shard 1 holds only the stub dentry
+    assert split2.file_vinos(0) == {via_link.ino}
+    assert split2.file_vinos(1) == set()
+
+
+def test_unlink_of_primary_name_keeps_cross_shard_link_alive(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.write(fh, 0, data=b"keep")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/l")
+        yield from fs0.unlink("/a/f")
+        attr = yield from fs0.stat("/b/l")
+        fh = yield from fs0.open("/b/l")
+        data = yield from fs0.read(fh, 0, 4, want_data=True)
+        yield from fs0.close(fh)
+        yield from fs0.unlink("/b/l")
+        return attr.nlink, data
+
+    nlink, data = split2.run(main())
+    assert nlink == 1
+    assert data == b"keep"
+    assert split2.file_vinos(0) == set()
+    assert split2.file_vinos(1) == set()
+
+
+def test_delegation_sync_back_lands_on_the_owning_shard(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/l")
+        # write through the *stub* name on the other shard
+        fh = yield from fs0.open("/b/l", 0x0001)  # WRONLY
+        yield from fs0.write(fh, 0, data=b"x" * 4096)
+        yield from fs0.close(fh)
+        attr = yield from fs0.stat("/a/f")
+        return attr
+
+    attr = split2.run(main())
+    assert attr.size == 4096
+    home_row = split2.shards[0].db.table("inodes").read(attr.ino)
+    assert home_row["size"] == 4096
+    assert home_row["delegated"] is False  # close_sync reached the home
+
+
+def test_router_learns_the_home_shard_of_linked_inodes(split2):
+    fs0 = split2.mounts[0]
+    router = split2.stack._drivers[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/l")
+        view_attr = yield from fs0.stat("/b/l")
+        return view_attr.ino
+
+    vino = split2.run(main())
+    assert router._vino_shard[vino] == 0  # home, not the routed shard (1)
+
+
+def test_renaming_a_stub_name_keeps_the_link_working(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.write(fh, 0, data=b"abc")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/l")
+        # stub moves within its shard...
+        yield from fs0.rename("/b/l", "/b/l2")
+        via_stub = yield from fs0.stat("/b/l2")
+        # ...and back home, where it becomes a plain dentry again
+        yield from fs0.rename("/b/l2", "/a/g")
+        via_home = yield from fs0.stat("/a/g")
+        primary = yield from fs0.stat("/a/f")
+        return via_stub, via_home, primary
+
+    via_stub, via_home, primary = split2.run(main())
+    assert via_stub.ino == via_home.ino == primary.ino
+    assert via_home.nlink == 2
+    # no stub remains anywhere: both names resolve on shard 0 now
+    dentries = split2.shards[1].db.table("dentries").all()
+    assert not any(d.get("home") is not None for d in dentries)
+
+
+def test_using_a_stub_name_as_a_directory_is_enotdir(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/l")
+        fh = yield from fs0.create("/b/l/x")  # parent is a hard-linked file
+
+    with pytest.raises(FsError) as err:
+        split2.run(main())
+    assert err.value.code == "ENOTDIR"
+
+    def listing():
+        names = yield from fs0.readdir("/b/l")
+        return names
+
+    with pytest.raises(FsError) as err:
+        split2.run(listing())
+    assert err.value.code == "ENOTDIR"
+
+
+def test_rmdir_of_a_stub_name_is_enotdir(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/l")
+        yield from fs0.rmdir("/b/l")
+
+    with pytest.raises(FsError) as err:
+        split2.run(main())
+    assert err.value.code == "ENOTDIR"
+
+
+def test_rename_over_a_stub_unlinks_the_underlying_file(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.write(fh, 0, data=b"old")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/l")
+        yield from fs0.unlink("/a/f")  # the stub holds the last name
+        fh = yield from fs0.create("/b/h")
+        yield from fs0.write(fh, 0, data=b"new")
+        yield from fs0.close(fh)
+        yield from fs0.rename("/b/h", "/b/l")  # replaces the stub name
+        attr = yield from fs0.stat("/b/l")
+        return attr
+
+    attr = split2.run(main())
+    # the replaced inode is gone from its home shard...
+    assert split2.file_vinos(0) == set()
+    assert split2.file_vinos(1) == {attr.ino}
+    # ...and its underlying object was reclaimed: only /b/l's remains
+    remaining = [row for row in
+                 split2.shards[1].db.table("inodes").all()
+                 if row["kind"] == FILE]
+    assert len(remaining) == 1
+
+    def read_back():
+        fh = yield from fs0.open("/b/l")
+        data = yield from fs0.read(fh, 0, 8, want_data=True)
+        yield from fs0.close(fh)
+        return data
+
+    assert split2.run(read_back()) == b"new"
+
+
+def test_close_sync_survives_a_concurrent_cross_shard_rename(split2):
+    fs0 = split2.mounts[0]
+    fs1 = split2.mounts[1]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        fh = yield from fs0.open("/a/f", 0x0001)  # WRONLY: delegation starts
+        yield from fs0.write(fh, 0, data=b"y" * 2048)
+        # another client migrates the inode to the other shard mid-write
+        yield from fs1.rename("/a/f", "/b/g")
+        yield from fs0.close(fh)  # write-back must chase the inode
+        attr = yield from fs0.stat("/b/g")
+        return attr
+
+    attr = split2.run(main())
+    assert attr.size == 2048
+    row = split2.shards[1].db.table("inodes").read(attr.ino)
+    assert row["size"] == 2048
+    assert row["delegated"] is False
+
+
+def test_statfs_counts_symlinks_once(split2):
+    fs0 = split2.mounts[0]
+    router = split2.stack._drivers[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        yield from fs0.symlink("/a/f", "/b/ln")
+        stats = yield from router.call("statfs")
+        return stats
+
+    stats = split2.run(main())
+    assert stats["files"] == 1
+    assert stats["directories"] == 3  # /, /a, /b
+    # inodes = skeleton (3 dirs + 1 symlink, counted once) + 1 file
+    assert stats["inodes"] == 5
+
+
+def test_hard_links_to_symlinks_are_rejected_on_sharded_stacks(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.symlink("/a", "/a/ln")
+        yield from fs0.link("/a/ln", "/b/l")
+
+    with pytest.raises(FsError) as err:
+        split2.run(main())
+    assert err.value.code == "EINVAL"
+
+
+# ---------------------------------------------------------------------------
+# symlink chains across shards
+# ---------------------------------------------------------------------------
+
+def test_resolution_follows_symlinks_across_shards(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.mkdir("/b/d")
+        fh = yield from fs0.create("/b/d/f")
+        yield from fs0.write(fh, 0, data=b"deep")
+        yield from fs0.close(fh)
+        yield from fs0.symlink("/b/d", "/a/ln")
+        attr = yield from fs0.stat("/a/ln/f")
+        names = yield from fs0.readdir("/a/ln")
+        return attr, names
+
+    attr, names = split2.run(main())
+    assert attr.size == 4
+    assert names == ["f"]
+
+
+def test_symlink_chain_crossing_shards_twice(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.mkdir("/a/deep")
+        fh = yield from fs0.create("/a/deep/f")
+        yield from fs0.close(fh)
+        # /b/hop -> /a/deep (owner: shard 0); /a/ln -> /b/hop (via shard 1)
+        yield from fs0.symlink("/a/deep", "/b/hop")
+        yield from fs0.symlink("/b/hop", "/a/ln")
+        attr = yield from fs0.stat("/a/ln/f")
+        return attr.kind
+
+    assert split2.run(main()) == FILE
+
+
+def test_cross_shard_symlink_cycle_raises(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.symlink("/b/loop2", "/a/loop1")
+        yield from fs0.symlink("/a/loop1", "/b/loop2")
+        yield from fs0.stat("/a/loop1/x")
+
+    with pytest.raises(FsError) as err:
+        split2.run(main())
+    assert err.value.code == "EINVAL"
+
+
+def test_create_through_cross_shard_symlink(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.symlink("/b", "/a/to-b")
+        fh = yield from fs0.create("/a/to-b/f")
+        yield from fs0.close(fh)
+        attr = yield from fs0.stat("/b/f")
+        return attr.kind
+
+    assert split2.run(main()) == FILE
+    assert len(split2.file_vinos(1)) == 1
+    assert split2.file_vinos(0) == set()
+
+
+# ---------------------------------------------------------------------------
+# rmdir across shards
+# ---------------------------------------------------------------------------
+
+def _hash_split_names(n_shards=2):
+    """A directory name whose contents hash to a different shard than its
+    own dentry, under :class:`HashDirSharding` — plus one that doesn't."""
+    policy = HashDirSharding()
+    for i in range(256):
+        name = f"/dir{i}"
+        if policy.shard_of_dir(name, n_shards) != \
+                policy.shard_of_dir("/", n_shards):
+            return name
+    raise AssertionError("no splitting name found")
+
+
+def test_rmdir_sees_files_on_the_owning_shard():
+    host = ShardedCofs()  # hash sharding
+    fs0 = host.mounts[0]
+    name = _hash_split_names()
+
+    def main():
+        yield from fs0.mkdir(name)
+        fh = yield from fs0.create(f"{name}/f")
+        yield from fs0.close(fh)
+        try:
+            yield from fs0.rmdir(name)
+        except FsError as exc:
+            code = exc.code
+        else:
+            code = None
+        yield from fs0.unlink(f"{name}/f")
+        yield from fs0.rmdir(name)
+        names = yield from fs0.readdir("/")
+        return code, names
+
+    code, names = host.run(main())
+    assert code == "ENOTEMPTY"
+    assert names == []
+
+
+# ---------------------------------------------------------------------------
+# recovery on a shard
+# ---------------------------------------------------------------------------
+
+def test_shard_recovery_preserves_namespace_and_vino_stride(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        for d in ("a", "b"):
+            fh = yield from fs0.create(f"/{d}/before")
+            yield from fs0.close(fh)
+        lost = yield from split2.shards[1].recover()
+        survived = yield from fs0.stat("/b/before")
+        fh = yield from fs0.create("/b/after")
+        yield from fs0.close(fh)
+        fresh = yield from fs0.stat("/b/after")
+        other = yield from fs0.stat("/a/before")
+        return lost, survived, fresh, other
+
+    lost, survived, fresh, other = split2.run(main())
+    assert lost == 0
+    assert survived.kind == FILE
+    # shard 1 allocates from the {vino % 2 == 0} class, before and after
+    assert survived.ino % 2 == 0
+    assert fresh.ino % 2 == 0
+    assert fresh.ino > survived.ino
+    assert other.ino != fresh.ino
+
+
+def test_recovery_never_reissues_a_migrated_vino(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/b/f")  # allocated from shard 1's class
+        yield from fs0.close(fh)
+        migrated = yield from fs0.stat("/b/f")
+        yield from fs0.rename("/b/f", "/a/g")  # inode now lives on shard 0
+        yield from split2.shards[1].recover()
+        fh = yield from fs0.create("/b/new")
+        yield from fs0.close(fh)
+        fresh = yield from fs0.stat("/b/new")
+        return migrated.ino, fresh.ino
+
+    migrated_ino, fresh_ino = split2.run(main())
+    assert fresh_ino != migrated_ino
+    assert fresh_ino > migrated_ino
+
+
+def test_renaming_a_directory_over_a_stub_is_enotdir(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/g")  # stub on shard 1
+        yield from fs0.mkdir("/b/d")
+        yield from fs0.rename("/b/d", "/b/g")
+
+    with pytest.raises(FsError) as err:
+        split2.run(main())
+    assert err.value.code == "ENOTDIR"
+
+    def still_there():
+        attr = yield from fs0.stat("/b/g")
+        names = yield from fs0.readdir("/b/d")
+        return attr, names
+
+    attr, names = split2.run(still_there())
+    assert attr.kind == FILE  # the link survived untouched
+    assert attr.nlink == 2
+    assert names == []
+
+
+def test_directory_mtime_reflects_file_creates_on_other_shard():
+    host = ShardedCofs()  # hash sharding
+    fs0 = host.mounts[0]
+    name = _hash_split_names()  # contents owned away from the dentry owner
+
+    def main():
+        yield from fs0.mkdir(name)
+        before = yield from fs0.stat(name)
+        fh = yield from fs0.create(f"{name}/f")
+        yield from fs0.close(fh)
+        after = yield from fs0.stat(name)
+        return before.mtime, after.mtime
+
+    before_mtime, after_mtime = host.run(main())
+    assert after_mtime > before_mtime
+
+
+def test_metarates_private_dirs_runs_on_sharded_stack():
+    from repro.workloads.metarates import MetaratesConfig, run_metarates
+
+    host = ShardedCofs(n_clients=2, shards=2)
+    config = MetaratesConfig(
+        nodes=2, procs_per_node=1, files_per_proc=8,
+        ops=("create", "stat", "utime"), private_dirs=True,
+    )
+    res = run_metarates(host.stack, config)
+    assert res.recorder.count("create") == 16
+    assert res.recorder.count("stat") == 16
+    # everything cleaned up on both shards
+    assert host.file_vinos(0) == set()
+    assert host.file_vinos(1) == set()

@@ -1,0 +1,34 @@
+"""Every script under examples/ must keep running (no silent rot)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_EXAMPLES = os.path.join(_REPO, "examples")
+_SCRIPTS = sorted(
+    name for name in os.listdir(_EXAMPLES) if name.endswith(".py")
+)
+
+
+def test_every_example_is_covered():
+    assert _SCRIPTS, "examples/ has no scripts?"
+
+
+@pytest.mark.parametrize("script", _SCRIPTS)
+def test_example_runs(script):
+    env = dict(os.environ)
+    src = os.path.join(_REPO, "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES, script)],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} printed nothing"
