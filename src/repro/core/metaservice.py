@@ -142,7 +142,7 @@ class MetadataService:
                 self._remember_resolve(prefix_key, row["vino"], walked)
             dentry = txn.read("dentries", (row["vino"], name))
             if dentry is None:
-                raise FsError.enoent(path)
+                self._absent_dentry(txn, path, parts, index)
             child = txn.read("inodes", dentry["vino"])
             if child is None:
                 child = self._missing_child(txn, path, dentry, index == n - 1)
@@ -167,6 +167,15 @@ class MetadataService:
         target's owner is another shard; here it simply recurses.
         """
         return self._txn_resolve(txn, target, follow, _depth=depth)
+
+    def _absent_dentry(self, txn, path, parts, index):
+        """No dentry for ``parts[index]``: plain ENOENT on a single service.
+
+        The sharded service overrides this — a *middle* component absent
+        here may be a partitioned file on the shard owning the enclosing
+        directory's entries, which must answer (ENOTDIR) authoritatively.
+        """
+        raise FsError.enoent(path)
 
     def _missing_child(self, txn, path, dentry, last):
         """A dentry whose inode is absent: dangling on a single service.
@@ -348,25 +357,33 @@ class MetadataService:
                 raise FsError.eisdir(path)
             self._invalidate_resolve(parent["vino"])
             txn.delete("dentries", (parent["vino"], name))
-            row["nlink"] -= 1
-            row["ctime"] = now
-            last = row["nlink"] <= 0
-            if last:
-                txn.delete("inodes", row["vino"])
-                if row["upath"] is not None:
-                    bucket, _slash, _leaf = row["upath"].rpartition("/")
-                    brow = txn.read_for_update("buckets", bucket)
-                    if brow is not None:
-                        brow["count"] = max(0, brow["count"] - 1)
-                        txn.write("buckets", brow)
-            else:
-                txn.write("inodes", row)
+            upath, last = self._drop_link(txn, row, now)
             parent = dict(parent)
             parent["mtime"] = parent["ctime"] = now
             txn.write("inodes", parent)
-            return (row["kind"], (row["upath"], last))
+            return (row["kind"], (upath, last))
 
         return body
+
+    def _drop_link(self, txn, row, now):
+        """Drop one link from ``row`` (already read for update): on the
+        last link, delete the inode and release its placement slot.
+        Returns ``(upath, last)``.  Shared with the sharded service's
+        vino-addressed unlink so the two paths can never diverge."""
+        row["nlink"] -= 1
+        row["ctime"] = now
+        last = row["nlink"] <= 0
+        if last:
+            txn.delete("inodes", row["vino"])
+            if row["upath"] is not None:
+                bucket, _slash, _leaf = row["upath"].rpartition("/")
+                brow = txn.read_for_update("buckets", bucket)
+                if brow is not None:
+                    brow["count"] = max(0, brow["count"] - 1)
+                    txn.write("buckets", brow)
+        else:
+            txn.write("inodes", row)
+        return (row["upath"], last)
 
     def rmdir(self, path, now):
         yield from self._dispatch()
@@ -427,21 +444,34 @@ class MetadataService:
         """
         return False
 
-    def _rename_local(self, old, new, now, pending=None):
+    def _resolve_rename_old(self, txn, old):
+        """Hook: resolve the rename *source*'s parent directory.
+
+        The sharded service pins this walk to the local replica of the
+        skeleton: its peek already fixed the source on that shard, and a
+        forward raised while re-walking the source would be mistaken for
+        a *destination* forward by rename's redispatch handlers.
+        """
+        return self._txn_resolve_parent(txn, old)
+
+    def _rename_local(self, old, new, now, pending=None, replaced=None):
         """Coroutine: the rename transaction against this service's tables.
 
         ``pending`` (sharded callers) collects remote inode adjustments the
         body cannot perform in-transaction; the caller drains it on commit.
+        ``replaced`` collects the kinds of inodes the rename destroyed, so
+        a sharded caller can tell when a replicated symlink died and its
+        replicas on other shards must be removed too.
         """
         result = yield from self.dbsvc.execute(
-            self._rename_body(old, new, now, pending))
+            self._rename_body(old, new, now, pending, replaced))
         return result
 
-    def _rename_body(self, old, new, now, pending=None):
+    def _rename_body(self, old, new, now, pending=None, replaced=None):
         """The rename transaction body (reused by sharded mirror replays)."""
 
         def body(txn):
-            old_parent, old_name = self._txn_resolve_parent(txn, old)
+            old_parent, old_name = self._resolve_rename_old(txn, old)
             dentry = txn.read("dentries", (old_parent["vino"], old_name))
             if dentry is None:
                 raise FsError.enoent(old)
@@ -472,6 +502,8 @@ class MetadataService:
                         self._invalidate_resolve(target["vino"])
                         txn.delete("inodes", target["vino"])
                         new_parent["nlink"] -= 1
+                        if replaced is not None:
+                            replaced.append(target["kind"])
                     else:
                         if moving["kind"] == DIRECTORY:
                             raise FsError.enotdir(new)
@@ -479,6 +511,8 @@ class MetadataService:
                         if target["nlink"] <= 0:
                             txn.delete("inodes", target["vino"])
                             replaced_upath, replaced_last = target["upath"], True
+                            if replaced is not None:
+                                replaced.append(target["kind"])
                         else:
                             txn.write("inodes", target)
                 txn.delete("dentries", (new_parent["vino"], new_name))

@@ -65,6 +65,21 @@ Known simplifications (documented, exercised by tests where noted):
   atomic unit; a mirror that grew entries in the window refuses to
   delete (no file becomes unreachable, but the skeleton diverges until
   the rmdir is retried).  Full cross-shard atomicity is a ROADMAP item.
+- A partitioned file in the *middle* of a path answers ENOTDIR on leaf
+  walks (a missing middle dentry forwards to the shard owning the
+  enclosing directory's entries), but parent walks — create, unlink,
+  rename destination, readdir — answer ENOENT: re-forwarding them would
+  ping-pong with the router's leaf-parent routing, so the forward is
+  deliberately gated to non-parent walks (``_absent_dentry``).
+- A directory rename commits (locally and on every mirror) *before*
+  :meth:`ShardMetadataService._migrate_renamed_subtree` re-homes the
+  subtree's file entries; until each export/import RPC pair lands, a
+  re-homed file is transiently ENOENT for other clients whose lookups
+  route to the new owner shard.  The renaming client itself never sees
+  the window (its rename does not return until migration completes),
+  but concurrent-workload tests must not misattribute these transient
+  ENOENTs.  Making the migration part of the rename's atomic commit is
+  a ROADMAP item alongside cross-shard rmdir atomicity.
 """
 
 import hashlib
@@ -368,6 +383,20 @@ class ShardMetadataService(MetadataService):
                 raise ResolveForward(owner, target)
         return super()._resolve_retarget(txn, target, follow, depth)
 
+    def _absent_dentry(self, txn, path, parts, index):
+        last = index == len(parts) - 1
+        if not last and not self._local_only and not self._parent_walk:
+            dir_path = "/" + "/".join(parts[:index])
+            owner = self._dir_owner(dir_path)
+            if owner != self.shard_id:
+                # A *middle* component with no local dentry may still be a
+                # partitioned file (or stub) on the shard owning this
+                # directory's entries — which must then answer ENOTDIR,
+                # not ENOENT.  Forward; the owner resolves authoritatively
+                # and never re-forwards (it holds the entries).
+                raise ResolveForward(owner, path)
+        super()._absent_dentry(txn, path, parts, index)
+
     def _missing_child(self, txn, path, dentry, last):
         home = dentry.get("home")
         if home is None or home == self.shard_id or self._local_only:
@@ -395,6 +424,18 @@ class ShardMetadataService(MetadataService):
             raise ResolveForward(self._owner_of(full), full) from None
         finally:
             self._parent_walk = prev
+
+    def _resolve_rename_old(self, txn, old):
+        # rename's peek already pinned the source to this shard; walk the
+        # local skeleton replica so a concurrently-installed cross-shard
+        # symlink can't raise a source forward that the redispatch
+        # handlers would misread as a destination forward.
+        prev = self._local_only
+        self._local_only = True
+        try:
+            return super()._resolve_rename_old(txn, old)
+        finally:
+            self._local_only = prev
 
     def _rename_replace_stub(self, txn, existing, pending):
         home = existing.get("home")
@@ -512,6 +553,11 @@ class ShardMetadataService(MetadataService):
         except ResolveForward as fwd:
             target = yield from self._redispatch(
                 fwd, "readlink", fwd.path, _hops + 1)
+        except VinoForward:
+            # A cross-shard hard-link stub: its inode is never a symlink
+            # (hard links to symlinks are rejected on sharded stacks), so
+            # answer directly instead of leaking the control-flow exception.
+            raise FsError.einval(f"not a symlink: {path}")
         return target
 
     # -- namespace mutation with replication -------------------------------
@@ -599,14 +645,21 @@ class ShardMetadataService(MetadataService):
                 kind, vino, old, new, dst, now, _hops))
         if dst == self.shard_id and home is None:
             # Entirely this shard's business: the base transaction.
-            pending = []
+            pending, replaced = [], []
             try:
-                result = yield from self._rename_local(old, new, now, pending)
+                result = yield from self._rename_local(
+                    old, new, now, pending, replaced)
             except ResolveForward as fwd:
                 result = yield from self.rename(old, fwd.path, now, _hops + 1)
                 return result
             drained = yield from self._drain_pending(pending, now)
-            return self._merge_replaced(result, drained)
+            result = self._merge_replaced(result, drained)
+            if SYMLINK in replaced:
+                # The rename destroyed a replicated symlink at ``new``;
+                # its replicas on every other shard must die with it (as
+                # unlink does), or stale replicas keep resolving the link.
+                yield from self._broadcast("mirror_unlink", new, now)
+            return result
         return (yield from self._rename_cross_shard(
             old, new, vino, home, dst, now, _hops))
 
@@ -688,14 +741,20 @@ class ShardMetadataService(MetadataService):
         def body(txn):
             dentries, inodes = [], []
             for dentry in txn.index_read("dentries", "parent", vino):
-                home = dentry.get("home")
-                if home is None:
+                dentry = dict(dentry)
+                if dentry.get("home") is None:
                     row = txn.read("inodes", dentry["vino"])
                     if row is None or row["kind"] != FILE:
                         continue  # replicated skeleton stays put
-                    inodes.append(dict(row))
-                    txn.delete("inodes", row["vino"])
-                dentries.append(dict(dentry))
+                    if row["nlink"] > 1:
+                        # Hard-linked under other names: the inode stays
+                        # home (see _rename_cross_shard's detach); only
+                        # the name moves, shipped as a stub back here.
+                        dentry["home"] = self.shard_id
+                    else:
+                        inodes.append(dict(row))
+                        txn.delete("inodes", row["vino"])
+                dentries.append(dentry)
                 txn.delete("dentries", dentry["key"])
             if dentries:
                 self._invalidate_resolve(vino)
@@ -746,31 +805,45 @@ class ShardMetadataService(MetadataService):
             up["mtime"] = up["ctime"] = now
             txn.write("inodes", up)
             if dentry.get("home") is not None:
-                return None
+                return (None, dentry["home"])
             row = txn.read_for_update("inodes", dentry["vino"])
             if row is None:
                 raise FsError.enoent(old)
+            if row["nlink"] > 1:
+                # Other names — local hard links or remote stubs — still
+                # reference this inode; moving the row would dangle every
+                # one of them.  It stays home and the renamed name
+                # becomes a stub pointing here.
+                row["ctime"] = now
+                txn.write("inodes", row)
+                return (None, self.shard_id)
             txn.delete("inodes", row["vino"])
             row["ctime"] = now
-            return row
+            return (row, None)
 
-        row = yield from self.dbsvc.execute(detach)
+        # The peek above already pinned ``old``'s canonical resolution to
+        # this shard; the detach — and any compensation — walks the local
+        # replica of the skeleton (_local_body), so a cross-shard symlink
+        # installed concurrently on the path can neither leak a forward
+        # exception to the client nor strand the detached inode.
+        row, stub_home = yield from self.dbsvc.execute(
+            self._local_body(detach))
         if row is None:
-            payload, stub = None, {"vino": vino, "home": home}
+            payload, stub = None, {"vino": vino, "home": stub_home}
         else:
             payload, stub = row, None
         try:
             result = yield from self._call_shard(
                 dst, "rename_install", new, payload, stub, now)
         except FsError:
-            yield from self.dbsvc.execute(
-                lambda txn: self._txn_reattach(txn, old, payload, stub, now))
+            yield from self.dbsvc.execute(self._local_body(
+                lambda txn: self._txn_reattach(txn, old, payload, stub, now)))
             raise
         if result == "#same":
             # Old and new name already point at the same inode: POSIX says
             # do nothing, so undo the detach.
-            yield from self.dbsvc.execute(
-                lambda txn: self._txn_reattach(txn, old, payload, stub, now))
+            yield from self.dbsvc.execute(self._local_body(
+                lambda txn: self._txn_reattach(txn, old, payload, stub, now)))
             return (None, False)
         return tuple(result)
 
@@ -782,7 +855,7 @@ class ShardMetadataService(MetadataService):
             "key": (parent["vino"], name), "parent": parent["vino"],
             "name": name, "vino": vino,
         }
-        if stub is not None:
+        if stub is not None and stub["home"] != self.shard_id:
             dentry["home"] = stub["home"]
         self._invalidate_resolve(parent["vino"])
         txn.insert("dentries", dentry)
@@ -798,7 +871,7 @@ class ShardMetadataService(MetadataService):
         self._check_hops(_hops, new)
         yield from self._dispatch()
         moving_vino = row["vino"] if row is not None else stub["vino"]
-        pending = []
+        pending, replaced = [], []
 
         def body(txn):
             new_parent, new_name = self._txn_resolve_parent(txn, new)
@@ -820,6 +893,7 @@ class ShardMetadataService(MetadataService):
                             txn.delete("inodes", target["vino"])
                             replaced_upath = target["upath"]
                             replaced_last = True
+                            replaced.append(target["kind"])
                         else:
                             txn.write("inodes", target)
                 txn.delete("dentries", (new_parent["vino"], new_name))
@@ -848,6 +922,11 @@ class ShardMetadataService(MetadataService):
         outcomes = yield from self._drain_pending(pending, now)
         if result == "#same":
             return result
+        if SYMLINK in replaced:
+            # The install destroyed a replicated symlink at ``new``; kill
+            # its replicas everywhere else (including the coordinator) so
+            # no stale replica keeps resolving the dead link.
+            yield from self._broadcast("mirror_unlink", new, now)
         return self._merge_replaced(result, outcomes)
 
     def mirror_rename(self, old, new, now):
@@ -1058,20 +1137,7 @@ class ShardMetadataService(MetadataService):
             row = txn.read_for_update("inodes", vino)
             if row is None:
                 return (None, False)
-            row["nlink"] -= 1
-            row["ctime"] = now
-            last = row["nlink"] <= 0
-            if last:
-                txn.delete("inodes", row["vino"])
-                if row["upath"] is not None:
-                    bucket, _slash, _leaf = row["upath"].rpartition("/")
-                    brow = txn.read_for_update("buckets", bucket)
-                    if brow is not None:
-                        brow["count"] = max(0, brow["count"] - 1)
-                        txn.write("buckets", brow)
-            else:
-                txn.write("inodes", row)
-            return (row["upath"], last)
+            return self._drop_link(txn, row, now)
 
         result = yield from self.dbsvc.execute(body)
         return result

@@ -11,7 +11,7 @@ from repro.core.sharding import (
     SubtreeSharding,
 )
 from repro.pfs import FsError
-from repro.pfs.types import DIRECTORY, FILE
+from repro.pfs.types import DIRECTORY, FILE, SYMLINK
 
 
 class ShardedCofs:
@@ -258,6 +258,188 @@ def test_cross_shard_rename_onto_missing_parent_compensates(split2):
     assert code == "ENOENT"
     assert attr.kind == FILE
     assert split2.file_vinos(0) == {attr.ino}
+
+
+def _symlink_inodes(host, shard):
+    return [row["vino"] for row in
+            host.shards[shard].db.table("inodes").all()
+            if row["kind"] == SYMLINK]
+
+
+def test_rename_over_a_symlink_removes_every_replica(split2):
+    """A same-shard FILE rename replacing a SYMLINK kills all replicas."""
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.mkdir("/b/t")
+        yield from fs0.symlink("/b/t", "/b/s")
+        fh = yield from fs0.create("/b/f")
+        yield from fs0.close(fh)
+        yield from fs0.rename("/b/f", "/b/s")  # both names on shard 1
+        attr = yield from fs0.stat("/b/s")
+        return attr
+
+    attr = split2.run(main())
+    assert attr.kind == FILE
+    for shard in (0, 1):
+        assert _symlink_inodes(split2, shard) == []
+
+
+def test_cross_shard_rename_over_a_symlink_removes_every_replica(split2):
+    """rename_install replacing a SYMLINK must broadcast the removal."""
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.mkdir("/a/t")
+        yield from fs0.symlink("/a/t", "/b/s")
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        yield from fs0.rename("/a/f", "/b/s")  # shard 0 -> shard 1
+        attr = yield from fs0.stat("/b/s")
+        return attr
+
+    attr = split2.run(main())
+    assert attr.kind == FILE
+    for shard in (0, 1):
+        assert _symlink_inodes(split2, shard) == []
+
+    def read_link():
+        yield from fs0.readlink("/b/s")
+
+    with pytest.raises(FsError) as err:
+        split2.run(read_link())
+    assert err.value.code == "EINVAL"  # it is a file now, everywhere
+
+
+def test_stale_symlink_replica_is_not_followed_after_rename():
+    """Walks routed to another shard must not resolve a replaced symlink.
+
+    With hash sharding, a path under the replaced name routes to a shard
+    that did not perform the rename; its (formerly stale) replica must be
+    gone, and the owner shard answers ENOTDIR for the file in the middle.
+    """
+    policy = HashDirSharding()
+    root_shard = policy.shard_of_dir("/", 2)
+    # A name whose directory routes walks to the *other* shard than the
+    # one owning "/"'s entries (which is where the rename runs).
+    name = next(f"s{i}" for i in range(100)
+                if policy.shard_of_dir(f"/s{i}", 2) != root_shard)
+    host = ShardedCofs(sharding=HashDirSharding())
+    fs = host.mounts[0]
+
+    def setup():
+        yield from fs.mkdir("/t")
+        fh = yield from fs.create("/t/x")
+        yield from fs.close(fh)
+        yield from fs.symlink("/t", f"/{name}")
+        fh = yield from fs.create("/f")
+        yield from fs.close(fh)
+        yield from fs.rename("/f", f"/{name}")
+
+    host.run(setup())
+    for shard in (0, 1):
+        assert _symlink_inodes(host, shard) == []
+
+    def stat_through():
+        yield from fs.stat(f"/{name}/x")
+
+    with pytest.raises(FsError) as err:
+        host.run(stat_through())
+    assert err.value.code == "ENOTDIR"
+
+    def create_through():
+        fh = yield from fs.create(f"/{name}/y")
+        yield from fs.close(fh)
+
+    with pytest.raises(FsError):
+        host.run(create_through())
+    assert host.run(fs.readdir("/t")) == ["x"]  # nothing materialized
+
+
+def test_hard_link_survives_cross_shard_rename_of_primary():
+    """Renaming one name of a hard-linked file must not dangle the rest.
+
+    The inode row of a file with nlink > 1 never migrates: the renamed
+    name becomes a stub pointing at the inode's home shard, so surviving
+    links (and their stubs' ``home`` fields) stay valid.
+    """
+    host = ShardedCofs(
+        shards=3, sharding=SubtreeSharding({"/a": 0, "/b": 1, "/c": 2}))
+    fs = host.mounts[0]
+
+    def main():
+        for d in ("/a", "/b", "/c"):
+            yield from fs.mkdir(d)
+        fh = yield from fs.create("/a/f")
+        yield from fs.close(fh)
+        yield from fs.link("/a/f", "/b/g")  # stub on shard 1, home 0
+        yield from fs.rename("/a/f", "/c/h")  # must not move the inode
+        g = yield from fs.stat("/b/g")
+        h = yield from fs.stat("/c/h")
+        return g, h
+
+    g, h = host.run(main())
+    assert g.ino == h.ino
+    assert host.file_vinos(0) == {g.ino}  # the inode stayed home
+    assert host.file_vinos(1) == set()
+    assert host.file_vinos(2) == set()
+
+    def drop_both():
+        yield from fs.unlink("/c/h")
+        attr = yield from fs.stat("/b/g")  # still alive through the stub
+        yield from fs.unlink("/b/g")
+        return attr
+
+    attr = host.run(drop_both())
+    assert attr.ino == g.ino
+    for shard in range(3):
+        assert host.file_vinos(shard) == set()  # no leaked link counts
+
+
+def test_hard_link_survives_directory_rename_migration(split2):
+    """Subtree re-homing ships hard-linked files as stubs, not inodes."""
+    fs0 = split2.mounts[0]
+
+    def main():
+        yield from fs0.mkdir("/a/d")
+        fh = yield from fs0.create("/a/d/f")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/d/f", "/b/g")  # stub on shard 1, home 0
+        yield from fs0.rename("/a/d", "/b/d")  # re-homes /b/d's entries
+        f = yield from fs0.stat("/b/d/f")
+        g = yield from fs0.stat("/b/g")
+        return f, g
+
+    f, g = split2.run(main())
+    assert f.ino == g.ino
+    assert split2.file_vinos(0) == {f.ino}  # inode never moved
+    assert split2.file_vinos(1) == set()
+
+    def drop_both():
+        yield from fs0.unlink("/b/d/f")
+        yield from fs0.unlink("/b/g")
+
+    split2.run(drop_both())
+    for shard in (0, 1):
+        assert split2.file_vinos(shard) == set()
+
+
+def test_readlink_of_a_cross_shard_stub_is_einval(split2):
+    fs0 = split2.mounts[0]
+
+    def main():
+        fh = yield from fs0.create("/a/f")
+        yield from fs0.close(fh)
+        yield from fs0.link("/a/f", "/b/l")
+
+    split2.run(main())
+
+    def read_link():
+        yield from fs0.readlink("/b/l")
+
+    with pytest.raises(FsError) as err:
+        split2.run(read_link())
+    assert err.value.code == "EINVAL"
 
 
 def test_directory_rename_replays_on_every_shard(split2):
