@@ -1,0 +1,282 @@
+"""Fault injection and tier-wide invariants for the sharded metadata tier.
+
+Crash-consistency is proven, not argued: every cross-shard mutation is a
+sequence of durable journal commits and shard-to-shard RPCs, and a crash
+can land in any gap between them.  :class:`CrashSchedule` makes those gaps
+enumerable — each durable commit and each RPC send/receive is a *boundary*;
+a counting pass records how many boundaries an operation crosses, and a
+replay pass re-runs the operation with the schedule armed at each boundary
+in turn, killing the in-flight operation right there (the strongest model:
+coordinator and participants all die, so recovery must restore consistency
+from durable state alone, with no live compensation).
+
+:func:`check_tier_invariants` is the single oracle every crash drill runs
+after tier-wide recovery: no dangling dentries, no stranded inodes,
+consistent link counts, identical skeleton replicas, reconciled placement
+counters, no leftover coordination records — and the observable namespace
+equal to either the pre-operation or the post-operation image.
+"""
+
+from repro.pfs.types import DIRECTORY, FILE, SYMLINK, split
+
+
+class CrashInjected(Exception):
+    """Control flow: the armed crash boundary fired; the op dies here."""
+
+    def __init__(self, index, label):
+        super().__init__(index, label)
+        self.index = index
+        self.label = label
+
+
+class CrashSchedule:
+    """Counts RPC/journal boundaries; optionally crashes at one of them.
+
+    With ``armed is None`` the schedule only counts (and records a trace of
+    labels); arming it at index *k* raises :class:`CrashInjected` the *k*-th
+    time a boundary is crossed.
+    """
+
+    def __init__(self, armed=None):
+        self.armed = armed
+        self.count = 0
+        self.trace = []
+
+    def boundary(self, label):
+        index = self.count
+        self.count += 1
+        self.trace.append(label)
+        if self.armed is not None and index == self.armed:
+            raise CrashInjected(index, label)
+
+
+def arm_shards(shards, schedule):
+    """Attach ``schedule`` to every shard: peer RPCs and durable commits
+    become crash boundaries (see :meth:`ShardMetadataService._peer` and
+    :meth:`repro.db.service.DbService.execute`)."""
+    for shard in shards:
+        shard.faults = schedule
+        shard.dbsvc.fault_hook = (
+            lambda sid=shard.shard_id: schedule.boundary(("commit", sid))
+        )
+
+
+def disarm_shards(shards):
+    for shard in shards:
+        shard.faults = None
+        shard.dbsvc.fault_hook = None
+
+
+# ---------------------------------------------------------------------------
+# Table-level views (no simulation cost: these are test/recovery oracles)
+# ---------------------------------------------------------------------------
+
+def _dentries_by_parent(shard):
+    by_parent = {}
+    for dentry in shard.db.table("dentries").all():
+        by_parent.setdefault(dentry["parent"], []).append(dentry)
+    return by_parent
+
+
+def skeleton_view(shard):
+    """``{path: (vino, kind, mode, uid, gid, target)}`` of this shard's
+    replica of the directory/symlink skeleton, walked from the root.
+
+    Times and sizes are deliberately excluded: a directory's times are
+    authoritative only on its contents-owner shard (a documented
+    simplification), so replicas legitimately differ there.
+    """
+    inodes = {row["vino"]: row for row in shard.db.table("inodes").all()}
+    by_parent = _dentries_by_parent(shard)
+    view = {}
+    frontier = [("", shard.root_vino)]
+    while frontier:
+        dir_path, dvino = frontier.pop()
+        for dentry in by_parent.get(dvino, ()):
+            if dentry.get("home") is not None:
+                continue  # cross-shard hard-link stub: never skeleton
+            row = inodes.get(dentry["vino"])
+            if row is None or row["kind"] == FILE:
+                continue
+            path = f"{dir_path}/{dentry['name']}"
+            view[path] = (row["vino"], row["kind"], row["mode"],
+                          row["uid"], row["gid"], row["target"])
+            if row["kind"] == DIRECTORY:
+                frontier.append((path, row["vino"]))
+    return view
+
+
+def namespace_image(shards, sharding):
+    """The observable namespace, resolved the way the router routes it.
+
+    A directory's entries are read on the shard owning that directory's
+    path; a stub dentry's inode is read at its recorded home shard.  The
+    result maps each path to a structural record — exactly what a client
+    walking the tree could observe (times excluded; delegation can change
+    them without the metadata tier seeing it).
+    """
+    n = len(shards)
+    inodes = [
+        {row["vino"]: row for row in shard.db.table("inodes").all()}
+        for shard in shards
+    ]
+    by_parent = [_dentries_by_parent(shard) for shard in shards]
+    image = {}
+    frontier = [("", shards[0].root_vino)]
+    while frontier:
+        dir_path, dvino = frontier.pop()
+        owner = sharding.shard_of_dir(dir_path or "/", n)
+        for dentry in by_parent[owner].get(dvino, ()):
+            path = f"{dir_path}/{dentry['name']}"
+            home = dentry.get("home")
+            row = inodes[owner if home is None else home].get(dentry["vino"])
+            if row is None:
+                image[path] = ("#dangling", dentry["vino"])
+                continue
+            image[path] = (row["kind"], row["vino"], row["mode"],
+                           row["nlink"], row["size"], row["target"],
+                           row["upath"])
+            if row["kind"] == DIRECTORY:
+                frontier.append((path, row["vino"]))
+    return image
+
+
+def _reachable_file_refs(shards, sharding):
+    """Tier-wide reference count per FILE vino, walking as the router does."""
+    n = len(shards)
+    refs = {}
+    by_parent = [_dentries_by_parent(shard) for shard in shards]
+    inodes = [
+        {row["vino"]: row for row in shard.db.table("inodes").all()}
+        for shard in shards
+    ]
+    frontier = [("", shards[0].root_vino)]
+    while frontier:
+        dir_path, dvino = frontier.pop()
+        owner = sharding.shard_of_dir(dir_path or "/", n)
+        for dentry in by_parent[owner].get(dvino, ()):
+            home = dentry.get("home")
+            row = inodes[owner if home is None else home].get(dentry["vino"])
+            if row is None:
+                continue
+            if row["kind"] == FILE:
+                refs[row["vino"]] = refs.get(row["vino"], 0) + 1
+            elif row["kind"] == DIRECTORY:
+                frontier.append((f"{dir_path}/{dentry['name']}", row["vino"]))
+    return refs
+
+
+def check_tier_invariants(shards, sharding, images=()):
+    """Assert every namespace invariant across the whole tier.
+
+    ``images`` is the set of acceptable observable namespaces (typically
+    the pre-op and post-op images); pass ``()`` to skip the atomicity
+    check and verify only structural consistency.  Returns the observed
+    image so callers can chain further checks.
+    """
+    n = len(shards)
+
+    # 1. Identical skeleton replicas on every shard.
+    skeletons = [skeleton_view(shard) for shard in shards]
+    for shard_id in range(1, n):
+        assert skeletons[shard_id] == skeletons[0], (
+            f"skeleton replica diverges on shard {shard_id}: "
+            f"{_dict_diff(skeletons[0], skeletons[shard_id])}"
+        )
+
+    # 2. No leftover coordination records (intents/prepares/dedups).
+    for shard in shards:
+        leftover = shard.db.table("intents").all()
+        assert not leftover, (
+            f"shard {shard.shard_id} holds unresolved intents: {leftover}"
+        )
+
+    # 3. Dentry/inode structural consistency per shard + stub homes.
+    inodes = [
+        {row["vino"]: row for row in shard.db.table("inodes").all()}
+        for shard in shards
+    ]
+    for shard_id, shard in enumerate(shards):
+        for dentry in shard.db.table("dentries").all():
+            home = dentry.get("home")
+            if home is None:
+                assert dentry["vino"] in inodes[shard_id], (
+                    f"dangling dentry on shard {shard_id}: {dict(dentry)}"
+                )
+            else:
+                row = inodes[home].get(dentry["vino"])
+                assert row is not None and row["kind"] == FILE, (
+                    f"stub on shard {shard_id} points at missing/non-file "
+                    f"inode {dentry['vino']} on shard {home}"
+                )
+
+    # 4. Every FILE inode is reachable, and nlink matches the tier-wide
+    #    reference count; directory nlink is 2 + its subdirectory count
+    #    (checked on every replica); symlinks always have nlink 1.
+    refs = _reachable_file_refs(shards, sharding)
+    for shard_id, shard in enumerate(shards):
+        by_parent = _dentries_by_parent(shard)
+        for row in inodes[shard_id].values():
+            if row["kind"] == FILE:
+                assert refs.get(row["vino"], 0) >= 1, (
+                    f"stranded file inode {row['vino']} on shard {shard_id}"
+                )
+                assert row["nlink"] == refs[row["vino"]], (
+                    f"file {row['vino']} nlink={row['nlink']} but "
+                    f"{refs[row['vino']]} reachable names"
+                )
+            elif row["kind"] == DIRECTORY:
+                subdirs = 0
+                for dentry in by_parent.get(row["vino"], ()):
+                    if dentry.get("home") is not None:
+                        continue
+                    child = inodes[shard_id].get(dentry["vino"])
+                    if child is not None and child["kind"] == DIRECTORY:
+                        subdirs += 1
+                assert row["nlink"] == 2 + subdirs, (
+                    f"dir {row['vino']} on shard {shard_id}: "
+                    f"nlink={row['nlink']}, expected {2 + subdirs}"
+                )
+            elif row["kind"] == SYMLINK:
+                assert row["nlink"] == 1, (
+                    f"symlink {row['vino']} on shard {shard_id} has "
+                    f"nlink={row['nlink']}"
+                )
+
+    # 5. Placement counters equal a recount of the files placed here.
+    for shard_id, shard in enumerate(shards):
+        want = {}
+        for row in inodes[shard_id].values():
+            if row["kind"] == FILE and row["upath"]:
+                bucket, _slash, _leaf = row["upath"].rpartition("/")
+                want[bucket] = want.get(bucket, 0) + 1
+        have = {
+            row["path"]: row["count"]
+            for row in shard.db.table("buckets").all()
+            if row["count"]
+        }
+        assert have == want, (
+            f"bucket counters diverge on shard {shard_id}: "
+            f"have {have}, recount {want}"
+        )
+
+    # 6. Atomicity: the observable namespace is one of the given images.
+    observed = namespace_image(shards, sharding)
+    assert not any(
+        record[0] == "#dangling" for record in observed.values()
+    ), f"dangling names in observable namespace: {observed}"
+    if images:
+        assert any(observed == image for image in images), (
+            "observable namespace is neither the pre-op nor the post-op "
+            f"image: {_image_diffs(observed, images)}"
+        )
+    return observed
+
+
+def _dict_diff(a, b):
+    keys = set(a) | set(b)
+    return {k: (a.get(k), b.get(k)) for k in keys if a.get(k) != b.get(k)}
+
+
+def _image_diffs(observed, images):
+    return [_dict_diff(observed, image) for image in images]

@@ -56,6 +56,10 @@ class MetadataService:
         database.create_table("inodes", key="vino")
         database.create_table("dentries", key="key", indexes=("parent",))
         database.create_table("buckets", key="path")
+        # Cross-shard coordination records (intent/prepare/dedup); always
+        # present in the schema so recovery rebuilds are uniform, but only
+        # the sharded service ever writes to it.
+        database.create_table("intents", key="id")
         self.dbsvc = DbService(machine, database, disk, config.db)
         self._resolve_cache = {}      # parent-path tuple -> (vino, walked vinos)
         self._resolve_by_parent = {}  # dir vino -> prefix keys reading from it
@@ -238,6 +242,23 @@ class MetadataService:
             raise FsError.einval("placement space exhausted")
         return chosen
 
+    def _txn_bucket_adjust(self, txn, upath, delta):
+        """Adjust the placement counter charged for ``upath``'s bucket.
+
+        The single accounting primitive shared by unlink, rename-replace
+        and the sharded tier's row migrations.  A missing counter row is
+        created for a positive charge and skipped for a release (nothing
+        to give back).
+        """
+        bucket, _slash, _leaf = upath.rpartition("/")
+        row = txn.read_for_update("buckets", bucket)
+        if row is None:
+            if delta <= 0:
+                return
+            row = {"path": bucket, "count": 0}
+        row["count"] = max(0, row["count"] + delta)
+        txn.write("buckets", row)
+
     def _attr_view(self, row):
         """The wire form of an inode row (a plain dict)."""
         return {
@@ -267,6 +288,15 @@ class MetadataService:
         policy.  Returns the new inode's wire view.
         """
         yield from self._dispatch()
+        row = yield from self.dbsvc.execute(
+            self._create_body(path, kind, mode, uid, gid, node, pid, now,
+                              target))
+        return self._attr_view(row)
+
+    def _create_body(self, path, kind, mode, uid, gid, node, pid, now,
+                     target):
+        """The create transaction body (wrapped by the sharded service so
+        a replication intent commits atomically with the create)."""
 
         def body(txn):
             parent, name = self._txn_resolve_parent(txn, path)
@@ -296,8 +326,7 @@ class MetadataService:
             txn.write("inodes", parent)
             return row
 
-        row = yield from self.dbsvc.execute(body)
-        return self._attr_view(row)
+        return body
 
     #: inode fields a client may set directly.
     _SETTABLE = frozenset({"mode", "uid", "gid", "atime", "mtime", "size"})
@@ -311,6 +340,12 @@ class MetadataService:
         """Update mode/uid/gid/times of the object at ``path``."""
         yield from self._dispatch()
         self._check_setattr(changes)
+        row = yield from self.dbsvc.execute(
+            self._setattr_body(path, changes, now))
+        return self._attr_view(row)
+
+    def _setattr_body(self, path, changes, now):
+        """The setattr transaction body (wrapped by the sharded service)."""
 
         def body(txn):
             row = dict(self._txn_resolve(txn, path))
@@ -319,8 +354,7 @@ class MetadataService:
             txn.write("inodes", row)
             return row
 
-        row = yield from self.dbsvc.execute(body)
-        return self._attr_view(row)
+        return body
 
     def unlink(self, path, now):
         """Remove a non-directory name; returns (upath, last_link)."""
@@ -376,17 +410,18 @@ class MetadataService:
         if last:
             txn.delete("inodes", row["vino"])
             if row["upath"] is not None:
-                bucket, _slash, _leaf = row["upath"].rpartition("/")
-                brow = txn.read_for_update("buckets", bucket)
-                if brow is not None:
-                    brow["count"] = max(0, brow["count"] - 1)
-                    txn.write("buckets", brow)
+                self._txn_bucket_adjust(txn, row["upath"], -1)
         else:
             txn.write("inodes", row)
         return (row["upath"], last)
 
     def rmdir(self, path, now):
         yield from self._dispatch()
+        result = yield from self.dbsvc.execute(self._rmdir_body(path, now))
+        return result
+
+    def _rmdir_body(self, path, now):
+        """The rmdir transaction body (wrapped by the sharded service)."""
 
         def body(txn):
             parent, name = self._txn_resolve_parent(txn, path)
@@ -412,8 +447,7 @@ class MetadataService:
             txn.write("inodes", parent)
             return True
 
-        result = yield from self.dbsvc.execute(body)
-        return result
+        return body
 
     def readdir(self, path):
         yield from self._dispatch()
@@ -510,6 +544,11 @@ class MetadataService:
                         target["nlink"] -= 1
                         if target["nlink"] <= 0:
                             txn.delete("inodes", target["vino"])
+                            if target["upath"] is not None:
+                                # Release the replaced file's placement
+                                # slot, exactly as unlink's _drop_link does.
+                                self._txn_bucket_adjust(
+                                    txn, target["upath"], -1)
                             replaced_upath, replaced_last = target["upath"], True
                             if replaced is not None:
                                 replaced.append(target["kind"])

@@ -43,6 +43,21 @@ following the HopsFS school of hierarchical-metadata partitioning:
   objects (directories, symlinks) replay on every shard, with any
   replaced-file upath reported back by the shard that owned it.
 
+- **Crash consistency (2-phase prepare/commit)**: every multi-step
+  mutation journals a durable *intent record* (table ``intents``)
+  atomically with its first local change, participants journal *prepare*
+  records atomically with theirs, and non-idempotent side effects
+  (remote link-count drops) are guarded by *dedup* records so they apply
+  exactly once.  A cross-shard file rename commits the moment the
+  destination's install transaction (carrying the prepare record) is
+  durable; a cross-shard link commits when the coordinator's
+  dentry-insert transaction (which atomically deletes its intent) is
+  durable.  :meth:`ShardMetadataService.recover` runs a tier-wide
+  completion pass that rolls committed intents forward and uncommitted
+  ones back, resyncs the replicated skeleton, and reconciles placement
+  counters — proven by exhaustive per-boundary fault injection in
+  ``tests/core/test_crash_points.py`` (see :mod:`repro.core.faults`).
+
 A 1-shard configuration never constructs this service; the stack keeps the
 plain :class:`MetadataService` + a pass-through router, so every seed
 figure doubles as a regression test for the routing layer.
@@ -54,9 +69,16 @@ Known simplifications (documented, exercised by tests where noted):
   beyond rename compensation).
 - Hard links to *symlinks* are rejected on sharded stacks (replica link
   counts would drift); plain files hard-link across shards fine.
-- Bucket (placement) counters stay on the shard where a file was created;
-  a cross-shard rename migrates the inode but not the counter, so the
-  origin shard keeps the slot charged until the file is unlinked.
+- Bucket (placement) counters travel with the inode row: a cross-shard
+  rename decrements the origin shard's counter and increments the
+  destination's in the same transactions that move the row, and
+  recovery's :meth:`ShardMetadataService.reconcile_buckets` recounts
+  them from the surviving rows.
+- A crash can orphan *underlying* objects (a replaced file's underlying
+  path is unlinked by the client after the metadata commit; if the
+  client died with the coordinator, the object lingers until a scrub).
+  The metadata tier itself stays consistent — only underlying space is
+  leaked.
 - A directory's mtime/ctime are authoritative on its *contents-owner*
   shard (file creates/unlinks update only that replica); ``getattr`` of a
   directory re-fetches from it, and directory ``setattr`` broadcasts.
@@ -65,21 +87,25 @@ Known simplifications (documented, exercised by tests where noted):
   atomic unit; a mirror that grew entries in the window refuses to
   delete (no file becomes unreachable, but the skeleton diverges until
   the rmdir is retried).  Full cross-shard atomicity is a ROADMAP item.
-- A partitioned file in the *middle* of a path answers ENOTDIR on leaf
-  walks (a missing middle dentry forwards to the shard owning the
-  enclosing directory's entries), but parent walks — create, unlink,
-  rename destination, readdir — answer ENOENT: re-forwarding them would
-  ping-pong with the router's leaf-parent routing, so the forward is
-  deliberately gated to non-parent walks (``_absent_dentry``).
+- A partitioned file in the *middle* of a path answers ENOTDIR on every
+  kind of walk: a missing dentry forwards to the shard owning the
+  enclosing directory's entries, which resolves authoritatively.  Parent
+  walks (create, unlink, rename destination, readdir) mark the forward
+  *final* so the redispatch lands on that owner verbatim — re-deriving
+  the target from the leaf's parent would ping-pong with the router's
+  leaf-parent routing.  (This closed the historical ENOENT/ENOTDIR
+  asymmetry between leaf and parent walks; the cross-shard-count
+  differential oracle now pins the symmetric behavior.)
 - A directory rename commits (locally and on every mirror) *before*
   :meth:`ShardMetadataService._migrate_renamed_subtree` re-homes the
-  subtree's file entries; until each export/import RPC pair lands, a
-  re-homed file is transiently ENOENT for other clients whose lookups
-  route to the new owner shard.  The renaming client itself never sees
-  the window (its rename does not return until migration completes),
-  but concurrent-workload tests must not misattribute these transient
-  ENOENTs.  Making the migration part of the rename's atomic commit is
-  a ROADMAP item alongside cross-shard rmdir atomicity.
+  subtree's file entries; until each copy → import → purge RPC triple
+  lands, a re-homed file is transiently ENOENT for other clients whose
+  lookups route to the new owner shard.  The window is crash-safe (the
+  migration is idempotent and redone by the rename's intent on
+  recovery) but not atomic for concurrent readers — pinned by
+  ``test_subtree_migration_window_only_transient_enoent``.  Making the
+  migration part of the rename's atomic commit is a ROADMAP item
+  alongside cross-shard rmdir atomicity.
 """
 
 import hashlib
@@ -92,12 +118,19 @@ from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize, split
 
 
 class ResolveForward(Exception):
-    """Control flow: continue this operation on ``shard`` at ``path``."""
+    """Control flow: continue this operation on ``shard`` at ``path``.
 
-    def __init__(self, shard, path):
+    ``final`` marks a forward to the shard that *authoritatively* owns
+    the missing component's enclosing directory: the redispatch target
+    must not be re-derived from the path (that would bounce the op right
+    back to the shard that raised the forward).
+    """
+
+    def __init__(self, shard, path, final=False):
         super().__init__(shard, path)
         self.shard = shard
         self.path = path
+        self.final = final
 
 
 class VinoForward(Exception):
@@ -283,6 +316,11 @@ class ShardMetadataService(MetadataService):
         self.sharding = sharding
         self._local_only = False
         self._parent_walk = False
+        #: optional :class:`repro.core.faults.CrashSchedule`; when set,
+        #: every peer RPC send/receive becomes a crash boundary.
+        self.faults = None
+        #: allocator for intent-record ids (reseated on recovery).
+        self._intent_seq = itertools.count(1)
         super().__init__(machine, config, policy=policy, streams=streams)
         # Vino allocation: stride-N classes keep shards collision-free while
         # every shard bootstraps the same replicated root as vino 1.
@@ -314,10 +352,74 @@ class ShardMetadataService(MetadataService):
 
     def _peer(self, shard, method, *args):
         """Coroutine: an internal shard-to-shard RPC (full network cost)."""
-        return self.machine.call(
+        call = self.machine.call(
             self.shard_machines[shard], "cofsmds", method, args=args,
             req_size=self.config.rpc_bytes, resp_size=self.config.rpc_bytes,
         )
+        if self.faults is None:
+            return call
+        return self._peer_traced(call, shard, method)
+
+    def _peer_traced(self, call, shard, method):
+        """Coroutine: a peer RPC whose send/receive are crash boundaries."""
+        self.faults.boundary(("send", self.shard_id, shard, method))
+        result = yield from call
+        self.faults.boundary(("recv", self.shard_id, shard, method))
+        return result
+
+    # -- coordination records (intent / prepare / dedup) -------------------
+
+    def _new_tid(self):
+        """A fresh intent id, unique per shard and across recoveries."""
+        return f"s{self.shard_id}.{next(self._intent_seq)}"
+
+    @staticmethod
+    def _part_id(tid):
+        """The participant (prepare) record id derived from ``tid``."""
+        return f"{tid}@p"
+
+    @staticmethod
+    def _dedup_id(tid, vino):
+        """The dedup record id guarding one remote link-count drop."""
+        return f"{tid}#d{vino}"
+
+    def intent_forget(self, rid):
+        """RPC (also used locally): durably drop one coordination record."""
+        yield from self._dispatch()
+
+        def body(txn):
+            if txn.read("intents", rid) is None:
+                return False
+            txn.delete("intents", rid)
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def open_intents(self):
+        """RPC: every unresolved coordination record on this shard."""
+        yield from self._dispatch()
+
+        def body(txn):
+            return [dict(row) for row in txn.match("intents")]
+
+        rows = yield from self.dbsvc.execute(body)
+        return rows
+
+    def _gather_intents(self):
+        """Coroutine: ``(shard, record)`` for every open record tier-wide."""
+        records = []
+        for shard in range(self.n_shards):
+            rows = yield from self._call_shard(shard, "open_intents")
+            records.extend((shard, row) for row in rows)
+        return records
+
+    def _forget_dedups(self, tid, pending):
+        """Coroutine: drop the dedup records a drained op left at homes."""
+        for home, vino in pending:
+            yield from self._peer(
+                home, "intent_forget", self._dedup_id(tid, vino))
+        return True
 
     def _redispatch(self, fwd, method, *args):
         """Coroutine: restart ``method`` where a forward says it belongs."""
@@ -331,19 +433,23 @@ class ShardMetadataService(MetadataService):
                 results.append((yield from self._peer(shard, method, *args)))
         return results
 
-    def _drain_pending(self, pending, now):
+    def _drain_pending(self, pending, now, tid=None):
         """Coroutine: run remote inode adjustments a txn body queued.
 
         ``pending`` is the caller-owned list its transaction body filled
         (never instance state: bodies of concurrent operations must not
         see each other's queues).  Returns the remote ``(upath, last)``
         outcomes so a rename that replaced a stub name can report the
-        underlying path to unlink.
+        underlying path to unlink.  With ``tid``, each drop is guarded by
+        a dedup record at its home shard so a post-crash redo applies it
+        exactly once.
         """
         outcomes = []
         for home, vino in pending:
+            dedup = None if tid is None else self._dedup_id(tid, vino)
             outcomes.append(
-                (yield from self._peer(home, "unlink_vino", vino, now)))
+                (yield from self._peer(home, "unlink_vino", vino, now,
+                                       dedup)))
         return outcomes
 
     @staticmethod
@@ -385,16 +491,22 @@ class ShardMetadataService(MetadataService):
 
     def _absent_dentry(self, txn, path, parts, index):
         last = index == len(parts) - 1
-        if not last and not self._local_only and not self._parent_walk:
+        if not self._local_only and (self._parent_walk or not last):
             dir_path = "/" + "/".join(parts[:index])
             owner = self._dir_owner(dir_path)
             if owner != self.shard_id:
-                # A *middle* component with no local dentry may still be a
+                # A component with no local dentry may still be a
                 # partitioned file (or stub) on the shard owning this
                 # directory's entries — which must then answer ENOTDIR,
                 # not ENOENT.  Forward; the owner resolves authoritatively
-                # and never re-forwards (it holds the entries).
-                raise ResolveForward(owner, path)
+                # and never re-forwards (it holds the entries).  Parent
+                # walks mark the forward ``final``: their redispatch must
+                # go to this owner verbatim, since re-deriving the shard
+                # from the leaf's parent would route straight back here.
+                # (A leaf walk's *last* component never forwards — the
+                # router already sent it to the dentry owner.)
+                raise ResolveForward(
+                    owner, path, final=self._parent_walk)
         super()._absent_dentry(txn, path, parts, index)
 
     def _missing_child(self, txn, path, dentry, last):
@@ -417,10 +529,14 @@ class ShardMetadataService(MetadataService):
             return super()._txn_resolve_parent(txn, path)
         except ResolveForward as fwd:
             # The *parent* walk crossed shards: re-attach the leaf so the
-            # re-dispatched operation carries the full rewritten path.
+            # re-dispatched operation carries the full rewritten path.  An
+            # authoritative (final) forward keeps its target shard; a
+            # symlink-retarget forward re-routes by the rewritten parent.
             _parent, name = split(path)
             base = normalize(fwd.path)
             full = f"/{name}" if base == "/" else f"{base}/{name}"
+            if fwd.final:
+                raise ResolveForward(fwd.shard, full, final=True) from None
             raise ResolveForward(self._owner_of(full), full) from None
         finally:
             self._parent_walk = prev
@@ -474,8 +590,23 @@ class ShardMetadataService(MetadataService):
 
     def setattr(self, path, changes, now, _hops=0):
         self._check_hops(_hops, path)
+        yield from self._dispatch()
+        self._check_setattr(changes)
+        tids = []
+        inner = self._setattr_body(path, changes, now)
+
+        def body(txn):
+            row = inner(txn)
+            if row["kind"] == DIRECTORY:
+                # Keep every replica of the skeleton coherent (stat reads
+                # the contents-owner replica; see getattr); the intent
+                # makes the broadcast crash-redoable.
+                tids.append(self._txn_mirror_intent(
+                    txn, "mirror_setattr", [path, changes, now]))
+            return row
+
         try:
-            view = yield from super().setattr(path, changes, now)
+            row = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
             view = yield from self._redispatch(
                 fwd, "setattr", fwd.path, changes, now, _hops + 1)
@@ -484,11 +615,20 @@ class ShardMetadataService(MetadataService):
             view = yield from self._peer(
                 fwd.shard, "setattr_vino", fwd.vino, changes, now)
             return view
-        if view["kind"] == DIRECTORY:
-            # Keep every replica of the skeleton coherent (stat reads the
-            # contents-owner replica; see getattr).
+        view = self._attr_view(row)
+        if tids:
             yield from self._broadcast("mirror_setattr", path, changes, now)
+            yield from self.intent_forget(tids[0])
         return view
+
+    def _txn_mirror_intent(self, txn, mirror, args):
+        """Journal a redoable mirror broadcast with the local change."""
+        tid = self._new_tid()
+        txn.insert("intents", {
+            "id": tid, "role": "coord", "op": "mirror",
+            "mirror": mirror, "args": list(args),
+        })
+        return tid
 
     def mirror_setattr(self, path, changes, now):
         """RPC (shard-to-shard): replicate a directory/symlink setattr."""
@@ -565,35 +705,79 @@ class ShardMetadataService(MetadataService):
     def create_node(self, path, kind, mode, uid, gid, node, pid, now,
                     target=None, _hops=0):
         self._check_hops(_hops, path)
+        if kind == FILE:
+            # Files are single-shard: the base transaction, no intent.
+            try:
+                view = yield from super().create_node(
+                    path, kind, mode, uid, gid, node, pid, now, target)
+            except ResolveForward as fwd:
+                view = yield from self._redispatch(
+                    fwd, "create_node", fwd.path, kind, mode, uid, gid,
+                    node, pid, now, target, _hops + 1)
+            return view
+        yield from self._dispatch()
+        tids = []
+        inner = self._create_body(
+            path, kind, mode, uid, gid, node, pid, now, target)
+
+        def body(txn):
+            row = inner(txn)
+            tids.append(self._txn_mirror_intent(
+                txn, "mirror_create", [path, self._attr_view(row), now]))
+            return row
+
         try:
-            view = yield from super().create_node(
-                path, kind, mode, uid, gid, node, pid, now, target)
+            row = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
             view = yield from self._redispatch(
                 fwd, "create_node", fwd.path, kind, mode, uid, gid, node,
                 pid, now, target, _hops + 1)
             return view
-        if kind != FILE:
-            yield from self._broadcast("mirror_create", path, view, now)
+        view = self._attr_view(row)
+        yield from self._broadcast("mirror_create", path, view, now)
+        yield from self.intent_forget(tids[0])
         return view
 
     def unlink(self, path, now, _hops=0):
         self._check_hops(_hops, path)
         yield from self._dispatch()
+        tids = []
+        inner = self._unlink_body(path, now)
+
+        def body(txn):
+            outcome = inner(txn)
+            if outcome[0] == "#stub":
+                # The remote link-count drop must survive a crash here.
+                tid = self._new_tid()
+                txn.insert("intents", {
+                    "id": tid, "role": "coord", "op": "unlink_stub",
+                    "vino": outcome[1], "home": outcome[2], "now": now,
+                })
+                tids.append(tid)
+            elif outcome[0] == SYMLINK and outcome[1][1]:
+                tids.append(self._txn_mirror_intent(
+                    txn, "mirror_unlink", [path, now]))
+            return outcome
+
         try:
-            outcome = yield from self.dbsvc.execute(
-                self._unlink_body(path, now))
+            outcome = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
             result = yield from self._redispatch(
                 fwd, "unlink", fwd.path, now, _hops + 1)
             return result
         if outcome[0] == "#stub":  # inode adjusted at its home shard
             _marker, vino, home = outcome
-            result = yield from self._peer(home, "unlink_vino", vino, now)
+            tid = tids[0]
+            dedup = self._dedup_id(tid, vino)
+            result = yield from self._peer(
+                home, "unlink_vino", vino, now, dedup)
+            yield from self.intent_forget(tid)
+            yield from self._peer(home, "intent_forget", dedup)
             return result
         kind, (upath, last) = outcome
         if kind == SYMLINK and last:
             yield from self._broadcast("mirror_unlink", path, now)
+            yield from self.intent_forget(tids[0])
         return (upath, last)
 
     def rmdir(self, path, now, _hops=0):
@@ -604,13 +788,24 @@ class ShardMetadataService(MetadataService):
             entries = yield from self._peer(owner, "count_children_of", path)
             if entries:
                 raise FsError.enotempty(path)
+        yield from self._dispatch()
+        tids = []
+        inner = self._rmdir_body(path, now)
+
+        def body(txn):
+            result = inner(txn)
+            tids.append(self._txn_mirror_intent(
+                txn, "mirror_rmdir", [path, now]))
+            return result
+
         try:
-            result = yield from super().rmdir(path, now)
+            result = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
             result = yield from self._redispatch(
                 fwd, "rmdir", fwd.path, now, _hops + 1)
             return result
         yield from self._broadcast("mirror_rmdir", path, now)
+        yield from self.intent_forget(tids[0])
         return result
 
     # -- rename: local, replicated, and cross-shard ------------------------
@@ -644,21 +839,40 @@ class ShardMetadataService(MetadataService):
             return (yield from self._rename_replicated(
                 kind, vino, old, new, dst, now, _hops))
         if dst == self.shard_id and home is None:
-            # Entirely this shard's business: the base transaction.
-            pending, replaced = [], []
+            # Entirely this shard's business: the base transaction, plus
+            # an intent when it leaves redoable remote work behind (a
+            # replaced stub's link drop, a replaced symlink's replicas).
+            pending, replaced, tids = [], [], []
+            inner = self._rename_body(old, new, now, pending, replaced)
+
+            def body(txn):
+                result = inner(txn)
+                if pending or SYMLINK in replaced:
+                    tid = self._new_tid()
+                    txn.insert("intents", {
+                        "id": tid, "role": "coord", "op": "rename_post",
+                        "new": new, "now": now, "pending": list(pending),
+                        "replaced_symlink": SYMLINK in replaced,
+                    })
+                    tids.append(tid)
+                return result
+
             try:
-                result = yield from self._rename_local(
-                    old, new, now, pending, replaced)
+                result = yield from self.dbsvc.execute(body)
             except ResolveForward as fwd:
                 result = yield from self.rename(old, fwd.path, now, _hops + 1)
                 return result
-            drained = yield from self._drain_pending(pending, now)
-            result = self._merge_replaced(result, drained)
-            if SYMLINK in replaced:
-                # The rename destroyed a replicated symlink at ``new``;
-                # its replicas on every other shard must die with it (as
-                # unlink does), or stale replicas keep resolving the link.
-                yield from self._broadcast("mirror_unlink", new, now)
+            if tids:
+                tid = tids[0]
+                drained = yield from self._drain_pending(pending, now, tid)
+                result = self._merge_replaced(result, drained)
+                if SYMLINK in replaced:
+                    # The rename destroyed a replicated symlink at ``new``;
+                    # its replicas on every other shard must die with it
+                    # (as unlink does), or stale replicas keep resolving.
+                    yield from self._broadcast("mirror_unlink", new, now)
+                yield from self.intent_forget(tid)
+                yield from self._forget_dedups(tid, pending)
             return result
         return (yield from self._rename_cross_shard(
             old, new, vino, home, dst, now, _hops))
@@ -679,18 +893,34 @@ class ShardMetadataService(MetadataService):
                     content_owner, "count_children_of", new)
                 if entries:
                     raise FsError.enotempty(new)
-        pending = []
+        pending, tids = [], []
+        inner = self._rename_body(old, new, now, pending)
+
+        def body(txn):
+            result = inner(txn)
+            tid = self._new_tid()
+            txn.insert("intents", {
+                "id": tid, "role": "coord", "op": "rename_replicated",
+                "kind": kind, "vino": vino, "old": old, "new": new,
+                "now": now, "pending": list(pending),
+            })
+            tids.append(tid)
+            return result
+
         try:
-            result = yield from self._rename_local(old, new, now, pending)
+            result = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
             result = yield from self.rename(old, fwd.path, now, _hops + 1)
             return result
-        drained = yield from self._drain_pending(pending, now)
+        tid = tids[0]
+        drained = yield from self._drain_pending(pending, now, tid)
         result = self._merge_replaced(result, drained)
         mirrored = yield from self._broadcast("mirror_rename", old, new, now)
         result = self._merge_replaced(result, mirrored)
         if kind == DIRECTORY:
             yield from self._migrate_renamed_subtree(vino, old, new, now)
+        yield from self.intent_forget(tid)
+        yield from self._forget_dedups(tid, pending)
         return result
 
     def _migrate_renamed_subtree(self, vino, old, new, now):
@@ -701,8 +931,13 @@ class ShardMetadataService(MetadataService):
         well-known cost of path-based partitioning that HopsFS sidesteps by
         hashing immutable inode ids.  The replicated skeleton makes the
         fix cheap to coordinate: this shard enumerates the subtree locally,
-        then moves each re-homed directory's file entries with one
-        export/import RPC pair.
+        then moves each re-homed directory's file entries with a
+        copy → import → purge RPC triple.  Copy-then-delete (rather than
+        the destructive export this replaced) means a crash between the
+        RPCs never loses entries: they transiently exist on both shards,
+        and re-running the migration (recovery's intent roll-forward does)
+        converges — import skips keys it already holds, purge deletes
+        only what the copy listed.
         """
 
         def collect(txn):
@@ -729,13 +964,22 @@ class ShardMetadataService(MetadataService):
             if src == dst:
                 continue
             dentries, inodes = yield from self._call_shard(
-                src, "export_dir_children", dvino)
+                src, "copy_dir_children", dvino)
             if dentries:
                 yield from self._call_shard(
                     dst, "import_dir_children", dvino, dentries, inodes)
+                yield from self._call_shard(
+                    src, "purge_dir_children", dvino,
+                    [d["key"] for d in dentries],
+                    [r["vino"] for r in inodes])
 
-    def export_dir_children(self, vino):
-        """RPC (shard-to-shard): detach a directory's file entries here."""
+    def copy_dir_children(self, vino):
+        """RPC (shard-to-shard): read a directory's file entries here.
+
+        Read-only: the entries stay until :meth:`purge_dir_children`
+        confirms the destination holds them, so no crash point between
+        the migration RPCs can lose an entry.
+        """
         yield from self._dispatch()
 
         def body(txn):
@@ -753,30 +997,55 @@ class ShardMetadataService(MetadataService):
                         dentry["home"] = self.shard_id
                     else:
                         inodes.append(dict(row))
-                        txn.delete("inodes", row["vino"])
                 dentries.append(dentry)
-                txn.delete("dentries", dentry["key"])
-            if dentries:
-                self._invalidate_resolve(vino)
             return (dentries, inodes)
 
         result = yield from self.dbsvc.execute(body)
         return result
 
     def import_dir_children(self, vino, dentries, inodes):
-        """RPC (shard-to-shard): adopt re-homed file entries."""
+        """RPC (shard-to-shard): adopt re-homed file entries (idempotent)."""
         yield from self._dispatch()
 
         def body(txn):
             for row in inodes:
-                txn.insert("inodes", dict(row))
+                if txn.read("inodes", row["vino"]) is None:
+                    txn.insert("inodes", dict(row))
+                    if row["upath"]:
+                        self._txn_bucket_adjust(txn, row["upath"], 1)
             for dentry in dentries:
                 dentry = dict(dentry)
                 if dentry.get("home") == self.shard_id:
                     del dentry["home"]  # the stub came home
-                txn.insert("dentries", dentry)
+                if txn.read("dentries", tuple(dentry["key"])) is None:
+                    txn.insert("dentries", dentry)
             self._invalidate_resolve(vino)
             return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def purge_dir_children(self, vino, keys, vinos):
+        """RPC (shard-to-shard): drop migrated entries once the new owner
+        holds them (idempotent: deletes only what is still here)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            changed = False
+            for key in keys:
+                if txn.read("dentries", tuple(key)) is not None:
+                    txn.delete("dentries", tuple(key))
+                    changed = True
+            for moved in vinos:
+                row = txn.read("inodes", moved)
+                if row is not None and row["kind"] == FILE:
+                    txn.delete("inodes", moved)
+                    if row["upath"]:
+                        self._txn_bucket_adjust(txn, row["upath"], -1)
+                    changed = True
+            if changed:
+                self._invalidate_resolve(vino)
+            return changed
 
         result = yield from self.dbsvc.execute(body)
         return result
@@ -790,10 +1059,18 @@ class ShardMetadataService(MetadataService):
     def _rename_cross_shard(self, old, new, vino, home, dst, now, _hops):
         """Coroutine: move a file's name (and inode) to another shard.
 
-        This shard (owner of the source name) coordinates: detach locally,
-        install at the destination, re-attach as compensation if the
-        install is refused.
+        Two-phase: the detach transaction journals an intent record —
+        carrying the detached inode row itself, so no crash point can
+        lose it — atomically with the detach; the destination's install
+        transaction journals a prepare record atomically with the
+        install and is the commit point.  Afterwards the coordinator
+        drops its intent, then the participant's prepare record.  A
+        crash anywhere is resolved by recovery's completion pass: the
+        prepare record's existence decides commit (roll forward) vs
+        abort (re-attach from the intent's payload).
         """
+        tid = self._new_tid()
+
         def detach(txn):
             parent, name = self._txn_resolve_parent(txn, old)
             dentry = txn.read("dentries", (parent["vino"], name))
@@ -805,21 +1082,35 @@ class ShardMetadataService(MetadataService):
             up["mtime"] = up["ctime"] = now
             txn.write("inodes", up)
             if dentry.get("home") is not None:
-                return (None, dentry["home"])
-            row = txn.read_for_update("inodes", dentry["vino"])
-            if row is None:
-                raise FsError.enoent(old)
-            if row["nlink"] > 1:
-                # Other names — local hard links or remote stubs — still
-                # reference this inode; moving the row would dangle every
-                # one of them.  It stays home and the renamed name
-                # becomes a stub pointing here.
-                row["ctime"] = now
-                txn.write("inodes", row)
-                return (None, self.shard_id)
-            txn.delete("inodes", row["vino"])
-            row["ctime"] = now
-            return (row, None)
+                out = (None, dentry["home"])
+            else:
+                row = txn.read_for_update("inodes", dentry["vino"])
+                if row is None:
+                    raise FsError.enoent(old)
+                if row["nlink"] > 1:
+                    # Other names — local hard links or remote stubs —
+                    # still reference this inode; moving the row would
+                    # dangle every one of them.  It stays home and the
+                    # renamed name becomes a stub pointing here.
+                    row["ctime"] = now
+                    txn.write("inodes", row)
+                    out = (None, self.shard_id)
+                else:
+                    txn.delete("inodes", row["vino"])
+                    if row["upath"]:
+                        # The placement charge travels with the row.
+                        self._txn_bucket_adjust(txn, row["upath"], -1)
+                    row["ctime"] = now
+                    out = (row, None)
+            moved, stub_home = out
+            txn.insert("intents", {
+                "id": tid, "role": "coord", "op": "rename",
+                "old": old, "new": new, "dst": dst, "now": now,
+                "row": dict(moved) if moved is not None else None,
+                "stub": None if stub_home is None
+                else {"vino": dentry["vino"], "home": stub_home},
+            })
+            return out
 
         # The peek above already pinned ``old``'s canonical resolution to
         # this shard; the detach — and any compensation — walks the local
@@ -834,18 +1125,36 @@ class ShardMetadataService(MetadataService):
             payload, stub = row, None
         try:
             result = yield from self._call_shard(
-                dst, "rename_install", new, payload, stub, now)
+                dst, "rename_install", new, payload, stub, now, tid)
         except FsError:
-            yield from self.dbsvc.execute(self._local_body(
-                lambda txn: self._txn_reattach(txn, old, payload, stub, now)))
+            yield from self._rename_rollback(tid, old, payload, stub, now)
             raise
         if result == "#same":
             # Old and new name already point at the same inode: POSIX says
-            # do nothing, so undo the detach.
-            yield from self.dbsvc.execute(self._local_body(
-                lambda txn: self._txn_reattach(txn, old, payload, stub, now)))
+            # do nothing, so undo the detach (the install wrote no prepare
+            # record, so a crash before this lands rolls back the same way).
+            yield from self._rename_rollback(tid, old, payload, stub, now)
             return (None, False)
-        return tuple(result)
+        yield from self.intent_forget(tid)
+        yield from self._call_shard(result[2], "retire_rename_part", tid)
+        return (result[0], result[1])
+
+    def _rename_rollback(self, tid, old, row, stub, now):
+        """Coroutine: abort a cross-shard rename — re-attach the detached
+        name and drop the intent in one transaction (idempotent: recovery
+        may race or repeat it)."""
+
+        def body(txn):
+            if txn.read("intents", tid) is None:
+                return False
+            parent, name = self._txn_resolve_parent(txn, old)
+            if txn.read("dentries", (parent["vino"], name)) is None:
+                self._txn_reattach(txn, old, row, stub, now)
+            txn.delete("intents", tid)
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
 
     def _txn_reattach(self, txn, path, row, stub, now):
         """Compensation: put a detached name (and inode) back."""
@@ -861,13 +1170,23 @@ class ShardMetadataService(MetadataService):
         txn.insert("dentries", dentry)
         if row is not None:
             txn.insert("inodes", dict(row))
+            if row["upath"]:
+                self._txn_bucket_adjust(txn, row["upath"], 1)
         up = dict(parent)
         up["mtime"] = up["ctime"] = now
         txn.write("inodes", up)
         return True
 
-    def rename_install(self, new, row, stub, now, _hops=0):
-        """RPC (shard-to-shard): attach a renamed file at its new shard."""
+    def rename_install(self, new, row, stub, now, tid, _hops=0):
+        """RPC (shard-to-shard): attach a renamed file at its new shard.
+
+        The install transaction is the rename's commit point: it journals
+        a prepare record (under ``tid``) atomically with the attach, so
+        recovery can tell a committed rename (roll the coordinator's
+        intent forward) from an aborted one (re-attach the old name).
+        Returns ``(replaced_upath, replaced_last, installer_shard)``, or
+        ``"#same"`` without writing a prepare record.
+        """
         self._check_hops(_hops, new)
         yield from self._dispatch()
         moving_vino = row["vino"] if row is not None else stub["vino"]
@@ -891,6 +1210,9 @@ class ShardMetadataService(MetadataService):
                         target["nlink"] -= 1
                         if target["nlink"] <= 0:
                             txn.delete("inodes", target["vino"])
+                            if target["kind"] == FILE and target["upath"]:
+                                self._txn_bucket_adjust(
+                                    txn, target["upath"], -1)
                             replaced_upath = target["upath"]
                             replaced_last = True
                             replaced.append(target["kind"])
@@ -908,55 +1230,115 @@ class ShardMetadataService(MetadataService):
             txn.insert("dentries", dentry)
             if row is not None:
                 txn.insert("inodes", dict(row))
+                if row["upath"]:
+                    self._txn_bucket_adjust(txn, row["upath"], 1)
             np = dict(new_parent)
             np["mtime"] = np["ctime"] = now
             txn.write("inodes", np)
+            txn.insert("intents", {
+                "id": self._part_id(tid), "role": "part", "op": "rename",
+                "new": new, "now": now, "pending": list(pending),
+                "replaced_symlink": SYMLINK in replaced,
+            })
             return (replaced_upath, replaced_last)
 
         try:
             result = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
             result = yield from self._redispatch(
-                fwd, "rename_install", fwd.path, row, stub, now, _hops + 1)
+                fwd, "rename_install", fwd.path, row, stub, now, tid,
+                _hops + 1)
             return result
-        outcomes = yield from self._drain_pending(pending, now)
         if result == "#same":
             return result
+        outcomes = yield from self._drain_pending(pending, now, tid)
         if SYMLINK in replaced:
             # The install destroyed a replicated symlink at ``new``; kill
             # its replicas everywhere else (including the coordinator) so
             # no stale replica keeps resolving the dead link.
             yield from self._broadcast("mirror_unlink", new, now)
-        return self._merge_replaced(result, outcomes)
+        merged = self._merge_replaced(result, outcomes)
+        return (merged[0], merged[1], self.shard_id)
 
     def mirror_rename(self, old, new, now):
-        """RPC (shard-to-shard): replay a replicated-object rename."""
+        """RPC (shard-to-shard): replay a replicated-object rename.
+
+        A replay that replaces a stub queues a remote link-count drop;
+        that drop gets its own intent here (this shard coordinates it),
+        because the *caller's* intent only redoes the broadcast — and a
+        replayed ``mirror_rename`` whose rename already applied answers
+        ENOENT, so it would never re-reach this drop.
+        """
         yield from self._dispatch()
-        pending = []
+        pending, tids = [], []
+        inner = self._rename_body(old, new, now, pending)
+
+        def body(txn):
+            result = inner(txn)
+            if pending:
+                tid = self._new_tid()
+                txn.insert("intents", {
+                    "id": tid, "role": "coord", "op": "rename_post",
+                    "new": new, "now": now, "pending": list(pending),
+                    "replaced_symlink": False,
+                })
+                tids.append(tid)
+            return result
+
         try:
-            result = yield from self.dbsvc.execute(
-                self._local_body(self._rename_body(old, new, now, pending)))
+            result = yield from self.dbsvc.execute(self._local_body(body))
         except FsError:
             return (None, False)
-        drained = yield from self._drain_pending(pending, now)
-        return self._merge_replaced(result, drained)
+        if tids:
+            tid = tids[0]
+            drained = yield from self._drain_pending(pending, now, tid)
+            result = self._merge_replaced(result, drained)
+            yield from self.intent_forget(tid)
+            yield from self._forget_dedups(tid, pending)
+        return result
 
     # -- link: possibly cross-shard ---------------------------------------
 
     def link(self, src, dst, now, _hops=0):
+        """Coroutine: hard link, two-phase when it crosses shards.
+
+        The coordinator (destination-parent owner) journals an intent
+        *before* any link count moves; the bump transaction at the
+        source's home journals a prepare record atomically with the
+        bump; the coordinator's dentry-insert transaction atomically
+        deletes the intent — that deletion is the commit point.  On any
+        failure (or crash) the bump is rolled back by
+        :meth:`link_abort`, which drops the count and the prepare record
+        in one transaction, so neither a repeat nor a crash mid-rollback
+        can double-revert it.
+        """
         self._check_hops(_hops, src)
         yield from self._dispatch()
+        tid = self._new_tid()
         src_owner = self._owner_of(src)
-        if src_owner == self.shard_id:
-            try:
-                view, home = yield from self._link_fetch_local(src, now)
-            except ResolveForward as fwd:
-                result = yield from self._redispatch(
-                    fwd, "link", fwd.path, dst, now, _hops + 1)
-                return result
-        else:
-            view, home = yield from self._peer(
-                src_owner, "link_fetch", src, now)
+        try:
+            if src_owner == self.shard_id:
+                view, home = yield from self._link_fetch_local(
+                    src, now, tid, coordinate=True)
+            else:
+                # The intent must be durable before any *remote* bump:
+                # a prepare record without a coordinator intent reads as
+                # committed to recovery.  (The local-fetch path instead
+                # folds the intent into the bump transaction itself.)
+                yield from self.dbsvc.execute(
+                    lambda txn: txn.insert(
+                        "intents", self._link_intent(tid, src, dst, now)))
+                view, home = yield from self._peer(
+                    src_owner, "link_fetch", src, now, tid)
+        except ResolveForward as fwd:
+            yield from self.intent_forget(tid)
+            result = yield from self._redispatch(
+                fwd, "link", fwd.path, dst, now, _hops + 1)
+            return result
+        except FsError:
+            # The bump transaction aborted: no prepare record anywhere.
+            yield from self.intent_forget(tid)
+            raise
 
         def body(txn):
             parent, name = self._txn_resolve_parent(txn, dst)
@@ -973,6 +1355,11 @@ class ShardMetadataService(MetadataService):
             up = dict(parent)
             up["mtime"] = up["ctime"] = now
             txn.write("inodes", up)
+            txn.delete("intents", tid)  # the commit point
+            if home == self.shard_id:
+                # The prepare record sits on this very shard: retire it
+                # with the commit instead of in a follow-up transaction.
+                txn.delete("intents", self._part_id(tid))
             return True
 
         try:
@@ -980,17 +1367,34 @@ class ShardMetadataService(MetadataService):
         except ResolveForward as fwd:
             # Destination parent crossed shards: undo the bump, move the
             # whole operation to the right coordinator.
-            yield from self._unbump(view["vino"], home, now)
+            yield from self._call_shard(home, "link_abort", tid, now)
+            yield from self.intent_forget(tid)
             result = yield from self._redispatch(
                 fwd, "link", src, fwd.path, now, _hops + 1)
             return result
         except FsError:
-            yield from self._unbump(view["vino"], home, now)
+            yield from self._call_shard(home, "link_abort", tid, now)
+            yield from self.intent_forget(tid)
             raise
+        if home != self.shard_id:
+            yield from self._peer(
+                home, "intent_forget", self._part_id(tid))
         return view
 
-    def _link_fetch_local(self, src, now):
-        """Coroutine: bump the link count of ``src``'s inode on this shard."""
+    def _link_intent(self, tid, src, dst, now):
+        return {"id": tid, "role": "coord", "op": "link",
+                "src": src, "dst": dst, "now": now}
+
+    def _link_fetch_local(self, src, now, tid, coordinate=False):
+        """Coroutine: bump the link count of ``src``'s inode on this shard.
+
+        With ``coordinate`` (this shard is the link's coordinator), the
+        coordinator intent rides the bump transaction alongside the
+        prepare record — one durable commit covers both; when the source
+        turns out to be a stub, the intent is journaled alone *before*
+        the remote bump instead.  A remote coordinator (``link_fetch``)
+        already journaled its intent and passes ``coordinate=False``.
+        """
 
         def body(txn):
             row = self._txn_resolve(txn, src, follow=False)
@@ -1003,40 +1407,63 @@ class ShardMetadataService(MetadataService):
             row["nlink"] += 1
             row["ctime"] = now
             txn.write("inodes", row)
+            if coordinate:
+                txn.insert("intents", self._link_intent(tid, src, None, now))
+            txn.insert("intents", {
+                "id": self._part_id(tid), "role": "part", "op": "link",
+                "vino": row["vino"], "now": now,
+            })
             return row
 
         try:
             row = yield from self.dbsvc.execute(body)
         except VinoForward as fwd:
-            view = yield from self._peer(fwd.shard, "link_vino", fwd.vino, now)
+            if coordinate:
+                yield from self.dbsvc.execute(
+                    lambda txn: txn.insert(
+                        "intents", self._link_intent(tid, src, None, now)))
+            view = yield from self._peer(
+                fwd.shard, "link_vino", fwd.vino, now, tid)
             return (view, fwd.shard)
         return (self._attr_view(row), self.shard_id)
 
-    def link_fetch(self, src, now, _hops=0):
-        """RPC (shard-to-shard): resolve + bump a link source for a peer."""
+    def link_fetch(self, src, now, tid, _hops=0):
+        """RPC (shard-to-shard): resolve + bump a link source for a peer
+        (the caller coordinates: its intent is already durable)."""
         self._check_hops(_hops, src)
         yield from self._dispatch()
         try:
-            result = yield from self._link_fetch_local(src, now)
+            result = yield from self._link_fetch_local(src, now, tid)
         except ResolveForward as fwd:
             result = yield from self._redispatch(
-                fwd, "link_fetch", fwd.path, now, _hops + 1)
+                fwd, "link_fetch", fwd.path, now, tid, _hops + 1)
         return result
 
-    def _unbump(self, vino, home, now):
-        """Coroutine: compensate an optimistic link-count bump."""
-        if home != self.shard_id:
-            yield from self._peer(home, "unlink_vino", vino, now)
-            return
+    def link_abort(self, tid, now):
+        """RPC (shard-to-shard): roll back an optimistic link-count bump.
+
+        Atomic with the prepare record's deletion, so it is idempotent:
+        recovery (or a repeated live rollback) finds no record and does
+        nothing.  Uses the full ``_drop_link`` semantics — if every other
+        name vanished while the link was in flight, the rollback is the
+        last drop and must reclaim the inode and its placement slot.
+        """
+        yield from self._dispatch()
+        pid = self._part_id(tid)
 
         def body(txn):
-            row = txn.read_for_update("inodes", vino)
-            if row is not None:
-                row["nlink"] -= 1
-                txn.write("inodes", row)
+            rec = txn.read("intents", pid)
+            if rec is None:
+                return False
+            txn.delete("intents", pid)
+            row = txn.read_for_update("inodes", rec["vino"])
+            if row is None:
+                return False
+            self._drop_link(txn, row, now)
             return True
 
-        yield from self.dbsvc.execute(body)
+        result = yield from self.dbsvc.execute(body)
+        return result
 
     def close_sync(self, vino, size, mtime, now):
         """Delegated write-back; chases an inode a rename migrated away.
@@ -1111,7 +1538,9 @@ class ShardMetadataService(MetadataService):
         row = yield from self.dbsvc.execute(body)
         return self._attr_view(row)
 
-    def link_vino(self, vino, now):
+    def link_vino(self, vino, now, tid):
+        """RPC: bump a link count at the inode's home, with the prepare
+        record journaled atomically (the stub-mediated fetch path)."""
         yield from self._dispatch()
 
         def body(txn):
@@ -1125,19 +1554,41 @@ class ShardMetadataService(MetadataService):
             row["nlink"] += 1
             row["ctime"] = now
             txn.write("inodes", row)
+            txn.insert("intents", {
+                "id": self._part_id(tid), "role": "part", "op": "link",
+                "vino": vino, "now": now,
+            })
             return row
 
         row = yield from self.dbsvc.execute(body)
         return self._attr_view(row)
 
-    def unlink_vino(self, vino, now):
+    def unlink_vino(self, vino, now, dedup=None):
+        """RPC: drop one link at the inode's home shard.
+
+        With ``dedup``, the drop is exactly-once: a dedup record commits
+        atomically with it (storing the outcome), and a repeat — live
+        retry or recovery redo — returns the recorded outcome instead of
+        dropping again.
+        """
         yield from self._dispatch()
 
         def body(txn):
+            if dedup is not None:
+                rec = txn.read("intents", dedup)
+                if rec is not None:
+                    return tuple(rec["outcome"])
             row = txn.read_for_update("inodes", vino)
             if row is None:
-                return (None, False)
-            return self._drop_link(txn, row, now)
+                outcome = (None, False)
+            else:
+                outcome = self._drop_link(txn, row, now)
+            if dedup is not None:
+                txn.insert("intents", {
+                    "id": dedup, "role": "dedup",
+                    "outcome": list(outcome),
+                })
+            return outcome
 
         result = yield from self.dbsvc.execute(body)
         return result
@@ -1283,26 +1734,85 @@ class ShardMetadataService(MetadataService):
     # -- recovery ----------------------------------------------------------
 
     def recover(self):
-        """Coroutine: crash/recover this shard, keeping its vino stride.
+        """Coroutine: crash/recover this shard, then repair the tier.
+
+        After the local rebuild (journal replay + allocator reseating,
+        :meth:`recover_local`), this shard drives the tier-wide passes:
+        resolve every open intent/prepare record (roll committed
+        cross-shard operations forward, uncommitted ones back), *then*
+        resync the replicated skeleton (a shard restored from an older
+        journal prefix may hold a stale replica set), and reconcile the
+        placement counters against the surviving inode rows.  Intent
+        completion must come first: a half-replicated rename's surviving
+        intent re-broadcasts the replay, whereas resyncing first would
+        read the half-replicated state as divergence and erase both
+        sides of it.  Every pass is idempotent — a crash *during*
+        recovery is recovered from by simply recovering again.
+
+        Recovery assumes a quiesced tier: the completion pass reads
+        *every* shard's open intents and would resolve (abort) the
+        intent of an operation still in flight on a healthy peer,
+        racing its coordinator.  Real deployments fence with epochs or
+        leases before admitting new operations; that machinery is a
+        ROADMAP item, and the crash drills quiesce by construction (the
+        injected crash kills the whole in-flight operation).
+        """
+        lost = yield from self.recover_local()
+        yield from self.complete_tier_intents()
+        yield from self.resync_skeleton()
+        yield from self.reconcile_tier_buckets()
+        # The completion pass can re-attach rows a rolled-back rename had
+        # detached (they travelled inside the intent record, invisible to
+        # the first reseat): reseat again against the settled tables.
+        yield from self.reseat_allocators()
+        return lost
+
+    def recover_local(self):
+        """Coroutine: rebuild this shard only, keeping its vino stride."""
+        lost = yield from super().recover()
+        yield from self.reseat_allocators()
+        return lost
+
+    def reseat_allocators(self):
+        """Coroutine: reseat the vino and intent-id allocators.
 
         Cross-shard renames migrate inodes (with their vinos) to other
         shards, so the local tables alone under-estimate how far this
         shard's allocation class has advanced: the peers are asked for
         their highest vino in this class before the allocator reseats.
+        The intent-id allocator reseats the same way (prepare and dedup
+        records derived from this shard's ids live on peers).
         """
-        lost = yield from super().recover()
         base, step = self.shard_id + 1, self.n_shards
         vinos = [row["vino"] for row in self.db.table("inodes").all()]
         top = max(vinos) if vinos else 0
+        seq = self._max_local_intent_seq()
         for shard in range(self.n_shards):
             if shard != self.shard_id:
                 peak = yield from self._peer(
                     shard, "max_vino_in_class", base, step)
                 top = max(top, peak)
+                speak = yield from self._peer(
+                    shard, "max_intent_seq", f"s{self.shard_id}.")
+                seq = max(seq, speak)
         if top >= base:
             base += ((top - base) // step + 1) * step
         self._vino = itertools.count(base, step)
-        return lost
+        self._intent_seq = itertools.count(seq + 1)
+        return True
+
+    def _max_local_intent_seq(self, prefix=None):
+        """Highest intent sequence number with ``prefix`` in this table."""
+        prefix = prefix or f"s{self.shard_id}."
+        peak = 0
+        for row in self.db.table("intents").all():
+            base = row["id"].split("@")[0].split("#")[0]
+            if base.startswith(prefix):
+                try:
+                    peak = max(peak, int(base[len(prefix):]))
+                except ValueError:
+                    pass
+        return peak
 
     def max_vino_in_class(self, base, step):
         """RPC (shard-to-shard): highest local vino ≡ base (mod step)."""
@@ -1318,3 +1828,385 @@ class ShardMetadataService(MetadataService):
 
         peak = yield from self.dbsvc.execute(body)
         return peak
+
+    def max_intent_seq(self, prefix):
+        """RPC (shard-to-shard): highest intent seq with ``prefix`` here."""
+        yield from self._dispatch()
+
+        def body(txn):
+            return self._max_local_intent_seq(prefix)
+
+        peak = yield from self.dbsvc.execute(body)
+        return peak
+
+    # -- tier-wide recovery passes -----------------------------------------
+
+    def resync_skeleton(self):
+        """Coroutine: make every skeleton replica match its authority.
+
+        The authoritative copy of the entry at path P lives on the shard
+        owning P's parent's entries — the shard that coordinated its
+        creation.  A shard that recovered from an older journal prefix
+        may be missing newer entries (copy them in) or still hold entries
+        whose authority lost them (remove them).  Runs *after* the intent
+        completion pass, which already re-broadcast every half-finished
+        replication — what remains diverging here is journal loss, and
+        the authority's survived prefix is the truth.
+        """
+        maps = []
+        for shard in range(self.n_shards):
+            maps.append((yield from self._call_shard(shard, "skeleton_map")))
+        auth = {}
+        every = set()
+        for view in maps:
+            every.update(view)
+        for path in sorted(every, key=lambda p: p.count("/")):
+            row = maps[self._owner_of(path)].get(path)
+            if row is None:
+                continue  # the authority lost it: everyone drops it
+            parent, _name = split(path)
+            if parent != "/" and parent not in auth:
+                continue  # orphaned subtree: its parent is gone
+            auth[path] = row
+        ordered = sorted(auth, key=lambda p: p.count("/"))
+        structural = ("kind", "mode", "uid", "gid", "target")
+        for shard in range(self.n_shards):
+            local = maps[shard]
+            adds, rewrites = [], []
+            for path in ordered:
+                row = auth[path]
+                mine = local.get(path)
+                if mine is None or mine["vino"] != row["vino"]:
+                    # Missing — or a *different* object reused the path
+                    # (divergent histories): replace, don't keep both.
+                    adds.append((path, row))
+                elif any(mine[f] != row[f] for f in structural):
+                    rewrites.append((path, row))
+            removes = sorted(
+                (path for path, mine in local.items()
+                 if path not in auth or auth[path]["vino"] != mine["vino"]),
+                key=lambda p: -p.count("/"))
+            if adds or removes or rewrites:
+                yield from self._call_shard(
+                    shard, "skeleton_apply", adds, removes, rewrites)
+        return True
+
+    def skeleton_map(self):
+        """RPC (shard-to-shard): this shard's skeleton replica by path."""
+        yield from self._dispatch()
+
+        def body(txn):
+            view = {}
+            frontier = [("", self.root_vino)]
+            while frontier:
+                dir_path, dvino = frontier.pop()
+                for dentry in txn.index_read("dentries", "parent", dvino):
+                    if dentry.get("home") is not None:
+                        continue
+                    row = txn.read("inodes", dentry["vino"])
+                    if row is None or row["kind"] == FILE:
+                        continue
+                    path = f"{dir_path}/{dentry['name']}"
+                    view[path] = dict(row)
+                    if row["kind"] == DIRECTORY:
+                        frontier.append((path, row["vino"]))
+            return view
+
+        view = yield from self.dbsvc.execute(body)
+        return view
+
+    def skeleton_apply(self, adds, removes, rewrites):
+        """RPC (shard-to-shard): reshape this replica to the authority.
+
+        ``removes`` (deepest first) drop stale skeleton entries — along
+        with any local file entries under a dropped directory, which are
+        unreachable once the directory is gone everywhere.  ``adds``
+        (shallowest first) copy in authoritative rows.  ``rewrites``
+        overwrite same-vino rows whose attributes diverged (a lost
+        setattr broadcast).  Directory link counts are recomputed from
+        the final dentry set afterwards — authoritative rows already
+        count children the same apply may add or remove, so incremental
+        bookkeeping would double-count.  One transaction: a crash
+        mid-resync leaves the old replica, and the next recovery resyncs
+        again.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            for path in removes:
+                try:
+                    parent, name = self._txn_resolve_parent(txn, path)
+                except FsError:
+                    continue
+                dentry = txn.read("dentries", (parent["vino"], name))
+                if dentry is None:
+                    continue
+                self._invalidate_resolve(parent["vino"])
+                txn.delete("dentries", (parent["vino"], name))
+                row = txn.read("inodes", dentry["vino"])
+                if row is not None:
+                    if row["kind"] == DIRECTORY:
+                        for child in txn.index_read(
+                                "dentries", "parent", row["vino"]):
+                            txn.delete("dentries", child["key"])
+                            crow = txn.read("inodes", child["vino"])
+                            if crow is not None and crow["kind"] == FILE \
+                                    and child.get("home") is None:
+                                txn.delete("inodes", crow["vino"])
+                                if crow["upath"]:
+                                    self._txn_bucket_adjust(
+                                        txn, crow["upath"], -1)
+                        self._invalidate_resolve(row["vino"])
+                    txn.delete("inodes", row["vino"])
+            for path, auth_row in adds:
+                try:
+                    parent, name = self._txn_resolve_parent(txn, path)
+                except FsError:
+                    continue
+                if txn.read("dentries", (parent["vino"], name)) is not None:
+                    continue
+                txn.write("inodes", dict(auth_row))
+                self._invalidate_resolve(parent["vino"])
+                txn.insert("dentries", {
+                    "key": (parent["vino"], name), "parent": parent["vino"],
+                    "name": name, "vino": auth_row["vino"],
+                })
+            for _path, auth_row in rewrites:
+                txn.write("inodes", dict(auth_row))
+            self._txn_fix_dir_nlinks(txn)
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    def _txn_fix_dir_nlinks(self, txn):
+        """Recompute every directory's nlink (2 + subdirectories) from
+        the transaction's final dentry set."""
+        for row in txn.match("inodes"):
+            if row["kind"] != DIRECTORY:
+                continue
+            subdirs = 0
+            for dentry in txn.index_read("dentries", "parent", row["vino"]):
+                if dentry.get("home") is not None:
+                    continue
+                child = txn.read("inodes", dentry["vino"])
+                if child is not None and child["kind"] == DIRECTORY:
+                    subdirs += 1
+            if row["nlink"] != 2 + subdirs:
+                fixed = dict(row)
+                fixed["nlink"] = 2 + subdirs
+                txn.write("inodes", fixed)
+
+    def complete_tier_intents(self):
+        """Coroutine: resolve every open coordination record tier-wide.
+
+        Three idempotent passes: (A) every coordinator intent is rolled
+        forward (its prepare record exists → the operation committed) or
+        back; (B) surviving prepare records — their coordinator already
+        committed and dropped its intent — redo their post-commit side
+        effects (dedup-guarded) and retire; (C) dedup records whose
+        operation is fully resolved are garbage-collected.  A crash at
+        any point leaves records a re-run resolves the same way.
+        """
+        records = yield from self._gather_intents()
+        parts = {rec["id"]: shard for shard, rec in records
+                 if rec["role"] == "part"}
+        for shard, rec in records:
+            if rec["role"] != "coord":
+                continue
+            if rec["op"] == "rename":
+                committed = self._part_id(rec["id"]) in parts
+                yield from self._call_shard(
+                    shard, "finish_rename_intent", rec, committed)
+            elif rec["op"] == "link":
+                # The intent is deleted atomically with the commit, so
+                # its survival means abort: revert the bump if it landed.
+                pshard = parts.get(self._part_id(rec["id"]))
+                if pshard is not None:
+                    yield from self._call_shard(
+                        pshard, "link_abort", rec["id"], rec["now"])
+                yield from self._call_shard(
+                    shard, "intent_forget", rec["id"])
+            else:
+                yield from self._call_shard(shard, "redo_intent", rec)
+        records = yield from self._gather_intents()
+        for shard, rec in records:
+            if rec["role"] != "part":
+                continue
+            if rec["op"] == "rename":
+                yield from self._call_shard(shard, "redo_rename_part", rec)
+            else:  # a committed link's prepare record: the bump stands
+                yield from self._call_shard(shard, "intent_forget",
+                                            rec["id"])
+        records = yield from self._gather_intents()
+        live = {rec["id"].split("@")[0].split("#")[0]
+                for _shard, rec in records if rec["role"] != "dedup"}
+        for shard, rec in records:
+            if rec["role"] == "dedup" and \
+                    rec["id"].split("#")[0] not in live:
+                yield from self._call_shard(shard, "intent_forget",
+                                            rec["id"])
+        return True
+
+    def finish_rename_intent(self, rec, committed):
+        """RPC (shard-to-shard): resolve a cross-shard rename intent here.
+
+        Committed (the destination holds the prepare record): the detach
+        stands, only the intent retires.  Aborted: re-attach the old name
+        from the intent's payload — unless something already occupies it
+        — atomically with the intent's deletion.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            if txn.read("intents", rec["id"]) is None:
+                return False
+            if not committed:
+                parent, name = self._txn_resolve_parent(txn, rec["old"])
+                if txn.read("dentries", (parent["vino"], name)) is None:
+                    self._txn_reattach(
+                        txn, rec["old"], rec["row"], rec["stub"],
+                        rec["now"])
+            txn.delete("intents", rec["id"])
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    def redo_intent(self, rec):
+        """RPC (shard-to-shard): roll a coordinator intent forward here.
+
+        Every redo is idempotent (mirror replays no-op when already
+        applied; link drops are dedup-guarded), so the record is deleted
+        only after its effects are re-applied.
+        """
+        op = rec["op"]
+        if op == "mirror":
+            yield from self._broadcast(rec["mirror"], *rec["args"])
+            yield from self.intent_forget(rec["id"])
+        elif op == "rename_post":
+            pending = [tuple(p) for p in rec["pending"]]
+            yield from self._drain_pending(pending, rec["now"], rec["id"])
+            if rec["replaced_symlink"]:
+                yield from self._broadcast(
+                    "mirror_unlink", rec["new"], rec["now"])
+            yield from self.intent_forget(rec["id"])
+            yield from self._forget_dedups(rec["id"], pending)
+        elif op == "rename_replicated":
+            pending = [tuple(p) for p in rec["pending"]]
+            yield from self._drain_pending(pending, rec["now"], rec["id"])
+            yield from self._broadcast(
+                "mirror_rename", rec["old"], rec["new"], rec["now"])
+            if rec["kind"] == DIRECTORY:
+                yield from self._migrate_renamed_subtree(
+                    rec["vino"], rec["old"], rec["new"], rec["now"])
+            yield from self.intent_forget(rec["id"])
+            yield from self._forget_dedups(rec["id"], pending)
+        elif op == "unlink_stub":
+            dedup = self._dedup_id(rec["id"], rec["vino"])
+            yield from self._peer(
+                rec["home"], "unlink_vino", rec["vino"], rec["now"], dedup)
+            yield from self.intent_forget(rec["id"])
+            yield from self._peer(rec["home"], "intent_forget", dedup)
+        return True
+
+    def retire_rename_part(self, tid):
+        """RPC (shard-to-shard): drop a committed install's prepare record
+        and then its dedup guards (in that order: a crash in between
+        leaves only garbage the completion pass collects)."""
+        yield from self._dispatch()
+        pid = self._part_id(tid)
+
+        def body(txn):
+            rec = txn.read("intents", pid)
+            if rec is None:
+                return None
+            txn.delete("intents", pid)
+            return [tuple(p) for p in rec["pending"]]
+
+        pending = yield from self.dbsvc.execute(body)
+        if pending:
+            yield from self._forget_dedups(tid, pending)
+        return True
+
+    def redo_rename_part(self, rec):
+        """RPC (shard-to-shard): redo a committed install's side effects.
+
+        The prepare record survives only when the coordinator committed
+        but the forget never arrived; the drains are dedup-guarded and
+        the symlink-replica removal idempotent, so redoing is safe.  The
+        record is deleted before its dedup guards so a crash between the
+        deletions leaves only garbage pass C collects.
+        """
+        pending = [tuple(p) for p in rec["pending"]]
+        tid = rec["id"].rsplit("@", 1)[0]
+        yield from self._drain_pending(pending, rec["now"], tid)
+        if rec["replaced_symlink"]:
+            yield from self._broadcast(
+                "mirror_unlink", rec["new"], rec["now"])
+        yield from self.intent_forget(rec["id"])
+        yield from self._forget_dedups(tid, pending)
+        return True
+
+    def reconcile_tier_buckets(self):
+        """Coroutine: recount placement counters on every shard."""
+        for shard in range(self.n_shards):
+            yield from self._call_shard(shard, "reconcile_buckets")
+        return True
+
+    def reconcile_buckets(self):
+        """RPC (shard-to-shard): recount this shard's placement counters
+        from its surviving file rows (counters travel with inode rows;
+        a crash between a migration's transactions can leave them a step
+        behind — the recount is the authoritative repair)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            want = {}
+            for row in txn.match("inodes"):
+                if row["kind"] == FILE and row["upath"]:
+                    bucket, _slash, _leaf = row["upath"].rpartition("/")
+                    want[bucket] = want.get(bucket, 0) + 1
+            changed = 0
+            for brow in txn.match("buckets"):
+                target = want.pop(brow["path"], 0)
+                if brow["count"] != target:
+                    fixed = dict(brow)
+                    fixed["count"] = target
+                    txn.write("buckets", fixed)
+                    changed += 1
+            for path, count in want.items():
+                txn.write("buckets", {"path": path, "count": count})
+                changed += 1
+            return changed
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Tier-wide crash recovery
+# ---------------------------------------------------------------------------
+
+def recover_tier(shards):
+    """Coroutine: recover a whole crashed tier.
+
+    Rebuilds *every* shard from its durable journal prefix first — a
+    whole-tier power failure leaves no live peer to ask — then runs the
+    tier-wide repair passes (skeleton resync, intent completion, bucket
+    reconciliation) exactly once, driven by shard 0.  Single-shard crashes
+    use :meth:`ShardMetadataService.recover`, which runs the same passes
+    against the surviving peers' live tables.
+    """
+    lost = 0
+    for shard in shards:
+        lost += yield from shard.recover_local()
+    driver = shards[0]
+    yield from driver.complete_tier_intents()
+    yield from driver.resync_skeleton()
+    yield from driver.reconcile_tier_buckets()
+    for shard in shards:
+        # intent completion may have re-attached rows that travelled
+        # inside intent records; reseat against the settled tables.
+        yield from shard.reseat_allocators()
+    return lost

@@ -55,6 +55,11 @@ class DbService:
         self.read_txns = 0
         self.update_txns = 0
         self.recoveries = 0
+        #: optional fault-injection hook, called after every update
+        #: transaction's commit boundary (once it is as durable as the log
+        #: policy makes it).  Raising from the hook models a crash in the
+        #: gap after that commit; see :mod:`repro.core.faults`.
+        self.fault_hook = None
 
     def execute(self, body):
         """Coroutine: run transaction ``body`` with full cost accounting.
@@ -77,6 +82,8 @@ class DbService:
             if cfg.sync_updates:
                 yield from self.log.force()
                 self.journal.mark_durable()
+            if self.fault_hook is not None:
+                self.fault_hook()
         else:
             self.read_txns += 1
         return result

@@ -1,9 +1,10 @@
-"""Shared fixtures: a mounted COFS stack."""
+"""Shared fixtures: mounted COFS stacks (single-MDS and sharded)."""
 
 import pytest
 
 from repro.bench import build_flat_testbed
 from repro.bench.stack import CofsStack
+from repro.pfs.types import FILE
 
 
 class MountedCofs:
@@ -30,6 +31,48 @@ class MountedCofs:
             return values
 
         return self.sim.run_process(waiter())
+
+
+class ShardedCofs:
+    """A COFS testbed with an N-shard metadata tier.
+
+    The reusable tier-wide crash-drill host: `test_sharding` uses it for
+    protocol tests, `test_crash_points` for exhaustive fault injection,
+    and `test_differential` for cross-shard-count oracles.
+    """
+
+    def __init__(self, n_clients=2, shards=2, sharding=None,
+                 cofs_config=None):
+        self.testbed = build_flat_testbed(
+            n_clients=n_clients, with_mds=shards
+        )
+        self.sim = self.testbed.sim
+        self.stack = CofsStack(
+            self.testbed, sharding=sharding, cofs_config=cofs_config
+        )
+        self.mounts = [self.stack.mount(i) for i in range(n_clients)]
+        self.shards = self.stack.shards
+
+    def run(self, coro):
+        return self.sim.run_process(coro)
+
+    def run_all(self, coros):
+        procs = [self.sim.process(c) for c in coros]
+
+        def waiter():
+            values = yield self.sim.all_of(procs)
+            return values
+
+        return self.sim.run_process(waiter())
+
+    def inode_vinos(self, shard):
+        return {row["vino"] for row in
+                self.shards[shard].db.table("inodes").all()}
+
+    def file_vinos(self, shard):
+        return {row["vino"] for row in
+                self.shards[shard].db.table("inodes").all()
+                if row["kind"] == FILE}
 
 
 @pytest.fixture

@@ -1,0 +1,321 @@
+"""Exhaustive fault injection over the cross-shard protocols.
+
+Every cross-shard mutation is a sequence of durable journal commits and
+shard-to-shard RPCs.  For each scenario below, a counting pass enumerates
+every such boundary the operation crosses, then the replay passes re-run
+the operation on a fresh tier with a crash armed at each boundary in turn
+(the in-flight operation dies there — coordinator and participants
+alike), run tier-wide recovery, and assert the single invariant oracle:
+no dangling dentries, no stranded inodes, consistent link counts,
+identical skeleton replicas, reconciled placement counters, no leftover
+coordination records, and an observable namespace equal to either the
+pre-op or the post-op image.  A liveness probe then proves the tier still
+serves mutations.
+
+``REPRO_CRASH_POINTS=N`` bounds the replay to ~N evenly-strided
+boundaries per scenario (the CI smoke job uses this); unset, every
+boundary is replayed.
+"""
+
+import os
+
+import pytest
+
+from repro.core.faults import (
+    CrashInjected,
+    CrashSchedule,
+    arm_shards,
+    check_tier_invariants,
+    disarm_shards,
+    namespace_image,
+)
+from repro.core.sharding import SubtreeSharding, recover_tier
+from tests.core.conftest import ShardedCofs
+
+
+def _split(n):
+    """Static subtree sharding: /a → 0, /b → 1, ... (deterministic)."""
+    names = ["/a", "/b", "/c", "/d"]
+    return SubtreeSharding({names[i]: i for i in range(n)})
+
+
+def _apply(fs, ops):
+    """Coroutine: drive a list of op tuples through a mount."""
+    for op in ops:
+        kind = op[0]
+        if kind == "mkdir":
+            yield from fs.mkdir(op[1])
+        elif kind == "create":
+            fh = yield from fs.create(op[1])
+            yield from fs.close(fh)
+        elif kind == "symlink":
+            yield from fs.symlink(op[1], op[2])
+        elif kind == "link":
+            yield from fs.link(op[1], op[2])
+        elif kind == "unlink":
+            yield from fs.unlink(op[1])
+        elif kind == "rename":
+            yield from fs.rename(op[1], op[2])
+        elif kind == "rmdir":
+            yield from fs.rmdir(op[1])
+        elif kind == "chmod":
+            yield from fs.chmod(op[1], 0o700)
+        else:  # pragma: no cover - scenario typo guard
+            raise AssertionError(f"unknown op {kind}")
+    return True
+
+
+#: every scenario: shard count, deterministic setup, the one operation
+#: whose boundaries are exhaustively crashed.  The three acceptance
+#: protocols (cross-shard rename, cross-shard link, replicated mkdir)
+#: appear first; the rest cover the remaining intent-protected paths.
+SCENARIOS = {
+    "rename-cross-shard": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("create", "/a/f")],
+        op=[("rename", "/a/f", "/b/g")],
+    ),
+    "rename-cross-shard-replace": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"),
+               ("create", "/a/f"), ("create", "/b/g")],
+        op=[("rename", "/a/f", "/b/g")],
+    ),
+    "rename-cross-shard-over-stub": dict(
+        # /b/l is the last name of a hard-linked inode homed on shard 0:
+        # the install replaces a stub and must drain a remote link drop.
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("create", "/a/x"),
+               ("link", "/a/x", "/b/l"), ("unlink", "/a/x"),
+               ("create", "/a/f")],
+        op=[("rename", "/a/f", "/b/l")],
+    ),
+    "rename-cross-shard-over-symlink": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("mkdir", "/a/t"),
+               ("symlink", "/a/t", "/b/s"), ("create", "/a/f")],
+        op=[("rename", "/a/f", "/b/s")],
+    ),
+    "link-cross-shard": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("create", "/a/f")],
+        op=[("link", "/a/f", "/b/l")],
+    ),
+    "link-via-stub": dict(
+        # The fetch forwards through a stub to the inode's home shard.
+        shards=3,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("mkdir", "/c"),
+               ("create", "/a/f"), ("link", "/a/f", "/b/l")],
+        op=[("link", "/b/l", "/c/m")],
+    ),
+    "mkdir-replicated": dict(
+        shards=2,
+        setup=[("mkdir", "/a")],
+        op=[("mkdir", "/a/sub")],
+    ),
+    "mkdir-replicated-4shards": dict(
+        shards=4,
+        setup=[("mkdir", "/a")],
+        op=[("mkdir", "/a/sub")],
+    ),
+    "symlink-replicated": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b")],
+        op=[("symlink", "/a", "/b/ln")],
+    ),
+    "rmdir-replicated": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/a/sub")],
+        op=[("rmdir", "/a/sub")],
+    ),
+    "unlink-symlink-replicated": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("symlink", "/a", "/b/ln")],
+        op=[("unlink", "/b/ln")],
+    ),
+    "unlink-stub": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("create", "/a/f"),
+               ("link", "/a/f", "/b/l")],
+        op=[("unlink", "/b/l")],
+    ),
+    "setattr-dir-broadcast": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/a/sub")],
+        op=[("chmod", "/a/sub")],
+    ),
+    "rename-replicated-dir-migrates-subtree": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("mkdir", "/a/d"),
+               ("create", "/a/d/f"), ("create", "/a/d/g")],
+        op=[("rename", "/a/d", "/b/d")],
+    ),
+}
+
+#: liveness probe: after recovery the tier must still serve mutations.
+PROBE = [("create", "/a/probe"), ("unlink", "/a/probe")]
+
+
+def _build(spec):
+    host = ShardedCofs(
+        n_clients=1, shards=spec["shards"], sharding=_split(spec["shards"]))
+    host.run(_apply(host.mounts[0], spec["setup"]))
+    return host
+
+
+def _count_boundaries(spec):
+    """The counting pass: images + total boundary count for a scenario."""
+    host = _build(spec)
+    sharding = host.stack.sharding
+    pre = namespace_image(host.shards, sharding)
+    schedule = CrashSchedule()
+    arm_shards(host.shards, schedule)
+    host.run(_apply(host.mounts[0], spec["op"]))
+    disarm_shards(host.shards)
+    post = namespace_image(host.shards, sharding)
+    assert post != pre, "scenario op must change the namespace"
+    # the clean run itself must satisfy every structural invariant
+    check_tier_invariants(host.shards, sharding, images=(post,))
+    return schedule.count, pre, post
+
+
+def _selected(count):
+    """All boundaries, or ~N per scenario under REPRO_CRASH_POINTS=N."""
+    env = os.environ.get("REPRO_CRASH_POINTS")
+    if not env:
+        return range(count)
+    bound = max(1, int(env))
+    stride = max(1, -(-count // bound))
+    return range(0, count, stride)
+
+
+def _crash_at(spec, k):
+    """Replay the scenario, crash at boundary ``k``; returns host + label."""
+    host = _build(spec)
+    schedule = CrashSchedule(armed=k)
+    arm_shards(host.shards, schedule)
+    crashed = []
+
+    def run_op():
+        try:
+            yield from _apply(host.mounts[0], spec["op"])
+        except CrashInjected as exc:
+            crashed.append(exc)
+        return True
+
+    host.run(run_op())
+    disarm_shards(host.shards)
+    assert crashed, f"boundary {k} never fired"
+    return host, crashed[0].label
+
+
+def _drill(spec, k, pre, post, mode):
+    host, label = _crash_at(spec, k)
+    sharding = host.stack.sharding
+    if mode == "all":
+        host.run(recover_tier(host.shards))
+    else:
+        # Only the shard where the crash fired restarts; its recover()
+        # drives the tier-wide repair against the survivors' live state.
+        host.run(host.shards[label[1]].recover())
+    check_tier_invariants(host.shards, sharding, images=(pre, post))
+    host.run(_apply(host.mounts[0], PROBE))
+    check_tier_invariants(host.shards, sharding)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_boundary_recovers_whole_tier_crash(name):
+    spec = SCENARIOS[name]
+    count, pre, post = _count_boundaries(spec)
+    assert count >= 2, f"{name}: expected a multi-boundary protocol"
+    for k in _selected(count):
+        _drill(spec, k, pre, post, mode="all")
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["rename-cross-shard", "rename-cross-shard-over-stub",
+     "link-cross-shard", "mkdir-replicated"],
+)
+def test_single_shard_crash_recovery_repairs_the_tier(name):
+    """Crashing only the shard where the boundary fired: its recover()
+    alone (tier passes against live peers) must restore the invariants."""
+    spec = SCENARIOS[name]
+    count, pre, post = _count_boundaries(spec)
+    for k in _selected(count):
+        _drill(spec, k, pre, post, mode="one")
+
+
+def test_boundary_enumeration_is_exhaustive_and_large():
+    """The acceptance floor: the three core protocols alone cross well
+    over 30 distinct crash boundaries."""
+    core = ["rename-cross-shard", "rename-cross-shard-replace",
+            "rename-cross-shard-over-stub", "link-cross-shard",
+            "link-via-stub", "mkdir-replicated", "mkdir-replicated-4shards"]
+    total = sum(_count_boundaries(SCENARIOS[name])[0] for name in core)
+    assert total >= 30, total
+    grand = sum(
+        _count_boundaries(spec)[0] for spec in SCENARIOS.values())
+    assert grand > total
+
+
+def test_coordinator_crash_mid_rename_no_stranded_name():
+    """The exact gap PR 2 documented: coordinator dies after the detach
+    commit, before the install.  The old name must reappear (rollback) —
+    never a vanished file."""
+    spec = SCENARIOS["rename-cross-shard"]
+    count, pre, post = _count_boundaries(spec)
+    # Find the boundary right after the detach transaction commits on the
+    # coordinator (shard 0): the first ("commit", 0) the op crosses.
+    host, label = _crash_at(spec, 0)
+    seen = [label]
+    k = 0
+    while label != ("commit", 0):
+        k += 1
+        host, label = _crash_at(spec, k)
+        seen.append(label)
+    host.run(recover_tier(host.shards))
+    observed = check_tier_invariants(
+        host.shards, host.stack.sharding, images=(pre, post))
+    assert observed == pre, (
+        "a crash between detach and install must roll back", seen)
+    # and the file is fully usable again
+    host.run(_apply(host.mounts[0], [("rename", "/a/f", "/a/f2"),
+                                     ("unlink", "/a/f2")]))
+
+
+def test_double_recovery_crash_during_completion_pass():
+    """Recovery itself can crash: arm a fresh schedule during the tier
+    recovery, let it die mid-completion, recover again — invariants must
+    hold at every recovery boundary too."""
+    spec = SCENARIOS["rename-cross-shard-over-stub"]
+    count, pre, post = _count_boundaries(spec)
+    # Crash mid-operation somewhere in the middle of the protocol.
+    mid = count // 2
+    # Counting pass for the recovery itself.
+    host, _label = _crash_at(spec, mid)
+    rec_schedule = CrashSchedule()
+    arm_shards(host.shards, rec_schedule)
+    host.run(recover_tier(host.shards))
+    disarm_shards(host.shards)
+    rec_count = rec_schedule.count
+    assert rec_count >= 1
+    for rk in _selected(rec_count):
+        host, _label = _crash_at(spec, mid)
+        schedule = CrashSchedule(armed=rk)
+        arm_shards(host.shards, schedule)
+
+        def recover_once():
+            try:
+                yield from recover_tier(host.shards)
+            except CrashInjected:
+                pass
+            return True
+
+        host.run(recover_once())
+        disarm_shards(host.shards)
+        # second, undisturbed recovery
+        host.run(recover_tier(host.shards))
+        check_tier_invariants(
+            host.shards, host.stack.sharding, images=(pre, post))
+        host.run(_apply(host.mounts[0], PROBE))

@@ -11,8 +11,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.sharding import HashDirSharding, SubtreeSharding
 from repro.pfs import FsError, OpenFlags
-from tests.core.conftest import MountedCofs
+from tests.core.conftest import MountedCofs, ShardedCofs
 from tests.pfs.conftest import MountedPfs
 
 NAMES = st.sampled_from(["a", "b", "c", "d1", "d2"])
@@ -180,3 +181,79 @@ def test_differential_smoke_two_nodes():
         if not p.startswith("/.cofs")
     }
     assert bare_state == cofs_out["state"]
+
+
+# ---------------------------------------------------------------------------
+# Sharded tier vs single shard: partitioning must be invisible
+# ---------------------------------------------------------------------------
+
+# Nested names spread directories over shards under both policies.  The
+# strategy deliberately omits ``symlink``: hard links to symlinks are a
+# documented sharded-tier divergence (EINVAL there, allowed on a single
+# MDS); symlink transparency is pinned by the fixed scenario below.
+SHARD_NAMES = st.sampled_from(["a", "b", "d1", "d2", "d1/x", "d2/y"])
+
+SHARD_OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("mkdir"), SHARD_NAMES, st.none()),
+        st.tuples(st.just("create"), SHARD_NAMES, PAYLOADS),
+        st.tuples(st.just("unlink"), SHARD_NAMES, st.none()),
+        st.tuples(st.just("rmdir"), SHARD_NAMES, st.none()),
+        st.tuples(st.just("rename"),
+                  st.tuples(SHARD_NAMES, SHARD_NAMES), st.none()),
+        st.tuples(st.just("link"),
+                  st.tuples(SHARD_NAMES, SHARD_NAMES), st.none()),
+        st.tuples(st.just("utime"), SHARD_NAMES, st.none()),
+        st.tuples(st.just("chmod"), SHARD_NAMES, st.none()),
+        st.tuples(st.just("append"), SHARD_NAMES, PAYLOADS),
+    ),
+    max_size=12,
+)
+
+
+def _sharded_stacks():
+    """The comparison grid: 2- and 4-shard tiers under both policies."""
+    return [
+        ShardedCofs(n_clients=1, shards=2, sharding=HashDirSharding()),
+        ShardedCofs(n_clients=1, shards=4, sharding=HashDirSharding()),
+        ShardedCofs(n_clients=1, shards=2,
+                    sharding=SubtreeSharding({"/d1": 1, "/d2": 0})),
+        ShardedCofs(n_clients=1, shards=4,
+                    sharding=SubtreeSharding({"/d1": 1, "/d2": 3})),
+    ]
+
+
+@settings(max_examples=10, deadline=None)
+@given(SHARD_OPERATIONS)
+def test_sharded_tiers_match_single_shard(ops):
+    reference = MountedCofs(1)
+    ref_outcomes = reference.run(apply_ops(reference.mounts[0], ops))
+    ref_state = reference.run(observe(reference.mounts[0]))
+
+    for host in _sharded_stacks():
+        outcomes = host.run(apply_ops(host.mounts[0], ops))
+        label = (host.stack.n_shards, type(host.stack.sharding).__name__)
+        assert outcomes == ref_outcomes, label
+        state = host.run(observe(host.mounts[0]))
+        assert state == ref_state, label
+
+
+def test_sharded_symlink_scenario_matches_single_shard():
+    """Symlink transparency across shard counts (fixed scenario: no hard
+    links to symlinks, the one documented divergence)."""
+    ops = [
+        ("mkdir", "d1", None),
+        ("symlink", ("d1", "ln"), None),
+        ("create", "d1/x", b"abc"),
+        ("rename", ("d1/x", "d2"), None),
+        ("symlink", ("d2", "d1/x"), None),
+        ("unlink", "ln", None),
+        ("rmdir", "d1", None),  # ENOTEMPTY: d1/x is a symlink now
+    ]
+    reference = MountedCofs(1)
+    ref_outcomes = reference.run(apply_ops(reference.mounts[0], ops))
+    ref_state = reference.run(observe(reference.mounts[0]))
+    for host in _sharded_stacks():
+        outcomes = host.run(apply_ops(host.mounts[0], ops))
+        assert outcomes == ref_outcomes
+        assert host.run(observe(host.mounts[0])) == ref_state

@@ -12,31 +12,7 @@ from repro.core.sharding import (
 )
 from repro.pfs import FsError
 from repro.pfs.types import DIRECTORY, FILE, SYMLINK
-
-
-class ShardedCofs:
-    """A COFS testbed with an N-shard metadata tier."""
-
-    def __init__(self, n_clients=2, shards=2, sharding=None):
-        self.testbed = build_flat_testbed(
-            n_clients=n_clients, with_mds=shards
-        )
-        self.sim = self.testbed.sim
-        self.stack = CofsStack(self.testbed, sharding=sharding)
-        self.mounts = [self.stack.mount(i) for i in range(n_clients)]
-        self.shards = self.stack.shards
-
-    def run(self, coro):
-        return self.sim.run_process(coro)
-
-    def inode_vinos(self, shard):
-        return {row["vino"] for row in
-                self.shards[shard].db.table("inodes").all()}
-
-    def file_vinos(self, shard):
-        return {row["vino"] for row in
-                self.shards[shard].db.table("inodes").all()
-                if row["kind"] == FILE}
+from tests.core.conftest import ShardedCofs
 
 
 @pytest.fixture
@@ -910,3 +886,79 @@ def test_metarates_private_dirs_runs_on_sharded_stack():
     # everything cleaned up on both shards
     assert host.file_vinos(0) == set()
     assert host.file_vinos(1) == set()
+
+
+# ---------------------------------------------------------------------------
+# regression: the two documented resolution windows
+# ---------------------------------------------------------------------------
+
+def test_partitioned_middle_file_is_enotdir_on_every_walk():
+    """A partitioned file in the middle of a path answers ENOTDIR for
+    leaf walks AND parent walks (create/mkdir/readdir) alike — the
+    historical ENOENT/ENOTDIR asymmetry is closed by the final forward
+    to the enclosing directory's owner."""
+    policy = HashDirSharding()
+    root_shard = policy.shard_of_dir("/", 2)
+    name = next(f"f{i}" for i in range(100)
+                if policy.shard_of_dir(f"/f{i}", 2) != root_shard)
+    host = ShardedCofs(sharding=HashDirSharding())
+    fs = host.mounts[0]
+
+    def setup():
+        fh = yield from fs.create(f"/{name}")
+        yield from fs.close(fh)
+
+    host.run(setup())
+
+    def expect(code, coro):
+        with pytest.raises(FsError) as err:
+            host.run(coro)
+        assert err.value.code == code
+
+    expect("ENOTDIR", fs.stat(f"/{name}/y"))           # leaf walk
+    expect("ENOTDIR", fs.create(f"/{name}/y"))         # parent walk
+    expect("ENOTDIR", fs.mkdir(f"/{name}/y"))          # parent walk
+    expect("ENOTDIR", fs.readdir(f"/{name}"))          # dir-target walk
+    expect("ENOTDIR", fs.unlink(f"/{name}/y"))         # parent walk
+    # a truly absent middle component stays ENOENT on every walk
+    expect("ENOENT", fs.stat("/nosuch/y"))
+    expect("ENOENT", fs.create("/nosuch/y"))
+
+
+def test_subtree_migration_window_only_transient_enoent(split2):
+    """Pin the post-rename migration window: while a directory rename
+    re-homes file entries, a concurrent reader of the new path may see
+    ENOENT (documented), but never any other error, and the namespace
+    settles to the post-rename image once the rename returns."""
+    fs0, fs1 = split2.mounts[0], split2.mounts[1]
+    seen = []
+
+    def writer():
+        yield from fs0.mkdir("/a/d")
+        for i in range(4):
+            fh = yield from fs0.create(f"/a/d/f{i}")
+            yield from fs0.close(fh)
+        yield from fs0.rename("/a/d", "/b/d")
+        return True
+
+    def reader():
+        for _ in range(40):
+            try:
+                attr = yield from fs1.stat("/b/d/f0")
+                seen.append(("ok", attr.kind))
+            except FsError as exc:
+                seen.append(("err", exc.code))
+            yield split2.sim.timeout(1.0)
+        return True
+
+    split2.run_all([writer(), reader()])
+    assert set(seen) <= {("ok", FILE), ("err", "ENOENT")}
+
+    def after():
+        names = yield from fs0.readdir("/b/d")
+        attr = yield from fs1.stat("/b/d/f3")
+        return names, attr.kind
+
+    names, kind = split2.run(after())
+    assert names == ["f0", "f1", "f2", "f3"]
+    assert kind == FILE
