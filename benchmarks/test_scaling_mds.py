@@ -27,6 +27,10 @@ def test_scaling_mds(benchmark):
         ratio = r[("metarates", "create", cur)] / \
             r[("metarates", "create", prev)]
         assert 0.9 < ratio < 1.1, (prev, cur, ratio)
+        # the metadata-only create must not regress with shards (it is
+        # log-force bound, scaling like utime rather than stat).
+        assert r[("metarates", "mdcreate", cur)] >= \
+            r[("metarates", "mdcreate", prev)], (prev, cur)
         # the data-bound production trace must not regress when the
         # namespace is partitioned (±5% latency, same job count ±2%).
         jratio = r[("traces", "job_ms", cur)] / r[("traces", "job_ms", prev)]
@@ -37,3 +41,10 @@ def test_scaling_mds(benchmark):
 
     first, last = shards[0], shards[-1]
     assert r[("metarates", "mix", last)] > r[("metarates", "mix", first)] * 2
+
+    # The MDS-ceiling probe: with the underlying object out of the
+    # picture, the metadata tier alone creates several times faster than
+    # the underlying-FS-bound full create at every shard count.
+    for n_shards in shards:
+        assert r[("metarates", "mdcreate", n_shards)] > \
+            r[("metarates", "create", n_shards)] * 3, n_shards

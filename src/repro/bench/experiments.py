@@ -11,6 +11,7 @@ log-spaced subset that exhibits every effect, and ``full=True`` (or the
 REPRO_FULL=1 environment variable) restores the complete grids.
 """
 
+import dataclasses
 import os
 
 from repro.bench.report import format_series, format_table
@@ -324,12 +325,17 @@ def run_scaling_mds(full=False, print_report=False, shard_counts=None):
 
     - **metarates** in the many-directories regime (``private_dirs``: one
       directory per rank, so hash-by-parent-directory spreads ranks over
-      shards).  Reported per-op rates and their sum (the ``mix`` row) are
-      the throughput-vs-shards curve.  ``stat`` scales near-linearly
+      shards).  Reported per-op rates and their sum over the original
+      create/stat/utime trio (the ``mix`` row) are the
+      throughput-vs-shards curve.  ``stat`` scales near-linearly
       (pure MDS CPU); ``utime`` sub-linearly (group-committed log forces
       batch *better* on fewer shards); ``create`` is bounded by the
       underlying file system, not the MDS — the floor virtualization
-      cannot remove.
+      cannot remove.  ``mdcreate`` (metadata-only create, no underlying
+      object) runs as a fourth phase to expose the MDS's own create
+      ceiling that the full create hides behind that floor; it is
+      reported separately and deliberately kept out of ``mix`` so the
+      historical curve stays comparable.
     - **traces**, the production mix, split across shards with the static
       :class:`SubtreeSharding` policy.  It is data-bound, so the check
       here is stability: per-class latencies must not regress when the
@@ -347,7 +353,9 @@ def run_scaling_mds(full=False, print_report=False, shard_counts=None):
     nodes = 16 if _full(full) else 8
     procs_per_node = 2
     fpp = 64 if _full(full) else 32
-    ops = ("create", "stat", "utime")
+    # mdcreate runs last: the earlier phases' timings are untouched, so
+    # the create/stat/utime/mix columns stay digit-identical to PR 2/3.
+    ops = ("create", "stat", "utime", "mdcreate")
     trace_split = SubtreeSharding(
         {"/project/checkpoints": 0, "/project/results": 1}
     )
@@ -362,7 +370,7 @@ def run_scaling_mds(full=False, print_report=False, shard_counts=None):
         for op in ops:
             results[("metarates", op, n_shards)] = res.rate_per_s(op)
         results[("metarates", "mix", n_shards)] = sum(
-            res.rate_per_s(op) for op in ops
+            res.rate_per_s(op) for op in ("create", "stat", "utime")
         )
         trace_bed = build_flat_testbed(9, with_mds=n_shards)
         trace_stack = CofsStack(trace_bed, sharding=trace_split)
@@ -386,10 +394,144 @@ def run_scaling_mds(full=False, print_report=False, shard_counts=None):
             for n_shards in shard_counts
         ]
         print(format_table(
-            ["shards", "create/s", "stat/s", "utime/s", "mix/s",
-             "trace job ms", "trace jobs"], rows,
+            ["shards", "create/s", "stat/s", "utime/s", "mdcreate/s",
+             "mix/s", "trace job ms", "trace jobs"], rows,
             title=(f"Scaling — metadata shards ({nodes} nodes x "
                    f"{procs_per_node} procs, private dirs)"),
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# EXP-S2 — beyond the paper: parallel broadcasts and online re-partitioning
+# ---------------------------------------------------------------------------
+
+def _colliding_dir_names(sharding, parent, count, n_shards, shard=0):
+    """``count`` directory names under ``parent`` all owned by ``shard``.
+
+    Models organic hot-spotting: with hash partitioning, independent
+    directory names collide on one shard with probability 1/N each — an
+    experiment just fast-forwards the search for a colliding set.
+    """
+    names = []
+    index = 0
+    while len(names) < count:
+        name = f"s{index:04d}"
+        if sharding.shard_of_dir(f"{parent}/{name}", n_shards) == shard:
+            names.append(name)
+        index += 1
+    return tuple(names)
+
+
+def run_scaling_rebalance(full=False, print_report=False, shard_counts=None):
+    """Parallel mirror broadcasts and online load-aware re-partitioning.
+
+    Two sub-experiments beyond ``scaling-mds``:
+
+    - **mkdir/rmdir latency vs shard count, serial vs parallel
+      broadcasts**: every mkdir/rmdir is a replicated mutation — local
+      transaction plus one mirror RPC per peer — so its latency grows
+      with the shard count.  Serial chains pay the *sum* of the peer
+      round trips, overlapped broadcasts (``parallel_broadcasts``) pay
+      roughly the *max*; the gap widens with shards.
+    - **skewed-workload throughput before/after migration**: every rank
+      directory is chosen to hash onto shard 0 (see
+      :func:`_colliding_dir_names`), so a stat-heavy workload bottlenecks
+      there no matter how many shards exist.  The
+      :class:`~repro.core.shard.rebalance.Rebalancer` then samples the
+      routers' load counters and re-homes the hot directories; the same
+      workload re-runs against the *migrated* population
+      (``assume_seeded``) and its throughput recovers toward the
+      unskewed curve.
+
+    ``shard_counts`` (or ``REPRO_REBALANCE_SHARDS``, e.g. ``1,2``)
+    overrides the default grid of the latency sweep; the skew experiment
+    uses the counts > 1.
+    """
+    from repro.core.shard import Rebalancer
+
+    if shard_counts is None:
+        env = os.environ.get("REPRO_REBALANCE_SHARDS")
+        if env:
+            shard_counts = tuple(int(tok) for tok in env.split(",") if tok)
+        else:
+            shard_counts = (1, 2, 4, 8) if _full(full) else (1, 2, 4)
+    nodes = 8 if _full(full) else 4
+    dirs_per_proc = 32 if _full(full) else 16
+    results = {}
+    ops_done = 0  # measured ops actually driven (quick-bench volume)
+
+    # (a) mkdir/rmdir latency, serial vs parallel broadcasts.
+    for n_shards in shard_counts:
+        modes = ("serial",) if n_shards <= 2 else ("serial", "parallel")
+        for mode in modes:
+            testbed = build_flat_testbed(nodes, with_mds=n_shards)
+            stack = CofsStack(testbed, cofs_config=CofsConfig(
+                parallel_broadcasts=(mode == "parallel")))
+            res = run_metarates(stack, MetaratesConfig(
+                nodes=nodes, files_per_proc=dirs_per_proc,
+                ops=("mkdir", "rmdir"),
+            ))
+            for op in ("mkdir", "rmdir"):
+                results[(op, n_shards, mode)] = res.mean_ms(op)
+                ops_done += res.recorder.count(op)
+        if n_shards <= 2:
+            # ≤1 peer: overlap cannot differ from the serial chain.
+            for op in ("mkdir", "rmdir"):
+                results[(op, n_shards, "parallel")] = \
+                    results[(op, n_shards, "serial")]
+
+    # (b) skewed stat workload, before/after online re-partitioning.
+    skew_counts = [n for n in shard_counts if n > 1]
+    procs_per_node = 2
+    fpp = 64 if _full(full) else 32
+    for n_shards in skew_counts:
+        testbed = build_flat_testbed(nodes, with_mds=n_shards)
+        stack = CofsStack(testbed)
+        names = _colliding_dir_names(
+            stack.sharding, "/bench/shared",
+            nodes * procs_per_node, n_shards)
+        config = MetaratesConfig(
+            nodes=nodes, procs_per_node=procs_per_node,
+            files_per_proc=fpp, ops=("stat",),
+            rank_dir_names=names, cleanup=False,
+        )
+        skewed = run_metarates(stack, config)
+        results[("skew-stat", n_shards, "before")] = skewed.rate_per_s("stat")
+        rebalancer = Rebalancer(stack.routers, stack.shards)
+        moves = stack.testbed.sim.run_process(rebalancer.rebalance())
+        results[("skew-moves", n_shards)] = len(moves)
+        rerun = run_metarates(
+            stack, dataclasses.replace(config, assume_seeded=True))
+        results[("skew-stat", n_shards, "after")] = rerun.rate_per_s("stat")
+        ops_done += skewed.recorder.count("stat") + rerun.recorder.count("stat")
+
+    out = {"shards": tuple(shard_counts), "nodes": nodes,
+           "dirs_per_proc": dirs_per_proc, "ops_done": ops_done,
+           "results": results}
+    if print_report:
+        rows = [
+            [n_shards, op,
+             round(results[(op, n_shards, "serial")], 4),
+             round(results[(op, n_shards, "parallel")], 4)]
+            for n_shards in shard_counts for op in ("mkdir", "rmdir")
+        ]
+        print(format_table(
+            ["shards", "op", "serial ms/op", "parallel ms/op"], rows,
+            title=f"Replicated mkdir/rmdir latency ({nodes} nodes)",
+        ))
+        rows = [
+            [n_shards,
+             round(results[("skew-stat", n_shards, "before")], 1),
+             round(results[("skew-stat", n_shards, "after")], 1),
+             results[("skew-moves", n_shards)]]
+            for n_shards in skew_counts
+        ]
+        print(format_table(
+            ["shards", "skewed stat/s", "rebalanced stat/s", "dirs moved"],
+            rows,
+            title=(f"Skewed workload vs online re-partitioning "
+                   f"({nodes} nodes x {procs_per_node} procs)"),
         ))
     return out
 
@@ -405,4 +547,5 @@ EXPERIMENTS = {
     "ablation-placement": run_ablation_placement,
     "ablation-mds": run_ablation_mds,
     "scaling-mds": run_scaling_mds,
+    "scaling-rebalance": run_scaling_rebalance,
 }

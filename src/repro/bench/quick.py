@@ -93,6 +93,22 @@ def _quick_scaling():
     return ops_done, virtual_ms
 
 
+def _quick_rebalance():
+    """Parallel broadcasts + online re-partitioning at small scale.
+
+    One mkdir/rmdir run with overlapped mirrors and the skewed-stat /
+    rebalance / re-run cycle, both at 3 shards — the wall-clock smoke
+    for the PR 4 machinery (simulated numbers are asserted in
+    ``benchmarks/test_scaling_rebalance.py``).
+    """
+    from repro.bench.experiments import run_scaling_rebalance
+
+    out = run_scaling_rebalance(shard_counts=(1, 3))
+    # The experiment reports its own measured-op volume; the virtual
+    # clock is not meaningful across its many stacks, so report 0.
+    return out["ops_done"], 0.0
+
+
 def _quick_table1():
     ops_done = 0
     virtual_ms = 0.0
@@ -115,6 +131,7 @@ QUICK_EXPERIMENTS = {
     "fig6": _quick_fig6,
     "table1": _quick_table1,
     "scaling-mds": _quick_scaling,
+    "scaling-rebalance": _quick_rebalance,
 }
 
 

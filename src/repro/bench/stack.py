@@ -108,6 +108,20 @@ class CofsStack:
             self._views[key] = view
         return view
 
+    def underlying(self, node_index):
+        """The bare parallel-FS client beneath a node's COFS mount
+        (maintenance tools — the scrubber — walk the layout through it)."""
+        return self._underlying[node_index]
+
+    def driver(self, node_index):
+        """A node's metadata router (maintenance fan-outs, rebalancing)."""
+        return self._drivers[node_index]
+
+    @property
+    def routers(self):
+        """Every node's metadata router (the rebalancer samples them)."""
+        return list(self._drivers)
+
     @property
     def n_nodes(self):
         return len(self._underlying)

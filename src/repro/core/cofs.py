@@ -25,9 +25,10 @@ from repro.pfs.vfs import FileSystemApi
 
 
 class _CofsHandle:
-    __slots__ = ("fh", "vino", "upath", "ufh", "flags", "wrote", "max_end")
+    __slots__ = ("fh", "vino", "upath", "ufh", "flags", "wrote", "max_end",
+                 "meta_only")
 
-    def __init__(self, fh, vino, upath, ufh, flags):
+    def __init__(self, fh, vino, upath, ufh, flags, meta_only=False):
         self.fh = fh
         self.vino = vino
         self.upath = upath
@@ -35,6 +36,7 @@ class _CofsHandle:
         self.flags = flags
         self.wrote = False
         self.max_end = 0
+        self.meta_only = meta_only
 
 
 class CofsFileSystem(FileSystemApi):
@@ -93,9 +95,10 @@ class CofsFileSystem(FileSystemApi):
                     raise
             self._known_dirs.add(prefix)
 
-    def _new_handle(self, vino, upath, ufh, flags):
+    def _new_handle(self, vino, upath, ufh, flags, meta_only=False):
         fh = next(self._fh_counter)
-        self._handles[fh] = _CofsHandle(fh, vino, upath, ufh, flags)
+        self._handles[fh] = _CofsHandle(
+            fh, vino, upath, ufh, flags, meta_only)
         return fh
 
     def _handle(self, fh):
@@ -194,6 +197,27 @@ class CofsFileSystem(FileSystemApi):
             view["vino"], upath, ufh, OpenFlags.WRONLY | OpenFlags.CREAT
         )
 
+    def mknod(self, path, mode=0o644):
+        """Coroutine: metadata-only create — no underlying object.
+
+        One MDS transaction, nothing beneath: the file exists purely in
+        the virtual namespace (``upath`` is None, no placement slot is
+        charged, unlink skips the underlying unlink).  This is the probe
+        that exposes the metadata tier's own create ceiling, which the
+        full ``create`` hides behind the underlying file system's — and
+        the natural primitive for namespace-only workloads (lock files,
+        markers) once an application can opt out of data objects.
+        Opening such a file works (open/close pairs with no I/O are the
+        ubiquitous metadata-workload pattern), but actual data I/O
+        through the handle fails with EINVAL — there is no object to
+        read or write; stat/rename/link behave normally.
+        """
+        view = yield from self.driver.call(
+            "create_node", path, FILE, mode, self.uid, self.gid,
+            None, self.pid, self._now(),
+        )
+        return self._attr_from_view(view)
+
     def open(self, path, flags=0):
         for_write = OpenFlags.wants_write(flags)
         try:
@@ -215,7 +239,10 @@ class CofsFileSystem(FileSystemApi):
             return self._new_handle(view["vino"], None, None, flags)
         upath = view["upath"]
         if flags & OpenFlags.TRUNC and view["kind"] == FILE:
-            yield from self.underlying.truncate(upath, 0)
+            if upath is not None:
+                # Metadata-only (mknod) files have nothing underneath to
+                # truncate; their virtual size is still reset below.
+                yield from self.underlying.truncate(upath, 0)
             yield from self.driver.call(
                 "setattr", path, {"size": 0}, self._now()
             )
@@ -223,12 +250,19 @@ class CofsFileSystem(FileSystemApi):
         # an open/close pair with no I/O (ubiquitous in metadata-heavy
         # workloads) never touches the underlying file system, which is why
         # the paper's COFS open/close times track its stat times.
-        return self._new_handle(view["vino"], upath, None, flags)
+        return self._new_handle(
+            view["vino"], upath, None, flags,
+            meta_only=(view["kind"] == FILE and upath is None))
 
     def _ensure_ufh(self, handle):
         """Coroutine: open the underlying file for ``handle`` if needed."""
         if handle.ufh is None:
             if handle.upath is None:
+                if handle.meta_only:
+                    # A mknod'd file: a regular file with no data object.
+                    raise FsError.einval(
+                        f"metadata-only file has no data object: "
+                        f"fh {handle.fh}")
                 raise FsError.eisdir(f"fh {handle.fh}")
             under_flags = handle.flags & ~(OpenFlags.CREAT | OpenFlags.EXCL)
             handle.ufh = yield from self.underlying.open(

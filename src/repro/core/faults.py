@@ -191,6 +191,26 @@ def check_tier_invariants(shards, sharding, images=()):
             f"shard {shard.shard_id} holds unresolved intents: {leftover}"
         )
 
+    # 2b. Re-partitioning overrides: identical durable tables on every
+    #     shard, and the shared in-memory map (what routing consults)
+    #     reflects exactly the durable rows.
+    override_tables = [
+        {row["path"]: (row["shard"], row["seq"])
+         for row in shard.db.table("overrides").all()}
+        for shard in shards
+    ]
+    for shard_id in range(1, n):
+        assert override_tables[shard_id] == override_tables[0], (
+            f"override table diverges on shard {shard_id}: "
+            f"{_dict_diff(override_tables[0], override_tables[shard_id])}"
+        )
+    in_memory = dict(getattr(sharding, "overrides", {}))
+    durable = {path: rec[0] for path, rec in override_tables[0].items()}
+    assert in_memory == durable, (
+        f"in-memory override map diverges from durable rows: "
+        f"{_dict_diff(durable, in_memory)}"
+    )
+
     # 3. Dentry/inode structural consistency per shard + stub homes.
     inodes = [
         {row["vino"]: row for row in shard.db.table("inodes").all()}

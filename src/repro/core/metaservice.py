@@ -26,7 +26,9 @@ from repro.cluster.disk import Disk
 from repro.core.placement import HashPlacementPolicy
 from repro.db import Database, DbService
 from repro.pfs.errors import FsError
-from repro.pfs.types import DIRECTORY, FILE, SYMLINK, components, split
+from repro.pfs.types import (
+    DIRECTORY, FILE, SYMLINK, components, normalize, split,
+)
 from repro.sim.rand import RandomStreams
 
 _MAX_SYMLINK_DEPTH = 8
@@ -56,10 +58,12 @@ class MetadataService:
         database.create_table("inodes", key="vino")
         database.create_table("dentries", key="key", indexes=("parent",))
         database.create_table("buckets", key="path")
-        # Cross-shard coordination records (intent/prepare/dedup); always
-        # present in the schema so recovery rebuilds are uniform, but only
-        # the sharded service ever writes to it.
+        # Cross-shard coordination records (intent/prepare/dedup) and the
+        # re-partitioning override map; always present in the schema so
+        # recovery rebuilds are uniform, but only the sharded service ever
+        # writes to them.
         database.create_table("intents", key="id")
+        database.create_table("overrides", key="path")
         self.dbsvc = DbService(machine, database, disk, config.db)
         self._resolve_cache = {}      # parent-path tuple -> (vino, walked vinos)
         self._resolve_by_parent = {}  # dir vino -> prefix keys reading from it
@@ -304,7 +308,12 @@ class MetadataService:
                 raise FsError.eexist(path)
             vino = next(self._vino)
             upath = None
-            if kind == FILE:
+            if kind == FILE and node is not None:
+                # ``node is None`` marks a metadata-only create (mknod):
+                # no underlying object exists, so no placement slot is
+                # assigned or charged — the file lives purely in the
+                # virtual namespace (the MDS-ceiling probe of the
+                # ``mdcreate`` benchmark op).
                 bucket = self._txn_assign_bucket(txn, node, parent["vino"], pid)
                 upath = f"{bucket}/v{vino:08d}"
             row = {
@@ -510,6 +519,18 @@ class MetadataService:
             if dentry is None:
                 raise FsError.enoent(old)
             moving = txn.read_for_update("inodes", dentry["vino"])
+            if moving is not None and moving["kind"] == DIRECTORY:
+                # POSIX: a directory cannot become its own descendant
+                # (the insert would cycle the tree and strand the whole
+                # subtree from the root).  A path-prefix test suffices
+                # for canonical paths; reaching the moving directory
+                # through a symlink is not detected (known limitation —
+                # real implementations walk the new parent's ancestry).
+                norm_old, norm_new = normalize(old), normalize(new)
+                if norm_new.startswith(norm_old + "/"):
+                    raise FsError.einval(
+                        f"cannot move a directory beneath itself: "
+                        f"{old} -> {new}")
             new_parent, new_name = self._txn_resolve_parent(txn, new)
             # Always two distinct copies, even for a same-directory rename:
             # the original read-as-copy semantics kept them independent.
@@ -652,6 +673,24 @@ class MetadataService:
 
         result = yield from self.dbsvc.execute(body)
         return result
+
+    def live_upaths(self):
+        """Every underlying path a live file references (one read txn).
+
+        The underlying-object scrubber (:mod:`repro.core.scrub`) compares
+        these against actual bucket contents to find objects orphaned by
+        client-side cleanup that died after the metadata commit.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            return sorted(
+                row["upath"] for row in txn.match("inodes")
+                if row["kind"] == FILE and row["upath"]
+            )
+
+        paths = yield from self.dbsvc.execute(body)
+        return paths
 
     def statfs(self):
         """Namespace-level statistics (one read transaction)."""

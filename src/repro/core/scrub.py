@@ -1,0 +1,84 @@
+"""Underlying-object scrubber: reclaim objects the namespace forgot.
+
+COFS decouples naming from placement, so the *metadata* tier can stay
+perfectly consistent while *underlying* objects leak: a replaced file's
+underlying path is unlinked by the client after the metadata commit
+(:meth:`repro.core.cofs.CofsFileSystem.rename` / ``unlink``), and a client
+that dies in that window — or together with its coordinator — leaves the
+object stranded in its bucket forever.  The tier's crash drills prove no
+*metadata* is ever lost; this module recovers the *space*.
+
+:func:`run_scrub` walks the reorganized layout under
+``CofsConfig.underlying_root`` through a node's bare parallel-FS client
+(full simulated cost: every readdir/stat/unlink is a real RPC), gathers
+the live ``upath`` set from every metadata shard (one read transaction
+per shard, fanned out through the router), and unlinks every underlying
+file no live inode references.
+
+Ordering is load-bearing: the layout is walked *first* and the live set
+gathered *second*.  An underlying object exists only after its MDS
+transaction committed (the client creates it with the returned upath),
+so anything the walk finds that is genuinely live is guaranteed to
+appear in the later gather — a file created concurrently can only read
+as live, never as an orphan.  The scrubber is still intended for
+quiesced or idle windows (like recovery), but the safe ordering makes a
+racing create benign rather than data loss.
+"""
+
+
+def _walk_underlying(fs, root, found):
+    """Coroutine: collect every file path under ``root`` (depth-first)."""
+    from repro.pfs.errors import FsError
+
+    try:
+        names = yield from fs.readdir(root)
+    except FsError as exc:
+        if exc.code in ("ENOENT", "ENOTDIR"):
+            return found
+        raise
+    for name in names:
+        child = f"{root}/{name}" if root != "/" else f"/{name}"
+        attr = yield from fs.stat(child)
+        if attr.is_dir:
+            yield from _walk_underlying(fs, child, found)
+        else:
+            found.append(child)
+    return found
+
+
+def run_scrub(stack, node=0, dry_run=False):
+    """Coroutine: compare bucket contents against live upaths; reclaim.
+
+    Returns a report dict: ``scanned`` (underlying files seen), ``live``
+    (upaths referenced by the metadata tier), ``orphans`` (the stranded
+    paths found) and ``reclaimed`` (how many were unlinked; 0 under
+    ``dry_run``).
+    """
+    underlying = stack.underlying(node)
+    driver = stack.driver(node)
+    root = stack.cofs_config.underlying_root
+
+    # Walk first, gather second (see the module docstring): an object the
+    # walk saw is either already in the live set or was unlinked since.
+    found = []
+    yield from _walk_underlying(underlying, root, found)
+
+    live = set()
+    if hasattr(driver, "call_all"):
+        per_shard = yield from driver.call_all("live_upaths")
+        for paths in per_shard:
+            live.update(paths)
+    else:
+        live.update((yield from driver.call("live_upaths")))
+    orphans = sorted(path for path in found if path not in live)
+    reclaimed = 0
+    if not dry_run:
+        for path in orphans:
+            yield from underlying.unlink(path)
+            reclaimed += 1
+    return {
+        "scanned": len(found),
+        "live": len(live),
+        "orphans": orphans,
+        "reclaimed": reclaimed,
+    }

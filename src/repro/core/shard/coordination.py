@@ -1,0 +1,852 @@
+"""Coordination: intent/prepare/dedup records and cross-shard protocols.
+
+The 2-phase prepare/commit layer of the sharded tier (formerly the
+*coordination records*, *rename: local, replicated, and cross-shard*,
+*link* and *vino-addressed mutation* sections of the old
+``repro/core/sharding.py`` monolith):
+
+- **Records** (table ``intents``): coordinator *intents* journaled
+  atomically with the first local change, participant *prepare* records
+  journaled atomically with install/bump, and *dedup* records guarding
+  each remote link-count drop so redo applies it exactly once.
+- **Cross-shard rename**: detach → ``rename_install`` (the commit point:
+  its transaction carries the prepare record) → compensate on failure.
+  Renames of replicated objects replay on every shard and re-home file
+  children via the copy → import → purge migration triple — the same
+  crash-safe primitive the online re-balancer reuses
+  (:mod:`repro.core.shard.rebalance`).
+- **Cross-shard link**: intent before any remote bump; the coordinator's
+  dentry-insert transaction atomically deletes the intent (the commit
+  point); ``link_abort`` rolls an optimistic bump back.
+
+Recovery's completion pass (:mod:`repro.core.shard.recovery`) resolves
+every surviving record.
+"""
+
+from repro.core.shard.routing import ResolveForward, VinoForward
+from repro.pfs.errors import FsError
+from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize
+
+
+class ShardCoordinationPart:
+    """Mixin: coordination records + cross-shard rename/link protocols."""
+
+    # -- coordination records (intent / prepare / dedup) -------------------
+
+    def _new_tid(self):
+        """A fresh intent id, unique per shard and across recoveries."""
+        return f"s{self.shard_id}.{next(self._intent_seq)}"
+
+    @staticmethod
+    def _part_id(tid):
+        """The participant (prepare) record id derived from ``tid``."""
+        return f"{tid}@p"
+
+    @staticmethod
+    def _dedup_id(tid, vino):
+        """The dedup record id guarding one remote link-count drop."""
+        return f"{tid}#d{vino}"
+
+    def intent_forget(self, rid):
+        """RPC (also used locally): durably drop one coordination record."""
+        yield from self._dispatch()
+
+        def body(txn):
+            if txn.read("intents", rid) is None:
+                return False
+            txn.delete("intents", rid)
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def open_intents(self):
+        """RPC: every unresolved coordination record on this shard."""
+        yield from self._dispatch()
+
+        def body(txn):
+            return [dict(row) for row in txn.match("intents")]
+
+        rows = yield from self.dbsvc.execute(body)
+        return rows
+
+    def _gather_intents(self):
+        """Coroutine: ``(shard, record)`` for every open record tier-wide."""
+        records = []
+        for shard in range(self.n_shards):
+            rows = yield from self._call_shard(shard, "open_intents")
+            records.extend((shard, row) for row in rows)
+        return records
+
+    def _forget_dedups(self, tid, pending):
+        """Coroutine: drop the dedup records a drained op left at homes."""
+        for home, vino in pending:
+            yield from self._peer(
+                home, "intent_forget", self._dedup_id(tid, vino))
+        return True
+
+    def _drain_pending(self, pending, now, tid=None):
+        """Coroutine: run remote inode adjustments a txn body queued.
+
+        ``pending`` is the caller-owned list its transaction body filled
+        (never instance state: bodies of concurrent operations must not
+        see each other's queues).  Returns the remote ``(upath, last)``
+        outcomes so a rename that replaced a stub name can report the
+        underlying path to unlink.  With ``tid``, each drop is guarded by
+        a dedup record at its home shard so a post-crash redo applies it
+        exactly once.
+        """
+        outcomes = []
+        for home, vino in pending:
+            dedup = None if tid is None else self._dedup_id(tid, vino)
+            outcomes.append(
+                (yield from self._peer(home, "unlink_vino", vino, now,
+                                       dedup)))
+        return outcomes
+
+    @staticmethod
+    def _merge_replaced(result, outcomes):
+        """Fold remote unlink outcomes into a rename's (upath, last)."""
+        replaced_upath, replaced_last = result
+        for outcome in outcomes:
+            if outcome and outcome[0] is not None and outcome[1]:
+                replaced_upath, replaced_last = outcome[0], outcome[1]
+        return (replaced_upath, replaced_last)
+
+    # -- base-service hooks -------------------------------------------------
+
+    def _rename_replace_stub(self, txn, existing, pending):
+        home = existing.get("home")
+        if home is None or home == self.shard_id:
+            return False
+        pending.append((home, existing["vino"]))
+        return True
+
+    def _unlink_stub_home(self, dentry):
+        home = dentry.get("home")
+        if home is None or home == self.shard_id:
+            return None
+        return home
+
+    # -- rename: local, replicated, and cross-shard ------------------------
+
+    def rename(self, old, new, now, _hops=0):
+        self._check_hops(_hops, old)
+        yield from self._dispatch()
+
+        def peek(txn):
+            parent, name = self._txn_resolve_parent(txn, old)
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                raise FsError.enoent(old)
+            home = dentry.get("home")
+            if home is not None and home != self.shard_id:
+                return (None, dentry["vino"], home)
+            row = txn.read("inodes", dentry["vino"])
+            if row is None:
+                raise FsError.enoent(old)
+            return (row["kind"], row["vino"], None)
+
+        try:
+            kind, vino, home = yield from self.dbsvc.execute(peek)
+        except ResolveForward as fwd:
+            result = yield from self._redispatch(
+                fwd, "rename", fwd.path, new, now, _hops + 1)
+            return result
+
+        dst = self._owner_of(new)
+        if kind in (DIRECTORY, SYMLINK):
+            return (yield from self._rename_replicated(
+                kind, vino, old, new, dst, now, _hops))
+        if dst != self.shard_id or home is not None:
+            # Cross-shard (or stub) file rename: the destination parent is
+            # walked only *after* the detach removed the old name, so a
+            # destination beneath the source itself would read as ENOENT.
+            # The one-transaction local rename sees the still-attached
+            # source on that walk and answers ENOTDIR — do the same here,
+            # before any state moves.  (A symlink source never takes this
+            # branch: walking through it follows its target.)
+            norm_old, norm_new = normalize(old), normalize(new)
+            if norm_new.startswith(norm_old + "/"):
+                raise FsError.enotdir(new)
+        if dst == self.shard_id and home is None:
+            # Entirely this shard's business: the base transaction, plus
+            # an intent when it leaves redoable remote work behind (a
+            # replaced stub's link drop, a replaced symlink's replicas).
+            pending, replaced, tids = [], [], []
+            inner = self._rename_body(old, new, now, pending, replaced)
+
+            def body(txn):
+                result = inner(txn)
+                if pending or SYMLINK in replaced:
+                    tid = self._new_tid()
+                    txn.insert("intents", {
+                        "id": tid, "role": "coord", "op": "rename_post",
+                        "new": new, "now": now, "pending": list(pending),
+                        "replaced_symlink": SYMLINK in replaced,
+                    })
+                    tids.append(tid)
+                return result
+
+            try:
+                result = yield from self.dbsvc.execute(body)
+            except ResolveForward as fwd:
+                result = yield from self.rename(old, fwd.path, now, _hops + 1)
+                return result
+            if tids:
+                tid = tids[0]
+                drained = yield from self._drain_pending(pending, now, tid)
+                result = self._merge_replaced(result, drained)
+                if SYMLINK in replaced:
+                    # The rename destroyed a replicated symlink at ``new``;
+                    # its replicas on every other shard must die with it
+                    # (as unlink does), or stale replicas keep resolving.
+                    yield from self._broadcast("mirror_unlink", new, now)
+                yield from self.intent_forget(tid)
+                yield from self._forget_dedups(tid, pending)
+            return result
+        return (yield from self._rename_cross_shard(
+            old, new, vino, home, dst, now, _hops))
+
+    def _rename_replicated(self, kind, vino, old, new, dst, now, _hops):
+        """Coroutine: rename of a directory/symlink — replay on all shards."""
+        if dst != self.shard_id:
+            entry = yield from self._peer(dst, "peek_entry", new)
+            if entry is not None and entry["kind"] not in (DIRECTORY, SYMLINK):
+                if kind == DIRECTORY:
+                    # A file (or stub) occupies the target name on its owner.
+                    raise FsError.enotdir(new)
+        if kind == DIRECTORY:
+            # Replacing a directory: its file population lives on its owner.
+            content_owner = self._dir_owner(new)
+            if content_owner != self.shard_id:
+                entries = yield from self._peer(
+                    content_owner, "count_children_of", new)
+                if entries:
+                    raise FsError.enotempty(new)
+        pending, tids = [], []
+        inner = self._rename_body(old, new, now, pending)
+
+        def body(txn):
+            result = inner(txn)
+            tid = self._new_tid()
+            txn.insert("intents", {
+                "id": tid, "role": "coord", "op": "rename_replicated",
+                "kind": kind, "vino": vino, "old": old, "new": new,
+                "now": now, "pending": list(pending),
+            })
+            tids.append(tid)
+            return result
+
+        try:
+            result = yield from self.dbsvc.execute(body)
+        except ResolveForward as fwd:
+            result = yield from self.rename(old, fwd.path, now, _hops + 1)
+            return result
+        tid = tids[0]
+        drained = yield from self._drain_pending(pending, now, tid)
+        result = self._merge_replaced(result, drained)
+        mirrored = yield from self._broadcast("mirror_rename", old, new, now)
+        result = self._merge_replaced(result, mirrored)
+        if kind == DIRECTORY:
+            yield from self._migrate_renamed_subtree(vino, old, new, now)
+        yield from self.intent_forget(tid)
+        yield from self._forget_dedups(tid, pending)
+        return result
+
+    def mirror_rename(self, old, new, now):
+        """RPC (shard-to-shard): replay a replicated-object rename.
+
+        A replay that replaces a stub queues a remote link-count drop;
+        that drop gets its own intent here (this shard coordinates it),
+        because the *caller's* intent only redoes the broadcast — and a
+        replayed ``mirror_rename`` whose rename already applied answers
+        ENOENT, so it would never re-reach this drop.
+        """
+        yield from self._dispatch()
+        pending, tids = [], []
+        inner = self._rename_body(old, new, now, pending)
+
+        def body(txn):
+            result = inner(txn)
+            if pending:
+                tid = self._new_tid()
+                txn.insert("intents", {
+                    "id": tid, "role": "coord", "op": "rename_post",
+                    "new": new, "now": now, "pending": list(pending),
+                    "replaced_symlink": False,
+                })
+                tids.append(tid)
+            return result
+
+        try:
+            result = yield from self.dbsvc.execute(self._local_body(body))
+        except FsError:
+            return (None, False)
+        if tids:
+            tid = tids[0]
+            drained = yield from self._drain_pending(pending, now, tid)
+            result = self._merge_replaced(result, drained)
+            yield from self.intent_forget(tid)
+            yield from self._forget_dedups(tid, pending)
+        return result
+
+    # -- subtree migration (copy → import → purge) --------------------------
+
+    def _migrate_renamed_subtree(self, vino, old, new, now):
+        """Coroutine: re-home file children after a directory rename.
+
+        Partitioning is by *path*, so renaming a directory may change the
+        owner of its (and every descendant directory's) file entries — the
+        well-known cost of path-based partitioning that HopsFS sidesteps by
+        hashing immutable inode ids.  The replicated skeleton makes the
+        fix cheap to coordinate: this shard enumerates the subtree locally,
+        then moves each re-homed directory's file entries with a
+        copy → import → purge RPC triple.  Copy-then-delete (rather than
+        the destructive export this replaced) means a crash between the
+        RPCs never loses entries: they transiently exist on both shards,
+        and re-running the migration (recovery's intent roll-forward does)
+        converges — import skips keys it already holds, purge deletes
+        only what the copy listed.
+        """
+
+        def collect(txn):
+            found = [(old, new, vino)]
+            frontier = [(vino, old, new)]
+            while frontier:
+                dvino, old_path, new_path = frontier.pop()
+                for dentry in txn.index_read("dentries", "parent", dvino):
+                    if dentry.get("home") is not None:
+                        continue
+                    row = txn.read("inodes", dentry["vino"])
+                    if row is not None and row["kind"] == DIRECTORY:
+                        entry = (f"{old_path}/{dentry['name']}",
+                                 f"{new_path}/{dentry['name']}",
+                                 dentry["vino"])
+                        found.append(entry)
+                        frontier.append((dentry["vino"], entry[0], entry[1]))
+            return found
+
+        dirs = yield from self.dbsvc.execute(collect)
+        for old_path, new_path, dvino in dirs:
+            src = self._dir_owner(old_path)
+            dst = self._dir_owner(new_path)
+            if src == dst:
+                continue
+            dentries, inodes = yield from self._call_shard(
+                src, "copy_dir_children", dvino)
+            if dentries:
+                yield from self._call_shard(
+                    dst, "import_dir_children", dvino, dentries, inodes)
+                yield from self._call_shard(
+                    src, "purge_dir_children", dvino,
+                    [d["key"] for d in dentries],
+                    [r["vino"] for r in inodes])
+
+    def copy_dir_children(self, vino):
+        """RPC (shard-to-shard): read a directory's file entries here.
+
+        Read-only: the entries stay until :meth:`purge_dir_children`
+        confirms the destination holds them, so no crash point between
+        the migration RPCs can lose an entry.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            dentries, inodes = [], []
+            for dentry in txn.index_read("dentries", "parent", vino):
+                dentry = dict(dentry)
+                if dentry.get("home") is None:
+                    row = txn.read("inodes", dentry["vino"])
+                    if row is None or row["kind"] != FILE:
+                        continue  # replicated skeleton stays put
+                    if row["nlink"] > 1:
+                        # Hard-linked under other names: the inode stays
+                        # home (see _rename_cross_shard's detach); only
+                        # the name moves, shipped as a stub back here.
+                        dentry["home"] = self.shard_id
+                    else:
+                        inodes.append(dict(row))
+                dentries.append(dentry)
+            return (dentries, inodes)
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def import_dir_children(self, vino, dentries, inodes):
+        """RPC (shard-to-shard): adopt re-homed file entries (idempotent)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            for row in inodes:
+                if txn.read("inodes", row["vino"]) is None:
+                    txn.insert("inodes", dict(row))
+                    if row["upath"]:
+                        self._txn_bucket_adjust(txn, row["upath"], 1)
+            for dentry in dentries:
+                dentry = dict(dentry)
+                if dentry.get("home") == self.shard_id:
+                    del dentry["home"]  # the stub came home
+                if txn.read("dentries", tuple(dentry["key"])) is None:
+                    txn.insert("dentries", dentry)
+            self._invalidate_resolve(vino)
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def purge_dir_children(self, vino, keys, vinos):
+        """RPC (shard-to-shard): drop migrated entries once the new owner
+        holds them (idempotent: deletes only what is still here)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            changed = False
+            for key in keys:
+                if txn.read("dentries", tuple(key)) is not None:
+                    txn.delete("dentries", tuple(key))
+                    changed = True
+            for moved in vinos:
+                row = txn.read("inodes", moved)
+                if row is not None and row["kind"] == FILE:
+                    txn.delete("inodes", moved)
+                    if row["upath"]:
+                        self._txn_bucket_adjust(txn, row["upath"], -1)
+                    changed = True
+            if changed:
+                self._invalidate_resolve(vino)
+            return changed
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    # -- cross-shard file rename --------------------------------------------
+
+    def _rename_cross_shard(self, old, new, vino, home, dst, now, _hops):
+        """Coroutine: move a file's name (and inode) to another shard.
+
+        Two-phase: the detach transaction journals an intent record —
+        carrying the detached inode row itself, so no crash point can
+        lose it — atomically with the detach; the destination's install
+        transaction journals a prepare record atomically with the
+        install and is the commit point.  Afterwards the coordinator
+        drops its intent, then the participant's prepare record.  A
+        crash anywhere is resolved by recovery's completion pass: the
+        prepare record's existence decides commit (roll forward) vs
+        abort (re-attach from the intent's payload).
+        """
+        tid = self._new_tid()
+
+        def detach(txn):
+            parent, name = self._txn_resolve_parent(txn, old)
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                raise FsError.enoent(old)
+            self._invalidate_resolve(parent["vino"])
+            txn.delete("dentries", (parent["vino"], name))
+            up = dict(parent)
+            up["mtime"] = up["ctime"] = now
+            txn.write("inodes", up)
+            if dentry.get("home") is not None:
+                out = (None, dentry["home"])
+            else:
+                row = txn.read_for_update("inodes", dentry["vino"])
+                if row is None:
+                    raise FsError.enoent(old)
+                if row["nlink"] > 1:
+                    # Other names — local hard links or remote stubs —
+                    # still reference this inode; moving the row would
+                    # dangle every one of them.  It stays home and the
+                    # renamed name becomes a stub pointing here.
+                    row["ctime"] = now
+                    txn.write("inodes", row)
+                    out = (None, self.shard_id)
+                else:
+                    txn.delete("inodes", row["vino"])
+                    if row["upath"]:
+                        # The placement charge travels with the row.
+                        self._txn_bucket_adjust(txn, row["upath"], -1)
+                    row["ctime"] = now
+                    out = (row, None)
+            moved, stub_home = out
+            txn.insert("intents", {
+                "id": tid, "role": "coord", "op": "rename",
+                "old": old, "new": new, "dst": dst, "now": now,
+                "row": dict(moved) if moved is not None else None,
+                "stub": None if stub_home is None
+                else {"vino": dentry["vino"], "home": stub_home},
+            })
+            return out
+
+        # The peek above already pinned ``old``'s canonical resolution to
+        # this shard; the detach — and any compensation — walks the local
+        # replica of the skeleton (_local_body), so a cross-shard symlink
+        # installed concurrently on the path can neither leak a forward
+        # exception to the client nor strand the detached inode.
+        row, stub_home = yield from self.dbsvc.execute(
+            self._local_body(detach))
+        if row is None:
+            payload, stub = None, {"vino": vino, "home": stub_home}
+        else:
+            payload, stub = row, None
+        try:
+            result = yield from self._call_shard(
+                dst, "rename_install", new, payload, stub, now, tid)
+        except FsError:
+            yield from self._rename_rollback(tid, old, payload, stub, now)
+            raise
+        if result == "#same":
+            # Old and new name already point at the same inode: POSIX says
+            # do nothing, so undo the detach (the install wrote no prepare
+            # record, so a crash before this lands rolls back the same way).
+            yield from self._rename_rollback(tid, old, payload, stub, now)
+            return (None, False)
+        yield from self.intent_forget(tid)
+        yield from self._call_shard(result[2], "retire_rename_part", tid)
+        return (result[0], result[1])
+
+    def _rename_rollback(self, tid, old, row, stub, now):
+        """Coroutine: abort a cross-shard rename — re-attach the detached
+        name and drop the intent in one transaction (idempotent: recovery
+        may race or repeat it)."""
+
+        def body(txn):
+            if txn.read("intents", tid) is None:
+                return False
+            parent, name = self._txn_resolve_parent(txn, old)
+            if txn.read("dentries", (parent["vino"], name)) is None:
+                self._txn_reattach(txn, old, row, stub, now)
+            txn.delete("intents", tid)
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    def _txn_reattach(self, txn, path, row, stub, now):
+        """Compensation: put a detached name (and inode) back."""
+        parent, name = self._txn_resolve_parent(txn, path)
+        vino = row["vino"] if row is not None else stub["vino"]
+        dentry = {
+            "key": (parent["vino"], name), "parent": parent["vino"],
+            "name": name, "vino": vino,
+        }
+        if stub is not None and stub["home"] != self.shard_id:
+            dentry["home"] = stub["home"]
+        self._invalidate_resolve(parent["vino"])
+        txn.insert("dentries", dentry)
+        if row is not None:
+            txn.insert("inodes", dict(row))
+            if row["upath"]:
+                self._txn_bucket_adjust(txn, row["upath"], 1)
+        up = dict(parent)
+        up["mtime"] = up["ctime"] = now
+        txn.write("inodes", up)
+        return True
+
+    def rename_install(self, new, row, stub, now, tid, _hops=0):
+        """RPC (shard-to-shard): attach a renamed file at its new shard.
+
+        The install transaction is the rename's commit point: it journals
+        a prepare record (under ``tid``) atomically with the attach, so
+        recovery can tell a committed rename (roll the coordinator's
+        intent forward) from an aborted one (re-attach the old name).
+        Returns ``(replaced_upath, replaced_last, installer_shard)``, or
+        ``"#same"`` without writing a prepare record.
+        """
+        self._check_hops(_hops, new)
+        yield from self._dispatch()
+        moving_vino = row["vino"] if row is not None else stub["vino"]
+        pending, replaced = [], []
+
+        def body(txn):
+            new_parent, new_name = self._txn_resolve_parent(txn, new)
+            existing = txn.read("dentries", (new_parent["vino"], new_name))
+            replaced_upath, replaced_last = None, False
+            if existing is not None:
+                if existing["vino"] == moving_vino:
+                    return "#same"
+                ehome = existing.get("home")
+                if ehome is not None and ehome != self.shard_id:
+                    pending.append((ehome, existing["vino"]))
+                else:
+                    target = txn.read_for_update("inodes", existing["vino"])
+                    if target is not None:
+                        if target["kind"] == DIRECTORY:
+                            raise FsError.eisdir(new)
+                        target["nlink"] -= 1
+                        if target["nlink"] <= 0:
+                            txn.delete("inodes", target["vino"])
+                            if target["kind"] == FILE and target["upath"]:
+                                self._txn_bucket_adjust(
+                                    txn, target["upath"], -1)
+                            replaced_upath = target["upath"]
+                            replaced_last = True
+                            replaced.append(target["kind"])
+                        else:
+                            txn.write("inodes", target)
+                txn.delete("dentries", (new_parent["vino"], new_name))
+            self._invalidate_resolve(new_parent["vino"])
+            dentry = {
+                "key": (new_parent["vino"], new_name),
+                "parent": new_parent["vino"], "name": new_name,
+                "vino": moving_vino,
+            }
+            if stub is not None and stub["home"] != self.shard_id:
+                dentry["home"] = stub["home"]
+            txn.insert("dentries", dentry)
+            if row is not None:
+                txn.insert("inodes", dict(row))
+                if row["upath"]:
+                    self._txn_bucket_adjust(txn, row["upath"], 1)
+            np = dict(new_parent)
+            np["mtime"] = np["ctime"] = now
+            txn.write("inodes", np)
+            txn.insert("intents", {
+                "id": self._part_id(tid), "role": "part", "op": "rename",
+                "new": new, "now": now, "pending": list(pending),
+                "replaced_symlink": SYMLINK in replaced,
+            })
+            return (replaced_upath, replaced_last)
+
+        try:
+            result = yield from self.dbsvc.execute(body)
+        except ResolveForward as fwd:
+            result = yield from self._redispatch(
+                fwd, "rename_install", fwd.path, row, stub, now, tid,
+                _hops + 1)
+            return result
+        if result == "#same":
+            return result
+        outcomes = yield from self._drain_pending(pending, now, tid)
+        if SYMLINK in replaced:
+            # The install destroyed a replicated symlink at ``new``; kill
+            # its replicas everywhere else (including the coordinator) so
+            # no stale replica keeps resolving the dead link.
+            yield from self._broadcast("mirror_unlink", new, now)
+        merged = self._merge_replaced(result, outcomes)
+        return (merged[0], merged[1], self.shard_id)
+
+    # -- link: possibly cross-shard ---------------------------------------
+
+    def link(self, src, dst, now, _hops=0):
+        """Coroutine: hard link, two-phase when it crosses shards.
+
+        The coordinator (destination-parent owner) journals an intent
+        *before* any link count moves; the bump transaction at the
+        source's home journals a prepare record atomically with the
+        bump; the coordinator's dentry-insert transaction atomically
+        deletes the intent — that deletion is the commit point.  On any
+        failure (or crash) the bump is rolled back by
+        :meth:`link_abort`, which drops the count and the prepare record
+        in one transaction, so neither a repeat nor a crash mid-rollback
+        can double-revert it.
+        """
+        self._check_hops(_hops, src)
+        yield from self._dispatch()
+        tid = self._new_tid()
+        src_owner = self._owner_of(src)
+        try:
+            if src_owner == self.shard_id:
+                view, home = yield from self._link_fetch_local(
+                    src, now, tid, coordinate=True)
+            else:
+                # The intent must be durable before any *remote* bump:
+                # a prepare record without a coordinator intent reads as
+                # committed to recovery.  (The local-fetch path instead
+                # folds the intent into the bump transaction itself.)
+                yield from self.dbsvc.execute(
+                    lambda txn: txn.insert(
+                        "intents", self._link_intent(tid, src, dst, now)))
+                view, home = yield from self._peer(
+                    src_owner, "link_fetch", src, now, tid)
+        except ResolveForward as fwd:
+            yield from self.intent_forget(tid)
+            result = yield from self._redispatch(
+                fwd, "link", fwd.path, dst, now, _hops + 1)
+            return result
+        except FsError:
+            # The bump transaction aborted: no prepare record anywhere.
+            yield from self.intent_forget(tid)
+            raise
+
+        def body(txn):
+            parent, name = self._txn_resolve_parent(txn, dst)
+            if txn.read("dentries", (parent["vino"], name)) is not None:
+                raise FsError.eexist(dst)
+            self._invalidate_resolve(parent["vino"])
+            dentry = {
+                "key": (parent["vino"], name), "parent": parent["vino"],
+                "name": name, "vino": view["vino"],
+            }
+            if home != self.shard_id:
+                dentry["home"] = home
+            txn.insert("dentries", dentry)
+            up = dict(parent)
+            up["mtime"] = up["ctime"] = now
+            txn.write("inodes", up)
+            txn.delete("intents", tid)  # the commit point
+            if home == self.shard_id:
+                # The prepare record sits on this very shard: retire it
+                # with the commit instead of in a follow-up transaction.
+                txn.delete("intents", self._part_id(tid))
+            return True
+
+        try:
+            yield from self.dbsvc.execute(body)
+        except ResolveForward as fwd:
+            # Destination parent crossed shards: undo the bump, move the
+            # whole operation to the right coordinator.
+            yield from self._call_shard(home, "link_abort", tid, now)
+            yield from self.intent_forget(tid)
+            result = yield from self._redispatch(
+                fwd, "link", src, fwd.path, now, _hops + 1)
+            return result
+        except FsError:
+            yield from self._call_shard(home, "link_abort", tid, now)
+            yield from self.intent_forget(tid)
+            raise
+        if home != self.shard_id:
+            yield from self._peer(
+                home, "intent_forget", self._part_id(tid))
+        return view
+
+    def _link_intent(self, tid, src, dst, now):
+        return {"id": tid, "role": "coord", "op": "link",
+                "src": src, "dst": dst, "now": now}
+
+    def _link_fetch_local(self, src, now, tid, coordinate=False):
+        """Coroutine: bump the link count of ``src``'s inode on this shard.
+
+        With ``coordinate`` (this shard is the link's coordinator), the
+        coordinator intent rides the bump transaction alongside the
+        prepare record — one durable commit covers both; when the source
+        turns out to be a stub, the intent is journaled alone *before*
+        the remote bump instead.  A remote coordinator (``link_fetch``)
+        already journaled its intent and passes ``coordinate=False``.
+        """
+
+        def body(txn):
+            row = self._txn_resolve(txn, src, follow=False)
+            if row["kind"] == DIRECTORY:
+                raise FsError.eisdir(src)
+            if row["kind"] == SYMLINK:
+                raise FsError.einval(
+                    f"hard link to a symlink on a sharded namespace: {src}")
+            row = dict(row)
+            row["nlink"] += 1
+            row["ctime"] = now
+            txn.write("inodes", row)
+            if coordinate:
+                txn.insert("intents", self._link_intent(tid, src, None, now))
+            txn.insert("intents", {
+                "id": self._part_id(tid), "role": "part", "op": "link",
+                "vino": row["vino"], "now": now,
+            })
+            return row
+
+        try:
+            row = yield from self.dbsvc.execute(body)
+        except VinoForward as fwd:
+            if coordinate:
+                yield from self.dbsvc.execute(
+                    lambda txn: txn.insert(
+                        "intents", self._link_intent(tid, src, None, now)))
+            view = yield from self._peer(
+                fwd.shard, "link_vino", fwd.vino, now, tid)
+            return (view, fwd.shard)
+        return (self._attr_view(row), self.shard_id)
+
+    def link_fetch(self, src, now, tid, _hops=0):
+        """RPC (shard-to-shard): resolve + bump a link source for a peer
+        (the caller coordinates: its intent is already durable)."""
+        self._check_hops(_hops, src)
+        yield from self._dispatch()
+        try:
+            result = yield from self._link_fetch_local(src, now, tid)
+        except ResolveForward as fwd:
+            result = yield from self._redispatch(
+                fwd, "link_fetch", fwd.path, now, tid, _hops + 1)
+        return result
+
+    def link_abort(self, tid, now):
+        """RPC (shard-to-shard): roll back an optimistic link-count bump.
+
+        Atomic with the prepare record's deletion, so it is idempotent:
+        recovery (or a repeated live rollback) finds no record and does
+        nothing.  Uses the full ``_drop_link`` semantics — if every other
+        name vanished while the link was in flight, the rollback is the
+        last drop and must reclaim the inode and its placement slot.
+        """
+        yield from self._dispatch()
+        pid = self._part_id(tid)
+
+        def body(txn):
+            rec = txn.read("intents", pid)
+            if rec is None:
+                return False
+            txn.delete("intents", pid)
+            row = txn.read_for_update("inodes", rec["vino"])
+            if row is None:
+                return False
+            self._drop_link(txn, row, now)
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    # -- vino-addressed mutations (forward / drain targets) -----------------
+
+    def link_vino(self, vino, now, tid):
+        """RPC: bump a link count at the inode's home, with the prepare
+        record journaled atomically (the stub-mediated fetch path)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            row = txn.read_for_update("inodes", vino)
+            if row is None:
+                raise FsError.enoent(f"vino {vino}")
+            if row["kind"] == SYMLINK:
+                raise FsError.einval(
+                    f"hard link to a symlink on a sharded namespace: "
+                    f"vino {vino}")
+            row["nlink"] += 1
+            row["ctime"] = now
+            txn.write("inodes", row)
+            txn.insert("intents", {
+                "id": self._part_id(tid), "role": "part", "op": "link",
+                "vino": vino, "now": now,
+            })
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def unlink_vino(self, vino, now, dedup=None):
+        """RPC: drop one link at the inode's home shard.
+
+        With ``dedup``, the drop is exactly-once: a dedup record commits
+        atomically with it (storing the outcome), and a repeat — live
+        retry or recovery redo — returns the recorded outcome instead of
+        dropping again.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            if dedup is not None:
+                rec = txn.read("intents", dedup)
+                if rec is not None:
+                    return tuple(rec["outcome"])
+            row = txn.read_for_update("inodes", vino)
+            if row is None:
+                outcome = (None, False)
+            else:
+                outcome = self._drop_link(txn, row, now)
+            if dedup is not None:
+                txn.insert("intents", {
+                    "id": dedup, "role": "dedup",
+                    "outcome": list(outcome),
+                })
+            return outcome
+
+        result = yield from self.dbsvc.execute(body)
+        return result

@@ -1,0 +1,298 @@
+"""Online load-aware re-partitioning of the sharded namespace.
+
+Both partition functions are static — hash-by-parent spreads directories
+uniformly but cannot react when several hot directories collide on one
+shard, and static subtrees concentrate whole projects by design.  This
+module closes the ROADMAP "dynamic re-partitioning" item, HopsFS-style:
+hot directories are *re-homed* under load, with ownership recorded in an
+override map the partition function consults before its static rule
+(:meth:`repro.core.shard.routing.ShardingPolicy.shard_of_dir`).
+
+**Protocol** (:meth:`ShardRebalancePart.rebalance_dir`, run on the
+directory's current owner): one transaction journals a ``rebalance``
+intent *atomically with* the durable override row — the first local
+change, exactly like every other coordinated mutation — then the override
+is broadcast to every peer (``mirror_override``), and the directory's
+file population moves with the same crash-safe copy → import → purge RPC
+triple that subtree migration after a directory rename uses
+(:mod:`repro.core.shard.coordination`).  Every step is idempotent, so
+recovery rolls a half-done migration *forward* by redoing the intent
+(:meth:`redo_rebalance`); a crash before the intent committed leaves no
+durable trace and routing falls back to the static rule.
+
+**Durability**: every shard persists the override map in its
+``overrides`` table; the shared in-memory map on the
+:class:`~repro.core.shard.routing.ShardingPolicy` (what routers and
+resolution hooks actually consult, at zero simulated cost — the partition
+function has always been free to evaluate) is rebuilt from the durable
+rows on recovery (:meth:`restore_overrides`, newest ``seq`` wins), so a
+shard restored from an older journal prefix converges with its peers.
+
+**Known simplifications** (mirroring the subtree-migration notes in
+:mod:`repro.core.shard.coordination`): the override flips routing before
+the population lands at the new owner, so a concurrently-looked-up file is
+transiently ENOENT for other clients (crash-safe, not reader-atomic); and
+an override outlives its directory — path-keyed, it applies to any later
+directory recreated at the same path, which keeps routing consistent but
+may surprise an administrator expecting it to die with the directory.
+
+**Policy** (:class:`Rebalancer`): the client-side routers already compute
+the (directory → shard) decision for every op and keep per-directory load
+counters (:class:`~repro.core.shard.routing.ShardRouter`); the rebalancer
+aggregates them, finds shards above ``threshold ×`` the mean load, and
+greedily re-homes their hottest directories to the least-loaded shard.
+"""
+
+from repro.pfs.errors import FsError
+from repro.pfs.types import DIRECTORY, normalize
+
+
+class ShardRebalancePart:
+    """Mixin: the re-homing protocol and override durability RPCs."""
+
+    def rebalance_dir(self, dir_path, dst, now):
+        """Coroutine/RPC: re-home ``dir_path``'s file population to ``dst``.
+
+        Must run on the directory's *current* owner (the shard that holds
+        its file entries).  Journals the intent atomically with the
+        durable override row, broadcasts the override, migrates the
+        population, then retires the intent.
+        """
+        yield from self._dispatch()
+        dir_path = normalize(dir_path)
+        if not 0 <= dst < self.n_shards:
+            raise FsError.einval(f"no such shard: {dst}")
+        if self._dir_owner(dir_path) != self.shard_id:
+            raise FsError.einval(
+                f"shard {self.shard_id} does not own {dir_path}")
+        if dst == self.shard_id:
+            return False
+        tids = []
+
+        def body(txn):
+            row = self._txn_resolve(txn, dir_path)
+            if row["kind"] != DIRECTORY:
+                raise FsError.enotdir(dir_path)
+            tid = self._new_tid()
+            txn.insert("intents", {
+                "id": tid, "role": "coord", "op": "rebalance",
+                "dir": dir_path, "vino": row["vino"], "dst": dst,
+                "now": now,
+            })
+            txn.write("overrides",
+                      {"path": dir_path, "shard": dst, "seq": now})
+            tids.append(tid)
+            return row["vino"]
+
+        # The walk stays on the local skeleton replica: the owner holds
+        # everything it needs, and a forward here would misroute the
+        # intent.  The in-memory map flips only after the intent+override
+        # transaction is durable — a crash before that leaves no trace.
+        vino = yield from self.dbsvc.execute(self._local_body(body))
+        self.sharding.overrides[dir_path] = dst
+        yield from self._broadcast("mirror_override", dir_path, dst, now)
+        yield from self._migrate_dir_population(vino, dst)
+        yield from self.intent_forget(tids[0])
+        return True
+
+    def _migrate_dir_population(self, vino, dst):
+        """Coroutine: move this shard's file entries of ``vino`` to ``dst``.
+
+        The same idempotent copy → import → purge triple as post-rename
+        subtree migration: entries transiently exist on both shards, a
+        redo converges, and hard-linked inodes stay home behind a stub.
+        """
+        dentries, inodes = yield from self._call_shard(
+            self.shard_id, "copy_dir_children", vino)
+        if dentries:
+            yield from self._call_shard(
+                dst, "import_dir_children", vino, dentries, inodes)
+            yield from self._call_shard(
+                self.shard_id, "purge_dir_children", vino,
+                [d["key"] for d in dentries],
+                [r["vino"] for r in inodes])
+        return True
+
+    def redo_rebalance(self, rec):
+        """Coroutine: roll a surviving ``rebalance`` intent forward.
+
+        The local override row committed with the intent; re-assert the
+        in-memory map, re-broadcast the override, re-run the migration
+        (all idempotent), then retire the intent.
+        """
+        self.sharding.overrides[rec["dir"]] = rec["dst"]
+        yield from self._broadcast(
+            "mirror_override", rec["dir"], rec["dst"], rec["now"])
+        yield from self._migrate_dir_population(rec["vino"], rec["dst"])
+        yield from self.intent_forget(rec["id"])
+        return True
+
+    def mirror_override(self, dir_path, shard, seq):
+        """RPC (shard-to-shard): persist a re-homing override here.
+
+        A row with a newer ``seq`` wins (two successive re-homings of one
+        directory replay in either order during recovery).
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            row = txn.read("overrides", dir_path)
+            if row is not None and row["seq"] > seq:
+                return False
+            txn.write("overrides",
+                      {"path": dir_path, "shard": shard, "seq": seq})
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        if result:
+            self.sharding.overrides[dir_path] = shard
+        return result
+
+    # -- recovery ----------------------------------------------------------
+
+    def override_rows(self):
+        """RPC (shard-to-shard): this shard's durable override rows."""
+        yield from self._dispatch()
+
+        def body(txn):
+            return [dict(row) for row in txn.match("overrides")]
+
+        rows = yield from self.dbsvc.execute(body)
+        return rows
+
+    def sync_overrides(self, rows):
+        """RPC (shard-to-shard): make this table exactly the given rows."""
+        yield from self._dispatch()
+
+        def body(txn):
+            want = {row["path"]: row for row in rows}
+            for row in txn.match("overrides"):
+                if row["path"] not in want:
+                    txn.delete("overrides", row["path"])
+            for path, row in want.items():
+                cur = txn.read("overrides", path)
+                if cur is None or dict(cur) != row:
+                    txn.write("overrides", dict(row))
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def restore_overrides(self):
+        """Coroutine: rebuild the tier's override map from durable rows.
+
+        Union over every shard's table, newest ``seq`` (shard id breaks
+        ties) winning per path; the merged set is pushed back to every
+        shard and becomes the shared in-memory map.  Runs after intent
+        completion — a surviving rebalance intent has just re-installed
+        its override everywhere — and before the skeleton resync, whose
+        authority function routes through the overrides.  Under the
+        default synchronous journal an override row is durable before the
+        in-memory flip, so the union is exact; with ``sync_updates=False``
+        an override every shard lost reverts to the static rule (like any
+        other lost update under the async policy).
+        """
+        best = {}
+        for shard in range(self.n_shards):
+            rows = yield from self._call_shard(shard, "override_rows")
+            for row in rows:
+                cur = best.get(row["path"])
+                if cur is None or \
+                        (row["seq"], row["shard"]) > (cur["seq"], cur["shard"]):
+                    best[row["path"]] = dict(row)
+        for shard in range(self.n_shards):
+            yield from self._call_shard(
+                shard, "sync_overrides", list(best.values()))
+        self.sharding.overrides.clear()
+        self.sharding.overrides.update(
+            {path: row["shard"] for path, row in best.items()})
+        return len(best)
+
+
+# ---------------------------------------------------------------------------
+# The load-aware re-balancer
+# ---------------------------------------------------------------------------
+
+class Rebalancer:
+    """Samples router load counters and re-homes hot directories.
+
+    ``routers`` are the stack's :class:`ShardRouter` instances (one per
+    client node); ``shards`` the tier's services.  ``threshold`` is the
+    overload factor: a shard is rebalanced only while its dir-attributed
+    load exceeds ``threshold ×`` the tier mean.  The planner is greedy and
+    deterministic: hottest directory first, moved to the least-loaded
+    shard, never moving more load onto the destination than would just
+    swap the hotspot.
+    """
+
+    def __init__(self, routers, shards, threshold=1.25, max_moves=None):
+        self.routers = list(routers)
+        self.shards = list(shards)
+        self.threshold = threshold
+        self.max_moves = max_moves
+
+    def sampled_loads(self):
+        """Aggregate per-directory op counts across every router."""
+        dir_load = {}
+        for router in self.routers:
+            for path, count in router.dir_loads.items():
+                dir_load[path] = dir_load.get(path, 0) + count
+        return dir_load
+
+    def plan(self):
+        """``[(dir_path, src, dst)]`` migrations that would level the load."""
+        n = len(self.shards)
+        if n <= 1:
+            return []
+        dir_load = self.sampled_loads()
+        if not dir_load:
+            return []
+        sharding = self.shards[0].sharding
+        owner = {path: sharding.shard_of_dir(path, n) for path in dir_load}
+        shard_load = [0] * n
+        for path, count in dir_load.items():
+            shard_load[owner[path]] += count
+        mean = sum(shard_load) / n
+        limit = self.max_moves if self.max_moves is not None \
+            else len(dir_load)
+        moves = []
+        for path in sorted(dir_load, key=lambda p: (-dir_load[p], p)):
+            if len(moves) >= limit:
+                break
+            src = owner[path]
+            if shard_load[src] <= self.threshold * mean:
+                continue
+            dst = min(range(n), key=lambda s: (shard_load[s], s))
+            if dst == src:
+                continue
+            if shard_load[dst] + dir_load[path] >= shard_load[src]:
+                continue  # moving this one would just relocate the hotspot
+            moves.append((path, src, dst))
+            shard_load[src] -= dir_load[path]
+            shard_load[dst] += dir_load[path]
+            owner[path] = dst
+        return moves
+
+    def rebalance(self):
+        """Coroutine: plan and execute the migrations; returns what ran.
+
+        Each move runs the owner shard's crash-safe
+        :meth:`ShardRebalancePart.rebalance_dir`.  The sampled counters
+        are only advisory — a planned directory may have been removed
+        (or re-homed) since the load was observed, even by an op that
+        *failed* against it (the router counts the attempt); such moves
+        are skipped.  Counters reset afterwards so the next round reacts
+        to post-migration load.
+        """
+        moves = self.plan()
+        executed = []
+        for path, src, dst in moves:
+            try:
+                yield from self.shards[src].rebalance_dir(
+                    path, dst, self.shards[src].sim.now)
+            except FsError:
+                continue  # vanished or re-homed since sampling
+            executed.append((path, src, dst))
+        for router in self.routers:
+            router.reset_loads()
+        return executed

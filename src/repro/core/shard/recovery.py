@@ -1,0 +1,544 @@
+"""Recovery: tier-wide intent completion, resync, reconcile, reseat.
+
+The crash-recovery layer of the sharded tier (formerly the *recovery* and
+*tier-wide recovery passes* sections of the old ``repro/core/sharding.py``
+monolith).  One shard's :meth:`ShardRecoveryPart.recover` — or the
+module-level :func:`recover_tier` after a whole-tier crash — runs, in
+order:
+
+1. local journal rebuild + allocator reseat (``recover_local``);
+2. :meth:`complete_tier_intents` — resolve every surviving
+   intent/prepare/dedup record (roll committed operations forward,
+   uncommitted back); must run *first*: a half-replicated change's
+   surviving intent re-broadcasts it, whereas resyncing first would read
+   it as divergence and erase both sides;
+3. :meth:`~repro.core.shard.rebalance.ShardRebalancePart.restore_overrides`
+   — rebuild the re-partitioning override map from its durable rows (the
+   completed intents just re-installed any in-flight ones);
+4. :meth:`resync_skeleton` — repair skeleton replicas against the
+   authoritative owner (a shard restored from an older journal prefix);
+5. :meth:`reconcile_tier_buckets` — recount placement counters from the
+   surviving rows;
+6. a second allocator reseat (completion can re-attach rows that
+   travelled inside intent records, invisible to the first reseat).
+"""
+
+import itertools
+
+from repro.pfs.errors import FsError
+from repro.pfs.types import DIRECTORY, FILE, split
+
+
+class ShardRecoveryPart:
+    """Mixin: crash recovery of one shard plus the tier-wide passes."""
+
+    def recover(self):
+        """Coroutine: crash/recover this shard, then repair the tier.
+
+        After the local rebuild (journal replay + allocator reseating,
+        :meth:`recover_local`), this shard drives the tier-wide passes:
+        resolve every open intent/prepare record (roll committed
+        cross-shard operations forward, uncommitted ones back), restore
+        the re-partitioning overrides, *then* resync the replicated
+        skeleton (a shard restored from an older journal prefix may hold
+        a stale replica set), and reconcile the placement counters
+        against the surviving inode rows.  Intent completion must come
+        first: a half-replicated rename's surviving intent re-broadcasts
+        the replay, whereas resyncing first would read the
+        half-replicated state as divergence and erase both sides of it.
+        Every pass is idempotent — a crash *during* recovery is recovered
+        from by simply recovering again.
+
+        Recovery assumes a quiesced tier: the completion pass reads
+        *every* shard's open intents and would resolve (abort) the
+        intent of an operation still in flight on a healthy peer,
+        racing its coordinator.  Real deployments fence with epochs or
+        leases before admitting new operations; that machinery is a
+        ROADMAP item, and the crash drills quiesce by construction (the
+        injected crash kills the whole in-flight operation).
+        """
+        lost = yield from self.recover_local()
+        yield from self.complete_tier_intents()
+        yield from self.restore_overrides()
+        yield from self.resync_skeleton()
+        yield from self.reconcile_tier_buckets()
+        # The completion pass can re-attach rows a rolled-back rename had
+        # detached (they travelled inside the intent record, invisible to
+        # the first reseat): reseat again against the settled tables.
+        yield from self.reseat_allocators()
+        return lost
+
+    def recover_local(self):
+        """Coroutine: rebuild this shard only, keeping its vino stride."""
+        lost = yield from super().recover()
+        yield from self.reseat_allocators()
+        return lost
+
+    def reseat_allocators(self):
+        """Coroutine: reseat the vino and intent-id allocators.
+
+        Cross-shard renames migrate inodes (with their vinos) to other
+        shards, so the local tables alone under-estimate how far this
+        shard's allocation class has advanced: the peers are asked for
+        their highest vino in this class before the allocator reseats.
+        The intent-id allocator reseats the same way (prepare and dedup
+        records derived from this shard's ids live on peers).
+        """
+        base, step = self.shard_id + 1, self.n_shards
+        vinos = [row["vino"] for row in self.db.table("inodes").all()]
+        top = max(vinos) if vinos else 0
+        seq = self._max_local_intent_seq()
+        for shard in range(self.n_shards):
+            if shard != self.shard_id:
+                peak = yield from self._peer(
+                    shard, "max_vino_in_class", base, step)
+                top = max(top, peak)
+                speak = yield from self._peer(
+                    shard, "max_intent_seq", f"s{self.shard_id}.")
+                seq = max(seq, speak)
+        if top >= base:
+            base += ((top - base) // step + 1) * step
+        self._vino = itertools.count(base, step)
+        self._intent_seq = itertools.count(seq + 1)
+        return True
+
+    def _max_local_intent_seq(self, prefix=None):
+        """Highest intent sequence number with ``prefix`` in this table."""
+        prefix = prefix or f"s{self.shard_id}."
+        peak = 0
+        for row in self.db.table("intents").all():
+            base = row["id"].split("@")[0].split("#")[0]
+            if base.startswith(prefix):
+                try:
+                    peak = max(peak, int(base[len(prefix):]))
+                except ValueError:
+                    pass
+        return peak
+
+    def max_vino_in_class(self, base, step):
+        """RPC (shard-to-shard): highest local vino ≡ base (mod step)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            peak = 0
+            for row in txn.match("inodes"):
+                vino = row["vino"]
+                if vino >= base and (vino - base) % step == 0:
+                    peak = max(peak, vino)
+            return peak
+
+        peak = yield from self.dbsvc.execute(body)
+        return peak
+
+    def max_intent_seq(self, prefix):
+        """RPC (shard-to-shard): highest intent seq with ``prefix`` here."""
+        yield from self._dispatch()
+
+        def body(txn):
+            return self._max_local_intent_seq(prefix)
+
+        peak = yield from self.dbsvc.execute(body)
+        return peak
+
+    # -- tier-wide recovery passes -----------------------------------------
+
+    def resync_skeleton(self):
+        """Coroutine: make every skeleton replica match its authority.
+
+        The authoritative copy of the entry at path P lives on the shard
+        owning P's parent's entries — the shard that coordinated its
+        creation.  A shard that recovered from an older journal prefix
+        may be missing newer entries (copy them in) or still hold entries
+        whose authority lost them (remove them).  Runs *after* the intent
+        completion pass, which already re-broadcast every half-finished
+        replication — what remains diverging here is journal loss, and
+        the authority's survived prefix is the truth.
+
+        The per-shard ``skeleton_map`` gather is a read-only fan-out;
+        with ``config.parallel_broadcasts`` the RPCs overlap (recovery
+        latency is max, not sum, of the shard round trips).
+        """
+        maps = yield from self._gather_maps()
+        auth = {}
+        every = set()
+        for view in maps:
+            every.update(view)
+        for path in sorted(every, key=lambda p: p.count("/")):
+            row = maps[self._owner_of(path)].get(path)
+            if row is None:
+                continue  # the authority lost it: everyone drops it
+            parent, _name = split(path)
+            if parent != "/" and parent not in auth:
+                continue  # orphaned subtree: its parent is gone
+            auth[path] = row
+        ordered = sorted(auth, key=lambda p: p.count("/"))
+        structural = ("kind", "mode", "uid", "gid", "target")
+        for shard in range(self.n_shards):
+            local = maps[shard]
+            adds, rewrites = [], []
+            for path in ordered:
+                row = auth[path]
+                mine = local.get(path)
+                if mine is None or mine["vino"] != row["vino"]:
+                    # Missing — or a *different* object reused the path
+                    # (divergent histories): replace, don't keep both.
+                    adds.append((path, row))
+                elif any(mine[f] != row[f] for f in structural):
+                    rewrites.append((path, row))
+            removes = sorted(
+                (path for path, mine in local.items()
+                 if path not in auth or auth[path]["vino"] != mine["vino"]),
+                key=lambda p: -p.count("/"))
+            if adds or removes or rewrites:
+                yield from self._call_shard(
+                    shard, "skeleton_apply", adds, removes, rewrites)
+        return True
+
+    def _gather_maps(self):
+        """Coroutine: every shard's skeleton replica, in shard order."""
+        if not self.config.parallel_broadcasts or self.n_shards <= 2:
+            maps = []
+            for shard in range(self.n_shards):
+                maps.append(
+                    (yield from self._call_shard(shard, "skeleton_map")))
+            return maps
+        local = yield from self.skeleton_map()
+        procs = [
+            self.sim.process(
+                self._peer(shard, "skeleton_map"),
+                name=f"skelmap-s{self.shard_id}to{shard}",
+            )
+            for shard in range(self.n_shards) if shard != self.shard_id
+        ]
+        remote = yield self.sim.all_of(procs)
+        maps = []
+        for shard in range(self.n_shards):
+            if shard == self.shard_id:
+                maps.append(local)
+            else:
+                maps.append(remote.pop(0))
+        return maps
+
+    def skeleton_map(self):
+        """RPC (shard-to-shard): this shard's skeleton replica by path."""
+        yield from self._dispatch()
+
+        def body(txn):
+            view = {}
+            frontier = [("", self.root_vino)]
+            while frontier:
+                dir_path, dvino = frontier.pop()
+                for dentry in txn.index_read("dentries", "parent", dvino):
+                    if dentry.get("home") is not None:
+                        continue
+                    row = txn.read("inodes", dentry["vino"])
+                    if row is None or row["kind"] == FILE:
+                        continue
+                    path = f"{dir_path}/{dentry['name']}"
+                    view[path] = dict(row)
+                    if row["kind"] == DIRECTORY:
+                        frontier.append((path, row["vino"]))
+            return view
+
+        view = yield from self.dbsvc.execute(body)
+        return view
+
+    def skeleton_apply(self, adds, removes, rewrites):
+        """RPC (shard-to-shard): reshape this replica to the authority.
+
+        ``removes`` (deepest first) drop stale skeleton entries — along
+        with any local file entries under a dropped directory, which are
+        unreachable once the directory is gone everywhere.  ``adds``
+        (shallowest first) copy in authoritative rows.  ``rewrites``
+        overwrite same-vino rows whose attributes diverged (a lost
+        setattr broadcast).  Directory link counts are recomputed from
+        the final dentry set afterwards — authoritative rows already
+        count children the same apply may add or remove, so incremental
+        bookkeeping would double-count.  One transaction: a crash
+        mid-resync leaves the old replica, and the next recovery resyncs
+        again.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            for path in removes:
+                try:
+                    parent, name = self._txn_resolve_parent(txn, path)
+                except FsError:
+                    continue
+                dentry = txn.read("dentries", (parent["vino"], name))
+                if dentry is None:
+                    continue
+                self._invalidate_resolve(parent["vino"])
+                txn.delete("dentries", (parent["vino"], name))
+                row = txn.read("inodes", dentry["vino"])
+                if row is not None:
+                    if row["kind"] == DIRECTORY:
+                        for child in txn.index_read(
+                                "dentries", "parent", row["vino"]):
+                            txn.delete("dentries", child["key"])
+                            crow = txn.read("inodes", child["vino"])
+                            if crow is not None and crow["kind"] == FILE \
+                                    and child.get("home") is None:
+                                txn.delete("inodes", crow["vino"])
+                                if crow["upath"]:
+                                    self._txn_bucket_adjust(
+                                        txn, crow["upath"], -1)
+                        self._invalidate_resolve(row["vino"])
+                    txn.delete("inodes", row["vino"])
+            for path, auth_row in adds:
+                try:
+                    parent, name = self._txn_resolve_parent(txn, path)
+                except FsError:
+                    continue
+                if txn.read("dentries", (parent["vino"], name)) is not None:
+                    continue
+                txn.write("inodes", dict(auth_row))
+                self._invalidate_resolve(parent["vino"])
+                txn.insert("dentries", {
+                    "key": (parent["vino"], name), "parent": parent["vino"],
+                    "name": name, "vino": auth_row["vino"],
+                })
+            for _path, auth_row in rewrites:
+                txn.write("inodes", dict(auth_row))
+            self._txn_fix_dir_nlinks(txn)
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    def _txn_fix_dir_nlinks(self, txn):
+        """Recompute every directory's nlink (2 + subdirectories) from
+        the transaction's final dentry set."""
+        for row in txn.match("inodes"):
+            if row["kind"] != DIRECTORY:
+                continue
+            subdirs = 0
+            for dentry in txn.index_read("dentries", "parent", row["vino"]):
+                if dentry.get("home") is not None:
+                    continue
+                child = txn.read("inodes", dentry["vino"])
+                if child is not None and child["kind"] == DIRECTORY:
+                    subdirs += 1
+            if row["nlink"] != 2 + subdirs:
+                fixed = dict(row)
+                fixed["nlink"] = 2 + subdirs
+                txn.write("inodes", fixed)
+
+    def complete_tier_intents(self):
+        """Coroutine: resolve every open coordination record tier-wide.
+
+        Three idempotent passes: (A) every coordinator intent is rolled
+        forward (its prepare record exists → the operation committed) or
+        back; (B) surviving prepare records — their coordinator already
+        committed and dropped its intent — redo their post-commit side
+        effects (dedup-guarded) and retire; (C) dedup records whose
+        operation is fully resolved are garbage-collected.  A crash at
+        any point leaves records a re-run resolves the same way.
+        """
+        records = yield from self._gather_intents()
+        parts = {rec["id"]: shard for shard, rec in records
+                 if rec["role"] == "part"}
+        for shard, rec in records:
+            if rec["role"] != "coord":
+                continue
+            if rec["op"] == "rename":
+                committed = self._part_id(rec["id"]) in parts
+                yield from self._call_shard(
+                    shard, "finish_rename_intent", rec, committed)
+            elif rec["op"] == "link":
+                # The intent is deleted atomically with the commit, so
+                # its survival means abort: revert the bump if it landed.
+                pshard = parts.get(self._part_id(rec["id"]))
+                if pshard is not None:
+                    yield from self._call_shard(
+                        pshard, "link_abort", rec["id"], rec["now"])
+                yield from self._call_shard(
+                    shard, "intent_forget", rec["id"])
+            else:
+                yield from self._call_shard(shard, "redo_intent", rec)
+        records = yield from self._gather_intents()
+        for shard, rec in records:
+            if rec["role"] != "part":
+                continue
+            if rec["op"] == "rename":
+                yield from self._call_shard(shard, "redo_rename_part", rec)
+            else:  # a committed link's prepare record: the bump stands
+                yield from self._call_shard(shard, "intent_forget",
+                                            rec["id"])
+        records = yield from self._gather_intents()
+        live = {rec["id"].split("@")[0].split("#")[0]
+                for _shard, rec in records if rec["role"] != "dedup"}
+        for shard, rec in records:
+            if rec["role"] == "dedup" and \
+                    rec["id"].split("#")[0] not in live:
+                yield from self._call_shard(shard, "intent_forget",
+                                            rec["id"])
+        return True
+
+    def finish_rename_intent(self, rec, committed):
+        """RPC (shard-to-shard): resolve a cross-shard rename intent here.
+
+        Committed (the destination holds the prepare record): the detach
+        stands, only the intent retires.  Aborted: re-attach the old name
+        from the intent's payload — unless something already occupies it
+        — atomically with the intent's deletion.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            if txn.read("intents", rec["id"]) is None:
+                return False
+            if not committed:
+                parent, name = self._txn_resolve_parent(txn, rec["old"])
+                if txn.read("dentries", (parent["vino"], name)) is None:
+                    self._txn_reattach(
+                        txn, rec["old"], rec["row"], rec["stub"],
+                        rec["now"])
+            txn.delete("intents", rec["id"])
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    def redo_intent(self, rec):
+        """RPC (shard-to-shard): roll a coordinator intent forward here.
+
+        Every redo is idempotent (mirror replays no-op when already
+        applied; link drops are dedup-guarded; the rebalance migration
+        converges), so the record is deleted only after its effects are
+        re-applied.
+        """
+        op = rec["op"]
+        if op == "mirror":
+            yield from self._broadcast(rec["mirror"], *rec["args"])
+            yield from self.intent_forget(rec["id"])
+        elif op == "rename_post":
+            pending = [tuple(p) for p in rec["pending"]]
+            yield from self._drain_pending(pending, rec["now"], rec["id"])
+            if rec["replaced_symlink"]:
+                yield from self._broadcast(
+                    "mirror_unlink", rec["new"], rec["now"])
+            yield from self.intent_forget(rec["id"])
+            yield from self._forget_dedups(rec["id"], pending)
+        elif op == "rename_replicated":
+            pending = [tuple(p) for p in rec["pending"]]
+            yield from self._drain_pending(pending, rec["now"], rec["id"])
+            yield from self._broadcast(
+                "mirror_rename", rec["old"], rec["new"], rec["now"])
+            if rec["kind"] == DIRECTORY:
+                yield from self._migrate_renamed_subtree(
+                    rec["vino"], rec["old"], rec["new"], rec["now"])
+            yield from self.intent_forget(rec["id"])
+            yield from self._forget_dedups(rec["id"], pending)
+        elif op == "unlink_stub":
+            dedup = self._dedup_id(rec["id"], rec["vino"])
+            yield from self._peer(
+                rec["home"], "unlink_vino", rec["vino"], rec["now"], dedup)
+            yield from self.intent_forget(rec["id"])
+            yield from self._peer(rec["home"], "intent_forget", dedup)
+        elif op == "rebalance":
+            yield from self.redo_rebalance(rec)
+        return True
+
+    def retire_rename_part(self, tid):
+        """RPC (shard-to-shard): drop a committed install's prepare record
+        and then its dedup guards (in that order: a crash in between
+        leaves only garbage the completion pass collects)."""
+        yield from self._dispatch()
+        pid = self._part_id(tid)
+
+        def body(txn):
+            rec = txn.read("intents", pid)
+            if rec is None:
+                return None
+            txn.delete("intents", pid)
+            return [tuple(p) for p in rec["pending"]]
+
+        pending = yield from self.dbsvc.execute(body)
+        if pending:
+            yield from self._forget_dedups(tid, pending)
+        return True
+
+    def redo_rename_part(self, rec):
+        """RPC (shard-to-shard): redo a committed install's side effects.
+
+        The prepare record survives only when the coordinator committed
+        but the forget never arrived; the drains are dedup-guarded and
+        the symlink-replica removal idempotent, so redoing is safe.  The
+        record is deleted before its dedup guards so a crash between the
+        deletions leaves only garbage pass C collects.
+        """
+        pending = [tuple(p) for p in rec["pending"]]
+        tid = rec["id"].rsplit("@", 1)[0]
+        yield from self._drain_pending(pending, rec["now"], tid)
+        if rec["replaced_symlink"]:
+            yield from self._broadcast(
+                "mirror_unlink", rec["new"], rec["now"])
+        yield from self.intent_forget(rec["id"])
+        yield from self._forget_dedups(tid, pending)
+        return True
+
+    def reconcile_tier_buckets(self):
+        """Coroutine: recount placement counters on every shard."""
+        for shard in range(self.n_shards):
+            yield from self._call_shard(shard, "reconcile_buckets")
+        return True
+
+    def reconcile_buckets(self):
+        """RPC (shard-to-shard): recount this shard's placement counters
+        from its surviving file rows (counters travel with inode rows;
+        a crash between a migration's transactions can leave them a step
+        behind — the recount is the authoritative repair)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            want = {}
+            for row in txn.match("inodes"):
+                if row["kind"] == FILE and row["upath"]:
+                    bucket, _slash, _leaf = row["upath"].rpartition("/")
+                    want[bucket] = want.get(bucket, 0) + 1
+            changed = 0
+            for brow in txn.match("buckets"):
+                target = want.pop(brow["path"], 0)
+                if brow["count"] != target:
+                    fixed = dict(brow)
+                    fixed["count"] = target
+                    txn.write("buckets", fixed)
+                    changed += 1
+            for path, count in want.items():
+                txn.write("buckets", {"path": path, "count": count})
+                changed += 1
+            return changed
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Tier-wide crash recovery
+# ---------------------------------------------------------------------------
+
+def recover_tier(shards):
+    """Coroutine: recover a whole crashed tier.
+
+    Rebuilds *every* shard from its durable journal prefix first — a
+    whole-tier power failure leaves no live peer to ask — then runs the
+    tier-wide repair passes (intent completion, override restore, skeleton
+    resync, bucket reconciliation) exactly once, driven by shard 0.
+    Single-shard crashes use :meth:`ShardRecoveryPart.recover`, which runs
+    the same passes against the surviving peers' live tables.
+    """
+    lost = 0
+    for shard in shards:
+        lost += yield from shard.recover_local()
+    driver = shards[0]
+    yield from driver.complete_tier_intents()
+    yield from driver.restore_overrides()
+    yield from driver.resync_skeleton()
+    yield from driver.reconcile_tier_buckets()
+    for shard in shards:
+        # intent completion may have re-attached rows that travelled
+        # inside intent records; reseat against the settled tables.
+        yield from shard.reseat_allocators()
+    return lost

@@ -1,0 +1,608 @@
+"""Routing: partitioning policies, the client router, and forwards.
+
+This module is the "where does this operation belong" layer of the sharded
+tier (formerly the *Partitioning policies*, *Client-side router*, *shard
+arithmetic*, *peer communication*, *resolution hooks* and *forwarded
+single-path handlers* sections of the old ``repro/core/sharding.py``
+monolith):
+
+- :class:`ShardingPolicy` / :class:`HashDirSharding` /
+  :class:`SubtreeSharding` — the partition function (which shard owns a
+  directory's entries), now with an *override map* consulted first: the
+  online re-balancer (:mod:`repro.core.shard.rebalance`) re-homes hot
+  directories by installing overrides, so the base policy stays static
+  while ownership follows load.
+- :class:`ShardRouter` — the client-side replacement for the single-target
+  :class:`~repro.core.metadriver.MetadataDriver`, routing each op by path
+  (or learned vino home), and keeping per-shard / per-directory load
+  counters the re-balancer samples.
+- :class:`ResolveForward` / :class:`VinoForward` — control-flow exceptions
+  a shard raises when a walk crosses onto another shard.
+- :class:`ShardRoutingPart` — the service-side mixin: shard arithmetic,
+  peer RPC plumbing, the resolution hooks that raise forwards, and every
+  read-only forwarded handler (getattr/readdir/readlink/open_map, the
+  vino-addressed ops, close_sync chasing, peer queries).
+"""
+
+import hashlib
+
+from repro.core.metadriver import MetadataDriver
+from repro.core.metaservice import _MAX_SYMLINK_DEPTH
+from repro.pfs.errors import FsError
+from repro.pfs.types import DIRECTORY, normalize, split
+
+
+class ResolveForward(Exception):
+    """Control flow: continue this operation on ``shard`` at ``path``.
+
+    ``final`` marks a forward to the shard that *authoritatively* owns
+    the missing component's enclosing directory: the redispatch target
+    must not be re-derived from the path (that would bounce the op right
+    back to the shard that raised the forward).
+    """
+
+    def __init__(self, shard, path, final=False):
+        super().__init__(shard, path)
+        self.shard = shard
+        self.path = path
+        self.final = final
+
+
+class VinoForward(Exception):
+    """Control flow: the leaf's inode lives on ``shard`` under ``vino``."""
+
+    def __init__(self, shard, vino):
+        super().__init__(shard, vino)
+        self.shard = shard
+        self.vino = vino
+
+
+# ---------------------------------------------------------------------------
+# Partitioning policies
+# ---------------------------------------------------------------------------
+
+class ShardingPolicy:
+    """Interface: which shard owns the entries of a directory.
+
+    ``overrides`` maps a normalized directory path to the shard the online
+    re-balancer re-homed it to; it is consulted before the base partition
+    function.  The map is shared by every router and shard of one stack
+    (modeling the small replicated routing table a real tier pushes to its
+    clients); the durable copy lives in each shard's ``overrides`` table
+    and is restored on recovery (see :mod:`repro.core.shard.rebalance`).
+    """
+
+    def __init__(self):
+        self.overrides = {}
+
+    def shard_of_dir(self, dir_path, n_shards):
+        """The shard (int in ``range(n_shards)``) owning ``dir_path``'s
+        entries."""
+        if n_shards <= 1:
+            return 0
+        norm = normalize(dir_path)
+        override = self.overrides.get(norm)
+        if override is not None:
+            return override % n_shards
+        return self._base_shard(norm, n_shards)
+
+    def _base_shard(self, norm, n_shards):
+        """The static partition function over a normalized path."""
+        raise NotImplementedError
+
+
+class HashDirSharding(ShardingPolicy):
+    """Hash-by-parent-directory (HopsFS-style).
+
+    Entries of one directory always co-locate; distinct directories spread
+    uniformly, so workloads touching many directories scale with shards.
+    """
+
+    def _base_shard(self, norm, n_shards):
+        digest = hashlib.blake2b(norm.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % n_shards
+
+
+class SubtreeSharding(ShardingPolicy):
+    """Static subtree partitioning: longest matching prefix wins.
+
+    ``assignments`` maps a directory prefix to a shard; everything below it
+    (unless a longer rule overrides) is served there.  Unmatched paths fall
+    to ``default``.  This is the administrator-controlled alternative to
+    hashing: whole projects stay on one shard.
+    """
+
+    def __init__(self, assignments, default=0):
+        super().__init__()
+        self.rules = sorted(
+            ((normalize(prefix), int(shard))
+             for prefix, shard in dict(assignments).items()),
+            key=lambda rule: len(rule[0]), reverse=True,
+        )
+        self.default = default
+
+    def _base_shard(self, norm, n_shards):
+        for prefix, shard in self.rules:
+            if norm == prefix or prefix == "/" \
+                    or norm.startswith(prefix + "/"):
+                return shard % n_shards
+        return self.default % n_shards
+
+
+# ---------------------------------------------------------------------------
+# Client-side router
+# ---------------------------------------------------------------------------
+
+class ShardRouter:
+    """Routes each metadata op to the shard owning its leaf's directory.
+
+    Drop-in replacement for a single :class:`MetadataDriver`: exposes the
+    same ``call(method, *args)`` coroutine.  With one shard it degenerates
+    to a pure pass-through (zero simulated and zero accounting difference),
+    which is what keeps 1-shard stacks byte-identical to the pre-sharding
+    system.
+
+    The router also keeps *load counters* — ops per shard and ops per
+    target directory — as pure Python bookkeeping (no simulated cost).
+    They are the sampling source for
+    :class:`repro.core.shard.rebalance.Rebalancer`: the router is the one
+    place that already computes the (directory → shard) decision for every
+    op, so counting here attributes load to the unit the re-balancer can
+    actually move.
+    """
+
+    #: methods whose first argument is a path routed by its parent dir.
+    _LEAF_OPS = frozenset({
+        "getattr", "create_node", "setattr", "unlink", "rmdir",
+        "readlink", "open_map",
+    })
+
+    def __init__(self, machine, shard_machines, config, sharding):
+        self.machine = machine
+        self.config = config
+        self.sharding = sharding
+        self.drivers = [
+            MetadataDriver(machine, m, config) for m in shard_machines
+        ]
+        self.n_shards = len(self.drivers)
+        self._vino_shard = {}  # vino -> home shard (learned from views)
+        self.op_loads = [0] * self.n_shards
+        self.dir_loads = {}    # normalized dir path -> op count
+
+    @property
+    def calls(self):
+        return sum(driver.calls for driver in self.drivers)
+
+    def shard_for_dir(self, dir_path):
+        return self.sharding.shard_of_dir(dir_path, self.n_shards)
+
+    def shard_for_leaf(self, path):
+        parent, _name = split(path)
+        return self.sharding.shard_of_dir(parent, self.n_shards)
+
+    def call(self, method, *args):
+        """Coroutine: one (possibly fanned-out) metadata RPC."""
+        if self.n_shards == 1:
+            return self.drivers[0].call(method, *args)
+        if method == "statfs":
+            return self._statfs()
+        if method == "close_sync":
+            shard = self._vino_shard.get(args[0], 0)
+            self._note_load(shard, None)
+            return self.drivers[shard].call(method, *args)
+        if method == "readdir":
+            dir_path = normalize(args[0])
+            shard = self.shard_for_dir(dir_path)
+        elif method == "rename":
+            dir_path, _name = split(args[0])
+            shard = self.shard_for_dir(dir_path)
+        elif method == "link":
+            dir_path, _name = split(args[1])
+            shard = self.shard_for_dir(dir_path)
+        elif method in self._LEAF_OPS:
+            dir_path, _name = split(args[0])
+            shard = self.shard_for_dir(dir_path)
+        else:
+            dir_path = None
+            shard = 0
+        self._note_load(shard, dir_path)
+        return self._tracked(shard, method, args)
+
+    #: bound on learned vino homes; overflow clears (close_sync then
+    #: falls back to shard 0 and the service fans out on a miss).
+    _VINO_MAP_MAX = 4096
+
+    #: bound on per-directory load counters; overflow keeps the hot half
+    #: so sustained skew survives the trim.
+    _DIR_LOADS_MAX = 8192
+
+    def _note_load(self, shard, dir_path):
+        """Count one op against its shard and (when known) its directory."""
+        self.op_loads[shard] += 1
+        if dir_path is None:
+            return
+        loads = self.dir_loads
+        if len(loads) >= self._DIR_LOADS_MAX and dir_path not in loads:
+            hot = sorted(loads.items(), key=lambda kv: (-kv[1], kv[0]))
+            loads.clear()
+            loads.update(hot[:self._DIR_LOADS_MAX // 2])
+        loads[dir_path] = loads.get(dir_path, 0) + 1
+
+    def reset_loads(self):
+        """Forget the sampled load (after a re-balancing round)."""
+        self.op_loads = [0] * self.n_shards
+        self.dir_loads = {}
+
+    def _tracked(self, shard, method, args):
+        """Coroutine: call one shard; learn vino homes from returned views."""
+        view = yield from self.drivers[shard].call(method, *args)
+        if type(view) is dict and "vino" in view:
+            if len(self._vino_shard) >= self._VINO_MAP_MAX:
+                self._vino_shard.clear()
+            self._vino_shard[view["vino"]] = view.get("shard", shard)
+        return view
+
+    def _statfs(self):
+        """Coroutine: namespace stats aggregated across every shard.
+
+        The replicated skeleton (directories, symlinks) is counted once
+        via shard 0's totals; files sum across shards.
+        """
+        merged = None
+        files = 0
+        for driver in self.drivers:
+            stats = yield from driver.call("statfs")
+            if merged is None:
+                merged = dict(stats)
+            files += stats["files"]
+        # shard 0's inode count covers the whole skeleton plus its own
+        # files; the other shards contribute only their files.
+        merged["inodes"] = merged["inodes"] + files - merged["files"]
+        merged["files"] = files
+        return merged
+
+    def call_all(self, method, *args):
+        """Coroutine: invoke ``method`` on every shard; list of results.
+
+        Tier-wide maintenance fan-out (the scrubber's live-upath gather);
+        not a data-path operation, so it is deliberately serial and
+        unrouted.
+        """
+        results = []
+        for driver in self.drivers:
+            results.append((yield from driver.call(method, *args)))
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Service-side routing mixin
+# ---------------------------------------------------------------------------
+
+class ShardRoutingPart:
+    """Shard arithmetic, peer RPCs, forwards, and forwarded read handlers.
+
+    Mixin for :class:`repro.core.shard.service.ShardMetadataService`; every
+    ``super()`` call resolves through the composed class to
+    :class:`repro.core.metaservice.MetadataService`.
+    """
+
+    # -- shard arithmetic -------------------------------------------------
+
+    def _owner_of(self, path):
+        """The shard owning ``path``'s leaf entry (by its parent dir)."""
+        parent, _name = split(path)
+        return self.sharding.shard_of_dir(parent, self.n_shards)
+
+    def _dir_owner(self, dir_path):
+        return self.sharding.shard_of_dir(dir_path, self.n_shards)
+
+    def _check_hops(self, hops, path):
+        if hops > _MAX_SYMLINK_DEPTH:
+            raise FsError.einval(
+                f"too many levels of symbolic links: {path}")
+
+    # -- peer communication ----------------------------------------------
+
+    def _peer(self, shard, method, *args):
+        """Coroutine: an internal shard-to-shard RPC (full network cost)."""
+        call = self.machine.call(
+            self.shard_machines[shard], "cofsmds", method, args=args,
+            req_size=self.config.rpc_bytes, resp_size=self.config.rpc_bytes,
+        )
+        if self.faults is None:
+            return call
+        return self._peer_traced(call, shard, method)
+
+    def _peer_traced(self, call, shard, method):
+        """Coroutine: a peer RPC whose send/receive are crash boundaries."""
+        self.faults.boundary(("send", self.shard_id, shard, method))
+        result = yield from call
+        self.faults.boundary(("recv", self.shard_id, shard, method))
+        return result
+
+    def _call_shard(self, shard, method, *args):
+        """Coroutine: invoke an internal op on a shard (maybe this one)."""
+        if shard == self.shard_id:
+            return getattr(self, method)(*args)
+        return self._peer(shard, method, *args)
+
+    def _redispatch(self, fwd, method, *args):
+        """Coroutine: restart ``method`` where a forward says it belongs."""
+        return self._call_shard(fwd.shard, method, *args)
+
+    # -- resolution hooks -------------------------------------------------
+
+    def _attr_view(self, row):
+        view = super()._attr_view(row)
+        view["shard"] = self.shard_id
+        return view
+
+    def _resolve_retarget(self, txn, target, follow, depth):
+        if not self._local_only:
+            # Walking toward a directory whose *contents* matter (a parent
+            # walk, or readdir) routes by the target directory itself;
+            # walking to a leaf routes by the leaf's parent.
+            owner = self._dir_owner(target) if self._parent_walk \
+                else self._owner_of(target)
+            if owner != self.shard_id:
+                raise ResolveForward(owner, target)
+        return super()._resolve_retarget(txn, target, follow, depth)
+
+    def _absent_dentry(self, txn, path, parts, index):
+        last = index == len(parts) - 1
+        if not self._local_only and (self._parent_walk or not last):
+            dir_path = "/" + "/".join(parts[:index])
+            owner = self._dir_owner(dir_path)
+            if owner != self.shard_id:
+                # A component with no local dentry may still be a
+                # partitioned file (or stub) on the shard owning this
+                # directory's entries — which must then answer ENOTDIR,
+                # not ENOENT.  Forward; the owner resolves authoritatively
+                # and never re-forwards (it holds the entries).  Parent
+                # walks mark the forward ``final``: their redispatch must
+                # go to this owner verbatim, since re-deriving the shard
+                # from the leaf's parent would route straight back here.
+                # (A leaf walk's *last* component never forwards — the
+                # router already sent it to the dentry owner.)
+                raise ResolveForward(
+                    owner, path, final=self._parent_walk)
+        super()._absent_dentry(txn, path, parts, index)
+
+    def _missing_child(self, txn, path, dentry, last):
+        home = dentry.get("home")
+        if home is None or home == self.shard_id or self._local_only:
+            return super()._missing_child(txn, path, dentry, last)
+        if not last or self._parent_walk:
+            # A cross-shard hard link is never a directory; using it as a
+            # path component (or as a parent/readdir target) is ENOTDIR —
+            # only leaf inode ops forward to the home shard.
+            raise FsError.enotdir(path)
+        raise VinoForward(home, dentry["vino"])
+
+    def _txn_resolve_parent(self, txn, path):
+        # Transaction bodies never yield, so this flag is scoped to the
+        # synchronous walk: no other handler can observe it mid-flight.
+        prev = self._parent_walk
+        self._parent_walk = True
+        try:
+            return super()._txn_resolve_parent(txn, path)
+        except ResolveForward as fwd:
+            # The *parent* walk crossed shards: re-attach the leaf so the
+            # re-dispatched operation carries the full rewritten path.  An
+            # authoritative (final) forward keeps its target shard; a
+            # symlink-retarget forward re-routes by the rewritten parent.
+            _parent, name = split(path)
+            base = normalize(fwd.path)
+            full = f"/{name}" if base == "/" else f"{base}/{name}"
+            if fwd.final:
+                raise ResolveForward(fwd.shard, full, final=True) from None
+            raise ResolveForward(self._owner_of(full), full) from None
+        finally:
+            self._parent_walk = prev
+
+    def _resolve_rename_old(self, txn, old):
+        # rename's peek already pinned the source to this shard; walk the
+        # local skeleton replica so a concurrently-installed cross-shard
+        # symlink can't raise a source forward that the redispatch
+        # handlers would misread as a destination forward.
+        prev = self._local_only
+        self._local_only = True
+        try:
+            return super()._resolve_rename_old(txn, old)
+        finally:
+            self._local_only = prev
+
+    # -- forwarded single-path read handlers --------------------------------
+
+    def getattr(self, path, _hops=0):
+        self._check_hops(_hops, path)
+        try:
+            view = yield from super().getattr(path)
+        except ResolveForward as fwd:
+            view = yield from self._redispatch(
+                fwd, "getattr", fwd.path, _hops + 1)
+            return view
+        except VinoForward as fwd:
+            view = yield from self._peer(fwd.shard, "getattr_vino", fwd.vino)
+            return view
+        if view["kind"] == DIRECTORY:
+            # File creates/unlinks touch a directory's times only on its
+            # contents-owner shard — the authoritative replica for stat.
+            owner = self._dir_owner(path)
+            if owner != self.shard_id:
+                view = yield from self._peer(
+                    owner, "getattr", path, _hops + 1)
+        return view
+
+    def open_map(self, path, for_write, now, _hops=0):
+        self._check_hops(_hops, path)
+        try:
+            view = yield from super().open_map(path, for_write, now)
+        except ResolveForward as fwd:
+            view = yield from self._redispatch(
+                fwd, "open_map", fwd.path, for_write, now, _hops + 1)
+        except VinoForward as fwd:
+            view = yield from self._peer(
+                fwd.shard, "open_vino", fwd.vino, for_write, now)
+        return view
+
+    def readdir(self, path, _hops=0):
+        self._check_hops(_hops, path)
+        yield from self._dispatch()
+
+        def body(txn):
+            # Like a parent walk: a symlink on the way must route by the
+            # target directory itself (whose entries live on its owner).
+            prev = self._parent_walk
+            self._parent_walk = True
+            try:
+                row = self._txn_resolve(txn, path)
+            finally:
+                self._parent_walk = prev
+            if row["kind"] != DIRECTORY:
+                raise FsError.enotdir(path)
+            names = [d["name"] for d in
+                     txn.index_read("dentries", "parent", row["vino"])]
+            return sorted(names)
+
+        try:
+            names = yield from self.dbsvc.execute(body)
+        except ResolveForward as fwd:
+            names = yield from self._redispatch(
+                fwd, "readdir", fwd.path, _hops + 1)
+        return names
+
+    def readlink(self, path, _hops=0):
+        self._check_hops(_hops, path)
+        try:
+            target = yield from super().readlink(path)
+        except ResolveForward as fwd:
+            target = yield from self._redispatch(
+                fwd, "readlink", fwd.path, _hops + 1)
+        except VinoForward:
+            # A cross-shard hard-link stub: its inode is never a symlink
+            # (hard links to symlinks are rejected on sharded stacks), so
+            # answer directly instead of leaking the control-flow exception.
+            raise FsError.einval(f"not a symlink: {path}")
+        return target
+
+    # -- delegated write-back ----------------------------------------------
+
+    def close_sync(self, vino, size, mtime, now):
+        """Delegated write-back; chases an inode a rename migrated away.
+
+        The router targets the learned home shard, but a concurrent
+        cross-shard rename can move the inode after a client learned its
+        home.  A miss here fans out to the peers before giving up, so the
+        delegated size/mtime are never silently dropped.
+        """
+        result = yield from super().close_sync(vino, size, mtime, now)
+        if result:
+            return True
+        for shard in range(self.n_shards):
+            if shard == self.shard_id:
+                continue
+            found = yield from self._peer(
+                shard, "close_sync_local", vino, size, mtime, now)
+            if found:
+                return True
+        return False
+
+    def close_sync_local(self, vino, size, mtime, now):
+        """RPC (shard-to-shard): close_sync without the fan-out retry."""
+        result = yield from super().close_sync(vino, size, mtime, now)
+        return result
+
+    # -- vino-addressed inode ops (forward targets) ------------------------
+
+    def getattr_vino(self, vino):
+        yield from self._dispatch()
+
+        def body(txn):
+            row = txn.read("inodes", vino)
+            if row is None:
+                raise FsError.enoent(f"vino {vino}")
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def setattr_vino(self, vino, changes, now):
+        yield from self._dispatch()
+        self._check_setattr(changes)
+
+        def body(txn):
+            row = txn.read_for_update("inodes", vino)
+            if row is None:
+                raise FsError.enoent(f"vino {vino}")
+            row.update(changes)
+            row["ctime"] = now
+            txn.write("inodes", row)
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    def open_vino(self, vino, for_write, now):
+        yield from self._dispatch()
+
+        def body(txn):
+            row = txn.read("inodes", vino)
+            if row is None:
+                raise FsError.enoent(f"vino {vino}")
+            if for_write:
+                if row["kind"] == DIRECTORY:
+                    raise FsError.eisdir(f"vino {vino}")
+                row = dict(row)
+                row["delegated"] = True
+                txn.write("inodes", row)
+            return row
+
+        row = yield from self.dbsvc.execute(body)
+        return self._attr_view(row)
+
+    # -- peer queries ------------------------------------------------------
+
+    def count_children_of(self, path):
+        """RPC (shard-to-shard): how many entries this shard holds under
+        ``path`` (0 when the path does not resolve here)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            try:
+                row = self._txn_resolve(txn, path)
+            except (FsError, ResolveForward):
+                return 0
+            if row["kind"] != DIRECTORY:
+                return 0
+            return len(txn.index_read("dentries", "parent", row["vino"]))
+
+        count = yield from self.dbsvc.execute(body)
+        return count
+
+    def peek_entry(self, path):
+        """RPC (shard-to-shard): this shard's dentry at ``path``, if any.
+
+        ``kind`` is None for a stub whose inode lives elsewhere.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            try:
+                parent, name = self._txn_resolve_parent(txn, path)
+            except (FsError, ResolveForward):
+                return None
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
+                return None
+            home = dentry.get("home")
+            if home is not None and home != self.shard_id:
+                return {"vino": dentry["vino"], "kind": None, "home": home}
+            row = txn.read("inodes", dentry["vino"])
+            if row is None:
+                return None
+            return {"vino": row["vino"], "kind": row["kind"],
+                    "home": self.shard_id}
+
+        entry = yield from self.dbsvc.execute(body)
+        return entry

@@ -1,0 +1,73 @@
+"""The sharded metadata service: one shard of the partitioned tier.
+
+Composes the layered subsystems of :mod:`repro.core.shard` into the
+concrete service class (formerly the single ``ShardMetadataService`` of
+the old ``repro/core/sharding.py`` monolith):
+
+- :class:`~repro.core.shard.routing.ShardRoutingPart` — shard arithmetic,
+  peer RPCs, forwards, read handlers;
+- :class:`~repro.core.shard.replication.ShardReplicationPart` — skeleton
+  replication and (serial or overlapped) mirror broadcasts;
+- :class:`~repro.core.shard.coordination.ShardCoordinationPart` —
+  intent/prepare/dedup records, cross-shard rename/link, migration;
+- :class:`~repro.core.shard.rebalance.ShardRebalancePart` — online
+  load-aware re-partitioning;
+- :class:`~repro.core.shard.recovery.ShardRecoveryPart` — crash recovery
+  and the tier-wide repair passes;
+
+with :class:`~repro.core.metaservice.MetadataService` at the root of the
+MRO supplying the transaction bodies every layer builds on.
+"""
+
+import itertools
+
+from repro.core.metaservice import MetadataService
+from repro.core.shard.coordination import ShardCoordinationPart
+from repro.core.shard.rebalance import ShardRebalancePart
+from repro.core.shard.recovery import ShardRecoveryPart
+from repro.core.shard.replication import ShardReplicationPart
+from repro.core.shard.routing import ShardRoutingPart
+
+
+class ShardMetadataService(
+    ShardRoutingPart,
+    ShardReplicationPart,
+    ShardCoordinationPart,
+    ShardRebalancePart,
+    ShardRecoveryPart,
+    MetadataService,
+):
+    """One shard of the partitioned metadata tier.
+
+    Extends :class:`MetadataService` with a shard identity, the replicated
+    directory/symlink skeleton, forwarded resolves, the cross-shard
+    rename/link protocols and online re-partitioning described in the
+    package docstring.  Registered as ``cofsmds`` on its own machine, so
+    shard-to-shard coordination uses the exact same simulated RPC path as
+    client traffic.
+    """
+
+    def __init__(self, machine, config, shard_id, shard_machines, sharding,
+                 policy=None, streams=None):
+        self.shard_id = shard_id
+        self.n_shards = len(shard_machines)
+        self.shard_machines = shard_machines
+        self.sharding = sharding
+        self._local_only = False
+        self._parent_walk = False
+        #: optional :class:`repro.core.faults.CrashSchedule`; when set,
+        #: every peer RPC send/receive becomes a crash boundary.
+        self.faults = None
+        #: allocator for intent-record ids (reseated on recovery).
+        self._intent_seq = itertools.count(1)
+        super().__init__(machine, config, policy=policy, streams=streams)
+        # Vino allocation: stride-N classes keep shards collision-free while
+        # every shard bootstraps the same replicated root as vino 1.
+        start = self.shard_id + 1
+        if self.shard_id == 0:
+            start += self.n_shards  # vino 1 is the root, already allocated
+        self._vino = itertools.count(start, self.n_shards)
+
+    def _placement_stream(self):
+        """Placement randomization: an independent stream per shard."""
+        return f"cofs.placement.s{self.shard_id}"

@@ -1,2212 +1,59 @@
-"""Sharded metadata tier: the COFS namespace over N metadata servers.
+"""Compatibility façade for the sharded metadata tier.
 
-The paper's metadata service is a single node; the moment client counts
-grow, it becomes the next bottleneck after the one it removed.  This module
-partitions the virtual namespace across N :class:`MetadataService` shards,
-following the HopsFS school of hierarchical-metadata partitioning:
+The 2,200-line monolith that used to live here was decomposed into the
+layered :mod:`repro.core.shard` package; this module re-exports the
+public surface so existing imports (tests, benches, stacks, examples)
+keep working unchanged.  The old module's sections map onto the new
+layout as follows:
 
-- **Partition function** (:class:`ShardingPolicy`): the shard that owns a
-  name is a pure function of its *parent directory's* virtual path.  All
-  dentries of one directory therefore live together on one shard — exactly
-  HopsFS's "partition inodes by parent id" scheme, which keeps the common
-  operations (lookup, create, readdir of a directory) single-shard.  Two
-  policies are provided, mirroring the pluggable-placement pattern of
-  :mod:`repro.core.placement`: :class:`HashDirSharding` (hash of the parent
-  path, HopsFS-style) and :class:`SubtreeSharding` (static subtree
-  assignment, the classic Ceph/static-partition alternative).
+================================  =====================================
+old ``sharding.py`` section        new home
+================================  =====================================
+ResolveForward / VinoForward       :mod:`repro.core.shard.routing`
+Partitioning policies              :mod:`repro.core.shard.routing`
+Client-side router                 :mod:`repro.core.shard.routing`
+shard arithmetic / peer comms      :mod:`repro.core.shard.routing`
+resolution hooks / read handlers   :mod:`repro.core.shard.routing`
+vino-addressed ops, peer queries   :mod:`repro.core.shard.routing`
+namespace mutation w/ replication  :mod:`repro.core.shard.replication`
+mirror (replication) ops           :mod:`repro.core.shard.replication`
+coordination records               :mod:`repro.core.shard.coordination`
+rename (local/replicated/cross)    :mod:`repro.core.shard.coordination`
+subtree migration (copy/import/    :mod:`repro.core.shard.coordination`
+purge)
+link / link_vino / unlink_vino     :mod:`repro.core.shard.coordination`
+recovery + tier-wide passes        :mod:`repro.core.shard.recovery`
+``recover_tier``                   :mod:`repro.core.shard.recovery`
+*(new)* online re-partitioning     :mod:`repro.core.shard.rebalance`
+``ShardMetadataService``           :mod:`repro.core.shard.service`
+================================  =====================================
 
-- **Replicated skeleton**: directory and symlink inodes (the *skeleton* of
-  the tree) are synchronously replicated to every shard by their
-  coordinator, so path resolution for the replicated prefix is always
-  local, shard-local resolve caches stay charge-preserving, and only leaf
-  (file) entries are partitioned.  This is HopsFS's observation that the
-  immutable-ish upper tree is cheap to share while the file population —
-  the actual bottleneck — must be spread.
-
-- **Shard router** (:class:`ShardRouter`): the client-side replacement for
-  the single-target :class:`~repro.core.metadriver.MetadataDriver`.  It
-  holds one driver per shard and routes every operation by virtual path
-  (or, for ``close_sync``, by a learned vino→shard map so delegation
-  write-back lands on the shard that owns the inode).
-
-- **Forwarded resolves**: when a walk crosses a symlink whose target is
-  owned by another shard, the serving shard aborts its (so far read-only)
-  transaction and re-dispatches the whole operation to the owner — a
-  server-to-server RPC with full simulated cost.  Cross-shard hard links
-  store a *stub* dentry carrying the inode's home shard; inode operations
-  through such a name are forwarded to the home shard the same way.
-
-- **Cross-shard rename/link**: a rename whose source and destination
-  resolve to different shards commits via the source shard acting as
-  coordinator: detach locally, install remotely (``rename_install``), and
-  compensate (re-attach) if the install fails.  Renames of replicated
-  objects (directories, symlinks) replay on every shard, with any
-  replaced-file upath reported back by the shard that owned it.
-
-- **Crash consistency (2-phase prepare/commit)**: every multi-step
-  mutation journals a durable *intent record* (table ``intents``)
-  atomically with its first local change, participants journal *prepare*
-  records atomically with theirs, and non-idempotent side effects
-  (remote link-count drops) are guarded by *dedup* records so they apply
-  exactly once.  A cross-shard file rename commits the moment the
-  destination's install transaction (carrying the prepare record) is
-  durable; a cross-shard link commits when the coordinator's
-  dentry-insert transaction (which atomically deletes its intent) is
-  durable.  :meth:`ShardMetadataService.recover` runs a tier-wide
-  completion pass that rolls committed intents forward and uncommitted
-  ones back, resyncs the replicated skeleton, and reconciles placement
-  counters — proven by exhaustive per-boundary fault injection in
-  ``tests/core/test_crash_points.py`` (see :mod:`repro.core.faults`).
-
-A 1-shard configuration never constructs this service; the stack keeps the
-plain :class:`MetadataService` + a pass-through router, so every seed
-figure doubles as a regression test for the routing layer.
-
-Known simplifications (documented, exercised by tests where noted):
-
-- Replication and broadcasts are synchronous and serial; a coordinator
-  answers only after every mirror applied (no partial-failure handling
-  beyond rename compensation).
-- Hard links to *symlinks* are rejected on sharded stacks (replica link
-  counts would drift); plain files hard-link across shards fine.
-- Bucket (placement) counters travel with the inode row: a cross-shard
-  rename decrements the origin shard's counter and increments the
-  destination's in the same transactions that move the row, and
-  recovery's :meth:`ShardMetadataService.reconcile_buckets` recounts
-  them from the surviving rows.
-- A crash can orphan *underlying* objects (a replaced file's underlying
-  path is unlinked by the client after the metadata commit; if the
-  client died with the coordinator, the object lingers until a scrub).
-  The metadata tier itself stays consistent — only underlying space is
-  leaked.
-- A directory's mtime/ctime are authoritative on its *contents-owner*
-  shard (file creates/unlinks update only that replica); ``getattr`` of a
-  directory re-fetches from it, and directory ``setattr`` broadcasts.
-  Stat of a directory *through a symlink* may still read a stale replica.
-- ``rmdir``'s emptiness checks and its mirror broadcast are not one
-  atomic unit; a mirror that grew entries in the window refuses to
-  delete (no file becomes unreachable, but the skeleton diverges until
-  the rmdir is retried).  Full cross-shard atomicity is a ROADMAP item.
-- A partitioned file in the *middle* of a path answers ENOTDIR on every
-  kind of walk: a missing dentry forwards to the shard owning the
-  enclosing directory's entries, which resolves authoritatively.  Parent
-  walks (create, unlink, rename destination, readdir) mark the forward
-  *final* so the redispatch lands on that owner verbatim — re-deriving
-  the target from the leaf's parent would ping-pong with the router's
-  leaf-parent routing.  (This closed the historical ENOENT/ENOTDIR
-  asymmetry between leaf and parent walks; the cross-shard-count
-  differential oracle now pins the symmetric behavior.)
-- A directory rename commits (locally and on every mirror) *before*
-  :meth:`ShardMetadataService._migrate_renamed_subtree` re-homes the
-  subtree's file entries; until each copy → import → purge RPC triple
-  lands, a re-homed file is transiently ENOENT for other clients whose
-  lookups route to the new owner shard.  The window is crash-safe (the
-  migration is idempotent and redone by the rename's intent on
-  recovery) but not atomic for concurrent readers — pinned by
-  ``test_subtree_migration_window_only_transient_enoent``.  Making the
-  migration part of the rename's atomic commit is a ROADMAP item
-  alongside cross-shard rmdir atomicity.
+See the package docstring of :mod:`repro.core.shard` for the design
+overview (partition function, replicated skeleton, forwards, 2-phase
+coordination, crash recovery, online re-partitioning) and each module's
+docstring for its layer's invariants and known simplifications.
 """
 
-import hashlib
-import itertools
-
-from repro.core.metadriver import MetadataDriver
-from repro.core.metaservice import _MAX_SYMLINK_DEPTH, MetadataService
-from repro.pfs.errors import FsError
-from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize, split
-
-
-class ResolveForward(Exception):
-    """Control flow: continue this operation on ``shard`` at ``path``.
-
-    ``final`` marks a forward to the shard that *authoritatively* owns
-    the missing component's enclosing directory: the redispatch target
-    must not be re-derived from the path (that would bounce the op right
-    back to the shard that raised the forward).
-    """
-
-    def __init__(self, shard, path, final=False):
-        super().__init__(shard, path)
-        self.shard = shard
-        self.path = path
-        self.final = final
-
-
-class VinoForward(Exception):
-    """Control flow: the leaf's inode lives on ``shard`` under ``vino``."""
-
-    def __init__(self, shard, vino):
-        super().__init__(shard, vino)
-        self.shard = shard
-        self.vino = vino
-
-
-# ---------------------------------------------------------------------------
-# Partitioning policies
-# ---------------------------------------------------------------------------
-
-class ShardingPolicy:
-    """Interface: which shard owns the entries of a directory."""
-
-    def shard_of_dir(self, dir_path, n_shards):
-        """The shard (int in ``range(n_shards)``) owning ``dir_path``'s
-        entries."""
-        raise NotImplementedError
-
-
-class HashDirSharding(ShardingPolicy):
-    """Hash-by-parent-directory (HopsFS-style).
-
-    Entries of one directory always co-locate; distinct directories spread
-    uniformly, so workloads touching many directories scale with shards.
-    """
-
-    def shard_of_dir(self, dir_path, n_shards):
-        if n_shards <= 1:
-            return 0
-        digest = hashlib.blake2b(
-            normalize(dir_path).encode(), digest_size=8
-        ).digest()
-        return int.from_bytes(digest, "big") % n_shards
-
-
-class SubtreeSharding(ShardingPolicy):
-    """Static subtree partitioning: longest matching prefix wins.
-
-    ``assignments`` maps a directory prefix to a shard; everything below it
-    (unless a longer rule overrides) is served there.  Unmatched paths fall
-    to ``default``.  This is the administrator-controlled alternative to
-    hashing: whole projects stay on one shard.
-    """
-
-    def __init__(self, assignments, default=0):
-        self.rules = sorted(
-            ((normalize(prefix), int(shard))
-             for prefix, shard in dict(assignments).items()),
-            key=lambda rule: len(rule[0]), reverse=True,
-        )
-        self.default = default
-
-    def shard_of_dir(self, dir_path, n_shards):
-        if n_shards <= 1:
-            return 0
-        norm = normalize(dir_path)
-        for prefix, shard in self.rules:
-            if norm == prefix or prefix == "/" \
-                    or norm.startswith(prefix + "/"):
-                return shard % n_shards
-        return self.default % n_shards
-
-
-# ---------------------------------------------------------------------------
-# Client-side router
-# ---------------------------------------------------------------------------
-
-class ShardRouter:
-    """Routes each metadata op to the shard owning its leaf's directory.
-
-    Drop-in replacement for a single :class:`MetadataDriver`: exposes the
-    same ``call(method, *args)`` coroutine.  With one shard it degenerates
-    to a pure pass-through (zero simulated and zero accounting difference),
-    which is what keeps 1-shard stacks byte-identical to the pre-sharding
-    system.
-    """
-
-    #: methods whose first argument is a path routed by its parent dir.
-    _LEAF_OPS = frozenset({
-        "getattr", "create_node", "setattr", "unlink", "rmdir",
-        "readlink", "open_map",
-    })
-
-    def __init__(self, machine, shard_machines, config, sharding):
-        self.machine = machine
-        self.config = config
-        self.sharding = sharding
-        self.drivers = [
-            MetadataDriver(machine, m, config) for m in shard_machines
-        ]
-        self.n_shards = len(self.drivers)
-        self._vino_shard = {}  # vino -> home shard (learned from views)
-
-    @property
-    def calls(self):
-        return sum(driver.calls for driver in self.drivers)
-
-    def shard_for_dir(self, dir_path):
-        return self.sharding.shard_of_dir(dir_path, self.n_shards)
-
-    def shard_for_leaf(self, path):
-        parent, _name = split(path)
-        return self.sharding.shard_of_dir(parent, self.n_shards)
-
-    def call(self, method, *args):
-        """Coroutine: one (possibly fanned-out) metadata RPC."""
-        if self.n_shards == 1:
-            return self.drivers[0].call(method, *args)
-        if method == "statfs":
-            return self._statfs()
-        if method == "close_sync":
-            shard = self._vino_shard.get(args[0], 0)
-            return self.drivers[shard].call(method, *args)
-        if method == "readdir":
-            shard = self.shard_for_dir(args[0])
-        elif method == "rename":
-            shard = self.shard_for_leaf(args[0])
-        elif method == "link":
-            shard = self.shard_for_leaf(args[1])
-        elif method in self._LEAF_OPS:
-            shard = self.shard_for_leaf(args[0])
-        else:
-            shard = 0
-        return self._tracked(shard, method, args)
-
-    #: bound on learned vino homes; overflow clears (close_sync then
-    #: falls back to shard 0 and the service fans out on a miss).
-    _VINO_MAP_MAX = 4096
-
-    def _tracked(self, shard, method, args):
-        """Coroutine: call one shard; learn vino homes from returned views."""
-        view = yield from self.drivers[shard].call(method, *args)
-        if type(view) is dict and "vino" in view:
-            if len(self._vino_shard) >= self._VINO_MAP_MAX:
-                self._vino_shard.clear()
-            self._vino_shard[view["vino"]] = view.get("shard", shard)
-        return view
-
-    def _statfs(self):
-        """Coroutine: namespace stats aggregated across every shard.
-
-        The replicated skeleton (directories, symlinks) is counted once
-        via shard 0's totals; files sum across shards.
-        """
-        merged = None
-        files = 0
-        for driver in self.drivers:
-            stats = yield from driver.call("statfs")
-            if merged is None:
-                merged = dict(stats)
-            files += stats["files"]
-        # shard 0's inode count covers the whole skeleton plus its own
-        # files; the other shards contribute only their files.
-        merged["inodes"] = merged["inodes"] + files - merged["files"]
-        merged["files"] = files
-        return merged
-
-
-# ---------------------------------------------------------------------------
-# The sharded service
-# ---------------------------------------------------------------------------
-
-class ShardMetadataService(MetadataService):
-    """One shard of the partitioned metadata tier.
-
-    Extends :class:`MetadataService` with a shard identity, the replicated
-    directory/symlink skeleton, forwarded resolves, and the cross-shard
-    rename/link protocols described in the module docstring.  Registered as
-    ``cofsmds`` on its own machine, so shard-to-shard coordination uses the
-    exact same simulated RPC path as client traffic.
-    """
-
-    def __init__(self, machine, config, shard_id, shard_machines, sharding,
-                 policy=None, streams=None):
-        self.shard_id = shard_id
-        self.n_shards = len(shard_machines)
-        self.shard_machines = shard_machines
-        self.sharding = sharding
-        self._local_only = False
-        self._parent_walk = False
-        #: optional :class:`repro.core.faults.CrashSchedule`; when set,
-        #: every peer RPC send/receive becomes a crash boundary.
-        self.faults = None
-        #: allocator for intent-record ids (reseated on recovery).
-        self._intent_seq = itertools.count(1)
-        super().__init__(machine, config, policy=policy, streams=streams)
-        # Vino allocation: stride-N classes keep shards collision-free while
-        # every shard bootstraps the same replicated root as vino 1.
-        start = self.shard_id + 1
-        if self.shard_id == 0:
-            start += self.n_shards  # vino 1 is the root, already allocated
-        self._vino = itertools.count(start, self.n_shards)
-
-    def _placement_stream(self):
-        """Placement randomization: an independent stream per shard."""
-        return f"cofs.placement.s{self.shard_id}"
-
-    # -- shard arithmetic -------------------------------------------------
-
-    def _owner_of(self, path):
-        """The shard owning ``path``'s leaf entry (by its parent dir)."""
-        parent, _name = split(path)
-        return self.sharding.shard_of_dir(parent, self.n_shards)
-
-    def _dir_owner(self, dir_path):
-        return self.sharding.shard_of_dir(dir_path, self.n_shards)
-
-    def _check_hops(self, hops, path):
-        if hops > _MAX_SYMLINK_DEPTH:
-            raise FsError.einval(
-                f"too many levels of symbolic links: {path}")
-
-    # -- peer communication ----------------------------------------------
-
-    def _peer(self, shard, method, *args):
-        """Coroutine: an internal shard-to-shard RPC (full network cost)."""
-        call = self.machine.call(
-            self.shard_machines[shard], "cofsmds", method, args=args,
-            req_size=self.config.rpc_bytes, resp_size=self.config.rpc_bytes,
-        )
-        if self.faults is None:
-            return call
-        return self._peer_traced(call, shard, method)
-
-    def _peer_traced(self, call, shard, method):
-        """Coroutine: a peer RPC whose send/receive are crash boundaries."""
-        self.faults.boundary(("send", self.shard_id, shard, method))
-        result = yield from call
-        self.faults.boundary(("recv", self.shard_id, shard, method))
-        return result
-
-    # -- coordination records (intent / prepare / dedup) -------------------
-
-    def _new_tid(self):
-        """A fresh intent id, unique per shard and across recoveries."""
-        return f"s{self.shard_id}.{next(self._intent_seq)}"
-
-    @staticmethod
-    def _part_id(tid):
-        """The participant (prepare) record id derived from ``tid``."""
-        return f"{tid}@p"
-
-    @staticmethod
-    def _dedup_id(tid, vino):
-        """The dedup record id guarding one remote link-count drop."""
-        return f"{tid}#d{vino}"
-
-    def intent_forget(self, rid):
-        """RPC (also used locally): durably drop one coordination record."""
-        yield from self._dispatch()
-
-        def body(txn):
-            if txn.read("intents", rid) is None:
-                return False
-            txn.delete("intents", rid)
-            return True
-
-        result = yield from self.dbsvc.execute(body)
-        return result
-
-    def open_intents(self):
-        """RPC: every unresolved coordination record on this shard."""
-        yield from self._dispatch()
-
-        def body(txn):
-            return [dict(row) for row in txn.match("intents")]
-
-        rows = yield from self.dbsvc.execute(body)
-        return rows
-
-    def _gather_intents(self):
-        """Coroutine: ``(shard, record)`` for every open record tier-wide."""
-        records = []
-        for shard in range(self.n_shards):
-            rows = yield from self._call_shard(shard, "open_intents")
-            records.extend((shard, row) for row in rows)
-        return records
-
-    def _forget_dedups(self, tid, pending):
-        """Coroutine: drop the dedup records a drained op left at homes."""
-        for home, vino in pending:
-            yield from self._peer(
-                home, "intent_forget", self._dedup_id(tid, vino))
-        return True
-
-    def _redispatch(self, fwd, method, *args):
-        """Coroutine: restart ``method`` where a forward says it belongs."""
-        return self._call_shard(fwd.shard, method, *args)
-
-    def _broadcast(self, method, *args):
-        """Coroutine: apply a mirror op on every other shard (serial)."""
-        results = []
-        for shard in range(self.n_shards):
-            if shard != self.shard_id:
-                results.append((yield from self._peer(shard, method, *args)))
-        return results
-
-    def _drain_pending(self, pending, now, tid=None):
-        """Coroutine: run remote inode adjustments a txn body queued.
-
-        ``pending`` is the caller-owned list its transaction body filled
-        (never instance state: bodies of concurrent operations must not
-        see each other's queues).  Returns the remote ``(upath, last)``
-        outcomes so a rename that replaced a stub name can report the
-        underlying path to unlink.  With ``tid``, each drop is guarded by
-        a dedup record at its home shard so a post-crash redo applies it
-        exactly once.
-        """
-        outcomes = []
-        for home, vino in pending:
-            dedup = None if tid is None else self._dedup_id(tid, vino)
-            outcomes.append(
-                (yield from self._peer(home, "unlink_vino", vino, now,
-                                       dedup)))
-        return outcomes
-
-    @staticmethod
-    def _merge_replaced(result, outcomes):
-        """Fold remote unlink outcomes into a rename's (upath, last)."""
-        replaced_upath, replaced_last = result
-        for outcome in outcomes:
-            if outcome and outcome[0] is not None and outcome[1]:
-                replaced_upath, replaced_last = outcome[0], outcome[1]
-        return (replaced_upath, replaced_last)
-
-    def _local_body(self, fn):
-        """Wrap a txn body so resolution never forwards (mirror replays)."""
-        def wrapped(txn):
-            self._local_only = True
-            try:
-                return fn(txn)
-            finally:
-                self._local_only = False
-        return wrapped
-
-    # -- resolution hooks -------------------------------------------------
-
-    def _attr_view(self, row):
-        view = super()._attr_view(row)
-        view["shard"] = self.shard_id
-        return view
-
-    def _resolve_retarget(self, txn, target, follow, depth):
-        if not self._local_only:
-            # Walking toward a directory whose *contents* matter (a parent
-            # walk, or readdir) routes by the target directory itself;
-            # walking to a leaf routes by the leaf's parent.
-            owner = self._dir_owner(target) if self._parent_walk \
-                else self._owner_of(target)
-            if owner != self.shard_id:
-                raise ResolveForward(owner, target)
-        return super()._resolve_retarget(txn, target, follow, depth)
-
-    def _absent_dentry(self, txn, path, parts, index):
-        last = index == len(parts) - 1
-        if not self._local_only and (self._parent_walk or not last):
-            dir_path = "/" + "/".join(parts[:index])
-            owner = self._dir_owner(dir_path)
-            if owner != self.shard_id:
-                # A component with no local dentry may still be a
-                # partitioned file (or stub) on the shard owning this
-                # directory's entries — which must then answer ENOTDIR,
-                # not ENOENT.  Forward; the owner resolves authoritatively
-                # and never re-forwards (it holds the entries).  Parent
-                # walks mark the forward ``final``: their redispatch must
-                # go to this owner verbatim, since re-deriving the shard
-                # from the leaf's parent would route straight back here.
-                # (A leaf walk's *last* component never forwards — the
-                # router already sent it to the dentry owner.)
-                raise ResolveForward(
-                    owner, path, final=self._parent_walk)
-        super()._absent_dentry(txn, path, parts, index)
-
-    def _missing_child(self, txn, path, dentry, last):
-        home = dentry.get("home")
-        if home is None or home == self.shard_id or self._local_only:
-            return super()._missing_child(txn, path, dentry, last)
-        if not last or self._parent_walk:
-            # A cross-shard hard link is never a directory; using it as a
-            # path component (or as a parent/readdir target) is ENOTDIR —
-            # only leaf inode ops forward to the home shard.
-            raise FsError.enotdir(path)
-        raise VinoForward(home, dentry["vino"])
-
-    def _txn_resolve_parent(self, txn, path):
-        # Transaction bodies never yield, so this flag is scoped to the
-        # synchronous walk: no other handler can observe it mid-flight.
-        prev = self._parent_walk
-        self._parent_walk = True
-        try:
-            return super()._txn_resolve_parent(txn, path)
-        except ResolveForward as fwd:
-            # The *parent* walk crossed shards: re-attach the leaf so the
-            # re-dispatched operation carries the full rewritten path.  An
-            # authoritative (final) forward keeps its target shard; a
-            # symlink-retarget forward re-routes by the rewritten parent.
-            _parent, name = split(path)
-            base = normalize(fwd.path)
-            full = f"/{name}" if base == "/" else f"{base}/{name}"
-            if fwd.final:
-                raise ResolveForward(fwd.shard, full, final=True) from None
-            raise ResolveForward(self._owner_of(full), full) from None
-        finally:
-            self._parent_walk = prev
-
-    def _resolve_rename_old(self, txn, old):
-        # rename's peek already pinned the source to this shard; walk the
-        # local skeleton replica so a concurrently-installed cross-shard
-        # symlink can't raise a source forward that the redispatch
-        # handlers would misread as a destination forward.
-        prev = self._local_only
-        self._local_only = True
-        try:
-            return super()._resolve_rename_old(txn, old)
-        finally:
-            self._local_only = prev
-
-    def _rename_replace_stub(self, txn, existing, pending):
-        home = existing.get("home")
-        if home is None or home == self.shard_id:
-            return False
-        pending.append((home, existing["vino"]))
-        return True
-
-    def _unlink_stub_home(self, dentry):
-        home = dentry.get("home")
-        if home is None or home == self.shard_id:
-            return None
-        return home
-
-    # -- forwarded single-path handlers -----------------------------------
-
-    def getattr(self, path, _hops=0):
-        self._check_hops(_hops, path)
-        try:
-            view = yield from super().getattr(path)
-        except ResolveForward as fwd:
-            view = yield from self._redispatch(
-                fwd, "getattr", fwd.path, _hops + 1)
-            return view
-        except VinoForward as fwd:
-            view = yield from self._peer(fwd.shard, "getattr_vino", fwd.vino)
-            return view
-        if view["kind"] == DIRECTORY:
-            # File creates/unlinks touch a directory's times only on its
-            # contents-owner shard — the authoritative replica for stat.
-            owner = self._dir_owner(path)
-            if owner != self.shard_id:
-                view = yield from self._peer(
-                    owner, "getattr", path, _hops + 1)
-        return view
-
-    def setattr(self, path, changes, now, _hops=0):
-        self._check_hops(_hops, path)
-        yield from self._dispatch()
-        self._check_setattr(changes)
-        tids = []
-        inner = self._setattr_body(path, changes, now)
-
-        def body(txn):
-            row = inner(txn)
-            if row["kind"] == DIRECTORY:
-                # Keep every replica of the skeleton coherent (stat reads
-                # the contents-owner replica; see getattr); the intent
-                # makes the broadcast crash-redoable.
-                tids.append(self._txn_mirror_intent(
-                    txn, "mirror_setattr", [path, changes, now]))
-            return row
-
-        try:
-            row = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            view = yield from self._redispatch(
-                fwd, "setattr", fwd.path, changes, now, _hops + 1)
-            return view
-        except VinoForward as fwd:
-            view = yield from self._peer(
-                fwd.shard, "setattr_vino", fwd.vino, changes, now)
-            return view
-        view = self._attr_view(row)
-        if tids:
-            yield from self._broadcast("mirror_setattr", path, changes, now)
-            yield from self.intent_forget(tids[0])
-        return view
-
-    def _txn_mirror_intent(self, txn, mirror, args):
-        """Journal a redoable mirror broadcast with the local change."""
-        tid = self._new_tid()
-        txn.insert("intents", {
-            "id": tid, "role": "coord", "op": "mirror",
-            "mirror": mirror, "args": list(args),
-        })
-        return tid
-
-    def mirror_setattr(self, path, changes, now):
-        """RPC (shard-to-shard): replicate a directory/symlink setattr."""
-        yield from self._dispatch()
-        self._check_setattr(changes)
-
-        def body(txn):
-            try:
-                row = dict(self._txn_resolve(txn, path))
-            except FsError:
-                return False
-            row.update(changes)
-            row["ctime"] = now
-            txn.write("inodes", row)
-            return True
-
-        result = yield from self.dbsvc.execute(self._local_body(body))
-        return result
-
-    def open_map(self, path, for_write, now, _hops=0):
-        self._check_hops(_hops, path)
-        try:
-            view = yield from super().open_map(path, for_write, now)
-        except ResolveForward as fwd:
-            view = yield from self._redispatch(
-                fwd, "open_map", fwd.path, for_write, now, _hops + 1)
-        except VinoForward as fwd:
-            view = yield from self._peer(
-                fwd.shard, "open_vino", fwd.vino, for_write, now)
-        return view
-
-    def readdir(self, path, _hops=0):
-        self._check_hops(_hops, path)
-        yield from self._dispatch()
-
-        def body(txn):
-            # Like a parent walk: a symlink on the way must route by the
-            # target directory itself (whose entries live on its owner).
-            prev = self._parent_walk
-            self._parent_walk = True
-            try:
-                row = self._txn_resolve(txn, path)
-            finally:
-                self._parent_walk = prev
-            if row["kind"] != DIRECTORY:
-                raise FsError.enotdir(path)
-            names = [d["name"] for d in
-                     txn.index_read("dentries", "parent", row["vino"])]
-            return sorted(names)
-
-        try:
-            names = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            names = yield from self._redispatch(
-                fwd, "readdir", fwd.path, _hops + 1)
-        return names
-
-    def readlink(self, path, _hops=0):
-        self._check_hops(_hops, path)
-        try:
-            target = yield from super().readlink(path)
-        except ResolveForward as fwd:
-            target = yield from self._redispatch(
-                fwd, "readlink", fwd.path, _hops + 1)
-        except VinoForward:
-            # A cross-shard hard-link stub: its inode is never a symlink
-            # (hard links to symlinks are rejected on sharded stacks), so
-            # answer directly instead of leaking the control-flow exception.
-            raise FsError.einval(f"not a symlink: {path}")
-        return target
-
-    # -- namespace mutation with replication -------------------------------
-
-    def create_node(self, path, kind, mode, uid, gid, node, pid, now,
-                    target=None, _hops=0):
-        self._check_hops(_hops, path)
-        if kind == FILE:
-            # Files are single-shard: the base transaction, no intent.
-            try:
-                view = yield from super().create_node(
-                    path, kind, mode, uid, gid, node, pid, now, target)
-            except ResolveForward as fwd:
-                view = yield from self._redispatch(
-                    fwd, "create_node", fwd.path, kind, mode, uid, gid,
-                    node, pid, now, target, _hops + 1)
-            return view
-        yield from self._dispatch()
-        tids = []
-        inner = self._create_body(
-            path, kind, mode, uid, gid, node, pid, now, target)
-
-        def body(txn):
-            row = inner(txn)
-            tids.append(self._txn_mirror_intent(
-                txn, "mirror_create", [path, self._attr_view(row), now]))
-            return row
-
-        try:
-            row = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            view = yield from self._redispatch(
-                fwd, "create_node", fwd.path, kind, mode, uid, gid, node,
-                pid, now, target, _hops + 1)
-            return view
-        view = self._attr_view(row)
-        yield from self._broadcast("mirror_create", path, view, now)
-        yield from self.intent_forget(tids[0])
-        return view
-
-    def unlink(self, path, now, _hops=0):
-        self._check_hops(_hops, path)
-        yield from self._dispatch()
-        tids = []
-        inner = self._unlink_body(path, now)
-
-        def body(txn):
-            outcome = inner(txn)
-            if outcome[0] == "#stub":
-                # The remote link-count drop must survive a crash here.
-                tid = self._new_tid()
-                txn.insert("intents", {
-                    "id": tid, "role": "coord", "op": "unlink_stub",
-                    "vino": outcome[1], "home": outcome[2], "now": now,
-                })
-                tids.append(tid)
-            elif outcome[0] == SYMLINK and outcome[1][1]:
-                tids.append(self._txn_mirror_intent(
-                    txn, "mirror_unlink", [path, now]))
-            return outcome
-
-        try:
-            outcome = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            result = yield from self._redispatch(
-                fwd, "unlink", fwd.path, now, _hops + 1)
-            return result
-        if outcome[0] == "#stub":  # inode adjusted at its home shard
-            _marker, vino, home = outcome
-            tid = tids[0]
-            dedup = self._dedup_id(tid, vino)
-            result = yield from self._peer(
-                home, "unlink_vino", vino, now, dedup)
-            yield from self.intent_forget(tid)
-            yield from self._peer(home, "intent_forget", dedup)
-            return result
-        kind, (upath, last) = outcome
-        if kind == SYMLINK and last:
-            yield from self._broadcast("mirror_unlink", path, now)
-            yield from self.intent_forget(tids[0])
-        return (upath, last)
-
-    def rmdir(self, path, now, _hops=0):
-        self._check_hops(_hops, path)
-        owner = self._dir_owner(path)
-        if owner != self.shard_id:
-            # The directory's file population lives on its owner shard.
-            entries = yield from self._peer(owner, "count_children_of", path)
-            if entries:
-                raise FsError.enotempty(path)
-        yield from self._dispatch()
-        tids = []
-        inner = self._rmdir_body(path, now)
-
-        def body(txn):
-            result = inner(txn)
-            tids.append(self._txn_mirror_intent(
-                txn, "mirror_rmdir", [path, now]))
-            return result
-
-        try:
-            result = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            result = yield from self._redispatch(
-                fwd, "rmdir", fwd.path, now, _hops + 1)
-            return result
-        yield from self._broadcast("mirror_rmdir", path, now)
-        yield from self.intent_forget(tids[0])
-        return result
-
-    # -- rename: local, replicated, and cross-shard ------------------------
-
-    def rename(self, old, new, now, _hops=0):
-        self._check_hops(_hops, old)
-        yield from self._dispatch()
-
-        def peek(txn):
-            parent, name = self._txn_resolve_parent(txn, old)
-            dentry = txn.read("dentries", (parent["vino"], name))
-            if dentry is None:
-                raise FsError.enoent(old)
-            home = dentry.get("home")
-            if home is not None and home != self.shard_id:
-                return (None, dentry["vino"], home)
-            row = txn.read("inodes", dentry["vino"])
-            if row is None:
-                raise FsError.enoent(old)
-            return (row["kind"], row["vino"], None)
-
-        try:
-            kind, vino, home = yield from self.dbsvc.execute(peek)
-        except ResolveForward as fwd:
-            result = yield from self._redispatch(
-                fwd, "rename", fwd.path, new, now, _hops + 1)
-            return result
-
-        dst = self._owner_of(new)
-        if kind in (DIRECTORY, SYMLINK):
-            return (yield from self._rename_replicated(
-                kind, vino, old, new, dst, now, _hops))
-        if dst == self.shard_id and home is None:
-            # Entirely this shard's business: the base transaction, plus
-            # an intent when it leaves redoable remote work behind (a
-            # replaced stub's link drop, a replaced symlink's replicas).
-            pending, replaced, tids = [], [], []
-            inner = self._rename_body(old, new, now, pending, replaced)
-
-            def body(txn):
-                result = inner(txn)
-                if pending or SYMLINK in replaced:
-                    tid = self._new_tid()
-                    txn.insert("intents", {
-                        "id": tid, "role": "coord", "op": "rename_post",
-                        "new": new, "now": now, "pending": list(pending),
-                        "replaced_symlink": SYMLINK in replaced,
-                    })
-                    tids.append(tid)
-                return result
-
-            try:
-                result = yield from self.dbsvc.execute(body)
-            except ResolveForward as fwd:
-                result = yield from self.rename(old, fwd.path, now, _hops + 1)
-                return result
-            if tids:
-                tid = tids[0]
-                drained = yield from self._drain_pending(pending, now, tid)
-                result = self._merge_replaced(result, drained)
-                if SYMLINK in replaced:
-                    # The rename destroyed a replicated symlink at ``new``;
-                    # its replicas on every other shard must die with it
-                    # (as unlink does), or stale replicas keep resolving.
-                    yield from self._broadcast("mirror_unlink", new, now)
-                yield from self.intent_forget(tid)
-                yield from self._forget_dedups(tid, pending)
-            return result
-        return (yield from self._rename_cross_shard(
-            old, new, vino, home, dst, now, _hops))
-
-    def _rename_replicated(self, kind, vino, old, new, dst, now, _hops):
-        """Coroutine: rename of a directory/symlink — replay on all shards."""
-        if dst != self.shard_id:
-            entry = yield from self._peer(dst, "peek_entry", new)
-            if entry is not None and entry["kind"] not in (DIRECTORY, SYMLINK):
-                if kind == DIRECTORY:
-                    # A file (or stub) occupies the target name on its owner.
-                    raise FsError.enotdir(new)
-        if kind == DIRECTORY:
-            # Replacing a directory: its file population lives on its owner.
-            content_owner = self._dir_owner(new)
-            if content_owner != self.shard_id:
-                entries = yield from self._peer(
-                    content_owner, "count_children_of", new)
-                if entries:
-                    raise FsError.enotempty(new)
-        pending, tids = [], []
-        inner = self._rename_body(old, new, now, pending)
-
-        def body(txn):
-            result = inner(txn)
-            tid = self._new_tid()
-            txn.insert("intents", {
-                "id": tid, "role": "coord", "op": "rename_replicated",
-                "kind": kind, "vino": vino, "old": old, "new": new,
-                "now": now, "pending": list(pending),
-            })
-            tids.append(tid)
-            return result
-
-        try:
-            result = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            result = yield from self.rename(old, fwd.path, now, _hops + 1)
-            return result
-        tid = tids[0]
-        drained = yield from self._drain_pending(pending, now, tid)
-        result = self._merge_replaced(result, drained)
-        mirrored = yield from self._broadcast("mirror_rename", old, new, now)
-        result = self._merge_replaced(result, mirrored)
-        if kind == DIRECTORY:
-            yield from self._migrate_renamed_subtree(vino, old, new, now)
-        yield from self.intent_forget(tid)
-        yield from self._forget_dedups(tid, pending)
-        return result
-
-    def _migrate_renamed_subtree(self, vino, old, new, now):
-        """Coroutine: re-home file children after a directory rename.
-
-        Partitioning is by *path*, so renaming a directory may change the
-        owner of its (and every descendant directory's) file entries — the
-        well-known cost of path-based partitioning that HopsFS sidesteps by
-        hashing immutable inode ids.  The replicated skeleton makes the
-        fix cheap to coordinate: this shard enumerates the subtree locally,
-        then moves each re-homed directory's file entries with a
-        copy → import → purge RPC triple.  Copy-then-delete (rather than
-        the destructive export this replaced) means a crash between the
-        RPCs never loses entries: they transiently exist on both shards,
-        and re-running the migration (recovery's intent roll-forward does)
-        converges — import skips keys it already holds, purge deletes
-        only what the copy listed.
-        """
-
-        def collect(txn):
-            found = [(old, new, vino)]
-            frontier = [(vino, old, new)]
-            while frontier:
-                dvino, old_path, new_path = frontier.pop()
-                for dentry in txn.index_read("dentries", "parent", dvino):
-                    if dentry.get("home") is not None:
-                        continue
-                    row = txn.read("inodes", dentry["vino"])
-                    if row is not None and row["kind"] == DIRECTORY:
-                        entry = (f"{old_path}/{dentry['name']}",
-                                 f"{new_path}/{dentry['name']}",
-                                 dentry["vino"])
-                        found.append(entry)
-                        frontier.append((dentry["vino"], entry[0], entry[1]))
-            return found
-
-        dirs = yield from self.dbsvc.execute(collect)
-        for old_path, new_path, dvino in dirs:
-            src = self._dir_owner(old_path)
-            dst = self._dir_owner(new_path)
-            if src == dst:
-                continue
-            dentries, inodes = yield from self._call_shard(
-                src, "copy_dir_children", dvino)
-            if dentries:
-                yield from self._call_shard(
-                    dst, "import_dir_children", dvino, dentries, inodes)
-                yield from self._call_shard(
-                    src, "purge_dir_children", dvino,
-                    [d["key"] for d in dentries],
-                    [r["vino"] for r in inodes])
-
-    def copy_dir_children(self, vino):
-        """RPC (shard-to-shard): read a directory's file entries here.
-
-        Read-only: the entries stay until :meth:`purge_dir_children`
-        confirms the destination holds them, so no crash point between
-        the migration RPCs can lose an entry.
-        """
-        yield from self._dispatch()
-
-        def body(txn):
-            dentries, inodes = [], []
-            for dentry in txn.index_read("dentries", "parent", vino):
-                dentry = dict(dentry)
-                if dentry.get("home") is None:
-                    row = txn.read("inodes", dentry["vino"])
-                    if row is None or row["kind"] != FILE:
-                        continue  # replicated skeleton stays put
-                    if row["nlink"] > 1:
-                        # Hard-linked under other names: the inode stays
-                        # home (see _rename_cross_shard's detach); only
-                        # the name moves, shipped as a stub back here.
-                        dentry["home"] = self.shard_id
-                    else:
-                        inodes.append(dict(row))
-                dentries.append(dentry)
-            return (dentries, inodes)
-
-        result = yield from self.dbsvc.execute(body)
-        return result
-
-    def import_dir_children(self, vino, dentries, inodes):
-        """RPC (shard-to-shard): adopt re-homed file entries (idempotent)."""
-        yield from self._dispatch()
-
-        def body(txn):
-            for row in inodes:
-                if txn.read("inodes", row["vino"]) is None:
-                    txn.insert("inodes", dict(row))
-                    if row["upath"]:
-                        self._txn_bucket_adjust(txn, row["upath"], 1)
-            for dentry in dentries:
-                dentry = dict(dentry)
-                if dentry.get("home") == self.shard_id:
-                    del dentry["home"]  # the stub came home
-                if txn.read("dentries", tuple(dentry["key"])) is None:
-                    txn.insert("dentries", dentry)
-            self._invalidate_resolve(vino)
-            return True
-
-        result = yield from self.dbsvc.execute(body)
-        return result
-
-    def purge_dir_children(self, vino, keys, vinos):
-        """RPC (shard-to-shard): drop migrated entries once the new owner
-        holds them (idempotent: deletes only what is still here)."""
-        yield from self._dispatch()
-
-        def body(txn):
-            changed = False
-            for key in keys:
-                if txn.read("dentries", tuple(key)) is not None:
-                    txn.delete("dentries", tuple(key))
-                    changed = True
-            for moved in vinos:
-                row = txn.read("inodes", moved)
-                if row is not None and row["kind"] == FILE:
-                    txn.delete("inodes", moved)
-                    if row["upath"]:
-                        self._txn_bucket_adjust(txn, row["upath"], -1)
-                    changed = True
-            if changed:
-                self._invalidate_resolve(vino)
-            return changed
-
-        result = yield from self.dbsvc.execute(body)
-        return result
-
-    def _call_shard(self, shard, method, *args):
-        """Coroutine: invoke an internal op on a shard (maybe this one)."""
-        if shard == self.shard_id:
-            return getattr(self, method)(*args)
-        return self._peer(shard, method, *args)
-
-    def _rename_cross_shard(self, old, new, vino, home, dst, now, _hops):
-        """Coroutine: move a file's name (and inode) to another shard.
-
-        Two-phase: the detach transaction journals an intent record —
-        carrying the detached inode row itself, so no crash point can
-        lose it — atomically with the detach; the destination's install
-        transaction journals a prepare record atomically with the
-        install and is the commit point.  Afterwards the coordinator
-        drops its intent, then the participant's prepare record.  A
-        crash anywhere is resolved by recovery's completion pass: the
-        prepare record's existence decides commit (roll forward) vs
-        abort (re-attach from the intent's payload).
-        """
-        tid = self._new_tid()
-
-        def detach(txn):
-            parent, name = self._txn_resolve_parent(txn, old)
-            dentry = txn.read("dentries", (parent["vino"], name))
-            if dentry is None:
-                raise FsError.enoent(old)
-            self._invalidate_resolve(parent["vino"])
-            txn.delete("dentries", (parent["vino"], name))
-            up = dict(parent)
-            up["mtime"] = up["ctime"] = now
-            txn.write("inodes", up)
-            if dentry.get("home") is not None:
-                out = (None, dentry["home"])
-            else:
-                row = txn.read_for_update("inodes", dentry["vino"])
-                if row is None:
-                    raise FsError.enoent(old)
-                if row["nlink"] > 1:
-                    # Other names — local hard links or remote stubs —
-                    # still reference this inode; moving the row would
-                    # dangle every one of them.  It stays home and the
-                    # renamed name becomes a stub pointing here.
-                    row["ctime"] = now
-                    txn.write("inodes", row)
-                    out = (None, self.shard_id)
-                else:
-                    txn.delete("inodes", row["vino"])
-                    if row["upath"]:
-                        # The placement charge travels with the row.
-                        self._txn_bucket_adjust(txn, row["upath"], -1)
-                    row["ctime"] = now
-                    out = (row, None)
-            moved, stub_home = out
-            txn.insert("intents", {
-                "id": tid, "role": "coord", "op": "rename",
-                "old": old, "new": new, "dst": dst, "now": now,
-                "row": dict(moved) if moved is not None else None,
-                "stub": None if stub_home is None
-                else {"vino": dentry["vino"], "home": stub_home},
-            })
-            return out
-
-        # The peek above already pinned ``old``'s canonical resolution to
-        # this shard; the detach — and any compensation — walks the local
-        # replica of the skeleton (_local_body), so a cross-shard symlink
-        # installed concurrently on the path can neither leak a forward
-        # exception to the client nor strand the detached inode.
-        row, stub_home = yield from self.dbsvc.execute(
-            self._local_body(detach))
-        if row is None:
-            payload, stub = None, {"vino": vino, "home": stub_home}
-        else:
-            payload, stub = row, None
-        try:
-            result = yield from self._call_shard(
-                dst, "rename_install", new, payload, stub, now, tid)
-        except FsError:
-            yield from self._rename_rollback(tid, old, payload, stub, now)
-            raise
-        if result == "#same":
-            # Old and new name already point at the same inode: POSIX says
-            # do nothing, so undo the detach (the install wrote no prepare
-            # record, so a crash before this lands rolls back the same way).
-            yield from self._rename_rollback(tid, old, payload, stub, now)
-            return (None, False)
-        yield from self.intent_forget(tid)
-        yield from self._call_shard(result[2], "retire_rename_part", tid)
-        return (result[0], result[1])
-
-    def _rename_rollback(self, tid, old, row, stub, now):
-        """Coroutine: abort a cross-shard rename — re-attach the detached
-        name and drop the intent in one transaction (idempotent: recovery
-        may race or repeat it)."""
-
-        def body(txn):
-            if txn.read("intents", tid) is None:
-                return False
-            parent, name = self._txn_resolve_parent(txn, old)
-            if txn.read("dentries", (parent["vino"], name)) is None:
-                self._txn_reattach(txn, old, row, stub, now)
-            txn.delete("intents", tid)
-            return True
-
-        result = yield from self.dbsvc.execute(self._local_body(body))
-        return result
-
-    def _txn_reattach(self, txn, path, row, stub, now):
-        """Compensation: put a detached name (and inode) back."""
-        parent, name = self._txn_resolve_parent(txn, path)
-        vino = row["vino"] if row is not None else stub["vino"]
-        dentry = {
-            "key": (parent["vino"], name), "parent": parent["vino"],
-            "name": name, "vino": vino,
-        }
-        if stub is not None and stub["home"] != self.shard_id:
-            dentry["home"] = stub["home"]
-        self._invalidate_resolve(parent["vino"])
-        txn.insert("dentries", dentry)
-        if row is not None:
-            txn.insert("inodes", dict(row))
-            if row["upath"]:
-                self._txn_bucket_adjust(txn, row["upath"], 1)
-        up = dict(parent)
-        up["mtime"] = up["ctime"] = now
-        txn.write("inodes", up)
-        return True
-
-    def rename_install(self, new, row, stub, now, tid, _hops=0):
-        """RPC (shard-to-shard): attach a renamed file at its new shard.
-
-        The install transaction is the rename's commit point: it journals
-        a prepare record (under ``tid``) atomically with the attach, so
-        recovery can tell a committed rename (roll the coordinator's
-        intent forward) from an aborted one (re-attach the old name).
-        Returns ``(replaced_upath, replaced_last, installer_shard)``, or
-        ``"#same"`` without writing a prepare record.
-        """
-        self._check_hops(_hops, new)
-        yield from self._dispatch()
-        moving_vino = row["vino"] if row is not None else stub["vino"]
-        pending, replaced = [], []
-
-        def body(txn):
-            new_parent, new_name = self._txn_resolve_parent(txn, new)
-            existing = txn.read("dentries", (new_parent["vino"], new_name))
-            replaced_upath, replaced_last = None, False
-            if existing is not None:
-                if existing["vino"] == moving_vino:
-                    return "#same"
-                ehome = existing.get("home")
-                if ehome is not None and ehome != self.shard_id:
-                    pending.append((ehome, existing["vino"]))
-                else:
-                    target = txn.read_for_update("inodes", existing["vino"])
-                    if target is not None:
-                        if target["kind"] == DIRECTORY:
-                            raise FsError.eisdir(new)
-                        target["nlink"] -= 1
-                        if target["nlink"] <= 0:
-                            txn.delete("inodes", target["vino"])
-                            if target["kind"] == FILE and target["upath"]:
-                                self._txn_bucket_adjust(
-                                    txn, target["upath"], -1)
-                            replaced_upath = target["upath"]
-                            replaced_last = True
-                            replaced.append(target["kind"])
-                        else:
-                            txn.write("inodes", target)
-                txn.delete("dentries", (new_parent["vino"], new_name))
-            self._invalidate_resolve(new_parent["vino"])
-            dentry = {
-                "key": (new_parent["vino"], new_name),
-                "parent": new_parent["vino"], "name": new_name,
-                "vino": moving_vino,
-            }
-            if stub is not None and stub["home"] != self.shard_id:
-                dentry["home"] = stub["home"]
-            txn.insert("dentries", dentry)
-            if row is not None:
-                txn.insert("inodes", dict(row))
-                if row["upath"]:
-                    self._txn_bucket_adjust(txn, row["upath"], 1)
-            np = dict(new_parent)
-            np["mtime"] = np["ctime"] = now
-            txn.write("inodes", np)
-            txn.insert("intents", {
-                "id": self._part_id(tid), "role": "part", "op": "rename",
-                "new": new, "now": now, "pending": list(pending),
-                "replaced_symlink": SYMLINK in replaced,
-            })
-            return (replaced_upath, replaced_last)
-
-        try:
-            result = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            result = yield from self._redispatch(
-                fwd, "rename_install", fwd.path, row, stub, now, tid,
-                _hops + 1)
-            return result
-        if result == "#same":
-            return result
-        outcomes = yield from self._drain_pending(pending, now, tid)
-        if SYMLINK in replaced:
-            # The install destroyed a replicated symlink at ``new``; kill
-            # its replicas everywhere else (including the coordinator) so
-            # no stale replica keeps resolving the dead link.
-            yield from self._broadcast("mirror_unlink", new, now)
-        merged = self._merge_replaced(result, outcomes)
-        return (merged[0], merged[1], self.shard_id)
-
-    def mirror_rename(self, old, new, now):
-        """RPC (shard-to-shard): replay a replicated-object rename.
-
-        A replay that replaces a stub queues a remote link-count drop;
-        that drop gets its own intent here (this shard coordinates it),
-        because the *caller's* intent only redoes the broadcast — and a
-        replayed ``mirror_rename`` whose rename already applied answers
-        ENOENT, so it would never re-reach this drop.
-        """
-        yield from self._dispatch()
-        pending, tids = [], []
-        inner = self._rename_body(old, new, now, pending)
-
-        def body(txn):
-            result = inner(txn)
-            if pending:
-                tid = self._new_tid()
-                txn.insert("intents", {
-                    "id": tid, "role": "coord", "op": "rename_post",
-                    "new": new, "now": now, "pending": list(pending),
-                    "replaced_symlink": False,
-                })
-                tids.append(tid)
-            return result
-
-        try:
-            result = yield from self.dbsvc.execute(self._local_body(body))
-        except FsError:
-            return (None, False)
-        if tids:
-            tid = tids[0]
-            drained = yield from self._drain_pending(pending, now, tid)
-            result = self._merge_replaced(result, drained)
-            yield from self.intent_forget(tid)
-            yield from self._forget_dedups(tid, pending)
-        return result
-
-    # -- link: possibly cross-shard ---------------------------------------
-
-    def link(self, src, dst, now, _hops=0):
-        """Coroutine: hard link, two-phase when it crosses shards.
-
-        The coordinator (destination-parent owner) journals an intent
-        *before* any link count moves; the bump transaction at the
-        source's home journals a prepare record atomically with the
-        bump; the coordinator's dentry-insert transaction atomically
-        deletes the intent — that deletion is the commit point.  On any
-        failure (or crash) the bump is rolled back by
-        :meth:`link_abort`, which drops the count and the prepare record
-        in one transaction, so neither a repeat nor a crash mid-rollback
-        can double-revert it.
-        """
-        self._check_hops(_hops, src)
-        yield from self._dispatch()
-        tid = self._new_tid()
-        src_owner = self._owner_of(src)
-        try:
-            if src_owner == self.shard_id:
-                view, home = yield from self._link_fetch_local(
-                    src, now, tid, coordinate=True)
-            else:
-                # The intent must be durable before any *remote* bump:
-                # a prepare record without a coordinator intent reads as
-                # committed to recovery.  (The local-fetch path instead
-                # folds the intent into the bump transaction itself.)
-                yield from self.dbsvc.execute(
-                    lambda txn: txn.insert(
-                        "intents", self._link_intent(tid, src, dst, now)))
-                view, home = yield from self._peer(
-                    src_owner, "link_fetch", src, now, tid)
-        except ResolveForward as fwd:
-            yield from self.intent_forget(tid)
-            result = yield from self._redispatch(
-                fwd, "link", fwd.path, dst, now, _hops + 1)
-            return result
-        except FsError:
-            # The bump transaction aborted: no prepare record anywhere.
-            yield from self.intent_forget(tid)
-            raise
-
-        def body(txn):
-            parent, name = self._txn_resolve_parent(txn, dst)
-            if txn.read("dentries", (parent["vino"], name)) is not None:
-                raise FsError.eexist(dst)
-            self._invalidate_resolve(parent["vino"])
-            dentry = {
-                "key": (parent["vino"], name), "parent": parent["vino"],
-                "name": name, "vino": view["vino"],
-            }
-            if home != self.shard_id:
-                dentry["home"] = home
-            txn.insert("dentries", dentry)
-            up = dict(parent)
-            up["mtime"] = up["ctime"] = now
-            txn.write("inodes", up)
-            txn.delete("intents", tid)  # the commit point
-            if home == self.shard_id:
-                # The prepare record sits on this very shard: retire it
-                # with the commit instead of in a follow-up transaction.
-                txn.delete("intents", self._part_id(tid))
-            return True
-
-        try:
-            yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            # Destination parent crossed shards: undo the bump, move the
-            # whole operation to the right coordinator.
-            yield from self._call_shard(home, "link_abort", tid, now)
-            yield from self.intent_forget(tid)
-            result = yield from self._redispatch(
-                fwd, "link", src, fwd.path, now, _hops + 1)
-            return result
-        except FsError:
-            yield from self._call_shard(home, "link_abort", tid, now)
-            yield from self.intent_forget(tid)
-            raise
-        if home != self.shard_id:
-            yield from self._peer(
-                home, "intent_forget", self._part_id(tid))
-        return view
-
-    def _link_intent(self, tid, src, dst, now):
-        return {"id": tid, "role": "coord", "op": "link",
-                "src": src, "dst": dst, "now": now}
-
-    def _link_fetch_local(self, src, now, tid, coordinate=False):
-        """Coroutine: bump the link count of ``src``'s inode on this shard.
-
-        With ``coordinate`` (this shard is the link's coordinator), the
-        coordinator intent rides the bump transaction alongside the
-        prepare record — one durable commit covers both; when the source
-        turns out to be a stub, the intent is journaled alone *before*
-        the remote bump instead.  A remote coordinator (``link_fetch``)
-        already journaled its intent and passes ``coordinate=False``.
-        """
-
-        def body(txn):
-            row = self._txn_resolve(txn, src, follow=False)
-            if row["kind"] == DIRECTORY:
-                raise FsError.eisdir(src)
-            if row["kind"] == SYMLINK:
-                raise FsError.einval(
-                    f"hard link to a symlink on a sharded namespace: {src}")
-            row = dict(row)
-            row["nlink"] += 1
-            row["ctime"] = now
-            txn.write("inodes", row)
-            if coordinate:
-                txn.insert("intents", self._link_intent(tid, src, None, now))
-            txn.insert("intents", {
-                "id": self._part_id(tid), "role": "part", "op": "link",
-                "vino": row["vino"], "now": now,
-            })
-            return row
-
-        try:
-            row = yield from self.dbsvc.execute(body)
-        except VinoForward as fwd:
-            if coordinate:
-                yield from self.dbsvc.execute(
-                    lambda txn: txn.insert(
-                        "intents", self._link_intent(tid, src, None, now)))
-            view = yield from self._peer(
-                fwd.shard, "link_vino", fwd.vino, now, tid)
-            return (view, fwd.shard)
-        return (self._attr_view(row), self.shard_id)
-
-    def link_fetch(self, src, now, tid, _hops=0):
-        """RPC (shard-to-shard): resolve + bump a link source for a peer
-        (the caller coordinates: its intent is already durable)."""
-        self._check_hops(_hops, src)
-        yield from self._dispatch()
-        try:
-            result = yield from self._link_fetch_local(src, now, tid)
-        except ResolveForward as fwd:
-            result = yield from self._redispatch(
-                fwd, "link_fetch", fwd.path, now, tid, _hops + 1)
-        return result
-
-    def link_abort(self, tid, now):
-        """RPC (shard-to-shard): roll back an optimistic link-count bump.
-
-        Atomic with the prepare record's deletion, so it is idempotent:
-        recovery (or a repeated live rollback) finds no record and does
-        nothing.  Uses the full ``_drop_link`` semantics — if every other
-        name vanished while the link was in flight, the rollback is the
-        last drop and must reclaim the inode and its placement slot.
-        """
-        yield from self._dispatch()
-        pid = self._part_id(tid)
-
-        def body(txn):
-            rec = txn.read("intents", pid)
-            if rec is None:
-                return False
-            txn.delete("intents", pid)
-            row = txn.read_for_update("inodes", rec["vino"])
-            if row is None:
-                return False
-            self._drop_link(txn, row, now)
-            return True
-
-        result = yield from self.dbsvc.execute(body)
-        return result
-
-    def close_sync(self, vino, size, mtime, now):
-        """Delegated write-back; chases an inode a rename migrated away.
-
-        The router targets the learned home shard, but a concurrent
-        cross-shard rename can move the inode after a client learned its
-        home.  A miss here fans out to the peers before giving up, so the
-        delegated size/mtime are never silently dropped.
-        """
-        result = yield from super().close_sync(vino, size, mtime, now)
-        if result:
-            return True
-        for shard in range(self.n_shards):
-            if shard == self.shard_id:
-                continue
-            found = yield from self._peer(
-                shard, "close_sync_local", vino, size, mtime, now)
-            if found:
-                return True
-        return False
-
-    def close_sync_local(self, vino, size, mtime, now):
-        """RPC (shard-to-shard): close_sync without the fan-out retry."""
-        result = yield from super().close_sync(vino, size, mtime, now)
-        return result
-
-    # -- vino-addressed inode ops (forward targets) ------------------------
-
-    def getattr_vino(self, vino):
-        yield from self._dispatch()
-
-        def body(txn):
-            row = txn.read("inodes", vino)
-            if row is None:
-                raise FsError.enoent(f"vino {vino}")
-            return row
-
-        row = yield from self.dbsvc.execute(body)
-        return self._attr_view(row)
-
-    def setattr_vino(self, vino, changes, now):
-        yield from self._dispatch()
-        self._check_setattr(changes)
-
-        def body(txn):
-            row = txn.read_for_update("inodes", vino)
-            if row is None:
-                raise FsError.enoent(f"vino {vino}")
-            row.update(changes)
-            row["ctime"] = now
-            txn.write("inodes", row)
-            return row
-
-        row = yield from self.dbsvc.execute(body)
-        return self._attr_view(row)
-
-    def open_vino(self, vino, for_write, now):
-        yield from self._dispatch()
-
-        def body(txn):
-            row = txn.read("inodes", vino)
-            if row is None:
-                raise FsError.enoent(f"vino {vino}")
-            if for_write:
-                if row["kind"] == DIRECTORY:
-                    raise FsError.eisdir(f"vino {vino}")
-                row = dict(row)
-                row["delegated"] = True
-                txn.write("inodes", row)
-            return row
-
-        row = yield from self.dbsvc.execute(body)
-        return self._attr_view(row)
-
-    def link_vino(self, vino, now, tid):
-        """RPC: bump a link count at the inode's home, with the prepare
-        record journaled atomically (the stub-mediated fetch path)."""
-        yield from self._dispatch()
-
-        def body(txn):
-            row = txn.read_for_update("inodes", vino)
-            if row is None:
-                raise FsError.enoent(f"vino {vino}")
-            if row["kind"] == SYMLINK:
-                raise FsError.einval(
-                    f"hard link to a symlink on a sharded namespace: "
-                    f"vino {vino}")
-            row["nlink"] += 1
-            row["ctime"] = now
-            txn.write("inodes", row)
-            txn.insert("intents", {
-                "id": self._part_id(tid), "role": "part", "op": "link",
-                "vino": vino, "now": now,
-            })
-            return row
-
-        row = yield from self.dbsvc.execute(body)
-        return self._attr_view(row)
-
-    def unlink_vino(self, vino, now, dedup=None):
-        """RPC: drop one link at the inode's home shard.
-
-        With ``dedup``, the drop is exactly-once: a dedup record commits
-        atomically with it (storing the outcome), and a repeat — live
-        retry or recovery redo — returns the recorded outcome instead of
-        dropping again.
-        """
-        yield from self._dispatch()
-
-        def body(txn):
-            if dedup is not None:
-                rec = txn.read("intents", dedup)
-                if rec is not None:
-                    return tuple(rec["outcome"])
-            row = txn.read_for_update("inodes", vino)
-            if row is None:
-                outcome = (None, False)
-            else:
-                outcome = self._drop_link(txn, row, now)
-            if dedup is not None:
-                txn.insert("intents", {
-                    "id": dedup, "role": "dedup",
-                    "outcome": list(outcome),
-                })
-            return outcome
-
-        result = yield from self.dbsvc.execute(body)
-        return result
-
-    # -- peer queries ------------------------------------------------------
-
-    def count_children_of(self, path):
-        """RPC (shard-to-shard): how many entries this shard holds under
-        ``path`` (0 when the path does not resolve here)."""
-        yield from self._dispatch()
-
-        def body(txn):
-            try:
-                row = self._txn_resolve(txn, path)
-            except (FsError, ResolveForward):
-                return 0
-            if row["kind"] != DIRECTORY:
-                return 0
-            return len(txn.index_read("dentries", "parent", row["vino"]))
-
-        count = yield from self.dbsvc.execute(body)
-        return count
-
-    def peek_entry(self, path):
-        """RPC (shard-to-shard): this shard's dentry at ``path``, if any.
-
-        ``kind`` is None for a stub whose inode lives elsewhere.
-        """
-        yield from self._dispatch()
-
-        def body(txn):
-            try:
-                parent, name = self._txn_resolve_parent(txn, path)
-            except (FsError, ResolveForward):
-                return None
-            dentry = txn.read("dentries", (parent["vino"], name))
-            if dentry is None:
-                return None
-            home = dentry.get("home")
-            if home is not None and home != self.shard_id:
-                return {"vino": dentry["vino"], "kind": None, "home": home}
-            row = txn.read("inodes", dentry["vino"])
-            if row is None:
-                return None
-            return {"vino": row["vino"], "kind": row["kind"],
-                    "home": self.shard_id}
-
-        entry = yield from self.dbsvc.execute(body)
-        return entry
-
-    # -- mirror (replication) ops ------------------------------------------
-
-    def mirror_create(self, path, view, now):
-        """RPC (shard-to-shard): replicate a directory/symlink create."""
-        yield from self._dispatch()
-
-        def body(txn):
-            parent, name = self._txn_resolve_parent(txn, path)
-            if txn.read("dentries", (parent["vino"], name)) is not None:
-                return False
-            row = {
-                "vino": view["vino"], "kind": view["kind"],
-                "mode": view["mode"], "uid": view["uid"], "gid": view["gid"],
-                "nlink": view["nlink"], "size": view["size"],
-                "atime": view["atime"], "mtime": view["mtime"],
-                "ctime": view["ctime"], "target": view["target"],
-                "upath": view["upath"], "delegated": False,
-            }
-            txn.insert("inodes", row)
-            self._invalidate_resolve(parent["vino"])
-            txn.insert("dentries", {
-                "key": (parent["vino"], name), "parent": parent["vino"],
-                "name": name, "vino": view["vino"],
-            })
-            up = dict(parent)
-            up["mtime"] = up["ctime"] = now
-            if view["kind"] == DIRECTORY:
-                up["nlink"] += 1
-            txn.write("inodes", up)
-            return True
-
-        result = yield from self.dbsvc.execute(self._local_body(body))
-        return result
-
-    def mirror_unlink(self, path, now):
-        """RPC (shard-to-shard): replicate a symlink removal."""
-        yield from self._dispatch()
-
-        def body(txn):
-            try:
-                parent, name = self._txn_resolve_parent(txn, path)
-            except FsError:
-                return False
-            dentry = txn.read("dentries", (parent["vino"], name))
-            if dentry is None:
-                return False
-            self._invalidate_resolve(parent["vino"])
-            txn.delete("dentries", (parent["vino"], name))
-            row = txn.read("inodes", dentry["vino"])
-            if row is not None:
-                txn.delete("inodes", row["vino"])
-            up = dict(parent)
-            up["mtime"] = up["ctime"] = now
-            txn.write("inodes", up)
-            return True
-
-        result = yield from self.dbsvc.execute(self._local_body(body))
-        return result
-
-    def mirror_rmdir(self, path, now):
-        """RPC (shard-to-shard): replicate a directory removal.
-
-        Guard against the coordinator's check-then-act window: if entries
-        appeared here since the emptiness checks, refuse to delete so no
-        file becomes unreachable (the skeleton diverges until the retried
-        rmdir; full cross-shard atomicity is a ROADMAP open item).
-        """
-        yield from self._dispatch()
-
-        def body(txn):
-            try:
-                parent, name = self._txn_resolve_parent(txn, path)
-            except FsError:
-                return False
-            dentry = txn.read("dentries", (parent["vino"], name))
-            if dentry is None:
-                return False
-            if txn.index_read("dentries", "parent", dentry["vino"]):
-                return False
-            self._invalidate_resolve(parent["vino"])
-            self._invalidate_resolve(dentry["vino"])
-            txn.delete("dentries", (parent["vino"], name))
-            txn.delete("inodes", dentry["vino"])
-            up = dict(parent)
-            up["nlink"] -= 1
-            up["mtime"] = up["ctime"] = now
-            txn.write("inodes", up)
-            return True
-
-        result = yield from self.dbsvc.execute(self._local_body(body))
-        return result
-
-    # -- recovery ----------------------------------------------------------
-
-    def recover(self):
-        """Coroutine: crash/recover this shard, then repair the tier.
-
-        After the local rebuild (journal replay + allocator reseating,
-        :meth:`recover_local`), this shard drives the tier-wide passes:
-        resolve every open intent/prepare record (roll committed
-        cross-shard operations forward, uncommitted ones back), *then*
-        resync the replicated skeleton (a shard restored from an older
-        journal prefix may hold a stale replica set), and reconcile the
-        placement counters against the surviving inode rows.  Intent
-        completion must come first: a half-replicated rename's surviving
-        intent re-broadcasts the replay, whereas resyncing first would
-        read the half-replicated state as divergence and erase both
-        sides of it.  Every pass is idempotent — a crash *during*
-        recovery is recovered from by simply recovering again.
-
-        Recovery assumes a quiesced tier: the completion pass reads
-        *every* shard's open intents and would resolve (abort) the
-        intent of an operation still in flight on a healthy peer,
-        racing its coordinator.  Real deployments fence with epochs or
-        leases before admitting new operations; that machinery is a
-        ROADMAP item, and the crash drills quiesce by construction (the
-        injected crash kills the whole in-flight operation).
-        """
-        lost = yield from self.recover_local()
-        yield from self.complete_tier_intents()
-        yield from self.resync_skeleton()
-        yield from self.reconcile_tier_buckets()
-        # The completion pass can re-attach rows a rolled-back rename had
-        # detached (they travelled inside the intent record, invisible to
-        # the first reseat): reseat again against the settled tables.
-        yield from self.reseat_allocators()
-        return lost
-
-    def recover_local(self):
-        """Coroutine: rebuild this shard only, keeping its vino stride."""
-        lost = yield from super().recover()
-        yield from self.reseat_allocators()
-        return lost
-
-    def reseat_allocators(self):
-        """Coroutine: reseat the vino and intent-id allocators.
-
-        Cross-shard renames migrate inodes (with their vinos) to other
-        shards, so the local tables alone under-estimate how far this
-        shard's allocation class has advanced: the peers are asked for
-        their highest vino in this class before the allocator reseats.
-        The intent-id allocator reseats the same way (prepare and dedup
-        records derived from this shard's ids live on peers).
-        """
-        base, step = self.shard_id + 1, self.n_shards
-        vinos = [row["vino"] for row in self.db.table("inodes").all()]
-        top = max(vinos) if vinos else 0
-        seq = self._max_local_intent_seq()
-        for shard in range(self.n_shards):
-            if shard != self.shard_id:
-                peak = yield from self._peer(
-                    shard, "max_vino_in_class", base, step)
-                top = max(top, peak)
-                speak = yield from self._peer(
-                    shard, "max_intent_seq", f"s{self.shard_id}.")
-                seq = max(seq, speak)
-        if top >= base:
-            base += ((top - base) // step + 1) * step
-        self._vino = itertools.count(base, step)
-        self._intent_seq = itertools.count(seq + 1)
-        return True
-
-    def _max_local_intent_seq(self, prefix=None):
-        """Highest intent sequence number with ``prefix`` in this table."""
-        prefix = prefix or f"s{self.shard_id}."
-        peak = 0
-        for row in self.db.table("intents").all():
-            base = row["id"].split("@")[0].split("#")[0]
-            if base.startswith(prefix):
-                try:
-                    peak = max(peak, int(base[len(prefix):]))
-                except ValueError:
-                    pass
-        return peak
-
-    def max_vino_in_class(self, base, step):
-        """RPC (shard-to-shard): highest local vino ≡ base (mod step)."""
-        yield from self._dispatch()
-
-        def body(txn):
-            peak = 0
-            for row in txn.match("inodes"):
-                vino = row["vino"]
-                if vino >= base and (vino - base) % step == 0:
-                    peak = max(peak, vino)
-            return peak
-
-        peak = yield from self.dbsvc.execute(body)
-        return peak
-
-    def max_intent_seq(self, prefix):
-        """RPC (shard-to-shard): highest intent seq with ``prefix`` here."""
-        yield from self._dispatch()
-
-        def body(txn):
-            return self._max_local_intent_seq(prefix)
-
-        peak = yield from self.dbsvc.execute(body)
-        return peak
-
-    # -- tier-wide recovery passes -----------------------------------------
-
-    def resync_skeleton(self):
-        """Coroutine: make every skeleton replica match its authority.
-
-        The authoritative copy of the entry at path P lives on the shard
-        owning P's parent's entries — the shard that coordinated its
-        creation.  A shard that recovered from an older journal prefix
-        may be missing newer entries (copy them in) or still hold entries
-        whose authority lost them (remove them).  Runs *after* the intent
-        completion pass, which already re-broadcast every half-finished
-        replication — what remains diverging here is journal loss, and
-        the authority's survived prefix is the truth.
-        """
-        maps = []
-        for shard in range(self.n_shards):
-            maps.append((yield from self._call_shard(shard, "skeleton_map")))
-        auth = {}
-        every = set()
-        for view in maps:
-            every.update(view)
-        for path in sorted(every, key=lambda p: p.count("/")):
-            row = maps[self._owner_of(path)].get(path)
-            if row is None:
-                continue  # the authority lost it: everyone drops it
-            parent, _name = split(path)
-            if parent != "/" and parent not in auth:
-                continue  # orphaned subtree: its parent is gone
-            auth[path] = row
-        ordered = sorted(auth, key=lambda p: p.count("/"))
-        structural = ("kind", "mode", "uid", "gid", "target")
-        for shard in range(self.n_shards):
-            local = maps[shard]
-            adds, rewrites = [], []
-            for path in ordered:
-                row = auth[path]
-                mine = local.get(path)
-                if mine is None or mine["vino"] != row["vino"]:
-                    # Missing — or a *different* object reused the path
-                    # (divergent histories): replace, don't keep both.
-                    adds.append((path, row))
-                elif any(mine[f] != row[f] for f in structural):
-                    rewrites.append((path, row))
-            removes = sorted(
-                (path for path, mine in local.items()
-                 if path not in auth or auth[path]["vino"] != mine["vino"]),
-                key=lambda p: -p.count("/"))
-            if adds or removes or rewrites:
-                yield from self._call_shard(
-                    shard, "skeleton_apply", adds, removes, rewrites)
-        return True
-
-    def skeleton_map(self):
-        """RPC (shard-to-shard): this shard's skeleton replica by path."""
-        yield from self._dispatch()
-
-        def body(txn):
-            view = {}
-            frontier = [("", self.root_vino)]
-            while frontier:
-                dir_path, dvino = frontier.pop()
-                for dentry in txn.index_read("dentries", "parent", dvino):
-                    if dentry.get("home") is not None:
-                        continue
-                    row = txn.read("inodes", dentry["vino"])
-                    if row is None or row["kind"] == FILE:
-                        continue
-                    path = f"{dir_path}/{dentry['name']}"
-                    view[path] = dict(row)
-                    if row["kind"] == DIRECTORY:
-                        frontier.append((path, row["vino"]))
-            return view
-
-        view = yield from self.dbsvc.execute(body)
-        return view
-
-    def skeleton_apply(self, adds, removes, rewrites):
-        """RPC (shard-to-shard): reshape this replica to the authority.
-
-        ``removes`` (deepest first) drop stale skeleton entries — along
-        with any local file entries under a dropped directory, which are
-        unreachable once the directory is gone everywhere.  ``adds``
-        (shallowest first) copy in authoritative rows.  ``rewrites``
-        overwrite same-vino rows whose attributes diverged (a lost
-        setattr broadcast).  Directory link counts are recomputed from
-        the final dentry set afterwards — authoritative rows already
-        count children the same apply may add or remove, so incremental
-        bookkeeping would double-count.  One transaction: a crash
-        mid-resync leaves the old replica, and the next recovery resyncs
-        again.
-        """
-        yield from self._dispatch()
-
-        def body(txn):
-            for path in removes:
-                try:
-                    parent, name = self._txn_resolve_parent(txn, path)
-                except FsError:
-                    continue
-                dentry = txn.read("dentries", (parent["vino"], name))
-                if dentry is None:
-                    continue
-                self._invalidate_resolve(parent["vino"])
-                txn.delete("dentries", (parent["vino"], name))
-                row = txn.read("inodes", dentry["vino"])
-                if row is not None:
-                    if row["kind"] == DIRECTORY:
-                        for child in txn.index_read(
-                                "dentries", "parent", row["vino"]):
-                            txn.delete("dentries", child["key"])
-                            crow = txn.read("inodes", child["vino"])
-                            if crow is not None and crow["kind"] == FILE \
-                                    and child.get("home") is None:
-                                txn.delete("inodes", crow["vino"])
-                                if crow["upath"]:
-                                    self._txn_bucket_adjust(
-                                        txn, crow["upath"], -1)
-                        self._invalidate_resolve(row["vino"])
-                    txn.delete("inodes", row["vino"])
-            for path, auth_row in adds:
-                try:
-                    parent, name = self._txn_resolve_parent(txn, path)
-                except FsError:
-                    continue
-                if txn.read("dentries", (parent["vino"], name)) is not None:
-                    continue
-                txn.write("inodes", dict(auth_row))
-                self._invalidate_resolve(parent["vino"])
-                txn.insert("dentries", {
-                    "key": (parent["vino"], name), "parent": parent["vino"],
-                    "name": name, "vino": auth_row["vino"],
-                })
-            for _path, auth_row in rewrites:
-                txn.write("inodes", dict(auth_row))
-            self._txn_fix_dir_nlinks(txn)
-            return True
-
-        result = yield from self.dbsvc.execute(self._local_body(body))
-        return result
-
-    def _txn_fix_dir_nlinks(self, txn):
-        """Recompute every directory's nlink (2 + subdirectories) from
-        the transaction's final dentry set."""
-        for row in txn.match("inodes"):
-            if row["kind"] != DIRECTORY:
-                continue
-            subdirs = 0
-            for dentry in txn.index_read("dentries", "parent", row["vino"]):
-                if dentry.get("home") is not None:
-                    continue
-                child = txn.read("inodes", dentry["vino"])
-                if child is not None and child["kind"] == DIRECTORY:
-                    subdirs += 1
-            if row["nlink"] != 2 + subdirs:
-                fixed = dict(row)
-                fixed["nlink"] = 2 + subdirs
-                txn.write("inodes", fixed)
-
-    def complete_tier_intents(self):
-        """Coroutine: resolve every open coordination record tier-wide.
-
-        Three idempotent passes: (A) every coordinator intent is rolled
-        forward (its prepare record exists → the operation committed) or
-        back; (B) surviving prepare records — their coordinator already
-        committed and dropped its intent — redo their post-commit side
-        effects (dedup-guarded) and retire; (C) dedup records whose
-        operation is fully resolved are garbage-collected.  A crash at
-        any point leaves records a re-run resolves the same way.
-        """
-        records = yield from self._gather_intents()
-        parts = {rec["id"]: shard for shard, rec in records
-                 if rec["role"] == "part"}
-        for shard, rec in records:
-            if rec["role"] != "coord":
-                continue
-            if rec["op"] == "rename":
-                committed = self._part_id(rec["id"]) in parts
-                yield from self._call_shard(
-                    shard, "finish_rename_intent", rec, committed)
-            elif rec["op"] == "link":
-                # The intent is deleted atomically with the commit, so
-                # its survival means abort: revert the bump if it landed.
-                pshard = parts.get(self._part_id(rec["id"]))
-                if pshard is not None:
-                    yield from self._call_shard(
-                        pshard, "link_abort", rec["id"], rec["now"])
-                yield from self._call_shard(
-                    shard, "intent_forget", rec["id"])
-            else:
-                yield from self._call_shard(shard, "redo_intent", rec)
-        records = yield from self._gather_intents()
-        for shard, rec in records:
-            if rec["role"] != "part":
-                continue
-            if rec["op"] == "rename":
-                yield from self._call_shard(shard, "redo_rename_part", rec)
-            else:  # a committed link's prepare record: the bump stands
-                yield from self._call_shard(shard, "intent_forget",
-                                            rec["id"])
-        records = yield from self._gather_intents()
-        live = {rec["id"].split("@")[0].split("#")[0]
-                for _shard, rec in records if rec["role"] != "dedup"}
-        for shard, rec in records:
-            if rec["role"] == "dedup" and \
-                    rec["id"].split("#")[0] not in live:
-                yield from self._call_shard(shard, "intent_forget",
-                                            rec["id"])
-        return True
-
-    def finish_rename_intent(self, rec, committed):
-        """RPC (shard-to-shard): resolve a cross-shard rename intent here.
-
-        Committed (the destination holds the prepare record): the detach
-        stands, only the intent retires.  Aborted: re-attach the old name
-        from the intent's payload — unless something already occupies it
-        — atomically with the intent's deletion.
-        """
-        yield from self._dispatch()
-
-        def body(txn):
-            if txn.read("intents", rec["id"]) is None:
-                return False
-            if not committed:
-                parent, name = self._txn_resolve_parent(txn, rec["old"])
-                if txn.read("dentries", (parent["vino"], name)) is None:
-                    self._txn_reattach(
-                        txn, rec["old"], rec["row"], rec["stub"],
-                        rec["now"])
-            txn.delete("intents", rec["id"])
-            return True
-
-        result = yield from self.dbsvc.execute(self._local_body(body))
-        return result
-
-    def redo_intent(self, rec):
-        """RPC (shard-to-shard): roll a coordinator intent forward here.
-
-        Every redo is idempotent (mirror replays no-op when already
-        applied; link drops are dedup-guarded), so the record is deleted
-        only after its effects are re-applied.
-        """
-        op = rec["op"]
-        if op == "mirror":
-            yield from self._broadcast(rec["mirror"], *rec["args"])
-            yield from self.intent_forget(rec["id"])
-        elif op == "rename_post":
-            pending = [tuple(p) for p in rec["pending"]]
-            yield from self._drain_pending(pending, rec["now"], rec["id"])
-            if rec["replaced_symlink"]:
-                yield from self._broadcast(
-                    "mirror_unlink", rec["new"], rec["now"])
-            yield from self.intent_forget(rec["id"])
-            yield from self._forget_dedups(rec["id"], pending)
-        elif op == "rename_replicated":
-            pending = [tuple(p) for p in rec["pending"]]
-            yield from self._drain_pending(pending, rec["now"], rec["id"])
-            yield from self._broadcast(
-                "mirror_rename", rec["old"], rec["new"], rec["now"])
-            if rec["kind"] == DIRECTORY:
-                yield from self._migrate_renamed_subtree(
-                    rec["vino"], rec["old"], rec["new"], rec["now"])
-            yield from self.intent_forget(rec["id"])
-            yield from self._forget_dedups(rec["id"], pending)
-        elif op == "unlink_stub":
-            dedup = self._dedup_id(rec["id"], rec["vino"])
-            yield from self._peer(
-                rec["home"], "unlink_vino", rec["vino"], rec["now"], dedup)
-            yield from self.intent_forget(rec["id"])
-            yield from self._peer(rec["home"], "intent_forget", dedup)
-        return True
-
-    def retire_rename_part(self, tid):
-        """RPC (shard-to-shard): drop a committed install's prepare record
-        and then its dedup guards (in that order: a crash in between
-        leaves only garbage the completion pass collects)."""
-        yield from self._dispatch()
-        pid = self._part_id(tid)
-
-        def body(txn):
-            rec = txn.read("intents", pid)
-            if rec is None:
-                return None
-            txn.delete("intents", pid)
-            return [tuple(p) for p in rec["pending"]]
-
-        pending = yield from self.dbsvc.execute(body)
-        if pending:
-            yield from self._forget_dedups(tid, pending)
-        return True
-
-    def redo_rename_part(self, rec):
-        """RPC (shard-to-shard): redo a committed install's side effects.
-
-        The prepare record survives only when the coordinator committed
-        but the forget never arrived; the drains are dedup-guarded and
-        the symlink-replica removal idempotent, so redoing is safe.  The
-        record is deleted before its dedup guards so a crash between the
-        deletions leaves only garbage pass C collects.
-        """
-        pending = [tuple(p) for p in rec["pending"]]
-        tid = rec["id"].rsplit("@", 1)[0]
-        yield from self._drain_pending(pending, rec["now"], tid)
-        if rec["replaced_symlink"]:
-            yield from self._broadcast(
-                "mirror_unlink", rec["new"], rec["now"])
-        yield from self.intent_forget(rec["id"])
-        yield from self._forget_dedups(tid, pending)
-        return True
-
-    def reconcile_tier_buckets(self):
-        """Coroutine: recount placement counters on every shard."""
-        for shard in range(self.n_shards):
-            yield from self._call_shard(shard, "reconcile_buckets")
-        return True
-
-    def reconcile_buckets(self):
-        """RPC (shard-to-shard): recount this shard's placement counters
-        from its surviving file rows (counters travel with inode rows;
-        a crash between a migration's transactions can leave them a step
-        behind — the recount is the authoritative repair)."""
-        yield from self._dispatch()
-
-        def body(txn):
-            want = {}
-            for row in txn.match("inodes"):
-                if row["kind"] == FILE and row["upath"]:
-                    bucket, _slash, _leaf = row["upath"].rpartition("/")
-                    want[bucket] = want.get(bucket, 0) + 1
-            changed = 0
-            for brow in txn.match("buckets"):
-                target = want.pop(brow["path"], 0)
-                if brow["count"] != target:
-                    fixed = dict(brow)
-                    fixed["count"] = target
-                    txn.write("buckets", fixed)
-                    changed += 1
-            for path, count in want.items():
-                txn.write("buckets", {"path": path, "count": count})
-                changed += 1
-            return changed
-
-        result = yield from self.dbsvc.execute(body)
-        return result
-
-
-# ---------------------------------------------------------------------------
-# Tier-wide crash recovery
-# ---------------------------------------------------------------------------
-
-def recover_tier(shards):
-    """Coroutine: recover a whole crashed tier.
-
-    Rebuilds *every* shard from its durable journal prefix first — a
-    whole-tier power failure leaves no live peer to ask — then runs the
-    tier-wide repair passes (skeleton resync, intent completion, bucket
-    reconciliation) exactly once, driven by shard 0.  Single-shard crashes
-    use :meth:`ShardMetadataService.recover`, which runs the same passes
-    against the surviving peers' live tables.
-    """
-    lost = 0
-    for shard in shards:
-        lost += yield from shard.recover_local()
-    driver = shards[0]
-    yield from driver.complete_tier_intents()
-    yield from driver.resync_skeleton()
-    yield from driver.reconcile_tier_buckets()
-    for shard in shards:
-        # intent completion may have re-attached rows that travelled
-        # inside intent records; reseat against the settled tables.
-        yield from shard.reseat_allocators()
-    return lost
+from repro.core.shard import (
+    HashDirSharding,
+    Rebalancer,
+    ResolveForward,
+    ShardingPolicy,
+    ShardMetadataService,
+    ShardRouter,
+    SubtreeSharding,
+    VinoForward,
+    recover_tier,
+)
+
+__all__ = [
+    "HashDirSharding",
+    "Rebalancer",
+    "ResolveForward",
+    "ShardingPolicy",
+    "ShardMetadataService",
+    "ShardRouter",
+    "SubtreeSharding",
+    "VinoForward",
+    "recover_tier",
+]

@@ -57,6 +57,11 @@ class FuseMount(FileSystemApi):
         result = yield from self.backend.create(path, mode)
         return result
 
+    def mknod(self, path, mode=0o644):
+        yield from self._cross()
+        result = yield from self.backend.mknod(path, mode)
+        return result
+
     def open(self, path, flags=0):
         yield from self._cross()
         result = yield from self.backend.open(path, flags)

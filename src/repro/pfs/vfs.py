@@ -23,6 +23,11 @@ class FileSystemApi:
         """Create a regular file and open it for writing; returns a handle."""
         raise NotImplementedError
 
+    def mknod(self, path, mode=0o644):
+        """Create a regular file without opening it (no data object is
+        required to exist beneath; COFS keeps it metadata-only)."""
+        raise NotImplementedError
+
     def open(self, path, flags=0):
         """Open an existing file (or create with O_CREAT); returns a handle."""
         raise NotImplementedError

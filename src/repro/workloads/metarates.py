@@ -14,6 +14,18 @@ The create-by-first-node setup is load-bearing: it leaves the creator
 holding exclusive dirty attribute tokens, so the parallel access phase pays
 revocations — until directory size exceeds the creator's token cache, the
 effect the paper's Fig. 5 shows as an expensive phase that converges.
+
+Beyond the paper's four ops, the sharded-tier experiments add:
+
+- **mdcreate** — metadata-only create (``mknod``: one MDS transaction, no
+  underlying object), exposing the metadata tier's own create ceiling
+  that the underlying-FS-bound full create hides (COFS stacks only);
+- **mkdir / rmdir** — replicated-mutation latency probes (each pays one
+  mirror RPC per extra shard, the cost parallel broadcasts attack);
+- ``rank_dir_names`` — explicit per-rank directories for *skewed*
+  layouts (e.g. names that all hash onto one shard), paired with
+  ``assume_seeded`` so a before/after-rebalance pair of runs can reuse
+  one migrated file population.
 """
 
 from dataclasses import dataclass, field
@@ -39,6 +51,15 @@ class MetaratesConfig:
     #: the shared one — the many-directories regime where a sharded
     #: metadata tier (partitioned by parent directory) spreads its load.
     private_dirs: bool = False
+    #: explicit per-rank directory names under ``directory`` (implies the
+    #: private-dirs regime).  Lets an experiment construct a *skewed*
+    #: layout — e.g. names that all hash to one metadata shard — to model
+    #: organic hot spots the online re-balancer must dissolve.
+    rank_dir_names: tuple = ()
+    #: skip the sequential seeding of access phases (stat/utime/open):
+    #: the files already exist from an earlier run on the same stack.
+    #: Lets before/after-rebalance runs reuse one (migrated) population.
+    assume_seeded: bool = False
 
     @property
     def n_procs(self):
@@ -47,6 +68,10 @@ class MetaratesConfig:
     @property
     def total_files(self):
         return self.n_procs * self.files_per_proc
+
+    @property
+    def uses_private_dirs(self):
+        return self.private_dirs or bool(self.rank_dir_names)
 
 
 @dataclass
@@ -105,6 +130,8 @@ def run_metarates(stack, config):
     _rank_paths = {}
 
     def dir_of(rank):
+        if config.rank_dir_names:
+            return f"{config.directory}/{config.rank_dir_names[rank]}"
         if config.private_dirs:
             return f"{config.directory}/r{rank:04d}"
         return config.directory
@@ -133,6 +160,14 @@ def run_metarates(stack, config):
             elif op == "open":
                 fh = yield from fs.open(path)
                 yield from fs.close(fh)
+            elif op == "mdcreate":
+                # Metadata-only create: one MDS transaction, no underlying
+                # object — the MDS-ceiling probe (COFS stacks only).
+                yield from fs.mknod(path)
+            elif op == "mkdir":
+                yield from fs.mkdir(path)
+            elif op == "rmdir":
+                yield from fs.rmdir(path)
             else:
                 raise ValueError(f"unknown metarates op: {op}")
             recorder.record(op, sim.now - start)
@@ -153,6 +188,11 @@ def run_metarates(stack, config):
             for path in paths_of(rank_of(node, proc)):
                 yield from fs.unlink(path)
 
+    def seq_mkdir_all(fs):
+        for node, proc in all_ranks():
+            for path in paths_of(rank_of(node, proc)):
+                yield from fs.mkdir(path)
+
     def parallel_phase(op):
         procs = [
             sim.process(worker(op, node, proc), name=f"mr-{op}-{node}.{proc}")
@@ -162,14 +202,17 @@ def run_metarates(stack, config):
         yield sim.all_of(procs)
         result.phase_wall_ms[op] = sim.now - start
 
-    def parallel_delete():
-        def deleter(node, proc):
+    def parallel_remove(op):
+        def remover(node, proc):
             fs = stack.mount(node, proc)
             for path in paths_of(rank_of(node, proc)):
-                yield from fs.unlink(path)
+                if op == "rmdir":
+                    yield from fs.rmdir(path)
+                else:
+                    yield from fs.unlink(path)
 
         procs = [
-            sim.process(deleter(node, proc), name=f"mr-del-{node}.{proc}")
+            sim.process(remover(node, proc), name=f"mr-del-{node}.{proc}")
             for node, proc in all_ranks()
         ]
         yield sim.all_of(procs)
@@ -183,19 +226,34 @@ def run_metarates(stack, config):
         first = stack.mount(0, 0)
 
         def setup():
+            from repro.pfs.errors import FsError
+
             yield from _mkdir_p(first, config.directory)
-            if config.private_dirs:
+            if config.uses_private_dirs:
                 for node, proc in all_ranks():
-                    yield from first.mkdir(dir_of(rank_of(node, proc)))
+                    try:
+                        yield from first.mkdir(dir_of(rank_of(node, proc)))
+                    except FsError as exc:
+                        # A re-run on the same stack (before/after-
+                        # rebalance comparisons) finds them already there.
+                        if exc.code != "EEXIST":
+                            raise
 
         yield sim.process(setup(), name="mr-setup")
         for op in config.ops:
-            if op == "create":
-                yield from parallel_phase("create")
+            if op in ("create", "mdcreate", "mkdir"):
+                # Create-like phases: make the namespace entries in
+                # parallel (timed), then drop them again.
+                yield from parallel_phase(op)
                 if config.cleanup:
-                    yield from parallel_delete()
+                    yield from parallel_remove(
+                        "rmdir" if op == "mkdir" else "unlink")
+            elif op == "rmdir":
+                yield sim.process(seq_mkdir_all(first), name="mr-seed")
+                yield from parallel_phase("rmdir")
             else:
-                yield sim.process(seq_create_all(first), name="mr-seed")
+                if not config.assume_seeded:
+                    yield sim.process(seq_create_all(first), name="mr-seed")
                 yield from parallel_phase(op)
                 if config.cleanup:
                     yield sim.process(seq_delete_all(first), name="mr-drain")

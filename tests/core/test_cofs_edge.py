@@ -162,3 +162,41 @@ def test_rename_onto_itself_is_noop(cofsx, cfs):
         return sorted((yield from cfs.readdir("/")))
 
     assert cofsx.run(main()) == ["alias", "same"]
+
+
+def test_mknod_is_metadata_only_and_truncate_open_safe(cofsx, cfs):
+    """A mknod'd file lives purely in the virtual namespace: stat and
+    O_TRUNC opens work (nothing underneath to truncate), unlink leaves
+    no underlying residue, and renaming a directory beneath itself is
+    EINVAL rather than a namespace cycle."""
+    def body():
+        attr = yield from cfs.mknod("/marker")
+        assert attr.size == 0
+        st = yield from cfs.stat("/marker")
+        assert st.kind == "file" and st.nlink == 1
+        # O_TRUNC on a file with no underlying object must not touch the
+        # underlying FS (there is no upath) — just reset the virtual size.
+        fh = yield from cfs.open(
+            "/marker", OpenFlags.WRONLY | OpenFlags.TRUNC)
+        # ... but actual data I/O has nothing underneath: EINVAL, not a
+        # directory errno and not a crash.
+        try:
+            yield from cfs.write(fh, 0, data=b"x")
+            raise AssertionError("write to a metadata-only file succeeded")
+        except FsError as exc:
+            assert exc.code == "EINVAL"
+        yield from cfs.close(fh)
+        yield from cfs.unlink("/marker")
+        return (yield from cfs.readdir("/"))
+
+    assert cofsx.run(body()) == []
+
+    def cycle():
+        yield from cfs.mkdir("/d")
+        try:
+            yield from cfs.rename("/d", "/d/sub")
+        except FsError as exc:
+            return exc.code
+        return None
+
+    assert cofsx.run(cycle()) == "EINVAL"

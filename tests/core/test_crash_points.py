@@ -21,6 +21,7 @@ import os
 
 import pytest
 
+from repro.core.config import CofsConfig
 from repro.core.faults import (
     CrashInjected,
     CrashSchedule,
@@ -39,8 +40,14 @@ def _split(n):
     return SubtreeSharding({names[i]: i for i in range(n)})
 
 
-def _apply(fs, ops):
-    """Coroutine: drive a list of op tuples through a mount."""
+def _apply(host, ops):
+    """Coroutine: drive a list of op tuples through the host's first mount.
+
+    The ``rebalance`` op is tier-level rather than a client call: it runs
+    the owner shard's re-homing protocol directly (the rebalancer is a
+    control-plane driver, not a filesystem client).
+    """
+    fs = host.mounts[0]
     for op in ops:
         kind = op[0]
         if kind == "mkdir":
@@ -60,6 +67,12 @@ def _apply(fs, ops):
             yield from fs.rmdir(op[1])
         elif kind == "chmod":
             yield from fs.chmod(op[1], 0o700)
+        elif kind == "rebalance":
+            _kind, path, dst = op
+            sharding = host.stack.sharding
+            src = sharding.shard_of_dir(path, len(host.shards))
+            yield from host.shards[src].rebalance_dir(
+                path, dst, host.sim.now)
         else:  # pragma: no cover - scenario typo guard
             raise AssertionError(f"unknown op {kind}")
     return True
@@ -150,6 +163,66 @@ SCENARIOS = {
                ("create", "/a/d/f"), ("create", "/a/d/g")],
         op=[("rename", "/a/d", "/b/d")],
     ),
+    # -- online re-partitioning: the migration is namespace-invisible
+    #    (paths never change), so these drills lean on the structural
+    #    invariants — reachability via the overridden routing, override
+    #    tables identical everywhere, counters reconciled.
+    "rebalance-dir-population": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("create", "/a/f"), ("create", "/a/g"),
+               ("create", "/a/h")],
+        op=[("rebalance", "/a", 1)],
+        invisible=True,
+    ),
+    "rebalance-dir-with-stub": dict(
+        # /a/f is hard-linked from /b: its inode must stay home behind a
+        # stub while the name re-homes.
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("create", "/a/f"),
+               ("link", "/a/f", "/b/l"), ("create", "/a/g")],
+        op=[("rebalance", "/a", 1)],
+        invisible=True,
+    ),
+    "rebalance-dir-parallel": dict(
+        shards=3,
+        setup=[("mkdir", "/a"), ("create", "/a/f"), ("create", "/a/g")],
+        op=[("rebalance", "/a", 2)],
+        invisible=True,
+        parallel=True,
+    ),
+    # -- parallel mirror broadcasts: same protocols, overlapped fan-out;
+    #    ≥3 shards so at least two mirrors genuinely overlap.
+    "mkdir-replicated-4shards-parallel": dict(
+        shards=4,
+        setup=[("mkdir", "/a")],
+        op=[("mkdir", "/a/sub")],
+        parallel=True,
+    ),
+    "symlink-replicated-parallel": dict(
+        shards=3,
+        setup=[("mkdir", "/a"), ("mkdir", "/b")],
+        op=[("symlink", "/a", "/b/ln")],
+        parallel=True,
+    ),
+    "rmdir-replicated-parallel": dict(
+        shards=3,
+        setup=[("mkdir", "/a"), ("mkdir", "/a/sub")],
+        op=[("rmdir", "/a/sub")],
+        parallel=True,
+    ),
+    "setattr-dir-broadcast-parallel": dict(
+        shards=4,
+        setup=[("mkdir", "/a"), ("mkdir", "/a/sub")],
+        op=[("chmod", "/a/sub")],
+        parallel=True,
+    ),
+    "rename-replicated-dir-parallel": dict(
+        shards=3,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("mkdir", "/a/d"),
+               ("create", "/a/d/f"), ("create", "/a/d/g")],
+        op=[("rename", "/a/d", "/b/d")],
+        parallel=True,
+    ),
 }
 
 #: liveness probe: after recovery the tier must still serve mutations.
@@ -157,9 +230,12 @@ PROBE = [("create", "/a/probe"), ("unlink", "/a/probe")]
 
 
 def _build(spec):
+    cofs_config = CofsConfig(parallel_broadcasts=True) \
+        if spec.get("parallel") else None
     host = ShardedCofs(
-        n_clients=1, shards=spec["shards"], sharding=_split(spec["shards"]))
-    host.run(_apply(host.mounts[0], spec["setup"]))
+        n_clients=1, shards=spec["shards"], sharding=_split(spec["shards"]),
+        cofs_config=cofs_config)
+    host.run(_apply(host, spec["setup"]))
     return host
 
 
@@ -170,10 +246,15 @@ def _count_boundaries(spec):
     pre = namespace_image(host.shards, sharding)
     schedule = CrashSchedule()
     arm_shards(host.shards, schedule)
-    host.run(_apply(host.mounts[0], spec["op"]))
+    host.run(_apply(host, spec["op"]))
     disarm_shards(host.shards)
     post = namespace_image(host.shards, sharding)
-    assert post != pre, "scenario op must change the namespace"
+    if spec.get("invisible"):
+        # Re-homing migrations move rows between shards without touching
+        # any path: the observable namespace must be *unchanged*.
+        assert post == pre, "invisible op must not change the namespace"
+    else:
+        assert post != pre, "scenario op must change the namespace"
     # the clean run itself must satisfy every structural invariant
     check_tier_invariants(host.shards, sharding, images=(post,))
     return schedule.count, pre, post
@@ -198,7 +279,7 @@ def _crash_at(spec, k):
 
     def run_op():
         try:
-            yield from _apply(host.mounts[0], spec["op"])
+            yield from _apply(host, spec["op"])
         except CrashInjected as exc:
             crashed.append(exc)
         return True
@@ -219,7 +300,7 @@ def _drill(spec, k, pre, post, mode):
         # drives the tier-wide repair against the survivors' live state.
         host.run(host.shards[label[1]].recover())
     check_tier_invariants(host.shards, sharding, images=(pre, post))
-    host.run(_apply(host.mounts[0], PROBE))
+    host.run(_apply(host, PROBE))
     check_tier_invariants(host.shards, sharding)
 
 
@@ -280,8 +361,8 @@ def test_coordinator_crash_mid_rename_no_stranded_name():
     assert observed == pre, (
         "a crash between detach and install must roll back", seen)
     # and the file is fully usable again
-    host.run(_apply(host.mounts[0], [("rename", "/a/f", "/a/f2"),
-                                     ("unlink", "/a/f2")]))
+    host.run(_apply(host, [("rename", "/a/f", "/a/f2"),
+                           ("unlink", "/a/f2")]))
 
 
 def test_double_recovery_crash_during_completion_pass():
@@ -318,4 +399,4 @@ def test_double_recovery_crash_during_completion_pass():
         host.run(recover_tier(host.shards))
         check_tier_invariants(
             host.shards, host.stack.sharding, images=(pre, post))
-        host.run(_apply(host.mounts[0], PROBE))
+        host.run(_apply(host, PROBE))

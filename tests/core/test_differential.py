@@ -212,7 +212,10 @@ SHARD_OPERATIONS = st.lists(
 
 
 def _sharded_stacks():
-    """The comparison grid: 2- and 4-shard tiers under both policies."""
+    """The comparison grid: 2- and 4-shard tiers under both policies,
+    plus a 4-shard tier with overlapped mirror broadcasts."""
+    from repro.core.config import CofsConfig
+
     return [
         ShardedCofs(n_clients=1, shards=2, sharding=HashDirSharding()),
         ShardedCofs(n_clients=1, shards=4, sharding=HashDirSharding()),
@@ -220,6 +223,8 @@ def _sharded_stacks():
                     sharding=SubtreeSharding({"/d1": 1, "/d2": 0})),
         ShardedCofs(n_clients=1, shards=4,
                     sharding=SubtreeSharding({"/d1": 1, "/d2": 3})),
+        ShardedCofs(n_clients=1, shards=4, sharding=HashDirSharding(),
+                    cofs_config=CofsConfig(parallel_broadcasts=True)),
     ]
 
 
@@ -236,6 +241,32 @@ def test_sharded_tiers_match_single_shard(ops):
         assert outcomes == ref_outcomes, label
         state = host.run(observe(host.mounts[0]))
         assert state == ref_state, label
+
+
+@settings(max_examples=10, deadline=None)
+@given(SHARD_OPERATIONS, SHARD_OPERATIONS)
+def test_sharded_tiers_match_single_shard_with_rebalancing(before, after):
+    """Online re-partitioning must be invisible: run ops, re-home every
+    hot directory the load counters saw, run more ops — outcomes and the
+    final namespace must still match the single-shard reference."""
+    from repro.core.shard import Rebalancer
+
+    reference = MountedCofs(1)
+    ref_out = reference.run(apply_ops(reference.mounts[0], before))
+    ref_out += reference.run(apply_ops(reference.mounts[0], after))
+    ref_state = reference.run(observe(reference.mounts[0]))
+
+    for host in _sharded_stacks():
+        outcomes = host.run(apply_ops(host.mounts[0], before))
+        # threshold=0 forces a migration of every sampled directory that
+        # has anywhere cooler to go — the most adversarial re-homing.
+        rebalancer = Rebalancer(
+            host.stack.routers, host.shards, threshold=0.0)
+        host.run(rebalancer.rebalance())
+        outcomes += host.run(apply_ops(host.mounts[0], after))
+        label = (host.stack.n_shards, type(host.stack.sharding).__name__)
+        assert outcomes == ref_out, label
+        assert host.run(observe(host.mounts[0])) == ref_state, label
 
 
 def test_sharded_symlink_scenario_matches_single_shard():

@@ -1,0 +1,189 @@
+"""Online load-aware re-partitioning: overrides, migration, the planner."""
+
+import pytest
+
+from repro.core.shard import HashDirSharding, Rebalancer, SubtreeSharding
+from repro.core.shard.recovery import recover_tier
+from repro.pfs.errors import FsError
+from tests.core.conftest import ShardedCofs
+
+
+@pytest.fixture
+def split2():
+    """Two shards, /a and /b statically assigned, files in both."""
+    host = ShardedCofs(sharding=SubtreeSharding({"/a": 0, "/b": 1}))
+
+    def setup():
+        fs = host.mounts[0]
+        yield from fs.mkdir("/a")
+        yield from fs.mkdir("/b")
+        for name in ("f", "g", "h"):
+            fh = yield from fs.create(f"/a/{name}")
+            yield from fs.close(fh)
+
+    host.run(setup())
+    return host
+
+
+def _observe(host):
+    """Structural listing through the client mount."""
+    fs = host.mounts[0]
+
+    def body():
+        state = {}
+        for d in (yield from fs.readdir("/")):
+            names = yield from fs.readdir(f"/{d}")
+            state[d] = names
+            for name in names:
+                attr = yield from fs.stat(f"/{d}/{name}")
+                state[f"{d}/{name}"] = (attr.kind, attr.nlink)
+        return state
+
+    return host.run(body())
+
+
+def test_rebalance_moves_population_and_is_transparent(split2):
+    host = split2
+    before = _observe(host)
+    file_vinos_src = host.file_vinos(0)
+    assert len(file_vinos_src) == 3
+
+    host.run(host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+
+    # The rows physically moved to shard 1 ...
+    assert host.file_vinos(0) == set()
+    assert host.file_vinos(1) >= file_vinos_src
+    # ... the override is durable everywhere and routing follows it ...
+    for shard in host.shards:
+        rows = {r["path"]: r["shard"]
+                for r in shard.db.table("overrides").all()}
+        assert rows == {"/a": 1}
+    assert host.stack.sharding.shard_of_dir("/a", 2) == 1
+    # ... and nothing observable changed.
+    assert _observe(host) == before
+
+
+def test_rebalance_routes_new_creates_to_the_new_owner(split2):
+    host = split2
+    host.run(host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+
+    def create_more():
+        fs = host.mounts[0]
+        fh = yield from fs.create("/a/new")
+        yield from fs.close(fh)
+        return (yield from fs.readdir("/a"))
+
+    names = host.run(create_more())
+    assert names == ["f", "g", "h", "new"]
+    # The new file's row lives on the override target, not the static owner.
+    new_vinos = host.file_vinos(1)
+    assert host.file_vinos(0) == set()
+    assert len(new_vinos) == 4
+
+    def drop_all():
+        fs = host.mounts[0]
+        for name in ("f", "g", "h", "new"):
+            yield from fs.unlink(f"/a/{name}")
+        yield from fs.rmdir("/a")
+
+    host.run(drop_all())
+
+
+def test_rebalance_hard_link_leaves_stub_at_home(split2):
+    host = split2
+
+    def link_it():
+        yield from host.mounts[0].link("/a/f", "/b/l")
+
+    host.run(link_it())
+    host.run(host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+
+    # /a/f's inode stayed on shard 0 (the hard link pins it); the name on
+    # shard 1 is a stub pointing home.
+    stub = next(d for d in host.shards[1].db.table("dentries").all()
+                if d["name"] == "f")
+    assert stub.get("home") == 0
+
+    def use_both():
+        fs = host.mounts[0]
+        a = yield from fs.stat("/a/f")
+        b = yield from fs.stat("/b/l")
+        return a.nlink, b.nlink
+
+    assert host.run(use_both()) == (2, 2)
+
+
+def test_rebalance_rejected_from_non_owner(split2):
+    host = split2
+    with pytest.raises(FsError) as exc:
+        host.run(host.shards[1].rebalance_dir("/a", 0, host.sim.now))
+    assert exc.value.code == "EINVAL"
+
+
+def test_overrides_survive_tier_recovery(split2):
+    host = split2
+    host.run(host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+    before = _observe(host)
+    # Poison the in-memory map to prove recovery restores it durably.
+    host.stack.sharding.overrides.clear()
+    host.run(recover_tier(host.shards))
+    assert host.stack.sharding.overrides == {"/a": 1}
+    assert _observe(host) == before
+
+
+def test_router_counts_loads_and_rebalancer_levels_them():
+    host = ShardedCofs(n_clients=1, shards=2,
+                       sharding=SubtreeSharding({}, default=0))
+
+    def setup():
+        fs = host.mounts[0]
+        yield from fs.mkdir("/hot")
+        yield from fs.mkdir("/cold")
+        for index in range(8):
+            fh = yield from fs.create(f"/hot/f{index}")
+            yield from fs.close(fh)
+        for index in range(8):
+            yield from fs.stat(f"/hot/f{index}")
+        yield from fs.stat("/cold")
+
+    host.run(setup())
+    router = host.stack.routers[0]
+    assert router.op_loads[0] > 0
+    assert router.dir_loads["/hot"] >= 16  # creates + stats
+
+    rebalancer = Rebalancer(host.stack.routers, host.shards)
+    moves = host.run(rebalancer.rebalance())
+    assert ("/hot", 0, 1) in moves
+    # Counters reset after the round; the population actually moved.
+    assert router.dir_loads == {}
+    assert len(host.file_vinos(1)) == 8
+
+    def still_works():
+        fs = host.mounts[0]
+        stats = []
+        for index in range(8):
+            stats.append((yield from fs.stat(f"/hot/f{index}")).nlink)
+        return stats
+
+    assert host.run(still_works()) == [1] * 8
+
+
+def test_rebalancer_plan_is_deterministic_and_bounded():
+    host = ShardedCofs(n_clients=1, shards=4, sharding=HashDirSharding())
+
+    def setup():
+        fs = host.mounts[0]
+        for name in ("d0", "d1", "d2", "d3", "d4", "d5"):
+            yield from fs.mkdir(f"/{name}")
+            for index in range(4):
+                fh = yield from fs.create(f"/{name}/f{index}")
+                yield from fs.close(fh)
+
+    host.run(setup())
+    rebalancer = Rebalancer(host.stack.routers, host.shards, max_moves=2)
+    plan_a = rebalancer.plan()
+    plan_b = rebalancer.plan()
+    assert plan_a == plan_b
+    assert len(plan_a) <= 2
+    for _path, src, dst in plan_a:
+        assert src != dst
