@@ -34,11 +34,18 @@ class CrashSchedule:
 
     With ``armed is None`` the schedule only counts (and records a trace of
     labels); arming it at index *k* raises :class:`CrashInjected` the *k*-th
-    time a boundary is crossed.
+    time a boundary is crossed.  With an ``action``, the armed boundary
+    calls ``action(label)`` instead of raising — the in-flight operation
+    *keeps running* while the action (typically: spawn a concurrent
+    single-shard recovery) unfolds beside it.  That is the concurrent
+    drill mode: crash-the-op is the strongest model for whole-tier power
+    loss, recover-beside-the-op is the model for one shard restarting
+    inside a live tier.
     """
 
-    def __init__(self, armed=None):
+    def __init__(self, armed=None, action=None):
         self.armed = armed
+        self.action = action
         self.count = 0
         self.trace = []
 
@@ -47,7 +54,10 @@ class CrashSchedule:
         self.count += 1
         self.trace.append(label)
         if self.armed is not None and index == self.armed:
-            raise CrashInjected(index, label)
+            if self.action is not None:
+                self.action(label)
+            else:
+                raise CrashInjected(index, label)
 
 
 def arm_shards(shards, schedule):
@@ -184,7 +194,47 @@ def check_tier_invariants(shards, sharding, images=()):
             f"{_dict_diff(skeletons[0], skeletons[shard_id])}"
         )
 
-    # 2. No leftover coordination records (intents/prepares/dedups).
+    # 2. Recovery epochs and fences.  Each shard's own durable epoch row
+    #    matches its live epoch; every fence row is honest (never above
+    #    the fenced coordinator's actual epoch — a fence must only ever
+    #    seal off epochs that coordinator has abandoned); the in-memory
+    #    fence maps mirror the durable rows; and no surviving record is
+    #    stamped with an epoch below its coordinator's fence (a fenced
+    #    coordinator must leave no partial state behind).  The
+    #    stale-record scan runs *before* the blanket no-leftover check
+    #    below so a fencing failure reports itself precisely.
+    current = {shard.shard_id: shard.epoch for shard in shards}
+    for shard in shards:
+        rows = {row["shard"]: row["epoch"]
+                for row in shard.db.table("epochs").all()}
+        own = rows.get(shard.shard_id)
+        assert own == shard.epoch, (
+            f"shard {shard.shard_id}: durable epoch {own} != "
+            f"live epoch {shard.epoch}"
+        )
+        for coord, fence in rows.items():
+            assert fence <= current[coord], (
+                f"shard {shard.shard_id} fences s{coord} at {fence}, above "
+                f"its actual epoch {current[coord]}"
+            )
+            assert shard.fences.get(coord, 0) == fence, (
+                f"shard {shard.shard_id}: in-memory fence for s{coord} is "
+                f"{shard.fences.get(coord, 0)}, durable row says {fence}"
+            )
+        for coord, fence in shard.fences.items():
+            assert fence == rows.get(coord, 0), (
+                f"shard {shard.shard_id}: fence map entry s{coord}={fence} "
+                f"has no matching durable row"
+            )
+        for rec in shard.db.table("intents").all():
+            coord = int(rec["id"][1:].split(".", 1)[0])
+            fence = rows.get(coord, 0)
+            assert rec.get("epoch", 0) >= fence, (
+                f"stale-epoch record survived on shard {shard.shard_id}: "
+                f"{dict(rec)} (fence for s{coord} is {fence})"
+            )
+
+    # 2a. No leftover coordination records (intents/prepares/dedups).
     for shard in shards:
         leftover = shard.db.table("intents").all()
         assert not leftover, (

@@ -58,12 +58,13 @@ class MetadataService:
         database.create_table("inodes", key="vino")
         database.create_table("dentries", key="key", indexes=("parent",))
         database.create_table("buckets", key="path")
-        # Cross-shard coordination records (intent/prepare/dedup) and the
-        # re-partitioning override map; always present in the schema so
-        # recovery rebuilds are uniform, but only the sharded service ever
-        # writes to them.
+        # Cross-shard coordination records (intent/prepare/dedup), the
+        # re-partitioning override map, and the recovery epoch/fence rows;
+        # always present in the schema so recovery rebuilds are uniform,
+        # but only the sharded service ever writes to them.
         database.create_table("intents", key="id")
         database.create_table("overrides", key="path")
+        database.create_table("epochs", key="shard")
         self.dbsvc = DbService(machine, database, disk, config.db)
         self._resolve_cache = {}      # parent-path tuple -> (vino, walked vinos)
         self._resolve_by_parent = {}  # dir vino -> prefix keys reading from it

@@ -27,8 +27,11 @@ onto them as noted in :mod:`repro.core.sharding`):
   :class:`Rebalancer` that samples router load and migrates hot
   directories.
 - :mod:`repro.core.shard.recovery` — recovery of one shard or the whole
-  tier: intent completion, override restore, skeleton resync, placement
-  reconciliation, allocator reseating (:func:`recover_tier`).
+  tier: epoch bump + tier fence (recovery is safe against a *live* tier:
+  stale coordinators are refused via :class:`EpochFenced`, live intents
+  are spared), fenced intent completion, override restore, skeleton
+  resync, placement reconciliation, allocator reseating
+  (:func:`recover_tier`).
 - :mod:`repro.core.shard.service` — :class:`ShardMetadataService`, the
   composition of the above over the base service.
 
@@ -42,6 +45,7 @@ from repro.core.shard.rebalance import Rebalancer, ShardRebalancePart
 from repro.core.shard.recovery import ShardRecoveryPart, recover_tier
 from repro.core.shard.replication import ShardReplicationPart
 from repro.core.shard.routing import (
+    EpochFenced,
     HashDirSharding,
     ResolveForward,
     ShardingPolicy,
@@ -54,6 +58,7 @@ from repro.core.shard.coordination import ShardCoordinationPart
 from repro.core.shard.service import ShardMetadataService
 
 __all__ = [
+    "EpochFenced",
     "HashDirSharding",
     "Rebalancer",
     "ResolveForward",

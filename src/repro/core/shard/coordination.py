@@ -20,10 +20,18 @@ The 2-phase prepare/commit layer of the sharded tier (formerly the
   point); ``link_abort`` rolls an optimistic bump back.
 
 Recovery's completion pass (:mod:`repro.core.shard.recovery`) resolves
-every surviving record.
+every surviving record — but only records whose coordinator is provably
+dead.  Every record carries its coordinator's **recovery epoch**
+(captured when the operation started), every coordinated peer RPC carries
+the same ``(coordinator, epoch)`` stamp, and participants refuse stamps
+older than the fence a recovery installed
+(:class:`~repro.core.shard.routing.EpochFenced`).  The coordinator turns
+a fence into a clean abort: compensations are record-guarded, so a
+recovery that already resolved the intent makes them no-ops, and work
+past the commit point is abandoned to the recovery's idempotent redo.
 """
 
-from repro.core.shard.routing import ResolveForward, VinoForward
+from repro.core.shard.routing import EpochFenced, ResolveForward, VinoForward
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize
 
@@ -34,8 +42,56 @@ class ShardCoordinationPart:
     # -- coordination records (intent / prepare / dedup) -------------------
 
     def _new_tid(self):
-        """A fresh intent id, unique per shard and across recoveries."""
-        return f"s{self.shard_id}.{next(self._intent_seq)}"
+        """A fresh intent id, unique per shard and across recoveries.
+
+        The id is also registered as *live*: a coordinator process is now
+        driving this transaction.  The caller must pair it with a
+        ``finally: self._done_tids(...)`` so a finished (or killed)
+        operation stops answering recovery's liveness probe.
+        """
+        tid = f"s{self.shard_id}.{next(self._intent_seq)}"
+        self._live_tids.add(tid)
+        return tid
+
+    def _done_tids(self, *tids):
+        """The coordinator process for these intents has ended (any way)."""
+        for tid in tids:
+            if isinstance(tid, (list, tuple, set)):
+                self._live_tids.difference_update(tid)
+            else:
+                self._live_tids.discard(tid)
+
+    def _txn_intent(self, txn, epoch, rec):
+        """Journal a coordinator intent stamped with the op's epoch.
+
+        The self-fence check makes the whole transaction atomic with the
+        epoch: an operation that captured its epoch before a recovery of
+        this very shard (a "zombie" coordinator) aborts here, before any
+        stale record or local change can commit.  The fenced tid is
+        deregistered on the spot — the aborting transaction means no
+        caller list ever learns the id, so the ``finally`` handlers at
+        the call sites could not release it.
+        """
+        fence = self.fences.get(self.shard_id, 0)
+        if epoch < fence:
+            self._done_tids(rec["id"])
+            raise EpochFenced(self.shard_id, epoch, fence)
+        rec["epoch"] = epoch
+        txn.insert("intents", rec)
+        return rec["id"]
+
+    @staticmethod
+    def _stamp_epoch(stamp):
+        """The coordinator epoch to record for a participant record."""
+        return 0 if stamp is None else stamp[1]
+
+    def tid_live(self, tid):
+        """RPC (shard-to-shard): is a coordinator process still driving
+        ``tid`` here?  Recovery asks before reclaiming a record it cannot
+        prove dead by epoch: a live answer means a healthy coordinator
+        will finish (or compensate) the operation itself."""
+        yield from self._dispatch()
+        return tid in self._live_tids
 
     @staticmethod
     def _part_id(tid):
@@ -70,6 +126,28 @@ class ShardCoordinationPart:
         rows = yield from self.dbsvc.execute(body)
         return rows
 
+    def has_record(self, rid):
+        """RPC (also used locally): does this coordination record still
+        exist here?  Recovery's freshness checks — a gather snapshot goes
+        stale the moment a live coordinator progresses, so every
+        resolution decision re-reads the records it hinges on *after*
+        the coordinator is known dead (a dead coordinator's records can
+        no longer change; its in-flight RPC handlers died with it)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            return txn.read("intents", rid) is not None
+
+        exists = yield from self.dbsvc.execute(body)
+        return exists
+
+    def _find_record(self, rid):
+        """Coroutine: which shard (if any) currently holds ``rid``."""
+        for shard in range(self.n_shards):
+            if (yield from self._call_shard(shard, "has_record", rid)):
+                return shard
+        return None
+
     def _gather_intents(self):
         """Coroutine: ``(shard, record)`` for every open record tier-wide."""
         records = []
@@ -85,7 +163,7 @@ class ShardCoordinationPart:
                 home, "intent_forget", self._dedup_id(tid, vino))
         return True
 
-    def _drain_pending(self, pending, now, tid=None):
+    def _drain_pending(self, pending, now, tid=None, stamp=None):
         """Coroutine: run remote inode adjustments a txn body queued.
 
         ``pending`` is the caller-owned list its transaction body filled
@@ -94,14 +172,17 @@ class ShardCoordinationPart:
         outcomes so a rename that replaced a stub name can report the
         underlying path to unlink.  With ``tid``, each drop is guarded by
         a dedup record at its home shard so a post-crash redo applies it
-        exactly once.
+        exactly once.  ``stamp`` is the *originating coordinator's*
+        ``(shard, epoch)`` — threaded through even when a participant
+        drains on the coordinator's behalf, so the drop (and its dedup
+        record) lives and dies with the operation that owns ``tid``.
         """
         outcomes = []
         for home, vino in pending:
             dedup = None if tid is None else self._dedup_id(tid, vino)
             outcomes.append(
                 (yield from self._peer(home, "unlink_vino", vino, now,
-                                       dedup)))
+                                       dedup, stamp)))
         return outcomes
 
     @staticmethod
@@ -133,6 +214,7 @@ class ShardCoordinationPart:
     def rename(self, old, new, now, _hops=0):
         self._check_hops(_hops, old)
         yield from self._dispatch()
+        epoch = self.epoch
 
         def peek(txn):
             parent, name = self._txn_resolve_parent(txn, old)
@@ -157,7 +239,7 @@ class ShardCoordinationPart:
         dst = self._owner_of(new)
         if kind in (DIRECTORY, SYMLINK):
             return (yield from self._rename_replicated(
-                kind, vino, old, new, dst, now, _hops))
+                kind, vino, old, new, dst, now, _hops, epoch))
         if dst != self.shard_id or home is not None:
             # Cross-shard (or stub) file rename: the destination parent is
             # walked only *after* the detach removed the old name, so a
@@ -179,37 +261,55 @@ class ShardCoordinationPart:
             def body(txn):
                 result = inner(txn)
                 if pending or SYMLINK in replaced:
-                    tid = self._new_tid()
-                    txn.insert("intents", {
-                        "id": tid, "role": "coord", "op": "rename_post",
-                        "new": new, "now": now, "pending": list(pending),
+                    tids.append(self._txn_intent(txn, epoch, {
+                        "id": self._new_tid(), "role": "coord",
+                        "op": "rename_post", "new": new, "now": now,
+                        "pending": list(pending),
                         "replaced_symlink": SYMLINK in replaced,
-                    })
-                    tids.append(tid)
+                    }))
                 return result
 
             try:
                 result = yield from self.dbsvc.execute(body)
             except ResolveForward as fwd:
+                self._done_tids(tids)
                 result = yield from self.rename(old, fwd.path, now, _hops + 1)
                 return result
-            if tids:
-                tid = tids[0]
-                drained = yield from self._drain_pending(pending, now, tid)
-                result = self._merge_replaced(result, drained)
-                if SYMLINK in replaced:
-                    # The rename destroyed a replicated symlink at ``new``;
-                    # its replicas on every other shard must die with it
-                    # (as unlink does), or stale replicas keep resolving.
-                    yield from self._broadcast("mirror_unlink", new, now)
-                yield from self.intent_forget(tid)
-                yield from self._forget_dedups(tid, pending)
+            except BaseException:
+                self._done_tids(tids)
+                raise
+            try:
+                if tids:
+                    tid = tids[0]
+                    drained = yield from self._drain_pending(
+                        pending, now, tid, self._stamp(epoch))
+                    result = self._merge_replaced(result, drained)
+                    if SYMLINK in replaced:
+                        # The rename destroyed a replicated symlink at
+                        # ``new``; its replicas on every other shard must
+                        # die with it (as unlink does), or stale replicas
+                        # keep resolving.
+                        yield from self._broadcast(
+                            "mirror_unlink", new, now,
+                            stamp=self._stamp(epoch))
+                    yield from self.intent_forget(tid)
+                    yield from self._forget_dedups(tid, pending)
+            except EpochFenced:
+                # Fenced past the commit point: the local rename stands
+                # (its transaction committed) and the surviving intent
+                # hands the remaining side effects to recovery's redo.
+                pass
+            finally:
+                self._done_tids(tids)
             return result
         return (yield from self._rename_cross_shard(
-            old, new, vino, home, dst, now, _hops))
+            old, new, vino, home, dst, now, _hops, epoch))
 
-    def _rename_replicated(self, kind, vino, old, new, dst, now, _hops):
+    def _rename_replicated(self, kind, vino, old, new, dst, now, _hops,
+                           epoch=None):
         """Coroutine: rename of a directory/symlink — replay on all shards."""
+        if epoch is None:
+            epoch = self.epoch
         if dst != self.shard_id:
             entry = yield from self._peer(dst, "peek_entry", new)
             if entry is not None and entry["kind"] not in (DIRECTORY, SYMLINK):
@@ -229,32 +329,45 @@ class ShardCoordinationPart:
 
         def body(txn):
             result = inner(txn)
-            tid = self._new_tid()
-            txn.insert("intents", {
-                "id": tid, "role": "coord", "op": "rename_replicated",
-                "kind": kind, "vino": vino, "old": old, "new": new,
-                "now": now, "pending": list(pending),
-            })
-            tids.append(tid)
+            tids.append(self._txn_intent(txn, epoch, {
+                "id": self._new_tid(), "role": "coord",
+                "op": "rename_replicated", "kind": kind, "vino": vino,
+                "old": old, "new": new, "now": now,
+                "pending": list(pending),
+            }))
             return result
 
         try:
             result = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
+            self._done_tids(tids)
             result = yield from self.rename(old, fwd.path, now, _hops + 1)
             return result
+        except BaseException:
+            self._done_tids(tids)
+            raise
         tid = tids[0]
-        drained = yield from self._drain_pending(pending, now, tid)
-        result = self._merge_replaced(result, drained)
-        mirrored = yield from self._broadcast("mirror_rename", old, new, now)
-        result = self._merge_replaced(result, mirrored)
-        if kind == DIRECTORY:
-            yield from self._migrate_renamed_subtree(vino, old, new, now)
-        yield from self.intent_forget(tid)
-        yield from self._forget_dedups(tid, pending)
+        stamp = self._stamp(epoch)
+        try:
+            drained = yield from self._drain_pending(pending, now, tid, stamp)
+            result = self._merge_replaced(result, drained)
+            mirrored = yield from self._broadcast(
+                "mirror_rename", old, new, now, stamp=stamp)
+            result = self._merge_replaced(result, mirrored)
+            if kind == DIRECTORY:
+                yield from self._migrate_renamed_subtree(
+                    vino, old, new, now, stamp)
+            yield from self.intent_forget(tid)
+            yield from self._forget_dedups(tid, pending)
+        except EpochFenced:
+            # Fenced past the commit point (the local replay + intent are
+            # durable): recovery's redo re-broadcasts and re-migrates.
+            pass
+        finally:
+            self._done_tids(tids)
         return result
 
-    def mirror_rename(self, old, new, now):
+    def mirror_rename(self, old, new, now, stamp=None):
         """RPC (shard-to-shard): replay a replicated-object rename.
 
         A replay that replaces a stub queues a remote link-count drop;
@@ -264,36 +377,46 @@ class ShardCoordinationPart:
         ENOENT, so it would never re-reach this drop.
         """
         yield from self._dispatch()
+        epoch = self.epoch
         pending, tids = [], []
         inner = self._rename_body(old, new, now, pending)
 
         def body(txn):
+            self._check_stamp(stamp)
             result = inner(txn)
             if pending:
-                tid = self._new_tid()
-                txn.insert("intents", {
-                    "id": tid, "role": "coord", "op": "rename_post",
-                    "new": new, "now": now, "pending": list(pending),
-                    "replaced_symlink": False,
-                })
-                tids.append(tid)
+                tids.append(self._txn_intent(txn, epoch, {
+                    "id": self._new_tid(), "role": "coord",
+                    "op": "rename_post", "new": new, "now": now,
+                    "pending": list(pending), "replaced_symlink": False,
+                }))
             return result
 
         try:
             result = yield from self.dbsvc.execute(self._local_body(body))
+        except EpochFenced:
+            self._done_tids(tids)
+            raise
         except FsError:
+            self._done_tids(tids)
             return (None, False)
-        if tids:
-            tid = tids[0]
-            drained = yield from self._drain_pending(pending, now, tid)
-            result = self._merge_replaced(result, drained)
-            yield from self.intent_forget(tid)
-            yield from self._forget_dedups(tid, pending)
+        try:
+            if tids:
+                tid = tids[0]
+                drained = yield from self._drain_pending(
+                    pending, now, tid, self._stamp(epoch))
+                result = self._merge_replaced(result, drained)
+                yield from self.intent_forget(tid)
+                yield from self._forget_dedups(tid, pending)
+        except EpochFenced:
+            pass  # the surviving rename_post intent is redone by recovery
+        finally:
+            self._done_tids(tids)
         return result
 
     # -- subtree migration (copy → import → purge) --------------------------
 
-    def _migrate_renamed_subtree(self, vino, old, new, now):
+    def _migrate_renamed_subtree(self, vino, old, new, now, stamp=None):
         """Coroutine: re-home file children after a directory rename.
 
         Partitioning is by *path*, so renaming a directory may change the
@@ -334,16 +457,17 @@ class ShardCoordinationPart:
             if src == dst:
                 continue
             dentries, inodes = yield from self._call_shard(
-                src, "copy_dir_children", dvino)
+                src, "copy_dir_children", dvino, stamp)
             if dentries:
                 yield from self._call_shard(
-                    dst, "import_dir_children", dvino, dentries, inodes)
+                    dst, "import_dir_children", dvino, dentries, inodes,
+                    stamp)
                 yield from self._call_shard(
                     src, "purge_dir_children", dvino,
                     [d["key"] for d in dentries],
-                    [r["vino"] for r in inodes])
+                    [r["vino"] for r in inodes], stamp)
 
-    def copy_dir_children(self, vino):
+    def copy_dir_children(self, vino, stamp=None):
         """RPC (shard-to-shard): read a directory's file entries here.
 
         Read-only: the entries stay until :meth:`purge_dir_children`
@@ -351,6 +475,7 @@ class ShardCoordinationPart:
         the migration RPCs can lose an entry.
         """
         yield from self._dispatch()
+        self._check_stamp(stamp)
 
         def body(txn):
             dentries, inodes = [], []
@@ -373,11 +498,12 @@ class ShardCoordinationPart:
         result = yield from self.dbsvc.execute(body)
         return result
 
-    def import_dir_children(self, vino, dentries, inodes):
+    def import_dir_children(self, vino, dentries, inodes, stamp=None):
         """RPC (shard-to-shard): adopt re-homed file entries (idempotent)."""
         yield from self._dispatch()
 
         def body(txn):
+            self._check_stamp(stamp)
             for row in inodes:
                 if txn.read("inodes", row["vino"]) is None:
                     txn.insert("inodes", dict(row))
@@ -395,12 +521,13 @@ class ShardCoordinationPart:
         result = yield from self.dbsvc.execute(body)
         return result
 
-    def purge_dir_children(self, vino, keys, vinos):
+    def purge_dir_children(self, vino, keys, vinos, stamp=None):
         """RPC (shard-to-shard): drop migrated entries once the new owner
         holds them (idempotent: deletes only what is still here)."""
         yield from self._dispatch()
 
         def body(txn):
+            self._check_stamp(stamp)
             changed = False
             for key in keys:
                 if txn.read("dentries", tuple(key)) is not None:
@@ -422,7 +549,8 @@ class ShardCoordinationPart:
 
     # -- cross-shard file rename --------------------------------------------
 
-    def _rename_cross_shard(self, old, new, vino, home, dst, now, _hops):
+    def _rename_cross_shard(self, old, new, vino, home, dst, now, _hops,
+                            epoch=None):
         """Coroutine: move a file's name (and inode) to another shard.
 
         Two-phase: the detach transaction journals an intent record —
@@ -435,7 +563,19 @@ class ShardCoordinationPart:
         prepare record's existence decides commit (roll forward) vs
         abort (re-attach from the intent's payload).
         """
+        if epoch is None:
+            epoch = self.epoch
         tid = self._new_tid()
+        try:
+            result = yield from self._rename_cross_shard_fenced(
+                old, new, vino, home, dst, now, tid, epoch)
+        finally:
+            self._done_tids(tid)
+        return result
+
+    def _rename_cross_shard_fenced(self, old, new, vino, home, dst, now,
+                                   tid, epoch):
+        """Coroutine: the cross-shard rename body under one live tid."""
 
         def detach(txn):
             parent, name = self._txn_resolve_parent(txn, old)
@@ -469,7 +609,7 @@ class ShardCoordinationPart:
                     row["ctime"] = now
                     out = (row, None)
             moved, stub_home = out
-            txn.insert("intents", {
+            self._txn_intent(txn, epoch, {
                 "id": tid, "role": "coord", "op": "rename",
                 "old": old, "new": new, "dst": dst, "now": now,
                 "row": dict(moved) if moved is not None else None,
@@ -489,10 +629,14 @@ class ShardCoordinationPart:
             payload, stub = None, {"vino": vino, "home": stub_home}
         else:
             payload, stub = row, None
+        stamp = self._stamp(epoch)
         try:
             result = yield from self._call_shard(
-                dst, "rename_install", new, payload, stub, now, tid)
+                dst, "rename_install", new, payload, stub, now, tid, stamp)
         except FsError:
+            # EpochFenced lands here too: the rollback is record-guarded,
+            # so if a recovery already resolved this intent it no-ops and
+            # the clean abort surfaces to the client (EAGAIN on a fence).
             yield from self._rename_rollback(tid, old, payload, stub, now)
             raise
         if result == "#same":
@@ -501,8 +645,14 @@ class ShardCoordinationPart:
             # record, so a crash before this lands rolls back the same way).
             yield from self._rename_rollback(tid, old, payload, stub, now)
             return (None, False)
-        yield from self.intent_forget(tid)
-        yield from self._call_shard(result[2], "retire_rename_part", tid)
+        try:
+            yield from self.intent_forget(tid)
+            yield from self._call_shard(
+                result[2], "retire_rename_part", tid, stamp)
+        except EpochFenced:
+            # Fenced after the commit point: the surviving prepare record
+            # is retired by recovery's completion pass (pass B).
+            pass
         return (result[0], result[1])
 
     def _rename_rollback(self, tid, old, row, stub, now):
@@ -543,13 +693,16 @@ class ShardCoordinationPart:
         txn.write("inodes", up)
         return True
 
-    def rename_install(self, new, row, stub, now, tid, _hops=0):
+    def rename_install(self, new, row, stub, now, tid, stamp=None, _hops=0):
         """RPC (shard-to-shard): attach a renamed file at its new shard.
 
         The install transaction is the rename's commit point: it journals
         a prepare record (under ``tid``) atomically with the attach, so
         recovery can tell a committed rename (roll the coordinator's
         intent forward) from an aborted one (re-attach the old name).
+        The coordinator's epoch stamp is checked *inside* the transaction
+        — atomically against fence installation — so no stale-epoch
+        prepare record can commit after its coordinator was fenced.
         Returns ``(replaced_upath, replaced_last, installer_shard)``, or
         ``"#same"`` without writing a prepare record.
         """
@@ -559,6 +712,7 @@ class ShardCoordinationPart:
         pending, replaced = [], []
 
         def body(txn):
+            self._check_stamp(stamp)
             new_parent, new_name = self._txn_resolve_parent(txn, new)
             existing = txn.read("dentries", (new_parent["vino"], new_name))
             replaced_upath, replaced_last = None, False
@@ -605,6 +759,7 @@ class ShardCoordinationPart:
                 "id": self._part_id(tid), "role": "part", "op": "rename",
                 "new": new, "now": now, "pending": list(pending),
                 "replaced_symlink": SYMLINK in replaced,
+                "epoch": self._stamp_epoch(stamp),
             })
             return (replaced_upath, replaced_last)
 
@@ -613,16 +768,24 @@ class ShardCoordinationPart:
         except ResolveForward as fwd:
             result = yield from self._redispatch(
                 fwd, "rename_install", fwd.path, row, stub, now, tid,
-                _hops + 1)
+                stamp, _hops + 1)
             return result
         if result == "#same":
             return result
-        outcomes = yield from self._drain_pending(pending, now, tid)
-        if SYMLINK in replaced:
-            # The install destroyed a replicated symlink at ``new``; kill
-            # its replicas everywhere else (including the coordinator) so
-            # no stale replica keeps resolving the dead link.
-            yield from self._broadcast("mirror_unlink", new, now)
+        try:
+            outcomes = yield from self._drain_pending(
+                pending, now, tid, stamp)
+            if SYMLINK in replaced:
+                # The install destroyed a replicated symlink at ``new``;
+                # kill its replicas everywhere else (including the
+                # coordinator) so no stale replica keeps resolving the
+                # dead link.
+                yield from self._broadcast(
+                    "mirror_unlink", new, now, stamp=stamp)
+        except EpochFenced:
+            # The coordinator was fenced after this commit point: its
+            # recovery redoes the surviving prepare record's side effects.
+            outcomes = ()
         merged = self._merge_replaced(result, outcomes)
         return (merged[0], merged[1], self.shard_id)
 
@@ -643,22 +806,33 @@ class ShardCoordinationPart:
         """
         self._check_hops(_hops, src)
         yield from self._dispatch()
+        epoch = self.epoch
         tid = self._new_tid()
+        try:
+            result = yield from self._link_fenced(
+                src, dst, now, _hops, tid, epoch)
+        finally:
+            self._done_tids(tid)
+        return result
+
+    def _link_fenced(self, src, dst, now, _hops, tid, epoch):
+        """Coroutine: the link protocol body under one live tid."""
+        stamp = self._stamp(epoch)
         src_owner = self._owner_of(src)
         try:
             if src_owner == self.shard_id:
                 view, home = yield from self._link_fetch_local(
-                    src, now, tid, coordinate=True)
+                    src, now, tid, coordinate=True, stamp=stamp)
             else:
                 # The intent must be durable before any *remote* bump:
                 # a prepare record without a coordinator intent reads as
                 # committed to recovery.  (The local-fetch path instead
                 # folds the intent into the bump transaction itself.)
                 yield from self.dbsvc.execute(
-                    lambda txn: txn.insert(
-                        "intents", self._link_intent(tid, src, dst, now)))
+                    lambda txn: self._txn_intent(
+                        txn, epoch, self._link_intent(tid, src, dst, now)))
                 view, home = yield from self._peer(
-                    src_owner, "link_fetch", src, now, tid)
+                    src_owner, "link_fetch", src, now, tid, stamp)
         except ResolveForward as fwd:
             yield from self.intent_forget(tid)
             result = yield from self._redispatch(
@@ -666,10 +840,19 @@ class ShardCoordinationPart:
             return result
         except FsError:
             # The bump transaction aborted: no prepare record anywhere.
+            # (EpochFenced lands here too; the forget is record-guarded,
+            # so a recovery that already resolved the intent wins.)
             yield from self.intent_forget(tid)
             raise
 
         def body(txn):
+            # The commit is valid only while this coordinator's epoch is
+            # live *and* its intent record still exists: a recovery that
+            # fenced this coordinator has already rolled the bump back,
+            # and committing the dentry now would resurrect half the op.
+            fence = self.fences.get(self.shard_id, 0)
+            if epoch < fence or txn.read("intents", tid) is None:
+                raise EpochFenced(self.shard_id, epoch, fence)
             parent, name = self._txn_resolve_parent(txn, dst)
             if txn.read("dentries", (parent["vino"], name)) is not None:
                 raise FsError.eexist(dst)
@@ -696,25 +879,39 @@ class ShardCoordinationPart:
         except ResolveForward as fwd:
             # Destination parent crossed shards: undo the bump, move the
             # whole operation to the right coordinator.
-            yield from self._call_shard(home, "link_abort", tid, now)
-            yield from self.intent_forget(tid)
+            yield from self._link_undo(home, tid, now, stamp)
             result = yield from self._redispatch(
                 fwd, "link", src, fwd.path, now, _hops + 1)
             return result
         except FsError:
-            yield from self._call_shard(home, "link_abort", tid, now)
-            yield from self.intent_forget(tid)
+            yield from self._link_undo(home, tid, now, stamp)
             raise
         if home != self.shard_id:
-            yield from self._peer(
-                home, "intent_forget", self._part_id(tid))
+            try:
+                yield from self._peer(
+                    home, "intent_forget", self._part_id(tid))
+            except EpochFenced:  # pragma: no cover - forgets are unfenced
+                pass
         return view
+
+    def _link_undo(self, home, tid, now, stamp):
+        """Coroutine: compensate an aborted link (fence-tolerant).
+
+        Both steps are record-guarded and idempotent; if this coordinator
+        was fenced mid-abort, the recovery that fenced it resolves the
+        surviving records the same way, so a fence here is swallowed.
+        """
+        try:
+            yield from self._call_shard(home, "link_abort", tid, now, stamp)
+            yield from self.intent_forget(tid)
+        except EpochFenced:
+            pass
 
     def _link_intent(self, tid, src, dst, now):
         return {"id": tid, "role": "coord", "op": "link",
                 "src": src, "dst": dst, "now": now}
 
-    def _link_fetch_local(self, src, now, tid, coordinate=False):
+    def _link_fetch_local(self, src, now, tid, coordinate=False, stamp=None):
         """Coroutine: bump the link count of ``src``'s inode on this shard.
 
         With ``coordinate`` (this shard is the link's coordinator), the
@@ -724,8 +921,10 @@ class ShardCoordinationPart:
         the remote bump instead.  A remote coordinator (``link_fetch``)
         already journaled its intent and passes ``coordinate=False``.
         """
+        epoch = self._stamp_epoch(stamp)
 
         def body(txn):
+            self._check_stamp(stamp)
             row = self._txn_resolve(txn, src, follow=False)
             if row["kind"] == DIRECTORY:
                 raise FsError.eisdir(src)
@@ -737,10 +936,11 @@ class ShardCoordinationPart:
             row["ctime"] = now
             txn.write("inodes", row)
             if coordinate:
-                txn.insert("intents", self._link_intent(tid, src, None, now))
+                self._txn_intent(
+                    txn, epoch, self._link_intent(tid, src, None, now))
             txn.insert("intents", {
                 "id": self._part_id(tid), "role": "part", "op": "link",
-                "vino": row["vino"], "now": now,
+                "vino": row["vino"], "now": now, "epoch": epoch,
             })
             return row
 
@@ -749,26 +949,27 @@ class ShardCoordinationPart:
         except VinoForward as fwd:
             if coordinate:
                 yield from self.dbsvc.execute(
-                    lambda txn: txn.insert(
-                        "intents", self._link_intent(tid, src, None, now)))
+                    lambda txn: self._txn_intent(
+                        txn, epoch, self._link_intent(tid, src, None, now)))
             view = yield from self._peer(
-                fwd.shard, "link_vino", fwd.vino, now, tid)
+                fwd.shard, "link_vino", fwd.vino, now, tid, stamp)
             return (view, fwd.shard)
         return (self._attr_view(row), self.shard_id)
 
-    def link_fetch(self, src, now, tid, _hops=0):
+    def link_fetch(self, src, now, tid, stamp=None, _hops=0):
         """RPC (shard-to-shard): resolve + bump a link source for a peer
         (the caller coordinates: its intent is already durable)."""
         self._check_hops(_hops, src)
         yield from self._dispatch()
         try:
-            result = yield from self._link_fetch_local(src, now, tid)
+            result = yield from self._link_fetch_local(
+                src, now, tid, stamp=stamp)
         except ResolveForward as fwd:
             result = yield from self._redispatch(
-                fwd, "link_fetch", fwd.path, now, tid, _hops + 1)
+                fwd, "link_fetch", fwd.path, now, tid, stamp, _hops + 1)
         return result
 
-    def link_abort(self, tid, now):
+    def link_abort(self, tid, now, stamp=None):
         """RPC (shard-to-shard): roll back an optimistic link-count bump.
 
         Atomic with the prepare record's deletion, so it is idempotent:
@@ -781,6 +982,7 @@ class ShardCoordinationPart:
         pid = self._part_id(tid)
 
         def body(txn):
+            self._check_stamp(stamp)
             rec = txn.read("intents", pid)
             if rec is None:
                 return False
@@ -796,12 +998,13 @@ class ShardCoordinationPart:
 
     # -- vino-addressed mutations (forward / drain targets) -----------------
 
-    def link_vino(self, vino, now, tid):
+    def link_vino(self, vino, now, tid, stamp=None):
         """RPC: bump a link count at the inode's home, with the prepare
         record journaled atomically (the stub-mediated fetch path)."""
         yield from self._dispatch()
 
         def body(txn):
+            self._check_stamp(stamp)
             row = txn.read_for_update("inodes", vino)
             if row is None:
                 raise FsError.enoent(f"vino {vino}")
@@ -815,23 +1018,27 @@ class ShardCoordinationPart:
             txn.insert("intents", {
                 "id": self._part_id(tid), "role": "part", "op": "link",
                 "vino": vino, "now": now,
+                "epoch": self._stamp_epoch(stamp),
             })
             return row
 
         row = yield from self.dbsvc.execute(body)
         return self._attr_view(row)
 
-    def unlink_vino(self, vino, now, dedup=None):
+    def unlink_vino(self, vino, now, dedup=None, stamp=None):
         """RPC: drop one link at the inode's home shard.
 
         With ``dedup``, the drop is exactly-once: a dedup record commits
         atomically with it (storing the outcome), and a repeat — live
         retry or recovery redo — returns the recorded outcome instead of
-        dropping again.
+        dropping again.  The dedup record carries the owning operation's
+        coordinator epoch, so recovery can tell an abandoned guard from
+        one a live (or newer-epoch) operation still needs.
         """
         yield from self._dispatch()
 
         def body(txn):
+            self._check_stamp(stamp)
             if dedup is not None:
                 rec = txn.read("intents", dedup)
                 if rec is not None:
@@ -845,6 +1052,7 @@ class ShardCoordinationPart:
                 txn.insert("intents", {
                     "id": dedup, "role": "dedup",
                     "outcome": list(outcome),
+                    "epoch": self._stamp_epoch(stamp),
                 })
             return outcome
 

@@ -43,6 +43,7 @@ aggregates them, finds shards above ``threshold ×`` the mean load, and
 greedily re-homes their hottest directories to the least-loaded shard.
 """
 
+from repro.core.shard.routing import EpochFenced
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, normalize
 
@@ -59,6 +60,7 @@ class ShardRebalancePart:
         population, then retires the intent.
         """
         yield from self._dispatch()
+        epoch = self.epoch
         dir_path = normalize(dir_path)
         if not 0 <= dst < self.n_shards:
             raise FsError.einval(f"no such shard: {dst}")
@@ -73,29 +75,38 @@ class ShardRebalancePart:
             row = self._txn_resolve(txn, dir_path)
             if row["kind"] != DIRECTORY:
                 raise FsError.enotdir(dir_path)
-            tid = self._new_tid()
-            txn.insert("intents", {
-                "id": tid, "role": "coord", "op": "rebalance",
+            tids.append(self._txn_intent(txn, epoch, {
+                "id": self._new_tid(), "role": "coord", "op": "rebalance",
                 "dir": dir_path, "vino": row["vino"], "dst": dst,
                 "now": now,
-            })
+            }))
             txn.write("overrides",
                       {"path": dir_path, "shard": dst, "seq": now})
-            tids.append(tid)
             return row["vino"]
 
         # The walk stays on the local skeleton replica: the owner holds
         # everything it needs, and a forward here would misroute the
         # intent.  The in-memory map flips only after the intent+override
         # transaction is durable — a crash before that leaves no trace.
-        vino = yield from self.dbsvc.execute(self._local_body(body))
+        try:
+            vino = yield from self.dbsvc.execute(self._local_body(body))
+        except BaseException:
+            self._done_tids(tids)
+            raise
         self.sharding.overrides[dir_path] = dst
-        yield from self._broadcast("mirror_override", dir_path, dst, now)
-        yield from self._migrate_dir_population(vino, dst)
-        yield from self.intent_forget(tids[0])
+        stamp = self._stamp(epoch)
+        try:
+            yield from self._broadcast(
+                "mirror_override", dir_path, dst, now, stamp=stamp)
+            yield from self._migrate_dir_population(vino, dst, stamp)
+            yield from self.intent_forget(tids[0])
+        except EpochFenced:
+            pass  # intent + override are durable; recovery redoes the rest
+        finally:
+            self._done_tids(tids)
         return True
 
-    def _migrate_dir_population(self, vino, dst):
+    def _migrate_dir_population(self, vino, dst, stamp=None):
         """Coroutine: move this shard's file entries of ``vino`` to ``dst``.
 
         The same idempotent copy → import → purge triple as post-rename
@@ -103,14 +114,14 @@ class ShardRebalancePart:
         redo converges, and hard-linked inodes stay home behind a stub.
         """
         dentries, inodes = yield from self._call_shard(
-            self.shard_id, "copy_dir_children", vino)
+            self.shard_id, "copy_dir_children", vino, stamp)
         if dentries:
             yield from self._call_shard(
-                dst, "import_dir_children", vino, dentries, inodes)
+                dst, "import_dir_children", vino, dentries, inodes, stamp)
             yield from self._call_shard(
                 self.shard_id, "purge_dir_children", vino,
                 [d["key"] for d in dentries],
-                [r["vino"] for r in inodes])
+                [r["vino"] for r in inodes], stamp)
         return True
 
     def redo_rebalance(self, rec):
@@ -118,16 +129,18 @@ class ShardRebalancePart:
 
         The local override row committed with the intent; re-assert the
         in-memory map, re-broadcast the override, re-run the migration
-        (all idempotent), then retire the intent.
+        (all idempotent, under the recovering coordinator's fresh epoch),
+        then retire the intent.
         """
         self.sharding.overrides[rec["dir"]] = rec["dst"]
         yield from self._broadcast(
             "mirror_override", rec["dir"], rec["dst"], rec["now"])
-        yield from self._migrate_dir_population(rec["vino"], rec["dst"])
+        yield from self._migrate_dir_population(
+            rec["vino"], rec["dst"], self._stamp())
         yield from self.intent_forget(rec["id"])
         return True
 
-    def mirror_override(self, dir_path, shard, seq):
+    def mirror_override(self, dir_path, shard, seq, stamp=None):
         """RPC (shard-to-shard): persist a re-homing override here.
 
         A row with a newer ``seq`` wins (two successive re-homings of one
@@ -136,6 +149,7 @@ class ShardRebalancePart:
         yield from self._dispatch()
 
         def body(txn):
+            self._check_stamp(stamp)
             row = txn.read("overrides", dir_path)
             if row is not None and row["seq"] > seq:
                 return False
@@ -146,6 +160,128 @@ class ShardRebalancePart:
         result = yield from self.dbsvc.execute(body)
         if result:
             self.sharding.overrides[dir_path] = shard
+        return result
+
+    # -- forgetting an override (admin entry point) -------------------------
+
+    def forget_override(self, dir_path, now, _hops=0):
+        """Coroutine/RPC: durably drop ``dir_path``'s re-homing override.
+
+        The administrative complement of :meth:`rebalance_dir`, closing
+        the "override outlives its directory" stickiness for directories
+        that still exist: under a durable ``forget_override`` intent,
+        routing flips back to the static rule (rows dropped tier-wide)
+        and the population then migrates home with the same crash-safe
+        triple (see :meth:`_finish_forget_override` for why that order).
+        Runs on the directory's current owner (self-forwarding).  rmdir
+        needs none of this — its broadcast drops the row on every shard
+        (see :meth:`~repro.core.shard.replication.ShardReplicationPart.
+        mirror_rmdir`) and an empty directory has no population to move.
+        """
+        self._check_hops(_hops, dir_path)
+        yield from self._dispatch()
+        epoch = self.epoch
+        norm = normalize(dir_path)
+        if norm not in self.sharding.overrides:
+            return False
+        owner = self._dir_owner(norm)
+        if owner != self.shard_id:
+            result = yield from self._peer(
+                owner, "forget_override", norm, now, _hops + 1)
+            return result
+        static = self.sharding.static_shard_of_dir(norm, self.n_shards)
+        tids = []
+
+        def body(txn):
+            row = self._txn_resolve(txn, norm)
+            if row["kind"] != DIRECTORY:
+                raise FsError.enotdir(norm)
+            # The intent commits before any state moves: every later step
+            # (migration, row drops, broadcast) is idempotent, so a crash
+            # anywhere is rolled *forward* by redo_forget_override.
+            tids.append(self._txn_intent(txn, epoch, {
+                "id": self._new_tid(), "role": "coord",
+                "op": "forget_override", "dir": norm,
+                "vino": row["vino"], "static": static, "seq": now,
+            }))
+            return row["vino"]
+
+        try:
+            vino = yield from self.dbsvc.execute(self._local_body(body))
+        except BaseException:
+            self._done_tids(tids)
+            raise
+        try:
+            yield from self._finish_forget_override(
+                norm, vino, static, now, self._stamp(epoch))
+            yield from self.intent_forget(tids[0])
+        except EpochFenced:
+            pass  # the forget intent is durable; recovery rolls it forward
+        finally:
+            self._done_tids(tids)
+        return True
+
+    def _finish_forget_override(self, norm, vino, static, seq, stamp):
+        """Coroutine: the idempotent tail of a forget (shared with redo).
+
+        Routing flips back *first* (drop the rows, then migrate) —
+        exactly :meth:`rebalance_dir`'s order.  Flipping first means a
+        concurrent create can only land at the static owner (correct)
+        or at this shard pre-flip, where the subsequent migration's copy
+        picks it up; migrating first would leave any create routed by
+        the still-installed override *after* the copy snapshot stranded
+        here forever once the override drops.  The residual window is
+        rebalance_dir's own (see the ROADMAP migration-visibility item):
+        transiently ENOENT for concurrent readers, never a lost entry
+        beyond an in-flight commit racing the copy.  The drops carry the
+        forget's ``seq`` and obey the same newest-wins discipline as
+        ``mirror_override``: a redo replaying this forget late must not
+        destroy an override a *later* re-homing installed (whose
+        population has already moved — dropping its row would strand
+        every one of those inodes behind static-rule routing).
+        """
+        dropped = yield from self.dbsvc.execute(
+            self._drop_override_body(norm, seq))
+        if dropped:
+            self.sharding.overrides.pop(norm, None)
+        yield from self._broadcast(
+            "mirror_forget_override", norm, seq, stamp=stamp)
+        if static != self.shard_id:
+            yield from self._migrate_dir_population(vino, static, stamp)
+        return True
+
+    def _drop_override_body(self, norm, seq):
+        """Txn body: delete the override row unless a newer one won."""
+
+        def body(txn):
+            row = txn.read("overrides", norm)
+            if row is None or row["seq"] > seq:
+                return False
+            txn.delete("overrides", norm)
+            return True
+
+        return body
+
+    def redo_forget_override(self, rec):
+        """Coroutine: roll a surviving ``forget_override`` intent forward."""
+        yield from self._finish_forget_override(
+            rec["dir"], rec["vino"], rec["static"], rec["seq"],
+            self._stamp())
+        yield from self.intent_forget(rec["id"])
+        return True
+
+    def mirror_forget_override(self, dir_path, seq, stamp=None):
+        """RPC (shard-to-shard): drop a re-homing override row here
+        (newest-seq-wins, like :meth:`mirror_override`)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            self._check_stamp(stamp)
+            return self._drop_override_body(dir_path, seq)(txn)
+
+        result = yield from self.dbsvc.execute(body)
+        if result:
+            self.sharding.overrides.pop(dir_path, None)
         return result
 
     # -- recovery ----------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Recovery: tier-wide intent completion, resync, reconcile, reseat.
+"""Recovery: epoch fencing, tier-wide completion, resync, reconcile, reseat.
 
 The crash-recovery layer of the sharded tier (formerly the *recovery* and
 *tier-wide recovery passes* sections of the old ``repro/core/sharding.py``
@@ -6,19 +6,32 @@ monolith).  One shard's :meth:`ShardRecoveryPart.recover` — or the
 module-level :func:`recover_tier` after a whole-tier crash — runs, in
 order:
 
-1. local journal rebuild + allocator reseat (``recover_local``);
-2. :meth:`complete_tier_intents` — resolve every surviving
-   intent/prepare/dedup record (roll committed operations forward,
-   uncommitted back); must run *first*: a half-replicated change's
-   surviving intent re-broadcasts it, whereas resyncing first would read
-   it as divergence and erase both sides;
-3. :meth:`~repro.core.shard.rebalance.ShardRebalancePart.restore_overrides`
-   — rebuild the re-partitioning override map from its durable rows (the
-   completed intents just re-installed any in-flight ones);
-4. :meth:`resync_skeleton` — repair skeleton replicas against the
-   authoritative owner (a shard restored from an older journal prefix);
+1. local journal rebuild + **epoch bump** + allocator reseat
+   (``recover_local``; incoming requests wait on the admission gate
+   until the rebuilt tables and the new epoch are durable);
+2. :meth:`fence_tier` — install the bumped epoch as a *fence* on every
+   peer (durable ``epochs`` row + in-memory map): records and RPCs
+   stamped with an older epoch of this shard are now provably dead;
+3. :meth:`complete_tier_intents` — resolve every surviving
+   intent/prepare/dedup record **whose coordinator is provably dead**
+   (epoch below the fence just installed, or — for coordinators this
+   recovery cannot fence — whose own shard reports no live process
+   driving the transaction).  Records of healthy in-flight operations
+   are left alone: their coordinators finish or compensate themselves,
+   which is what makes recovery safe to admit into a *live* tier.
+   Completion must precede resync: a half-replicated change's surviving
+   intent re-broadcasts it, whereas resyncing first would read it as
+   divergence and erase both sides;
+4. :meth:`~repro.core.shard.rebalance.ShardRebalancePart.restore_overrides`
+   and :meth:`resync_skeleton` — **only when the rebuild actually lost
+   journaled transactions** (``sync_updates=False`` restores an older
+   prefix).  Under the default synchronous journal nothing is lost, the
+   replicas already match, and skipping the passes keeps single-shard
+   recovery from racing a live peer's in-flight broadcast (the fast
+   path a live tier needs);
 5. :meth:`reconcile_tier_buckets` — recount placement counters from the
-   surviving rows;
+   surviving rows (always safe live: each recount transaction matches
+   the rows it sees, and subsequent operations adjust incrementally);
 6. a second allocator reseat (completion can re-attach rows that
    travelled inside intent records, invisible to the first reseat).
 """
@@ -27,6 +40,7 @@ import itertools
 
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, FILE, split
+from repro.sim.events import Event
 
 
 class ShardRecoveryPart:
@@ -35,32 +49,29 @@ class ShardRecoveryPart:
     def recover(self):
         """Coroutine: crash/recover this shard, then repair the tier.
 
-        After the local rebuild (journal replay + allocator reseating,
-        :meth:`recover_local`), this shard drives the tier-wide passes:
-        resolve every open intent/prepare record (roll committed
-        cross-shard operations forward, uncommitted ones back), restore
-        the re-partitioning overrides, *then* resync the replicated
-        skeleton (a shard restored from an older journal prefix may hold
-        a stale replica set), and reconcile the placement counters
-        against the surviving inode rows.  Intent completion must come
-        first: a half-replicated rename's surviving intent re-broadcasts
-        the replay, whereas resyncing first would read the
-        half-replicated state as divergence and erase both sides of it.
-        Every pass is idempotent — a crash *during* recovery is recovered
-        from by simply recovering again.
-
-        Recovery assumes a quiesced tier: the completion pass reads
-        *every* shard's open intents and would resolve (abort) the
-        intent of an operation still in flight on a healthy peer,
-        racing its coordinator.  Real deployments fence with epochs or
-        leases before admitting new operations; that machinery is a
-        ROADMAP item, and the crash drills quiesce by construction (the
-        injected crash kills the whole in-flight operation).
+        Safe to run against a **live** tier: after the local rebuild this
+        shard bumps its durable recovery epoch and installs it as a fence
+        on every peer, so the completion pass touches only records whose
+        coordinator is provably dead — a healthy peer's in-flight
+        cross-shard operation keeps its intent and finishes (or cleanly
+        aborts) under its own coordinator, while any still-running
+        operation this shard coordinated *before* the crash is fenced at
+        its next step (:class:`~repro.core.shard.routing.EpochFenced`)
+        and its durable records are rolled forward or back here.  Every
+        pass is idempotent — a crash *during* recovery is recovered from
+        by simply recovering again.
         """
-        lost = yield from self.recover_local()
-        yield from self.complete_tier_intents()
-        yield from self.restore_overrides()
-        yield from self.resync_skeleton()
+        lost = yield from self.recover_local(fence_peers=True)
+        dead = {self.shard_id: self.epoch}
+        yield from self.complete_tier_intents(dead)
+        if lost:
+            # Journal loss (async log policy): replicas may genuinely
+            # diverge, so repair them.  These passes assume the touched
+            # paths are quiescent — with the synchronous journal (the
+            # default) they are skipped and recovery never rewrites
+            # state a live operation is mid-way through.
+            yield from self.restore_overrides()
+            yield from self.resync_skeleton()
         yield from self.reconcile_tier_buckets()
         # The completion pass can re-attach rows a rolled-back rename had
         # detached (they travelled inside the intent record, invisible to
@@ -68,11 +79,147 @@ class ShardRecoveryPart:
         yield from self.reseat_allocators()
         return lost
 
-    def recover_local(self):
-        """Coroutine: rebuild this shard only, keeping its vino stride."""
-        lost = yield from super().recover()
-        yield from self.reseat_allocators()
+    def recover_local(self, fence_peers=False):
+        """Coroutine: rebuild this shard only, keeping its vino stride.
+
+        With ``fence_peers`` (single-shard recovery into a live tier),
+        the bumped epoch is installed on every peer before the gate
+        reopens.  A whole-tier recovery passes False: its peers are
+        conceptually still down — fencing them mid-sequence would write
+        (and, under the async journal, checkpoint) their *pre-crash*
+        state — and :func:`recover_tier`'s driver installs the full dead
+        map once every rebuild is done.
+
+        The admission gate closes for the duration: requests that arrive
+        while the journal replays (or before the epoch bump, the tier
+        fence and the allocator reseat are done) wait instead of racing
+        the rebuild — the moral equivalent of a restarting node not
+        serving yet.  The epoch bump is atomic with the start of
+        recovery: one durable transaction, before any request is
+        admitted, so every operation admitted afterwards captures the
+        new epoch; and the fence is installed on every peer *before*
+        serving resumes, so a pre-crash ("zombie") operation of this
+        shard that was waiting on the gate finds itself fenced at its
+        very next stamped transaction.  (Recoveries are driven one shard
+        at a time — see :func:`recover_tier`; two shards fencing each
+        other while both gates are closed would wait on one another.)
+
+        Reentrant crashes of the *same* shard serialize here: a second
+        recovery waits for the running one's gate before installing its
+        own, so neither can open the other's gate early or strand its
+        waiters.
+        """
+        while self._admission is not None:
+            yield self._admission
+        self._admission = Event(self.sim)
+        try:
+            lost = yield from super().recover()
+            yield from self._bump_epoch()
+            if fence_peers:
+                yield from self.fence_tier({self.shard_id: self.epoch})
+            yield from self.reseat_allocators()
+        finally:
+            gate, self._admission = self._admission, None
+            gate.succeed()
         return lost
+
+    def _bump_epoch(self):
+        """Coroutine: durably advance this shard's recovery epoch.
+
+        Also reloads the in-memory fence map from the durable ``epochs``
+        rows (a restarted node's memory is empty; here the map survives
+        the simulated crash, so the reload keeps both honest).
+        """
+
+        def body(txn):
+            row = txn.read("epochs", self.shard_id)
+            nxt = (row["epoch"] if row is not None else 0) + 1
+            txn.write("epochs", {"shard": self.shard_id, "epoch": nxt})
+            self.epoch = nxt
+            self.fences[self.shard_id] = nxt
+            for peer_row in txn.match("epochs"):
+                if self.fences.get(peer_row["shard"], 0) < peer_row["epoch"]:
+                    self.fences[peer_row["shard"]] = peer_row["epoch"]
+            return nxt
+
+        epoch = yield from self.dbsvc.execute(body)
+        yield from self._force_fence_row()
+        return epoch
+
+    def _force_fence_row(self):
+        """Coroutine: make the last epoch/fence write durable even under
+        the async journal policy.
+
+        Fences are the one write whose durability other shards *rely on*
+        ("once a fence commits, no stale record can commit here"), so
+        under ``sync_updates=False`` they get an explicit checkpoint —
+        otherwise a crash could restore a journal prefix without the row
+        while the in-memory map (which survives a simulated crash) runs
+        ahead of it.
+        """
+        if not self.dbsvc.config.sync_updates:
+            yield from self.dbsvc.checkpoint()
+        return True
+
+    def _fence_body(self, fences):
+        """The fence-install transaction: durable row + in-memory map in
+        one body, atomic with respect to every stamped coordination
+        transaction — once this commits, no older-epoch record of the
+        fenced coordinators can commit here."""
+
+        def body(txn):
+            for shard, epoch in fences:
+                row = txn.read("epochs", shard)
+                if row is None or row["epoch"] < epoch:
+                    txn.write("epochs", {"shard": shard, "epoch": epoch})
+                if self.fences.get(shard, 0) < epoch:
+                    self.fences[shard] = epoch
+            return True
+
+        return body
+
+    def install_fences(self, fences):
+        """RPC (shard-to-shard): fence the given coordinators here.
+
+        ``fences`` is ``[(coordinator_shard, minimum_live_epoch)]``.
+        """
+        yield from self._dispatch()
+        result = yield from self.dbsvc.execute(self._fence_body(fences))
+        yield from self._force_fence_row()
+        return result
+
+    def fence_tier(self, dead):
+        """Coroutine: install ``dead`` (shard -> new epoch) everywhere.
+
+        After this returns, every shard refuses coordination traffic
+        stamped with an older epoch of those shards, and any record such
+        a coordinator had journaled is provably abandoned — the
+        precondition for :meth:`complete_tier_intents` resolving it.
+        The local install bypasses the RPC handler (and therefore the
+        admission gate): a recovering shard fences itself while still
+        not serving.
+        """
+        rows = sorted(dead.items())
+        yield from self.dbsvc.execute(self._fence_body(rows))
+        yield from self._force_fence_row()
+        peers = [shard for shard in range(self.n_shards)
+                 if shard != self.shard_id]
+        if self.config.parallel_broadcasts and len(peers) > 1:
+            # The fence phase sits inside the admission-gate outage:
+            # overlap the installs (max, not sum, of the round trips),
+            # exactly like the mirror broadcasts.
+            procs = [
+                self.sim.process(
+                    self._peer(shard, "install_fences", rows),
+                    name=f"fence-s{self.shard_id}to{shard}",
+                )
+                for shard in peers
+            ]
+            yield self.sim.all_of(procs)
+        else:
+            for shard in peers:
+                yield from self._peer(shard, "install_fences", rows)
+        return True
 
     def reseat_allocators(self):
         """Coroutine: reseat the vino and intent-id allocators.
@@ -325,8 +472,8 @@ class ShardRecoveryPart:
                 fixed["nlink"] = 2 + subdirs
                 txn.write("inodes", fixed)
 
-    def complete_tier_intents(self):
-        """Coroutine: resolve every open coordination record tier-wide.
+    def complete_tier_intents(self, dead=None):
+        """Coroutine: resolve abandoned coordination records tier-wide.
 
         Three idempotent passes: (A) every coordinator intent is rolled
         forward (its prepare record exists → the operation committed) or
@@ -335,31 +482,75 @@ class ShardRecoveryPart:
         effects (dedup-guarded) and retire; (C) dedup records whose
         operation is fully resolved are garbage-collected.  A crash at
         any point leaves records a re-run resolves the same way.
+
+        A record is touched only when its coordinator is **provably
+        dead**: its epoch is below the fence in ``dead`` (shard → fenced
+        epoch, the set this recovery just installed), or — when the
+        coordinator shard is not in ``dead`` (it never crashed) — that
+        shard answers that no live process is driving the transaction
+        any more (``tid_live``).  A live in-flight operation on a healthy
+        peer is therefore never aborted under its coordinator; with no
+        ``dead`` map (legacy quiesced call) only the liveness probe
+        applies.
         """
+        if dead is None:
+            dead = {}
+        abandoned = {}  # base tid -> (verdict, by_epoch), cached per pass
         records = yield from self._gather_intents()
         parts = {rec["id"]: shard for shard, rec in records
                  if rec["role"] == "part"}
         for shard, rec in records:
             if rec["role"] != "coord":
                 continue
+            verdict, by_epoch = yield from self._abandoned(
+                rec, dead, abandoned)
+            if not verdict:
+                continue  # a live coordinator still owns this operation
+            if not by_epoch:
+                # Dead by the liveness probe only: the gather's snapshot
+                # may be stale — the coordinator could have progressed
+                # (and died) after it — so re-read the records the
+                # decision hinges on.  Once dead, nothing can change
+                # them (its in-flight handlers died with its process).
+                # An epoch-dead coordinator was fenced *before* the
+                # gather, so its snapshot is provably fresh and the
+                # whole-tier path pays no extra round trips.
+                if not (yield from self._call_shard(
+                        shard, "has_record", rec["id"])):
+                    continue  # resolved/completed since the gather
             if rec["op"] == "rename":
-                committed = self._part_id(rec["id"]) in parts
+                pid = self._part_id(rec["id"])
+                if by_epoch:
+                    committed = pid in parts
+                else:
+                    committed = (yield from self._find_record(pid)) \
+                        is not None
                 yield from self._call_shard(
                     shard, "finish_rename_intent", rec, committed)
             elif rec["op"] == "link":
                 # The intent is deleted atomically with the commit, so
                 # its survival means abort: revert the bump if it landed.
-                pshard = parts.get(self._part_id(rec["id"]))
+                pid = self._part_id(rec["id"])
+                if by_epoch:
+                    pshard = parts.get(pid)
+                else:
+                    pshard = yield from self._find_record(pid)
                 if pshard is not None:
                     yield from self._call_shard(
-                        pshard, "link_abort", rec["id"], rec["now"])
+                        pshard, "link_abort", rec["id"], rec["now"],
+                        self._stamp())
                 yield from self._call_shard(
                     shard, "intent_forget", rec["id"])
             else:
                 yield from self._call_shard(shard, "redo_intent", rec)
         records = yield from self._gather_intents()
+        abandoned.clear()  # liveness can change between passes: re-probe
         for shard, rec in records:
             if rec["role"] != "part":
+                continue
+            verdict, _by_epoch = yield from self._abandoned(
+                rec, dead, abandoned)
+            if not verdict:
                 continue
             if rec["op"] == "rename":
                 yield from self._call_shard(shard, "redo_rename_part", rec)
@@ -367,14 +558,50 @@ class ShardRecoveryPart:
                 yield from self._call_shard(shard, "intent_forget",
                                             rec["id"])
         records = yield from self._gather_intents()
-        live = {rec["id"].split("@")[0].split("#")[0]
-                for _shard, rec in records if rec["role"] != "dedup"}
+        abandoned.clear()
+        open_ids = {rec["id"].split("@")[0].split("#")[0]
+                    for _shard, rec in records if rec["role"] != "dedup"}
         for shard, rec in records:
-            if rec["role"] == "dedup" and \
-                    rec["id"].split("#")[0] not in live:
+            if rec["role"] != "dedup":
+                continue
+            if rec["id"].split("#")[0] in open_ids:
+                continue  # its operation's records are still being settled
+            verdict, _by_epoch = yield from self._abandoned(
+                rec, dead, abandoned)
+            if verdict:
                 yield from self._call_shard(shard, "intent_forget",
                                             rec["id"])
         return True
+
+    def _abandoned(self, rec, dead, cache):
+        """Coroutine: ``(dead?, by_epoch?)`` for this record's coordinator.
+
+        Dead by epoch — the record is stamped below the fence in
+        ``dead`` — or, for a coordinator shard that never crashed, dead
+        by the shard's own testimony that no live process drives the
+        transaction (``tid_live``); only an injected mid-operation kill
+        leaves records that way, and those are fair game exactly as
+        under the old quiesced-tier assumption.  ``by_epoch`` tells the
+        caller whether the verdict predates the gather (fence installed
+        first — snapshot provably fresh) or needs freshness re-reads.
+        Verdicts are cached per base tid for one pass (all of an
+        operation's records carry the same coordinator epoch).
+        """
+        base = rec["id"].split("@")[0].split("#")[0]
+        cached = cache.get(base)
+        if cached is not None:
+            return cached
+        coord = self._coord_of(base)
+        fence = dead.get(coord)
+        if fence is not None:
+            cached = (rec.get("epoch", 0) < fence, True)
+        elif coord == self.shard_id:
+            cached = (base not in self._live_tids, False)
+        else:
+            alive = yield from self._peer(coord, "tid_live", base)
+            cached = (not alive, False)
+        cache[base] = cached
+        return cached
 
     def finish_rename_intent(self, rec, committed):
         """RPC (shard-to-shard): resolve a cross-shard rename intent here.
@@ -407,15 +634,24 @@ class ShardRecoveryPart:
         Every redo is idempotent (mirror replays no-op when already
         applied; link drops are dedup-guarded; the rebalance migration
         converges), so the record is deleted only after its effects are
-        re-applied.
+        re-applied.  The record's continued existence is re-checked
+        first: the gather's snapshot may be stale — a *live* coordinator
+        can finish (and retire) the operation between the gather and the
+        liveness probe that judged it dead, and redoing from the stale
+        snapshot would re-apply drops whose dedup guards the finished
+        operation already collected.
         """
+        if not (yield from self.has_record(rec["id"])):
+            return False
         op = rec["op"]
+        stamp = self._stamp()  # redo acts under the current (live) epoch
         if op == "mirror":
             yield from self._broadcast(rec["mirror"], *rec["args"])
             yield from self.intent_forget(rec["id"])
         elif op == "rename_post":
             pending = [tuple(p) for p in rec["pending"]]
-            yield from self._drain_pending(pending, rec["now"], rec["id"])
+            yield from self._drain_pending(
+                pending, rec["now"], rec["id"], stamp)
             if rec["replaced_symlink"]:
                 yield from self._broadcast(
                     "mirror_unlink", rec["new"], rec["now"])
@@ -423,25 +659,29 @@ class ShardRecoveryPart:
             yield from self._forget_dedups(rec["id"], pending)
         elif op == "rename_replicated":
             pending = [tuple(p) for p in rec["pending"]]
-            yield from self._drain_pending(pending, rec["now"], rec["id"])
+            yield from self._drain_pending(
+                pending, rec["now"], rec["id"], stamp)
             yield from self._broadcast(
                 "mirror_rename", rec["old"], rec["new"], rec["now"])
             if rec["kind"] == DIRECTORY:
                 yield from self._migrate_renamed_subtree(
-                    rec["vino"], rec["old"], rec["new"], rec["now"])
+                    rec["vino"], rec["old"], rec["new"], rec["now"], stamp)
             yield from self.intent_forget(rec["id"])
             yield from self._forget_dedups(rec["id"], pending)
         elif op == "unlink_stub":
             dedup = self._dedup_id(rec["id"], rec["vino"])
             yield from self._peer(
-                rec["home"], "unlink_vino", rec["vino"], rec["now"], dedup)
+                rec["home"], "unlink_vino", rec["vino"], rec["now"], dedup,
+                stamp)
             yield from self.intent_forget(rec["id"])
             yield from self._peer(rec["home"], "intent_forget", dedup)
         elif op == "rebalance":
             yield from self.redo_rebalance(rec)
+        elif op == "forget_override":
+            yield from self.redo_forget_override(rec)
         return True
 
-    def retire_rename_part(self, tid):
+    def retire_rename_part(self, tid, stamp=None):
         """RPC (shard-to-shard): drop a committed install's prepare record
         and then its dedup guards (in that order: a crash in between
         leaves only garbage the completion pass collects)."""
@@ -449,6 +689,7 @@ class ShardRecoveryPart:
         pid = self._part_id(tid)
 
         def body(txn):
+            self._check_stamp(stamp)
             rec = txn.read("intents", pid)
             if rec is None:
                 return None
@@ -467,11 +708,16 @@ class ShardRecoveryPart:
         but the forget never arrived; the drains are dedup-guarded and
         the symlink-replica removal idempotent, so redoing is safe.  The
         record is deleted before its dedup guards so a crash between the
-        deletions leaves only garbage pass C collects.
+        deletions leaves only garbage pass C collects.  As in
+        :meth:`redo_intent`, a record retired since the gather's
+        snapshot (its coordinator finished live) is left alone.
         """
+        if not (yield from self.has_record(rec["id"])):
+            return False
         pending = [tuple(p) for p in rec["pending"]]
         tid = rec["id"].rsplit("@", 1)[0]
-        yield from self._drain_pending(pending, rec["now"], tid)
+        yield from self._drain_pending(
+            pending, rec["now"], tid, self._stamp())
         if rec["replaced_symlink"]:
             yield from self._broadcast(
                 "mirror_unlink", rec["new"], rec["now"])
@@ -524,18 +770,27 @@ def recover_tier(shards):
 
     Rebuilds *every* shard from its durable journal prefix first — a
     whole-tier power failure leaves no live peer to ask — then runs the
-    tier-wide repair passes (intent completion, override restore, skeleton
-    resync, bucket reconciliation) exactly once, driven by shard 0.
-    Single-shard crashes use :meth:`ShardRecoveryPart.recover`, which runs
-    the same passes against the surviving peers' live tables.
+    tier-wide repair passes exactly once, driven by shard 0.  Every shard
+    bumped its epoch during its local rebuild, so the whole tier is in
+    the ``dead`` set: the completion pass resolves *all* surviving
+    records, exactly the old quiesced-tier behavior (nothing can be in
+    flight after a tier-wide power failure).  The skeleton resync runs
+    only when some journal actually lost transactions — with the default
+    synchronous log the replicas already match and the resync pass is
+    pure fan-out cost (the ``recover_tier`` fast path).  Single-shard
+    crashes use :meth:`ShardRecoveryPart.recover`, which runs the fenced
+    passes against the surviving peers' live tables.
     """
     lost = 0
     for shard in shards:
         lost += yield from shard.recover_local()
     driver = shards[0]
-    yield from driver.complete_tier_intents()
+    dead = {shard.shard_id: shard.epoch for shard in shards}
+    yield from driver.fence_tier(dead)
+    yield from driver.complete_tier_intents(dead)
     yield from driver.restore_overrides()
-    yield from driver.resync_skeleton()
+    if lost:
+        yield from driver.resync_skeleton()
     yield from driver.reconcile_tier_buckets()
     for shard in shards:
         # intent completion may have re-attached rows that travelled

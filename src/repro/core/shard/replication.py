@@ -23,9 +23,11 @@ fast); sibling RPCs already in the network may still land on healthy
 peers, exactly as real in-flight messages would.
 """
 
-from repro.core.shard.routing import ResolveForward, VinoForward
+from repro.core.shard.routing import (
+    EpochFenced, ResolveForward, VinoForward,
+)
 from repro.pfs.errors import FsError
-from repro.pfs.types import DIRECTORY, FILE, SYMLINK
+from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize
 
 
 class ShardReplicationPart:
@@ -48,24 +50,32 @@ class ShardReplicationPart:
 
     # -- the broadcast primitive -------------------------------------------
 
-    def _broadcast(self, method, *args):
+    def _broadcast(self, method, *args, stamp=None):
         """Coroutine: apply a mirror op on every other shard.
 
         Serial peer-by-peer by default; overlapped with ``sim.all_of``
         when ``config.parallel_broadcasts`` is set and there is more than
         one peer (a single peer gains nothing from the fan-out).  Results
-        keep shard order in both modes.
+        keep shard order in both modes.  ``stamp`` is the issuing
+        operation's ``(coordinator, epoch)``; without one the broadcast
+        carries the live epoch (recovery redo, which is always current).
+        The stamp is appended as each mirror RPC's last argument — it is
+        deliberately *not* part of the recorded intent args, so a redo
+        replays under the recovering coordinator's fresh epoch.
         """
+        if stamp is None:
+            stamp = self._stamp()
         peers = [shard for shard in range(self.n_shards)
                  if shard != self.shard_id]
         if not self.config.parallel_broadcasts or len(peers) <= 1:
             results = []
             for shard in peers:
-                results.append((yield from self._peer(shard, method, *args)))
+                results.append(
+                    (yield from self._peer(shard, method, *args, stamp)))
             return results
         procs = [
             self.sim.process(
-                self._peer(shard, method, *args),
+                self._peer(shard, method, *args, stamp),
                 name=f"mirror-{method}-s{self.shard_id}to{shard}",
             )
             for shard in peers
@@ -73,20 +83,20 @@ class ShardReplicationPart:
         results = yield self.sim.all_of(procs)
         return results
 
-    def _txn_mirror_intent(self, txn, mirror, args):
+    def _txn_mirror_intent(self, txn, mirror, args, epoch=None):
         """Journal a redoable mirror broadcast with the local change."""
-        tid = self._new_tid()
-        txn.insert("intents", {
-            "id": tid, "role": "coord", "op": "mirror",
-            "mirror": mirror, "args": list(args),
-        })
-        return tid
+        return self._txn_intent(
+            txn, self.epoch if epoch is None else epoch, {
+                "id": self._new_tid(), "role": "coord", "op": "mirror",
+                "mirror": mirror, "args": list(args),
+            })
 
     # -- namespace mutation with replication -------------------------------
 
     def setattr(self, path, changes, now, _hops=0):
         self._check_hops(_hops, path)
         yield from self._dispatch()
+        epoch = self.epoch
         self._check_setattr(changes)
         tids = []
         inner = self._setattr_body(path, changes, now)
@@ -98,23 +108,35 @@ class ShardReplicationPart:
                 # the contents-owner replica; see getattr); the intent
                 # makes the broadcast crash-redoable.
                 tids.append(self._txn_mirror_intent(
-                    txn, "mirror_setattr", [path, changes, now]))
+                    txn, "mirror_setattr", [path, changes, now], epoch))
             return row
 
         try:
             row = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
+            self._done_tids(tids)
             view = yield from self._redispatch(
                 fwd, "setattr", fwd.path, changes, now, _hops + 1)
             return view
         except VinoForward as fwd:
+            self._done_tids(tids)
             view = yield from self._peer(
                 fwd.shard, "setattr_vino", fwd.vino, changes, now)
             return view
+        except BaseException:
+            self._done_tids(tids)
+            raise
         view = self._attr_view(row)
-        if tids:
-            yield from self._broadcast("mirror_setattr", path, changes, now)
-            yield from self.intent_forget(tids[0])
+        try:
+            if tids:
+                yield from self._broadcast(
+                    "mirror_setattr", path, changes, now,
+                    stamp=self._stamp(epoch))
+                yield from self.intent_forget(tids[0])
+        except EpochFenced:
+            pass  # committed locally; recovery redoes the broadcast
+        finally:
+            self._done_tids(tids)
         return view
 
     def create_node(self, path, kind, mode, uid, gid, node, pid, now,
@@ -131,6 +153,7 @@ class ShardReplicationPart:
                     node, pid, now, target, _hops + 1)
             return view
         yield from self._dispatch()
+        epoch = self.epoch
         tids = []
         inner = self._create_body(
             path, kind, mode, uid, gid, node, pid, now, target)
@@ -138,24 +161,36 @@ class ShardReplicationPart:
         def body(txn):
             row = inner(txn)
             tids.append(self._txn_mirror_intent(
-                txn, "mirror_create", [path, self._attr_view(row), now]))
+                txn, "mirror_create", [path, self._attr_view(row), now],
+                epoch))
             return row
 
         try:
             row = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
+            self._done_tids(tids)
             view = yield from self._redispatch(
                 fwd, "create_node", fwd.path, kind, mode, uid, gid, node,
                 pid, now, target, _hops + 1)
             return view
+        except BaseException:
+            self._done_tids(tids)
+            raise
         view = self._attr_view(row)
-        yield from self._broadcast("mirror_create", path, view, now)
-        yield from self.intent_forget(tids[0])
+        try:
+            yield from self._broadcast(
+                "mirror_create", path, view, now, stamp=self._stamp(epoch))
+            yield from self.intent_forget(tids[0])
+        except EpochFenced:
+            pass  # committed locally; recovery redoes the broadcast
+        finally:
+            self._done_tids(tids)
         return view
 
     def unlink(self, path, now, _hops=0):
         self._check_hops(_hops, path)
         yield from self._dispatch()
+        epoch = self.epoch
         tids = []
         inner = self._unlink_body(path, now)
 
@@ -163,36 +198,52 @@ class ShardReplicationPart:
             outcome = inner(txn)
             if outcome[0] == "#stub":
                 # The remote link-count drop must survive a crash here.
-                tid = self._new_tid()
-                txn.insert("intents", {
-                    "id": tid, "role": "coord", "op": "unlink_stub",
-                    "vino": outcome[1], "home": outcome[2], "now": now,
-                })
-                tids.append(tid)
+                tids.append(self._txn_intent(txn, epoch, {
+                    "id": self._new_tid(), "role": "coord",
+                    "op": "unlink_stub", "vino": outcome[1],
+                    "home": outcome[2], "now": now,
+                }))
             elif outcome[0] == SYMLINK and outcome[1][1]:
                 tids.append(self._txn_mirror_intent(
-                    txn, "mirror_unlink", [path, now]))
+                    txn, "mirror_unlink", [path, now], epoch))
             return outcome
 
         try:
             outcome = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
+            self._done_tids(tids)
             result = yield from self._redispatch(
                 fwd, "unlink", fwd.path, now, _hops + 1)
             return result
-        if outcome[0] == "#stub":  # inode adjusted at its home shard
-            _marker, vino, home = outcome
-            tid = tids[0]
-            dedup = self._dedup_id(tid, vino)
-            result = yield from self._peer(
-                home, "unlink_vino", vino, now, dedup)
-            yield from self.intent_forget(tid)
-            yield from self._peer(home, "intent_forget", dedup)
-            return result
-        kind, (upath, last) = outcome
-        if kind == SYMLINK and last:
-            yield from self._broadcast("mirror_unlink", path, now)
-            yield from self.intent_forget(tids[0])
+        except BaseException:
+            self._done_tids(tids)
+            raise
+        try:
+            if outcome[0] == "#stub":  # inode adjusted at its home shard
+                _marker, vino, home = outcome
+                tid = tids[0]
+                dedup = self._dedup_id(tid, vino)
+                result = yield from self._peer(
+                    home, "unlink_vino", vino, now, dedup,
+                    self._stamp(epoch))
+                yield from self.intent_forget(tid)
+                yield from self._peer(home, "intent_forget", dedup)
+                return result
+            kind, (upath, last) = outcome
+            if kind == SYMLINK and last:
+                yield from self._broadcast(
+                    "mirror_unlink", path, now, stamp=self._stamp(epoch))
+                yield from self.intent_forget(tids[0])
+        except EpochFenced:
+            # Fenced past the local commit: recovery's redo performs the
+            # remote drop / replica removal.  A stub unlink cannot report
+            # the remote (upath, last) outcome any more; the client skips
+            # its underlying cleanup and the scrubber reclaims the object.
+            if outcome[0] == "#stub":
+                return (None, False)
+            kind, (upath, last) = outcome
+        finally:
+            self._done_tids(tids)
         return (upath, last)
 
     def rmdir(self, path, now, _hops=0):
@@ -204,33 +255,57 @@ class ShardReplicationPart:
             if entries:
                 raise FsError.enotempty(path)
         yield from self._dispatch()
+        epoch = self.epoch
         tids = []
+        norm = normalize(path)
         inner = self._rmdir_body(path, now)
+
+        forgotten = []
 
         def body(txn):
             result = inner(txn)
+            # A re-homing override dies with its directory: dropping the
+            # durable row atomically with the rmdir (and on every peer
+            # via mirror_rmdir) closes the "override outlives its
+            # directory" stickiness — a recreated directory routes by
+            # the static rule again.
+            if self._drop_override_body(norm, now)(txn):
+                forgotten.append(True)
             tids.append(self._txn_mirror_intent(
-                txn, "mirror_rmdir", [path, now]))
+                txn, "mirror_rmdir", [path, now], epoch))
             return result
 
         try:
             result = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
+            self._done_tids(tids)
             result = yield from self._redispatch(
                 fwd, "rmdir", fwd.path, now, _hops + 1)
             return result
-        yield from self._broadcast("mirror_rmdir", path, now)
-        yield from self.intent_forget(tids[0])
+        except BaseException:
+            self._done_tids(tids)
+            raise
+        if forgotten:
+            self.sharding.overrides.pop(norm, None)
+        try:
+            yield from self._broadcast(
+                "mirror_rmdir", path, now, stamp=self._stamp(epoch))
+            yield from self.intent_forget(tids[0])
+        except EpochFenced:
+            pass  # committed locally; recovery redoes the broadcast
+        finally:
+            self._done_tids(tids)
         return result
 
     # -- mirror (replication) RPCs -----------------------------------------
 
-    def mirror_setattr(self, path, changes, now):
+    def mirror_setattr(self, path, changes, now, stamp=None):
         """RPC (shard-to-shard): replicate a directory/symlink setattr."""
         yield from self._dispatch()
         self._check_setattr(changes)
 
         def body(txn):
+            self._check_stamp(stamp)
             try:
                 row = dict(self._txn_resolve(txn, path))
             except FsError:
@@ -243,11 +318,12 @@ class ShardReplicationPart:
         result = yield from self.dbsvc.execute(self._local_body(body))
         return result
 
-    def mirror_create(self, path, view, now):
+    def mirror_create(self, path, view, now, stamp=None):
         """RPC (shard-to-shard): replicate a directory/symlink create."""
         yield from self._dispatch()
 
         def body(txn):
+            self._check_stamp(stamp)
             parent, name = self._txn_resolve_parent(txn, path)
             if txn.read("dentries", (parent["vino"], name)) is not None:
                 return False
@@ -275,11 +351,12 @@ class ShardReplicationPart:
         result = yield from self.dbsvc.execute(self._local_body(body))
         return result
 
-    def mirror_unlink(self, path, now):
+    def mirror_unlink(self, path, now, stamp=None):
         """RPC (shard-to-shard): replicate a symlink removal."""
         yield from self._dispatch()
 
         def body(txn):
+            self._check_stamp(stamp)
             try:
                 parent, name = self._txn_resolve_parent(txn, path)
             except FsError:
@@ -300,26 +377,43 @@ class ShardReplicationPart:
         result = yield from self.dbsvc.execute(self._local_body(body))
         return result
 
-    def mirror_rmdir(self, path, now):
+    def mirror_rmdir(self, path, now, stamp=None):
         """RPC (shard-to-shard): replicate a directory removal.
 
         Guard against the coordinator's check-then-act window: if entries
         appeared here since the emptiness checks, refuse to delete so no
         file becomes unreachable (the skeleton diverges until the retried
         rmdir; full cross-shard atomicity is a ROADMAP open item).
+
+        Any re-homing override row for the path is dropped in the same
+        transaction — on *every* path through the replay, including the
+        refusal: the coordinator's commit is the authoritative removal
+        of the directory, its own row is already gone, and a refusing
+        shard keeping the row would diverge the override tables (and a
+        later ``restore_overrides`` union would resurrect the forgotten
+        override tier-wide).  The forget-on-rmdir thereby rides the
+        existing redoable broadcast instead of needing its own intent.
         """
         yield from self._dispatch()
+        norm = normalize(path)
+        forgotten = []
 
         def body(txn):
+            self._check_stamp(stamp)
+            # Same newest-wins discipline as mirror_override: a redo
+            # replaying this rmdir late must not drop an override a
+            # recreated directory acquired since.
+            if self._drop_override_body(norm, now)(txn):
+                forgotten.append(True)
             try:
                 parent, name = self._txn_resolve_parent(txn, path)
             except FsError:
                 return False
             dentry = txn.read("dentries", (parent["vino"], name))
             if dentry is None:
-                return False
+                return False  # already replayed here
             if txn.index_read("dentries", "parent", dentry["vino"]):
-                return False
+                return False  # refused: the directory survives here
             self._invalidate_resolve(parent["vino"])
             self._invalidate_resolve(dentry["vino"])
             txn.delete("dentries", (parent["vino"], name))
@@ -331,4 +425,6 @@ class ShardReplicationPart:
             return True
 
         result = yield from self.dbsvc.execute(self._local_body(body))
+        if forgotten:
+            self.sharding.overrides.pop(norm, None)
         return result

@@ -57,6 +57,26 @@ class VinoForward(Exception):
         self.vino = vino
 
 
+class EpochFenced(FsError):
+    """A coordination request carried an epoch a recovery has fenced off.
+
+    Raised by a participant when a coordinator's stamp — or by a
+    coordinator's own transaction when its captured epoch — is older than
+    the fence a recovery installed for that shard.  Subclasses
+    :class:`FsError` (errno ``EAGAIN``) so every existing compensation
+    path treats it as a clean abort; a client seeing it may simply retry
+    (the retried operation captures the current epoch).
+    """
+
+    def __init__(self, coord, epoch, fence):
+        super().__init__(
+            "EAGAIN",
+            f"coordinator s{coord} epoch {epoch} fenced below {fence}")
+        self.coord = coord
+        self.epoch = epoch
+        self.fence = fence
+
+
 # ---------------------------------------------------------------------------
 # Partitioning policies
 # ---------------------------------------------------------------------------
@@ -85,6 +105,17 @@ class ShardingPolicy:
         if override is not None:
             return override % n_shards
         return self._base_shard(norm, n_shards)
+
+    def static_shard_of_dir(self, dir_path, n_shards):
+        """The shard the *static* rule names, ignoring any override.
+
+        The explicit bypass the forget-override protocol needs: it must
+        know where a directory's entries go once the override is gone,
+        while the override is still installed.
+        """
+        if n_shards <= 1:
+            return 0
+        return self._base_shard(normalize(dir_path), n_shards)
 
     def _base_shard(self, norm, n_shards):
         """The static partition function over a normalized path."""
@@ -285,6 +316,62 @@ class ShardRoutingPart:
     ``super()`` call resolves through the composed class to
     :class:`repro.core.metaservice.MetadataService`.
     """
+
+    # -- recovery epochs and fences ---------------------------------------
+
+    def _stamp(self, epoch=None):
+        """The ``(coordinator, epoch)`` pair a coordinated RPC carries.
+
+        ``epoch`` is the value the operation captured at its start;
+        without one (recovery-driven calls, which are always current) the
+        live :attr:`epoch` is used.  Captured-at-start matters: after a
+        mid-operation recovery the service object's epoch has moved on,
+        and the still-running ("zombie") operation must keep presenting
+        its stale epoch so peers can fence it.
+        """
+        return (self.shard_id, self.epoch if epoch is None else epoch)
+
+    def _check_stamp(self, stamp):
+        """Refuse a stale-epoch coordinator (no stamp = unfenced caller).
+
+        Zero simulated cost: fences are kept in memory (mirroring the
+        durable ``epochs`` rows) exactly like the partition function's
+        override map, so the no-crash path pays a dict lookup and
+        nothing else.  Call this *inside* the transaction body for
+        mutating handlers — bodies are atomic with respect to
+        ``install_fences``, which closes the race between a fence landing
+        and a stale write committing.
+        """
+        if stamp is None:
+            return
+        coord, epoch = stamp
+        fence = self.fences.get(coord, 0)
+        if epoch < fence:
+            raise EpochFenced(coord, epoch, fence)
+
+    @staticmethod
+    def _coord_of(rid):
+        """The coordinator shard encoded in a record id (``s<k>....``)."""
+        return int(rid[1:].split(".", 1)[0])
+
+    # -- admission gate ----------------------------------------------------
+
+    def _dispatch(self):
+        """Dispatch cost, gated while this shard's local rebuild runs.
+
+        A real node refuses service between crash and restart; here the
+        rebuild is a few cooperative yields, so requests that land in the
+        window simply wait on the admission event instead of racing the
+        journal replay.  The no-crash path pays one attribute test.
+        """
+        if self._admission is None:
+            return super()._dispatch()
+        return self._gated_dispatch()
+
+    def _gated_dispatch(self):
+        while self._admission is not None:
+            yield self._admission
+        yield from super()._dispatch()
 
     # -- shard arithmetic -------------------------------------------------
 

@@ -60,7 +60,32 @@ class ShardMetadataService(
         self.faults = None
         #: allocator for intent-record ids (reseated on recovery).
         self._intent_seq = itertools.count(1)
+        #: recovery epoch of this shard (mirrors the durable ``epochs``
+        #: row for ``shard_id``; bumped atomically at the start of every
+        #: recovery).  Coordinated operations capture it when they start
+        #: and stamp it onto every record and peer RPC they issue.
+        self.epoch = 0
+        #: in-memory fence map, coordinator shard -> minimum live epoch
+        #: (mirrors the durable ``epochs`` rows).  Records and RPCs from
+        #: a coordinator with a smaller epoch are provably dead and are
+        #: refused (:class:`~repro.core.shard.routing.EpochFenced`).
+        self.fences = {shard_id: 0}
+        #: ids of coordinator intents whose operation is still running on
+        #: this shard (pure bookkeeping — models "is there a live process
+        #: driving this transaction?", which recovery's completion pass
+        #: asks before reclaiming a record it cannot fence by epoch).
+        self._live_tids = set()
+        #: admission gate: an Event while the local rebuild is in flight
+        #: (incoming requests wait on it), None while serving.
+        self._admission = None
         super().__init__(machine, config, policy=policy, streams=streams)
+        # The durable epoch row exists from birth (no simulated cost: it
+        # rides the same bootstrap transaction path as the root inode and
+        # is marked durable before the first client request).
+        self.db.transaction(
+            lambda txn: txn.insert(
+                "epochs", {"shard": shard_id, "epoch": 0}))
+        self.dbsvc.journal.mark_durable()
         # Vino allocation: stride-N classes keep shards collision-free while
         # every shard bootstraps the same replicated root as vino 1.
         start = self.shard_id + 1

@@ -35,6 +35,7 @@ docstring for its layer's invariants and known simplifications.
 """
 
 from repro.core.shard import (
+    EpochFenced,
     HashDirSharding,
     Rebalancer,
     ResolveForward,
@@ -47,6 +48,7 @@ from repro.core.shard import (
 )
 
 __all__ = [
+    "EpochFenced",
     "HashDirSharding",
     "Rebalancer",
     "ResolveForward",

@@ -8,9 +8,18 @@ the operation on a fresh tier with a crash armed at each boundary in turn
 alike), run tier-wide recovery, and assert the single invariant oracle:
 no dangling dentries, no stranded inodes, consistent link counts,
 identical skeleton replicas, reconciled placement counters, no leftover
-coordination records, and an observable namespace equal to either the
-pre-op or the post-op image.  A liveness probe then proves the tier still
-serves mutations.
+coordination records, epoch/fence rows consistent, and an observable
+namespace equal to either the pre-op or the post-op image.  A liveness
+probe then proves the tier still serves mutations.
+
+The **concurrent drills** exercise the epoch fence: at each boundary the
+in-flight operation crosses (its *phase*), a victim shard — every shard
+in turn, including the coordinator itself — crashes and runs its
+single-shard ``recover()`` *while the operation keeps running* against
+the live tier.  The oracle then demands the invariants AND atomicity
+keyed to the client-visible outcome: a success must observe the post-op
+image, a clean abort (the fence's EAGAIN) the pre-op image.  Every
+(victim × phase) pair is a drilled point.
 
 ``REPRO_CRASH_POINTS=N`` bounds the replay to ~N evenly-strided
 boundaries per scenario (the CI smoke job uses this); unset, every
@@ -31,6 +40,7 @@ from repro.core.faults import (
     namespace_image,
 )
 from repro.core.sharding import SubtreeSharding, recover_tier
+from repro.pfs.errors import FsError
 from tests.core.conftest import ShardedCofs
 
 
@@ -363,6 +373,321 @@ def test_coordinator_crash_mid_rename_no_stranded_name():
     # and the file is fully usable again
     host.run(_apply(host, [("rename", "/a/f", "/a/f2"),
                            ("unlink", "/a/f2")]))
+
+
+# ---------------------------------------------------------------------------
+# Concurrent drills: a victim shard recovers while an op is in flight
+# ---------------------------------------------------------------------------
+
+#: scenarios whose operation stays in flight while a victim recovers.
+#: Victims default to every shard of the tier — including the operation's
+#: own coordinator, which turns the still-running op into a "zombie" the
+#: peers must fence (EpochFenced → clean abort), and including pure
+#: bystanders, whose recovery must leave the live intent alone.
+CONCURRENT = [
+    "rename-cross-shard",
+    "rename-cross-shard-replace",
+    "rename-cross-shard-over-stub",
+    "link-cross-shard",
+    "link-via-stub",
+    "mkdir-replicated",
+    "rmdir-replicated",
+    "rename-replicated-dir-migrates-subtree",
+    "rebalance-dir-population",
+    "rebalance-dir-with-stub",
+]
+
+
+def _concurrent_pairs(spec, count):
+    """Every (victim shard × selected boundary) pair of a scenario."""
+    return [(victim, k)
+            for victim in range(spec["shards"])
+            for k in _selected(count)]
+
+
+def _concurrent_drill(spec, k, victim, pre, post):
+    """One pair: recover ``victim`` at boundary ``k`` of the live op."""
+    host = _build(spec)
+    sharding = host.stack.sharding
+    recovery = []
+
+    def fire(_label):
+        recovery.append(host.sim.process(
+            host.shards[victim].recover(), name=f"recover-s{victim}"))
+
+    schedule = CrashSchedule(armed=k, action=fire)
+    arm_shards(host.shards, schedule)
+    outcome = []
+
+    def run_op():
+        try:
+            yield from _apply(host, spec["op"])
+            outcome.append("ok")
+        except FsError as exc:
+            outcome.append(exc.code)
+        assert recovery, f"boundary {k} never fired"
+        yield recovery[0]  # join: the oracle runs after both finish
+        return True
+
+    host.run(run_op())
+    disarm_shards(host.shards)
+    observed = check_tier_invariants(
+        host.shards, sharding, images=(pre, post))
+    label = (k, victim, outcome[0])
+    if spec.get("invisible"):
+        assert observed == pre, label
+    elif outcome[0] == "ok":
+        # The operation reported success: it must be fully committed
+        # (possibly rolled forward by the victim's recovery).
+        assert observed == post, label
+    else:
+        # The operation aborted (a fence answers EAGAIN): nothing of it
+        # may remain visible.
+        assert observed == pre, label
+    host.run(_apply(host, PROBE))
+    check_tier_invariants(host.shards, sharding)
+
+
+@pytest.mark.parametrize("name", CONCURRENT)
+def test_single_shard_recovery_during_live_operation(name):
+    """Every (crash point × in-flight-op phase) pair: a victim shard
+    crashes and recovers mid-operation, the operation keeps running, and
+    the tier must end consistent with the op atomically applied or not."""
+    spec = SCENARIOS[name]
+    count, pre, post = _count_boundaries(spec)
+    for victim, k in _concurrent_pairs(spec, count):
+        _concurrent_drill(spec, k, victim, pre, post)
+
+
+def test_concurrent_drill_enumeration_is_large():
+    """The acceptance floor: ≥ 60 distinct (victim × phase) pairs are
+    drilled across the concurrent scenarios (unbounded enumeration)."""
+    total = 0
+    for name in CONCURRENT:
+        spec = SCENARIOS[name]
+        count, _pre, _post = _count_boundaries(spec)
+        total += spec["shards"] * count
+    assert total >= 60, total
+
+
+def test_fenced_zombie_coordinator_aborts_cleanly():
+    """Pin the fence semantics end-to-end: the coordinator's own shard
+    recovers right after the cross-shard rename's detach commit; the
+    still-running rename must be fenced — never half-applied — and a
+    fresh retry of the same rename must succeed under the new epoch."""
+    spec = SCENARIOS["rename-cross-shard"]
+    count, pre, post = _count_boundaries(spec)
+    host = _build(spec)
+    # Boundary 0 is the coordinator's detach commit ("commit", 0): the
+    # intent is durable, nothing has reached the destination yet.
+    recovery = []
+
+    def fire(label):
+        assert label == ("commit", 0), label
+        recovery.append(host.sim.process(host.shards[0].recover()))
+
+    schedule = CrashSchedule(armed=0, action=fire)
+    arm_shards(host.shards, schedule)
+    outcome = []
+
+    def run_op():
+        try:
+            yield from _apply(host, spec["op"])
+            outcome.append("ok")
+        except FsError as exc:
+            outcome.append(exc.code)
+        yield recovery[0]
+        return True
+
+    host.run(run_op())
+    disarm_shards(host.shards)
+    observed = check_tier_invariants(
+        host.shards, host.stack.sharding, images=(pre, post))
+    if outcome[0] != "ok":
+        assert outcome[0] == "EAGAIN"
+        assert observed == pre
+    # Either way the rename is retriable to completion afterwards.
+    if observed == pre:
+        host.run(_apply(host, spec["op"]))
+        assert namespace_image(host.shards, host.stack.sharding) == post
+    check_tier_invariants(host.shards, host.stack.sharding, images=(post,))
+
+
+def test_live_ops_flow_across_single_shard_recovery():
+    """Sixteen clients ping-pong cross-shard renames while shard 1
+    crashes and recovers mid-stream.  Requests that land in the rebuild
+    window wait at the admission gate; the completion pass gathers the
+    open intents of the in-flight renames and must spare every one of
+    them (their coordinators are alive).  Every op must succeed and the
+    tier must end fully consistent."""
+    host = ShardedCofs(n_clients=1, shards=2, sharding=_split(2))
+    files = 16
+    host.run(_apply(host, [("mkdir", "/a"), ("mkdir", "/b")] +
+                    [("create", f"/a/f{i}") for i in range(files)]))
+    outcomes = []
+
+    def one(i):
+        fs = host.mounts[0]
+        try:
+            for _round in range(12):
+                yield from fs.rename(f"/a/f{i}", f"/b/g{i}")
+                yield from fs.rename(f"/b/g{i}", f"/a/f{i}")
+            outcomes.append("ok")
+        except FsError as exc:
+            outcomes.append(exc.code)
+        return True
+
+    def driver():
+        procs = [host.sim.process(one(i)) for i in range(files)]
+        recovery = host.sim.process(host.shards[1].recover())
+        yield host.sim.all_of(procs + [recovery])
+        return True
+
+    host.run(driver())
+    assert outcomes == ["ok"] * files
+    check_tier_invariants(host.shards, host.stack.sharding)
+    host.run(_apply(host, [("unlink", f"/a/f{i}") for i in range(files)]))
+    check_tier_invariants(host.shards, host.stack.sharding)
+
+
+def test_reentrant_recoveries_of_one_shard_serialize():
+    """Two overlapping recoveries of the same shard must serialize on
+    the admission gate — neither may open the other's gate early — and
+    leave the tier consistent with the epoch bumped twice."""
+    host = ShardedCofs(n_clients=1, shards=2, sharding=_split(2))
+    host.run(_apply(host, [("mkdir", "/a"), ("mkdir", "/b"),
+                           ("create", "/a/f")]))
+
+    def driver():
+        first = host.sim.process(host.shards[1].recover())
+        second = host.sim.process(host.shards[1].recover())
+        yield host.sim.all_of([first, second])
+        return True
+
+    host.run(driver())
+    assert host.shards[1].epoch == 2
+    assert host.shards[1]._admission is None
+    check_tier_invariants(host.shards, host.stack.sharding)
+    host.run(_apply(host, PROBE))
+    check_tier_invariants(host.shards, host.stack.sharding)
+
+
+def test_completion_pass_spares_a_live_coordinators_intent():
+    """The exact hazard the old quiesced-tier caveat documented: a peer
+    recovers while this shard's coordinator has an intent open.  The
+    completion pass must leave the record alone (the coordinator is
+    alive and will finish it), never abort it out from under the op."""
+    host = ShardedCofs(n_clients=1, shards=2, sharding=_split(2))
+    host.run(_apply(host, [("mkdir", "/a"), ("mkdir", "/b")]))
+    coord = host.shards[0]
+    tid = coord._new_tid()  # registers the tid as live (an op is driving)
+
+    def plant(txn):
+        return coord._txn_intent(txn, coord.epoch, {
+            "id": tid, "role": "coord", "op": "rename_post",
+            "new": "/b/x", "now": 0.0, "pending": [],
+            "replaced_symlink": False,
+        })
+
+    host.run(coord.dbsvc.execute(plant))
+    host.run(host.shards[1].recover())
+    survivors = [row["id"] for row in coord.db.table("intents").all()]
+    assert survivors == [tid], survivors
+    # ... and the op finishes on its own afterwards.
+    coord._done_tids(tid)
+    host.run(coord.intent_forget(tid))
+    check_tier_invariants(host.shards, host.stack.sharding)
+
+
+def test_completion_pass_reclaims_a_dead_coordinators_intent():
+    """Same shape, but no live process drives the tid (its coroutine was
+    killed): the peer's recovery must resolve the record — the behavior
+    the old quiesced-tier pass applied to everything."""
+    host = ShardedCofs(n_clients=1, shards=2, sharding=_split(2))
+    host.run(_apply(host, [("mkdir", "/a"), ("mkdir", "/b")]))
+    coord = host.shards[0]
+    tid = coord._new_tid()
+
+    def plant(txn):
+        return coord._txn_intent(txn, coord.epoch, {
+            "id": tid, "role": "coord", "op": "rename_post",
+            "new": "/b/x", "now": 0.0, "pending": [],
+            "replaced_symlink": False,
+        })
+
+    host.run(coord.dbsvc.execute(plant))
+    coord._done_tids(tid)  # the driving process died without cleanup
+    host.run(host.shards[1].recover())
+    assert not coord.db.table("intents").all()
+    check_tier_invariants(host.shards, host.stack.sharding)
+
+
+def test_zombie_coordinator_is_fenced_and_aborts_cleanly():
+    """A coordinated step that captured its epoch before this shard's
+    recovery (a zombie) must be refused at its very first stamped
+    transaction and leave no partial state."""
+    spec = SCENARIOS["rename-cross-shard"]
+    host = _build(spec)
+    sharding = host.stack.sharding
+    pre = namespace_image(host.shards, sharding)
+    stale = host.shards[0].epoch
+    host.run(host.shards[0].recover())  # bumps the epoch, fences the tier
+    assert host.shards[0].epoch == stale + 1
+    outcome = []
+
+    def zombie():
+        try:
+            yield from host.shards[0]._rename_cross_shard(
+                "/a/f", "/b/g", 0, None, 1, host.sim.now, 0, epoch=stale)
+        except FsError as exc:
+            outcome.append(exc.code)
+        return True
+
+    host.run(zombie())
+    assert outcome == ["EAGAIN"]
+    observed = check_tier_invariants(host.shards, sharding, images=(pre,))
+    assert observed == pre
+    # the fenced tid was deregistered (no ghost liveness entries) ...
+    assert not host.shards[0]._live_tids
+    # ... and a fresh (current-epoch) retry of the same rename succeeds.
+    host.run(_apply(host, spec["op"]))
+    check_tier_invariants(host.shards, sharding)
+    assert not host.shards[0]._live_tids
+
+
+def test_peers_refuse_stale_epoch_rpcs():
+    """The participant-side fence: any coordination RPC stamped with an
+    epoch below the coordinator's fence answers EAGAIN and writes
+    nothing."""
+    host = ShardedCofs(n_clients=1, shards=2, sharding=_split(2))
+    host.run(_apply(host, [("mkdir", "/a"), ("mkdir", "/b"),
+                           ("create", "/a/f")]))
+    stale = host.shards[1].epoch
+    host.run(host.shards[1].recover())
+    image = namespace_image(host.shards, host.stack.sharding)
+    outcomes = []
+
+    def stale_rpcs():
+        for call in (
+            host.shards[0].mirror_rmdir("/a", host.sim.now, (1, stale)),
+            host.shards[0].unlink_vino(999, host.sim.now, None, (1, stale)),
+            host.shards[0].rename_install(
+                "/a/z", None, {"vino": 7, "home": 1}, host.sim.now,
+                "s1.99", (1, stale)),
+            host.shards[0].mirror_override("/a", 1, host.sim.now,
+                                           (1, stale)),
+        ):
+            try:
+                yield from call
+                outcomes.append("ok")
+            except FsError as exc:
+                outcomes.append(exc.code)
+        return True
+
+    host.run(stale_rpcs())
+    assert outcomes == ["EAGAIN"] * 4
+    assert namespace_image(host.shards, host.stack.sharding) == image
+    check_tier_invariants(host.shards, host.stack.sharding, images=(image,))
 
 
 def test_double_recovery_crash_during_completion_pass():

@@ -269,6 +269,44 @@ def test_sharded_tiers_match_single_shard_with_rebalancing(before, after):
         assert host.run(observe(host.mounts[0])) == ref_state, label
 
 
+@settings(max_examples=8, deadline=None)
+@given(SHARD_OPERATIONS, SHARD_OPERATIONS)
+def test_live_single_shard_recovery_matches_single_shard(before, after):
+    """Mid-sequence crash+recover of one shard against a live tier.
+
+    Shard 1 crashes and recovers *while the second half of the sequence
+    keeps flowing* (requests that land during the rebuild wait at the
+    admission gate; the epoch fence keeps the tier-wide completion pass
+    from touching anything a live coordinator owns).  Outcomes and the
+    final namespace must still match the 1-shard oracle, which never
+    crashes at all — recovery must be observably free.
+    """
+    reference = MountedCofs(1)
+    ref_out = reference.run(apply_ops(reference.mounts[0], before))
+    ref_out += reference.run(apply_ops(reference.mounts[0], after))
+    ref_state = reference.run(observe(reference.mounts[0]))
+
+    for shards in (2, 4):
+        host = ShardedCofs(
+            n_clients=1, shards=shards, sharding=HashDirSharding())
+        outcomes = host.run(apply_ops(host.mounts[0], before))
+        tail = {}
+
+        def driver(host=host, tail=tail):
+            # the victim's recovery runs beside the op stream, not
+            # between two quiesced halves.
+            recovery = host.sim.process(host.shards[1].recover())
+            tail["out"] = yield from apply_ops(host.mounts[0], after)
+            yield recovery
+            return True
+
+        host.run(driver())
+        outcomes += tail["out"]
+        label = (shards, "live-recovery")
+        assert outcomes == ref_out, label
+        assert host.run(observe(host.mounts[0])) == ref_state, label
+
+
 def test_sharded_symlink_scenario_matches_single_shard():
     """Symlink transparency across shard counts (fixed scenario: no hard
     links to symlinks, the one documented divergence)."""

@@ -187,3 +187,152 @@ def test_rebalancer_plan_is_deterministic_and_bounded():
     assert len(plan_a) <= 2
     for _path, src, dst in plan_a:
         assert src != dst
+
+
+def test_rmdir_forgets_the_directorys_override(split2):
+    """Closing the stickiness item: an override dies with its directory.
+    A recreated directory at the same path routes by the static rule
+    again — no surprise placement inherited from a dead namespace."""
+    host = split2
+    host.run(host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+    assert host.stack.sharding.shard_of_dir("/a", 2) == 1
+
+    def drop_and_recreate():
+        fs = host.mounts[0]
+        for name in ("f", "g", "h"):
+            yield from fs.unlink(f"/a/{name}")
+        yield from fs.rmdir("/a")
+        yield from fs.mkdir("/a")
+        fh = yield from fs.create("/a/fresh")
+        yield from fs.close(fh)
+
+    host.run(drop_and_recreate())
+    # The override row is gone on every shard, in memory, and routing is
+    # back to the static rule: the fresh file's row lives on shard 0.
+    for shard in host.shards:
+        assert not shard.db.table("overrides").all()
+    assert "/a" not in host.stack.sharding.overrides
+    assert host.stack.sharding.shard_of_dir("/a", 2) == 0
+    assert len(host.file_vinos(0)) == 1
+    assert host.file_vinos(1) == set()
+    from repro.core.faults import check_tier_invariants
+    check_tier_invariants(host.shards, host.stack.sharding)
+
+
+def test_forget_override_admin_entry_point(split2):
+    """The admin-facing forget: the population migrates back to the
+    static owner and the override is durably dropped everywhere, while
+    the directory stays fully usable."""
+    host = split2
+    before = _observe(host)
+    host.run(host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+    assert len(host.file_vinos(1)) == 3
+    assert host.file_vinos(0) == set()
+
+    # Any shard accepts the admin call (it self-forwards to the owner).
+    host.run(host.shards[0].forget_override("/a", host.sim.now))
+
+    for shard in host.shards:
+        assert not shard.db.table("overrides").all()
+    assert "/a" not in host.stack.sharding.overrides
+    # The population came home and nothing observable changed.
+    assert len(host.file_vinos(0)) == 3
+    assert host.file_vinos(1) == set()
+    assert _observe(host) == before
+    from repro.core.faults import check_tier_invariants
+    check_tier_invariants(host.shards, host.stack.sharding)
+    # Forgetting again is a no-op.
+    assert host.run(
+        host.shards[1].forget_override("/a", host.sim.now)) is False
+
+
+def test_forget_override_survives_crash_at_every_boundary(split2):
+    """The forget protocol is crash-redoable: its intent rolls the
+    migration-home and the tier-wide row drop forward from any gap."""
+    from repro.core.faults import (
+        CrashInjected, CrashSchedule, arm_shards, check_tier_invariants,
+        disarm_shards,
+    )
+
+    def build():
+        host = ShardedCofs(sharding=SubtreeSharding({"/a": 0, "/b": 1}))
+
+        def setup():
+            fs = host.mounts[0]
+            yield from fs.mkdir("/a")
+            yield from fs.mkdir("/b")
+            for name in ("f", "g", "h"):
+                fh = yield from fs.create(f"/a/{name}")
+                yield from fs.close(fh)
+
+        host.run(setup())
+        host.run(host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+        return host
+
+    host = build()
+    schedule = CrashSchedule()
+    arm_shards(host.shards, schedule)
+    host.run(host.shards[1].forget_override("/a", host.sim.now))
+    disarm_shards(host.shards)
+    count = schedule.count
+    assert count >= 4
+
+    for k in range(count):
+        host = build()
+        schedule = CrashSchedule(armed=k)
+        arm_shards(host.shards, schedule)
+
+        def crashing():
+            try:
+                yield from host.shards[1].forget_override(
+                    "/a", host.sim.now)
+            except CrashInjected:
+                pass
+            return True
+
+        host.run(crashing())
+        disarm_shards(host.shards)
+        host.run(recover_tier(host.shards))
+        observed = check_tier_invariants(host.shards, host.stack.sharding)
+        # Either the forget never started (override intact) or it rolled
+        # forward completely (override gone, population home) — never a
+        # half state.
+        rows = {tuple(sorted((r["path"], r["shard"])
+                for r in shard.db.table("overrides").all()))
+                for shard in host.shards}
+        assert len(rows) == 1  # identical tables either way
+        if host.stack.sharding.overrides:
+            assert host.stack.sharding.overrides == {"/a": 1}
+            assert len(host.file_vinos(1)) == 3
+        else:
+            assert len(host.file_vinos(0)) == 3
+        assert {p for p in observed} >= {"/a/f", "/a/g", "/a/h"}
+
+
+def test_mirror_rmdir_refusal_still_drops_override_row(split2):
+    """Even when the replay refuses the removal (entries appeared here
+    since the coordinator's emptiness check — the documented divergence
+    window), the override row is dropped: the coordinator's commit is
+    the authoritative removal, and a kept row would diverge the override
+    tables and be resurrected tier-wide by the next restore."""
+    host = split2
+    host.run(host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+    result = host.run(host.shards[1].mirror_rmdir("/a", host.sim.now))
+    assert result is False  # refused: /a's population lives here
+    assert not host.shards[1].db.table("overrides").all()
+
+
+def test_forget_override_respects_newer_seq(split2):
+    """A forget replaying late (redo after a fence) must not destroy an
+    override a *later* re-homing installed — same newest-seq-wins rule
+    as mirror_override, or the newer override's migrated population
+    would be stranded behind static-rule routing."""
+    host = split2
+    host.run(host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+    seq = host.shards[0].db.table("overrides").all()[0]["seq"]
+    result = host.run(
+        host.shards[0].mirror_forget_override("/a", seq - 1.0))
+    assert result is False
+    assert host.stack.sharding.overrides == {"/a": 1}
+    rows = host.shards[0].db.table("overrides").all()
+    assert rows and rows[0]["shard"] == 1

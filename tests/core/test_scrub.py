@@ -95,3 +95,115 @@ def test_scrub_ignores_metadata_only_files(cofsx, cfs):
     assert report["scanned"] == 1
     assert report["live"] == 1
     assert report["orphans"] == []
+
+
+def test_scrub_never_reclaims_object_mid_rebalance_migration():
+    """An object whose inode row is mid-copy→import→purge (the rebalance
+    migration died between any two of its steps) must never read as an
+    orphan: the row exists on the source shard, the destination, or both
+    at every boundary, so the tier-wide live-upath gather always covers
+    it — in dry-run and in live (reclaiming) mode alike."""
+    from repro.core.faults import (
+        CrashInjected, CrashSchedule, arm_shards, check_tier_invariants,
+        disarm_shards,
+    )
+    from repro.core.sharding import recover_tier
+
+    def build():
+        host = ShardedCofs(
+            n_clients=1, shards=2,
+            sharding=SubtreeSharding({"/a": 0, "/b": 1}))
+
+        def setup():
+            fs = host.mounts[0]
+            yield from fs.mkdir("/a")
+            for name in ("f", "g"):
+                fh = yield from fs.create(f"/a/{name}")
+                yield from fs.write(fh, 0, size=8)
+                yield from fs.close(fh)
+
+        host.run(setup())
+        return host
+
+    def rebalance(host):
+        return host.shards[0].rebalance_dir("/a", 1, host.sim.now)
+
+    # Counting pass: how many boundaries the migration crosses.
+    host = build()
+    schedule = CrashSchedule()
+    arm_shards(host.shards, schedule)
+    host.run(rebalance(host))
+    disarm_shards(host.shards)
+    count = schedule.count
+    assert count >= 4  # override txn + copy/import/purge at least
+
+    for k in range(count):
+        host = build()
+        schedule = CrashSchedule(armed=k)
+        arm_shards(host.shards, schedule)
+
+        def crashing():
+            try:
+                yield from rebalance(host)
+            except CrashInjected:
+                pass
+            return True
+
+        host.run(crashing())
+        disarm_shards(host.shards)
+        # Mid-migration state: scrub in both modes, before any recovery.
+        report = host.run(run_scrub(host.stack, dry_run=True))
+        assert report["orphans"] == [], (k, report)
+        report = host.run(run_scrub(host.stack))
+        assert report["reclaimed"] == 0, (k, report)
+        # Recovery converges the migration; the files stay whole.
+        host.run(recover_tier(host.shards))
+        check_tier_invariants(host.shards, host.stack.sharding)
+        report = host.run(run_scrub(host.stack))
+        assert report["orphans"] == [], (k, report)
+
+        def probe():
+            fs = host.mounts[0]
+            for name in ("f", "g"):
+                attr = yield from fs.stat(f"/a/{name}")
+                assert attr.size == 8
+                fh = yield from fs.open(f"/a/{name}")
+                yield from fs.close(fh)
+            return True
+
+        host.run(probe())
+
+
+def test_scrub_racing_live_rebalance_migration():
+    """The scrubber runs *concurrently* with an online re-homing: at no
+    interleaving may the mid-flight object be reclaimed."""
+    host = ShardedCofs(
+        n_clients=1, shards=2, sharding=SubtreeSharding({"/a": 0, "/b": 1}))
+
+    def setup():
+        fs = host.mounts[0]
+        yield from fs.mkdir("/a")
+        for name in ("f", "g", "h"):
+            fh = yield from fs.create(f"/a/{name}")
+            yield from fs.close(fh)
+
+    host.run(setup())
+    reports = []
+
+    def scrubber():
+        # several sweeps so at least one overlaps the migration window
+        for _sweep in range(3):
+            reports.append((yield from run_scrub(host.stack)))
+        return True
+
+    def driver():
+        scrub = host.sim.process(scrubber())
+        move = host.sim.process(
+            host.shards[0].rebalance_dir("/a", 1, host.sim.now))
+        yield host.sim.all_of([scrub, move])
+        return True
+
+    host.run(driver())
+    assert all(r["reclaimed"] == 0 and r["orphans"] == [] for r in reports)
+    report = host.run(run_scrub(host.stack))
+    assert report["live"] == 3 and report["orphans"] == []
