@@ -109,6 +109,22 @@ def _quick_rebalance():
     return out["ops_done"], 0.0
 
 
+def _quick_failover():
+    """Kill-the-primary drill on a small replicated tier.
+
+    Runs the full failover experiment at quick scale — baseline and
+    kill runs, invariant oracles included; the wall-clock smoke for the
+    replication machinery (simulated numbers are asserted in
+    ``benchmarks/test_scaling_failover.py``).
+    """
+    from repro.bench.experiments import run_scaling_failover
+
+    out = run_scaling_failover()
+    # Report the measured-op volume; the virtual clock spans two stacks,
+    # so report 0 like the rebalance smoke.
+    return out["results"][("failover", "post_failover_ops")], 0.0
+
+
 def _quick_table1():
     ops_done = 0
     virtual_ms = 0.0
@@ -132,6 +148,7 @@ QUICK_EXPERIMENTS = {
     "table1": _quick_table1,
     "scaling-mds": _quick_scaling,
     "scaling-rebalance": _quick_rebalance,
+    "scaling-failover": _quick_failover,
 }
 
 

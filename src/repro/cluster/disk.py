@@ -85,6 +85,8 @@ class GroupCommitLog:
         self._waiters = []
         self._wake = None  # parked flusher's wake-up gate
         self._flusher_started = False
+        self._inflight = 0   # members of the batch currently on the device
+        self._drainers = []  # events waiting for a fully idle log
         self.forces = 0
         self.commits = 0
 
@@ -108,17 +110,37 @@ class GroupCommitLog:
             )
         return (done,)
 
+    def drain(self):
+        """Coroutine: wait until every force issued so far has completed.
+
+        The barrier a journal rebuild needs: a force still in flight when
+        the rebuild swaps tables would mark records durable against the
+        *old* journal tail (see
+        :meth:`repro.db.service.DbService.crash_and_recover`).  Forces
+        issued *after* drain returns are the caller's responsibility.
+        """
+        while self._waiters or self._inflight:
+            done = self.sim.event()
+            self._drainers.append(done)
+            yield done
+
     def _flusher(self):
         while True:
             while self._waiters:
                 batch = self._waiters[: self.group_max]
                 del self._waiters[: len(batch)]
+                self._inflight = len(batch)
                 cost = self.force_ms + self.per_member_ms * len(batch)
                 size = max(1, len(batch)) * 512  # log records are tiny
                 yield from self._device_force(cost, size)
                 self.forces += 1
                 self.commits += len(batch)
+                self._inflight = 0
                 for done in batch:
+                    done.succeed()
+            if self._drainers:
+                drainers, self._drainers = self._drainers, []
+                for done in drainers:
                     done.succeed()
             gate = self.sim.event()
             self._wake = gate

@@ -32,6 +32,16 @@ class CofsConfig:
     parallel_broadcasts: bool = False
     #: request/response sizes for driver<->service messages.
     rpc_bytes: int = 512
+    #: route read-only ops (``stat``/``readlink``/``readdir``) to an
+    #: in-sync backup of the owning group instead of its primary.  Only
+    #: meaningful on replicated tiers (``CofsStack(replicas>=2)``); the
+    #: staleness bound below governs which backups qualify.
+    follower_reads: bool = False
+    #: maximum replication lag (journal records behind the group head) a
+    #: backup may have and still serve follower reads.  With the default
+    #: synchronous quorum shipping an in-sync backup's lag is 0, so the
+    #: default bound admits exactly the fully caught-up followers.
+    follower_staleness: int = 0
     #: cost model of the Mnesia-like database backing the service.
     db: DbConfig = field(default_factory=DbConfig)
     #: local disk of the metadata-service node (the paper used a 25 GB

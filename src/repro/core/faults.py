@@ -77,6 +77,108 @@ def disarm_shards(shards):
         shard.dbsvc.fault_hook = None
 
 
+def arm_groups(groups, schedule):
+    """Attach ``schedule`` to every member of every group.
+
+    Backups get boundaries too: their ``repl_apply`` commits are labelled
+    ``("commit", sid)`` like any durable commit, and the primary's ship
+    RPCs trace as ``("send"/"recv", sid, "m<i>", "repl_apply")`` — so
+    the crash-point harness enumerates "primary dies before/after the
+    ship" and "backup dies mid-catch-up" for free.
+    """
+    arm_shards([m for g in groups for m in g.members], schedule)
+
+
+def disarm_groups(groups):
+    disarm_shards([m for g in groups for m in g.members])
+
+
+# ---------------------------------------------------------------------------
+# Member kill / revive hooks (primary/backup groups)
+# ---------------------------------------------------------------------------
+
+def kill_member(member):
+    """Fail-stop a group member: every *new* dispatch is refused with
+    :class:`~repro.core.shard.routing.MemberDown`.
+
+    Deliberately does not cancel in-flight handlers — they keep running
+    to completion, which is exactly the zombie window epoch fencing
+    exists for.  (A kill is therefore slightly *optimistic* about how
+    much work a dying node finishes; the crash-point drills cover the
+    pessimistic die-mid-operation model with :class:`CrashInjected`.)
+    A network partition is modelled identically from the tier's point of
+    view: an unreachable member and a dead member refuse the same RPCs,
+    and a partition that heals is ``revive_member`` + group
+    :meth:`~repro.core.shard.replication.ReplicatedShard.rejoin`.
+    """
+    member.down = True
+
+
+def kill_primary(group):
+    """Kill the group's current primary; returns it (for later revival)."""
+    primary = group.primary
+    kill_member(primary)
+    return primary
+
+
+def kill_backup(group, index=None):
+    """Kill a live backup (the first one, or the member at ``index``)."""
+    if index is not None:
+        backup = group.members[index]
+    else:
+        live = group.live_backups()
+        assert live, f"group s{group.shard_id} has no live backup to kill"
+        backup = live[0]
+    kill_member(backup)
+    return backup
+
+
+def revive_member(member):
+    """Bring a killed member back up — as a *zombie*: its state is
+    whatever it held at the kill (possibly a divergent, never-acked
+    journal suffix).  It serves nothing useful until the group
+    :meth:`~repro.core.shard.replication.ReplicatedShard.rejoin`\\ s it;
+    until then every stamped action it attempts is epoch-fenced.  Split
+    from ``rejoin`` so tests can probe the zombie window explicitly.
+    """
+    member.down = False
+
+
+def check_group_invariants(groups):
+    """Assert every in-sync member of every group holds identical data.
+
+    Compares the replicated data tables (inodes, dentries, buckets,
+    intents, overrides) between each group's primary and its in-sync
+    backups.  ``epochs`` is excluded — fence installs reach members both
+    directly (promotion fences its fellow members) and via shipping, so
+    row-for-row equality is not an invariant there (the stamp checks
+    only need every member's fence to be *at least* the shipped one) —
+    as is the member-local ``repl`` pointer.
+    """
+    for group in groups:
+        primary = group.primary
+        reference = {
+            name: {row[primary.db.table(name).key]: dict(row)
+                   for row in primary.db.table(name).all()}
+            for name in ("inodes", "dentries", "buckets",
+                         "intents", "overrides")
+        }
+        head = group.lsn
+        for backup in group.live_backups():
+            assert group.acked[backup] == head, (
+                f"group s{group.shard_id}: backup m{backup.member_index} "
+                f"acked {group.acked[backup]} but group head is {head}"
+            )
+            for name, want in reference.items():
+                have = {row[backup.db.table(name).key]: dict(row)
+                        for row in backup.db.table(name).all()}
+                assert have == want, (
+                    f"group s{group.shard_id}: table {name!r} diverges on "
+                    f"backup m{backup.member_index}: "
+                    f"{_dict_diff(want, have)}"
+                )
+
+
 # ---------------------------------------------------------------------------
 # Table-level views (no simulation cost: these are test/recovery oracles)
 # ---------------------------------------------------------------------------

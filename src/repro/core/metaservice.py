@@ -65,6 +65,10 @@ class MetadataService:
         database.create_table("intents", key="id")
         database.create_table("overrides", key="path")
         database.create_table("epochs", key="shard")
+        # Replication bookkeeping (the backup's durable applied-LSN
+        # pointer); only group *backups* ever write to it — see
+        # :mod:`repro.core.shard.replication`.
+        database.create_table("repl", key="slot")
         self.dbsvc = DbService(machine, database, disk, config.db)
         self._resolve_cache = {}      # parent-path tuple -> (vino, walked vinos)
         self._resolve_by_parent = {}  # dir vino -> prefix keys reading from it
@@ -558,6 +562,12 @@ class MetadataService:
                         self._invalidate_resolve(target["vino"])
                         txn.delete("inodes", target["vino"])
                         new_parent["nlink"] -= 1
+                        if new_parent["vino"] == old_parent["vino"]:
+                            # Read-as-copy: both names share one parent
+                            # row, but a same-parent rename writes back
+                            # only the old_parent copy — mirror the
+                            # replaced subdirectory's drop there too.
+                            old_parent["nlink"] -= 1
                         if replaced is not None:
                             replaced.append(target["kind"])
                     else:

@@ -18,7 +18,11 @@ onto them as noted in :mod:`repro.core.sharding`):
   skeleton: mutation handlers that pair a local transaction with a
   redoable mirror broadcast, and the broadcast primitive (serial by
   default, overlapped via ``sim.all_of`` under
-  ``CofsConfig.parallel_broadcasts``).
+  ``CofsConfig.parallel_broadcasts``).  Also the primary/backup shard
+  groups (:class:`ReplicatedShard`): synchronous journal log shipping
+  with quorum acknowledgement, epoch-fenced failover, snapshot rejoin,
+  and bounded-staleness follower reads, with :class:`GroupTargets`
+  keeping cross-shard coordination addressed to groups, never nodes.
 - :mod:`repro.core.shard.coordination` — 2-phase prepare/commit:
   intent/prepare/dedup records, cross-shard rename and hard link, and the
   crash-safe copy → import → purge population migration.
@@ -43,10 +47,15 @@ layer.
 
 from repro.core.shard.rebalance import Rebalancer, ShardRebalancePart
 from repro.core.shard.recovery import ShardRecoveryPart, recover_tier
-from repro.core.shard.replication import ShardReplicationPart
+from repro.core.shard.replication import (
+    GroupTargets,
+    ReplicatedShard,
+    ShardReplicationPart,
+)
 from repro.core.shard.routing import (
     EpochFenced,
     HashDirSharding,
+    MemberDown,
     ResolveForward,
     ShardingPolicy,
     ShardRouter,
@@ -59,8 +68,11 @@ from repro.core.shard.service import ShardMetadataService
 
 __all__ = [
     "EpochFenced",
+    "GroupTargets",
     "HashDirSharding",
+    "MemberDown",
     "Rebalancer",
+    "ReplicatedShard",
     "ResolveForward",
     "ShardCoordinationPart",
     "ShardingPolicy",

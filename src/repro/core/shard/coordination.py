@@ -236,6 +236,14 @@ class ShardCoordinationPart:
                 fwd, "rename", fwd.path, new, now, _hops + 1)
             return result
 
+        if normalize(old) == normalize(new):
+            # POSIX: renaming a name onto itself (same dentry) succeeds
+            # without doing anything.  The transaction body's same-vino
+            # check would answer this too, but the replicated/cross-shard
+            # branches run destination prechecks (peer ENOTEMPTY/ENOTDIR)
+            # *before* any transaction — and the "occupied" destination
+            # is the moving inode itself, so those must not fire.
+            return (None, False)
         dst = self._owner_of(new)
         if kind in (DIRECTORY, SYMLINK):
             return (yield from self._rename_replicated(
@@ -273,6 +281,11 @@ class ShardCoordinationPart:
                 result = yield from self.dbsvc.execute(body)
             except ResolveForward as fwd:
                 self._done_tids(tids)
+                if fwd.final:
+                    # The retry below walks the same local skeleton, so
+                    # it cannot answer what only the entries owner can;
+                    # the probe raises the authoritative error.
+                    yield from self._probe_dst_parent(fwd, _hops)
                 result = yield from self.rename(old, fwd.path, now, _hops + 1)
                 return result
             except BaseException:
@@ -305,11 +318,43 @@ class ShardCoordinationPart:
         return (yield from self._rename_cross_shard(
             old, new, vino, home, dst, now, _hops, epoch))
 
+    def _probe_dst_parent(self, fwd, _hops):
+        """Coroutine: answer a *final* destination-parent forward in place.
+
+        rename is pinned to its source's shard (the peek fixed the
+        source here), so a final forward from the destination's parent
+        walk cannot restart the whole operation on the forward's target
+        the way self-contained ops are re-dispatched — the source's
+        dentry would not be visible there.  Ask that shard to run the
+        walk instead: its ENOENT/ENOTDIR is the operation's answer, and
+        a clean return means the component landed meanwhile (a mirror
+        broadcast), so the caller's local retry can make progress.
+        """
+        shard, path = fwd.shard, fwd.path
+        while True:
+            self._check_hops(_hops, path)
+            outcome = yield from self._call_shard(
+                shard, "probe_parent", path)
+            if outcome is None:
+                return
+            _tag, shard, path = outcome
+            _hops += 1
+
     def _rename_replicated(self, kind, vino, old, new, dst, now, _hops,
                            epoch=None):
         """Coroutine: rename of a directory/symlink — replay on all shards."""
         if epoch is None:
             epoch = self.epoch
+        if kind == DIRECTORY:
+            # The one-transaction rename tests the cycle (a directory
+            # cannot move beneath itself) before it ever looks at the
+            # destination; the remote prechecks below must not answer
+            # ENOTDIR/ENOTEMPTY for a rename the body would EINVAL.
+            norm_old, norm_new = normalize(old), normalize(new)
+            if norm_new.startswith(norm_old + "/"):
+                raise FsError.einval(
+                    f"cannot move a directory beneath itself: "
+                    f"{old} -> {new}")
         if dst != self.shard_id:
             entry = yield from self._peer(dst, "peek_entry", new)
             if entry is not None and entry["kind"] not in (DIRECTORY, SYMLINK):
@@ -341,6 +386,10 @@ class ShardCoordinationPart:
             result = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
             self._done_tids(tids)
+            if fwd.final:
+                # Same pinning as the same-shard branch: only the
+                # entries owner can pronounce on the missing component.
+                yield from self._probe_dst_parent(fwd, _hops)
             result = yield from self.rename(old, fwd.path, now, _hops + 1)
             return result
         except BaseException:

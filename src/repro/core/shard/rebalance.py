@@ -417,8 +417,11 @@ class Rebalancer:
         are only advisory — a planned directory may have been removed
         (or re-homed) since the load was observed, even by an op that
         *failed* against it (the router counts the attempt); such moves
-        are skipped.  Counters reset afterwards so the next round reacts
-        to post-migration load.
+        are skipped.  Counters *decay* afterwards (exponential halving,
+        not a reset): the next round still reacts mostly to
+        post-migration load, but a hotspot whose burst straddles a round
+        boundary keeps enough weight to be seen — a full reset made the
+        planner blind to any load pattern shorter than one whole round.
         """
         moves = self.plan()
         executed = []
@@ -430,5 +433,5 @@ class Rebalancer:
                 continue  # vanished or re-homed since sampling
             executed.append((path, src, dst))
         for router in self.routers:
-            router.reset_loads()
+            router.decay_loads()
         return executed

@@ -100,9 +100,13 @@ class ShardRecoveryPart:
         new epoch; and the fence is installed on every peer *before*
         serving resumes, so a pre-crash ("zombie") operation of this
         shard that was waiting on the gate finds itself fenced at its
-        very next stamped transaction.  (Recoveries are driven one shard
-        at a time — see :func:`recover_tier`; two shards fencing each
-        other while both gates are closed would wait on one another.)
+        very next stamped transaction.  Recoveries of *different* shards
+        may overlap: the recovery control-plane RPCs (fence installs and
+        allocator probes) bypass the admission gate
+        (:meth:`~repro.core.shard.routing.ShardRoutingPart.
+        _recovery_dispatch`), so two shards recovering concurrently
+        serve each other's fences instead of deadlocking on their closed
+        gates.
 
         Reentrant crashes of the *same* shard serialize here: a second
         recovery waits for the running one's gate before installing its
@@ -122,6 +126,54 @@ class ShardRecoveryPart:
             gate, self._admission = self._admission, None
             gate.succeed()
         return lost
+
+    def promote(self, group):
+        """Coroutine: promotion path — this backup becomes its group's
+        primary (driven by :meth:`~repro.core.shard.replication.
+        ReplicatedShard.failover`).
+
+        Reuses the single-shard recovery sequence minus the journal
+        replay: under synchronous shipping the candidate's tables
+        already hold every acknowledged record, so there is nothing to
+        rebuild — the availability gap is the fencing work alone.
+        Behind the admission gate (requests landing mid-promotion wait,
+        they are not refused):
+
+        1. bump the group's durable recovery epoch — the ``epochs`` row
+           arrived here via log shipping, so the bump continues the
+           *group's* epoch sequence, not a member-local one;
+        2. install the fence on every other group's primary
+           (:meth:`fence_tier`) **and** on the fellow members of this
+           group — the latter closes the second zombie door: a dead
+           ex-primary that resurrects and ships its divergent journal
+           suffix is refused by its own backups' stamp checks, not just
+           by tier peers;
+        3. reseat the vino/intent allocators against the tier (the
+           gate-bypassing probes), since the dead primary may have
+           migrated vinos of this class outward mid-flight.
+
+        The tier-wide completion pass for the dead coordinator's records
+        runs *after* the gate reopens (see ``failover``): it is cleanup
+        the new primary coordinates as a live shard, and keeping it
+        outside the outage window keeps the availability gap minimal.
+        """
+        while self._admission is not None:
+            yield self._admission
+        self._admission = Event(self.sim)
+        try:
+            yield from self._bump_epoch()
+            yield from self.fence_tier({self.shard_id: self.epoch})
+            rows = [(self.shard_id, self.epoch)]
+            for member in group.members:
+                if member is self or member.down:
+                    continue
+                yield from self._member_call(
+                    member, "install_fences", rows)
+            yield from self.reseat_allocators()
+        finally:
+            gate, self._admission = self._admission, None
+            gate.succeed()
+        return self.epoch
 
     def _bump_epoch(self):
         """Coroutine: durably advance this shard's recovery epoch.
@@ -182,8 +234,11 @@ class ShardRecoveryPart:
         """RPC (shard-to-shard): fence the given coordinators here.
 
         ``fences`` is ``[(coordinator_shard, minimum_live_epoch)]``.
+        Served through the gate-bypassing recovery dispatch so that
+        concurrently recovering (or failing-over) shards can fence each
+        other without deadlocking on their closed admission gates.
         """
-        yield from self._dispatch()
+        yield from self._recovery_dispatch()
         result = yield from self.dbsvc.execute(self._fence_body(fences))
         yield from self._force_fence_row()
         return result
@@ -264,7 +319,7 @@ class ShardRecoveryPart:
 
     def max_vino_in_class(self, base, step):
         """RPC (shard-to-shard): highest local vino ≡ base (mod step)."""
-        yield from self._dispatch()
+        yield from self._recovery_dispatch()
 
         def body(txn):
             peak = 0
@@ -279,7 +334,7 @@ class ShardRecoveryPart:
 
     def max_intent_seq(self, prefix):
         """RPC (shard-to-shard): highest intent seq with ``prefix`` here."""
-        yield from self._dispatch()
+        yield from self._recovery_dispatch()
 
         def body(txn):
             return self._max_local_intent_seq(prefix)

@@ -1,12 +1,37 @@
-"""Replication: the skeleton replicas and their mirror broadcasts.
+"""Replication: skeleton mirrors, and the primary/backup shard groups.
 
-The "keep every shard's copy of the directory/symlink skeleton coherent"
-layer (formerly the *namespace mutation with replication* and *mirror
-(replication) ops* sections of the old ``repro/core/sharding.py``
-monolith): the mutation handlers that pair a local transaction with a
-redoable mirror broadcast (create_node, unlink, rmdir, setattr), the
-``mirror_*`` RPCs that replay those mutations on a peer, and the broadcast
-primitive itself.
+Two distinct replication mechanisms live here:
+
+1. **Skeleton mirrors** (PR 2): the directory/symlink skeleton is
+   replicated across *shards* so any shard can walk any path.  The
+   mutation handlers pair a local transaction with a redoable mirror
+   broadcast (create_node, unlink, rmdir, setattr); the ``mirror_*`` RPCs
+   replay those mutations on a peer.
+
+2. **Primary/backup groups** (this PR): each logical shard is a
+   :class:`ReplicatedShard` group — one primary plus backups on their own
+   machines, connected by *synchronous journal log shipping*.  After
+   every locally durable update transaction the primary ships its redo
+   journal's unacknowledged suffix to each live backup
+   (:meth:`ReplicatedShard._ship`, driven from the
+   ``DbService.replicator`` hook), and the client is acknowledged only
+   once a **quorum** (majority of the live membership) holds the change
+   durably.  Backups apply the suffix atomically with a durable
+   applied-LSN pointer (:meth:`ShardReplicationPart.repl_apply`), so a
+   shipped record is never applied twice and a gap is never silently
+   skipped.  On primary failure a *fenced failover*
+   (:meth:`ReplicatedShard.failover`) promotes the most caught-up live
+   backup: the candidate bumps the group's durable recovery epoch — PR
+   5's fencing token — and installs it tier-wide and on its fellow
+   members before serving, so a zombie ex-primary's stamps (and its
+   journal ships) are refused everywhere; its locally committed but
+   never-quorum-acked suffix is discarded by the snapshot resync when it
+   rejoins (:meth:`ReplicatedShard.rejoin`).  Cross-shard coordination
+   is untouched: record ids and RPC targets name *groups* (shard ids),
+   never nodes — :class:`GroupTargets` re-resolves every peer RPC to the
+   group's current primary.  In-sync backups additionally serve
+   bounded-staleness follower reads (see
+   :meth:`~repro.core.shard.routing.ShardRouter._read_driver`).
 
 Broadcasts are **serial** RPC chains by default — one mirror at a time,
 the seed behavior every figure was measured with.  With
@@ -24,7 +49,7 @@ peers, exactly as real in-flight messages would.
 """
 
 from repro.core.shard.routing import (
-    EpochFenced, ResolveForward, VinoForward,
+    EpochFenced, MemberDown, ResolveForward, VinoForward,
 )
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize
@@ -133,8 +158,11 @@ class ShardReplicationPart:
                     "mirror_setattr", path, changes, now,
                     stamp=self._stamp(epoch))
                 yield from self.intent_forget(tids[0])
-        except EpochFenced:
-            pass  # committed locally; recovery redoes the broadcast
+        except (EpochFenced, MemberDown):
+            # Committed locally (and shipped); fenced or killed in the
+            # broadcast tail: the completion pass redoes the mirrors
+            # from the journaled intent.
+            pass
         finally:
             self._done_tids(tids)
         return view
@@ -181,8 +209,11 @@ class ShardReplicationPart:
             yield from self._broadcast(
                 "mirror_create", path, view, now, stamp=self._stamp(epoch))
             yield from self.intent_forget(tids[0])
-        except EpochFenced:
-            pass  # committed locally; recovery redoes the broadcast
+        except (EpochFenced, MemberDown):
+            # Committed locally (and shipped); fenced or killed in the
+            # broadcast tail: the completion pass redoes the mirrors
+            # from the journaled intent.
+            pass
         finally:
             self._done_tids(tids)
         return view
@@ -234,11 +265,12 @@ class ShardReplicationPart:
                 yield from self._broadcast(
                     "mirror_unlink", path, now, stamp=self._stamp(epoch))
                 yield from self.intent_forget(tids[0])
-        except EpochFenced:
-            # Fenced past the local commit: recovery's redo performs the
-            # remote drop / replica removal.  A stub unlink cannot report
-            # the remote (upath, last) outcome any more; the client skips
-            # its underlying cleanup and the scrubber reclaims the object.
+        except (EpochFenced, MemberDown):
+            # Fenced (or killed) past the local commit: recovery's redo
+            # performs the remote drop / replica removal.  A stub unlink
+            # cannot report the remote (upath, last) outcome any more;
+            # the client skips its underlying cleanup and the scrubber
+            # reclaims the object.
             if outcome[0] == "#stub":
                 return (None, False)
             kind, (upath, last) = outcome
@@ -291,8 +323,11 @@ class ShardReplicationPart:
             yield from self._broadcast(
                 "mirror_rmdir", path, now, stamp=self._stamp(epoch))
             yield from self.intent_forget(tids[0])
-        except EpochFenced:
-            pass  # committed locally; recovery redoes the broadcast
+        except (EpochFenced, MemberDown):
+            # Committed locally (and shipped); fenced or killed in the
+            # broadcast tail: the completion pass redoes the mirrors
+            # from the journaled intent.
+            pass
         finally:
             self._done_tids(tids)
         return result
@@ -428,3 +463,490 @@ class ShardReplicationPart:
         if forgotten:
             self.sharding.overrides.pop(norm, None)
         return result
+
+    # -- primary/backup group RPCs -----------------------------------------
+
+    def _member_call(self, member, method, *args, req_size=None):
+        """Coroutine: an intra-group RPC to a *specific* member.
+
+        Unlike :meth:`~repro.core.shard.routing.ShardRoutingPart._peer`
+        this does not resolve through the group's current primary — log
+        shipping, fence installs and snapshot pushes target an exact
+        node.  Under fault injection the send/receive become crash
+        boundaries labelled with the member's slot (``m<i>``), so the
+        crash-point harness enumerates "primary dies before/after the
+        ship" and "backup dies mid-catch-up" exactly like peer RPCs.
+        """
+        call = self.machine.call(
+            member.machine, "cofsmds", method, args=args,
+            req_size=self.config.rpc_bytes if req_size is None else req_size,
+            resp_size=self.config.rpc_bytes,
+        )
+        if self.faults is None:
+            return call
+        return self._peer_traced(
+            call, f"m{getattr(member, 'member_index', '?')}", method)
+
+    def repl_apply(self, base, records, stamp=None):
+        """RPC (primary-to-backup): apply a shipped journal suffix.
+
+        ``base`` is the LSN (index into the primary's redo journal) of
+        ``records[0]``.  The backup keeps a *durable* applied-LSN pointer
+        (the ``repl`` table row), written in the same transaction as the
+        applied records, so the apply is atomic and idempotent: a
+        re-shipped prefix is skipped by the pointer, a suffix beyond a
+        gap is refused.  The primary's stamp is epoch-checked inside the
+        transaction body — after a fenced failover the promoted primary
+        installs its bumped epoch on every live member, so a zombie
+        ex-primary's ships are refused *here* even if some other fence
+        has not reached it yet.
+        """
+        yield from self._dispatch()
+
+        fence_rows = []
+        touched_dirs = []
+
+        def body(txn):
+            del fence_rows[:], touched_dirs[:]
+            self._check_stamp(stamp)
+            row = txn.read("repl", "applied")
+            applied = row["lsn"]
+            if base > applied:
+                raise FsError(
+                    "EAGAIN",
+                    f"shard s{self.shard_id}: replication gap "
+                    f"(ship base {base} > applied {applied})")
+            for ops in records[applied - base:]:
+                for op, table, payload in ops:
+                    if op == "write":
+                        txn.write(table, dict(payload))
+                        if table == "epochs":
+                            fence_rows.append(
+                                (payload["shard"], payload["epoch"]))
+                    else:
+                        txn.delete(table, payload)
+                    if table == "dentries":
+                        touched_dirs.append(True)
+            applied = max(applied, base + len(records))
+            txn.write("repl", {"slot": "applied", "lsn": applied})
+            return applied
+
+        applied = yield from self.dbsvc.execute(self._local_body(body))
+        # Keep the in-memory epoch/fence mirrors honest: fence installs
+        # and epoch bumps on the primary arrive here as shipped ``epochs``
+        # rows (the invariant checker asserts rows == memory on every
+        # member it inspects).
+        for shard, epoch in fence_rows:
+            if self.fences.get(shard, 0) < epoch:
+                self.fences[shard] = epoch
+            if shard == self.shard_id and self.epoch < epoch:
+                self.epoch = epoch
+        if touched_dirs:
+            self._resolve_cache.clear()
+            self._resolve_by_parent.clear()
+        return applied
+
+    def repl_snapshot(self):
+        """Coroutine (runs on the primary): snapshot for a rejoin resync.
+
+        Returns ``(tables, head)``: every table's rows except the
+        receiver-local ``repl`` pointer, plus the journal length the
+        snapshot corresponds to.  Both are captured inside one
+        transaction body (bodies are atomic), so the table image and the
+        LSN can never disagree.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            tables = {
+                name: [dict(row) for row in txn.match(name)]
+                for name in self.db.tables if name != "repl"
+            }
+            return tables, len(self.dbsvc.journal._records)
+
+        snapshot = yield from self.dbsvc.execute(body)
+        return snapshot
+
+    def repl_install_snapshot(self, tables, head):
+        """RPC (primary-to-member): overwrite state with a resync snapshot.
+
+        Brings a dead member (stale backup, or a zombie ex-primary whose
+        divergent never-acked suffix must be discarded) back in sync:
+        every table is made identical to the snapshot in one transaction,
+        the applied pointer jumps to the snapshot's LSN, and the
+        in-memory epoch/fence mirrors and resolve caches are rebuilt from
+        the installed rows.  The overwrite goes through the normal
+        transaction path, so the member's own redo journal stays
+        coherent: a crash after the install rebuilds to exactly the
+        installed state.
+        """
+        yield from self._rejoin_dispatch()
+
+        def body(txn):
+            for name, rows in tables.items():
+                pk = self.db.table(name).key
+                desired = {row[pk]: row for row in rows}
+                for row in list(txn.match(name)):
+                    if row[pk] not in desired:
+                        txn.delete(name, row[pk])
+                for key, row in desired.items():
+                    current = txn.read(name, key)
+                    if current is None or dict(current) != row:
+                        txn.write(name, dict(row))
+            txn.write("repl", {"slot": "applied", "lsn": head})
+            return True
+
+        yield from self.dbsvc.execute(self._local_body(body))
+        self.fences = {
+            row["shard"]: row["epoch"] for row in tables["epochs"]}
+        self.epoch = self.fences.get(self.shard_id, 0)
+        self._resolve_cache.clear()
+        self._resolve_by_parent.clear()
+        self._live_tids.clear()
+        return head
+
+
+class GroupTargets:
+    """Sequence mapping shard id -> the group's *current* primary machine.
+
+    Cross-shard coordination names **groups, not nodes**: record ids stay
+    ``s<k>.…`` and every peer RPC indexes this sequence at call time, so
+    after a failover all new coordination traffic lands on the promoted
+    primary with zero changes to the protocols.  The slots are
+    pre-allocated and bound after the groups exist, breaking the
+    construction cycle (members need ``len(shard_machines)`` before any
+    group can be built).
+    """
+
+    def __init__(self, n_shards):
+        self._groups = [None] * n_shards
+
+    def bind(self, groups):
+        """Attach the built groups (once, at tier construction)."""
+        assert len(groups) == len(self._groups)
+        self._groups[:] = groups
+
+    def group(self, shard):
+        return self._groups[shard]
+
+    def __len__(self):
+        return len(self._groups)
+
+    def __getitem__(self, shard):
+        return self._groups[shard].primary.machine
+
+    def __iter__(self):
+        for group in self._groups:
+            yield group.primary.machine
+
+
+class ReplicatedShard:
+    """One logical shard: a primary plus backups under log shipping.
+
+    All members bootstrap the same deterministic state (same shard id,
+    same replicated root, same epoch row) on their own machines; from
+    then on the primary's redo journal is the group's single history.
+    The primary's :attr:`~repro.db.service.DbService.replicator` hook
+    drives :meth:`_ship` after every locally durable update — client
+    acknowledgement therefore *implies* quorum durability.
+
+    Membership bookkeeping (who is down, who is most caught up, who is
+    the primary) is plain Python state: it models the external
+    coordination service real deployments lean on (the paper's tier has
+    one too — Mnesia's schema coordinator), so reading it costs nothing.
+    The *work* of failover — the epoch bump, the tier-wide fence
+    installs, allocator reseats, snapshot resyncs — all rides the
+    simulated RPC/transaction paths and pays full cost.
+    """
+
+    def __init__(self, members, config):
+        assert members, "a group needs at least a primary"
+        self.members = list(members)
+        self.config = config
+        self.shard_id = members[0].shard_id
+        self.sim = members[0].sim
+        self.primary_index = 0
+        #: the group's promoted epoch: a member whose epoch lags this is
+        #: a zombie and its ships are refused (second, group-local fence
+        #: independent of the tier-wide stamp fences).
+        self.epoch = members[0].epoch
+        self.failovers = 0
+        #: ``(ex_primary, applied_lsn)`` of the last promotion: the
+        #: candidate's applied pointer *in the ex-primary's LSN space* at
+        #: the moment it was promoted.  A zombie commit at or below this
+        #: LSN provably survived into the promoted history (a concurrent
+        #: committer's suffix ship carried it over before the fence), so
+        #: its client is acknowledged instead of fenced — fencing it
+        #: would make the router retry an already-replicated,
+        #: non-idempotent mutation (EEXIST on the new primary).
+        self.promoted_from = None
+        #: ``(started_ms, serving_ms)`` of the last promotion — the
+        #: availability gap the failover benchmark reports.
+        self.last_failover = None
+        self._failover_gate = None
+        base = len(self.primary.dbsvc.journal._records)
+        for index, member in enumerate(self.members):
+            assert member.shard_id == self.shard_id
+            assert len(member.dbsvc.journal._records) == base, \
+                "group members must bootstrap identical journals"
+            member.group = self
+            member.member_index = index
+        #: backup -> highest primary-journal LSN it has durably applied
+        #: (``None`` while a member is resyncing: it is not yet part of
+        #: the quorum membership).  The durable twin of each entry is the
+        #: backup's own ``repl`` table row.
+        self.acked = {}
+        for member in self.backups:
+            # The applied pointer exists from birth (bootstrap path, same
+            # zero-cost discipline as the epoch row).
+            member.db.transaction(
+                lambda txn, lsn=base: txn.insert(
+                    "repl", {"slot": "applied", "lsn": lsn}))
+            member.dbsvc.journal.mark_durable()
+            self.acked[member] = base
+        self.primary.dbsvc.replicator = self._shipper(self.primary)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def primary(self):
+        return self.members[self.primary_index]
+
+    @property
+    def backups(self):
+        return [m for i, m in enumerate(self.members)
+                if i != self.primary_index]
+
+    @property
+    def lsn(self):
+        """The group's history head: the primary's journal length."""
+        return len(self.primary.dbsvc.journal._records)
+
+    def live_backups(self):
+        """Backups that are up *and* in the quorum membership."""
+        return [m for m in self.backups
+                if not m.down and self.acked.get(m) is not None]
+
+    def mark_down(self, member):
+        """A member stopped answering: it leaves the live membership."""
+        member.down = True
+
+    def follower_for_read(self, staleness):
+        """An in-sync live backup (lag ≤ ``staleness`` records), or None.
+
+        Follower reads are the payoff for synchronous shipping: a backup
+        whose applied LSN is within the configured bound of the group
+        head serves ``stat``/``readdir``-class traffic without touching
+        the primary, with a staleness bounded by that many records.
+        """
+        head = self.lsn
+        for member in self.live_backups():
+            if head - self.acked[member] <= staleness:
+                return member
+        return None
+
+    # -- log shipping ------------------------------------------------------
+
+    def _shipper(self, member):
+        """The replicator closure installed on a member while primary.
+
+        Deliberately *never* detached when the member stops being
+        primary: a resurrected zombie's next local commit calls into
+        :meth:`_ship`, fails the primaryship check, and surfaces
+        :class:`EpochFenced` — the client is never acknowledged and the
+        divergent local commit is discarded by the rejoin resync.
+        """
+        def replicate(commit_lsn):
+            return self._ship(member, commit_lsn)
+        return replicate
+
+    def _survived_promotion(self, member, commit_lsn):
+        """Did a fenced ex-primary's commit make it into the new history?
+
+        Suffix shipping means a *concurrent* committer's ship can carry
+        this transaction's record to a backup before the fence lands; if
+        that backup was then promoted with the record applied
+        (``commit_lsn`` ≤ its applied pointer in the ex-primary's LSN
+        space), the mutation lives on in the group's one true history and
+        the client must be acknowledged — the same rule as a Raft entry
+        already replicated to the new leader.  Everything newer is truly
+        lost and the caller surfaces the fence (client retries on the
+        promoted primary).
+        """
+        return (self.promoted_from is not None
+                and self.promoted_from[0] is member
+                and commit_lsn <= self.promoted_from[1])
+
+    def _ship(self, member, commit_lsn):
+        """Coroutine: ship the journal suffix, ack only on quorum.
+
+        Runs inside the primary's update transaction path (the
+        ``DbService.replicator`` hook), after local durability and
+        before the client regains control; ``commit_lsn`` is the LSN of
+        the caller's own transaction.  Each live backup receives the
+        suffix past its acked LSN — shipping from the ack pointer makes
+        the protocol self-healing: a backup that missed a ship (crash
+        between send and apply) is caught up by the very next one.  The
+        mutation is acknowledged only when a **majority of the live
+        membership** (the primary's own durable copy included) holds it;
+        otherwise the client sees EAGAIN and retries.  A ship fenced by
+        a concurrent promotion acks anyway when the commit provably
+        survived into the promoted history
+        (:meth:`_survived_promotion`).
+        """
+        if member is not self.primary or member.epoch < self.epoch:
+            if self._survived_promotion(member, commit_lsn):
+                return
+            raise EpochFenced(self.shard_id, member.epoch, self.epoch)
+        journal = member.dbsvc.journal
+        head = len(journal._records)
+        stamp = (self.shard_id, member.epoch)
+        for backup in self.members:
+            if backup is member or backup.down:
+                continue
+            base = self.acked.get(backup)
+            if base is None:
+                continue  # mid-resync: the rejoin will set its pointer
+            try:
+                applied = yield from member._member_call(
+                    backup, "repl_apply", base,
+                    journal._records[base:head], stamp,
+                    req_size=self.config.rpc_bytes + 256 * (head - base))
+            except MemberDown:
+                # The backup died under us: it leaves the live
+                # membership (the quorum shrinks with it) and will
+                # full-resync when it rejoins.
+                self.mark_down(backup)
+                continue
+            except EpochFenced:
+                # The backup fenced us mid-ship: a promotion won the
+                # race while this RPC was in flight (it waited out the
+                # candidate's admission gate).  Same survival rule as
+                # the entry check.
+                if self._survived_promotion(member, commit_lsn):
+                    return
+                raise
+            if self.acked.get(backup) is not None:
+                self.acked[backup] = max(self.acked[backup], applied)
+        live = 1 + len(self.live_backups())
+        acks = 1 + sum(1 for b in self.live_backups()
+                       if self.acked[b] >= commit_lsn)
+        if acks < live // 2 + 1:
+            raise FsError(
+                "EAGAIN",
+                f"shard s{self.shard_id}: quorum lost "
+                f"({acks}/{live} acks for lsn {commit_lsn})")
+
+    # -- failover ----------------------------------------------------------
+
+    def ensure_failover(self):
+        """Coroutine: guarantee the group has a live, promoted primary.
+
+        No-op while the primary is up.  Called by the router's retry
+        path on EAGAIN — the router, not a background detector, notices
+        the dead primary, which keeps the availability gap equal to the
+        promotion work itself.
+        """
+        if not self.primary.down:
+            return None
+        promoted = yield from self.failover()
+        return promoted
+
+    def failover(self):
+        """Coroutine: fenced promotion of the most caught-up live backup.
+
+        Sequence (single-flight; concurrent callers wait on the gate and
+        return the winner's primary):
+
+        1. pick the live backup with the highest applied LSN — under
+           synchronous shipping its tables already hold every record the
+           group ever acknowledged, so there is no journal replay and the
+           availability gap is promotion work, not recovery work;
+        2. the candidate bumps the group's durable epoch, installs the
+           fence tier-wide *and* on its fellow members, and reseats its
+           allocators — all behind its admission gate
+           (:meth:`~repro.core.shard.recovery.ShardRecoveryPart.promote`);
+        3. the group re-points at the candidate (``GroupTargets`` makes
+           every future peer RPC land there) and its replicator hook
+           starts shipping;
+        4. the new primary runs the tier-wide completion pass for the
+           dead coordinator's epoch — cross-shard records the old
+           primary left mid-protocol are finished or reclaimed from the
+           *replicated* intent rows;
+        5. any other stale backups rejoin by snapshot (their pointers
+           index the dead primary's journal, a different LSN space).
+
+        The dead ex-primary itself stays down until explicitly revived
+        and :meth:`rejoin`-ed.
+        """
+        if self._failover_gate is not None:
+            yield self._failover_gate
+            return self.primary
+        self._failover_gate = self.sim.event()
+        started = self.sim.now
+        try:
+            old = self.primary
+            candidates = [m for m in self.backups
+                          if not m.down and self.acked.get(m) is not None]
+            if not candidates:
+                raise FsError(
+                    "EIO",
+                    f"shard s{self.shard_id}: no live in-sync backup "
+                    f"to promote")
+            best = max(
+                candidates,
+                key=lambda m: (self.acked[m], -m.member_index))
+            yield from best.promote(self)
+            self.failovers += 1
+            self.primary_index = best.member_index
+            self.epoch = best.epoch
+            stale = [m for m in candidates if m is not best]
+            # Everything the candidate had applied survives into the
+            # promoted history: zombie ships at or below this LSN are
+            # acknowledged, not fenced (see _survived_promotion).  The
+            # candidate's *durable* pointer is the authority — the ack
+            # map lags it when an apply's response was in flight at the
+            # kill.
+            self.promoted_from = (old, next(
+                row["lsn"] for row in best.db.table("repl").all()
+                if row["slot"] == "applied"))
+            self.acked = {}
+            best.dbsvc.replicator = self._shipper(best)
+            self.last_failover = (started, self.sim.now)
+            # Serving has resumed; the cleanup below overlaps new traffic.
+            yield from best.complete_tier_intents(
+                {self.shard_id: best.epoch})
+            for member in stale:
+                # Their applied pointers index the *old* primary's
+                # journal — a different LSN space.  Snapshot resync.
+                yield from self.rejoin(member)
+        finally:
+            gate, self._failover_gate = self._failover_gate, None
+            gate.succeed()
+        return self.primary
+
+    def rejoin(self, member):
+        """Coroutine: bring a dead or stale member back as a backup.
+
+        Full snapshot resync from the current primary: the member is
+        down for the whole window (it must serve nothing until the
+        snapshot is in), its possibly-divergent state — including a
+        zombie ex-primary's committed-but-never-acked suffix — is
+        overwritten, and only then does it enter the quorum membership
+        at the snapshot's LSN.  Ships that race the resync skip the
+        member (``acked`` is None); the first ship after it lands closes
+        any gap from the snapshot head.
+        """
+        primary = self.primary
+        assert member is not primary, "cannot rejoin the primary"
+        member.down = True
+        member.dbsvc.replicator = None  # a backup never ships
+        self.acked[member] = None
+        tables, head = yield from primary.repl_snapshot()
+        yield from primary._member_call(
+            member, "repl_install_snapshot", tables, head,
+            req_size=self.config.rpc_bytes
+            + 256 * sum(len(rows) for rows in tables.values()))
+        self.acked[member] = head
+        member.down = False
+        return head

@@ -77,6 +77,21 @@ class EpochFenced(FsError):
         self.fence = fence
 
 
+class MemberDown(FsError):
+    """The targeted replica-group member is dead (or partitioned away).
+
+    Raised at the dispatch edge of a killed member: a crashed node
+    refuses new requests outright.  Subclasses :class:`FsError` with
+    errno ``EAGAIN`` so every coordination compensation path treats it
+    as a clean abort; the router reacts by driving (or awaiting) the
+    group's failover and retrying against the promoted primary.
+    """
+
+    def __init__(self, shard):
+        super().__init__("EAGAIN", f"shard s{shard}: member is down")
+        self.shard = shard
+
+
 # ---------------------------------------------------------------------------
 # Partitioning policies
 # ---------------------------------------------------------------------------
@@ -188,21 +203,93 @@ class ShardRouter:
         "readlink", "open_map",
     })
 
-    def __init__(self, machine, shard_machines, config, sharding):
+    #: read-only methods a replica group's in-sync backup may serve
+    #: (follower reads; open_map is excluded — it flips delegation).
+    _FOLLOWER_OPS = frozenset({"getattr", "readlink", "readdir"})
+
+    #: retry budget for a group call that hits a dead member (each retry
+    #: first drives/awaits the failover of any group with a dead primary).
+    _FAILOVER_RETRIES = 4
+
+    def __init__(self, machine, shard_machines, config, sharding,
+                 groups=None):
         self.machine = machine
         self.config = config
         self.sharding = sharding
-        self.drivers = [
-            MetadataDriver(machine, m, config) for m in shard_machines
-        ]
-        self.n_shards = len(self.drivers)
+        self.groups = groups
+        if groups is None:
+            self.drivers = [
+                MetadataDriver(machine, m, config) for m in shard_machines
+            ]
+            self.n_shards = len(self.drivers)
+        else:
+            # Replicated tier: one driver per group *member*; each call
+            # re-resolves the group's current primary (or an in-sync
+            # follower for reads), so a failover transparently re-targets
+            # without touching the routing logic above.
+            self._member_drivers = [
+                {member: MetadataDriver(machine, member.machine, config)
+                 for member in group.members}
+                for group in groups
+            ]
+            self.drivers = None
+            self.n_shards = len(groups)
         self._vino_shard = {}  # vino -> home shard (learned from views)
         self.op_loads = [0] * self.n_shards
         self.dir_loads = {}    # normalized dir path -> op count
 
     @property
     def calls(self):
-        return sum(driver.calls for driver in self.drivers)
+        if self.groups is None:
+            return sum(driver.calls for driver in self.drivers)
+        return sum(driver.calls
+                   for drivers in self._member_drivers
+                   for driver in drivers.values())
+
+    # -- replica-group targeting ------------------------------------------
+
+    def _primary_driver(self, shard):
+        return self._member_drivers[shard][self.groups[shard].primary]
+
+    def _read_driver(self, shard):
+        """Driver for a read-only op: an in-sync follower when allowed.
+
+        Follower reads are bounded-staleness: a backup serves only while
+        its applied LSN lags the group head by at most
+        ``config.follower_staleness`` records (0 = fully caught up, which
+        under synchronous shipping means the read is current).
+        """
+        group = self.groups[shard]
+        member = None
+        if self.config.follower_reads:
+            member = group.follower_for_read(self.config.follower_staleness)
+        if member is None:
+            member = group.primary
+        return self._member_drivers[shard][member]
+
+    def _call_group(self, shard, method, args, read_only=False):
+        """Coroutine: call a group; drive failover + retry on dead members.
+
+        ``EAGAIN`` covers both a dead member's refusal
+        (:class:`MemberDown`) and a coordinator that tripped over one
+        mid-protocol and cleanly aborted (:class:`EpochFenced` / abort
+        compensation).  Either way the cure is the same: make sure every
+        group with a dead primary has failed over, then retry — the
+        retried operation captures the promoted primary and its fresh
+        epoch.
+        """
+        for attempt in range(self._FAILOVER_RETRIES + 1):
+            driver = self._read_driver(shard) if read_only \
+                else self._primary_driver(shard)
+            try:
+                result = yield from driver.call(method, *args)
+                return result
+            except FsError as exc:
+                if exc.code != "EAGAIN" or attempt == self._FAILOVER_RETRIES:
+                    raise
+                for group in self.groups:
+                    if group.primary.down:
+                        yield from group.ensure_failover()
 
     def shard_for_dir(self, dir_path):
         return self.sharding.shard_of_dir(dir_path, self.n_shards)
@@ -213,13 +300,15 @@ class ShardRouter:
 
     def call(self, method, *args):
         """Coroutine: one (possibly fanned-out) metadata RPC."""
-        if self.n_shards == 1:
+        if self.n_shards == 1 and self.groups is None:
             return self.drivers[0].call(method, *args)
         if method == "statfs":
             return self._statfs()
         if method == "close_sync":
             shard = self._vino_shard.get(args[0], 0)
             self._note_load(shard, None)
+            if self.groups is not None:
+                return self._call_group(shard, method, args)
             return self.drivers[shard].call(method, *args)
         if method == "readdir":
             dir_path = normalize(args[0])
@@ -260,13 +349,34 @@ class ShardRouter:
         loads[dir_path] = loads.get(dir_path, 0) + 1
 
     def reset_loads(self):
-        """Forget the sampled load (after a re-balancing round)."""
+        """Forget the sampled load entirely (tests, cold restarts)."""
         self.op_loads = [0] * self.n_shards
         self.dir_loads = {}
 
+    def decay_loads(self, factor=0.5):
+        """Age the sampled load (after a re-balancing round).
+
+        Decaying instead of resetting keeps a *persistent* hotspot
+        visible to the very next planning round: a cold counter right
+        after a snapshot would make the re-balancer blind until a full
+        sampling window refills it, while stale one-off spikes still
+        fade geometrically.  Directories whose aged count rounds to zero
+        are dropped so the map never grows without bound.
+        """
+        self.op_loads = [int(count * factor) for count in self.op_loads]
+        self.dir_loads = {
+            path: aged for path, count in self.dir_loads.items()
+            if (aged := int(count * factor)) > 0
+        }
+
     def _tracked(self, shard, method, args):
         """Coroutine: call one shard; learn vino homes from returned views."""
-        view = yield from self.drivers[shard].call(method, *args)
+        if self.groups is None:
+            view = yield from self.drivers[shard].call(method, *args)
+        else:
+            view = yield from self._call_group(
+                shard, method, args,
+                read_only=method in self._FOLLOWER_OPS)
         if type(view) is dict and "vino" in view:
             if len(self._vino_shard) >= self._VINO_MAP_MAX:
                 self._vino_shard.clear()
@@ -281,8 +391,11 @@ class ShardRouter:
         """
         merged = None
         files = 0
-        for driver in self.drivers:
-            stats = yield from driver.call("statfs")
+        for shard in range(self.n_shards):
+            if self.groups is None:
+                stats = yield from self.drivers[shard].call("statfs")
+            else:
+                stats = yield from self._call_group(shard, "statfs", ())
             if merged is None:
                 merged = dict(stats)
             files += stats["files"]
@@ -300,8 +413,13 @@ class ShardRouter:
         unrouted.
         """
         results = []
-        for driver in self.drivers:
-            results.append((yield from driver.call(method, *args)))
+        for shard in range(self.n_shards):
+            if self.groups is None:
+                results.append(
+                    (yield from self.drivers[shard].call(method, *args)))
+            else:
+                results.append(
+                    (yield from self._call_group(shard, method, args)))
         return results
 
 
@@ -362,8 +480,14 @@ class ShardRoutingPart:
         A real node refuses service between crash and restart; here the
         rebuild is a few cooperative yields, so requests that land in the
         window simply wait on the admission event instead of racing the
-        journal replay.  The no-crash path pays one attribute test.
+        journal replay.  A *killed* member (``down``, set by the fault
+        hooks in :mod:`repro.core.faults`) refuses outright instead of
+        queueing: its requests must fail fast so callers re-target the
+        group's promoted primary.  The no-crash path pays two attribute
+        tests.
         """
+        if self.down:
+            raise MemberDown(self.shard_id)
         if self._admission is None:
             return super()._dispatch()
         return self._gated_dispatch()
@@ -371,7 +495,36 @@ class ShardRoutingPart:
     def _gated_dispatch(self):
         while self._admission is not None:
             yield self._admission
+        if self.down:
+            raise MemberDown(self.shard_id)
         yield from super()._dispatch()
+
+    def _recovery_dispatch(self):
+        """Dispatch for recovery control-plane RPCs, bypassing the gate.
+
+        ``install_fences`` / ``max_vino_in_class`` / ``max_intent_seq``
+        are served *during* a local recovery's admission outage: they
+        touch only durable control tables (never the namespace a rebuild
+        is replaying — the journal-swap window itself is closed by the
+        transaction quiesce in
+        :meth:`repro.db.service.DbService.crash_and_recover`).  Routing
+        them through the gate would deadlock two shards recovering
+        concurrently: each holds its own gate closed while waiting for
+        the other to serve its fence install / allocator probe.
+        """
+        if self.down:
+            raise MemberDown(self.shard_id)
+        return super()._dispatch()
+
+    def _rejoin_dispatch(self):
+        """Dispatch for the snapshot install that revives a dead member.
+
+        Deliberately ignores both the ``down`` flag and the admission
+        gate: the install *is* the restart — the member is marked down
+        for the whole resync window precisely so it serves nothing else
+        until the snapshot is in place.
+        """
+        return super()._dispatch()
 
     # -- shard arithmetic -------------------------------------------------
 
@@ -666,6 +819,33 @@ class ShardRoutingPart:
 
         count = yield from self.dbsvc.execute(body)
         return count
+
+    def probe_parent(self, path):
+        """RPC (shard-to-shard): walk ``path``'s parent here, authoritatively.
+
+        A rename coordinator is pinned to its source's shard, so it
+        cannot follow a *final* destination forward the way
+        self-contained ops are re-dispatched wholesale; it asks the
+        forward's target to run the walk instead.  Returns None when the
+        parent resolves, raises the walk's FsError otherwise — terminal
+        here, because a component the caller's skeleton lacks can only
+        be a partitioned file, a stub, or nothing on the entries owner
+        (directories and symlinks are replicated everywhere).  A walk
+        that forwards *again* (a symlink rewrote the path, or a deeper
+        component is owned elsewhere) reports the hand-off as
+        ``("forward", shard, path)`` for the caller to chase.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            try:
+                self._txn_resolve_parent(txn, path)
+            except ResolveForward as fwd:
+                return ("forward", fwd.shard, fwd.path)
+            return None
+
+        outcome = yield from self.dbsvc.execute(body)
+        return outcome
 
     def peek_entry(self, path):
         """RPC (shard-to-shard): this shard's dentry at ``path``, if any.

@@ -78,6 +78,15 @@ class ShardMetadataService(
         #: admission gate: an Event while the local rebuild is in flight
         #: (incoming requests wait on it), None while serving.
         self._admission = None
+        #: dead-member flag (set by the kill/partition fault hooks in
+        #: :mod:`repro.core.faults`): a down member refuses every new
+        #: dispatch with :class:`~repro.core.shard.routing.MemberDown`.
+        #: In-flight handlers keep running — exactly the zombie window
+        #: epoch fencing exists for.
+        self.down = False
+        #: the :class:`~repro.core.shard.replication.ReplicatedShard`
+        #: group this service belongs to (None on unreplicated tiers).
+        self.group = None
         super().__init__(machine, config, policy=policy, streams=streams)
         # The durable epoch row exists from birth (no simulated cost: it
         # rides the same bootstrap transaction path as the root inode and

@@ -36,8 +36,11 @@ docstring for its layer's invariants and known simplifications.
 
 from repro.core.shard import (
     EpochFenced,
+    GroupTargets,
     HashDirSharding,
+    MemberDown,
     Rebalancer,
+    ReplicatedShard,
     ResolveForward,
     ShardingPolicy,
     ShardMetadataService,
@@ -49,8 +52,11 @@ from repro.core.shard import (
 
 __all__ = [
     "EpochFenced",
+    "GroupTargets",
     "HashDirSharding",
+    "MemberDown",
     "Rebalancer",
+    "ReplicatedShard",
     "ResolveForward",
     "ShardingPolicy",
     "ShardMetadataService",

@@ -60,6 +60,24 @@ class DbService:
         #: policy makes it).  Raising from the hook models a crash in the
         #: gap after that commit; see :mod:`repro.core.faults`.
         self.fault_hook = None
+        #: optional replication hook (coroutine function taking the
+        #: committed transaction's LSN — the journal length right after
+        #: its commit), driven after every update transaction is locally
+        #: durable and *before* the caller regains control: synchronous
+        #: journal shipping — the client is only acknowledged once a
+        #: quorum holds the change (see
+        #: :class:`repro.core.shard.replication.ReplicatedShard`).  The
+        #: hook runs after ``fault_hook`` so the locally-durable-but-
+        #: unshipped gap is an enumerable crash boundary.
+        self.replicator = None
+        # Update-transaction quiesce barrier: ``crash_and_recover`` must
+        # not truncate the journal tail while a commit's log force is in
+        # flight (the force would mark the *rebuilt* journal durable past
+        # records the rebuild never saw).  Pure Python counters on the
+        # no-crash path.
+        self._updates_inflight = 0
+        self._update_drain = None  # event a pending rebuild waits on
+        self._rebuilding = None    # event new updates wait on
 
     def execute(self, body):
         """Coroutine: run transaction ``body`` with full cost accounting.
@@ -69,23 +87,42 @@ class DbService:
         then the log is forced if anything was written.
         """
         cfg = self.config
-        outcome = self.db.transaction(lambda txn: (body(txn), txn))
-        result, txn = outcome
-        cpu = (
-            cfg.base_cpu_ms
-            + cfg.read_op_cpu_ms * txn.reads
-            + cfg.write_op_cpu_ms * txn.writes
-        )
-        yield from self.machine.compute(cpu)
-        if txn.is_update:
-            self.update_txns += 1
-            if cfg.sync_updates:
-                yield from self.log.force()
-                self.journal.mark_durable()
-            if self.fault_hook is not None:
-                self.fault_hook()
-        else:
-            self.read_txns += 1
+        while self._rebuilding is not None:
+            # A journal rebuild is swapping tables: admitting this
+            # transaction would commit against the table set about to be
+            # discarded.  Bounded wait — the rebuild never blocks on a
+            # transaction of this node.
+            yield self._rebuilding
+        self._updates_inflight += 1
+        try:
+            outcome = self.db.transaction(lambda txn: (body(txn), txn))
+            result, txn = outcome
+            # This transaction's redo record (if it wrote) is the newest
+            # journal entry; its LSN is what the replicator must prove
+            # quorum-durable before the caller may be acknowledged.
+            commit_lsn = len(self.journal._records)
+            cpu = (
+                cfg.base_cpu_ms
+                + cfg.read_op_cpu_ms * txn.reads
+                + cfg.write_op_cpu_ms * txn.writes
+            )
+            yield from self.machine.compute(cpu)
+            if txn.is_update:
+                self.update_txns += 1
+                if cfg.sync_updates:
+                    yield from self.log.force()
+                    self.journal.mark_durable()
+                if self.fault_hook is not None:
+                    self.fault_hook()
+                if self.replicator is not None:
+                    yield from self.replicator(commit_lsn)
+            else:
+                self.read_txns += 1
+        finally:
+            self._updates_inflight -= 1
+            if not self._updates_inflight and self._update_drain is not None:
+                drain, self._update_drain = self._update_drain, None
+                drain.succeed()
         return result
 
     def checkpoint(self):
@@ -103,7 +140,32 @@ class DbService:
         Returns the number of committed-but-lost transactions (always 0
         when updates are forced synchronously).  Costs restart time plus
         redo replay proportional to the durable journal length.
+
+        Before touching the journal it *quiesces*: new transactions wait
+        on :attr:`_rebuilding`, in-flight ones drain, and the commit log's
+        outstanding forces complete.  Without the barrier a commit whose
+        force was still in flight when the tail truncation ran would mark
+        the rebuilt journal durable past records the rebuild never saw —
+        a silently lost committed transaction.  The admission gate above
+        this layer leaves exactly that window open for requests it cannot
+        see (gate-bypassing recovery RPCs, and the op admitted on the
+        gate's closing edge).
         """
+        self._rebuilding = self.machine.sim.event()
+        try:
+            while self._updates_inflight:
+                if self._update_drain is None:
+                    self._update_drain = self.machine.sim.event()
+                yield self._update_drain
+            yield from self.log.drain()
+            lost = yield from self._rebuild_tables()
+        finally:
+            gate, self._rebuilding = self._rebuilding, None
+            gate.succeed()
+        return lost
+
+    def _rebuild_tables(self):
+        """Coroutine: the rebuild proper (callers hold the quiesce gate)."""
         lost = self.journal.lost_on_crash
         self.recoveries += 1
         records = self.journal.durable_upto

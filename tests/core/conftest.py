@@ -42,16 +42,24 @@ class ShardedCofs:
     """
 
     def __init__(self, n_clients=2, shards=2, sharding=None,
-                 cofs_config=None):
+                 cofs_config=None, replicas=1):
         self.testbed = build_flat_testbed(
-            n_clients=n_clients, with_mds=shards
+            n_clients=n_clients, with_mds=shards * replicas
         )
         self.sim = self.testbed.sim
         self.stack = CofsStack(
-            self.testbed, sharding=sharding, cofs_config=cofs_config
+            self.testbed, sharding=sharding, cofs_config=cofs_config,
+            shards=shards, replicas=replicas,
         )
         self.mounts = [self.stack.mount(i) for i in range(n_clients)]
         self.shards = self.stack.shards
+        #: replica groups (None on unreplicated tiers).
+        self.groups = self.stack.groups
+
+    @property
+    def primaries(self):
+        """Each group's current primary (== ``shards`` when replicas=1)."""
+        return self.stack.primaries
 
     def run(self, coro):
         return self.sim.run_process(coro)

@@ -125,3 +125,23 @@ def test_update_txns_force_the_log(cofsx):
     forces_before = cofsx.mds.dbsvc.log.forces
     call(cofsx, "create_node", "/f", FILE, 0o644, 0, 0, "node0", 0, 1.0)
     assert cofsx.mds.dbsvc.log.forces > forces_before
+
+
+def test_same_parent_rename_replacing_a_dir_drops_parent_nlink(cofsx):
+    """Replacing an empty sibling directory must cost the shared parent
+    one link: the body reads old_parent and new_parent as two
+    independent copies of the SAME row, and only the old_parent copy is
+    written back on a same-parent rename — the replaced subdirectory's
+    decrement used to land on the discarded new_parent copy."""
+    call(cofsx, "create_node", "/a", DIRECTORY, 0o755, 0, 0, "node0", 0, 1.0)
+    call(cofsx, "create_node", "/b", DIRECTORY, 0o755, 0, 0, "node0", 0, 2.0)
+    assert call(cofsx, "getattr", "/")["nlink"] == 4
+    call(cofsx, "rename", "/a", "/b", 3.0)
+    assert call(cofsx, "getattr", "/")["nlink"] == 3
+    # the cross-parent replace leg writes both copies and stays correct
+    call(cofsx, "create_node", "/b/c", DIRECTORY, 0o755, 0, 0,
+         "node0", 0, 4.0)
+    call(cofsx, "create_node", "/d", DIRECTORY, 0o755, 0, 0, "node0", 0, 5.0)
+    call(cofsx, "rename", "/b/c", "/d", 6.0)
+    assert call(cofsx, "getattr", "/")["nlink"] == 4
+    assert call(cofsx, "getattr", "/b")["nlink"] == 2

@@ -962,3 +962,53 @@ def test_subtree_migration_window_only_transient_enoent(split2):
     names, kind = split2.run(after())
     assert names == ["f0", "f1", "f2", "f3"]
     assert kind == FILE
+
+
+def test_rename_edge_cases_match_posix_across_placements():
+    """Pin three rename divergences the differential oracle surfaced
+    (all order-of-checks bugs in the sharded path only): a same-path
+    rename of a non-empty directory is a no-op success (the cross-shard
+    destination precheck must not answer ENOTEMPTY for the source
+    itself); moving a directory beneath itself is EINVAL even when the
+    destination name is occupied by a file on another shard (the cycle
+    check precedes the destination-kind precheck, as in the
+    one-transaction body); and a destination whose parent is missing is
+    ENOENT — the *final* destination forward must be answered by the
+    entries owner, not retried locally until the hop cap (which read as
+    EINVAL "too many levels of symbolic links")."""
+    for make in (
+        lambda: ShardedCofs(n_clients=1, shards=4,
+                            sharding=HashDirSharding()),
+        lambda: ShardedCofs(n_clients=1, shards=4,
+                            sharding=SubtreeSharding({"/d1": 1, "/d2": 3})),
+    ):
+        host = make()
+        fs = host.mounts[0]
+
+        def setup():
+            yield from fs.mkdir("/d1")
+            yield from fs.mkdir("/d1/x")
+            fh = yield from fs.create("/d1/f")
+            yield from fs.close(fh)
+
+        host.run(setup())
+
+        # same-path rename of a non-empty directory: no-op success
+        host.run(fs.rename("/d1", "/d1"))
+        assert sorted(host.run(fs.readdir("/d1"))) == ["f", "x"]
+
+        def expect(code, coro):
+            with pytest.raises(FsError) as err:
+                host.run(coro)
+            assert err.value.code == code
+
+        # beneath-itself beats the occupied-destination check
+        expect("EINVAL", fs.rename("/d1", "/d1/f"))
+        # missing destination parent: authoritative ENOENT, dir + file src
+        expect("ENOENT", fs.rename("/d1/x", "/d2/y"))
+        expect("ENOENT", fs.rename("/d1/f", "/d2/y"))
+        # a file occupying the destination's parent: authoritative ENOTDIR
+        fh = host.run(fs.create("/d2"))
+        host.run(fs.close(fh))
+        expect("ENOTDIR", fs.rename("/d1/x", "/d2/y"))
+        expect("ENOTDIR", fs.rename("/d1/f", "/d2/y"))
