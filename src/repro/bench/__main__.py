@@ -13,7 +13,13 @@ import sys
 import time
 
 from repro.bench.experiments import EXPERIMENTS
-from repro.bench.quick import QUICK_EXPERIMENTS, append_run, run_quick
+from repro.bench.quick import (
+    QUICK_EXPERIMENTS,
+    append_run,
+    check_fingerprints,
+    latest_reference,
+    run_quick,
+)
 
 
 def main(argv=None):
@@ -43,10 +49,23 @@ def main(argv=None):
         "--label", default=None,
         help="with --quick: label stored with the run (e.g. baseline/after)",
     )
+    parser.add_argument(
+        "--obs", metavar="DIR", default=None,
+        help="with --quick: enable tracing+metrics and write per-experiment "
+             "trace/metrics JSONL and span-latency aggregates into DIR "
+             "(charge-preserving: virtual_ms fingerprints are unchanged)",
+    )
+    parser.add_argument(
+        "--no-gate", action="store_true",
+        help="with --quick: skip the virtual_ms fingerprint regression gate "
+             "against the latest committed BENCH_PR*.json",
+    )
     args = parser.parse_args(argv)
 
     if args.json and not args.quick:
         parser.error("--json requires --quick")
+    if args.obs and not args.quick:
+        parser.error("--obs requires --quick")
 
     if args.quick:
         if args.experiment and args.experiment != "all":
@@ -58,7 +77,13 @@ def main(argv=None):
             names = [args.experiment]
         else:
             names = sorted(QUICK_EXPERIMENTS)
-        run = run_quick(names=names, label=args.label)
+        run = run_quick(names=names, label=args.label, obs_dir=args.obs)
+        if not args.no_gate:
+            reference = latest_reference()
+            if reference is not None:
+                check_fingerprints(run, reference)
+            else:
+                print("(fingerprint gate: no BENCH_PR*.json found; skipped)")
         if args.json:
             append_run(args.json, run)
             print(f"(appended run {run['label']!r} to {args.json})")

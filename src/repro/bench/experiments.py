@@ -14,6 +14,7 @@ REPRO_FULL=1 environment variable) restores the complete grids.
 import dataclasses
 import os
 
+from repro import obs
 from repro.bench.report import format_series, format_table
 from repro.bench.stack import CofsStack, PfsStack
 from repro.bench.testbed import build_flat_testbed, build_hier_testbed
@@ -555,14 +556,21 @@ def run_scaling_failover(full=False, print_report=False):
 
     Reported per run (baseline = identical load, no kill):
 
-    - per-op mean / p99 / max latency — the tail absorbs the gap;
-    - ``gap_ms`` — first dead-primary detection to serving-again;
+    - per-op mean / p50 / p99 / max latency — the tail absorbs the gap;
+    - ``gap_ms`` — first dead-primary detection to serving-again,
+      *derived from the failover trace span* (tracing is enabled around
+      the kill run) and cross-checked against the group's own
+      ``last_failover`` bookkeeping;
+    - ``("failover", "step_ms", <step>)`` — the promotion sub-steps
+      (epoch bump, tier fence, member fences, allocator reseat) read
+      straight off the promote span's event marks;
     - ``post_failover_ops`` — ops completed after the kill (the full
       namespace keeps serving from the promoted primary; the cleanup
       phase deletes every file through it, which would fail loudly on
       any lost record).
 
-    The run ends with the tier-wide and group invariant oracles.
+    The run ends with the tier-wide and group invariant oracles plus the
+    trace-invariant checker over the kill run's spans.
     """
     from repro.core.faults import (
         check_group_invariants, check_tier_invariants, kill_primary,
@@ -579,12 +587,17 @@ def run_scaling_failover(full=False, print_report=False):
     # run's tail latencies absorb the gap instead of an untimed seeding
     # phase hiding it.
     results = {}
+    owned_obs = obs.TRACER is None  # enable tracing just for the kill run
     for mode in ("baseline", "failover"):
         testbed = build_flat_testbed(nodes, with_mds=shards * replicas)
         stack = CofsStack(testbed, shards=shards, replicas=replicas)
         sim = testbed.sim
         killed = []
+        mark = 0
         if mode == "failover":
+            if owned_obs:
+                obs.enable()
+            mark = len(obs.TRACER.spans)
             group = stack.groups[0]
 
             def killer():
@@ -598,15 +611,35 @@ def run_scaling_failover(full=False, print_report=False):
         ))
         for op in ops:
             results[(mode, op, "mean_ms")] = res.mean_ms(op)
-            results[(mode, op, "p99_ms")] = res.recorder.percentile(op, 0.99)
-            results[(mode, op, "max_ms")] = max(res.recorder.samples(op))
+            results[(mode, op, "p50_ms")] = res.recorder.p50(op)
+            results[(mode, op, "p99_ms")] = res.recorder.p99(op)
+            results[(mode, op, "max_ms")] = res.recorder.summary(op).max
             results[(mode, op, "rate")] = res.rate_per_s(op)
         if mode == "failover":
             assert killed, "the kill never fired (run too short?)"
             group = stack.groups[0]
             assert group.failovers == 1, "no failover was driven"
+            spans = obs.TRACER.spans[mark:]
+            obs.TraceChecker(obs.TRACER).check_all()
+            # The availability gap is the failover span, not ad-hoc
+            # timing; the group's own bookkeeping must agree exactly
+            # (both read the same simulated clock at the same points).
+            gaps = [s for s in spans
+                    if s.kind == "failover" and s.outcome == "ok"]
+            assert len(gaps) == 1, f"expected one failover span: {gaps}"
             t0, t1 = group.last_failover
-            results[("failover", "gap_ms")] = t1 - t0
+            assert abs(gaps[0].duration - (t1 - t0)) < 1e-9, (
+                gaps[0].duration, t1 - t0)
+            results[("failover", "gap_ms")] = gaps[0].duration
+            promotes = [s for s in spans
+                        if s.kind == "promote" and s.outcome == "ok"]
+            assert len(promotes) == 1, "expected one promotion"
+            marks_ = promotes[0].events
+            for (_, prev_t, _), (step, step_t, _) in zip(marks_, marks_[1:]):
+                key = ("failover", "step_ms", step)
+                results[key] = results.get(key, 0.0) + (step_t - prev_t)
+            if owned_obs:
+                obs.disable()
             results[("failover", "killed_at_ms")] = kill_at
             results[("failover", "post_failover_ops")] = sum(
                 res.recorder.count(op) for op in ops)
@@ -620,16 +653,27 @@ def run_scaling_failover(full=False, print_report=False):
         rows = [
             [mode, op,
              round(results[(mode, op, "mean_ms")], 3),
+             round(results[(mode, op, "p50_ms")], 3),
              round(results[(mode, op, "p99_ms")], 3),
              round(results[(mode, op, "max_ms")], 2),
              round(results[(mode, op, "rate")], 1)]
             for mode in ("baseline", "failover") for op in ops
         ]
         print(format_table(
-            ["run", "op", "mean ms", "p99 ms", "max ms", "ops/s"], rows,
+            ["run", "op", "mean ms", "p50 ms", "p99 ms", "max ms", "ops/s"],
+            rows,
             title=(f"Primary failover under load ({nodes} nodes, "
                    f"{shards}x{replicas} tier; gap "
                    f"{results[('failover', 'gap_ms')]:.2f} ms)"),
+        ))
+        step_rows = [
+            [key[2], round(value, 4)]
+            for key, value in sorted(results.items())
+            if key[:2] == ("failover", "step_ms")
+        ]
+        print(format_table(
+            ["promotion step", "ms"], step_rows,
+            title="Availability gap breakdown (from the promote span)",
         ))
     return out
 

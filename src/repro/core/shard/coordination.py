@@ -31,6 +31,7 @@ recovery that already resolved the intent makes them no-ops, and work
 past the commit point is abandoned to the recovery's idempotent redo.
 """
 
+from repro import obs
 from repro.core.shard.routing import EpochFenced, ResolveForward, VinoForward
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize
@@ -75,9 +76,14 @@ class ShardCoordinationPart:
         fence = self.fences.get(self.shard_id, 0)
         if epoch < fence:
             self._done_tids(rec["id"])
+            if obs.METRICS is not None:
+                obs.METRICS.incr("epoch_fenced", self.shard_id)
             raise EpochFenced(self.shard_id, epoch, fence)
         rec["epoch"] = epoch
         txn.insert("intents", rec)
+        if obs.TRACER is not None:
+            obs.TRACER.event("intent_journaled", self.sim.now,
+                             tid=rec["id"], op=rec.get("op"))
         return rec["id"]
 
     @staticmethod

@@ -43,6 +43,7 @@ aggregates them, finds shards above ``threshold ×`` the mean load, and
 greedily re-homes their hottest directories to the least-loaded shard.
 """
 
+from repro import obs
 from repro.core.shard.routing import EpochFenced
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, normalize
@@ -424,14 +425,45 @@ class Rebalancer:
         planner blind to any load pattern shorter than one whole round.
         """
         moves = self.plan()
+        if obs.METRICS is not None:
+            self._observe_loads()
+        tracer = obs.TRACER
         executed = []
         for path, src, dst in moves:
+            span = None
+            if tracer is not None:
+                span = tracer.start(
+                    "rebalance_move", path, self.shards[src].sim.now,
+                    shard=src, target=dst)
             try:
                 yield from self.shards[src].rebalance_dir(
                     path, dst, self.shards[src].sim.now)
-            except FsError:
+            except FsError as exc:
+                if span is not None:
+                    tracer.finish(span, self.shards[src].sim.now,
+                                  outcome=exc.code)
                 continue  # vanished or re-homed since sampling
+            except BaseException as exc:
+                if span is not None:
+                    tracer.finish(span, self.shards[src].sim.now,
+                                  outcome=type(exc).__name__)
+                raise
+            if span is not None:
+                tracer.finish(span, self.shards[src].sim.now)
+            if obs.METRICS is not None:
+                obs.METRICS.incr("rebalance_moves", src)
             executed.append((path, src, dst))
         for router in self.routers:
             router.decay_loads()
         return executed
+
+    def _observe_loads(self):
+        """Record each shard's dir-attributed load at planning time."""
+        n = len(self.shards)
+        dir_load = self.sampled_loads()
+        sharding = self.shards[0].sharding
+        shard_load = [0] * n
+        for path, count in dir_load.items():
+            shard_load[sharding.shard_of_dir(path, n)] += count
+        for shard, load in enumerate(shard_load):
+            obs.METRICS.observe("rebalancer_load", shard, load)

@@ -38,6 +38,7 @@ order:
 
 import itertools
 
+from repro import obs
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, FILE, split
 from repro.sim.events import Event
@@ -61,23 +62,68 @@ class ShardRecoveryPart:
         pass is idempotent — a crash *during* recovery is recovered from
         by simply recovering again.
         """
-        lost = yield from self.recover_local(fence_peers=True)
-        dead = {self.shard_id: self.epoch}
-        yield from self.complete_tier_intents(dead)
-        if lost:
-            # Journal loss (async log policy): replicas may genuinely
-            # diverge, so repair them.  These passes assume the touched
-            # paths are quiescent — with the synchronous journal (the
-            # default) they are skipped and recovery never rewrites
-            # state a live operation is mid-way through.
-            yield from self.restore_overrides()
-            yield from self.resync_skeleton()
-        yield from self.reconcile_tier_buckets()
-        # The completion pass can re-attach rows a rolled-back rename had
-        # detached (they travelled inside the intent record, invisible to
-        # the first reseat): reseat again against the settled tables.
-        yield from self.reseat_allocators()
+        tracer = obs.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.start("recover", f"s{self.shard_id}", self.sim.now,
+                                shard=self.shard_id, epoch=self.epoch)
+        try:
+            lost = yield from self._recovery_pass(
+                "local_rebuild", self.recover_local(fence_peers=True))
+            dead = {self.shard_id: self.epoch}
+            yield from self._recovery_pass(
+                "complete_intents", self.complete_tier_intents(dead))
+            if lost:
+                # Journal loss (async log policy): replicas may genuinely
+                # diverge, so repair them.  These passes assume the touched
+                # paths are quiescent — with the synchronous journal (the
+                # default) they are skipped and recovery never rewrites
+                # state a live operation is mid-way through.
+                yield from self._recovery_pass(
+                    "restore_overrides", self.restore_overrides())
+                yield from self._recovery_pass(
+                    "resync_skeleton", self.resync_skeleton())
+            yield from self._recovery_pass(
+                "reconcile_buckets", self.reconcile_tier_buckets())
+            # The completion pass can re-attach rows a rolled-back rename
+            # had detached (they travelled inside the intent record,
+            # invisible to the first reseat): reseat again against the
+            # settled tables.
+            yield from self._recovery_pass(
+                "reseat_allocators", self.reseat_allocators())
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish(span, self.sim.now,
+                              outcome=getattr(exc, "code", None)
+                              or type(exc).__name__)
+            raise
+        if span is not None:
+            tracer.finish(span, self.sim.now)
         return lost
+
+    def _recovery_pass(self, name, gen):
+        """Run one recovery pass, under a ``recover_pass`` span when
+        tracing is on (the pass generator is untouched when off)."""
+        if obs.TRACER is None:
+            return gen
+        return self._traced_recovery_pass(name, gen)
+
+    def _traced_recovery_pass(self, name, gen):
+        tracer = obs.TRACER
+        if tracer is None:  # disabled between creation and first resume
+            result = yield from gen
+            return result
+        span = tracer.start("recover_pass", name, self.sim.now,
+                            shard=self.shard_id, epoch=self.epoch)
+        try:
+            result = yield from gen
+        except BaseException as exc:
+            tracer.finish(span, self.sim.now,
+                          outcome=getattr(exc, "code", None)
+                          or type(exc).__name__)
+            raise
+        tracer.finish(span, self.sim.now)
+        return result
 
     def recover_local(self, fence_peers=False):
         """Coroutine: rebuild this shard only, keeping its vino stride.
@@ -160,19 +206,44 @@ class ShardRecoveryPart:
         while self._admission is not None:
             yield self._admission
         self._admission = Event(self.sim)
+        tracer, metrics = obs.TRACER, obs.METRICS
+        span = None
+        ok = False
+        # ``marks`` decomposes the gap into promotion sub-steps — one
+        # ``(step, sim_time)`` per completed step; both the promote span's
+        # events and the ``failover_step_ms.*`` histograms read it.
+        marks = [("gate_close", self.sim.now)]
+        if tracer is not None:
+            span = tracer.start("promote", f"s{self.shard_id}", self.sim.now,
+                                shard=self.shard_id, epoch=self.epoch)
         try:
             yield from self._bump_epoch()
+            marks.append(("epoch_bump", self.sim.now))
             yield from self.fence_tier({self.shard_id: self.epoch})
+            marks.append(("tier_fence", self.sim.now))
             rows = [(self.shard_id, self.epoch)]
             for member in group.members:
                 if member is self or member.down:
                     continue
                 yield from self._member_call(
                     member, "install_fences", rows)
+                marks.append(("member_fence", self.sim.now))
             yield from self.reseat_allocators()
+            marks.append(("reseat", self.sim.now))
+            ok = True
         finally:
             gate, self._admission = self._admission, None
             gate.succeed()
+            marks.append(("gate_open", self.sim.now))
+            if span is not None:
+                span.events.extend(
+                    (name, when, {}) for name, when in marks)
+                tracer.finish(span, self.sim.now,
+                              outcome="ok" if ok else "error")
+            if ok and metrics is not None:
+                for (_p, t0), (step, t1) in zip(marks, marks[1:]):
+                    metrics.observe(
+                        f"failover_step_ms.{step}", self.shard_id, t1 - t0)
         return self.epoch
 
     def _bump_epoch(self):
@@ -836,19 +907,39 @@ def recover_tier(shards):
     crashes use :meth:`ShardRecoveryPart.recover`, which runs the fenced
     passes against the surviving peers' live tables.
     """
-    lost = 0
-    for shard in shards:
-        lost += yield from shard.recover_local()
     driver = shards[0]
-    dead = {shard.shard_id: shard.epoch for shard in shards}
-    yield from driver.fence_tier(dead)
-    yield from driver.complete_tier_intents(dead)
-    yield from driver.restore_overrides()
-    if lost:
-        yield from driver.resync_skeleton()
-    yield from driver.reconcile_tier_buckets()
-    for shard in shards:
-        # intent completion may have re-attached rows that travelled
-        # inside intent records; reseat against the settled tables.
-        yield from shard.reseat_allocators()
+    tracer = obs.TRACER
+    span = None
+    if tracer is not None:
+        span = tracer.start("recover", "tier", driver.sim.now,
+                            shard=driver.shard_id, epoch=driver.epoch)
+    try:
+        lost = 0
+        for shard in shards:
+            lost += yield from driver._recovery_pass(
+                f"local_rebuild_s{shard.shard_id}", shard.recover_local())
+        dead = {shard.shard_id: shard.epoch for shard in shards}
+        yield from driver._recovery_pass(
+            "fence_tier", driver.fence_tier(dead))
+        yield from driver._recovery_pass(
+            "complete_intents", driver.complete_tier_intents(dead))
+        yield from driver._recovery_pass(
+            "restore_overrides", driver.restore_overrides())
+        if lost:
+            yield from driver._recovery_pass(
+                "resync_skeleton", driver.resync_skeleton())
+        yield from driver._recovery_pass(
+            "reconcile_buckets", driver.reconcile_tier_buckets())
+        for shard in shards:
+            # intent completion may have re-attached rows that travelled
+            # inside intent records; reseat against the settled tables.
+            yield from shard.reseat_allocators()
+    except BaseException as exc:
+        if span is not None:
+            tracer.finish(span, driver.sim.now,
+                          outcome=getattr(exc, "code", None)
+                          or type(exc).__name__)
+        raise
+    if span is not None:
+        tracer.finish(span, driver.sim.now)
     return lost

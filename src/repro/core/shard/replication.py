@@ -48,6 +48,7 @@ fast); sibling RPCs already in the network may still land on healthy
 peers, exactly as real in-flight messages would.
 """
 
+from repro import obs
 from repro.core.shard.routing import (
     EpochFenced, MemberDown, ResolveForward, VinoForward,
 )
@@ -482,10 +483,12 @@ class ShardReplicationPart:
             req_size=self.config.rpc_bytes if req_size is None else req_size,
             resp_size=self.config.rpc_bytes,
         )
-        if self.faults is None:
+        slot = f"m{getattr(member, 'member_index', '?')}"
+        if self.faults is not None:
+            call = self._peer_traced(call, slot, method)
+        if obs.TRACER is None:
             return call
-        return self._peer_traced(
-            call, f"m{getattr(member, 'member_index', '?')}", method)
+        return self._peer_span(call, "member_rpc", slot, method)
 
     def repl_apply(self, base, records, stamp=None):
         """RPC (primary-to-backup): apply a shipped journal suffix.
@@ -794,6 +797,36 @@ class ReplicatedShard:
         survived into the promoted history
         (:meth:`_survived_promotion`).
         """
+        if obs.TRACER is None and obs.METRICS is None:
+            return self._ship_inner(member, commit_lsn)
+        return self._ship_observed(member, commit_lsn)
+
+    def _ship_observed(self, member, commit_lsn):
+        """Coroutine: :meth:`_ship_inner` under a ``ship`` span + metrics."""
+        tracer, metrics = obs.TRACER, obs.METRICS
+        sim = self.sim
+        start = sim.now
+        span = None
+        if tracer is not None:
+            span = tracer.start("ship", f"s{self.shard_id}", start,
+                                shard=self.shard_id, epoch=member.epoch,
+                                lsn=commit_lsn)
+        try:
+            yield from self._ship_inner(member, commit_lsn)
+        except FsError as exc:
+            if span is not None:
+                tracer.finish(span, sim.now, outcome=exc.code)
+            raise
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish(span, sim.now, outcome=type(exc).__name__)
+            raise
+        if span is not None:
+            tracer.finish(span, sim.now)
+        if metrics is not None:
+            metrics.observe("quorum_ack_ms", self.shard_id, sim.now - start)
+
+    def _ship_inner(self, member, commit_lsn):
         if member is not self.primary or member.epoch < self.epoch:
             if self._survived_promotion(member, commit_lsn):
                 return
@@ -807,6 +840,9 @@ class ReplicatedShard:
             base = self.acked.get(backup)
             if base is None:
                 continue  # mid-resync: the rejoin will set its pointer
+            if obs.METRICS is not None:
+                obs.METRICS.observe(
+                    "ship_lag_records", self.shard_id, head - base)
             try:
                 applied = yield from member._member_call(
                     backup, "repl_apply", base,
@@ -828,6 +864,9 @@ class ReplicatedShard:
                 raise
             if self.acked.get(backup) is not None:
                 self.acked[backup] = max(self.acked[backup], applied)
+            if obs.METRICS is not None:
+                obs.METRICS.observe(
+                    "apply_lag_records", self.shard_id, head - applied)
         live = 1 + len(self.live_backups())
         acks = 1 + sum(1 for b in self.live_backups()
                        if self.acked[b] >= commit_lsn)
@@ -884,6 +923,14 @@ class ReplicatedShard:
             return self.primary
         self._failover_gate = self.sim.event()
         started = self.sim.now
+        tracer = obs.TRACER
+        # The failover span measures exactly the availability gap: it opens
+        # at the single-flight claim and closes the instant serving resumes
+        # (``last_failover``); the overlapped cleanup below stays outside.
+        span = None
+        if tracer is not None:
+            span = tracer.start("failover", f"s{self.shard_id}", started,
+                                shard=self.shard_id, epoch=self.epoch)
         try:
             old = self.primary
             candidates = [m for m in self.backups
@@ -913,6 +960,12 @@ class ReplicatedShard:
             self.acked = {}
             best.dbsvc.replicator = self._shipper(best)
             self.last_failover = (started, self.sim.now)
+            if span is not None:
+                tracer.finish(span, self.sim.now)
+                span = None
+            if obs.METRICS is not None:
+                obs.METRICS.observe(
+                    "failover_gap_ms", self.shard_id, self.sim.now - started)
             # Serving has resumed; the cleanup below overlaps new traffic.
             yield from best.complete_tier_intents(
                 {self.shard_id: best.epoch})
@@ -921,6 +974,8 @@ class ReplicatedShard:
                 # journal — a different LSN space.  Snapshot resync.
                 yield from self.rejoin(member)
         finally:
+            if span is not None:  # error before serving resumed
+                tracer.finish(span, self.sim.now, outcome="error")
             gate, self._failover_gate = self._failover_gate, None
             gate.succeed()
         return self.primary

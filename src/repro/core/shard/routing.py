@@ -26,6 +26,7 @@ monolith):
 
 import hashlib
 
+from repro import obs
 from repro.core.metadriver import MetadataDriver
 from repro.core.metaservice import _MAX_SYMLINK_DEPTH
 from repro.pfs.errors import FsError
@@ -278,18 +279,50 @@ class ShardRouter:
         retried operation captures the promoted primary and its fresh
         epoch.
         """
+        group = self.groups[shard]
         for attempt in range(self._FAILOVER_RETRIES + 1):
-            driver = self._read_driver(shard) if read_only \
-                else self._primary_driver(shard)
+            member = None
+            if read_only and self.config.follower_reads:
+                member = group.follower_for_read(
+                    self.config.follower_staleness)
+            follower = member is not None
+            if member is None:
+                member = group.primary
+            driver = self._member_drivers[shard][member]
+            tracer = obs.TRACER
+            span = None
+            if tracer is not None:
+                span = tracer.start(
+                    "group_rpc", method, self.machine.sim.now, shard=shard,
+                    epoch=member.epoch, attempt=attempt,
+                    member=member.member_index,
+                    role="backup" if follower else "primary")
+            if follower and obs.METRICS is not None:
+                obs.METRICS.incr("follower_reads", shard)
+                obs.METRICS.observe(
+                    "follower_staleness", shard,
+                    group.lsn - group.acked[member])
             try:
                 result = yield from driver.call(method, *args)
+                if span is not None:
+                    tracer.finish(span, self.machine.sim.now)
                 return result
             except FsError as exc:
+                if span is not None:
+                    tracer.finish(span, self.machine.sim.now,
+                                  outcome=exc.code)
                 if exc.code != "EAGAIN" or attempt == self._FAILOVER_RETRIES:
                     raise
-                for group in self.groups:
-                    if group.primary.down:
-                        yield from group.ensure_failover()
+                if obs.METRICS is not None:
+                    obs.METRICS.incr("router_retry", shard)
+                for other in self.groups:
+                    if other.primary.down:
+                        yield from other.ensure_failover()
+            except BaseException as exc:
+                if span is not None:
+                    tracer.finish(span, self.machine.sim.now,
+                                  outcome=type(exc).__name__)
+                raise
 
     def shard_for_dir(self, dir_path):
         return self.sharding.shard_of_dir(dir_path, self.n_shards)
@@ -301,32 +334,72 @@ class ShardRouter:
     def call(self, method, *args):
         """Coroutine: one (possibly fanned-out) metadata RPC."""
         if self.n_shards == 1 and self.groups is None:
-            return self.drivers[0].call(method, *args)
+            if obs.TRACER is None and obs.METRICS is None:
+                return self.drivers[0].call(method, *args)
+            return self._observed(
+                self.drivers[0].call(method, *args), method, 0)
         if method == "statfs":
-            return self._statfs()
-        if method == "close_sync":
+            shard = None
+            coro = self._statfs()
+        elif method == "close_sync":
             shard = self._vino_shard.get(args[0], 0)
             self._note_load(shard, None)
             if self.groups is not None:
-                return self._call_group(shard, method, args)
-            return self.drivers[shard].call(method, *args)
-        if method == "readdir":
-            dir_path = normalize(args[0])
-            shard = self.shard_for_dir(dir_path)
-        elif method == "rename":
-            dir_path, _name = split(args[0])
-            shard = self.shard_for_dir(dir_path)
-        elif method == "link":
-            dir_path, _name = split(args[1])
-            shard = self.shard_for_dir(dir_path)
-        elif method in self._LEAF_OPS:
-            dir_path, _name = split(args[0])
-            shard = self.shard_for_dir(dir_path)
+                coro = self._call_group(shard, method, args)
+            else:
+                coro = self.drivers[shard].call(method, *args)
         else:
-            dir_path = None
-            shard = 0
-        self._note_load(shard, dir_path)
-        return self._tracked(shard, method, args)
+            if method == "readdir":
+                dir_path = normalize(args[0])
+                shard = self.shard_for_dir(dir_path)
+            elif method == "rename":
+                dir_path, _name = split(args[0])
+                shard = self.shard_for_dir(dir_path)
+            elif method == "link":
+                dir_path, _name = split(args[1])
+                shard = self.shard_for_dir(dir_path)
+            elif method in self._LEAF_OPS:
+                dir_path, _name = split(args[0])
+                shard = self.shard_for_dir(dir_path)
+            else:
+                dir_path = None
+                shard = 0
+            self._note_load(shard, dir_path)
+            coro = self._tracked(shard, method, args)
+        if obs.TRACER is None and obs.METRICS is None:
+            return coro
+        return self._observed(coro, method, shard)
+
+    def _observed(self, coro, method, shard):
+        """Coroutine: run one client op under a ``client_op`` span.
+
+        Pure Python bookkeeping around the inner coroutine — the same
+        zero-simulated-cost discipline as :meth:`_note_load` (no events,
+        no yields of its own, no sequence numbers).
+        """
+        tracer, metrics = obs.TRACER, obs.METRICS
+        sim = self.machine.sim
+        start = sim.now
+        span = None
+        if tracer is not None:
+            span = tracer.start("client_op", method, start, shard=shard)
+        try:
+            result = yield from coro
+        except FsError as exc:
+            if span is not None:
+                tracer.finish(span, sim.now, outcome=exc.code)
+            if metrics is not None:
+                metrics.observe(f"op_ms.{method}", shard, sim.now - start)
+            raise
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish(span, sim.now, outcome=type(exc).__name__)
+            raise
+        if span is not None:
+            tracer.finish(span, sim.now)
+        if metrics is not None:
+            metrics.observe(f"op_ms.{method}", shard, sim.now - start)
+        return result
 
     #: bound on learned vino homes; overflow clears (close_sync then
     #: falls back to shard 0 and the service fans out on a miss).
@@ -465,6 +538,8 @@ class ShardRoutingPart:
         coord, epoch = stamp
         fence = self.fences.get(coord, 0)
         if epoch < fence:
+            if obs.METRICS is not None:
+                obs.METRICS.incr("epoch_fenced", self.shard_id)
             raise EpochFenced(coord, epoch, fence)
 
     @staticmethod
@@ -487,15 +562,23 @@ class ShardRoutingPart:
         tests.
         """
         if self.down:
+            if obs.METRICS is not None:
+                obs.METRICS.incr("member_down", self.shard_id)
             raise MemberDown(self.shard_id)
         if self._admission is None:
             return super()._dispatch()
         return self._gated_dispatch()
 
     def _gated_dispatch(self):
+        entered = self.sim.now
         while self._admission is not None:
             yield self._admission
+        if obs.METRICS is not None:
+            obs.METRICS.observe(
+                "admission_wait_ms", self.shard_id, self.sim.now - entered)
         if self.down:
+            if obs.METRICS is not None:
+                obs.METRICS.incr("member_down", self.shard_id)
             raise MemberDown(self.shard_id)
         yield from super()._dispatch()
 
@@ -513,6 +596,8 @@ class ShardRoutingPart:
         the other to serve its fence install / allocator probe.
         """
         if self.down:
+            if obs.METRICS is not None:
+                obs.METRICS.incr("member_down", self.shard_id)
             raise MemberDown(self.shard_id)
         return super()._dispatch()
 
@@ -549,15 +634,43 @@ class ShardRoutingPart:
             self.shard_machines[shard], "cofsmds", method, args=args,
             req_size=self.config.rpc_bytes, resp_size=self.config.rpc_bytes,
         )
-        if self.faults is None:
+        if self.faults is not None:
+            call = self._peer_traced(call, shard, method)
+        if obs.TRACER is None:
             return call
-        return self._peer_traced(call, shard, method)
+        return self._peer_span(call, "peer_rpc", shard, method)
 
     def _peer_traced(self, call, shard, method):
         """Coroutine: a peer RPC whose send/receive are crash boundaries."""
         self.faults.boundary(("send", self.shard_id, shard, method))
         result = yield from call
         self.faults.boundary(("recv", self.shard_id, shard, method))
+        return result
+
+    def _peer_span(self, call, kind, target, method):
+        """Coroutine: run a shard-to-shard (or member) RPC under a span.
+
+        Created in the issuing process but possibly *executed* in a
+        spawned child (parallel broadcasts / fence fan-outs): the span
+        opens on first resume, inside the child, whose inherited ``ctx``
+        parents it correctly.
+        """
+        tracer = obs.TRACER
+        if tracer is None:  # disabled between creation and first resume
+            result = yield from call
+            return result
+        sim = self.sim
+        span = tracer.start(kind, method, sim.now, shard=self.shard_id,
+                            epoch=self.epoch, target=target)
+        try:
+            result = yield from call
+        except FsError as exc:
+            tracer.finish(span, sim.now, outcome=exc.code)
+            raise
+        except BaseException as exc:
+            tracer.finish(span, sim.now, outcome=type(exc).__name__)
+            raise
+        tracer.finish(span, sim.now)
         return result
 
     def _call_shard(self, shard, method, *args):

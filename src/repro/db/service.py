@@ -10,6 +10,7 @@ network round-trip time while ``utime`` pays a few milliseconds.
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cluster.disk import GroupCommitLog
 from repro.db.recovery import RedoJournal, rebuild
 
@@ -116,6 +117,11 @@ class DbService:
                     self.fault_hook()
                 if self.replicator is not None:
                     yield from self.replicator(commit_lsn)
+                    if obs.TRACER is not None:
+                        # The replicator returned without raising: a quorum
+                        # holds this commit; the caller may now be acked.
+                        obs.TRACER.event("quorum_ack", self.machine.sim.now,
+                                         lsn=commit_lsn)
             else:
                 self.read_txns += 1
         finally:

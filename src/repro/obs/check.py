@@ -1,0 +1,165 @@
+"""Trace-checked invariants: causal orderings the prose invariants promise.
+
+The repo's correctness story (ROADMAP "Invariants") is enforced today by
+end-state oracles — table scans after the fact.  :class:`TraceChecker`
+closes the gap in the middle: it reads a finished trace and asserts that
+the *history* obeyed the protocol, not just that the final state does.
+
+Checks:
+
+1. **quorum-ack before client-ack** — every successful client-op span of
+   an always-committing mutation on a replicated group contains a
+   ``quorum_ack`` event in its subtree (and so does any successful
+   client op whose subtree shipped).  ``rename``/``link`` are excluded
+   from the always-commit set because they legally no-op (renaming a
+   path onto itself commits nothing).
+2. **promotion ordering** — every ``promote`` span's events appear in
+   protocol order: gate_close → epoch_bump → tier_fence → member_fence*
+   → reseat → gate_open, with non-decreasing timestamps.
+3. **recovery ordering** — under a ``recover`` span, the intent
+   completion pass ends before any skeleton resync starts (resync-first
+   reads a surviving half-replicated change as divergence).
+4. **no mutation on a follower** — every group RPC served by a backup is
+   a bounded-staleness read; mutations only ever land on primaries.
+
+Violations raise :class:`TraceViolation` (an ``AssertionError``), so the
+checker drops straight into pytest.
+"""
+
+#: Methods that, on success, always commit an update transaction on the
+#: target group.  rename/link may legally no-op, so they are asserted via
+#: the shipped-subtree rule instead.
+ALWAYS_COMMIT = frozenset({"create_node", "setattr", "unlink", "rmdir"})
+
+#: Read-only methods a bounded-staleness follower may serve.
+FOLLOWER_OPS = frozenset({"getattr", "readlink", "readdir"})
+
+#: Promotion sub-step events, in required protocol order.  member_fence
+#: repeats once per live fellow member (possibly zero times).
+PROMOTION_ORDER = ("gate_close", "epoch_bump", "tier_fence",
+                   "member_fence", "reseat", "gate_open")
+
+
+class TraceViolation(AssertionError):
+    """A trace contradicted a protocol invariant."""
+
+
+class TraceChecker:
+    """Asserts causal invariants over a tracer's finished spans."""
+
+    def __init__(self, tracer):
+        self.spans = list(tracer.spans)
+        self._children = {}
+        for span in self.spans:
+            if span.parent is not None:
+                self._children.setdefault(span.parent.span_id, []).append(span)
+
+    # -- tree helpers ------------------------------------------------------
+
+    def subtree(self, span):
+        """``span`` plus all finished descendants."""
+        out = []
+        stack = [span]
+        while stack:
+            s = stack.pop()
+            out.append(s)
+            stack.extend(self._children.get(s.span_id, ()))
+        return out
+
+    def _subtree_events(self, span, name):
+        events = []
+        for s in self.subtree(span):
+            events.extend(s.find_events(name))
+        return events
+
+    # -- checks ------------------------------------------------------------
+
+    def check_quorum_ack(self):
+        """Successful replicated mutations acked only after quorum."""
+        for span in self.spans:
+            if span.kind != "client_op" or span.outcome != "ok":
+                continue
+            subtree = self.subtree(span)
+            replicated = any(s.kind == "group_rpc" for s in subtree)
+            if not replicated:
+                continue  # pass-through / unreplicated tier
+            shipped = any(s.kind == "ship" for s in subtree)
+            must_ack = span.name in ALWAYS_COMMIT or shipped
+            if not must_ack:
+                continue
+            if not self._subtree_events(span, "quorum_ack"):
+                raise TraceViolation(
+                    f"client op {span!r} was acked without a quorum_ack "
+                    f"event anywhere in its span subtree"
+                )
+
+    def check_promotion_order(self):
+        """Promotion sub-steps happen in protocol order."""
+        for span in self.spans:
+            if span.kind != "promote" or span.outcome != "ok":
+                continue
+            names = span.event_names()
+            times = [t for _n, t, _x in span.events]
+            if any(b < a for a, b in zip(times, times[1:])):
+                raise TraceViolation(
+                    f"promotion {span!r} recorded events out of time order: "
+                    f"{list(zip(names, times))}"
+                )
+            # Collapse the member_fence repetitions, then demand the exact
+            # protocol sequence.
+            collapsed = [n for i, n in enumerate(names)
+                         if i == 0 or n != names[i - 1] or n != "member_fence"]
+            expected = [n for n in PROMOTION_ORDER
+                        if n != "member_fence" or "member_fence" in names]
+            if collapsed != list(expected):
+                raise TraceViolation(
+                    f"promotion {span!r} ran sub-steps {names}, expected "
+                    f"order {list(PROMOTION_ORDER)} (member_fence optional, "
+                    f"repeatable)"
+                )
+
+    def check_recovery_order(self):
+        """Intent completion finishes before skeleton resync starts."""
+        for span in self.spans:
+            if span.kind != "recover" or span.outcome != "ok":
+                continue
+            passes = [s for s in self._children.get(span.span_id, ())
+                      if s.kind == "recover_pass"]
+            complete = [s for s in passes if s.name == "complete_intents"]
+            resync = [s for s in passes if s.name == "resync_skeleton"]
+            if not resync:
+                continue
+            if not complete:
+                raise TraceViolation(
+                    f"recovery {span!r} ran resync_skeleton without an "
+                    f"intent completion pass"
+                )
+            last_complete = max(s.end for s in complete)
+            first_resync = min(s.start for s in resync)
+            if first_resync < last_complete:
+                raise TraceViolation(
+                    f"recovery {span!r} started resync_skeleton at "
+                    f"t={first_resync} before intent completion ended at "
+                    f"t={last_complete}"
+                )
+
+    def check_no_follower_mutations(self):
+        """Backups only ever serve bounded-staleness reads."""
+        for span in self.spans:
+            if span.kind != "group_rpc":
+                continue
+            role = (span.extra or {}).get("role")
+            if role == "backup" and span.name not in FOLLOWER_OPS:
+                raise TraceViolation(
+                    f"group RPC {span!r} routed mutation {span.name!r} to a "
+                    f"backup; only {sorted(FOLLOWER_OPS)} may be "
+                    f"follower-served"
+                )
+
+    def check_all(self):
+        """Run every invariant check; returns self for chaining."""
+        self.check_quorum_ack()
+        self.check_promotion_order()
+        self.check_recovery_order()
+        self.check_no_follower_mutations()
+        return self

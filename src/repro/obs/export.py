@@ -1,0 +1,82 @@
+"""JSONL exporters and the per-run aggregation report.
+
+Bench runs persist two artifacts next to BENCH_*.json: a trace file (one
+span per line, parent-linked) and a metrics file (one ``(metric, shard)``
+cell per line).  :func:`aggregate_spans` folds a span list into the
+p50/p99-per-span-kind table the run report prints.
+"""
+
+import json
+
+from repro.sim.stats import SampleStats
+
+
+def write_trace_jsonl(path, tracer):
+    """Write one JSON object per finished span to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in tracer.spans:
+            fh.write(json.dumps(span.as_dict(), sort_keys=True))
+            fh.write("\n")
+    return len(tracer.spans)
+
+
+def write_metrics_jsonl(path, metrics):
+    """Write one JSON object per metric cell to ``path``."""
+    rows = metrics.rows()
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True))
+            fh.write("\n")
+    return len(rows)
+
+
+def aggregate_spans(spans):
+    """Per-span-kind duration summaries.
+
+    Returns ``{kind: {"count", "mean_ms", "p50_ms", "p99_ms", "max_ms",
+    "errors"}}`` over finished spans.
+    """
+    cells = {}
+    errors = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        cell = cells.get(span.kind)
+        if cell is None:
+            cell = cells[span.kind] = SampleStats()
+            errors[span.kind] = 0
+        cell.add(span.end - span.start)
+        if span.outcome != "ok":
+            errors[span.kind] += 1
+    out = {}
+    for kind in sorted(cells):
+        cell = cells[kind]
+        out[kind] = {
+            "count": cell.n,
+            "mean_ms": cell.mean,
+            "p50_ms": cell.p50,
+            "p99_ms": cell.p99,
+            "max_ms": cell.max,
+            "errors": errors[kind],
+        }
+    return out
+
+
+def format_aggregate(aggregate, title="trace span summary"):
+    """Render an :func:`aggregate_spans` result as a bench-style table."""
+    # Imported lazily: repro.obs is imported by core/db modules that the
+    # bench package itself builds on.
+    from repro.bench.report import format_table
+
+    rows = []
+    for kind, cell in aggregate.items():
+        rows.append([
+            kind, cell["count"], f"{cell['mean_ms']:.3f}",
+            f"{cell['p50_ms']:.3f}", f"{cell['p99_ms']:.3f}",
+            f"{cell['max_ms']:.3f}", cell["errors"],
+        ])
+    return format_table(
+        ["span kind", "count", "mean ms", "p50 ms", "p99 ms", "max ms",
+         "errors"],
+        rows, title=title,
+    )

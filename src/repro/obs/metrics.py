@@ -1,0 +1,107 @@
+"""Per-shard metrics registry: counters and histograms keyed by shard.
+
+The registry is deliberately dumb — two dicts keyed ``(name, shard)`` —
+so the instrumented hot paths pay one dict lookup per update.  Histogram
+cells are :class:`~repro.sim.stats.SampleStats`, so every observed series
+carries mean/min/max *and* p50/p99.
+
+Canonical metric names (the registry does not enforce them; see
+``docs/observability.md``):
+
+========================  ==========  =======================================
+name                      type        meaning
+========================  ==========  =======================================
+``op_ms.<method>``        histogram   client-observed op latency at the router
+``quorum_ack_ms``         histogram   primary-side ship+quorum latency
+``ship_lag_records``      histogram   journal records per ship batch
+``apply_lag_records``     histogram   backup applied-LSN lag before a ship
+``follower_staleness``    histogram   staleness (records) when a follower
+                                      actually served a read
+``admission_wait_ms``     histogram   time ops waited on the admission gate
+``failover_gap_ms``       histogram   unavailability window per failover
+``failover_step_ms.<s>``  histogram   promotion sub-step durations
+``rebalancer_load``       histogram   per-shard load at rebalance plan time
+``epoch_fenced``          counter     stamped requests refused by a fence
+``member_down``           counter     requests refused by a down member
+``router_retry``          counter     router EAGAIN retries
+``follower_reads``        counter     reads served by a backup
+``rebalance_moves``       counter     directories re-homed
+========================  ==========  =======================================
+"""
+
+from repro.sim.stats import SampleStats
+
+
+class MetricsRegistry:
+    """Counters and histograms keyed by ``(metric name, shard)``."""
+
+    def __init__(self):
+        self._counters = {}
+        self._histograms = {}
+
+    # -- updates (hot paths) ----------------------------------------------
+
+    def incr(self, name, shard, by=1):
+        key = (name, shard)
+        counters = self._counters
+        counters[key] = counters.get(key, 0) + by
+
+    def observe(self, name, shard, value):
+        key = (name, shard)
+        cell = self._histograms.get(key)
+        if cell is None:
+            cell = self._histograms[key] = SampleStats()
+        cell.add(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name, shard=None):
+        """Counter value; summed across shards when ``shard`` is None."""
+        if shard is not None:
+            return self._counters.get((name, shard), 0)
+        return sum(v for (n, _s), v in self._counters.items() if n == name)
+
+    def histogram(self, name, shard=None):
+        """The :class:`SampleStats` cell, or a merged copy across shards."""
+        if shard is not None:
+            return self._histograms.get((name, shard))
+        merged = None
+        for (n, _s), cell in self._histograms.items():
+            if n != name:
+                continue
+            if merged is None:
+                merged = SampleStats()
+            merged.merge(cell)
+        return merged
+
+    def names(self):
+        names = {n for n, _s in self._counters}
+        names.update(n for n, _s in self._histograms)
+        return sorted(names)
+
+    def shards(self, name):
+        shards = {s for n, s in self._counters if n == name}
+        shards.update(s for n, s in self._histograms if n == name)
+        return sorted(shards, key=lambda s: (s is None, s))
+
+    def rows(self):
+        """Flat export rows, one per ``(name, shard)`` cell."""
+        rows = []
+        for (name, shard), value in sorted(
+                self._counters.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))):
+            rows.append({"metric": name, "shard": shard, "type": "counter",
+                         "value": value})
+        for (name, shard), cell in sorted(
+                self._histograms.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))):
+            row = {"metric": name, "shard": shard, "type": "histogram",
+                   "count": cell.n, "mean": cell.mean,
+                   "min": cell.min, "max": cell.max, "total": cell.total}
+            if cell.n:
+                row["p50"] = cell.p50
+                row["p99"] = cell.p99
+            rows.append(row)
+        return rows
+
+    def reset(self):
+        self._counters = {}
+        self._histograms = {}

@@ -1,0 +1,157 @@
+"""Distributed tracing over the simulation kernel.
+
+A :class:`Span` records one causally-scoped unit of work — a client op at
+the router, a group RPC attempt, a peer RPC, a replication ship, a
+promotion — with simulated start/end times, the shard it ran on, the
+epoch it observed, and its outcome.  Spans form a tree: the parent is
+whatever span was active in the executing process when the child opened.
+
+Context propagation rides the kernel, not the payloads: the kernel
+publishes the currently executing :class:`~repro.sim.kernel.Process` on
+``Tracer.current`` (see ``repro.sim.kernel.TRACE``), each process carries
+an ambient ``ctx`` (its active span), and spawned processes inherit their
+spawner's ``ctx`` — so parallel mirror broadcasts, fence fan-outs and
+killer processes all land under the right parent without any RPC schema
+change.  Because RPCs execute via ``yield from`` inline in the caller's
+process, router → shard → peer chains share one ``ctx`` cell and nest
+naturally.
+
+Everything here is charge-preserving by construction: no simulated
+events, no yields, no sequence numbers — only Python-side bookkeeping on
+the already-running process.
+"""
+
+
+class Span:
+    """One traced unit of work (a node in a trace tree)."""
+
+    __slots__ = ("span_id", "parent", "trace_id", "kind", "name", "shard",
+                 "epoch", "start", "end", "outcome", "events", "extra")
+
+    def __init__(self, span_id, parent, trace_id, kind, name, shard, epoch,
+                 start, extra):
+        self.span_id = span_id
+        self.parent = parent
+        self.trace_id = trace_id
+        self.kind = kind
+        self.name = name
+        self.shard = shard
+        self.epoch = epoch
+        self.start = start
+        self.end = None
+        self.outcome = None
+        #: point events inside the span: ``(name, sim_time, extra_dict)``.
+        self.events = []
+        self.extra = extra
+
+    @property
+    def parent_id(self):
+        return self.parent.span_id if self.parent is not None else None
+
+    @property
+    def duration(self):
+        """Span length in simulated ms (None while open)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def event_names(self):
+        return [name for name, _t, _x in self.events]
+
+    def find_events(self, name):
+        return [ev for ev in self.events if ev[0] == name]
+
+    def as_dict(self):
+        d = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "kind": self.kind,
+            "name": self.name,
+            "shard": self.shard,
+            "epoch": self.epoch,
+            "start": self.start,
+            "end": self.end,
+            "outcome": self.outcome,
+        }
+        if self.events:
+            d["events"] = [
+                {"name": name, "t": t, **extra}
+                for name, t, extra in self.events
+            ]
+        if self.extra:
+            d.update(self.extra)
+        return d
+
+    def __repr__(self):
+        return (f"<Span {self.kind}:{self.name} #{self.span_id} "
+                f"[{self.start}..{self.end}] {self.outcome}>")
+
+
+class Tracer:
+    """Collects spans; the kernel keeps ``current`` pointed at the
+    executing process so :meth:`active` always reflects ambient context."""
+
+    def __init__(self):
+        #: the currently executing Process (maintained by the kernel).
+        self.current = None
+        #: finished spans, in finish order.
+        self.spans = []
+        self._next_span = 0
+        self._next_trace = 0
+
+    # -- context -----------------------------------------------------------
+
+    def active(self):
+        """The active span of the executing process (None outside spans)."""
+        proc = self.current
+        return proc.ctx if proc is not None else None
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def start(self, kind, name, now, shard=None, epoch=None, **extra):
+        """Open a span as a child of the active one and make it active.
+
+        ``now`` is the simulated clock reading at the call site; the tracer
+        deliberately holds no simulator reference (bench runs build several
+        stacks, each with its own clock).
+        """
+        parent = self.active()
+        self._next_span += 1
+        if parent is not None:
+            trace_id = parent.trace_id
+        else:
+            self._next_trace += 1
+            trace_id = self._next_trace
+        span = Span(self._next_span, parent, trace_id, kind, name, shard,
+                    epoch, now, extra or None)
+        proc = self.current
+        if proc is not None:
+            proc.ctx = span
+        return span
+
+    def finish(self, span, now, outcome="ok"):
+        """Close ``span`` and restore its parent as the active context."""
+        span.end = now
+        span.outcome = outcome
+        self.spans.append(span)
+        proc = self.current
+        # The finishing process may differ from the opening one (a span
+        # can be closed after a cross-process wait); only pop the context
+        # if this span is actually on top of it.
+        if proc is not None and proc.ctx is span:
+            proc.ctx = span.parent
+
+    def event(self, name, now, **extra):
+        """Attach a point event to the active span (no-op outside spans)."""
+        span = self.active()
+        if span is not None:
+            span.events.append((name, now, extra))
+
+    # -- queries -----------------------------------------------------------
+
+    def by_kind(self, kind):
+        return [s for s in self.spans if s.kind == kind]
+
+    def reset(self):
+        self.spans = []

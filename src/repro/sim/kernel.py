@@ -32,12 +32,21 @@ from repro.sim.events import (
     PENDING, AllOf, AnyOf, Event, Timeout,
 )
 
+#: Optional tracer hook (set by :func:`repro.obs.enable`).  When ``None``
+#: (the default) the kernel pays one module-global load and a ``None``
+#: check per resume — nothing else.  When set, the kernel publishes the
+#: currently executing :class:`Process` on ``TRACE.current`` so ambient
+#: span context can follow the flow of control, and new processes inherit
+#: their spawner's span context (``ctx``).  The hook never touches the
+#: clock, the heap, or sequence numbers: tracing is charge-preserving.
+TRACE = None
+
 
 class Process(Event):
     """A running coroutine, also waitable as an event (fires at completion)."""
 
     __slots__ = ("generator", "name", "_waiting_on", "_pending_resume",
-                 "_resume_cb")
+                 "_resume_cb", "ctx")
 
     def __init__(self, sim, generator, name=None):
         if not isgenerator(generator):
@@ -46,6 +55,13 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on = None
+        # Ambient span context: spawned processes (parallel broadcasts,
+        # fence fan-outs, ...) continue their spawner's active span.
+        if TRACE is None:
+            self.ctx = None
+        else:
+            parent = TRACE.current
+            self.ctx = parent.ctx if parent is not None else None
         # One bound method for the process's lifetime instead of one
         # allocation per yield.
         self._resume_cb = self._resume
@@ -102,6 +118,8 @@ class Process(Event):
         self._step(event._ok, event._value)
 
     def _step(self, ok, value):
+        if TRACE is not None:
+            TRACE.current = self
         generator = self.generator
         try:
             if ok:
@@ -269,6 +287,10 @@ class Simulator:
             return self.now
         finally:
             self._processed = processed
+            if TRACE is not None:
+                # Top-level code between runs must not attach spans to the
+                # last process that happened to execute.
+                TRACE.current = None
             if gc_was_enabled:
                 gc.enable()
 

@@ -78,6 +78,42 @@ class SummaryStats:
         )
 
 
+class SampleStats(SummaryStats):
+    """A :class:`SummaryStats` that also retains its raw samples.
+
+    The retained samples make percentiles available (``percentile(q)``,
+    ``p50``, ``p99``); everything else behaves like the streaming summary.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self):
+        super().__init__()
+        self.samples = []
+
+    def add(self, x):
+        super().add(x)
+        self.samples.append(x)
+
+    def percentile(self, q):
+        """The ``q``-quantile (0..1) of the retained samples."""
+        return percentile(self.samples, q)
+
+    @property
+    def p50(self):
+        return percentile(self.samples, 0.50)
+
+    @property
+    def p99(self):
+        return percentile(self.samples, 0.99)
+
+    def merge(self, other):
+        super().merge(other)
+        if isinstance(other, SampleStats):
+            self.samples.extend(other.samples)
+        return self
+
+
 def percentile(samples, q):
     """The ``q``-quantile (0..1) of ``samples`` by linear interpolation."""
     if not samples:
@@ -166,6 +202,14 @@ class OpRecorder:
 
     def percentile(self, op, q):
         return percentile(self.samples(op), q)
+
+    def p50(self, op):
+        """Median latency of ``op`` (requires ``keep_samples=True``)."""
+        return percentile(self.samples(op), 0.50)
+
+    def p99(self, op):
+        """99th-percentile latency of ``op`` (requires ``keep_samples=True``)."""
+        return percentile(self.samples(op), 0.99)
 
     def merge(self, other):
         """Fold another recorder's summaries (and samples) into this one."""

@@ -847,6 +847,31 @@ def test_member_killed_at_every_boundary_of_a_live_op(name, victim):
         _member_kill_drill(spec, k, victim, pre, post)
 
 
+def test_trace_invariants_hold_across_member_kill_drills():
+    """A bounded subset of the member-kill drills, run traced.
+
+    Each drill's full history — the op's spans, the failover the router
+    drives mid-op, the promotion, the rejoin — must satisfy the trace
+    invariants (quorum-before-ack, promotion ordering, no follower-served
+    mutations).  Three boundaries per (scenario × victim) keep the traced
+    sweep cheap; the exhaustive untraced sweep lives above.
+    """
+    from repro import obs
+
+    for name in sorted(GROUP_SCENARIOS):
+        spec = GROUP_SCENARIOS[name]
+        count, pre, post = _count_group_boundaries(spec)
+        picks = sorted({0, count // 2, count - 1})
+        for victim in ("primary", "backup"):
+            for k in picks:
+                tracer, _metrics = obs.enable()
+                try:
+                    _member_kill_drill(spec, k, victim, pre, post)
+                    obs.TraceChecker(tracer).check_all()
+                finally:
+                    obs.disable()
+
+
 def test_failover_boundary_enumeration_is_large():
     """Acceptance floor: the replicated drills cover ≥ 20 distinct
     (victim × boundary) pairs (unbounded enumeration)."""

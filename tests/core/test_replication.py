@@ -10,6 +10,7 @@ must match a crash-free reference) in ``test_differential.py``.
 
 import pytest
 
+from repro import obs
 from repro.core.config import CofsConfig
 from repro.core.faults import (
     check_group_invariants,
@@ -22,6 +23,20 @@ from repro.core.shard.routing import EpochFenced
 from repro.core.sharding import SubtreeSharding
 from repro.pfs.errors import FsError
 from tests.core.conftest import ShardedCofs
+
+
+@pytest.fixture(autouse=True)
+def _trace_checked():
+    """Every replication test runs traced; its history must satisfy the
+    protocol invariants (quorum-before-ack, promotion order, recovery
+    order, no follower-served mutations).  Tracing is charge-preserving,
+    so the simulated results the assertions below check are unchanged."""
+    tracer, _metrics = obs.enable()
+    try:
+        yield
+        obs.TraceChecker(tracer).check_all()
+    finally:
+        obs.disable()
 
 
 def _host(replicas=2, shards=2, **kwargs):

@@ -1,0 +1,19 @@
+"""Fixtures for the observability suite: an enabled tracer per test."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def traced():
+    """Enable tracing + metrics for the test; always disable after.
+
+    Yields the ``(tracer, metrics)`` pair so tests can read spans and
+    counters directly.
+    """
+    pair = obs.enable()
+    try:
+        yield pair
+    finally:
+        obs.disable()

@@ -1,0 +1,132 @@
+"""Metrics registry, JSONL exporters, aggregates, and the bench gate."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.quick import check_fingerprints, latest_reference
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+
+def test_counters_key_by_shard_and_sum_across():
+    reg = MetricsRegistry()
+    reg.incr("epoch_fenced", 0)
+    reg.incr("epoch_fenced", 0)
+    reg.incr("epoch_fenced", 1, by=3)
+    assert reg.counter("epoch_fenced", 0) == 2
+    assert reg.counter("epoch_fenced", 1) == 3
+    assert reg.counter("epoch_fenced") == 5
+    assert reg.counter("router_retry") == 0
+
+
+def test_histograms_merge_across_shards():
+    reg = MetricsRegistry()
+    for shard, value in ((0, 1.0), (0, 3.0), (1, 5.0)):
+        reg.observe("quorum_ack_ms", shard, value)
+    assert reg.histogram("quorum_ack_ms", 0).n == 2
+    merged = reg.histogram("quorum_ack_ms")
+    assert merged.n == 3
+    assert merged.max == 5.0
+    assert merged.p50 == 3.0
+    # The merged view is a copy: observing more does not mutate it.
+    reg.observe("quorum_ack_ms", 1, 100.0)
+    assert merged.n == 3
+
+
+def test_rows_flatten_for_export():
+    reg = MetricsRegistry()
+    reg.incr("router_retry", 2)
+    reg.observe("op_ms.create_node", 0, 4.0)
+    rows = reg.rows()
+    kinds = {(row["metric"], row["shard"]) for row in rows}
+    assert ("router_retry", 2) in kinds
+    assert ("op_ms.create_node", 0) in kinds
+    hist = [r for r in rows if r["metric"] == "op_ms.create_node"][0]
+    assert hist["count"] == 1 and hist["p99"] == 4.0
+
+
+def _finished_span(kind, name, start, end, outcome="ok"):
+    span = Span(1, None, 1, kind, name, None, None, start, None)
+    span.end = end
+    span.outcome = outcome
+    return span
+
+
+def test_aggregate_spans_reports_percentiles():
+    spans = [_finished_span("ship", "s0", 0.0, float(d)) for d in (1, 2, 3)]
+    spans.append(_finished_span("ship", "s1", 0.0, 9.0, outcome="EAGAIN"))
+    agg = obs.aggregate_spans(spans)
+    assert agg["ship"]["count"] == 4
+    assert agg["ship"]["errors"] == 1
+    assert agg["ship"]["max_ms"] == 9.0
+    assert agg["ship"]["p50_ms"] == 2.5
+
+
+def test_jsonl_exports_round_trip(tmp_path, traced):
+    tracer, metrics = traced
+    span = tracer.start("client_op", "create_node", 1.0, shard=0)
+    # event() routes through the executing process; none exists outside
+    # the kernel, so attach the point event directly.
+    span.events.append(("quorum_ack", 2.0, {"lsn": 7}))
+    tracer.finish(span, 3.0)
+    metrics.incr("router_retry", 0)
+    metrics.observe("op_ms.create_node", 0, 2.0)
+
+    trace_path = tmp_path / "t.trace.jsonl"
+    metrics_path = tmp_path / "t.metrics.jsonl"
+    obs.write_trace_jsonl(trace_path, tracer)
+    obs.write_metrics_jsonl(metrics_path, metrics)
+
+    [line] = trace_path.read_text().splitlines()
+    record = json.loads(line)
+    assert record["kind"] == "client_op"
+    assert record["events"] == [{"name": "quorum_ack", "t": 2.0, "lsn": 7}]
+    rows = [json.loads(l) for l in metrics_path.read_text().splitlines()]
+    assert {row["metric"] for row in rows} == {
+        "router_retry", "op_ms.create_node"}
+
+
+# ---------------------------------------------------------------------------
+# The quick-bench fingerprint gate
+# ---------------------------------------------------------------------------
+
+def _run(virtual_ms):
+    return {"experiments": {
+        name: {"virtual_ms": value} for name, value in virtual_ms.items()}}
+
+
+def _reference(tmp_path, virtual_ms):
+    path = tmp_path / "BENCH_PR1.json"
+    path.write_text(json.dumps({"runs": [_run(virtual_ms)]}))
+    return path
+
+
+def test_gate_passes_on_identical_fingerprints(tmp_path, capsys):
+    ref = _reference(tmp_path, {"fig1": 100.5, "fig2": 7.25})
+    check_fingerprints(_run({"fig1": 100.5, "fig2": 7.25}), ref)
+    assert "2 experiments match" in capsys.readouterr().out
+
+
+def test_gate_fails_loudly_on_drift(tmp_path):
+    ref = _reference(tmp_path, {"fig1": 100.5})
+    with pytest.raises(SystemExit, match="fig1"):
+        check_fingerprints(_run({"fig1": 100.6}), ref)
+
+
+def test_gate_refuses_vacuous_checks(tmp_path):
+    ref = _reference(tmp_path, {"fig1": 100.5})
+    with pytest.raises(SystemExit, match="nothing was checked"):
+        check_fingerprints(_run({"table9": 1.0}), ref)
+
+
+def test_latest_reference_picks_highest_pr(tmp_path):
+    for n in (1, 2, 10):
+        (tmp_path / f"BENCH_PR{n}.json").write_text("{}")
+    (tmp_path / "BENCH_PR3.json.bak").write_text("{}")
+    assert latest_reference(tmp_path) == str(tmp_path / "BENCH_PR10.json")
+
+
+def test_latest_reference_empty_dir_is_none(tmp_path):
+    assert latest_reference(tmp_path) is None
