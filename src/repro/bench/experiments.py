@@ -538,6 +538,114 @@ def run_scaling_rebalance(full=False, print_report=False, shard_counts=None):
 
 
 # ---------------------------------------------------------------------------
+# EXP-S4 — beyond the paper: giant shared directories vs intra-dir splitting
+# ---------------------------------------------------------------------------
+
+def run_scaling_split(full=False, print_report=False, shard_counts=None):
+    """Create-storm into ONE shared directory, whole vs split placement.
+
+    The giant-directory regime the paper's Fig. 6 measures (every rank
+    creating into the same directory) is the one workload whole-directory
+    placement cannot help: the directory has exactly one owner shard, so
+    the storm serializes there no matter how many shards the tier has —
+    and re-homing only moves the ceiling.  Intra-directory partitioning
+    hash-splits the directory's *entries* across shards; the same storm
+    then spreads.
+
+    Per shard count the storm runs twice, on fresh stacks:
+
+    - **unsplit** — the directory left whole.  The mdcreate/stat rates
+      stay flat as shards are added (the single-owner ceiling);
+    - **split** — a short warmup storm first lets the
+      :class:`~repro.core.shard.rebalance.Rebalancer` (armed with
+      ``split_threshold``) sample the hotspot and hash-partition the
+      directory across every shard, then the measured storm re-runs.
+      ``mdcreate`` isolates the metadata tier (no underlying object), so
+      its rate is the scaling headline; ``stat`` rides along as the
+      read-side check.
+
+    Every split run ends under the tier-wide invariant oracle.
+    ``shard_counts`` (or ``REPRO_SPLIT_SHARDS``, e.g. ``1,4``) overrides
+    the default grid.
+    """
+    from repro.core.faults import check_tier_invariants
+    from repro.core.shard import Rebalancer
+
+    if shard_counts is None:
+        env = os.environ.get("REPRO_SPLIT_SHARDS")
+        if env:
+            shard_counts = tuple(int(tok) for tok in env.split(",") if tok)
+        else:
+            shard_counts = (1, 2, 4, 8) if _full(full) else (1, 2, 4)
+    # The storm must *saturate* one shard for splitting to have anything
+    # to spread: with few ranks every op is latency-bound and extra
+    # shards buy nothing, so this experiment runs wider than the other
+    # scaling sweeps.
+    nodes = 16 if _full(full) else 8
+    procs_per_node = 8
+    fpp = 64 if _full(full) else 32
+    ops = ("mdcreate", "stat")
+    results = {}
+    ops_done = 0
+    virtual_ms = 0.0
+    for n_shards in shard_counts:
+        for mode in ("unsplit", "split"):
+            if mode == "split" and n_shards == 1:
+                # One shard has nothing to split across; the whole-dir
+                # run doubles as the baseline both columns share.
+                for op in ops:
+                    results[(op, 1, "split")] = results[(op, 1, "unsplit")]
+                results[("split-dirs", 1)] = 0
+                continue
+            testbed = build_flat_testbed(nodes, with_mds=n_shards)
+            stack = CofsStack(testbed)
+            config = MetaratesConfig(
+                nodes=nodes, procs_per_node=procs_per_node,
+                files_per_proc=fpp, ops=ops,
+            )
+            if mode == "split":
+                # Warmup storm: enough traffic for the routers to sample
+                # the hotspot, then one rebalancer round splits it.
+                run_metarates(stack, dataclasses.replace(
+                    config, files_per_proc=4, ops=("mdcreate",)))
+                rebalancer = Rebalancer(
+                    stack.routers, stack.shards, split_threshold=1.0)
+                executed = stack.testbed.sim.run_process(
+                    rebalancer.rebalance())
+                splits = [rec for rec in executed if len(rec[2]) > 1]
+                results[("split-dirs", n_shards)] = len(splits)
+            res = run_metarates(stack, config)
+            for op in ops:
+                results[(op, n_shards, mode)] = res.rate_per_s(op)
+                results[(op, n_shards, mode, "mean_ms")] = res.mean_ms(op)
+            ops_done += sum(res.recorder.count(op) for op in ops)
+            virtual_ms += stack.testbed.sim.now
+            if mode == "split":
+                check_tier_invariants(stack.shards, stack.sharding)
+    out = {"shards": tuple(shard_counts), "nodes": nodes,
+           "procs_per_node": procs_per_node, "files_per_proc": fpp,
+           "ops": ops, "ops_done": ops_done, "virtual_ms": virtual_ms,
+           "results": results}
+    if print_report:
+        rows = [
+            [n_shards,
+             round(results[("mdcreate", n_shards, "unsplit")], 1),
+             round(results[("mdcreate", n_shards, "split")], 1),
+             round(results[("stat", n_shards, "unsplit")], 1),
+             round(results[("stat", n_shards, "split")], 1),
+             results[("split-dirs", n_shards)]]
+            for n_shards in shard_counts
+        ]
+        print(format_table(
+            ["shards", "mdcreate/s whole", "mdcreate/s split",
+             "stat/s whole", "stat/s split", "dirs split"], rows,
+            title=(f"Giant shared directory — whole vs split placement "
+                   f"({nodes} nodes x {procs_per_node} procs, one dir)"),
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
 # EXP-S3 — beyond the paper: primary failover under load
 # ---------------------------------------------------------------------------
 
@@ -690,5 +798,6 @@ EXPERIMENTS = {
     "ablation-mds": run_ablation_mds,
     "scaling-mds": run_scaling_mds,
     "scaling-rebalance": run_scaling_rebalance,
+    "scaling-split": run_scaling_split,
     "scaling-failover": run_scaling_failover,
 }

@@ -110,6 +110,21 @@ def _quick_rebalance():
     return out["ops_done"], 0.0
 
 
+def _quick_split():
+    """Giant-shared-directory storm, whole vs split, at 1 and 4 shards.
+
+    The wall-clock smoke for the intra-directory partitioning machinery
+    (simulated speedups are asserted in ``benchmarks/test_scaling_split.py``).
+    Unlike the rebalance/failover smokes this one *does* report a
+    virtual-time fingerprint: the experiment sums its stacks' final
+    clocks, and the storm is deterministic.
+    """
+    from repro.bench.experiments import run_scaling_split
+
+    out = run_scaling_split(shard_counts=(1, 4))
+    return out["ops_done"], out["virtual_ms"]
+
+
 def _quick_failover():
     """Kill-the-primary drill on a small replicated tier.
 
@@ -149,6 +164,7 @@ QUICK_EXPERIMENTS = {
     "table1": _quick_table1,
     "scaling-mds": _quick_scaling,
     "scaling-rebalance": _quick_rebalance,
+    "scaling-split": _quick_split,
     "scaling-failover": _quick_failover,
 }
 

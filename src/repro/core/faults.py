@@ -161,7 +161,7 @@ def check_group_invariants(groups):
             name: {row[primary.db.table(name).key]: dict(row)
                    for row in primary.db.table(name).all()}
             for name in ("inodes", "dentries", "buckets",
-                         "intents", "overrides")
+                         "intents", "overrides", "partitions")
         }
         head = group.lsn
         for backup in group.live_backups():
@@ -218,14 +218,34 @@ def skeleton_view(shard):
     return view
 
 
+def _authoritative_entries(by_parent, sharding, n, dir_path, dvino):
+    """Yield ``(owner, dentry)`` for the directory's authoritative entries.
+
+    Resolves exactly the way the router routes: each entry is read on the
+    shard :meth:`ShardingPolicy.shard_of_entry` names for it.  A split
+    directory's entries therefore come from several shards, and an entry
+    mid-migration (present on both its old and its new shard) is listed
+    exactly once — a copy residing on a shard that routing no longer (or
+    does not yet) name for that entry is invisible, which is the
+    exactly-once guarantee readdir's fan-out merge relies on.
+    """
+    for owner in sharding.entry_shards(dir_path or "/", n):
+        for dentry in by_parent[owner].get(dvino, ()):
+            if sharding.shard_of_entry(
+                    dir_path or "/", dentry["name"], n) != owner:
+                continue
+            yield owner, dentry
+
+
 def namespace_image(shards, sharding):
     """The observable namespace, resolved the way the router routes it.
 
-    A directory's entries are read on the shard owning that directory's
-    path; a stub dentry's inode is read at its recorded home shard.  The
-    result maps each path to a structural record — exactly what a client
-    walking the tree could observe (times excluded; delegation can change
-    them without the metadata tier seeing it).
+    A directory's entries are read on the shard(s) owning them — the
+    directory's own shard, or the per-entry partition shard for a split
+    directory; a stub dentry's inode is read at its recorded home shard.
+    The result maps each path to a structural record — exactly what a
+    client walking the tree could observe (times excluded; delegation can
+    change them without the metadata tier seeing it).
     """
     n = len(shards)
     inodes = [
@@ -237,8 +257,8 @@ def namespace_image(shards, sharding):
     frontier = [("", shards[0].root_vino)]
     while frontier:
         dir_path, dvino = frontier.pop()
-        owner = sharding.shard_of_dir(dir_path or "/", n)
-        for dentry in by_parent[owner].get(dvino, ()):
+        for owner, dentry in _authoritative_entries(
+                by_parent, sharding, n, dir_path, dvino):
             path = f"{dir_path}/{dentry['name']}"
             home = dentry.get("home")
             row = inodes[owner if home is None else home].get(dentry["vino"])
@@ -265,8 +285,8 @@ def _reachable_file_refs(shards, sharding):
     frontier = [("", shards[0].root_vino)]
     while frontier:
         dir_path, dvino = frontier.pop()
-        owner = sharding.shard_of_dir(dir_path or "/", n)
-        for dentry in by_parent[owner].get(dvino, ()):
+        for owner, dentry in _authoritative_entries(
+                by_parent, sharding, n, dir_path, dvino):
             home = dentry.get("home")
             row = inodes[owner if home is None else home].get(dentry["vino"])
             if row is None:
@@ -361,6 +381,27 @@ def check_tier_invariants(shards, sharding, images=()):
     assert in_memory == durable, (
         f"in-memory override map diverges from durable rows: "
         f"{_dict_diff(durable, in_memory)}"
+    )
+
+    # 2c. Intra-directory partitions: identical durable tables on every
+    #     shard, and the shared in-memory fan-out map (what per-entry
+    #     routing consults) reflects exactly the durable rows.
+    partition_tables = [
+        {row["path"]: (tuple(row["shards"]), row["seq"])
+         for row in shard.db.table("partitions").all()}
+        for shard in shards
+    ]
+    for shard_id in range(1, n):
+        assert partition_tables[shard_id] == partition_tables[0], (
+            f"partitions table diverges on shard {shard_id}: "
+            f"{_dict_diff(partition_tables[0], partition_tables[shard_id])}"
+        )
+    mem_parts = dict(getattr(sharding, "partitions", {}))
+    durable_parts = {
+        path: rec[0] for path, rec in partition_tables[0].items()}
+    assert mem_parts == durable_parts, (
+        f"in-memory partition map diverges from durable rows: "
+        f"{_dict_diff(durable_parts, mem_parts)}"
     )
 
     # 3. Dentry/inode structural consistency per shard + stub homes.

@@ -368,18 +368,57 @@ class ShardCoordinationPart:
                     # A file (or stub) occupies the target name on its owner.
                     raise FsError.enotdir(new)
         if kind == DIRECTORY:
-            # Replacing a directory: its file population lives on its owner.
-            content_owner = self._dir_owner(new)
-            if content_owner != self.shard_id:
+            # Replacing a directory: its file population lives on its
+            # entries owner — or, when it is split, across every
+            # partition shard, each of which must report empty.
+            for content_owner in self.sharding.entry_shards(
+                    normalize(new), self.n_shards):
+                if content_owner == self.shard_id:
+                    continue  # the rename transaction checks locally
                 entries = yield from self._peer(
                     content_owner, "count_children_of", new)
                 if entries:
                     raise FsError.enotempty(new)
+        stamp = self._stamp(epoch)
+        stage_plans, stage_tid = [], None
+        if kind == DIRECTORY:
+            # Pre-stage the subtree's re-homed file populations at their
+            # post-rename owners *before* the rename commits: keyed by
+            # (directory vino, name) — which a rename never changes — a
+            # staged copy is exactly where the renamed path routes, so
+            # the instant any shard's replica shows the new name its
+            # entries are already servable; no reader ever sees the
+            # transient ENOENT the old migrate-after-commit order
+            # allowed.  The stage intent is journaled before the copies
+            # ship and deleted atomically by the rename transaction
+            # below, so its survival proves the rename never committed
+            # and recovery (or the inline compensation) purges the
+            # strays.
+            stage_plans, stage_tid = yield from self._stage_renamed_subtree(
+                vino, old, new, epoch, stamp)
         pending, tids = [], []
         inner = self._rename_body(old, new, now, pending)
 
         def body(txn):
-            result = inner(txn)
+            # The replicated rename legitimately writes ``new`` into
+            # every shard's skeleton replica; the parent walk's ownership
+            # re-check must not bounce the coordinator to the entries
+            # owner.
+            prev = self._skip_owner_guard
+            self._skip_owner_guard = True
+            try:
+                result = inner(txn)
+            finally:
+                self._skip_owner_guard = prev
+            if stage_tid is not None:
+                txn.delete("intents", stage_tid)
+            if kind == DIRECTORY:
+                # A split directory under ``old`` keeps its entries in
+                # place (placement hashes only names); re-key its rows —
+                # durable and in-memory — atomically with the rename so
+                # routing by the new path is never blind.
+                self._rekey_partitions_mem(self._txn_rekey_partitions(
+                    txn, normalize(old), normalize(new)))
             tids.append(self._txn_intent(txn, epoch, {
                 "id": self._new_tid(), "role": "coord",
                 "op": "rename_replicated", "kind": kind, "vino": vino,
@@ -392,17 +431,28 @@ class ShardCoordinationPart:
             result = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
             self._done_tids(tids)
+            yield from self._abort_stage(stage_plans, stage_tid, stamp)
             if fwd.final:
                 # Same pinning as the same-shard branch: only the
                 # entries owner can pronounce on the missing component.
                 yield from self._probe_dst_parent(fwd, _hops)
             result = yield from self.rename(old, fwd.path, now, _hops + 1)
             return result
+        except EpochFenced:
+            # Fenced: compensation RPCs would be refused too; the
+            # surviving stage intent hands the cleanup to recovery.
+            self._done_tids(tids)
+            raise
+        except FsError:
+            self._done_tids(tids)
+            yield from self._abort_stage(stage_plans, stage_tid, stamp)
+            raise
         except BaseException:
             self._done_tids(tids)
             raise
+        if stage_tid is not None:
+            self._done_tids([stage_tid])
         tid = tids[0]
-        stamp = self._stamp(epoch)
         try:
             drained = yield from self._drain_pending(pending, now, tid, stamp)
             result = self._merge_replaced(result, drained)
@@ -439,6 +489,11 @@ class ShardCoordinationPart:
         def body(txn):
             self._check_stamp(stamp)
             result = inner(txn)
+            # This replica's partition rows re-key with its replay (the
+            # coordinator re-keyed its own atomically with the rename);
+            # a no-op for symlink renames and unsplit subtrees.
+            self._rekey_partitions_mem(self._txn_rekey_partitions(
+                txn, normalize(old), normalize(new)))
             if pending:
                 tids.append(self._txn_intent(txn, epoch, {
                     "id": self._new_tid(), "role": "coord",
@@ -471,42 +526,144 @@ class ShardCoordinationPart:
 
     # -- subtree migration (copy → import → purge) --------------------------
 
+    def _txn_subtree_dirs(self, txn, vino, old, new):
+        """Txn fragment: every directory of ``vino``'s subtree, listed as
+        ``(old_path, new_path, dir_vino)`` under both name mappings."""
+        found = [(old, new, vino)]
+        frontier = [(vino, old, new)]
+        while frontier:
+            dvino, old_path, new_path = frontier.pop()
+            for dentry in txn.index_read("dentries", "parent", dvino):
+                if dentry.get("home") is not None:
+                    continue
+                row = txn.read("inodes", dentry["vino"])
+                if row is not None and row["kind"] == DIRECTORY:
+                    entry = (f"{old_path}/{dentry['name']}",
+                             f"{new_path}/{dentry['name']}",
+                             dentry["vino"])
+                    found.append(entry)
+                    frontier.append((dentry["vino"], entry[0], entry[1]))
+        return found
+
+    def _stage_renamed_subtree(self, vino, old, new, epoch, stamp):
+        """Coroutine: pre-copy re-homed subtree populations to their
+        post-rename owners, under a durable ``stage`` intent.
+
+        Split directories are skipped (their entries are placed by name
+        hash, which a rename never changes), as are directories whose
+        owner is unchanged.  The copies are invisible until the rename
+        commits — routing still names the sources — and the stage intent
+        (journaled before any copy ships, deleted atomically by the
+        rename transaction) guarantees a crash or abort leaves
+        :meth:`redo_stage` enough to purge them.  Returns
+        ``(plans, stage_tid)``.
+        """
+        norm_old, norm_new = normalize(old), normalize(new)
+
+        def collect(txn):
+            return self._txn_subtree_dirs(txn, vino, norm_old, norm_new)
+
+        dirs = yield from self.dbsvc.execute(self._local_body(collect))
+        plans = []
+        for old_path, new_path, dvino in dirs:
+            if normalize(old_path) in self.sharding.partitions:
+                continue
+            src = self._dir_owner(old_path)
+            dst = self._dir_owner(new_path)
+            if src != dst:
+                plans.append((dvino, src, dst))
+        if not plans:
+            return [], None
+        tid = self._new_tid()
+
+        def intent(txn):
+            self._txn_intent(txn, epoch, {
+                "id": tid, "role": "coord", "op": "stage", "vino": vino,
+                "plans": [[dvino, dst] for dvino, _src, dst in plans],
+            })
+            return True
+
+        try:
+            yield from self.dbsvc.execute(intent)
+            for dvino, src, dst in plans:
+                dentries, inodes = yield from self._call_shard(
+                    src, "copy_dir_children", dvino, stamp)
+                if dentries:
+                    yield from self._call_shard(
+                        dst, "import_dir_children", dvino, dentries,
+                        inodes, stamp)
+        except BaseException:
+            self._done_tids([tid])
+            raise
+        return [(dvino, dst) for dvino, _src, dst in plans], tid
+
+    def _abort_stage(self, plans, stage_tid, stamp):
+        """Coroutine: unwind staged subtree copies after an aborted rename.
+
+        The destinations are (still) not the owners of anything under
+        the staged directories, so every file entry they hold there is a
+        stray — our staged copy, or an older migration's not-yet-purged
+        leftover — and re-listing then purging cleans both.  Shared with
+        recovery's :meth:`redo_stage`.
+        """
+        if stage_tid is None:
+            return False
+        try:
+            for dvino, dst in plans:
+                dentries, inodes = yield from self._call_shard(
+                    dst, "copy_dir_children", dvino, stamp)
+                if dentries:
+                    yield from self._call_shard(
+                        dst, "purge_dir_children", dvino,
+                        [d["key"] for d in dentries],
+                        [r["vino"] for r in inodes], stamp)
+            yield from self.intent_forget(stage_tid)
+        except EpochFenced:
+            pass  # the surviving stage intent hands cleanup to recovery
+        finally:
+            self._done_tids([stage_tid])
+        return True
+
+    def redo_stage(self, rec):
+        """Coroutine: resolve a surviving ``stage`` intent — by aborting.
+
+        The rename transaction deletes its stage intent atomically with
+        the rename itself, so this record's survival proves the rename
+        never committed: purge the pre-staged copies at the planned
+        destinations and retire the intent.
+        """
+        plans = [tuple(plan) for plan in rec["plans"]]
+        yield from self._abort_stage(plans, rec["id"], self._stamp())
+        return True
+
     def _migrate_renamed_subtree(self, vino, old, new, now, stamp=None):
-        """Coroutine: re-home file children after a directory rename.
+        """Coroutine: converge file children after a directory rename.
 
         Partitioning is by *path*, so renaming a directory may change the
         owner of its (and every descendant directory's) file entries — the
         well-known cost of path-based partitioning that HopsFS sidesteps by
-        hashing immutable inode ids.  The replicated skeleton makes the
-        fix cheap to coordinate: this shard enumerates the subtree locally,
-        then moves each re-homed directory's file entries with a
-        copy → import → purge RPC triple.  Copy-then-delete (rather than
-        the destructive export this replaced) means a crash between the
-        RPCs never loses entries: they transiently exist on both shards,
-        and re-running the migration (recovery's intent roll-forward does)
-        converges — import skips keys it already holds, purge deletes
-        only what the copy listed.
+        hashing immutable inode ids.  The rename pre-staged each re-homed
+        population at its destination (:meth:`_stage_renamed_subtree`),
+        so this post-commit pass is catch-up and cleanup: one more
+        copy → import round picks up entries created between the staging
+        snapshot and the rename commit, and the purge then drops the
+        source copies.  Copy-then-delete (rather than the destructive
+        export this replaced) means a crash between the RPCs never loses
+        entries: they transiently exist on both shards (the merged
+        readdir dedups by name), and re-running the migration
+        (recovery's intent roll-forward does) converges — import skips
+        keys it already holds, purge deletes only what the copy listed.
+        Split directories are skipped: their rows were re-keyed by the
+        rename and their entries never move.
         """
 
         def collect(txn):
-            found = [(old, new, vino)]
-            frontier = [(vino, old, new)]
-            while frontier:
-                dvino, old_path, new_path = frontier.pop()
-                for dentry in txn.index_read("dentries", "parent", dvino):
-                    if dentry.get("home") is not None:
-                        continue
-                    row = txn.read("inodes", dentry["vino"])
-                    if row is not None and row["kind"] == DIRECTORY:
-                        entry = (f"{old_path}/{dentry['name']}",
-                                 f"{new_path}/{dentry['name']}",
-                                 dentry["vino"])
-                        found.append(entry)
-                        frontier.append((dentry["vino"], entry[0], entry[1]))
-            return found
+            return self._txn_subtree_dirs(txn, vino, old, new)
 
         dirs = yield from self.dbsvc.execute(collect)
         for old_path, new_path, dvino in dirs:
+            if normalize(new_path) in self.sharding.partitions:
+                continue
             src = self._dir_owner(old_path)
             dst = self._dir_owner(new_path)
             if src == dst:
@@ -522,6 +679,37 @@ class ShardCoordinationPart:
                     [d["key"] for d in dentries],
                     [r["vino"] for r in inodes], stamp)
 
+    def _txn_collect_children(self, txn, vino):
+        """Txn fragment: this shard's movable entries of directory ``vino``.
+
+        ``(dentry, inode)`` pairs shaped exactly as
+        :meth:`import_dir_children` consumes them: replicated skeleton
+        children (directories, symlinks) are excluded, a hard-linked
+        file's inode stays home behind a stub (``inode`` is None), and
+        pre-existing stubs travel as-is.  Read-only — shared between the
+        copy RPC and the verified-flip transaction's straggler scan
+        (:meth:`~repro.core.shard.rebalance.ShardRebalancePart.
+        _verified_flip`), so placement and its atomic proof can never
+        disagree about what counts as movable.
+        """
+        pairs = []
+        for dentry in txn.index_read("dentries", "parent", vino):
+            dentry = dict(dentry)
+            inode = None
+            if dentry.get("home") is None:
+                row = txn.read("inodes", dentry["vino"])
+                if row is None or row["kind"] != FILE:
+                    continue  # replicated skeleton stays put
+                if row["nlink"] > 1:
+                    # Hard-linked under other names: the inode stays
+                    # home (see _rename_cross_shard's detach); only
+                    # the name moves, shipped as a stub back here.
+                    dentry["home"] = self.shard_id
+                else:
+                    inode = dict(row)
+            pairs.append((dentry, inode))
+        return pairs
+
     def copy_dir_children(self, vino, stamp=None):
         """RPC (shard-to-shard): read a directory's file entries here.
 
@@ -534,20 +722,10 @@ class ShardCoordinationPart:
 
         def body(txn):
             dentries, inodes = [], []
-            for dentry in txn.index_read("dentries", "parent", vino):
-                dentry = dict(dentry)
-                if dentry.get("home") is None:
-                    row = txn.read("inodes", dentry["vino"])
-                    if row is None or row["kind"] != FILE:
-                        continue  # replicated skeleton stays put
-                    if row["nlink"] > 1:
-                        # Hard-linked under other names: the inode stays
-                        # home (see _rename_cross_shard's detach); only
-                        # the name moves, shipped as a stub back here.
-                        dentry["home"] = self.shard_id
-                    else:
-                        inodes.append(dict(row))
+            for dentry, inode in self._txn_collect_children(txn, vino):
                 dentries.append(dentry)
+                if inode is not None:
+                    inodes.append(inode)
             return (dentries, inodes)
 
         result = yield from self.dbsvc.execute(body)

@@ -6,65 +6,102 @@ shard, and static subtrees concentrate whole projects by design.  This
 module closes the ROADMAP "dynamic re-partitioning" item, HopsFS-style:
 hot directories are *re-homed* under load, with ownership recorded in an
 override map the partition function consults before its static rule
-(:meth:`repro.core.shard.routing.ShardingPolicy.shard_of_dir`).
+(:meth:`repro.core.shard.routing.ShardingPolicy.shard_of_dir`) — and,
+GIGA+-style, a directory too hot for *any* single shard is *split*: its
+entries are hash-partitioned across shards by name (a ``partitions`` row
+riding the same durability machinery), so one giant directory's
+create/stat load scales with the tier instead of pinning one shard at
+its ceiling.
 
-**Protocol** (:meth:`ShardRebalancePart.rebalance_dir`, run on the
-directory's current owner): one transaction journals a ``rebalance``
-intent *atomically with* the durable override row — the first local
-change, exactly like every other coordinated mutation — then the override
-is broadcast to every peer (``mirror_override``), and the directory's
-file population moves with the same crash-safe copy → import → purge RPC
-triple that subtree migration after a directory rename uses
-(:mod:`repro.core.shard.coordination`).  Every step is idempotent, so
-recovery rolls a half-done migration *forward* by redoing the intent
-(:meth:`redo_rebalance`); a crash before the intent committed leaves no
-durable trace and routing falls back to the static rule.
+**Protocol** (:meth:`ShardRebalancePart.rebalance_dir` /
+:meth:`split_dir`, run on the directory's owner): one transaction
+journals the coordinator intent; the population then moves with the
+crash-safe copy → import → purge triple that subtree migration uses
+(:mod:`repro.core.shard.coordination`) — but the routing flip is *last*,
+not first, and it is **verified**: the flip transaction re-scans the
+local directory and commits the durable routing row (plus the shared
+in-memory map, inside the same atomic body) only when every entry
+assigned away has already been imported at its destination; otherwise it
+returns the stragglers for another copy→import round
+(:meth:`_verified_flip`).  Paired with the ownership re-check every
+mutating parent walk performs inside its own transaction
+(:meth:`repro.core.shard.routing.ShardRoutingPart._txn_resolve_parent`),
+this closes the migration visibility window: a reader routed by the old
+map finds the entry still on the source (purge runs only after the
+flip), a reader routed by the new map finds it imported, and a write
+that races the flip is forwarded to the new owner instead of stranding a
+row routing no longer reaches.  Every step is idempotent, so recovery
+rolls a half-done migration *forward* by redoing the intent
+(:meth:`redo_rebalance` / :meth:`redo_split`); a crash before the intent
+committed leaves no durable trace and routing is unchanged.
 
 **Durability**: every shard persists the override map in its
-``overrides`` table; the shared in-memory map on the
+``overrides`` table and the partition map in ``partitions``; the shared
+in-memory maps on the
 :class:`~repro.core.shard.routing.ShardingPolicy` (what routers and
-resolution hooks actually consult, at zero simulated cost — the partition
-function has always been free to evaluate) is rebuilt from the durable
-rows on recovery (:meth:`restore_overrides`, newest ``seq`` wins), so a
-shard restored from an older journal prefix converges with its peers.
+resolution hooks actually consult, at zero simulated cost — the
+partition function has always been free to evaluate) are rebuilt from
+the durable rows on recovery (:meth:`restore_overrides` /
+:meth:`restore_partitions`, newest ``seq`` wins), so a shard restored
+from an older journal prefix converges with its peers.  A *merge* keeps
+a one-element ``partitions`` row rather than deleting it: a dropped row
+could resurrect from a stale recovering peer through the restore union,
+while a newer one-element row wins everywhere.
 
-**Known simplifications** (mirroring the subtree-migration notes in
-:mod:`repro.core.shard.coordination`): the override flips routing before
-the population lands at the new owner, so a concurrently-looked-up file is
-transiently ENOENT for other clients (crash-safe, not reader-atomic); and
-an override outlives its directory — path-keyed, it applies to any later
-directory recreated at the same path, which keeps routing consistent but
-may surprise an administrator expecting it to die with the directory.
+**Known simplifications**: re-splitting an already-split directory (and
+merging one) stages from *multiple* source shards, and only the
+coordinator's own partition is covered by the flip transaction's
+verification — an entry created on another source during staging is
+invisible between the flip and the post-flip catch-up round (bounded:
+one copy→import round later it is servable; never lost).  A ``setattr``
+that lands on the source between copy and purge is lost with the purged
+copy (leaf attribute walks carry no ownership re-check).  Both windows
+exist only for entries mutated *during* a migration; anything that
+existed when the migration began is continuously visible.  The former
+"override outlives its directory" stickiness is closed: ``rmdir``
+drops override and partition rows tier-wide with the directory (see
+:meth:`~repro.core.shard.replication.ShardReplicationPart.mirror_rmdir`)
+and :meth:`forget_override` retires an override for a live directory.
 
-**Policy** (:class:`Rebalancer`): the client-side routers already compute
-the (directory → shard) decision for every op and keep per-directory load
-counters (:class:`~repro.core.shard.routing.ShardRouter`); the rebalancer
+**Policy** (:class:`Rebalancer`): the client-side routers already
+compute the (directory → shard) decision for every op and keep
+per-directory load counters
+(:class:`~repro.core.shard.routing.ShardRouter`); the rebalancer
 aggregates them, finds shards above ``threshold ×`` the mean load, and
 greedily re-homes their hottest directories to the least-loaded shard.
+A directory whose own load exceeds ``split_threshold ×`` the per-shard
+mean is split across the tier; a split directory cooling below
+``merge_threshold ×`` is merged back (the gap between the two
+thresholds is the hysteresis band that prevents flapping).
+:meth:`Rebalancer.run_periodic` drives rounds from a simulated timer, so
+the tier re-partitions continuously without an administrative call.
 """
 
 from repro import obs
-from repro.core.shard.routing import EpochFenced
+from repro.core.shard.routing import EpochFenced, entry_slot
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, normalize
 
 
 class ShardRebalancePart:
-    """Mixin: the re-homing protocol and override durability RPCs."""
+    """Mixin: re-homing/split protocols and routing-map durability RPCs."""
 
     def rebalance_dir(self, dir_path, dst, now):
         """Coroutine/RPC: re-home ``dir_path``'s file population to ``dst``.
 
         Must run on the directory's *current* owner (the shard that holds
-        its file entries).  Journals the intent atomically with the
-        durable override row, broadcasts the override, migrates the
-        population, then retires the intent.
+        its file entries).  Journals the intent, stages the population at
+        ``dst``, then commits the override row in the verified flip
+        transaction and purges the source copies.
         """
         yield from self._dispatch()
         epoch = self.epoch
         dir_path = normalize(dir_path)
         if not 0 <= dst < self.n_shards:
             raise FsError.einval(f"no such shard: {dst}")
+        if dir_path in self.sharding.partitions:
+            raise FsError.einval(
+                f"{dir_path} is split: re-split or merge it instead")
         if self._dir_owner(dir_path) != self.shard_id:
             raise FsError.einval(
                 f"shard {self.shard_id} does not own {dir_path}")
@@ -81,63 +118,115 @@ class ShardRebalancePart:
                 "dir": dir_path, "vino": row["vino"], "dst": dst,
                 "now": now,
             }))
-            txn.write("overrides",
-                      {"path": dir_path, "shard": dst, "seq": now})
             return row["vino"]
 
         # The walk stays on the local skeleton replica: the owner holds
         # everything it needs, and a forward here would misroute the
-        # intent.  The in-memory map flips only after the intent+override
-        # transaction is durable — a crash before that leaves no trace.
+        # intent.  A crash before the intent commits leaves no trace —
+        # no entry has moved and routing is unchanged.
         try:
             vino = yield from self.dbsvc.execute(self._local_body(body))
         except BaseException:
             self._done_tids(tids)
             raise
-        self.sharding.overrides[dir_path] = dst
-        stamp = self._stamp(epoch)
         try:
-            yield from self._broadcast(
-                "mirror_override", dir_path, dst, now, stamp=stamp)
-            yield from self._migrate_dir_population(vino, dst, stamp)
+            yield from self._finish_rebalance(
+                dir_path, vino, dst, now, self._stamp(epoch))
             yield from self.intent_forget(tids[0])
         except EpochFenced:
-            pass  # intent + override are durable; recovery redoes the rest
+            pass  # the intent is durable; recovery redoes the rest
         finally:
             self._done_tids(tids)
         return True
 
-    def _migrate_dir_population(self, vino, dst, stamp=None):
-        """Coroutine: move this shard's file entries of ``vino`` to ``dst``.
+    def _finish_rebalance(self, dir_path, vino, dst, seq, stamp):
+        """Coroutine: the idempotent tail of a re-homing (shared with redo).
 
-        The same idempotent copy → import → purge triple as post-rename
-        subtree migration: entries transiently exist on both shards, a
-        redo converges, and hard-linked inodes stay home behind a stub.
+        Stage → verified flip (override row + in-memory map, atomic with
+        the proof that ``dst`` holds every entry) → broadcast → purge.
+        The flip obeys the same newest-``seq``-wins discipline as
+        :meth:`mirror_override`, so a redo replaying late cannot clobber
+        a later re-homing.
         """
-        dentries, inodes = yield from self._call_shard(
-            self.shard_id, "copy_dir_children", vino, stamp)
-        if dentries:
+
+        def flip(txn):
+            row = txn.read("overrides", dir_path)
+            if row is not None and row["seq"] > seq:
+                return
+            txn.write("overrides",
+                      {"path": dir_path, "shard": dst, "seq": seq})
+            self.sharding.overrides[dir_path] = dst
+
+        keys, vinos = yield from self._verified_flip(
+            vino, lambda name: dst, flip, stamp)
+        yield from self._broadcast(
+            "mirror_override", dir_path, dst, seq, stamp=stamp)
+        if keys:
             yield from self._call_shard(
-                dst, "import_dir_children", vino, dentries, inodes, stamp)
-            yield from self._call_shard(
-                self.shard_id, "purge_dir_children", vino,
-                [d["key"] for d in dentries],
-                [r["vino"] for r in inodes], stamp)
+                self.shard_id, "purge_dir_children", vino, keys, vinos,
+                stamp)
         return True
+
+    def _verified_flip(self, vino, dest_of, flip, stamp):
+        """Coroutine: move assigned-away entries, then atomically flip.
+
+        ``dest_of(name)`` is the post-flip owner of entry ``name``; the
+        loop copies every local entry assigned away to its destination
+        (idempotent imports), and the flip transaction re-scans: finding
+        stragglers (entries created since the last round), it returns
+        them for another import round; finding none, it runs ``flip(txn)``
+        — the durable routing row *and* the shared in-memory map — inside
+        the same atomic body.  Transaction bodies on one shard serialize,
+        and every mutating parent walk re-checks ownership inside its own
+        body, so when the flip commits the destinations provably hold
+        everything and any later write here is forwarded: no entry is
+        ever stranded, and no reader ever sees a transient ENOENT.
+        Returns the ``(keys, vinos)`` this shard shipped, for the
+        post-flip purge.
+        """
+        all_keys, all_vinos = [], []
+        sent = set()
+
+        def body(txn):
+            groups = {}
+            for dentry, inode in self._txn_collect_children(txn, vino):
+                key = tuple(dentry["key"])
+                dst = dest_of(dentry["name"])
+                if dst == self.shard_id or key in sent:
+                    continue
+                dentries, inodes = groups.setdefault(dst, ([], []))
+                dentries.append(dentry)
+                if inode is not None:
+                    inodes.append(inode)
+            if groups:
+                return groups
+            flip(txn)
+            return None
+
+        while True:
+            groups = yield from self.dbsvc.execute(self._local_body(body))
+            if groups is None:
+                return all_keys, all_vinos
+            for dst in sorted(groups):
+                dentries, inodes = groups[dst]
+                yield from self._call_shard(
+                    dst, "import_dir_children", vino, dentries, inodes,
+                    stamp)
+                for dentry in dentries:
+                    sent.add(tuple(dentry["key"]))
+                    all_keys.append(dentry["key"])
+                all_vinos.extend(row["vino"] for row in inodes)
 
     def redo_rebalance(self, rec):
         """Coroutine: roll a surviving ``rebalance`` intent forward.
 
-        The local override row committed with the intent; re-assert the
-        in-memory map, re-broadcast the override, re-run the migration
-        (all idempotent, under the recovering coordinator's fresh epoch),
-        then retire the intent.
+        Every step of the finish is idempotent (imports skip present
+        keys, the flip is newest-wins, purge deletes only what is still
+        here), so re-running it under the recovering coordinator's fresh
+        epoch converges from any crash point.
         """
-        self.sharding.overrides[rec["dir"]] = rec["dst"]
-        yield from self._broadcast(
-            "mirror_override", rec["dir"], rec["dst"], rec["now"])
-        yield from self._migrate_dir_population(
-            rec["vino"], rec["dst"], self._stamp())
+        yield from self._finish_rebalance(
+            rec["dir"], rec["vino"], rec["dst"], rec["now"], self._stamp())
         yield from self.intent_forget(rec["id"])
         return True
 
@@ -163,6 +252,229 @@ class ShardRebalancePart:
             self.sharding.overrides[dir_path] = shard
         return result
 
+    # -- splitting a hot directory (GIGA+-style) ----------------------------
+
+    def split_dir(self, dir_path, targets, now, _hops=0):
+        """Coroutine/RPC: hash-partition ``dir_path``'s entries across
+        ``targets``.
+
+        Runs on the directory's owner (self-forwarding).  Each entry's
+        post-split home is ``targets[entry_slot(name, len(targets))]``;
+        a one-element target list *merges* a split directory back to a
+        single shard (the row is kept, never dropped — see the module
+        notes on resurrection).  The intent records the pre-flip
+        ``sources`` (the shards that may hold entries now): a redo after
+        the flip would otherwise consult the new map and miss them.
+        """
+        self._check_hops(_hops, dir_path)
+        yield from self._dispatch()
+        epoch = self.epoch
+        norm = normalize(dir_path)
+        targets = [int(t) for t in targets]
+        if not targets or any(
+                not 0 <= t < self.n_shards for t in targets):
+            raise FsError.einval(f"bad partition targets: {targets}")
+        owner = self._dir_owner(norm)
+        if owner != self.shard_id:
+            result = yield from self._peer(
+                owner, "split_dir", norm, targets, now, _hops + 1)
+            return result
+        if tuple(targets) == self.sharding.partitions.get(norm):
+            return False
+        sources = self.sharding.entry_shards(norm, self.n_shards)
+        tids = []
+
+        def body(txn):
+            row = self._txn_resolve(txn, norm)
+            if row["kind"] != DIRECTORY:
+                raise FsError.enotdir(norm)
+            tids.append(self._txn_intent(txn, epoch, {
+                "id": self._new_tid(), "role": "coord", "op": "split",
+                "dir": norm, "vino": row["vino"], "shards": targets,
+                "sources": list(sources), "seq": now,
+            }))
+            return row["vino"]
+
+        try:
+            vino = yield from self.dbsvc.execute(self._local_body(body))
+        except BaseException:
+            self._done_tids(tids)
+            raise
+        try:
+            yield from self._finish_split(
+                norm, vino, targets, list(sources), now,
+                self._stamp(epoch))
+            yield from self.intent_forget(tids[0])
+        except EpochFenced:
+            pass  # the split intent is durable; recovery rolls it forward
+        finally:
+            self._done_tids(tids)
+        return True
+
+    def merge_dir(self, dir_path, now, _hops=0):
+        """Coroutine/RPC: collapse a split directory back to its owner.
+
+        A split to a single target: every entry re-routes to the
+        directory's whole-directory owner, and the surviving one-element
+        ``partitions`` row is routing-equivalent to no row at all.
+        """
+        norm = normalize(dir_path)
+        if norm not in self.sharding.partitions:
+            return False
+        owner = self.sharding.shard_of_dir(norm, self.n_shards)
+        result = yield from self.split_dir(norm, [owner], now, _hops)
+        return result
+
+    def _finish_split(self, norm, vino, targets, sources, seq, stamp):
+        """Coroutine: the idempotent tail of a split (shared with redo).
+
+        Stage every source's assigned-away entries → verified flip at
+        the coordinator (partitions row + in-memory map, atomic with the
+        proof that *this* shard's stragglers are shipped) → broadcast →
+        catch-up-and-purge round per remote source → purge local copies.
+        For the common single-source split the flip's verification is
+        complete and the visibility window is exactly zero; with remote
+        sources the post-flip catch-up bounds it to entries created
+        there mid-staging (see the module notes).
+        """
+        fanout = tuple(targets)
+
+        def dest_of(name):
+            return fanout[entry_slot(name, len(fanout))] % self.n_shards
+
+        for src in sources:
+            if src != self.shard_id:
+                yield from self._stage_partition(src, vino, dest_of, stamp)
+
+        def flip(txn):
+            row = txn.read("partitions", norm)
+            if row is not None and row["seq"] > seq:
+                return
+            txn.write("partitions",
+                      {"path": norm, "shards": list(targets), "seq": seq})
+            self.sharding.partitions[norm] = fanout
+
+        keys, vinos = yield from self._verified_flip(
+            vino, dest_of, flip, stamp)
+        yield from self._broadcast(
+            "mirror_partitions", norm, list(targets), seq, stamp=stamp)
+        for src in sources:
+            if src != self.shard_id:
+                yield from self._stage_partition(
+                    src, vino, dest_of, stamp, purge=True)
+        if keys:
+            yield from self._call_shard(
+                self.shard_id, "purge_dir_children", vino, keys, vinos,
+                stamp)
+        return True
+
+    def _stage_partition(self, src, vino, dest_of, stamp, purge=False):
+        """Coroutine: ship ``src``'s assigned-away entries of ``vino``.
+
+        One copy→import round from a remote source, grouped by each
+        entry's post-split destination; with ``purge`` the shipped
+        originals are then dropped at ``src`` (the post-flip catch-up
+        round — by then routing no longer reaches them there).
+        """
+        dentries, inodes = yield from self._call_shard(
+            src, "copy_dir_children", vino, stamp)
+        by_vino = {row["vino"]: row for row in inodes}
+        groups = {}
+        keys, moved_vinos = [], []
+        for dentry in dentries:
+            dst = dest_of(dentry["name"])
+            if dst == src:
+                continue
+            group_dentries, group_inodes = groups.setdefault(dst, ([], []))
+            group_dentries.append(dentry)
+            row = by_vino.get(dentry["vino"])
+            if row is not None:
+                group_inodes.append(row)
+                moved_vinos.append(row["vino"])
+            keys.append(dentry["key"])
+        for dst in sorted(groups):
+            group_dentries, group_inodes = groups[dst]
+            yield from self._call_shard(
+                dst, "import_dir_children", vino, group_dentries,
+                group_inodes, stamp)
+        if purge and keys:
+            yield from self._call_shard(
+                src, "purge_dir_children", vino, keys, moved_vinos, stamp)
+        return True
+
+    def redo_split(self, rec):
+        """Coroutine: roll a surviving ``split`` intent forward.
+
+        Re-stages from the intent's recorded *pre-flip* sources (the
+        live map may already show the new fanout), re-commits the
+        newest-wins flip, and re-purges — all idempotent.
+        """
+        yield from self._finish_split(
+            rec["dir"], rec["vino"], rec["shards"], rec["sources"],
+            rec["seq"], self._stamp())
+        yield from self.intent_forget(rec["id"])
+        return True
+
+    def mirror_partitions(self, dir_path, shards, seq, stamp=None):
+        """RPC (shard-to-shard): persist a partition row here
+        (newest-``seq``-wins, like :meth:`mirror_override`)."""
+        yield from self._dispatch()
+
+        def body(txn):
+            self._check_stamp(stamp)
+            row = txn.read("partitions", dir_path)
+            if row is not None and row["seq"] > seq:
+                return False
+            txn.write("partitions",
+                      {"path": dir_path, "shards": list(shards),
+                       "seq": seq})
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        if result:
+            self.sharding.partitions[dir_path] = tuple(shards)
+        return result
+
+    def _drop_partitions_body(self, norm, seq):
+        """Txn body: delete the partition row unless a newer one won."""
+
+        def body(txn):
+            row = txn.read("partitions", norm)
+            if row is None or row["seq"] > seq:
+                return False
+            txn.delete("partitions", norm)
+            return True
+
+        return body
+
+    def _txn_rekey_partitions(self, txn, old, new):
+        """Txn fragment: move partition rows under ``old`` to ``new``.
+
+        Entry placement hashes only names, so renaming a split directory
+        (or an ancestor of one) re-keys its row and moves nothing; the
+        caller applies the returned ``(old_path, new_path)`` pairs to the
+        in-memory map in the same atomic body (and each replica's replay
+        re-keys its own durable rows).
+        """
+        moved = []
+        for row in list(txn.match("partitions")):
+            path = row["path"]
+            if path == old or path.startswith(old + "/"):
+                dest = new + path[len(old):]
+                txn.delete("partitions", path)
+                row = dict(row)
+                row["path"] = dest
+                txn.write("partitions", row)
+                moved.append((path, dest))
+        return moved
+
+    def _rekey_partitions_mem(self, moved):
+        """Apply re-keyed partition paths to the shared in-memory map."""
+        for old_path, new_path in moved:
+            fanout = self.sharding.partitions.pop(old_path, None)
+            if fanout is not None:
+                self.sharding.partitions[new_path] = fanout
+
     # -- forgetting an override (admin entry point) -------------------------
 
     def forget_override(self, dir_path, now, _hops=0):
@@ -170,13 +482,14 @@ class ShardRebalancePart:
 
         The administrative complement of :meth:`rebalance_dir`, closing
         the "override outlives its directory" stickiness for directories
-        that still exist: under a durable ``forget_override`` intent,
-        routing flips back to the static rule (rows dropped tier-wide)
-        and the population then migrates home with the same crash-safe
-        triple (see :meth:`_finish_forget_override` for why that order).
-        Runs on the directory's current owner (self-forwarding).  rmdir
-        needs none of this — its broadcast drops the row on every shard
-        (see :meth:`~repro.core.shard.replication.ShardReplicationPart.
+        that still exist: under a durable ``forget_override`` intent the
+        population is staged at the static owner, the verified flip
+        drops the local row (routing reverts atomically with the proof
+        the static owner holds everything), and the drop is broadcast
+        tier-wide.  Runs on the directory's current owner
+        (self-forwarding).  rmdir needs none of this — its broadcast
+        drops the row on every shard (see
+        :meth:`~repro.core.shard.replication.ShardReplicationPart.
         mirror_rmdir`) and an empty directory has no population to move.
         """
         self._check_hops(_hops, dir_path)
@@ -198,8 +511,8 @@ class ShardRebalancePart:
             if row["kind"] != DIRECTORY:
                 raise FsError.enotdir(norm)
             # The intent commits before any state moves: every later step
-            # (migration, row drops, broadcast) is idempotent, so a crash
-            # anywhere is rolled *forward* by redo_forget_override.
+            # (staging, the flip, row drops, broadcast) is idempotent, so
+            # a crash anywhere is rolled *forward* by redo_forget_override.
             tids.append(self._txn_intent(txn, epoch, {
                 "id": self._new_tid(), "role": "coord",
                 "op": "forget_override", "dir": norm,
@@ -225,30 +538,36 @@ class ShardRebalancePart:
     def _finish_forget_override(self, norm, vino, static, seq, stamp):
         """Coroutine: the idempotent tail of a forget (shared with redo).
 
-        Routing flips back *first* (drop the rows, then migrate) —
-        exactly :meth:`rebalance_dir`'s order.  Flipping first means a
-        concurrent create can only land at the static owner (correct)
-        or at this shard pre-flip, where the subsequent migration's copy
-        picks it up; migrating first would leave any create routed by
-        the still-installed override *after* the copy snapshot stranded
-        here forever once the override drops.  The residual window is
-        rebalance_dir's own (see the ROADMAP migration-visibility item):
-        transiently ENOENT for concurrent readers, never a lost entry
-        beyond an in-flight commit racing the copy.  The drops carry the
-        forget's ``seq`` and obey the same newest-wins discipline as
+        The same stage → verified-flip → broadcast → purge shape as
+        :meth:`_finish_rebalance`, with the flip *dropping* the local
+        override row: routing reverts to the static rule only in the
+        transaction that proved the static owner holds every entry, so
+        concurrent readers see the population on whichever shard their
+        routing snapshot names, and a write racing the flip is forwarded
+        by the ownership re-check.  The drop carries the forget's
+        ``seq`` and obeys the same newest-wins discipline as
         ``mirror_override``: a redo replaying this forget late must not
         destroy an override a *later* re-homing installed (whose
         population has already moved — dropping its row would strand
         every one of those inodes behind static-rule routing).
         """
-        dropped = yield from self.dbsvc.execute(
-            self._drop_override_body(norm, seq))
-        if dropped:
-            self.sharding.overrides.pop(norm, None)
+
+        def flip(txn):
+            if self._drop_override_body(norm, seq)(txn):
+                self.sharding.overrides.pop(norm, None)
+
+        if static != self.shard_id:
+            keys, vinos = yield from self._verified_flip(
+                vino, lambda name: static, flip, stamp)
+        else:
+            keys = vinos = ()
+            yield from self.dbsvc.execute(self._local_body(flip))
         yield from self._broadcast(
             "mirror_forget_override", norm, seq, stamp=stamp)
-        if static != self.shard_id:
-            yield from self._migrate_dir_population(vino, static, stamp)
+        if keys:
+            yield from self._call_shard(
+                self.shard_id, "purge_dir_children", vino, keys, vinos,
+                stamp)
         return True
 
     def _drop_override_body(self, norm, seq):
@@ -345,13 +664,70 @@ class ShardRebalancePart:
             {path: row["shard"] for path, row in best.items()})
         return len(best)
 
+    def partition_rows(self):
+        """RPC (shard-to-shard): this shard's durable partition rows."""
+        yield from self._dispatch()
+
+        def body(txn):
+            return [dict(row) for row in txn.match("partitions")]
+
+        rows = yield from self.dbsvc.execute(body)
+        return rows
+
+    def sync_partitions(self, rows):
+        """RPC (shard-to-shard): make this table exactly the given rows."""
+        yield from self._dispatch()
+
+        def body(txn):
+            want = {row["path"]: row for row in rows}
+            for row in txn.match("partitions"):
+                if row["path"] not in want:
+                    txn.delete("partitions", row["path"])
+            for path, row in want.items():
+                cur = txn.read("partitions", path)
+                if cur is None or dict(cur) != row:
+                    txn.write("partitions", dict(row))
+            return True
+
+        result = yield from self.dbsvc.execute(body)
+        return result
+
+    def restore_partitions(self):
+        """Coroutine: rebuild the tier's partition map from durable rows.
+
+        The exact analogue of :meth:`restore_overrides` (union, newest
+        ``(seq, shard)`` wins per path, pushed back tier-wide, in-memory
+        map rebuilt); runs right after it in recovery, and for the same
+        reason before the skeleton resync — the resync's authority
+        function routes entry lookups through the partition map.  A
+        merged directory's surviving one-element row restores as
+        routing-equivalent to no split, which is why merges never delete
+        the row (a deleted row could resurrect from a stale peer here).
+        """
+        best = {}
+        for shard in range(self.n_shards):
+            rows = yield from self._call_shard(shard, "partition_rows")
+            for row in rows:
+                cur = best.get(row["path"])
+                if cur is None or \
+                        (row["seq"], row["shards"]) > \
+                        (cur["seq"], cur["shards"]):
+                    best[row["path"]] = dict(row)
+        for shard in range(self.n_shards):
+            yield from self._call_shard(
+                shard, "sync_partitions", list(best.values()))
+        self.sharding.partitions.clear()
+        self.sharding.partitions.update(
+            {path: tuple(row["shards"]) for path, row in best.items()})
+        return len(best)
+
 
 # ---------------------------------------------------------------------------
 # The load-aware re-balancer
 # ---------------------------------------------------------------------------
 
 class Rebalancer:
-    """Samples router load counters and re-homes hot directories.
+    """Samples router load counters; re-homes and splits hot directories.
 
     ``routers`` are the stack's :class:`ShardRouter` instances (one per
     client node); ``shards`` the tier's services.  ``threshold`` is the
@@ -360,13 +736,26 @@ class Rebalancer:
     deterministic: hottest directory first, moved to the least-loaded
     shard, never moving more load onto the destination than would just
     swap the hotspot.
+
+    ``split_threshold`` (off by default, keeping pre-split stacks
+    byte-identical) arms directory splitting: a directory whose own
+    sampled load exceeds ``split_threshold ×`` the per-shard mean is too
+    hot for *any* single placement — re-homing merely moves the ceiling —
+    so its entries are hash-partitioned across the whole tier.  A split
+    directory cooling below ``merge_threshold ×`` the per-shard mean is
+    merged back; keeping ``merge_threshold`` well under
+    ``split_threshold`` leaves a hysteresis band so a directory
+    oscillating around one threshold never flaps.
     """
 
-    def __init__(self, routers, shards, threshold=1.25, max_moves=None):
+    def __init__(self, routers, shards, threshold=1.25, max_moves=None,
+                 split_threshold=None, merge_threshold=0.25):
         self.routers = list(routers)
         self.shards = list(shards)
         self.threshold = threshold
         self.max_moves = max_moves
+        self.split_threshold = split_threshold
+        self.merge_threshold = merge_threshold
 
     def sampled_loads(self):
         """Aggregate per-directory op counts across every router."""
@@ -388,6 +777,14 @@ class Rebalancer:
         owner = {path: sharding.shard_of_dir(path, n) for path in dir_load}
         shard_load = [0] * n
         for path, count in dir_load.items():
+            if path in sharding.partitions:
+                # A split directory's load is already spread over its
+                # partitions; attribute it evenly and never plan a move
+                # for it (its entries have no single source to move).
+                parts = sharding.entry_shards(path, n)
+                for shard in parts:
+                    shard_load[shard] += count // len(parts)
+                continue
             shard_load[owner[path]] += count
         mean = sum(shard_load) / n
         limit = self.max_moves if self.max_moves is not None \
@@ -396,6 +793,8 @@ class Rebalancer:
         for path in sorted(dir_load, key=lambda p: (-dir_load[p], p)):
             if len(moves) >= limit:
                 break
+            if path in sharding.partitions:
+                continue
             src = owner[path]
             if shard_load[src] <= self.threshold * mean:
                 continue
@@ -410,25 +809,93 @@ class Rebalancer:
             owner[path] = dst
         return moves
 
-    def rebalance(self):
-        """Coroutine: plan and execute the migrations; returns what ran.
+    def plan_splits(self):
+        """``[(dir_path, targets)]`` splits and merges for one-dir hotspots.
 
-        Each move runs the owner shard's crash-safe
-        :meth:`ShardRebalancePart.rebalance_dir`.  The sampled counters
-        are only advisory — a planned directory may have been removed
-        (or re-homed) since the load was observed, even by an op that
-        *failed* against it (the router counts the attempt); such moves
-        are skipped.  Counters *decay* afterwards (exponential halving,
-        not a reset): the next round still reacts mostly to
-        post-migration load, but a hotspot whose burst straddles a round
-        boundary keeps enough weight to be seen — a full reset made the
-        planner blind to any load pattern shorter than one whole round.
+        A single directory hotter than ``split_threshold ×`` the
+        per-shard mean load is split across every shard; a split
+        directory cooled below ``merge_threshold ×`` (including one whose
+        counters decayed away entirely) merges back to its
+        whole-directory owner.  Disabled while ``split_threshold`` is
+        None.
         """
-        moves = self.plan()
+        n = len(self.shards)
+        if n <= 1 or self.split_threshold is None:
+            return []
+        dir_load = self.sampled_loads()
+        total = sum(dir_load.values())
+        sharding = self.shards[0].sharding
+        if not total:
+            # Nothing is hot; any still-split directory has fully cooled
+            # and merges back to its whole-directory owner.
+            return [(path, [sharding.shard_of_dir(path, n)])
+                    for path in sorted(sharding.partitions)
+                    if len(set(sharding.partitions[path])) > 1]
+        per_shard = total / n
+        plans = []
+        candidates = set(dir_load) | set(sharding.partitions)
+        for path in sorted(candidates,
+                           key=lambda p: (-dir_load.get(p, 0), p)):
+            load = dir_load.get(path, 0)
+            fanout = sharding.partitions.get(path)
+            split = fanout is not None and len(set(fanout)) > 1
+            if not split and load > self.split_threshold * per_shard:
+                plans.append((path, list(range(n))))
+            elif split and load < self.merge_threshold * per_shard:
+                plans.append(
+                    (path, [sharding.shard_of_dir(path, n)]))
+        return plans
+
+    def rebalance(self):
+        """Coroutine: plan and execute splits + migrations; returns what ran.
+
+        Splits run first (a directory hot enough to split would dominate
+        any re-homing plan anyway), each on its owner shard's crash-safe
+        :meth:`ShardRebalancePart.split_dir`; then each re-homing move
+        runs the owner's :meth:`ShardRebalancePart.rebalance_dir`.  The
+        sampled counters are only advisory — a planned directory may
+        have been removed (or re-homed) since the load was observed,
+        even by an op that *failed* against it (the router counts the
+        attempt); such plans are skipped.  Counters *decay* afterwards
+        (exponential halving, not a reset): the next round still reacts
+        mostly to post-migration load, but a hotspot whose burst
+        straddles a round boundary keeps enough weight to be seen — a
+        full reset made the planner blind to any load pattern shorter
+        than one whole round.
+        """
         if obs.METRICS is not None:
             self._observe_loads()
         tracer = obs.TRACER
         executed = []
+        for path, targets in self.plan_splits():
+            sharding = self.shards[0].sharding
+            owner = sharding.shard_of_dir(path, len(self.shards))
+            shard = self.shards[owner]
+            span = None
+            if tracer is not None:
+                span = tracer.start(
+                    "split_dir", path, shard.sim.now, shard=owner,
+                    target=len(targets))
+            try:
+                if len(targets) == 1:
+                    yield from shard.merge_dir(path, shard.sim.now)
+                else:
+                    yield from shard.split_dir(path, targets, shard.sim.now)
+            except FsError as exc:
+                if span is not None:
+                    tracer.finish(span, shard.sim.now, outcome=exc.code)
+                continue  # vanished (or re-planned) since sampling
+            except BaseException as exc:
+                if span is not None:
+                    tracer.finish(span, shard.sim.now,
+                                  outcome=type(exc).__name__)
+                raise
+            if span is not None:
+                tracer.finish(span, shard.sim.now)
+            if obs.METRICS is not None:
+                obs.METRICS.incr("split_moves", owner)
+            executed.append((path, owner, tuple(targets)))
+        moves = self.plan()
         for path, src, dst in moves:
             span = None
             if tracer is not None:
@@ -456,6 +923,22 @@ class Rebalancer:
         for router in self.routers:
             router.decay_loads()
         return executed
+
+    def run_periodic(self, sim, interval_ms, rounds=None):
+        """Coroutine: the continuous re-balancing loop.
+
+        Schedule with ``sim.process(rebalancer.run_periodic(sim, t))``:
+        every ``interval_ms`` of simulated time one :meth:`rebalance`
+        round runs — sampling, splitting, re-homing, decaying — so the
+        tier adapts to load without an administrative call.  ``rounds``
+        bounds the loop for finite experiments; None runs until the
+        simulation stops scheduling it.
+        """
+        done = 0
+        while rounds is None or done < rounds:
+            yield sim.timeout(interval_ms)
+            yield from self.rebalance()
+            done += 1
 
     def _observe_loads(self):
         """Record each shard's dir-attributed load at planning time."""

@@ -82,6 +82,8 @@ class ShardRecoveryPart:
                 yield from self._recovery_pass(
                     "restore_overrides", self.restore_overrides())
                 yield from self._recovery_pass(
+                    "restore_partitions", self.restore_partitions())
+                yield from self._recovery_pass(
                     "resync_skeleton", self.resync_skeleton())
             yield from self._recovery_pass(
                 "reconcile_buckets", self.reconcile_tier_buckets())
@@ -803,6 +805,10 @@ class ShardRecoveryPart:
             yield from self._peer(rec["home"], "intent_forget", dedup)
         elif op == "rebalance":
             yield from self.redo_rebalance(rec)
+        elif op == "split":
+            yield from self.redo_split(rec)
+        elif op == "stage":
+            yield from self.redo_stage(rec)
         elif op == "forget_override":
             yield from self.redo_forget_override(rec)
         return True
@@ -925,6 +931,8 @@ def recover_tier(shards):
             "complete_intents", driver.complete_tier_intents(dead))
         yield from driver._recovery_pass(
             "restore_overrides", driver.restore_overrides())
+        yield from driver._recovery_pass(
+            "restore_partitions", driver.restore_partitions())
         if lost:
             yield from driver._recovery_pass(
                 "resync_skeleton", driver.resync_skeleton())

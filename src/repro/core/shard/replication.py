@@ -281,9 +281,14 @@ class ShardReplicationPart:
 
     def rmdir(self, path, now, _hops=0):
         self._check_hops(_hops, path)
-        owner = self._dir_owner(path)
-        if owner != self.shard_id:
-            # The directory's file population lives on its owner shard.
+        # The directory's file population lives on its entries owner —
+        # or, when it is split, across every partition shard; each
+        # remote holder must report empty (this shard's own entries are
+        # checked by the transaction body below).
+        for owner in self.sharding.entry_shards(
+                normalize(path), self.n_shards):
+            if owner == self.shard_id:
+                continue
             entries = yield from self._peer(owner, "count_children_of", path)
             if entries:
                 raise FsError.enotempty(path)
@@ -297,13 +302,15 @@ class ShardReplicationPart:
 
         def body(txn):
             result = inner(txn)
-            # A re-homing override dies with its directory: dropping the
-            # durable row atomically with the rmdir (and on every peer
-            # via mirror_rmdir) closes the "override outlives its
-            # directory" stickiness — a recreated directory routes by
-            # the static rule again.
+            # A re-homing override — and a partition row — dies with its
+            # directory: dropping the durable rows atomically with the
+            # rmdir (and on every peer via mirror_rmdir) closes the
+            # "override outlives its directory" stickiness — a recreated
+            # directory routes by the static rule again, unsplit.
             if self._drop_override_body(norm, now)(txn):
-                forgotten.append(True)
+                forgotten.append("override")
+            if self._drop_partitions_body(norm, now)(txn):
+                forgotten.append("partitions")
             tids.append(self._txn_mirror_intent(
                 txn, "mirror_rmdir", [path, now], epoch))
             return result
@@ -318,8 +325,10 @@ class ShardReplicationPart:
         except BaseException:
             self._done_tids(tids)
             raise
-        if forgotten:
+        if "override" in forgotten:
             self.sharding.overrides.pop(norm, None)
+        if "partitions" in forgotten:
+            self.sharding.partitions.pop(norm, None)
         try:
             yield from self._broadcast(
                 "mirror_rmdir", path, now, stamp=self._stamp(epoch))
@@ -437,10 +446,12 @@ class ShardReplicationPart:
         def body(txn):
             self._check_stamp(stamp)
             # Same newest-wins discipline as mirror_override: a redo
-            # replaying this rmdir late must not drop an override a
-            # recreated directory acquired since.
+            # replaying this rmdir late must not drop an override (or a
+            # partition row) a recreated directory acquired since.
             if self._drop_override_body(norm, now)(txn):
-                forgotten.append(True)
+                forgotten.append("override")
+            if self._drop_partitions_body(norm, now)(txn):
+                forgotten.append("partitions")
             try:
                 parent, name = self._txn_resolve_parent(txn, path)
             except FsError:
@@ -461,8 +472,10 @@ class ShardReplicationPart:
             return True
 
         result = yield from self.dbsvc.execute(self._local_body(body))
-        if forgotten:
+        if "override" in forgotten:
             self.sharding.overrides.pop(norm, None)
+        if "partitions" in forgotten:
+            self.sharding.partitions.pop(norm, None)
         return result
 
     # -- primary/backup group RPCs -----------------------------------------

@@ -97,19 +97,36 @@ class MemberDown(FsError):
 # Partitioning policies
 # ---------------------------------------------------------------------------
 
+def entry_slot(name, fanout):
+    """Which of ``fanout`` partition slots entry ``name`` hashes to.
+
+    Depends only on the entry's *name* — never on the directory's path —
+    so a split directory can be renamed without moving a single entry.
+    The split protocol uses the same function to decide what moves where,
+    so routing and placement can never disagree.
+    """
+    digest = hashlib.blake2b(name.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % fanout
+
+
 class ShardingPolicy:
     """Interface: which shard owns the entries of a directory.
 
     ``overrides`` maps a normalized directory path to the shard the online
     re-balancer re-homed it to; it is consulted before the base partition
-    function.  The map is shared by every router and shard of one stack
-    (modeling the small replicated routing table a real tier pushes to its
-    clients); the durable copy lives in each shard's ``overrides`` table
-    and is restored on recovery (see :mod:`repro.core.shard.rebalance`).
+    function.  ``partitions`` maps a normalized directory path to the
+    tuple of shards its entries are *hash-partitioned* across (GIGA+-
+    style): when present it supersedes the whole-directory rule, and each
+    entry routes by the hash of its own name.  Both maps are shared by
+    every router and shard of one stack (modeling the small replicated
+    routing table a real tier pushes to its clients); the durable copies
+    live in each shard's ``overrides`` / ``partitions`` tables and are
+    restored on recovery (see :mod:`repro.core.shard.rebalance`).
     """
 
     def __init__(self):
         self.overrides = {}
+        self.partitions = {}
 
     def shard_of_dir(self, dir_path, n_shards):
         """The shard (int in ``range(n_shards)``) owning ``dir_path``'s
@@ -121,6 +138,41 @@ class ShardingPolicy:
         if override is not None:
             return override % n_shards
         return self._base_shard(norm, n_shards)
+
+    def shard_of_entry(self, dir_path, name, n_shards):
+        """The shard owning entry ``name`` of directory ``dir_path``.
+
+        A split directory routes each entry by the hash of its *name*
+        (path-independent, so renaming the directory re-keys the map but
+        never moves an entry); an unsplit directory falls back to the
+        whole-directory rule.  Pure in-memory arithmetic — zero simulated
+        cost, exactly like :meth:`shard_of_dir`.
+        """
+        if n_shards <= 1:
+            return 0
+        fanout = self.partitions.get(normalize(dir_path))
+        if fanout:
+            return fanout[entry_slot(name, len(fanout))] % n_shards
+        return self.shard_of_dir(dir_path, n_shards)
+
+    def entry_shards(self, dir_path, n_shards):
+        """Every shard that may own entries of ``dir_path`` (fan-out set).
+
+        ``(owner,)`` for an unsplit directory; the de-duplicated partition
+        tuple for a split one.  readdir fans out over this set, and rmdir
+        consults each member for emptiness.
+        """
+        if n_shards <= 1:
+            return (0,)
+        fanout = self.partitions.get(normalize(dir_path))
+        if fanout:
+            seen = []
+            for shard in fanout:
+                shard %= n_shards
+                if shard not in seen:
+                    seen.append(shard)
+            return tuple(seen)
+        return (self.shard_of_dir(dir_path, n_shards),)
 
     def static_shard_of_dir(self, dir_path, n_shards):
         """The shard the *static* rule names, ignoring any override.
@@ -328,8 +380,8 @@ class ShardRouter:
         return self.sharding.shard_of_dir(dir_path, self.n_shards)
 
     def shard_for_leaf(self, path):
-        parent, _name = split(path)
-        return self.sharding.shard_of_dir(parent, self.n_shards)
+        parent, name = split(path)
+        return self.sharding.shard_of_entry(parent, name, self.n_shards)
 
     def call(self, method, *args):
         """Coroutine: one (possibly fanned-out) metadata RPC."""
@@ -349,23 +401,33 @@ class ShardRouter:
             else:
                 coro = self.drivers[shard].call(method, *args)
         else:
+            fanout = None
             if method == "readdir":
                 dir_path = normalize(args[0])
-                shard = self.shard_for_dir(dir_path)
+                owners = self.sharding.entry_shards(dir_path, self.n_shards)
+                shard = owners[0]
+                if len(owners) > 1:
+                    fanout = owners
             elif method == "rename":
-                dir_path, _name = split(args[0])
-                shard = self.shard_for_dir(dir_path)
+                dir_path, name = split(args[0])
+                shard = self.sharding.shard_of_entry(
+                    dir_path, name, self.n_shards)
             elif method == "link":
-                dir_path, _name = split(args[1])
-                shard = self.shard_for_dir(dir_path)
+                dir_path, name = split(args[1])
+                shard = self.sharding.shard_of_entry(
+                    dir_path, name, self.n_shards)
             elif method in self._LEAF_OPS:
-                dir_path, _name = split(args[0])
-                shard = self.shard_for_dir(dir_path)
+                dir_path, name = split(args[0])
+                shard = self.sharding.shard_of_entry(
+                    dir_path, name, self.n_shards)
             else:
                 dir_path = None
                 shard = 0
             self._note_load(shard, dir_path)
-            coro = self._tracked(shard, method, args)
+            if fanout is not None:
+                coro = self._readdir_fanout(fanout, args)
+            else:
+                coro = self._tracked(shard, method, args)
         if obs.TRACER is None and obs.METRICS is None:
             return coro
         return self._observed(coro, method, shard)
@@ -441,6 +503,20 @@ class ShardRouter:
             path: aged for path, count in self.dir_loads.items()
             if (aged := int(count * factor)) > 0
         }
+
+    def _readdir_fanout(self, owners, args):
+        """Coroutine: merged readdir over a split directory's partitions.
+
+        Each partition shard lists only its *local* entries
+        (``readdir_shard``); the union dedups the replicated skeleton
+        names and any entry a migration transiently left on two shards,
+        so every name appears exactly once in the merged listing.
+        """
+        names = set()
+        for shard in owners:
+            part = yield from self._tracked(shard, "readdir_shard", args)
+            names.update(part)
+        return sorted(names)
 
     def _tracked(self, shard, method, args):
         """Coroutine: call one shard; learn vino homes from returned views."""
@@ -614,9 +690,13 @@ class ShardRoutingPart:
     # -- shard arithmetic -------------------------------------------------
 
     def _owner_of(self, path):
-        """The shard owning ``path``'s leaf entry (by its parent dir)."""
-        parent, _name = split(path)
-        return self.sharding.shard_of_dir(parent, self.n_shards)
+        """The shard owning ``path``'s leaf entry.
+
+        Entry-aware: in a split directory each entry routes by the hash
+        of its own name; otherwise by the parent directory as before.
+        """
+        parent, name = split(path)
+        return self.sharding.shard_of_entry(parent, name, self.n_shards)
 
     def _dir_owner(self, dir_path):
         return self.sharding.shard_of_dir(dir_path, self.n_shards)
@@ -699,24 +779,33 @@ class ShardRoutingPart:
                 else self._owner_of(target)
             if owner != self.shard_id:
                 raise ResolveForward(owner, target)
+        # The walk continues locally on a rewritten path: remember it, so
+        # the ownership guard in _txn_resolve_parent knows the textual
+        # path no longer names the resolved entry (and readdir knows the
+        # real directory to merge partitions for).
+        self._walk_target = target
         return super()._resolve_retarget(txn, target, follow, depth)
 
     def _absent_dentry(self, txn, path, parts, index):
-        last = index == len(parts) - 1
-        if not self._local_only and (self._parent_walk or not last):
+        if not self._local_only:
             dir_path = "/" + "/".join(parts[:index])
-            owner = self._dir_owner(dir_path)
+            owner = self.sharding.shard_of_entry(
+                dir_path, parts[index], self.n_shards)
             if owner != self.shard_id:
                 # A component with no local dentry may still be a
                 # partitioned file (or stub) on the shard owning this
-                # directory's entries — which must then answer ENOTDIR,
-                # not ENOENT.  Forward; the owner resolves authoritatively
-                # and never re-forwards (it holds the entries).  Parent
+                # *entry* (its name's partition in a split directory,
+                # the directory's owner otherwise) — which must then
+                # answer ENOTDIR, not ENOENT.  Forward; the owner
+                # resolves authoritatively and never re-forwards.  Parent
                 # walks mark the forward ``final``: their redispatch must
                 # go to this owner verbatim, since re-deriving the shard
                 # from the leaf's parent would route straight back here.
-                # (A leaf walk's *last* component never forwards — the
-                # router already sent it to the dentry owner.)
+                # A leaf walk's *last* component forwards too: the
+                # router's snapshot may predate a migration flip whose
+                # purge already ran here — the shard the *current* map
+                # names provably holds the entry, and a genuinely
+                # missing name is ENOENT there just the same.
                 raise ResolveForward(
                     owner, path, final=self._parent_walk)
         super()._absent_dentry(txn, path, parts, index)
@@ -733,25 +822,48 @@ class ShardRoutingPart:
         raise VinoForward(home, dentry["vino"])
 
     def _txn_resolve_parent(self, txn, path):
-        # Transaction bodies never yield, so this flag is scoped to the
-        # synchronous walk: no other handler can observe it mid-flight.
+        # Transaction bodies never yield, so these flags are scoped to the
+        # synchronous walk: no other handler can observe them mid-flight.
         prev = self._parent_walk
+        prev_target = self._walk_target
         self._parent_walk = True
+        self._walk_target = None
         try:
-            return super()._txn_resolve_parent(txn, path)
-        except ResolveForward as fwd:
-            # The *parent* walk crossed shards: re-attach the leaf so the
-            # re-dispatched operation carries the full rewritten path.  An
-            # authoritative (final) forward keeps its target shard; a
-            # symlink-retarget forward re-routes by the rewritten parent.
-            _parent, name = split(path)
-            base = normalize(fwd.path)
-            full = f"/{name}" if base == "/" else f"{base}/{name}"
-            if fwd.final:
-                raise ResolveForward(fwd.shard, full, final=True) from None
-            raise ResolveForward(self._owner_of(full), full) from None
+            try:
+                result = super()._txn_resolve_parent(txn, path)
+            except ResolveForward as fwd:
+                # The *parent* walk crossed shards: re-attach the leaf so
+                # the re-dispatched operation carries the full rewritten
+                # path.  An authoritative (final) forward keeps its target
+                # shard; a symlink-retarget forward re-routes by the
+                # rewritten parent.
+                _parent, name = split(path)
+                base = normalize(fwd.path)
+                full = f"/{name}" if base == "/" else f"{base}/{name}"
+                if fwd.final:
+                    raise ResolveForward(
+                        fwd.shard, full, final=True) from None
+                raise ResolveForward(self._owner_of(full), full) from None
+            retargeted = self._walk_target is not None
         finally:
             self._parent_walk = prev
+            self._walk_target = prev_target
+        if not self._local_only and not self._skip_owner_guard \
+                and not retargeted:
+            owner = self._owner_of(path)
+            if owner != self.shard_id:
+                # Ownership re-check, atomic with the mutation: routing
+                # flipped between the router's decision and this
+                # transaction (a concurrent split/re-homing committed its
+                # flip on this very dbsvc).  Land the mutation where the
+                # entry now lives instead of writing a row routing no
+                # longer reaches — this is what lets a migration's flip
+                # transaction guarantee no entry is ever stranded on the
+                # source.  Pure Python (no reads charged): the no-race
+                # path costs nothing.  Suppressed for replicated-rename
+                # replays, which legitimately walk every shard's skeleton.
+                raise ResolveForward(owner, path, final=True)
+        return result
 
     def _resolve_rename_old(self, txn, old):
         # rename's peek already pinned the source to this shard; walk the
@@ -807,22 +919,73 @@ class ShardRoutingPart:
             # Like a parent walk: a symlink on the way must route by the
             # target directory itself (whose entries live on its owner).
             prev = self._parent_walk
+            prev_target = self._walk_target
             self._parent_walk = True
+            self._walk_target = None
             try:
                 row = self._txn_resolve(txn, path)
+                # A symlink may have rewritten the path mid-walk; the
+                # partition merge below must consult the *resolved*
+                # directory, not the textual argument.
+                resolved = normalize(self._walk_target or path)
             finally:
                 self._parent_walk = prev
+                self._walk_target = prev_target
             if row["kind"] != DIRECTORY:
                 raise FsError.enotdir(path)
             names = [d["name"] for d in
                      txn.index_read("dentries", "parent", row["vino"])]
-            return sorted(names)
+            return resolved, sorted(names)
 
         try:
-            names = yield from self.dbsvc.execute(body)
+            resolved, names = yield from self.dbsvc.execute(body)
         except ResolveForward as fwd:
             names = yield from self._redispatch(
                 fwd, "readdir", fwd.path, _hops + 1)
+            return names
+        owners = self.sharding.entry_shards(resolved, self.n_shards)
+        if owners == (self.shard_id,):
+            return names
+        # Split directory (or ownership moved after the router chose us):
+        # union every partition's local listing.  Names dedup the
+        # replicated skeleton and any entry a migration transiently left
+        # on two shards — each entry appears exactly once.  Our own local
+        # names count only while we are an authoritative partition; a
+        # shard the routing no longer reaches may hold stale, already
+        # purge-bound copies.
+        merged = set(names) if self.shard_id in owners else set()
+        for shard in owners:
+            if shard == self.shard_id:
+                continue
+            part = yield from self._peer(shard, "readdir_shard", resolved)
+            merged.update(part)
+        return sorted(merged)
+
+    def readdir_shard(self, path, _hops=0):
+        """RPC: this shard's *local* listing of directory ``path``.
+
+        One partition's contribution to a merged readdir over a split
+        directory: resolve against the local skeleton replica (no
+        forwards — every shard replicates the directory tree) and list
+        only locally-present dentries.  The caller unions partitions and
+        dedups by name.
+        """
+        self._check_hops(_hops, path)
+        yield from self._dispatch()
+
+        def body(txn):
+            prev = self._local_only
+            self._local_only = True
+            try:
+                row = self._txn_resolve(txn, path)
+            finally:
+                self._local_only = prev
+            if row["kind"] != DIRECTORY:
+                raise FsError.enotdir(path)
+            return sorted(d["name"] for d in
+                          txn.index_read("dentries", "parent", row["vino"]))
+
+        names = yield from self.dbsvc.execute(body)
         return names
 
     def readlink(self, path, _hops=0):

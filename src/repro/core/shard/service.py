@@ -55,6 +55,13 @@ class ShardMetadataService(
         self.sharding = sharding
         self._local_only = False
         self._parent_walk = False
+        #: rewritten path of the last local symlink retarget (scoped to
+        #: one synchronous walk; see routing's ownership guard / readdir).
+        self._walk_target = None
+        #: suppresses the parent-walk ownership re-check for handlers
+        #: that legitimately walk another shard's skeleton replica
+        #: (replicated-rename bodies and their replays).
+        self._skip_owner_guard = False
         #: optional :class:`repro.core.faults.CrashSchedule`; when set,
         #: every peer RPC send/receive becomes a crash boundary.
         self.faults = None

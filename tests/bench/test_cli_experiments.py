@@ -10,7 +10,7 @@ def test_registry_covers_every_paper_item():
     expected = {
         "fig1", "fig2", "fig4", "fig5", "fig5b", "fig6", "table1",
         "ablation-placement", "ablation-mds", "scaling-mds",
-        "scaling-rebalance", "scaling-failover",
+        "scaling-rebalance", "scaling-split", "scaling-failover",
     }
     assert set(EXPERIMENTS) == expected
 

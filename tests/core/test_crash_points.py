@@ -89,6 +89,17 @@ def _apply(host, ops):
             src = sharding.shard_of_dir(path, len(host.shards))
             yield from host.shards[src].rebalance_dir(
                 path, dst, host.sim.now)
+        elif kind == "split":
+            _kind, path, targets = op
+            sharding = host.stack.sharding
+            src = sharding.shard_of_dir(path, len(host.shards))
+            yield from host.shards[src].split_dir(
+                path, targets, host.sim.now)
+        elif kind == "merge":
+            _kind, path = op
+            sharding = host.stack.sharding
+            src = sharding.shard_of_dir(path, len(host.shards))
+            yield from host.shards[src].merge_dir(path, host.sim.now)
         else:  # pragma: no cover - scenario typo guard
             raise AssertionError(f"unknown op {kind}")
     return True
@@ -205,6 +216,55 @@ SCENARIOS = {
         op=[("rebalance", "/a", 2)],
         invisible=True,
         parallel=True,
+    ),
+    # -- intra-directory splits: hash-partitioning a hot directory's
+    #    entries across shards.  Same invisibility rule as re-homing,
+    #    plus the partitions-table invariants (identical everywhere, in
+    #    memory == durable) at every crash point.
+    "split-dir-population": dict(
+        shards=2,
+        setup=[("mkdir", "/a"), ("create", "/a/f"), ("create", "/a/g"),
+               ("create", "/a/h"), ("create", "/a/i")],
+        op=[("split", "/a", [0, 1])],
+        invisible=True,
+    ),
+    "split-dir-with-stub": dict(
+        # /a/f is hard-linked from /b: its inode stays home behind a
+        # stub while the name partitions away.
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/b"), ("create", "/a/f"),
+               ("link", "/a/f", "/b/l"), ("create", "/a/g"),
+               ("create", "/a/h")],
+        op=[("split", "/a", [0, 1])],
+        invisible=True,
+    ),
+    "split-dir-parallel": dict(
+        shards=3,
+        setup=[("mkdir", "/a"), ("create", "/a/f"), ("create", "/a/g"),
+               ("create", "/a/h")],
+        op=[("split", "/a", [0, 1, 2])],
+        invisible=True,
+        parallel=True,
+    ),
+    "merge-split-dir": dict(
+        # The inverse protocol: every partition's entries come home and
+        # the surviving one-element row is routing-equivalent to none.
+        shards=2,
+        setup=[("mkdir", "/a"), ("create", "/a/f"), ("create", "/a/g"),
+               ("create", "/a/h"), ("split", "/a", [0, 1])],
+        op=[("merge", "/a")],
+        invisible=True,
+    ),
+    "resplit-dir-multi-source": dict(
+        # Widening an existing split stages from *multiple* pre-flip
+        # sources; the intent's recorded sources make the redo complete
+        # even though the live map already shows the new fanout.
+        shards=3,
+        setup=[("mkdir", "/a"), ("create", "/a/f"), ("create", "/a/g"),
+               ("create", "/a/h"), ("create", "/a/i"),
+               ("split", "/a", [0, 1])],
+        op=[("split", "/a", [0, 1, 2])],
+        invisible=True,
     ),
     # -- parallel mirror broadcasts: same protocols, overlapped fan-out;
     #    ≥3 shards so at least two mirrors genuinely overlap.
@@ -401,6 +461,9 @@ CONCURRENT = [
     "rename-replicated-dir-migrates-subtree",
     "rebalance-dir-population",
     "rebalance-dir-with-stub",
+    "split-dir-population",
+    "split-dir-with-stub",
+    "merge-split-dir",
 ]
 
 
@@ -474,6 +537,163 @@ def test_concurrent_drill_enumeration_is_large():
         count, _pre, _post = _count_boundaries(spec)
         total += spec["shards"] * count
     assert total >= 60, total
+
+
+#: migration scenarios for the reader drill, with the probes a reader
+#: issues while the migration keeps running.  ``probes`` lists the
+#: alternative names of each pre-existing file (one alternative for a
+#: path-invisible migration, old-or-new for a rename); ``listings`` maps
+#: each stable directory to the names a mid-migration readdir must list
+#: exactly once each.
+MIGRATION_READS = {
+    "split-dir-population": dict(
+        probes=[["/a/f"], ["/a/g"], ["/a/h"], ["/a/i"]],
+        listings={"/a": ["f", "g", "h", "i"]},
+    ),
+    "merge-split-dir": dict(
+        probes=[["/a/f"], ["/a/g"], ["/a/h"]],
+        listings={"/a": ["f", "g", "h"]},
+    ),
+    "resplit-dir-multi-source": dict(
+        probes=[["/a/f"], ["/a/g"], ["/a/h"], ["/a/i"]],
+        listings={"/a": ["f", "g", "h", "i"]},
+    ),
+    "rebalance-dir-population": dict(
+        probes=[["/a/f"], ["/a/g"], ["/a/h"]],
+        listings={"/a": ["f", "g", "h"]},
+    ),
+    "rebalance-dir-with-stub": dict(
+        probes=[["/a/f"], ["/a/g"], ["/b/l"]],
+        listings={"/a": ["f", "g"]},
+    ),
+}
+
+
+def _reader_drill(name, k):
+    """Spawn a reader at boundary ``k`` of the live migration: while the
+    migration keeps running to completion, the reader loops stat/readdir
+    probes over the pre-existing population and must never observe a
+    missing entry or a double listing."""
+    spec = SCENARIOS[name]
+    reads = MIGRATION_READS[name]
+    host = _build(spec)
+    fs = host.mounts[0]
+    failures, fired, done, readers = [], [], [], []
+
+    def reader():
+        while not done:
+            for alternatives in reads["probes"]:
+                codes = []
+                for path in alternatives:
+                    try:
+                        yield from fs.stat(path)
+                        codes.append("ok")
+                    except FsError as exc:
+                        codes.append(exc.code)
+                if "ok" not in codes:
+                    failures.append((k, alternatives, codes))
+            for dir_path, names in reads["listings"].items():
+                try:
+                    listing = yield from fs.readdir(dir_path)
+                except FsError as exc:
+                    failures.append((k, dir_path, exc.code))
+                    continue
+                if len(listing) != len(set(listing)):
+                    failures.append((k, dir_path, "duplicate", listing))
+                missing = set(names) - set(listing)
+                if missing:
+                    failures.append((k, dir_path, "missing", missing))
+        return True
+
+    def fire(_label):
+        fired.append(True)
+        readers.append(host.sim.process(reader(), name="reader"))
+
+    schedule = CrashSchedule(armed=k, action=fire)
+    arm_shards(host.shards, schedule)
+
+    def run_op():
+        yield from _apply(host, spec["op"])
+        done.append(True)
+        if readers:
+            yield readers[0]  # join: let the reader finish its pass
+        return True
+
+    host.run(run_op())
+    disarm_shards(host.shards)
+    assert fired, f"boundary {k} never fired"
+    assert not failures, failures
+    check_tier_invariants(host.shards, host.stack.sharding)
+
+
+@pytest.mark.parametrize("name", sorted(MIGRATION_READS))
+def test_readers_never_lose_an_entry_mid_migration(name):
+    """The headline window, drilled at every boundary of every migration
+    protocol: a concurrent reader must never see a transient ENOENT for
+    a pre-existing entry, and a mid-migration readdir lists every entry
+    exactly once."""
+    spec = SCENARIOS[name]
+    count, _pre, _post = _count_boundaries(spec)
+    assert count >= 2
+    for k in _selected(count):
+        _reader_drill(name, k)
+
+
+def test_renamed_subtree_entries_servable_the_moment_a_replica_flips():
+    """The subtree-rename migration window, checked at *every* boundary
+    in one pass: the instant any shard's skeleton replica resolves the
+    renamed directory under its new name, the shard owning each of its
+    entries under that new name must already hold the entry (the staged
+    copy) — the old migrate-after-commit order left a window where the
+    new name was visible tier-wide while every entry was still parked on
+    the old owner, unreachable.  (Client-visible old-name/new-name
+    flicker *between* replicas while the mirror broadcast is in flight
+    is the separate, documented skeleton-divergence window.)  Pure
+    table reads — no simulated cost, no schedule perturbation."""
+    spec = SCENARIOS["rename-replicated-dir-migrates-subtree"]
+    host = _build(spec)
+    sharding = host.stack.sharding
+    n = len(host.shards)
+    names = ("f", "g")
+    failures = []
+
+    def resolve_dir(shard, path):
+        """vino of ``path`` on this shard's replica, or None."""
+        dentries = {(d["parent"], d["name"]): d
+                    for d in shard.db.table("dentries").all()}
+        vino = shard.root_vino
+        for part in path.strip("/").split("/"):
+            dentry = dentries.get((vino, part))
+            if dentry is None:
+                return None
+            vino = dentry["vino"]
+        return vino
+
+    class Watch:
+        count = 0
+
+        def boundary(self, label):
+            Watch.count += 1
+            for shard in host.shards:
+                dvino = resolve_dir(shard, "/b/d")
+                if dvino is None:
+                    continue
+                for name in names:
+                    owner = host.shards[sharding.shard_of_entry(
+                        "/b/d", name, n)]
+                    held = any(
+                        d["parent"] == dvino and d["name"] == name
+                        for d in owner.db.table("dentries").all())
+                    if not held:
+                        failures.append(
+                            (Watch.count, label, shard.shard_id, name))
+
+    arm_shards(host.shards, Watch())
+    host.run(_apply(host, spec["op"]))
+    disarm_shards(host.shards)
+    assert Watch.count >= 2
+    assert not failures, failures
+    check_tier_invariants(host.shards, sharding)
 
 
 def test_fenced_zombie_coordinator_aborts_cleanly():
