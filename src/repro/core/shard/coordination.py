@@ -31,6 +31,8 @@ recovery that already resolved the intent makes them no-ops, and work
 past the commit point is abandoned to the recovery's idempotent redo.
 """
 
+from inspect import isgenerator
+
 from repro import obs
 from repro.core.shard.routing import EpochFenced, ResolveForward, VinoForward
 from repro.pfs.errors import FsError
@@ -61,6 +63,89 @@ class ShardCoordinationPart:
                 self._live_tids.difference_update(tid)
             else:
                 self._live_tids.discard(tid)
+
+    def _coordinated(self, tids, body=None, run=None, tail=None, local=False,
+                     swallow=(EpochFenced,), on_forward=None, on_vino=None,
+                     on_fserror=None):
+        """Coroutine: one coordinated mutation under a single tid lifecycle.
+
+        The scaffold every intent-journaling operation used to hand-roll,
+        in two shapes:
+
+        - **txn mode** (``body``): run the intent-journaling transaction
+          ``body``, then the post-commit side-effect ``tail``.  Any
+          exception out of the transaction deregisters ``tids`` before it
+          propagates: a forward restarts the operation through
+          ``on_forward``/``on_vino`` (their return value becomes the
+          result), a non-fence :class:`FsError` is handed to
+          ``on_fserror`` (compensate and re-raise, or swallow and return
+          a substitute), and everything else — including a fence, which
+          must surface so the caller retries under the live epoch — is
+          re-raised as-is.  ``tail`` is a coroutine taking a one-element
+          result *box* ``[result]`` that it mutates as side effects land;
+          an exception in ``swallow`` (default :class:`EpochFenced`:
+          fenced past the commit point, the journaled intent hands the
+          remaining side effects to recovery's redo) is absorbed and the
+          box returns exactly what had landed by then.  Handlers may be
+          plain functions or coroutines.
+        - **protocol mode** (``run``): drive a multi-transaction protocol
+          coroutine to completion with ``tids`` deregistered however it
+          exits (cross-shard rename and link, whose fence handling lives
+          with their commit points).
+
+        The stage-intent helpers (:meth:`_stage_renamed_subtree`,
+        :meth:`_abort_stage`) stay hand-rolled on purpose: their tid must
+        outlive the helper that journaled it, which is exactly the
+        lifecycle this wrapper exists to forbid.
+        """
+        if run is not None:
+            try:
+                result = yield from run
+            finally:
+                self._done_tids(tids)
+            return result
+        try:
+            result = yield from self.dbsvc.execute(
+                self._local_body(body) if local else body)
+        except ResolveForward as fwd:
+            self._done_tids(tids)
+            if on_forward is None:
+                raise
+            result = on_forward(fwd)
+            if isgenerator(result):
+                result = yield from result
+            return result
+        except VinoForward as fwd:
+            self._done_tids(tids)
+            if on_vino is None:
+                raise
+            result = on_vino(fwd)
+            if isgenerator(result):
+                result = yield from result
+            return result
+        except EpochFenced:
+            self._done_tids(tids)
+            raise
+        except FsError as exc:
+            self._done_tids(tids)
+            if on_fserror is None:
+                raise
+            result = on_fserror(exc)
+            if isgenerator(result):
+                result = yield from result
+            return result
+        except BaseException:
+            self._done_tids(tids)
+            raise
+        box = [result]
+        try:
+            if tail is not None:
+                yield from tail(box)
+        except swallow:
+            pass
+        finally:
+            self._done_tids(tids)
+        return box[0]
 
     def _txn_intent(self, txn, epoch, rec):
         """Journal a coordinator intent stamped with the op's epoch.
@@ -283,44 +368,35 @@ class ShardCoordinationPart:
                     }))
                 return result
 
-            try:
-                result = yield from self.dbsvc.execute(body)
-            except ResolveForward as fwd:
-                self._done_tids(tids)
+            def on_forward(fwd):
                 if fwd.final:
                     # The retry below walks the same local skeleton, so
                     # it cannot answer what only the entries owner can;
                     # the probe raises the authoritative error.
                     yield from self._probe_dst_parent(fwd, _hops)
-                result = yield from self.rename(old, fwd.path, now, _hops + 1)
-                return result
-            except BaseException:
-                self._done_tids(tids)
-                raise
-            try:
-                if tids:
-                    tid = tids[0]
-                    drained = yield from self._drain_pending(
-                        pending, now, tid, self._stamp(epoch))
-                    result = self._merge_replaced(result, drained)
-                    if SYMLINK in replaced:
-                        # The rename destroyed a replicated symlink at
-                        # ``new``; its replicas on every other shard must
-                        # die with it (as unlink does), or stale replicas
-                        # keep resolving.
-                        yield from self._broadcast(
-                            "mirror_unlink", new, now,
-                            stamp=self._stamp(epoch))
-                    yield from self.intent_forget(tid)
-                    yield from self._forget_dedups(tid, pending)
-            except EpochFenced:
-                # Fenced past the commit point: the local rename stands
-                # (its transaction committed) and the surviving intent
-                # hands the remaining side effects to recovery's redo.
-                pass
-            finally:
-                self._done_tids(tids)
-            return result
+                retried = yield from self.rename(old, fwd.path, now, _hops + 1)
+                return retried
+
+            def tail(box):
+                if not tids:
+                    return
+                tid = tids[0]
+                drained = yield from self._drain_pending(
+                    pending, now, tid, self._stamp(epoch))
+                box[0] = self._merge_replaced(box[0], drained)
+                if SYMLINK in replaced:
+                    # The rename destroyed a replicated symlink at
+                    # ``new``; its replicas on every other shard must
+                    # die with it (as unlink does), or stale replicas
+                    # keep resolving.
+                    yield from self._broadcast(
+                        "mirror_unlink", new, now,
+                        stamp=self._stamp(epoch))
+                yield from self.intent_forget(tid)
+                yield from self._forget_dedups(tid, pending)
+
+            return (yield from self._coordinated(
+                tids, body=body, tail=tail, on_forward=on_forward))
         return (yield from self._rename_cross_shard(
             old, new, vino, home, dst, now, _hops, epoch))
 
@@ -427,50 +503,42 @@ class ShardCoordinationPart:
             }))
             return result
 
-        try:
-            result = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            self._done_tids(tids)
+        def on_forward(fwd):
             yield from self._abort_stage(stage_plans, stage_tid, stamp)
             if fwd.final:
                 # Same pinning as the same-shard branch: only the
                 # entries owner can pronounce on the missing component.
                 yield from self._probe_dst_parent(fwd, _hops)
-            result = yield from self.rename(old, fwd.path, now, _hops + 1)
-            return result
-        except EpochFenced:
-            # Fenced: compensation RPCs would be refused too; the
+            retried = yield from self.rename(old, fwd.path, now, _hops + 1)
+            return retried
+
+        def on_fserror(exc):
+            # A fence never reaches here (the wrapper re-raises it
+            # first): compensation RPCs would be refused too, and the
             # surviving stage intent hands the cleanup to recovery.
-            self._done_tids(tids)
-            raise
-        except FsError:
-            self._done_tids(tids)
             yield from self._abort_stage(stage_plans, stage_tid, stamp)
-            raise
-        except BaseException:
-            self._done_tids(tids)
-            raise
-        if stage_tid is not None:
-            self._done_tids([stage_tid])
-        tid = tids[0]
-        try:
+            raise exc
+
+        def tail(box):
+            # Fenced past the commit point (the local replay + intent
+            # are durable): recovery's redo re-broadcasts, re-migrates.
+            if stage_tid is not None:
+                self._done_tids([stage_tid])
+            tid = tids[0]
             drained = yield from self._drain_pending(pending, now, tid, stamp)
-            result = self._merge_replaced(result, drained)
+            box[0] = self._merge_replaced(box[0], drained)
             mirrored = yield from self._broadcast(
                 "mirror_rename", old, new, now, stamp=stamp)
-            result = self._merge_replaced(result, mirrored)
+            box[0] = self._merge_replaced(box[0], mirrored)
             if kind == DIRECTORY:
                 yield from self._migrate_renamed_subtree(
                     vino, old, new, now, stamp)
             yield from self.intent_forget(tid)
             yield from self._forget_dedups(tid, pending)
-        except EpochFenced:
-            # Fenced past the commit point (the local replay + intent are
-            # durable): recovery's redo re-broadcasts and re-migrates.
-            pass
-        finally:
-            self._done_tids(tids)
-        return result
+
+        return (yield from self._coordinated(
+            tids, body=body, tail=tail,
+            on_forward=on_forward, on_fserror=on_fserror))
 
     def mirror_rename(self, old, new, now, stamp=None):
         """RPC (shard-to-shard): replay a replicated-object rename.
@@ -502,27 +570,20 @@ class ShardCoordinationPart:
                 }))
             return result
 
-        try:
-            result = yield from self.dbsvc.execute(self._local_body(body))
-        except EpochFenced:
-            self._done_tids(tids)
-            raise
-        except FsError:
-            self._done_tids(tids)
-            return (None, False)
-        try:
-            if tids:
-                tid = tids[0]
-                drained = yield from self._drain_pending(
-                    pending, now, tid, self._stamp(epoch))
-                result = self._merge_replaced(result, drained)
-                yield from self.intent_forget(tid)
-                yield from self._forget_dedups(tid, pending)
-        except EpochFenced:
-            pass  # the surviving rename_post intent is redone by recovery
-        finally:
-            self._done_tids(tids)
-        return result
+        def tail(box):
+            # A fence here strands the rename_post intent for recovery.
+            if not tids:
+                return
+            tid = tids[0]
+            drained = yield from self._drain_pending(
+                pending, now, tid, self._stamp(epoch))
+            box[0] = self._merge_replaced(box[0], drained)
+            yield from self.intent_forget(tid)
+            yield from self._forget_dedups(tid, pending)
+
+        return (yield from self._coordinated(
+            tids, body=body, tail=tail, local=True,
+            on_fserror=lambda exc: (None, False)))
 
     # -- subtree migration (copy → import → purge) --------------------------
 
@@ -799,12 +860,9 @@ class ShardCoordinationPart:
         if epoch is None:
             epoch = self.epoch
         tid = self._new_tid()
-        try:
-            result = yield from self._rename_cross_shard_fenced(
-                old, new, vino, home, dst, now, tid, epoch)
-        finally:
-            self._done_tids(tid)
-        return result
+        return (yield from self._coordinated(
+            tid, run=self._rename_cross_shard_fenced(
+                old, new, vino, home, dst, now, tid, epoch)))
 
     def _rename_cross_shard_fenced(self, old, new, vino, home, dst, now,
                                    tid, epoch):
@@ -1041,12 +1099,8 @@ class ShardCoordinationPart:
         yield from self._dispatch()
         epoch = self.epoch
         tid = self._new_tid()
-        try:
-            result = yield from self._link_fenced(
-                src, dst, now, _hops, tid, epoch)
-        finally:
-            self._done_tids(tid)
-        return result
+        return (yield from self._coordinated(
+            tid, run=self._link_fenced(src, dst, now, _hops, tid, epoch)))
 
     def _link_fenced(self, src, dst, now, _hops, tid, epoch):
         """Coroutine: the link protocol body under one live tid."""

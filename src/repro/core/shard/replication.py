@@ -49,9 +49,7 @@ peers, exactly as real in-flight messages would.
 """
 
 from repro import obs
-from repro.core.shard.routing import (
-    EpochFenced, MemberDown, ResolveForward, VinoForward,
-)
+from repro.core.shard.routing import EpochFenced, MemberDown, ResolveForward
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize
 
@@ -137,36 +135,30 @@ class ShardReplicationPart:
                     txn, "mirror_setattr", [path, changes, now], epoch))
             return row
 
-        try:
-            row = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            self._done_tids(tids)
+        def on_forward(fwd):
             view = yield from self._redispatch(
                 fwd, "setattr", fwd.path, changes, now, _hops + 1)
             return view
-        except VinoForward as fwd:
-            self._done_tids(tids)
+
+        def on_vino(fwd):
             view = yield from self._peer(
                 fwd.shard, "setattr_vino", fwd.vino, changes, now)
             return view
-        except BaseException:
-            self._done_tids(tids)
-            raise
-        view = self._attr_view(row)
-        try:
+
+        def tail(box):
+            # Committed locally (and shipped); fenced or killed in the
+            # broadcast tail: the completion pass redoes the mirrors
+            # from the journaled intent.
+            box[0] = self._attr_view(box[0])
             if tids:
                 yield from self._broadcast(
                     "mirror_setattr", path, changes, now,
                     stamp=self._stamp(epoch))
                 yield from self.intent_forget(tids[0])
-        except (EpochFenced, MemberDown):
-            # Committed locally (and shipped); fenced or killed in the
-            # broadcast tail: the completion pass redoes the mirrors
-            # from the journaled intent.
-            pass
-        finally:
-            self._done_tids(tids)
-        return view
+
+        return (yield from self._coordinated(
+            tids, body=body, tail=tail, swallow=(EpochFenced, MemberDown),
+            on_forward=on_forward, on_vino=on_vino))
 
     def create_node(self, path, kind, mode, uid, gid, node, pid, now,
                     target=None, _hops=0):
@@ -194,30 +186,24 @@ class ShardReplicationPart:
                 epoch))
             return row
 
-        try:
-            row = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            self._done_tids(tids)
+        def on_forward(fwd):
             view = yield from self._redispatch(
                 fwd, "create_node", fwd.path, kind, mode, uid, gid, node,
                 pid, now, target, _hops + 1)
             return view
-        except BaseException:
-            self._done_tids(tids)
-            raise
-        view = self._attr_view(row)
-        try:
-            yield from self._broadcast(
-                "mirror_create", path, view, now, stamp=self._stamp(epoch))
-            yield from self.intent_forget(tids[0])
-        except (EpochFenced, MemberDown):
+
+        def tail(box):
             # Committed locally (and shipped); fenced or killed in the
             # broadcast tail: the completion pass redoes the mirrors
             # from the journaled intent.
-            pass
-        finally:
-            self._done_tids(tids)
-        return view
+            box[0] = self._attr_view(box[0])
+            yield from self._broadcast(
+                "mirror_create", path, box[0], now, stamp=self._stamp(epoch))
+            yield from self.intent_forget(tids[0])
+
+        return (yield from self._coordinated(
+            tids, body=body, tail=tail, swallow=(EpochFenced, MemberDown),
+            on_forward=on_forward))
 
     def unlink(self, path, now, _hops=0):
         self._check_hops(_hops, path)
@@ -240,18 +226,21 @@ class ShardReplicationPart:
                     txn, "mirror_unlink", [path, now], epoch))
             return outcome
 
-        try:
-            outcome = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            self._done_tids(tids)
+        def on_forward(fwd):
             result = yield from self._redispatch(
                 fwd, "unlink", fwd.path, now, _hops + 1)
             return result
-        except BaseException:
-            self._done_tids(tids)
-            raise
-        try:
+
+        def tail(box):
+            # Fenced (or killed) past the local commit: recovery's redo
+            # performs the remote drop / replica removal, and the box
+            # holds what had landed by then.  A stub unlink cannot
+            # report the remote (upath, last) outcome any more; the
+            # client skips its underlying cleanup and the scrubber
+            # reclaims the object.
+            outcome = box[0]
             if outcome[0] == "#stub":  # inode adjusted at its home shard
+                box[0] = (None, False)
                 _marker, vino, home = outcome
                 tid = tids[0]
                 dedup = self._dedup_id(tid, vino)
@@ -260,24 +249,18 @@ class ShardReplicationPart:
                     self._stamp(epoch))
                 yield from self.intent_forget(tid)
                 yield from self._peer(home, "intent_forget", dedup)
-                return result
+                box[0] = result
+                return
             kind, (upath, last) = outcome
+            box[0] = (upath, last)
             if kind == SYMLINK and last:
                 yield from self._broadcast(
                     "mirror_unlink", path, now, stamp=self._stamp(epoch))
                 yield from self.intent_forget(tids[0])
-        except (EpochFenced, MemberDown):
-            # Fenced (or killed) past the local commit: recovery's redo
-            # performs the remote drop / replica removal.  A stub unlink
-            # cannot report the remote (upath, last) outcome any more;
-            # the client skips its underlying cleanup and the scrubber
-            # reclaims the object.
-            if outcome[0] == "#stub":
-                return (None, False)
-            kind, (upath, last) = outcome
-        finally:
-            self._done_tids(tids)
-        return (upath, last)
+
+        return (yield from self._coordinated(
+            tids, body=body, tail=tail, swallow=(EpochFenced, MemberDown),
+            on_forward=on_forward))
 
     def rmdir(self, path, now, _hops=0):
         self._check_hops(_hops, path)
@@ -315,32 +298,26 @@ class ShardReplicationPart:
                 txn, "mirror_rmdir", [path, now], epoch))
             return result
 
-        try:
-            result = yield from self.dbsvc.execute(body)
-        except ResolveForward as fwd:
-            self._done_tids(tids)
+        def on_forward(fwd):
             result = yield from self._redispatch(
                 fwd, "rmdir", fwd.path, now, _hops + 1)
             return result
-        except BaseException:
-            self._done_tids(tids)
-            raise
-        if "override" in forgotten:
-            self.sharding.overrides.pop(norm, None)
-        if "partitions" in forgotten:
-            self.sharding.partitions.pop(norm, None)
-        try:
-            yield from self._broadcast(
-                "mirror_rmdir", path, now, stamp=self._stamp(epoch))
-            yield from self.intent_forget(tids[0])
-        except (EpochFenced, MemberDown):
+
+        def tail(box):
             # Committed locally (and shipped); fenced or killed in the
             # broadcast tail: the completion pass redoes the mirrors
             # from the journaled intent.
-            pass
-        finally:
-            self._done_tids(tids)
-        return result
+            if "override" in forgotten:
+                self.sharding.overrides.pop(norm, None)
+            if "partitions" in forgotten:
+                self.sharding.partitions.pop(norm, None)
+            yield from self._broadcast(
+                "mirror_rmdir", path, now, stamp=self._stamp(epoch))
+            yield from self.intent_forget(tids[0])
+
+        return (yield from self._coordinated(
+            tids, body=body, tail=tail, swallow=(EpochFenced, MemberDown),
+            on_forward=on_forward))
 
     # -- mirror (replication) RPCs -----------------------------------------
 
