@@ -786,6 +786,98 @@ def run_scaling_failover(full=False, print_report=False):
     return out
 
 
+# ---------------------------------------------------------------------------
+# EXP-S5 — beyond the paper: asynchronous group commit vs the force ceiling
+# ---------------------------------------------------------------------------
+
+def run_scaling_async(full=False, print_report=False, shard_counts=None):
+    """Metadata mutation throughput, synchronous vs asynchronous commit.
+
+    The private-dirs metarates mix runs twice per shard count, on fresh
+    stacks: once with the default synchronous commits (every update pays
+    its own journal force — the log-force ceiling ``scaling-mds``
+    documents), once with ``CofsConfig(async_commit=True)`` (updates are
+    acknowledged under dependency rules while a per-shard batcher
+    coalesces forces; see ``docs/async-commit.md``).  ``mdcreate``
+    isolates the metadata tier and is the scaling headline; ``utime``
+    is the attr-write check and ``stat`` the read-side control (reads
+    never force, so the two modes must agree there).
+
+    The async runs execute under tracing with the full
+    :class:`~repro.obs.TraceChecker` — including the
+    durable-before-dependent-ack rule — over every emitted history, and
+    end under the tier-wide invariant oracle.  ``shard_counts`` (or
+    ``REPRO_ASYNC_SHARDS``, e.g. ``1,4``) overrides the default grid.
+    """
+    from repro.core.faults import check_tier_invariants
+
+    if shard_counts is None:
+        env = os.environ.get("REPRO_ASYNC_SHARDS")
+        if env:
+            shard_counts = tuple(int(tok) for tok in env.split(",") if tok)
+        else:
+            shard_counts = (1, 2, 4, 8) if _full(full) else (1, 2, 4)
+    nodes = 16 if _full(full) else 8
+    procs_per_node = 2
+    fpp = 64 if _full(full) else 32
+    ops = ("mdcreate", "utime", "stat")
+    results = {}
+    ops_done = 0
+    virtual_ms = 0.0
+    owned_obs = obs.TRACER is None  # trace just the async legs
+    for n_shards in shard_counts:
+        for mode in ("sync", "async"):
+            cofs_cfg = CofsConfig(async_commit=(mode == "async"))
+            testbed = build_flat_testbed(nodes, with_mds=n_shards)
+            stack = CofsStack(testbed, cofs_config=cofs_cfg)
+            if mode == "async" and owned_obs:
+                obs.enable()
+            res = run_metarates(stack, MetaratesConfig(
+                nodes=nodes, procs_per_node=procs_per_node,
+                files_per_proc=fpp, ops=ops, private_dirs=True,
+            ))
+            for op in ops:
+                results[(op, n_shards, mode)] = res.rate_per_s(op)
+                results[(op, n_shards, mode, "mean_ms")] = res.mean_ms(op)
+            deferred = sum(s.dbsvc.deferred_acks for s in stack.shards)
+            results[("deferred_acks", n_shards, mode)] = deferred
+            if mode == "async":
+                assert deferred > 0, "async run never deferred an ack"
+                obs.TraceChecker(obs.TRACER).check_all()
+                if owned_obs:
+                    obs.disable()
+            else:
+                assert deferred == 0
+            if stack.n_shards > 1:  # single-shard stacks have no tier
+                check_tier_invariants(stack.shards, stack.sharding)
+            ops_done += sum(res.recorder.count(op) for op in ops)
+            virtual_ms += stack.testbed.sim.now
+    out = {"shards": tuple(shard_counts), "nodes": nodes,
+           "procs_per_node": procs_per_node, "files_per_proc": fpp,
+           "ops": ops, "ops_done": ops_done, "virtual_ms": virtual_ms,
+           "results": results}
+    if print_report:
+        rows = [
+            [n_shards,
+             round(results[("mdcreate", n_shards, "sync")], 1),
+             round(results[("mdcreate", n_shards, "async")], 1),
+             round(results[("utime", n_shards, "sync")], 1),
+             round(results[("utime", n_shards, "async")], 1),
+             round(results[("stat", n_shards, "async")], 1),
+             results[("deferred_acks", n_shards, "async")]]
+            for n_shards in shard_counts
+        ]
+        print(format_table(
+            ["shards", "mdcreate/s sync", "mdcreate/s async",
+             "utime/s sync", "utime/s async", "stat/s", "deferred acks"],
+            rows,
+            title=(f"Async group commit vs the log-force ceiling "
+                   f"({nodes} nodes x {procs_per_node} procs, "
+                   f"private dirs)"),
+        ))
+    return out
+
+
 EXPERIMENTS = {
     "fig1": run_fig1,
     "fig2": run_fig2,
@@ -800,4 +892,5 @@ EXPERIMENTS = {
     "scaling-rebalance": run_scaling_rebalance,
     "scaling-split": run_scaling_split,
     "scaling-failover": run_scaling_failover,
+    "scaling-async": run_scaling_async,
 }

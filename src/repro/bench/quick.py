@@ -94,6 +94,22 @@ def _quick_scaling():
     return ops_done, virtual_ms
 
 
+def _quick_scaling_async():
+    """Sync vs async group commit at 1 and 2 shards.
+
+    Runs the ``scaling-async`` experiment's grid at quick scale — both
+    commit modes per shard count, TraceChecker over the async legs (the
+    qualitative ≥2x speedup is asserted in
+    ``benchmarks/test_scaling_async.py``).  The sync legs and the async
+    legs are both deterministic, so the summed virtual clock is a real
+    fingerprint.
+    """
+    from repro.bench.experiments import run_scaling_async
+
+    out = run_scaling_async(shard_counts=(1, 2))
+    return out["ops_done"], out["virtual_ms"]
+
+
 def _quick_rebalance():
     """Parallel broadcasts + online re-partitioning at small scale.
 
@@ -163,6 +179,7 @@ QUICK_EXPERIMENTS = {
     "fig6": _quick_fig6,
     "table1": _quick_table1,
     "scaling-mds": _quick_scaling,
+    "scaling-async": _quick_scaling_async,
     "scaling-rebalance": _quick_rebalance,
     "scaling-split": _quick_split,
     "scaling-failover": _quick_failover,

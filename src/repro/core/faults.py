@@ -77,6 +77,29 @@ def disarm_shards(shards):
         shard.dbsvc.fault_hook = None
 
 
+def arm_force_boundaries(shards, schedule):
+    """Attach ``schedule`` to every shard's *force* boundaries.
+
+    Only meaningful with asynchronous group commit: the batcher calls
+    the hook right after each force (and, on replicated tiers, its
+    quorum ship) completes, labelled ``("force", sid)``.  Crashing there
+    exercises the bounded-loss model — everything below that force's
+    head is durable, every later record is the journal tail a crash
+    loses.  Force boundaries are strictly coarser than the per-commit
+    boundaries :func:`arm_shards` enumerates; the two can be armed
+    together (distinct hooks, one shared schedule counter).
+    """
+    for shard in shards:
+        shard.dbsvc.force_hook = (
+            lambda sid=shard.shard_id: schedule.boundary(("force", sid))
+        )
+
+
+def disarm_force_boundaries(shards):
+    for shard in shards:
+        shard.dbsvc.force_hook = None
+
+
 def arm_groups(groups, schedule):
     """Attach ``schedule`` to every member of every group.
 

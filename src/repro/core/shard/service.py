@@ -95,6 +95,9 @@ class ShardMetadataService(
         #: group this service belongs to (None on unreplicated tiers).
         self.group = None
         super().__init__(machine, config, policy=policy, streams=streams)
+        # Metrics and force spans from this node key on the shard id, not
+        # the machine name.
+        self.dbsvc.obs_shard = shard_id
         # The durable epoch row exists from birth (no simulated cost: it
         # rides the same bootstrap transaction path as the root inode and
         # is marked durable before the first client request).

@@ -32,6 +32,12 @@ class Database:
         #: optional :class:`repro.db.recovery.RedoJournal`; when attached,
         #: every committed transaction's redo record is appended to it.
         self.journal = None
+        #: when True, transactions record their read keys on
+        #: ``txn.read_keys`` — the asynchronous commit path's dependency
+        #: tracker needs the read set to decide how long an ack may be
+        #: deferred.  Off by default: the only cost then is one ``None``
+        #: check per query.
+        self.track_reads = False
 
     def create_table(self, name, key, indexes=()):
         """Create and return a new :class:`Table`."""
@@ -77,12 +83,18 @@ class Transaction:
         self._staged = {}  # table -> {pk: record dict or _DELETED}
         self.reads = 0
         self.writes = 0
+        #: read set for dependency tracking: ``(table, pk)`` per point
+        #: read, ``(table, None)`` per scan (a scan's result depends on
+        #: every writer of the table).  None unless the database tracks.
+        self.read_keys = [] if database.track_reads else None
 
     # -- queries -------------------------------------------------------------
 
     def read(self, table_name, pk):
         """Read-only view of record ``pk`` as this transaction sees it."""
         self.reads += 1
+        if self.read_keys is not None:
+            self.read_keys.append((table_name, pk))
         overlay = self._staged.get(table_name)
         if overlay is not None:
             staged = overlay.get(pk)
@@ -104,6 +116,8 @@ class Transaction:
         tables never slows a query down.
         """
         self.reads += 1
+        if self.read_keys is not None:
+            self.read_keys.append((table_name, None))
         table = self._db.table(table_name)
         merged = {}
         key_field = table.key

@@ -29,9 +29,19 @@ class RedoJournal:
         """Record one committed transaction's operations."""
         self._records.append(list(operations))
 
-    def mark_durable(self):
-        """Everything appended so far has reached the disk."""
-        self.durable_upto = len(self._records)
+    def mark_durable(self, upto=None):
+        """Records up to ``upto`` (default: everything appended so far)
+        have reached the disk.
+
+        The watermark never regresses: a batched force that completed
+        after a full checkpoint must not un-mark the checkpoint's tail.
+        ``upto`` matters to the asynchronous force batcher, which
+        captures its head *before* the force I/O — records appended
+        while the force was in flight are not covered by it.
+        """
+        target = len(self._records) if upto is None else upto
+        if target > self.durable_upto:
+            self.durable_upto = target
 
     def durable_records(self):
         """The redo records that survive a crash."""

@@ -21,6 +21,11 @@ Checks:
    reads a surviving half-replicated change as divergence).
 4. **no mutation on a follower** — every group RPC served by a backup is
    a bounded-staleness read; mutations only ever land on primaries.
+5. **durable before dependent ack** — under asynchronous group commit an
+   op's own redo may sit in the loss window when it is acked, but never
+   a redo the op *depends on*: every ``commit_ack`` event carrying a
+   dependency LSN must be preceded by a completed ``force`` span on that
+   shard whose head covers the dependency.
 
 Violations raise :class:`TraceViolation` (an ``AssertionError``), so the
 checker drops straight into pytest.
@@ -156,10 +161,47 @@ class TraceChecker:
                     f"follower-served"
                 )
 
+    def check_durable_dependent_ack(self):
+        """No ack may externalize state whose redo is not yet durable.
+
+        The async commit path tags every acknowledgement with a
+        ``commit_ack`` event recording the shard, the op's own LSN and
+        the highest foreign LSN its reads depended on (``dep``).  The
+        op's own record may legally be in the loss window (that is the
+        deferred ack), but ``dep`` must already be covered by a *force*
+        span on that shard — one that finished (``outcome == "ok"``) at
+        or before the ack, with ``head >= dep``.  Otherwise a crash
+        after the ack could revoke state another client was told about.
+        """
+        forced = {}  # shard -> [(end time, head)], in finish order
+        for span in self.spans:
+            if span.kind == "force" and span.outcome == "ok":
+                head = (span.extra or {}).get("head", 0)
+                forced.setdefault(span.shard, []).append((span.end, head))
+        for span in self.spans:
+            for _name, when, extra in span.find_events("commit_ack"):
+                dep = extra.get("dep", 0)
+                lsn = extra.get("lsn", 0)
+                # A non-deferred update waits for its own force, so its
+                # dependency is covered by the same force that covered it;
+                # checking dep alone also catches mis-ordered reads
+                # (lsn == 0) observing an un-forced foreign write.
+                if not dep or dep == lsn:
+                    continue
+                shard = extra.get("shard")
+                if not any(end <= when and head >= dep
+                           for end, head in forced.get(shard, ())):
+                    raise TraceViolation(
+                        f"commit_ack on shard {shard!r} at t={when} depends "
+                        f"on LSN {dep}, but no force span on that shard "
+                        f"had made it durable by then"
+                    )
+
     def check_all(self):
         """Run every invariant check; returns self for chaining."""
         self.check_quorum_ack()
         self.check_promotion_order()
         self.check_recovery_order()
         self.check_no_follower_mutations()
+        self.check_durable_dependent_ack()
         return self

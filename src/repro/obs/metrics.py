@@ -21,10 +21,17 @@ name                      type        meaning
 ``failover_gap_ms``       histogram   unavailability window per failover
 ``failover_step_ms.<s>``  histogram   promotion sub-step durations
 ``rebalancer_load``       histogram   per-shard load at rebalance plan time
+``commit_batch_size``     histogram   journal records covered per group force
+                                      (async commit)
+``group_force_ms``        histogram   force + quorum-ship duration per batch
+``ack_to_durable_ms``     histogram   deferred-ack exposure: time from ack to
+                                      the force that made the op durable
 ``epoch_fenced``          counter     stamped requests refused by a fence
 ``member_down``           counter     requests refused by a down member
 ``router_retry``          counter     router EAGAIN retries
 ``follower_reads``        counter     reads served by a backup
+``deferred_acks``         counter     updates acked before their redo was
+                                      durable (async commit)
 ``rebalance_moves``       counter     directories re-homed
 ========================  ==========  =======================================
 """

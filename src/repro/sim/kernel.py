@@ -118,6 +118,12 @@ class Process(Event):
         self._step(event._ok, event._value)
 
     def _step(self, ok, value):
+        # Always published (one attribute store per resume): service code
+        # uses the executing process as a client identity — e.g. the async
+        # commit path's dependency tracker attributes reads and writes to
+        # the op chain that issued them (RPC handlers run inline in their
+        # caller's process, so one op is one process).
+        self.sim.current = self
         if TRACE is not None:
             TRACE.current = self
         generator = self.generator
@@ -178,6 +184,9 @@ class Simulator:
         self._heap = []
         self._sequence = 0
         self._processed = 0
+        #: the currently executing :class:`Process` (maintained by
+        #: ``Process._step``); None before the first resume.
+        self.current = None
 
     # -- scheduling --------------------------------------------------------
 

@@ -11,6 +11,7 @@ def test_registry_covers_every_paper_item():
         "fig1", "fig2", "fig4", "fig5", "fig5b", "fig6", "table1",
         "ablation-placement", "ablation-mds", "scaling-mds",
         "scaling-rebalance", "scaling-split", "scaling-failover",
+        "scaling-async",
     }
     assert set(EXPERIMENTS) == expected
 
