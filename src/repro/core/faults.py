@@ -230,6 +230,8 @@ def skeleton_view(shard):
         for dentry in by_parent.get(dvino, ()):
             if dentry.get("home") is not None:
                 continue  # cross-shard hard-link stub: never skeleton
+            if dentry.get("staged") is not None:
+                continue  # mid-flip rename alias: transient by design
             row = inodes.get(dentry["vino"])
             if row is None or row["kind"] == FILE:
                 continue
@@ -434,6 +436,19 @@ def check_tier_invariants(shards, sharding, images=()):
     ]
     for shard_id, shard in enumerate(shards):
         for dentry in shard.db.table("dentries").all():
+            # Rename transients never outlive their operation: a staged
+            # alias dies with the flip's retire (or abort), a
+            # retiring-marked ghost with the cross-shard rename's
+            # post-install retire — recovery resolves either way, so a
+            # quiesced tier holds none.
+            assert dentry.get("staged") is None, (
+                f"leaked staged rename alias on shard {shard_id}: "
+                f"{dict(dentry)}"
+            )
+            assert dentry.get("retiring") is None, (
+                f"leaked retiring rename ghost on shard {shard_id}: "
+                f"{dict(dentry)}"
+            )
             home = dentry.get("home")
             if home is None:
                 assert dentry["vino"] in inodes[shard_id], (
@@ -466,6 +481,8 @@ def check_tier_invariants(shards, sharding, images=()):
                 for dentry in by_parent.get(row["vino"], ()):
                     if dentry.get("home") is not None:
                         continue
+                    if dentry.get("staged") is not None:
+                        continue  # an alias is not a second child
                     child = inodes[shard_id].get(dentry["vino"])
                     if child is not None and child["kind"] == DIRECTORY:
                         subdirs += 1

@@ -34,7 +34,12 @@ past the commit point is abandoned to the recovery's idempotent redo.
 from inspect import isgenerator
 
 from repro import obs
-from repro.core.shard.routing import EpochFenced, ResolveForward, VinoForward
+from repro.core.shard.routing import (
+    EpochFenced,
+    MemberDown,
+    ResolveForward,
+    VinoForward,
+)
 from repro.pfs.errors import FsError
 from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize
 
@@ -314,14 +319,19 @@ class ShardCoordinationPart:
                 raise FsError.enoent(old)
             home = dentry.get("home")
             if home is not None and home != self.shard_id:
-                return (None, dentry["vino"], home)
+                return (None, dentry["vino"], home, 0)
             row = txn.read("inodes", dentry["vino"])
             if row is None:
                 raise FsError.enoent(old)
-            return (row["kind"], row["vino"], None)
+            # The flip's seq floor: the replica's high-water retire seq,
+            # or — when ``old`` resolved through a staged alias whose
+            # retire has not landed here yet — that alias's seq, so a
+            # chained rename orders strictly after the flip it rides on.
+            rseq = max(row.get("rseq", 0), dentry.get("staged") or 0)
+            return (row["kind"], row["vino"], None, rseq)
 
         try:
-            kind, vino, home = yield from self.dbsvc.execute(peek)
+            kind, vino, home, rseq = yield from self.dbsvc.execute(peek)
         except ResolveForward as fwd:
             result = yield from self._redispatch(
                 fwd, "rename", fwd.path, new, now, _hops + 1)
@@ -338,7 +348,7 @@ class ShardCoordinationPart:
         dst = self._owner_of(new)
         if kind in (DIRECTORY, SYMLINK):
             return (yield from self._rename_replicated(
-                kind, vino, old, new, dst, now, _hops, epoch))
+                kind, vino, old, new, dst, now, _hops, epoch, rseq))
         if dst != self.shard_id or home is not None:
             # Cross-shard (or stub) file rename: the destination parent is
             # walked only *after* the detach removed the old name, so a
@@ -422,9 +432,224 @@ class ShardCoordinationPart:
             _tag, shard, path = outcome
             _hops += 1
 
+    # -- the skeleton flip (replicated rename) ------------------------------
+
+    def _txn_stage_alias(self, txn, old, new, seq, vino):
+        """Txn fragment: plant the staged alias for ``new`` (flip phase 1).
+
+        The alias is a plain dentry carrying ``staged`` (the flip's seq)
+        and ``prev`` (the old path it shadows): resolution falls through
+        it like any dentry, so the new name answers during the broadcast
+        window, but nothing else changes — no inode move, no nlink, no
+        parent-time bumps.  Skipped when the destination name is already
+        taken (the commit's rename body pronounces on replacements).
+        """
+        parent, name = self._txn_resolve_parent(txn, new)
+        if txn.read("dentries", (parent["vino"], name)) is not None:
+            return False
+        txn.insert("dentries", {
+            "key": (parent["vino"], name), "parent": parent["vino"],
+            "name": name, "vino": vino, "staged": seq, "prev": old,
+        })
+        self._invalidate_resolve(parent["vino"])
+        return True
+
+    def _txn_gc_alias(self, txn, new, seq, vino):
+        """Txn fragment: drop a staged alias for ``new`` (unstage, or a
+        stale retire's garbage collection), leaving anything real — or
+        staged by a newer flip — alone."""
+        try:
+            parent, name = self._txn_resolve_parent(txn, new)
+        except FsError:
+            return False
+        dentry = txn.read("dentries", (parent["vino"], name))
+        if (dentry is None or dentry.get("staged") is None
+                or dentry["vino"] != vino or dentry["staged"] > seq):
+            return False
+        txn.delete("dentries", (parent["vino"], name))
+        self._invalidate_resolve(parent["vino"])
+        return True
+
+    def _txn_collapse_chain(self, txn, old, vino):
+        """Txn fragment: make ``old`` a real dentry before a fresh retire.
+
+        A chained rename (a→b→c) can deliver this flip's retire while an
+        *earlier* flip's retire is still in flight: ``old`` then holds a
+        staged alias rather than the real dentry.  Follow the aliases'
+        ``prev`` links back to the canonical name, drop the intermediate
+        aliases, and move the real dentry (with the cross-parent
+        directory-nlink transfer the skipped retires would have done)
+        under ``old``'s key, so the rename body applies exactly as if
+        the earlier retires had landed first — newest-seq-wins makes
+        them no-ops when they do arrive.  Bails out untouched on any
+        broken link (a concurrent retire landed mid-walk); replays
+        converge regardless.
+        """
+        parent, name = self._txn_resolve_parent(txn, old)
+        head = txn.read("dentries", (parent["vino"], name))
+        if head is None or head.get("staged") is None or head["vino"] != vino:
+            return False
+        chain = [(parent["vino"], name)]
+        cur_parent, cur_name, cur = parent, name, head
+        for _hop in range(64):
+            prev_path = cur.get("prev")
+            if prev_path is None:
+                return False
+            try:
+                cur_parent, cur_name = self._txn_resolve_parent(
+                    txn, prev_path)
+            except FsError:
+                return False
+            cur = txn.read("dentries", (cur_parent["vino"], cur_name))
+            if cur is None or cur["vino"] != vino:
+                return False
+            if cur.get("staged") is None:
+                break
+            chain.append((cur_parent["vino"], cur_name))
+        else:
+            return False
+        for alias_parent, alias_name in chain:
+            txn.delete("dentries", (alias_parent, alias_name))
+            self._invalidate_resolve(alias_parent)
+        txn.delete("dentries", (cur_parent["vino"], cur_name))
+        self._invalidate_resolve(cur_parent["vino"])
+        moved = dict(cur)
+        moved["key"] = (parent["vino"], name)
+        moved["parent"] = parent["vino"]
+        moved["name"] = name
+        txn.insert("dentries", moved)
+        if cur_parent["vino"] != parent["vino"]:
+            row = txn.read("inodes", vino)
+            if row is not None and row["kind"] == DIRECTORY:
+                src = txn.read_for_update("inodes", cur_parent["vino"])
+                if src is not None:
+                    src["nlink"] -= 1
+                    txn.write("inodes", src)
+                dst = txn.read_for_update("inodes", parent["vino"])
+                if dst is not None:
+                    dst["nlink"] += 1
+                    txn.write("inodes", dst)
+        return True
+
+    def _txn_flip_apply(self, txn, old, new, now, seq, vino, pending):
+        """Txn fragment: one replica's seq-guarded flip commit (retire).
+
+        Shared between the coordinator's commit transaction and the
+        ``mirror_rename`` replay, so both judge freshness — and
+        normalize chained renames — identically.  Returns the rename
+        body's result, or None when this flip is stale here (a newer
+        rename of the same object already applied; only this flip's
+        staged alias is GC'd — the old name may legitimately be current
+        again after a→b→a, so it is never touched on the stale path).
+        """
+        row = txn.read("inodes", vino)
+        if row is None or row.get("rseq", 0) >= seq:
+            self._txn_gc_alias(txn, new, seq, vino)
+            return None
+        self._txn_collapse_chain(txn, old, vino)
+        # Drop any staged alias at the destination before the rename
+        # body looks at it: our own alias would read as "old and new
+        # are already the same inode" (a silent no-op), and a foreign
+        # flip's alias as a real replacement with inode bookkeeping.
+        try:
+            nparent, nname = self._txn_resolve_parent(txn, new)
+        except FsError:
+            nparent = None
+        if nparent is not None:
+            ndentry = txn.read("dentries", (nparent["vino"], nname))
+            if ndentry is not None and ndentry.get("staged") is not None:
+                txn.delete("dentries", (nparent["vino"], nname))
+                self._invalidate_resolve(nparent["vino"])
+        result = self._rename_body(old, new, now, pending)(txn)
+        moved = txn.read_for_update("inodes", vino)
+        if moved is not None:
+            moved["rseq"] = seq
+            txn.write("inodes", moved)
+        return result
+
+    def _alias_partitions(self, old, new):
+        """Mirror every partition key under ``old`` to ``new`` in the
+        shared in-memory fan-out map (pure python — no simulated
+        events), so entry routing by the staged name works tier-wide the
+        instant any replica serves it.  Returns the ``(old, new)`` key
+        pairs for the flip intent, so an abort — inline or recovery's —
+        can unalias exactly what was aliased."""
+        parts = self.sharding.partitions
+        pairs = []
+        for path in list(parts):
+            if path == old or path.startswith(old + "/"):
+                dest = new + path[len(old):]
+                if dest not in parts:
+                    parts[dest] = parts[path]
+                    pairs.append([path, dest])
+        return pairs
+
+    def _unalias_partitions(self, pairs):
+        """Drop staged partition-routing aliases (abort path).  Guarded
+        on the old key still being canonical: after a committed flip the
+        re-key moved it, and a late abort must not blind routing."""
+        parts = self.sharding.partitions
+        for old_key, new_key in pairs or ():
+            fanout = parts.get(old_key)
+            if fanout is not None and parts.get(new_key) == fanout:
+                parts.pop(new_key, None)
+
+    def _abort_flip(self, flip_tid, new, seq, vino, parts, stamp):
+        """Coroutine: unwind phase 1 of a skeleton flip.
+
+        Remote aliases die first (seq-guarded unstage broadcast), then
+        the local alias and the flip intent in one transaction, then the
+        in-memory partition aliases — so no instant leaves a replica
+        serving a new name the tier can no longer route.  Shared with
+        recovery's :meth:`redo_flip`.
+        """
+        try:
+            yield from self._broadcast(
+                "mirror_rename_unstage", new, seq, vino, stamp=stamp)
+
+            def body(txn):
+                if txn.read("intents", flip_tid) is None:
+                    return False
+                self._txn_gc_alias(txn, new, seq, vino)
+                txn.delete("intents", flip_tid)
+                return True
+
+            yield from self.dbsvc.execute(self._local_body(body))
+            self._unalias_partitions(parts)
+        except (EpochFenced, MemberDown):
+            pass  # the surviving flip intent hands cleanup to recovery
+        finally:
+            self._done_tids([flip_tid])
+        return True
+
+    def redo_flip(self, rec):
+        """Coroutine: resolve a surviving ``rename_flip`` intent — by
+        aborting.  The commit transaction deletes the flip intent
+        atomically with the rename itself, so this record's survival
+        proves the flip never committed: unstage the alias everywhere
+        (seq-guarded, so a newer rename's state survives a replayed
+        abort) and retire the intent."""
+        yield from self._abort_flip(
+            rec["id"], rec["new"], rec["seq"], rec["vino"],
+            rec.get("parts"), self._stamp())
+        return True
+
     def _rename_replicated(self, kind, vino, old, new, dst, now, _hops,
-                           epoch=None):
-        """Coroutine: rename of a directory/symlink — replay on all shards."""
+                           epoch=None, rseq=0):
+        """Coroutine: rename of a directory/symlink — a two-phase,
+        seq-guarded skeleton flip replayed on all shards.
+
+        Phase 1 (*stage*) journals a durable ``rename_flip`` intent and
+        plants an alias dentry for the new name — locally, then on every
+        replica via ``mirror_rename_stage`` — so both names resolve
+        while the broadcast is in flight.  Phase 2 (*commit*) applies
+        the rename locally, deleting the flip intent atomically with it
+        (the commit point), then *retires* old names with
+        newest-seq-wins ``mirror_rename`` broadcasts.  At every instant
+        each replica serves the old name, the new name, or both — never
+        neither; the flip intent's survival proves the flip never
+        committed, so any crash unwinds to the old name everywhere.
+        """
         if epoch is None:
             epoch = self.epoch
         if kind == DIRECTORY:
@@ -456,54 +681,138 @@ class ShardCoordinationPart:
                 if entries:
                     raise FsError.enotempty(new)
         stamp = self._stamp(epoch)
+        norm_old, norm_new = normalize(old), normalize(new)
+        seq = max(now, rseq + 1)
         stage_plans, stage_tid = [], None
         if kind == DIRECTORY:
             # Pre-stage the subtree's re-homed file populations at their
-            # post-rename owners *before* the rename commits: keyed by
-            # (directory vino, name) — which a rename never changes — a
-            # staged copy is exactly where the renamed path routes, so
-            # the instant any shard's replica shows the new name its
-            # entries are already servable; no reader ever sees the
-            # transient ENOENT the old migrate-after-commit order
-            # allowed.  The stage intent is journaled before the copies
-            # ship and deleted atomically by the rename transaction
-            # below, so its survival proves the rename never committed
-            # and recovery (or the inline compensation) purges the
-            # strays.
+            # post-rename owners *before* any replica can serve the new
+            # name: keyed by (directory vino, name) — which a rename
+            # never changes — a staged copy is exactly where the renamed
+            # path routes, so the instant any shard's replica shows the
+            # new name its entries are already servable; no reader ever
+            # sees the transient ENOENT the old migrate-after-commit
+            # order allowed.  The stage intent is journaled before the
+            # copies ship and deleted atomically by the rename
+            # transaction below, so its survival proves the rename never
+            # committed and recovery (or the inline compensation) purges
+            # the strays.
             stage_plans, stage_tid = yield from self._stage_renamed_subtree(
                 vino, old, new, epoch, stamp)
-        pending, tids = [], []
-        inner = self._rename_body(old, new, now, pending)
 
-        def body(txn):
-            # The replicated rename legitimately writes ``new`` into
-            # every shard's skeleton replica; the parent walk's ownership
+        # -- phase 1: stage -------------------------------------------------
+        # Alias a split subtree's partition keys in the shared routing
+        # map first (pure python), then journal the flip intent
+        # atomically with this shard's alias dentry, then broadcast the
+        # alias.  From here to the commit both names resolve everywhere
+        # a stage landed; a refused stage (a newer flip's rseq won, or
+        # the destination is taken) just keeps that replica old-only.
+        parts = self._alias_partitions(norm_old, norm_new) \
+            if kind == DIRECTORY else []
+        flip_tid = self._new_tid()
+
+        def stage(txn):
+            # The staged alias legitimately writes ``new`` into this
+            # shard's skeleton replica; the parent walk's ownership
             # re-check must not bounce the coordinator to the entries
             # owner.
             prev = self._skip_owner_guard
             self._skip_owner_guard = True
             try:
-                result = inner(txn)
+                self._txn_stage_alias(txn, norm_old, new, seq, vino)
             finally:
                 self._skip_owner_guard = prev
+            self._txn_intent(txn, epoch, {
+                "id": flip_tid, "role": "coord", "op": "rename_flip",
+                "old": old, "new": new, "seq": seq, "vino": vino,
+                "parts": parts,
+            })
+            return True
+
+        staged = False
+        try:
+            yield from self.dbsvc.execute(stage)
+            staged = True
+            yield from self._broadcast(
+                "mirror_rename_stage", old, new, seq, vino, stamp=stamp)
+        except ResolveForward as fwd:
+            # Only the (atomically aborted) stage transaction forwards:
+            # nothing was staged anywhere yet.
+            self._done_tids([flip_tid])
+            self._unalias_partitions(parts)
+            yield from self._abort_stage(stage_plans, stage_tid, stamp)
+            if fwd.final:
+                yield from self._probe_dst_parent(fwd, _hops)
+            retried = yield from self.rename(old, fwd.path, now, _hops + 1)
+            return retried
+        except EpochFenced:
+            # Zombie coordinator: a journaled flip intent hands the
+            # unstage (and the partition unalias recorded in it) to
+            # recovery; a self-fenced stage transaction journaled
+            # nothing, so unwind the pure-memory aliases here.
+            self._done_tids([flip_tid])
+            if not staged:
+                self._unalias_partitions(parts)
+            if stage_tid is not None:
+                self._done_tids([stage_tid])
+            raise
+        except FsError:
+            if staged:
+                yield from self._abort_flip(
+                    flip_tid, new, seq, vino, parts, stamp)
+            else:
+                self._done_tids([flip_tid])
+                self._unalias_partitions(parts)
+            yield from self._abort_stage(stage_plans, stage_tid, stamp)
+            raise
+        except BaseException:
+            self._done_tids([flip_tid])
+            if stage_tid is not None:
+                self._done_tids([stage_tid])
+            raise
+
+        # -- phase 2: commit + retire ---------------------------------------
+        pending, rekeyed = [], []
+        tids = [flip_tid] + ([stage_tid] if stage_tid is not None else [])
+
+        def body(txn):
+            prev = self._skip_owner_guard
+            self._skip_owner_guard = True
+            try:
+                result = self._txn_flip_apply(
+                    txn, norm_old, new, now, seq, vino, pending)
+            finally:
+                self._skip_owner_guard = prev
+            if result is None:
+                # A newer rename of the same object won the race between
+                # our stage and this commit: the old name is no longer
+                # ours to move.
+                raise FsError.enoent(old)
+            txn.delete("intents", flip_tid)
             if stage_tid is not None:
                 txn.delete("intents", stage_tid)
             if kind == DIRECTORY:
                 # A split directory under ``old`` keeps its entries in
-                # place (placement hashes only names); re-key its rows —
-                # durable and in-memory — atomically with the rename so
-                # routing by the new path is never blind.
-                self._rekey_partitions_mem(self._txn_rekey_partitions(
-                    txn, normalize(old), normalize(new)))
+                # place (placement hashes only names); re-key its rows
+                # durably with the rename.  The in-memory map follows in
+                # the tail, after the commit — a self-fenced body rolls
+                # the durable rekey back, and a mem rekey applied here
+                # would survive that abort and diverge the shared map.
+                # The gap is covered: the phase-1 alias keeps both names
+                # routable until the tail runs.
+                rekeyed[:] = self._txn_rekey_partitions(
+                    txn, norm_old, norm_new)
             tids.append(self._txn_intent(txn, epoch, {
                 "id": self._new_tid(), "role": "coord",
                 "op": "rename_replicated", "kind": kind, "vino": vino,
-                "old": old, "new": new, "now": now,
+                "old": old, "new": new, "now": now, "seq": seq,
                 "pending": list(pending),
             }))
             return result
 
         def on_forward(fwd):
+            yield from self._abort_flip(
+                flip_tid, new, seq, vino, parts, stamp)
             yield from self._abort_stage(stage_plans, stage_tid, stamp)
             if fwd.final:
                 # Same pinning as the same-shard branch: only the
@@ -515,21 +824,30 @@ class ShardCoordinationPart:
         def on_fserror(exc):
             # A fence never reaches here (the wrapper re-raises it
             # first): compensation RPCs would be refused too, and the
-            # surviving stage intent hands the cleanup to recovery.
+            # surviving flip + stage intents hand the cleanup to
+            # recovery.
+            yield from self._abort_flip(
+                flip_tid, new, seq, vino, parts, stamp)
             yield from self._abort_stage(stage_plans, stage_tid, stamp)
             raise exc
 
         def tail(box):
-            # Fenced past the commit point (the local replay + intent
-            # are durable): recovery's redo re-broadcasts, re-migrates.
-            if stage_tid is not None:
-                self._done_tids([stage_tid])
-            tid = tids[0]
+            # Fenced past the commit point (the local flip + intent are
+            # durable): recovery's redo re-broadcasts the retires and
+            # re-migrates.
+            if rekeyed:
+                # Pure python, before any yield: the shared routing map
+                # catches up with the committed durable rekey (recovery
+                # rebuilds it from the rows if a crash lands first).
+                self._rekey_partitions_mem(rekeyed)
+                del rekeyed[:]
+            tid = tids[-1]
             drained = yield from self._drain_pending(pending, now, tid, stamp)
             box[0] = self._merge_replaced(box[0], drained)
             mirrored = yield from self._broadcast(
-                "mirror_rename", old, new, now, stamp=stamp)
-            box[0] = self._merge_replaced(box[0], mirrored)
+                "mirror_rename", old, new, now, seq, vino, stamp=stamp)
+            box[0] = self._merge_replaced(
+                box[0], [m for m in mirrored if m is not None])
             if kind == DIRECTORY:
                 yield from self._migrate_renamed_subtree(
                     vino, old, new, now, stamp)
@@ -540,23 +858,33 @@ class ShardCoordinationPart:
             tids, body=body, tail=tail,
             on_forward=on_forward, on_fserror=on_fserror))
 
-    def mirror_rename(self, old, new, now, stamp=None):
-        """RPC (shard-to-shard): replay a replicated-object rename.
+    def mirror_rename(self, old, new, now, seq, vino, stamp=None):
+        """RPC (shard-to-shard): retire a replicated rename's old name.
+
+        Phase 2 of the skeleton flip: the staged alias (phase 1) already
+        serves the new name here, so this replay applies the real rename
+        and consumes the alias in one transaction — a reader at any
+        instant resolves old, new, or both, never neither.  Newest-seq
+        wins (the per-replica ``rseq`` high-water mark on the moving
+        inode) makes replays idempotent and lets chained renames land in
+        any order; a stale retire only collects its own staged alias.
 
         A replay that replaces a stub queues a remote link-count drop;
         that drop gets its own intent here (this shard coordinates it),
         because the *caller's* intent only redoes the broadcast — and a
         replayed ``mirror_rename`` whose rename already applied answers
-        ENOENT, so it would never re-reach this drop.
+        stale, so it would never re-reach this drop.
         """
         yield from self._dispatch()
         epoch = self.epoch
         pending, tids = [], []
-        inner = self._rename_body(old, new, now, pending)
 
         def body(txn):
             self._check_stamp(stamp)
-            result = inner(txn)
+            result = self._txn_flip_apply(
+                txn, normalize(old), new, now, seq, vino, pending)
+            if result is None:
+                return (None, False)
             # This replica's partition rows re-key with its replay (the
             # coordinator re-keyed its own atomically with the rename);
             # a no-op for symlink renames and unsplit subtrees.
@@ -756,6 +1084,11 @@ class ShardCoordinationPart:
         pairs = []
         for dentry in txn.index_read("dentries", "parent", vino):
             dentry = dict(dentry)
+            # A mid-flight cross-shard rename's retiring marker is local
+            # bookkeeping; a migrated copy must not carry it (the source
+            # retire is marker-guarded and the abort falls back to
+            # re-attaching when the ghost moved away).
+            dentry.pop("retiring", None)
             inode = None
             if dentry.get("home") is None:
                 row = txn.read("inodes", dentry["vino"])
@@ -869,15 +1202,21 @@ class ShardCoordinationPart:
         """Coroutine: the cross-shard rename body under one live tid."""
 
         def detach(txn):
+            # Dual residence: the old name is only *marked* retiring —
+            # dentry and inode stay servable here until the install at
+            # the destination commits and :meth:`_retire_rename_src`
+            # drops them, so no instant of the rename resolves neither
+            # name.  A second rename of a mid-move name reads ENOENT,
+            # exactly as if the move had already finished.
             parent, name = self._txn_resolve_parent(txn, old)
             dentry = txn.read("dentries", (parent["vino"], name))
-            if dentry is None:
+            if dentry is None or dentry.get("retiring") is not None:
                 raise FsError.enoent(old)
-            self._invalidate_resolve(parent["vino"])
+            marked = dict(dentry)
+            marked["retiring"] = tid
             txn.delete("dentries", (parent["vino"], name))
-            up = dict(parent)
-            up["mtime"] = up["ctime"] = now
-            txn.write("inodes", up)
+            txn.insert("dentries", marked)
+            self._invalidate_resolve(parent["vino"])
             if dentry.get("home") is not None:
                 out = (None, dentry["home"])
             else:
@@ -893,10 +1232,9 @@ class ShardCoordinationPart:
                     txn.write("inodes", row)
                     out = (None, self.shard_id)
                 else:
-                    txn.delete("inodes", row["vino"])
-                    if row["upath"]:
-                        # The placement charge travels with the row.
-                        self._txn_bucket_adjust(txn, row["upath"], -1)
+                    # The row itself is *copied* to the destination; the
+                    # local original (and its placement charge) retires
+                    # with the marked name after the commit.
                     row["ctime"] = now
                     out = (row, None)
             moved, stub_home = out
@@ -937,26 +1275,75 @@ class ShardCoordinationPart:
             yield from self._rename_rollback(tid, old, payload, stub, now)
             return (None, False)
         try:
-            yield from self.intent_forget(tid)
+            yield from self._retire_rename_src(tid, old, payload, stub, now)
             yield from self._call_shard(
                 result[2], "retire_rename_part", tid, stamp)
         except EpochFenced:
-            # Fenced after the commit point: the surviving prepare record
-            # is retired by recovery's completion pass (pass B).
+            # Fenced after the commit point: the surviving records are
+            # retired by recovery's completion pass (the intent by
+            # finish_rename_intent — which applies this same source
+            # retire — the prepare by pass B).
             pass
         return (result[0], result[1])
 
+    def _retire_rename_src(self, tid, old, row, stub, now):
+        """Coroutine: drop a committed cross-shard rename's source
+        residue — the retiring-marked dentry, the inode copy a full move
+        left behind (with its placement charge), the parent-time bump
+        the detach deferred, and the intent — in one transaction.
+        Record-guarded and idempotent: recovery's
+        :meth:`~repro.core.shard.recovery.ShardRecoveryPart.
+        finish_rename_intent` applies the same retire when the
+        coordinator dies between install and this."""
+
+        def body(txn):
+            if txn.read("intents", tid) is None:
+                return False
+            vino = row["vino"] if row is not None else stub["vino"]
+            try:
+                parent, name = self._txn_resolve_parent(txn, old)
+            except FsError:
+                parent = None
+            if parent is not None:
+                dentry = txn.read("dentries", (parent["vino"], name))
+                if (dentry is not None and dentry["vino"] == vino
+                        and dentry.get("retiring") is not None):
+                    txn.delete("dentries", (parent["vino"], name))
+                    self._invalidate_resolve(parent["vino"])
+                    up = dict(parent)
+                    up["mtime"] = up["ctime"] = now
+                    txn.write("inodes", up)
+            if row is not None:
+                stored = txn.read("inodes", row["vino"])
+                if stored is not None and stored["kind"] == FILE:
+                    txn.delete("inodes", row["vino"])
+                    if stored["upath"]:
+                        self._txn_bucket_adjust(txn, stored["upath"], -1)
+            txn.delete("intents", tid)
+            return True
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
     def _rename_rollback(self, tid, old, row, stub, now):
-        """Coroutine: abort a cross-shard rename — re-attach the detached
-        name and drop the intent in one transaction (idempotent: recovery
+        """Coroutine: abort a cross-shard rename — clear the retiring
+        marker (or re-attach, if a migration moved the ghost meanwhile)
+        and drop the intent in one transaction (idempotent: recovery
         may race or repeat it)."""
 
         def body(txn):
             if txn.read("intents", tid) is None:
                 return False
             parent, name = self._txn_resolve_parent(txn, old)
-            if txn.read("dentries", (parent["vino"], name)) is None:
+            dentry = txn.read("dentries", (parent["vino"], name))
+            if dentry is None:
                 self._txn_reattach(txn, old, row, stub, now)
+            elif dentry.get("retiring") is not None:
+                cleared = dict(dentry)
+                del cleared["retiring"]
+                txn.delete("dentries", (parent["vino"], name))
+                txn.insert("dentries", cleared)
+                self._invalidate_resolve(parent["vino"])
             txn.delete("intents", tid)
             return True
 
@@ -975,7 +1362,10 @@ class ShardCoordinationPart:
             dentry["home"] = stub["home"]
         self._invalidate_resolve(parent["vino"])
         txn.insert("dentries", dentry)
-        if row is not None:
+        if row is not None and txn.read("inodes", row["vino"]) is None:
+            # Dual residence: a rolled-back detach usually still holds
+            # the row (only the marker is stale); re-insert only when a
+            # racing migration really moved it away.
             txn.insert("inodes", dict(row))
             if row["upath"]:
                 self._txn_bucket_adjust(txn, row["upath"], 1)
@@ -1006,6 +1396,14 @@ class ShardCoordinationPart:
             self._check_stamp(stamp)
             new_parent, new_name = self._txn_resolve_parent(txn, new)
             existing = txn.read("dentries", (new_parent["vino"], new_name))
+            if existing is not None and existing.get("staged") is not None:
+                # A skeleton flip's staged alias occupies the name: it
+                # is a resolution shadow, not a reference — drop it
+                # without inode bookkeeping and install over it (the
+                # flip's retire replays as a rename over this install,
+                # identically on every replica).
+                txn.delete("dentries", (new_parent["vino"], new_name))
+                existing = None
             replaced_upath, replaced_last = None, False
             if existing is not None:
                 if existing["vino"] == moving_vino:

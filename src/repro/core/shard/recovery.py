@@ -506,6 +506,12 @@ class ShardRecoveryPart:
                 for dentry in txn.index_read("dentries", "parent", dvino):
                     if dentry.get("home") is not None:
                         continue
+                    if dentry.get("staged") is not None:
+                        # A mid-flip alias is transient by design, not
+                        # divergence: resync must neither copy it to
+                        # peers nor strip it here (the flip's own
+                        # retire/abort owns its lifecycle).
+                        continue
                     row = txn.read("inodes", dentry["vino"])
                     if row is None or row["kind"] == FILE:
                         continue
@@ -592,6 +598,8 @@ class ShardRecoveryPart:
             for dentry in txn.index_read("dentries", "parent", row["vino"]):
                 if dentry.get("home") is not None:
                     continue
+                if dentry.get("staged") is not None:
+                    continue  # an alias is not a second child
                 child = txn.read("inodes", dentry["vino"])
                 if child is not None and child["kind"] == DIRECTORY:
                     subdirs += 1
@@ -734,26 +742,22 @@ class ShardRecoveryPart:
     def finish_rename_intent(self, rec, committed):
         """RPC (shard-to-shard): resolve a cross-shard rename intent here.
 
-        Committed (the destination holds the prepare record): the detach
-        stands, only the intent retires.  Aborted: re-attach the old name
-        from the intent's payload — unless something already occupies it
-        — atomically with the intent's deletion.
+        Committed (the destination holds the prepare record): retire the
+        source residue the dual-residence detach left behind — the
+        retiring-marked ghost dentry, the full move's inode copy, the
+        deferred parent-time bump — atomically with the intent.  Aborted:
+        clear the retiring marker (or re-attach the old name from the
+        intent's payload if the ghost is gone) atomically with the
+        intent's deletion.  Both paths reuse the coordinator's own
+        record-guarded transactions, so racing or repeating them is safe.
         """
         yield from self._dispatch()
-
-        def body(txn):
-            if txn.read("intents", rec["id"]) is None:
-                return False
-            if not committed:
-                parent, name = self._txn_resolve_parent(txn, rec["old"])
-                if txn.read("dentries", (parent["vino"], name)) is None:
-                    self._txn_reattach(
-                        txn, rec["old"], rec["row"], rec["stub"],
-                        rec["now"])
-            txn.delete("intents", rec["id"])
-            return True
-
-        result = yield from self.dbsvc.execute(self._local_body(body))
+        if committed:
+            result = yield from self._retire_rename_src(
+                rec["id"], rec["old"], rec["row"], rec["stub"], rec["now"])
+        else:
+            result = yield from self._rename_rollback(
+                rec["id"], rec["old"], rec["row"], rec["stub"], rec["now"])
         return result
 
     def redo_intent(self, rec):
@@ -790,12 +794,18 @@ class ShardRecoveryPart:
             yield from self._drain_pending(
                 pending, rec["now"], rec["id"], stamp)
             yield from self._broadcast(
-                "mirror_rename", rec["old"], rec["new"], rec["now"])
+                "mirror_rename", rec["old"], rec["new"], rec["now"],
+                rec.get("seq", rec["now"]), rec["vino"])
             if rec["kind"] == DIRECTORY:
                 yield from self._migrate_renamed_subtree(
                     rec["vino"], rec["old"], rec["new"], rec["now"], stamp)
             yield from self.intent_forget(rec["id"])
             yield from self._forget_dedups(rec["id"], pending)
+        elif op == "rename_flip":
+            # The flip record survived ⟺ its commit transaction (which
+            # deletes it) never ran: abort — unstage the alias everywhere
+            # and drop the partition-map alias keys.
+            yield from self.redo_flip(rec)
         elif op == "unlink_stub":
             dedup = self._dedup_id(rec["id"], rec["vino"])
             yield from self._peer(

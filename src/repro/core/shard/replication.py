@@ -51,7 +51,7 @@ peers, exactly as real in-flight messages would.
 from repro import obs
 from repro.core.shard.routing import EpochFenced, MemberDown, ResolveForward
 from repro.pfs.errors import FsError
-from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize
+from repro.pfs.types import DIRECTORY, FILE, SYMLINK, normalize, split
 
 
 class ShardReplicationPart:
@@ -169,9 +169,12 @@ class ShardReplicationPart:
                 view = yield from super().create_node(
                     path, kind, mode, uid, gid, node, pid, now, target)
             except ResolveForward as fwd:
+                # The serving shard runs its own owner-clock bump.
                 view = yield from self._redispatch(
                     fwd, "create_node", fwd.path, kind, mode, uid, gid,
                     node, pid, now, target, _hops + 1)
+                return view
+            self._bump_split_dir_times(path, now)
             return view
         yield from self._dispatch()
         epoch = self.epoch
@@ -210,6 +213,7 @@ class ShardReplicationPart:
         yield from self._dispatch()
         epoch = self.epoch
         tids = []
+        forwarded = []
         inner = self._unlink_body(path, now)
 
         def body(txn):
@@ -227,6 +231,8 @@ class ShardReplicationPart:
             return outcome
 
         def on_forward(fwd):
+            # The serving shard runs its own owner-clock bump.
+            forwarded.append(True)
             result = yield from self._redispatch(
                 fwd, "unlink", fwd.path, now, _hops + 1)
             return result
@@ -258,9 +264,12 @@ class ShardReplicationPart:
                     "mirror_unlink", path, now, stamp=self._stamp(epoch))
                 yield from self.intent_forget(tids[0])
 
-        return (yield from self._coordinated(
+        result = yield from self._coordinated(
             tids, body=body, tail=tail, swallow=(EpochFenced, MemberDown),
-            on_forward=on_forward))
+            on_forward=on_forward)
+        if not forwarded:
+            self._bump_split_dir_times(path, now)
+        return result
 
     def rmdir(self, path, now, _hops=0):
         self._check_hops(_hops, path)
@@ -454,6 +463,77 @@ class ShardReplicationPart:
         if "partitions" in forgotten:
             self.sharding.partitions.pop(norm, None)
         return result
+
+    def mirror_rename_stage(self, old, new, seq, vino, stamp=None):
+        """RPC (shard-to-shard): stage a rename's new-name alias (phase 1).
+
+        Idempotent and newest-seq-wins: a replica whose retire high-water
+        mark already passed ``seq`` refuses the stale stage — a redo
+        replaying behind a later rename of the same directory must not
+        resurrect a dead alias.  Once staged, both the old and the new
+        name resolve here until the flip's retire lands.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            self._check_stamp(stamp)
+            row = txn.read("inodes", vino)
+            if row is None or row.get("rseq", 0) >= seq:
+                return False
+            try:
+                return self._txn_stage_alias(
+                    txn, normalize(old), new, seq, vino)
+            except FsError:
+                return False
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    def mirror_rename_unstage(self, new, seq, vino, stamp=None):
+        """RPC (shard-to-shard): drop a staged alias (flip abort path).
+
+        Seq-guarded like the stage: only the alias this flip staged
+        (same vino, ``staged <= seq``) is dropped, so an abort replay
+        racing a newer rename of the same directory never strips the
+        newer flip's alias.
+        """
+        yield from self._dispatch()
+
+        def body(txn):
+            self._check_stamp(stamp)
+            return self._txn_gc_alias(txn, new, seq, vino)
+
+        result = yield from self.dbsvc.execute(self._local_body(body))
+        return result
+
+    # -- split-directory owner clock ---------------------------------------
+
+    def _bump_split_dir_times(self, path, now):
+        """Route a split directory's own time bump to its owner's clock.
+
+        A split directory's file creates/unlinks commit on the partition
+        shard owning the *entry*, which bumps only that replica's copy of
+        the directory inode — invisible to stat, which reads the
+        directory's owner.  Forwarding the bump to the owner (applied
+        last-writer-wins, in the owner's arrival order) makes the
+        owner's clock the one totally-ordered history for the directory's
+        mtime/ctime instead of a per-partition merge.
+
+        Plain python end to end: advisory timestamps get no simulated
+        events (charge-preserving, like the shared partition map — see
+        :meth:`bump_dir_times`), so the common unsplit/served-here path
+        and the forwarded path alike cost nothing modeled.
+        """
+        parent, _name = split(path)
+        if normalize(parent) not in self.sharding.partitions:
+            return False
+        owner = self._dir_owner(parent)
+        if owner == self.shard_id:
+            return False
+        peer = self.shard_machines[owner].services.get("cofsmds")
+        if peer is None:
+            return False  # advisory times; the op itself committed
+        return peer.bump_dir_times(parent, now)
 
     # -- primary/backup group RPCs -----------------------------------------
 

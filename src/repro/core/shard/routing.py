@@ -899,6 +899,39 @@ class ShardRoutingPart:
                     owner, "getattr", path, _hops + 1)
         return view
 
+    def bump_dir_times(self, path, now):
+        """Apply a split directory's advisory time bump (owner clock).
+
+        The owner's arrival order *is* the split directory's single
+        ordered clock: partition shards forward the mtime/ctime bump of
+        each entry mutation they serve, and bumps apply last-writer-wins
+        in arrival order here — so stat (answered by this owner) reads
+        one totally-ordered history rather than a per-partition merge.
+
+        Plain python, deliberately outside the transaction and RPC
+        machinery: timestamps are advisory (POSIX latitude), so the
+        propagation is modeled free — like the shared partition map —
+        and must stay charge-preserving (no simulated events, no
+        journal records; a crash of this shard loses unjournaled
+        bumps).  The walk follows this shard's own skeleton replica,
+        so staged rename aliases resolve like any other dentry.
+        """
+        vino = self.root_vino
+        for name in normalize(path).strip("/").split("/"):
+            if not name:
+                continue
+            dentry = self.db.table("dentries").read((vino, name))
+            if dentry is None:
+                return False
+            vino = dentry["vino"]
+        row = self.db.table("inodes").read(vino)
+        if row is None:
+            return False
+        row = dict(row)
+        row["mtime"] = row["ctime"] = now
+        self.db.table("inodes").write(row)
+        return True
+
     def open_map(self, path, for_write, now, _hops=0):
         self._check_hops(_hops, path)
         try:

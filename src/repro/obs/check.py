@@ -26,6 +26,12 @@ Checks:
    a redo the op *depends on*: every ``commit_ack`` event carrying a
    dependency LSN must be preceded by a completed ``force`` span on that
    shard whose head covers the dependency.
+6. **rename visibility (stage before retire)** — a replicated rename's
+   two phases never overlap: within one successful rename client op,
+   every ``mirror_rename_stage`` (and any abort's
+   ``mirror_rename_unstage``) peer RPC finishes before the first
+   ``mirror_rename`` retire RPC starts, so no replica is ever asked to
+   drop the old name before every replica can serve the new one.
 
 Violations raise :class:`TraceViolation` (an ``AssertionError``), so the
 checker drops straight into pytest.
@@ -197,6 +203,40 @@ class TraceChecker:
                         f"had made it durable by then"
                     )
 
+    def check_rename_visibility(self):
+        """Stage-before-retire: a rename's flip is two ordered phases.
+
+        Within every successful rename client op, every
+        ``mirror_rename_stage`` peer RPC (phase 1: the alias lands, both
+        names resolve) must finish before the first ``mirror_rename``
+        retire RPC starts (phase 2: old names die) — a retire
+        overlapping a stage would reopen the neither-name window the
+        flip exists to close.  Any ``mirror_rename_unstage`` RPC (a flip
+        abort) must equally precede the first retire: an
+        abort-then-retry's cleanup may not leak into the retry's commit
+        phase.
+        """
+        for span in self.spans:
+            if span.kind != "client_op" or span.name != "rename" \
+                    or span.outcome != "ok":
+                continue
+            subtree = self.subtree(span)
+            retires = [s for s in subtree
+                       if s.kind == "peer_rpc" and s.name == "mirror_rename"]
+            if not retires:
+                continue  # single-shard / cross-shard file path: no flip
+            first_retire = min(s.start for s in retires)
+            for s in subtree:
+                if s.kind != "peer_rpc" or s.name not in (
+                        "mirror_rename_stage", "mirror_rename_unstage"):
+                    continue
+                if s.end is None or s.end > first_retire:
+                    raise TraceViolation(
+                        f"rename {span!r}: phase-1 RPC {s!r} still in "
+                        f"flight when the first retire broadcast started "
+                        f"at t={first_retire}"
+                    )
+
     def check_all(self):
         """Run every invariant check; returns self for chaining."""
         self.check_quorum_ack()
@@ -204,4 +244,5 @@ class TraceChecker:
         self.check_recovery_order()
         self.check_no_follower_mutations()
         self.check_durable_dependent_ack()
+        self.check_rename_visibility()
         return self

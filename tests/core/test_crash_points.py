@@ -190,6 +190,26 @@ SCENARIOS = {
                ("create", "/a/d/f"), ("create", "/a/d/g")],
         op=[("rename", "/a/d", "/b/d")],
     ),
+    "rename-replicated-dir-same-parent": dict(
+        # The simplest replicated flavor: old and new live under the same
+        # parent, no entry migrates — the flip alone carries visibility.
+        shards=2,
+        setup=[("mkdir", "/a"), ("mkdir", "/a/d"), ("create", "/a/d/f")],
+        op=[("rename", "/a/d", "/a/e")],
+    ),
+    "rename-split-dir": dict(
+        # Renaming a split directory re-keys its partition rows: the
+        # alias keys must route entries under the new name the moment a
+        # replica can resolve it, and the old keys must survive until
+        # the retire — on every shard, at every crash point.
+        shards=2,
+        setup=[("mkdir", "/a"), ("create", "/a/f"), ("create", "/a/g"),
+               ("create", "/a/h"), ("create", "/a/i"),
+               ("split", "/a", [0, 1])],
+        op=[("rename", "/a", "/c")],
+        # /a may legitimately be gone after the op: probe at the root.
+        probe=[("create", "/probe"), ("unlink", "/probe")],
+    ),
     # -- online re-partitioning: the migration is namespace-invisible
     #    (paths never change), so these drills lean on the structural
     #    invariants — reachability via the overridden routing, override
@@ -376,7 +396,7 @@ def _drill(spec, k, pre, post, mode):
         # drives the tier-wide repair against the survivors' live state.
         host.run(host.shards[label[1]].recover())
     check_tier_invariants(host.shards, sharding, images=(pre, post))
-    host.run(_apply(host, PROBE))
+    host.run(_apply(host, spec.get("probe", PROBE)))
     check_tier_invariants(host.shards, sharding)
 
 
@@ -459,6 +479,7 @@ CONCURRENT = [
     "mkdir-replicated",
     "rmdir-replicated",
     "rename-replicated-dir-migrates-subtree",
+    "rename-split-dir",
     "rebalance-dir-population",
     "rebalance-dir-with-stub",
     "split-dir-population",
@@ -513,7 +534,7 @@ def _concurrent_drill(spec, k, victim, pre, post):
         # The operation aborted (a fence answers EAGAIN): nothing of it
         # may remain visible.
         assert observed == pre, label
-    host.run(_apply(host, PROBE))
+    host.run(_apply(host, spec.get("probe", PROBE)))
     check_tier_invariants(host.shards, sharding)
 
 
@@ -569,13 +590,13 @@ MIGRATION_READS = {
 }
 
 
-def _reader_drill(name, k):
+def _reader_drill(name, k, reads=None):
     """Spawn a reader at boundary ``k`` of the live migration: while the
     migration keeps running to completion, the reader loops stat/readdir
     probes over the pre-existing population and must never observe a
     missing entry or a double listing."""
     spec = SCENARIOS[name]
-    reads = MIGRATION_READS[name]
+    reads = MIGRATION_READS[name] if reads is None else reads
     host = _build(spec)
     fs = host.mounts[0]
     failures, fired, done, readers = [], [], [], []
@@ -639,6 +660,51 @@ def test_readers_never_lose_an_entry_mid_migration(name):
         _reader_drill(name, k)
 
 
+#: rename scenarios for the old-XOR-new reader drill, one per flavor:
+#: same-shard replicated dir, cross-shard file, renamed-subtree move
+#: (serial and parallel broadcasts), and a split directory re-keying its
+#: partition rows.  Each probe lists a name's old and new alternatives —
+#: a concurrent walk must resolve at least one at every instant
+#: (old, new, or both during the staged window — never neither).
+RENAME_READS = {
+    "rename-replicated-dir-same-parent": dict(
+        probes=[["/a/d", "/a/e"], ["/a/d/f", "/a/e/f"]],
+        listings={},
+    ),
+    "rename-cross-shard": dict(
+        probes=[["/a/f", "/b/g"]],
+        listings={},
+    ),
+    "rename-replicated-dir-migrates-subtree": dict(
+        probes=[["/a/d", "/b/d"], ["/a/d/f", "/b/d/f"],
+                ["/a/d/g", "/b/d/g"]],
+        listings={},
+    ),
+    "rename-replicated-dir-parallel": dict(
+        probes=[["/a/d", "/b/d"], ["/a/d/f", "/b/d/f"],
+                ["/a/d/g", "/b/d/g"]],
+        listings={},
+    ),
+    "rename-split-dir": dict(
+        probes=[["/a", "/c"], ["/a/f", "/c/f"], ["/a/g", "/c/g"],
+                ["/a/h", "/c/h"], ["/a/i", "/c/i"]],
+        listings={},
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(RENAME_READS))
+def test_walkers_resolve_old_or_new_at_every_rename_boundary(name):
+    """The skeleton-broadcast divergence window, closed: a concurrent
+    walk during a rename of any flavor resolves the old or the new name
+    at every enumerated boundary — never ENOENT for both."""
+    spec = SCENARIOS[name]
+    count, _pre, _post = _count_boundaries(spec)
+    assert count >= 2
+    for k in _selected(count):
+        _reader_drill(name, k, reads=RENAME_READS[name])
+
+
 def test_renamed_subtree_entries_servable_the_moment_a_replica_flips():
     """The subtree-rename migration window, checked at *every* boundary
     in one pass: the instant any shard's skeleton replica resolves the
@@ -647,9 +713,10 @@ def test_renamed_subtree_entries_servable_the_moment_a_replica_flips():
     copy) — the old migrate-after-commit order left a window where the
     new name was visible tier-wide while every entry was still parked on
     the old owner, unreachable.  (Client-visible old-name/new-name
-    flicker *between* replicas while the mirror broadcast is in flight
-    is the separate, documented skeleton-divergence window.)  Pure
-    table reads — no simulated cost, no schedule perturbation."""
+    flicker *between* replicas is closed by the staged flip —
+    ``test_walkers_resolve_old_or_new_at_every_rename_boundary`` drills
+    it directly.)  Pure table reads — no simulated cost, no schedule
+    perturbation."""
     spec = SCENARIOS["rename-replicated-dir-migrates-subtree"]
     host = _build(spec)
     sharding = host.stack.sharding

@@ -367,3 +367,111 @@ def test_sharded_symlink_scenario_matches_single_shard():
         outcomes = host.run(apply_ops(host.mounts[0], ops))
         assert outcomes == ref_outcomes
         assert host.run(observe(host.mounts[0])) == ref_state
+
+
+# ---------------------------------------------------------------------------
+# Rename storm: repeated directory renames under live concurrent walkers
+# ---------------------------------------------------------------------------
+
+# Phase A shuffles a replicated subtree between parents; phase B renames
+# a *split* directory back and forth (the oracle never splits — the
+# partitioning must be invisible).  Both storms end where they started
+# names-wise only in phase B; phase A's chain is deliberately a tour.
+STORM_SETUP = [
+    ("mkdir", "d1", None),
+    ("mkdir", "d2", None),
+    ("mkdir", "d1/sub", None),
+    ("create", "d1/sub/f", b"abc"),
+    ("create", "d1/p", b"x"),
+    ("create", "d1/q", b"yz"),
+]
+STORM_A = [
+    ("rename", ("d1/sub", "d2/sub"), None),
+    ("rename", ("d2/sub", "d1/sub2"), None),
+    ("rename", ("d1/sub2", "d2/sub"), None),
+    ("rename", ("d2/sub", "d1/sub"), None),
+]
+STORM_B = [
+    ("rename", ("d1", "d3"), None),
+    ("rename", ("d3", "d1"), None),
+    ("rename", ("d1", "d3"), None),
+    ("rename", ("d3", "d1"), None),
+]
+# Every name each storm ever uses: a live walker must always resolve at
+# least one alternative — the flip's "old, new, or both, never neither".
+WALKS_A = [
+    ["/d1/sub", "/d2/sub", "/d1/sub2"],
+    ["/d1/sub/f", "/d2/sub/f", "/d1/sub2/f"],
+]
+WALKS_B = [
+    ["/d1", "/d3"],
+    ["/d1/p", "/d3/p"],
+    ["/d1/sub/f", "/d3/sub/f"],
+]
+
+
+def _walker(fs, alternative_sets, done):
+    """Coroutine: probe alternative-name sets until the storm ends."""
+    while not done["flag"]:
+        for alts in alternative_sets:
+            codes = []
+            for path in alts:
+                try:
+                    yield from fs.stat(path)
+                    codes.append("ok")
+                except FsError as exc:
+                    codes.append(exc.code)
+            assert "ok" in codes, (
+                f"walker saw no name of {alts} resolve: {codes}")
+
+
+def _storm_leg(host, renames, alternative_sets):
+    """Run a rename storm beside two walkers; return storm outcomes."""
+    done = {"flag": False}
+    box = {}
+
+    def storm():
+        box["out"] = yield from apply_ops(host.mounts[0], renames)
+        done["flag"] = True
+
+    host.run_all([storm()] + [
+        _walker(host.mounts[i], alternative_sets, done) for i in (1, 2)])
+    return box["out"]
+
+
+def test_rename_storm_under_live_walkers_matches_single_shard():
+    """Concurrent walkers never see a directory vanish mid-rename.
+
+    A storm of directory renames — replicated subtrees, then a split
+    directory — runs beside walkers that demand at least one of each
+    name's alternatives resolves at every probe.  Outcomes and the
+    final namespace must match the serial 1-shard oracle, which never
+    splits anything and has no walkers at all.
+    """
+    from repro.core.config import CofsConfig
+
+    reference = MountedCofs(1)
+    ref_out = reference.run(apply_ops(reference.mounts[0], STORM_SETUP))
+    ref_out += reference.run(apply_ops(reference.mounts[0], STORM_A))
+    ref_out += reference.run(apply_ops(reference.mounts[0], STORM_B))
+    ref_state = reference.run(observe(reference.mounts[0]))
+
+    hosts = [
+        ShardedCofs(n_clients=3, shards=2, sharding=HashDirSharding()),
+        ShardedCofs(n_clients=3, shards=4, sharding=HashDirSharding(),
+                    cofs_config=CofsConfig(parallel_broadcasts=True)),
+    ]
+    for host in hosts:
+        label = (host.stack.n_shards, "rename-storm")
+        outcomes = host.run(apply_ops(host.mounts[0], STORM_SETUP))
+        outcomes += _storm_leg(host, STORM_A, WALKS_A)
+        # Phase B renames a split directory: partition rows re-key with
+        # every flip, invisibly (the oracle never split).
+        assert host.run(host.shards[0].split_dir(
+            "/d1", list(range(min(2, host.stack.n_shards))), host.sim.now))
+        outcomes += _storm_leg(host, STORM_B, WALKS_B)
+        assert outcomes == ref_out, label
+        assert host.run(observe(host.mounts[0])) == ref_state, label
+
+        from repro.core.faults import check_tier_invariants
+        check_tier_invariants(host.shards, host.stack.sharding)

@@ -220,3 +220,40 @@ def test_recovery_trace_orders_completion_before_resync(traced):
     assert "complete_intents" in passes
     assert "resync_skeleton" in passes
     obs.TraceChecker(tracer).check_all()
+
+
+def test_retire_overlapping_stage_is_a_violation():
+    """Phase 2 starting before phase 1 finished reopens the window."""
+    spans = []
+    op = _span(spans, "client_op", "rename", end=10.0)
+    _span(spans, "peer_rpc", "mirror_rename_stage", parent=op,
+          start=1.0, end=6.0)
+    _span(spans, "peer_rpc", "mirror_rename", parent=op,
+          start=5.0, end=8.0)
+    with pytest.raises(obs.TraceViolation, match="phase-1"):
+        _checker(spans).check_rename_visibility()
+    # The same history with the stage safely finished first is clean.
+    spans[1].end = 4.0
+    _checker(spans).check_rename_visibility()
+
+
+def test_real_replicated_rename_stages_before_it_retires(traced):
+    """A live directory rename emits both phases, in order."""
+    tracer, _metrics = traced
+    host = ShardedCofs(
+        n_clients=1, shards=3,
+        sharding=SubtreeSharding({"/a": 0, "/b": 1}))
+
+    def body():
+        fs = host.mounts[0]
+        yield from fs.mkdir("/a")
+        yield from fs.mkdir("/a/d")
+        fh = yield from fs.create("/a/d/f")
+        yield from fs.close(fh)
+        yield from fs.rename("/a/d", "/b")
+
+    host.run(body())
+    checker = obs.TraceChecker(tracer).check_all()
+    names = {s.name for s in checker.spans if s.kind == "peer_rpc"}
+    assert "mirror_rename_stage" in names, "the flip never staged"
+    assert "mirror_rename" in names, "the flip never retired"
